@@ -1,0 +1,52 @@
+//! Garbling/evaluation throughput (per-AND costs for the cost model) and
+//! gate counts of the protocol's non-linear step circuits.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use primer_core::gcmod::{build_step_circuit, GcStepKind};
+use primer_gc::garble::{evaluate, garble};
+use primer_gc::{CircuitBuilder, GcNumCfg};
+use primer_math::rng::seeded;
+use primer_math::{FixedSpec, Ring};
+use primer_nn::PipelineSpec;
+
+fn bench_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_gates");
+    group.sample_size(10);
+
+    // A 32×32 multiplier: the canonical AND-heavy circuit.
+    let mut b = CircuitBuilder::new();
+    let x = b.garbler_input(32);
+    let y = b.evaluator_input(32);
+    let p = b.mul(&x, &y);
+    let circuit = b.build(&p);
+    group.throughput(Throughput::Elements(circuit.and_count() as u64));
+    group.bench_function("garble_mul32", |bch| {
+        let mut rng = seeded(510);
+        bch.iter(|| garble(&circuit, &mut rng))
+    });
+    let mut rng = seeded(511);
+    let (garbled, enc) = garble(&circuit, &mut rng);
+    let gl: Vec<u128> = (0..32).map(|i| enc.garbler_label(i, false)).collect();
+    let el: Vec<u128> = (0..32).map(|i| enc.evaluator_pair(i).0).collect();
+    group.bench_function("evaluate_mul32", |bch| {
+        bch.iter(|| evaluate(&circuit, &garbled, &gl, &el))
+    });
+
+    // A protocol step circuit at test numerics.
+    let spec = PipelineSpec::new(Ring::new((1 << 29) + 11), FixedSpec::new(12, 5), 12);
+    let gc = GcNumCfg { width: 32, frac: 12 };
+    let softmax = build_step_circuit(
+        &GcStepKind::Softmax { rows: 4, cols: 4, prescale: 1 << 11 },
+        &spec,
+        gc,
+    );
+    group.throughput(Throughput::Elements(softmax.and_count() as u64));
+    group.bench_function("garble_softmax_4x4", |bch| {
+        let mut rng = seeded(512);
+        bch.iter(|| garble(&softmax, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gc);
+criterion_main!(benches);

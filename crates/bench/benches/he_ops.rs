@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the HE substrate: the per-op costs that feed the
+//! cost model's latency extrapolation (DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use primer_he::{BatchEncoder, Encryptor, Evaluator, HeContext, HeParams, KeyGenerator};
+use primer_math::rng::seeded;
+
+fn bench_he(c: &mut Criterion) {
+    let mut group = c.benchmark_group("he_ops");
+    group.sample_size(10);
+    for (label, params) in [
+        ("toy_1k", HeParams::toy()),
+        ("test_2k", HeParams::test_2k_wide()),
+        ("paper_8k", HeParams::paper_8k()),
+    ] {
+        let ctx = HeContext::new(params);
+        let encoder = BatchEncoder::new(&ctx);
+        let mut rng = seeded(500);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let encryptor = Encryptor::new(&ctx, kg.secret_key().clone(), 501);
+        let eval = Evaluator::new(&ctx);
+        let gk = kg.galois_keys(&[1], false, &mut rng);
+        let vals: Vec<u64> = (0..ctx.params().row_size() as u64).collect();
+        let pt = encoder.encode(&vals);
+        let ct = encryptor.encrypt(&pt);
+        let mp = eval.prepare_mul_plain(&pt);
+
+        group.bench_function(BenchmarkId::new("encrypt", label), |b| {
+            b.iter(|| encryptor.encrypt(&pt))
+        });
+        group.bench_function(BenchmarkId::new("decrypt", label), |b| {
+            b.iter(|| encryptor.decrypt(&ct))
+        });
+        group.bench_function(BenchmarkId::new("add", label), |b| b.iter(|| eval.add(&ct, &ct)));
+        group.bench_function(BenchmarkId::new("mul_plain", label), |b| {
+            b.iter(|| eval.mul_plain(&ct, &mp))
+        });
+        group.bench_function(BenchmarkId::new("rotate", label), |b| {
+            b.iter(|| eval.rotate_rows(&ct, 1, &gk).expect("key"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_he);
+criterion_main!(benches);

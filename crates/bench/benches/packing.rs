@@ -1,0 +1,39 @@
+//! Fig. 6 on real hardware: encrypted matmul latency under feature-based
+//! vs tokens-first packing at matched shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use primer_core::packing::{encrypt_matrix, matmul_plain_weights, Packing};
+use primer_he::{BatchEncoder, Encryptor, Evaluator, HeContext, HeParams, KeyGenerator};
+use primer_math::rng::seeded;
+use primer_math::MatZ;
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing_matmul");
+    group.sample_size(10);
+    let ctx = HeContext::new(HeParams::toy());
+    let encoder = BatchEncoder::new(&ctx);
+    let mut rng = seeded(520);
+    let kg = KeyGenerator::new(&ctx, &mut rng);
+    let encryptor = Encryptor::new(&ctx, kg.secret_key().clone(), 521);
+    let eval = Evaluator::new(&ctx);
+    let simd = ctx.params().row_size();
+    let keys = kg.galois_keys_pow2(&[1, 4, simd - 1, simd - 4], false, &mut rng);
+
+    // Embedding-shaped (tall) and projection-shaped (square) matmuls.
+    for (label, rows, cols, out) in [("embed_4x300x16", 4, 300, 16), ("proj_4x16x16", 4, 16, 16)] {
+        let x = MatZ::from_fn(rows, cols, |i, j| ((i * 7 + j) % 30) as u64);
+        let w = MatZ::from_fn(cols, out, |i, j| ((i + j * 3) % 30) as u64);
+        for packing in [Packing::FeatureBased, Packing::TokensFirst] {
+            let packed = encrypt_matrix(packing, &x, &encoder, &encryptor);
+            group.bench_function(BenchmarkId::new(format!("{packing:?}"), label), |b| {
+                b.iter(|| {
+                    matmul_plain_weights(&packed, &w, &eval, &encoder, &keys).expect("keys")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end protocol benchmarks: a full tiny private inference per
+//! Primer variant (the engine exercised exactly as in the tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use primer_core::{Engine, GcMode, ProtocolVariant, SystemConfig};
+use primer_math::rng::seeded;
+use primer_nn::{FixedTransformer, TransformerConfig, TransformerWeights};
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    group.sample_size(10);
+    let cfg = TransformerConfig::test_tiny();
+    let sys = SystemConfig::test_profile(&cfg).expect("profile");
+    let weights = TransformerWeights::random(&cfg, &mut seeded(530));
+    let fixed = FixedTransformer::quantize(&cfg, &weights, sys.pipeline);
+    for variant in [ProtocolVariant::F, ProtocolVariant::Fp, ProtocolVariant::Fpc] {
+        let engine = Engine::new(sys.clone(), variant, fixed.clone(), GcMode::Simulated, 531);
+        group.bench_function(BenchmarkId::new("inference", variant.name()), |b| {
+            b.iter(|| {
+                let report = engine.run(&[3, 1, 4, 1]);
+                assert!(report.matches_plaintext_reference());
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

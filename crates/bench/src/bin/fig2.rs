@@ -1,0 +1,31 @@
+//! Regenerates **Figure 2**: latency (offline/online stacked) and
+//! accuracy of THE-X, GCFormer, Primer-base, Primer-F on BERT-base,
+//! as a CSV series.
+//!
+//! Run: `cargo run --release -p primer-bench --bin fig2 [--measure]`
+
+use primer_bench::measure_accuracy;
+use primer_core::{gcformer_latency, thex_latency, CostModel, OpCosts, ProtocolVariant};
+use primer_net::NetworkModel;
+use primer_nn::{Task, TransformerConfig};
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--measure");
+    let costs = if measure { OpCosts::measure() } else { OpCosts::paper_defaults() };
+    let model = CostModel::paper();
+    let net = NetworkModel::paper_lan();
+    let cfg = TransformerConfig::bert_base();
+    let acc = measure_accuracy(42, 60);
+    let mnli = acc.iter().find(|(t, _)| *t == Task::MnliM).expect("MNLI row").1;
+
+    println!("# Figure 2 — latency & accuracy series (CSV)");
+    println!("method,offline_s,online_s,accuracy_pct");
+    let thex = thex_latency(&cfg, &costs, &net, model.simd);
+    println!("THE-X,0.0,{:.1},{:.1}", thex, mnli.poly_approx);
+    let (gc_off, gc_on) = gcformer_latency(&cfg, &costs, &net, &model.gates, 15.0);
+    println!("GCFormer,{:.1},{:.1},{:.1}", gc_off, gc_on, mnli.float_exact);
+    for variant in [ProtocolVariant::Base, ProtocolVariant::F] {
+        let (off, on) = model.variant_latency(&cfg, variant, &costs, &net);
+        println!("{},{:.1},{:.1},{:.1}", variant.name(), off, on, mnli.fixed_point);
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Figure 6**'s quantitative claim: homomorphic rotation
+//! counts under feature-based vs tokens-first packing for the paper's
+//! matmul shapes, plus a live measured comparison at test scale.
+//!
+//! Run: `cargo run --release -p primer-bench --bin fig6_packing`
+
+use primer_core::packing::{encrypt_matrix, matmul_plain_weights};
+use primer_core::{matmul_counts, Packing};
+use primer_he::{BatchEncoder, Encryptor, Evaluator, HeContext, HeParams, KeyGenerator};
+use primer_math::rng::seeded;
+use primer_math::MatZ;
+use std::time::Instant;
+
+fn main() {
+    println!("# Figure 6 — rotation counts per encrypted matmul (paper shapes, M = 4096)");
+    println!(
+        "{:<28} {:>14} {:>14} {:>8}",
+        "shape (rows x cols x out)", "feature-based", "tokens-first", "ratio"
+    );
+    let simd = 4096;
+    for (label, rows, cols, out) in [
+        ("embed 30x30522x768", 30, 30522, 768),
+        ("qkv 30x768x768", 30, 768, 768),
+        ("ffn-up 30x768x3072", 30, 768, 3072),
+        ("ffn-down 30x3072x768", 30, 3072, 768),
+    ] {
+        let fb = matmul_counts(Packing::FeatureBased, rows, cols, out, simd);
+        let tf = matmul_counts(Packing::TokensFirst, rows, cols, out, simd);
+        println!(
+            "{:<28} {:>14} {:>14} {:>7.1}x",
+            label,
+            fb.rotations,
+            tf.rotations,
+            fb.rotations as f64 / tf.rotations.max(1) as f64
+        );
+    }
+
+    println!();
+    println!("# live measured matmul (toy HE profile, 4x300x16)");
+    let ctx = HeContext::new(HeParams::toy());
+    let encoder = BatchEncoder::new(&ctx);
+    let mut rng = seeded(540);
+    let kg = KeyGenerator::new(&ctx, &mut rng);
+    let encryptor = Encryptor::new(&ctx, kg.secret_key().clone(), 541);
+    let eval = Evaluator::new(&ctx);
+    let m = ctx.params().row_size();
+    let keys = kg.galois_keys_pow2(&[1, 4, m - 1, m - 4], false, &mut rng);
+    let x = MatZ::from_fn(4, 300, |i, j| ((i * 7 + j) % 30) as u64);
+    let w = MatZ::from_fn(300, 16, |i, j| ((i + j * 3) % 30) as u64);
+    for packing in [Packing::FeatureBased, Packing::TokensFirst] {
+        let packed = encrypt_matrix(packing, &x, &encoder, &encryptor);
+        let before = eval.counts();
+        let start = Instant::now();
+        let _ = matmul_plain_weights(&packed, &w, &eval, &encoder, &keys).expect("keys");
+        let elapsed = start.elapsed();
+        let spent = eval.counts().since(&before);
+        println!(
+            "{:?}: {} rotations, {} pt-mults, {:.1} ms",
+            packing,
+            spent.rotations,
+            spent.mul_plain,
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Table II**: the per-step offline/online ablation
+//! (Primer-base → +FHGS → +Pack → +CHGS) on BERT-base.
+//!
+//! Run: `cargo run --release -p primer-bench --bin table2 [--measure]`
+
+use primer_core::{CostModel, OpCosts, ProtocolVariant, StepCategory};
+use primer_net::NetworkModel;
+use primer_nn::TransformerConfig;
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--measure");
+    let costs = if measure { OpCosts::measure() } else { OpCosts::paper_defaults() };
+    let model = CostModel::paper();
+    let net = NetworkModel::paper_lan();
+    let cfg = TransformerConfig::bert_base();
+
+    println!("# Table II — per-step ablation, BERT-base (seconds, cost model at paper scale)");
+    print!("{:<24}", "Scheme");
+    for cat in StepCategory::all() {
+        print!(" {:>10}-off {:>10}-on", cat.name(), cat.name());
+    }
+    println!(" {:>10} {:>10}", "Total-off", "Total-on");
+
+    for variant in ProtocolVariant::all() {
+        let per_step = model.variant_costs(&cfg, variant, &costs);
+        print!("{:<24}", variant.name());
+        let mut tot_off = 0.0;
+        let mut tot_on = 0.0;
+        for cat in StepCategory::all() {
+            let (off_c, on_c) = per_step.get(&cat).expect("category");
+            let (mut off, mut on) =
+                (off_c.total_seconds(&costs, &net), on_c.total_seconds(&costs, &net));
+            if !variant.has_offline_phase() {
+                on += off;
+                off = 0.0;
+            }
+            tot_off += off;
+            tot_on += on;
+            print!(" {:>14.1} {:>13.1}", off, on);
+        }
+        println!(" {:>10.1} {:>10.1}", tot_off, tot_on);
+    }
+    println!();
+    println!("# Shape checks vs the paper:");
+    println!("#  - Base: everything online; F: offline≈Base totals, online collapses");
+    println!("#  - FP: offline shrinks by the tokens-first rotation factor");
+    println!("#  - FPC: Embed and QKV fold to zero, their cost migrates into QxK");
+}

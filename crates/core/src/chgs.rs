@@ -1,0 +1,216 @@
+//! The Combined-HGS protocol (CHGS, Fig. 3d / Fig. 6c): the embedding and
+//! the three QKV projections collapse into a single module.
+//!
+//! The server pre-combines weights in plaintext — `Ā_q = trunc(W_E·W_Q)`,
+//! `Ā_k = trunc(W_E·W_K)`, `Ā_v = trunc(W_E·W_V)`, `Ā_e = W_E` — so one
+//! client mask `R_c` over the one-hot input and **one** interaction
+//! produce the shares of all four linear outputs (`X·Ā + λ̄·2^f`),
+//! removing the separate Embed and QKV HGS modules entirely: their
+//! offline HE work and their online interactions fold into the Q×K step,
+//! exactly the cost migration Table II reports for Primer-FPC.
+//!
+//! Fixed-point note (documented in DESIGN.md): combining weight matrices
+//! changes where truncation happens — `trunc(X·trunc(W_E·W_Q) + λ̄·2^f)`
+//! instead of `trunc(trunc(X·W_E + λ·2^f)·W_Q)`. The reference model in
+//! `primer-nn` exposes the same combined semantics so the protocol stays
+//! bit-exact against its reference.
+
+use crate::hgs::add_plain_matrix;
+use crate::packing::{
+    encrypt_matrix, matmul_out_layout, matmul_plain_weights, Packing,
+};
+use crate::wire::{recv_packed, send_packed};
+use primer_he::{BatchEncoder, Encryptor, Evaluator, GaloisKeys, HeContext};
+use primer_math::{MatZ, Ring};
+use primer_net::Transport;
+use rand::Rng;
+
+/// Client state: one mask, one share per combined projection.
+#[derive(Debug, Clone)]
+pub struct ChgsClient {
+    /// The single input mask `R_c` (rows × in_cols).
+    pub rc: MatZ,
+    /// Client shares `R_c·Ā_i + R_s,i`, one per projection.
+    pub shares: Vec<MatZ>,
+}
+
+/// Client offline phase: one encryption of `R_c`, then one decryption
+/// per combined projection.
+#[allow(clippy::too_many_arguments)]
+pub fn client_offline<R: Rng + ?Sized>(
+    ring: &Ring,
+    packing: Packing,
+    rows: usize,
+    in_cols: usize,
+    out_cols: &[usize],
+    ctx: &HeContext,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+    transport: &dyn Transport,
+    rng: &mut R,
+) -> ChgsClient {
+    let rc = MatZ::random(ring, rows, in_cols, rng);
+    client_offline_with_mask(packing, rc, out_cols, ctx, encoder, encryptor, transport)
+}
+
+/// Client offline with an externally chosen input mask.
+pub fn client_offline_with_mask(
+    packing: Packing,
+    rc: MatZ,
+    out_cols: &[usize],
+    ctx: &HeContext,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+    transport: &dyn Transport,
+) -> ChgsClient {
+    let (rows, in_cols) = rc.shape();
+    send_packed(transport, &encrypt_matrix(packing, &rc, encoder, encryptor));
+    let shares = out_cols
+        .iter()
+        .map(|&oc| {
+            let layout = matmul_out_layout(packing, rows, in_cols, oc, encoder.row_size());
+            let result = recv_packed(transport, ctx, layout);
+            crate::packing::decrypt_matrix(&result, encoder, encryptor)
+        })
+        .collect();
+    ChgsClient { rc, shares }
+}
+
+/// Server offline phase against pre-combined weights; returns one `R_s`
+/// per projection. The single received `Enc(R_c)` feeds every matmul.
+#[allow(clippy::too_many_arguments)]
+pub fn server_offline<R: Rng + ?Sized>(
+    ring: &Ring,
+    packing: Packing,
+    rows: usize,
+    combined_weights: &[&MatZ],
+    ctx: &HeContext,
+    encoder: &BatchEncoder,
+    eval: &Evaluator,
+    keys: &GaloisKeys,
+    transport: &dyn Transport,
+    rng: &mut R,
+) -> Vec<MatZ> {
+    let in_cols = combined_weights[0].rows();
+    let in_layout = crate::packing::Layout::plan(packing, rows, in_cols, encoder.row_size());
+    let enc_rc = recv_packed(transport, ctx, in_layout);
+    combined_weights
+        .iter()
+        .map(|w| {
+            assert_eq!(w.rows(), in_cols, "combined weights share the input width");
+            let product = matmul_plain_weights(&enc_rc, w, eval, encoder, keys)
+                .expect("galois keys provisioned");
+            let rs = MatZ::random(ring, rows, w.cols(), rng);
+            send_packed(transport, &add_plain_matrix(&product, &rs, eval, encoder));
+            rs
+        })
+        .collect()
+}
+
+/// Server online share for projection `i`: `U·Ā_i − R_s,i` plus the
+/// public positional term `λ̄_i·2^f` (added to the server's share).
+pub fn server_online(
+    ring: &Ring,
+    u: &MatZ,
+    combined_w: &MatZ,
+    rs: &MatZ,
+    lambda_scaled: &MatZ,
+) -> MatZ {
+    u.matmul(ring, combined_w).sub(ring, rs).add(ring, lambda_scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primer_he::{HeParams, KeyGenerator};
+    use primer_math::rng::seeded;
+    use primer_net::run_two_party;
+    use std::sync::Arc;
+
+    /// One interaction, four products: every projection's shares must
+    /// reconstruct `X·Ā_i + λ̄_i·2^f`.
+    #[test]
+    fn chgs_reconstructs_all_projections() {
+        let ctx = HeContext::new(HeParams::toy());
+        let ring = Ring::new(ctx.params().t());
+        let mut rng = seeded(260);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let sk = kg.secret_key().clone();
+        let simd = ctx.params().row_size();
+        let keys = Arc::new(kg.galois_keys_pow2(&[1, 4, simd - 1, simd - 4], false, &mut rng));
+
+        let (rows, in_cols) = (4usize, 16usize);
+        let out_cols = vec![6usize, 6, 6, 16];
+        let x = MatZ::from_fn(rows, in_cols, |i, j| u64::from(j == (i * 3) % in_cols) * 32);
+        let ws: Vec<MatZ> = out_cols
+            .iter()
+            .enumerate()
+            .map(|(idx, &oc)| {
+                MatZ::from_fn(in_cols, oc, |i, j| ((i * 3 + j * 5 + idx) % 25) as u64)
+            })
+            .collect();
+        let lambdas: Vec<MatZ> = out_cols
+            .iter()
+            .map(|&oc| MatZ::from_fn(rows, oc, |i, j| ((i + j) % 10) as u64))
+            .collect();
+
+        let (ctx_c, ctx_s) = (ctx.clone(), ctx.clone());
+        let (x_c, out_cols_c) = (x.clone(), out_cols.clone());
+        let (ws_s, lambdas_s) = (ws.clone(), lambdas.clone());
+        let keys_s = Arc::clone(&keys);
+
+        let (client_shares, server_shares, meter) = run_two_party(
+            move |t| {
+                let encoder = BatchEncoder::new(&ctx_c);
+                let encryptor = Encryptor::new(&ctx_c, sk, 261);
+                let ring = Ring::new(ctx_c.params().t());
+                let pre = client_offline(
+                    &ring,
+                    Packing::TokensFirst,
+                    rows,
+                    in_cols,
+                    &out_cols_c,
+                    &ctx_c,
+                    &encoder,
+                    &encryptor,
+                    &t,
+                    &mut seeded(262),
+                );
+                let u = x_c.sub(&ring, &pre.rc);
+                crate::wire::send_matrix(&t, &u);
+                pre.shares
+            },
+            move |t| {
+                let encoder = BatchEncoder::new(&ctx_s);
+                let eval = Evaluator::new(&ctx_s);
+                let ring = Ring::new(ctx_s.params().t());
+                let refs: Vec<&MatZ> = ws_s.iter().collect();
+                let rss = server_offline(
+                    &ring,
+                    Packing::TokensFirst,
+                    rows,
+                    &refs,
+                    &ctx_s,
+                    &encoder,
+                    &eval,
+                    &keys_s,
+                    &t,
+                    &mut seeded(263),
+                );
+                let u = crate::wire::recv_matrix(&t);
+                ws_s.iter()
+                    .zip(rss.iter().zip(&lambdas_s))
+                    .map(|(w, (rs, lam))| server_online(&ring, &u, w, rs, lam))
+                    .collect::<Vec<_>>()
+            },
+        );
+        for i in 0..out_cols.len() {
+            let got = client_shares[i].add(&ring, &server_shares[i]);
+            let want = x.matmul(&ring, &ws[i]).add(&ring, &lambdas[i]);
+            assert_eq!(got, want, "projection {i}");
+        }
+        // Exactly one client→server encrypted flight (plus U) — the
+        // merged-interaction property.
+        assert_eq!(meter.c2s.messages(), 2);
+    }
+}

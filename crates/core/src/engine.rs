@@ -1,0 +1,946 @@
+//! The private-inference engine: drives a complete client/server
+//! execution of the Primer protocols for one transformer inference.
+//!
+//! The engine wires the protocol modules together exactly as Fig. 3
+//! describes, with the load-bearing invariant that **every GC step's
+//! re-sharing mask is the input mask of the protocol step that consumes
+//! it**, so shares thread through the whole network without any extra
+//! interaction. The output is checked bit-exactly against
+//! [`primer_nn::FixedTransformer`].
+
+use crate::chgs;
+use crate::fhgs::{self, FhgsDims};
+use crate::gcmod::{
+    bits_to_ring_words, build_step_circuit, ring_words_to_bits, GcClientStep, GcMode,
+    GcServerStep, GcStepKind,
+};
+use crate::hgs;
+use crate::packing::Packing;
+use crate::stats::{StepBreakdown, StepCategory};
+use crate::system::SystemConfig;
+use crate::wire;
+use primer_gc::arith::ring_bits;
+use primer_gc::Circuit;
+use primer_he::{BatchEncoder, Encryptor, Evaluator, GaloisKeys, KeyGenerator, OpCounts};
+use primer_math::rng::derive;
+use primer_math::{MatZ, Ring};
+use primer_net::{run_two_party, MemTransport, TrafficSnapshot, Transport};
+use primer_nn::fixedpoint::MatI;
+use primer_nn::FixedTransformer;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which Primer variant to run (Table II rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolVariant {
+    /// Hybrid protocol, everything online, feature-based packing.
+    Base,
+    /// +HGS/FHGS offline precomputation (feature-based packing).
+    F,
+    /// +Tokens-first packing.
+    Fp,
+    /// +CHGS (combined embed+QKV) — the full Primer.
+    Fpc,
+}
+
+impl ProtocolVariant {
+    /// The packing strategy this variant uses.
+    pub fn packing(&self) -> Packing {
+        match self {
+            ProtocolVariant::Base | ProtocolVariant::F => Packing::FeatureBased,
+            ProtocolVariant::Fp | ProtocolVariant::Fpc => Packing::TokensFirst,
+        }
+    }
+
+    /// Whether the combined (CHGS) module replaces embed+QKV in block 0.
+    pub fn combined(&self) -> bool {
+        matches!(self, ProtocolVariant::Fpc)
+    }
+
+    /// Whether precomputation counts as offline (false only for Base).
+    pub fn has_offline_phase(&self) -> bool {
+        !matches!(self, ProtocolVariant::Base)
+    }
+
+    /// All variants in ablation order.
+    pub fn all() -> [ProtocolVariant; 4] {
+        [ProtocolVariant::Base, ProtocolVariant::F, ProtocolVariant::Fp, ProtocolVariant::Fpc]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolVariant::Base => "Primer-base",
+            ProtocolVariant::F => "Primer-F",
+            ProtocolVariant::Fp => "Primer-FP",
+            ProtocolVariant::Fpc => "Primer-FPC",
+        }
+    }
+}
+
+/// Result of one private inference.
+#[derive(Debug)]
+pub struct InferenceReport {
+    /// Reconstructed logits (raw fixed-point).
+    pub logits: Vec<i64>,
+    /// Argmax class.
+    pub predicted: usize,
+    /// The plaintext fixed-point reference logits.
+    pub reference_logits: Vec<i64>,
+    /// Per-category cost breakdown.
+    pub steps: StepBreakdown,
+    /// Server-side HE op counts (offline phase).
+    pub he_ops_offline: OpCounts,
+    /// Server-side HE op counts (online phase).
+    pub he_ops_online: OpCounts,
+    /// Total AND gates across all GC steps.
+    pub gc_and_gates: u64,
+    /// Total traffic.
+    pub traffic: TrafficSnapshot,
+}
+
+impl InferenceReport {
+    /// The headline correctness check: private output == plaintext
+    /// fixed-point reference, bit for bit.
+    pub fn matches_plaintext_reference(&self) -> bool {
+        self.logits == self.reference_logits
+    }
+}
+
+/// The engine: system config + model + variant.
+#[derive(Debug)]
+pub struct Engine {
+    sys: SystemConfig,
+    variant: ProtocolVariant,
+    mode: GcMode,
+    fixed: Arc<FixedTransformer>,
+    seed: u64,
+}
+
+impl Engine {
+    /// Creates an engine for a quantized model.
+    pub fn new(
+        sys: SystemConfig,
+        variant: ProtocolVariant,
+        fixed: FixedTransformer,
+        mode: GcMode,
+        seed: u64,
+    ) -> Self {
+        Self { sys, variant, mode, fixed: Arc::new(fixed), seed }
+    }
+
+    /// The underlying fixed-point model.
+    pub fn model(&self) -> &FixedTransformer {
+        &self.fixed
+    }
+
+    /// Runs one private inference.
+    pub fn run(&self, tokens: &[usize]) -> InferenceReport {
+        let cfg = self.sys.model.clone();
+        assert_eq!(tokens.len(), cfg.n_tokens, "token count mismatch");
+        let reference_logits = if self.variant.combined() {
+            self.fixed.logits_combined(tokens)
+        } else {
+            self.fixed.logits(tokens)
+        };
+
+        let circuits = Arc::new(self.build_circuits());
+        let gc_and_gates: u64 = circuits.iter().map(|c| c.and_count() as u64).sum();
+
+        let sys_c = self.sys.clone();
+        let sys_s = self.sys.clone();
+        let fixed_c = Arc::clone(&self.fixed);
+        let fixed_s = Arc::clone(&self.fixed);
+        let circuits_c = Arc::clone(&circuits);
+        let circuits_s = Arc::clone(&circuits);
+        let variant = self.variant;
+        let mode = self.mode;
+        let seed = self.seed;
+        let tokens_c = tokens.to_vec();
+
+        let (client_out, server_out, meter) = run_two_party(
+            move |t| client_main(&sys_c, variant, mode, &fixed_c, &circuits_c, &tokens_c, seed, &t),
+            move |t| server_main(&sys_s, variant, mode, &fixed_s, &circuits_s, seed, &t),
+        );
+        let (mut steps, he_off, he_on) = server_out;
+        if !self.variant.has_offline_phase() {
+            steps.fold_offline_into_online();
+        }
+        let logits = client_out;
+        let predicted = logits
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .expect("non-empty logits");
+        InferenceReport {
+            logits,
+            predicted,
+            reference_logits,
+            steps,
+            he_ops_offline: he_off,
+            he_ops_online: he_on,
+            gc_and_gates,
+            traffic: TrafficSnapshot::capture(&meter),
+        }
+    }
+
+    /// Builds every GC step circuit in online consumption order.
+    fn build_circuits(&self) -> Vec<Circuit> {
+        let cfg = &self.sys.model;
+        let spec = self.fixed.spec();
+        let gc = self.sys.gc;
+        let (n, d, dff, heads) = (cfg.n_tokens, cfg.d_model, cfg.d_ff, cfg.n_heads);
+        let mut out = Vec::new();
+        if self.variant.combined() {
+            out.push(build_step_circuit(&GcStepKind::TruncSat { elems: 4 * n * d }, spec, gc));
+        } else {
+            out.push(build_step_circuit(&GcStepKind::TruncSat { elems: n * d }, spec, gc));
+        }
+        for b in 0..cfg.n_blocks {
+            if b > 0 || !self.variant.combined() {
+                out.push(build_step_circuit(&GcStepKind::TruncSat { elems: 3 * n * d }, spec, gc));
+            }
+            out.push(build_step_circuit(
+                &GcStepKind::Softmax {
+                    rows: heads * n,
+                    cols: n,
+                    prescale: self.fixed.attn_prescale,
+                },
+                spec,
+                gc,
+            ));
+            out.push(build_step_circuit(&GcStepKind::TruncSat { elems: n * d }, spec, gc));
+            let blk = &self.fixed.blocks[b];
+            out.push(build_step_circuit(
+                &GcStepKind::LayerNormResidual {
+                    rows: n,
+                    cols: d,
+                    gamma: blk.ln1_gamma.clone(),
+                    beta: blk.ln1_beta.clone(),
+                },
+                spec,
+                gc,
+            ));
+            out.push(build_step_circuit(&GcStepKind::Gelu { elems: n * dff }, spec, gc));
+            out.push(build_step_circuit(
+                &GcStepKind::LayerNormResidual {
+                    rows: n,
+                    cols: d,
+                    gamma: blk.ln2_gamma.clone(),
+                    beta: blk.ln2_beta.clone(),
+                },
+                spec,
+                gc,
+            ));
+        }
+        out
+    }
+}
+
+/// Ring-domain view of a quantized matrix.
+fn to_ring(ring: &Ring, m: &MatI) -> MatZ {
+    MatZ::from_signed(ring, m)
+}
+
+/// λ̄ · 2^frac in the ring (the positional term added at product scale).
+fn lambda_scaled(ring: &Ring, lam: &MatI, frac: u32) -> MatZ {
+    MatZ::from_signed(ring, &lam.map(|&v| v << frac))
+}
+
+/// Client-side masks for one block.
+struct BlockMasks {
+    q: MatZ,
+    k: MatZ,
+    v: MatZ,
+    probs: Vec<MatZ>,
+    av: MatZ,
+    ln1: MatZ,
+    gelu: MatZ,
+    ln2: MatZ,
+}
+
+fn column_slice(m: &MatZ, c0: usize, width: usize) -> MatZ {
+    MatZ::from_fn(m.rows(), width, |i, j| m[(i, c0 + j)])
+}
+
+/// Server-side per-step wall-clock + traffic attribution.
+struct StepTimer<'a> {
+    transport: &'a MemTransport,
+    mark: Instant,
+    last: TrafficSnapshot,
+}
+
+impl<'a> StepTimer<'a> {
+    fn new(transport: &'a MemTransport) -> Self {
+        Self {
+            transport,
+            mark: Instant::now(),
+            last: TrafficSnapshot::capture(transport.meter()),
+        }
+    }
+
+    fn absorb(&mut self, steps: &mut StepBreakdown, cat: StepCategory, offline: bool) {
+        let elapsed = self.mark.elapsed();
+        let now = TrafficSnapshot::capture(self.transport.meter());
+        let delta = now.since(&self.last);
+        self.mark = Instant::now();
+        self.last = now;
+        let entry = steps.entry(cat);
+        let slot = if offline { entry.0 } else { entry.1 };
+        slot.absorb(elapsed, delta);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client_main(
+    sys: &SystemConfig,
+    variant: ProtocolVariant,
+    mode: GcMode,
+    fixed: &FixedTransformer,
+    circuits: &[Circuit],
+    tokens: &[usize],
+    seed: u64,
+    t: &MemTransport,
+) -> Vec<i64> {
+    let cfg = &sys.model;
+    let ring = sys.ring();
+    let rb = ring_bits(ring.modulus());
+    let packing = variant.packing();
+    let (n, d, dff, heads) = (cfg.n_tokens, cfg.d_model, cfg.d_ff, cfg.n_heads);
+    let dh = cfg.d_head();
+    let frac = fixed.spec().fixed.frac();
+    let mut rng = derive(seed, "client");
+    let encoder = BatchEncoder::new(&sys.he);
+    let keygen = KeyGenerator::new(&sys.he, &mut rng);
+    let encryptor = Encryptor::new(&sys.he, keygen.secret_key().clone(), seed ^ 0x5eed);
+    let group = sys.ot_group.group();
+
+    // ---- Offline ----
+    // Ship the Galois keys (placeholder bytes; both parties construct the
+    // keys deterministically in-process — see DESIGN.md).
+    let simd = sys.simd_width();
+    let stride = sys.padded_tokens();
+    let gk = keygen.galois_keys_pow2(&[1, stride, simd - 1, simd - stride], false, &mut rng);
+    wire::send_placeholder(t, gk.serialized_size());
+
+    // Masks.
+    let m_embed_in = MatZ::random(&ring, n, cfg.vocab, &mut rng);
+    let m_x1 = MatZ::random(&ring, n, d, &mut rng); // block-0 input / residual
+    let blocks: Vec<BlockMasks> = (0..cfg.n_blocks)
+        .map(|_| BlockMasks {
+            q: MatZ::random(&ring, n, d, &mut rng),
+            k: MatZ::random(&ring, n, d, &mut rng),
+            v: MatZ::random(&ring, n, d, &mut rng),
+            probs: (0..heads).map(|_| MatZ::random(&ring, n, n, &mut rng)).collect(),
+            av: MatZ::random(&ring, n, d, &mut rng),
+            ln1: MatZ::random(&ring, n, d, &mut rng),
+            gelu: MatZ::random(&ring, n, dff, &mut rng),
+            ln2: MatZ::random(&ring, n, d, &mut rng),
+        })
+        .collect();
+
+    // Embed / combined module.
+    let (embed_shares, qkv_first): (Vec<MatZ>, bool) = if variant.combined() {
+        let pre = chgs::client_offline_with_mask(
+            packing,
+            m_embed_in.clone(),
+            &[d, d, d, d],
+            &sys.he,
+            &encoder,
+            &encryptor,
+            t,
+        );
+        (pre.shares, false)
+    } else {
+        let h = hgs::client_offline_with_mask(
+            &ring,
+            packing,
+            m_embed_in.clone(),
+            d,
+            &sys.he,
+            &encoder,
+            &encryptor,
+            t,
+        );
+        (vec![h.share], true)
+    };
+
+    // Per-block linear offline.
+    struct BlockClient {
+        qkv_shares: Option<[MatZ; 3]>,
+        score_pre: Vec<fhgs::FhgsClient>,
+        av_pre: Vec<fhgs::FhgsClient>,
+        wo: hgs::HgsClient,
+        w1: hgs::HgsClient,
+        w2: hgs::HgsClient,
+    }
+    let block_inputs: Vec<&MatZ> = (0..cfg.n_blocks)
+        .map(|b| if b == 0 { &m_x1 } else { &blocks[b - 1].ln2 })
+        .collect();
+    let bclients: Vec<BlockClient> = (0..cfg.n_blocks)
+        .map(|b| {
+            let bm = &blocks[b];
+            let qkv_shares = if b > 0 || qkv_first {
+                let mut shares = Vec::new();
+                for _ in 0..3 {
+                    let h = hgs::client_offline_with_mask(
+                        &ring,
+                        packing,
+                        block_inputs[b].clone(),
+                        d,
+                        &sys.he,
+                        &encoder,
+                        &encryptor,
+                        t,
+                    );
+                    shares.push(h.share);
+                }
+                Some([shares.remove(0), shares.remove(0), shares.remove(0)])
+            } else {
+                None
+            };
+            let score_pre = (0..heads)
+                .map(|h| {
+                    fhgs::client_offline_with_masks(
+                        &ring,
+                        packing,
+                        column_slice(&bm.q, h * dh, dh),
+                        column_slice(&bm.k, h * dh, dh).transpose(),
+                        &encoder,
+                        &encryptor,
+                        t,
+                    )
+                })
+                .collect();
+            let av_pre = (0..heads)
+                .map(|h| {
+                    fhgs::client_offline_with_masks(
+                        &ring,
+                        packing,
+                        bm.probs[h].clone(),
+                        column_slice(&bm.v, h * dh, dh),
+                        &encoder,
+                        &encryptor,
+                        t,
+                    )
+                })
+                .collect();
+            let wo = hgs::client_offline_with_mask(
+                &ring, packing, bm.av.clone(), d, &sys.he, &encoder, &encryptor, t,
+            );
+            let w1 = hgs::client_offline_with_mask(
+                &ring, packing, bm.ln1.clone(), dff, &sys.he, &encoder, &encryptor, t,
+            );
+            let w2 = hgs::client_offline_with_mask(
+                &ring, packing, bm.gelu.clone(), d, &sys.he, &encoder, &encryptor, t,
+            );
+            BlockClient { qkv_shares, score_pre, av_pre, wo, w1, w2 }
+        })
+        .collect();
+    // Classifier (row 0 of the last LN2 mask).
+    let last_mask = &blocks[cfg.n_blocks - 1].ln2;
+    let cls_mask = MatZ::from_fn(1, d, |_, j| last_mask[(0, j)]);
+    let cls = hgs::client_offline_with_mask(
+        &ring,
+        packing,
+        cls_mask,
+        cfg.n_classes,
+        &sys.he,
+        &encoder,
+        &encryptor,
+        t,
+    );
+
+    // GC offline sessions (consumption order).
+    let mut gc_sessions: Vec<GcClientStep> = circuits
+        .iter()
+        .map(|c| GcClientStep::offline(c, mode, &group, t, &mut rng))
+        .collect();
+    let mut gc_iter = 0usize;
+    let mut run_gc = |t: &dyn Transport, vals: &[u64]| {
+        let circuit = &circuits[gc_iter];
+        let session = std::mem::replace(
+            &mut gc_sessions[gc_iter],
+            GcClientStep::offline_noop(),
+        );
+        gc_iter += 1;
+        session.online(circuit, t, &ring_words_to_bits(vals, rb));
+    };
+
+    // ---- Online ----
+    // One-hot input, masked.
+    let one = 1i64 << frac;
+    let x0 = MatZ::from_fn(n, cfg.vocab, |i, j| {
+        if tokens[i] == j {
+            ring.from_signed(one)
+        } else {
+            0
+        }
+    });
+    wire::send_matrix(t, &x0.sub(&ring, &m_embed_in));
+
+    // Embed / combined GC.
+    if variant.combined() {
+        let mut vals = Vec::new();
+        for share in &embed_shares {
+            vals.extend_from_slice(share.as_slice());
+        }
+        for m in [&m_x1, &blocks[0].q, &blocks[0].k, &blocks[0].v] {
+            vals.extend_from_slice(m.as_slice());
+        }
+        run_gc(t, &vals);
+    } else {
+        let mut vals = embed_shares[0].as_slice().to_vec();
+        vals.extend_from_slice(m_x1.as_slice());
+        run_gc(t, &vals);
+    }
+
+    // Blocks.
+    for b in 0..cfg.n_blocks {
+        let bm = &blocks[b];
+        let bc = &bclients[b];
+        if let Some(shares) = &bc.qkv_shares {
+            let mut vals = Vec::new();
+            for s in shares {
+                vals.extend_from_slice(s.as_slice());
+            }
+            for m in [&bm.q, &bm.k, &bm.v] {
+                vals.extend_from_slice(m.as_slice());
+            }
+            run_gc(t, &vals);
+        }
+        // Scores per head, then softmax GC.
+        let mut score_vals = Vec::new();
+        for h in 0..heads {
+            let share =
+                fhgs::client_online(&bc.score_pre[h], &ring, packing, &sys.he, &encoder, &encryptor, t);
+            score_vals.extend_from_slice(share.as_slice());
+        }
+        for h in 0..heads {
+            score_vals.extend_from_slice(bm.probs[h].as_slice());
+        }
+        run_gc(t, &score_vals);
+        // AV per head, then trunc GC.
+        let mut av_vals = Vec::new();
+        for h in 0..heads {
+            let share =
+                fhgs::client_online(&bc.av_pre[h], &ring, packing, &sys.he, &encoder, &encryptor, t);
+            av_vals.extend_from_slice(share.as_slice());
+        }
+        // Mask ordering matches the per-head segment layout.
+        for h in 0..heads {
+            av_vals.extend_from_slice(column_slice(&bm.av, h * dh, dh).as_slice());
+        }
+        run_gc(t, &av_vals);
+        // WO → LN1 (residual = block input).
+        let residual_mask = block_inputs[b];
+        let mut ln1_vals = bc.wo.share.as_slice().to_vec();
+        ln1_vals.extend_from_slice(residual_mask.as_slice());
+        ln1_vals.extend_from_slice(bm.ln1.as_slice());
+        run_gc(t, &ln1_vals);
+        // W1 → GELU.
+        let mut gelu_vals = bc.w1.share.as_slice().to_vec();
+        gelu_vals.extend_from_slice(bm.gelu.as_slice());
+        run_gc(t, &gelu_vals);
+        // W2 → LN2 (residual = LN1 output, client share = its mask).
+        let mut ln2_vals = bc.w2.share.as_slice().to_vec();
+        ln2_vals.extend_from_slice(bm.ln1.as_slice());
+        ln2_vals.extend_from_slice(bm.ln2.as_slice());
+        run_gc(t, &ln2_vals);
+    }
+
+    // Classifier: reconstruct logits.
+    let server_share = wire::recv_matrix(t);
+    let raw: Vec<i64> = (0..cfg.n_classes)
+        .map(|c| ring.to_signed(ring.add(server_share[(0, c)], cls.share[(0, c)])))
+        .collect();
+    raw.iter().map(|&v| fixed.spec().fixed.truncate_product(v)).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn server_main(
+    sys: &SystemConfig,
+    variant: ProtocolVariant,
+    mode: GcMode,
+    fixed: &FixedTransformer,
+    circuits: &[Circuit],
+    seed: u64,
+    t: &MemTransport,
+) -> (StepBreakdown, OpCounts, OpCounts) {
+    let cfg = &sys.model;
+    let ring = sys.ring();
+    let rb = ring_bits(ring.modulus());
+    let packing = variant.packing();
+    let (n, d, dff, heads) = (cfg.n_tokens, cfg.d_model, cfg.d_ff, cfg.n_heads);
+    let dh = cfg.d_head();
+    let frac = fixed.spec().fixed.frac();
+    let mut rng = derive(seed, "server");
+    let encoder = BatchEncoder::new(&sys.he);
+    let eval = Evaluator::new(&sys.he);
+    let group = sys.ot_group.group();
+    // The server's Galois keys: constructed from the same deterministic
+    // client key generator (in-process stand-in for key transfer).
+    let mut kg_rng = derive(seed, "client");
+    let keygen = KeyGenerator::new(&sys.he, &mut kg_rng);
+    let simd = sys.simd_width();
+    let stride = sys.padded_tokens();
+    let gk: GaloisKeys =
+        keygen.galois_keys_pow2(&[1, stride, simd - 1, simd - stride], false, &mut kg_rng);
+
+    let mut steps = StepBreakdown::new();
+    let mut timer = StepTimer::new(t);
+
+    // ---- Offline ----
+    let _keys_blob = t.recv(); // galois keys placeholder
+    timer.absorb(&mut steps, StepCategory::Others, true);
+
+    // Ring-domain weights.
+    let we = to_ring(&ring, &fixed.we);
+    let lam = lambda_scaled(&ring, &fixed.pos, frac);
+    let cw = fixed.combined_weights();
+
+    // Embed / combined offline.
+    let (embed_rs, embed_cat) = if variant.combined() {
+        let aq = to_ring(&ring, &cw.a_q);
+        let ak = to_ring(&ring, &cw.a_k);
+        let av = to_ring(&ring, &cw.a_v);
+        let rs = chgs::server_offline(
+            &ring,
+            packing,
+            n,
+            &[&we, &aq, &ak, &av],
+            &sys.he,
+            &encoder,
+            &eval,
+            &gk,
+            t,
+            &mut rng,
+        );
+        (rs, StepCategory::QxK)
+    } else {
+        let rs = hgs::server_offline(
+            &ring, packing, n, &we, &sys.he, &encoder, &eval, &gk, t, &mut rng,
+        );
+        (vec![rs], StepCategory::Embed)
+    };
+    timer.absorb(&mut steps, embed_cat, true);
+
+    struct BlockServer {
+        qkv_rs: Option<[MatZ; 3]>,
+        score_pre: Vec<fhgs::FhgsServer>,
+        av_pre: Vec<fhgs::FhgsServer>,
+        wo_rs: MatZ,
+        w1_rs: MatZ,
+        w2_rs: MatZ,
+    }
+    let qkv_first = !variant.combined();
+    let bservers: Vec<BlockServer> = (0..cfg.n_blocks)
+        .map(|b| {
+            let blk = &fixed.blocks[b];
+            let qkv_rs = if b > 0 || qkv_first {
+                let mut rs = Vec::new();
+                for w in [&blk.wq, &blk.wk, &blk.wv] {
+                    rs.push(hgs::server_offline(
+                        &ring,
+                        packing,
+                        n,
+                        &to_ring(&ring, w),
+                        &sys.he,
+                        &encoder,
+                        &eval,
+                        &gk,
+                        t,
+                        &mut rng,
+                    ));
+                }
+                timer.absorb(&mut steps, StepCategory::Qkv, true);
+                Some([rs.remove(0), rs.remove(0), rs.remove(0)])
+            } else {
+                None
+            };
+            let score_pre: Vec<_> = (0..heads)
+                .map(|_| {
+                    fhgs::server_offline(
+                        &ring,
+                        packing,
+                        FhgsDims { n, k: dh, m: n },
+                        &sys.he,
+                        &encoder,
+                        t,
+                        &mut rng,
+                    )
+                })
+                .collect();
+            timer.absorb(&mut steps, StepCategory::QxK, true);
+            let av_pre: Vec<_> = (0..heads)
+                .map(|_| {
+                    fhgs::server_offline(
+                        &ring,
+                        packing,
+                        FhgsDims { n, k: n, m: dh },
+                        &sys.he,
+                        &encoder,
+                        t,
+                        &mut rng,
+                    )
+                })
+                .collect();
+            timer.absorb(&mut steps, StepCategory::AttnValue, true);
+            let wo_rs = hgs::server_offline(
+                &ring,
+                packing,
+                n,
+                &to_ring(&ring, &blk.wo),
+                &sys.he,
+                &encoder,
+                &eval,
+                &gk,
+                t,
+                &mut rng,
+            );
+            let w1_rs = hgs::server_offline(
+                &ring,
+                packing,
+                n,
+                &to_ring(&ring, &blk.w1),
+                &sys.he,
+                &encoder,
+                &eval,
+                &gk,
+                t,
+                &mut rng,
+            );
+            let w2_rs = hgs::server_offline(
+                &ring,
+                packing,
+                n,
+                &to_ring(&ring, &blk.w2),
+                &sys.he,
+                &encoder,
+                &eval,
+                &gk,
+                t,
+                &mut rng,
+            );
+            timer.absorb(&mut steps, StepCategory::Others, true);
+            BlockServer { qkv_rs, score_pre, av_pre, wo_rs, w1_rs, w2_rs }
+        })
+        .collect();
+    let cls_rs = hgs::server_offline(
+        &ring,
+        packing,
+        1,
+        &to_ring(&ring, &fixed.classifier),
+        &sys.he,
+        &encoder,
+        &eval,
+        &gk,
+        t,
+        &mut rng,
+    );
+    timer.absorb(&mut steps, StepCategory::Others, true);
+
+    // GC offline.
+    let mut gc_sessions: Vec<GcServerStep> = circuits
+        .iter()
+        .map(|c| GcServerStep::offline(c, mode, &group, t, &mut rng))
+        .collect();
+    timer.absorb(&mut steps, StepCategory::Others, true);
+    let he_offline = eval.counts();
+
+    let mut gc_iter = 0usize;
+    let mut run_gc = |t: &dyn Transport, vals: &[u64]| -> Vec<u64> {
+        let circuit = &circuits[gc_iter];
+        let session =
+            std::mem::replace(&mut gc_sessions[gc_iter], GcServerStep::offline_noop());
+        gc_iter += 1;
+        let out = session.online(circuit, t, &ring_words_to_bits(vals, rb));
+        bits_to_ring_words(&out, rb)
+    };
+
+    // ---- Online ----
+    let u0 = wire::recv_matrix(t);
+    // Embed / combined online + GC.
+    let (mut u_x, mut u_q, mut u_k, mut u_v);
+    if variant.combined() {
+        let aq = to_ring(&ring, &cw.a_q);
+        let ak = to_ring(&ring, &cw.a_k);
+        let av = to_ring(&ring, &cw.a_v);
+        let lam_q = lambda_scaled(&ring, &cw.lam_q, frac);
+        let lam_k = lambda_scaled(&ring, &cw.lam_k, frac);
+        let lam_v = lambda_scaled(&ring, &cw.lam_v, frac);
+        let raw_e = chgs::server_online(&ring, &u0, &we, &embed_rs[0], &lam);
+        let raw_q = chgs::server_online(&ring, &u0, &aq, &embed_rs[1], &lam_q);
+        let raw_k = chgs::server_online(&ring, &u0, &ak, &embed_rs[2], &lam_k);
+        let raw_v = chgs::server_online(&ring, &u0, &av, &embed_rs[3], &lam_v);
+        let mut vals = Vec::new();
+        for m in [&raw_e, &raw_q, &raw_k, &raw_v] {
+            vals.extend_from_slice(m.as_slice());
+        }
+        let out = run_gc(t, &vals);
+        let nd = n * d;
+        u_x = MatZ::from_vec(n, d, out[..nd].to_vec());
+        u_q = MatZ::from_vec(n, d, out[nd..2 * nd].to_vec());
+        u_k = MatZ::from_vec(n, d, out[2 * nd..3 * nd].to_vec());
+        u_v = MatZ::from_vec(n, d, out[3 * nd..].to_vec());
+        timer.absorb(&mut steps, StepCategory::QxK, false);
+    } else {
+        let raw = chgs::server_online(&ring, &u0, &we, &embed_rs[0], &lam);
+        let out = run_gc(t, raw.as_slice());
+        u_x = MatZ::from_vec(n, d, out);
+        (u_q, u_k, u_v) = (u_x.clone(), u_x.clone(), u_x.clone()); // placeholders
+        timer.absorb(&mut steps, StepCategory::Embed, false);
+    }
+
+    for b in 0..cfg.n_blocks {
+        let bs = &bservers[b];
+        let blk = &fixed.blocks[b];
+        if let Some(rs) = &bs.qkv_rs {
+            let raw_q = hgs::server_online(&ring, &u_x, &to_ring(&ring, &blk.wq), &rs[0]);
+            let raw_k = hgs::server_online(&ring, &u_x, &to_ring(&ring, &blk.wk), &rs[1]);
+            let raw_v = hgs::server_online(&ring, &u_x, &to_ring(&ring, &blk.wv), &rs[2]);
+            let mut vals = Vec::new();
+            for m in [&raw_q, &raw_k, &raw_v] {
+                vals.extend_from_slice(m.as_slice());
+            }
+            let out = run_gc(t, &vals);
+            let nd = n * d;
+            u_q = MatZ::from_vec(n, d, out[..nd].to_vec());
+            u_k = MatZ::from_vec(n, d, out[nd..2 * nd].to_vec());
+            u_v = MatZ::from_vec(n, d, out[2 * nd..].to_vec());
+            timer.absorb(&mut steps, StepCategory::Qkv, false);
+        }
+        // Scores (FHGS) per head.
+        let mut score_vals = Vec::new();
+        for h in 0..heads {
+            let ua = column_slice(&u_q, h * dh, dh);
+            let ub = column_slice(&u_k, h * dh, dh).transpose();
+            let share =
+                fhgs::server_online(&bs.score_pre[h], &ring, &ua, &ub, &encoder, &eval, &gk, t);
+            score_vals.extend_from_slice(share.as_slice());
+        }
+        timer.absorb(&mut steps, StepCategory::QxK, false);
+        let probs_out = run_gc(t, &score_vals);
+        let mut u_probs: Vec<MatZ> = Vec::with_capacity(heads);
+        for h in 0..heads {
+            u_probs.push(MatZ::from_vec(n, n, probs_out[h * n * n..(h + 1) * n * n].to_vec()));
+        }
+        timer.absorb(&mut steps, StepCategory::Softmax, false);
+        // AV (FHGS) per head.
+        let mut av_vals = Vec::new();
+        for h in 0..heads {
+            let ub = column_slice(&u_v, h * dh, dh);
+            let share =
+                fhgs::server_online(&bs.av_pre[h], &ring, &u_probs[h], &ub, &encoder, &eval, &gk, t);
+            av_vals.extend_from_slice(share.as_slice());
+        }
+        let av_out = run_gc(t, &av_vals);
+        // Reassemble per-head segments into (n × d).
+        let mut u_av = MatZ::zeros(n, d);
+        for h in 0..heads {
+            let seg = &av_out[h * n * dh..(h + 1) * n * dh];
+            for i in 0..n {
+                for c in 0..dh {
+                    u_av[(i, h * dh + c)] = seg[i * dh + c];
+                }
+            }
+        }
+        timer.absorb(&mut steps, StepCategory::AttnValue, false);
+        // WO → LN1.
+        let raw_attn = hgs::server_online(&ring, &u_av, &to_ring(&ring, &blk.wo), &bs.wo_rs);
+        let mut ln1_vals = raw_attn.as_slice().to_vec();
+        ln1_vals.extend_from_slice(u_x.as_slice());
+        let u_ln1 = MatZ::from_vec(n, d, run_gc(t, &ln1_vals));
+        // W1 → GELU.
+        let raw_ff1 = hgs::server_online(&ring, &u_ln1, &to_ring(&ring, &blk.w1), &bs.w1_rs);
+        let u_gelu = MatZ::from_vec(n, dff, run_gc(t, raw_ff1.as_slice()));
+        // W2 → LN2.
+        let raw_ff2 = hgs::server_online(&ring, &u_gelu, &to_ring(&ring, &blk.w2), &bs.w2_rs);
+        let mut ln2_vals = raw_ff2.as_slice().to_vec();
+        ln2_vals.extend_from_slice(u_ln1.as_slice());
+        u_x = MatZ::from_vec(n, d, run_gc(t, &ln2_vals));
+        timer.absorb(&mut steps, StepCategory::Others, false);
+    }
+
+    // Classifier.
+    let u_cls = MatZ::from_fn(1, d, |_, j| u_x[(0, j)]);
+    let raw_cls =
+        hgs::server_online(&ring, &u_cls, &to_ring(&ring, &fixed.classifier), &cls_rs);
+    wire::send_matrix(t, &raw_cls);
+    timer.absorb(&mut steps, StepCategory::Others, false);
+
+    let he_online = eval.counts().since(&he_offline);
+    (steps, he_offline, he_online)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+    use primer_math::rng::seeded;
+    use primer_nn::{FixedTransformer, TransformerConfig, TransformerWeights};
+
+    fn engine_for(variant: ProtocolVariant) -> Engine {
+        let cfg = TransformerConfig::test_tiny();
+        let sys = SystemConfig::test_profile(&cfg).expect("profile");
+        let weights = TransformerWeights::random(&cfg, &mut seeded(400));
+        let fixed = FixedTransformer::quantize(&cfg, &weights, sys.pipeline);
+        Engine::new(sys, variant, fixed, GcMode::Simulated, 401)
+    }
+
+    #[test]
+    fn fp_variant_matches_reference_bit_exactly() {
+        let engine = engine_for(ProtocolVariant::Fp);
+        let report = engine.run(&[3, 17, 0, 29]);
+        assert!(
+            report.matches_plaintext_reference(),
+            "private {:?} != reference {:?}",
+            report.logits,
+            report.reference_logits
+        );
+        assert!(report.gc_and_gates > 0);
+        assert!(report.traffic.total_bytes() > 0);
+    }
+
+    #[test]
+    fn f_variant_matches_reference_bit_exactly() {
+        let engine = engine_for(ProtocolVariant::F);
+        let report = engine.run(&[5, 5, 30, 1]);
+        assert!(report.matches_plaintext_reference());
+        // Offline phase carries the heavy HE work; online must be light.
+        assert!(report.he_ops_offline.rotations > 0);
+        assert!(
+            report.he_ops_online.rotations < report.he_ops_offline.rotations,
+            "online rotations {} vs offline {}",
+            report.he_ops_online.rotations,
+            report.he_ops_offline.rotations
+        );
+    }
+
+    #[test]
+    fn fpc_variant_matches_combined_reference() {
+        let engine = engine_for(ProtocolVariant::Fpc);
+        let report = engine.run(&[9, 2, 31, 12]);
+        assert!(
+            report.matches_plaintext_reference(),
+            "private {:?} != combined reference {:?}",
+            report.logits,
+            report.reference_logits
+        );
+        // CHGS removes the Embed and QKV offline categories entirely.
+        let (embed_off, _) = report.steps.get(StepCategory::Embed);
+        let (qkv_off, _) = report.steps.get(StepCategory::Qkv);
+        assert_eq!(embed_off.bytes, 0, "embed bytes must fold into QxK");
+        assert_eq!(qkv_off.bytes, 0, "qkv bytes must fold into QxK");
+    }
+
+    #[test]
+    fn base_variant_folds_everything_online() {
+        let engine = engine_for(ProtocolVariant::Base);
+        let report = engine.run(&[1, 2, 3, 4]);
+        assert!(report.matches_plaintext_reference());
+        assert_eq!(report.steps.offline_total().bytes, 0);
+        assert!(report.steps.online_total().bytes > 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! The Fully-HGS (FHGS) protocol (Fig. 5): Beaver-style support for the
+//! ciphertext–ciphertext products of attention (`X_Q·X_Kᵀ`,
+//! `SoftMax·X_V`) using **additive-only** HE.
+//!
+//! For a product `A·B` (`A: n×k` client-masked by `R_a`, `B: k×m` masked
+//! by `R_b`, server holding `U_a = A−R_a`, `U_b = B−R_b`):
+//!
+//! ```text
+//! A·B = U_a·U_b + U_a·R_b + R_a·U_b + R_a·R_b
+//! ```
+//!
+//! Offline, the client ships `Enc(R_a)`, `Enc(R_bᵀ)` and `Enc(R_a·R_b)`
+//! (it knows both masks, so the "triple" needs no ct–ct multiply — the
+//! paper's key observation). Online, the server computes
+//!
+//! * `E1 = matmul(Enc(R_a), U_b) + Enc(R_a·R_b) + encode(U_a·U_b) − R_s1`
+//! * `E2 = matmul(Enc(R_bᵀ), U_aᵀ) − R_s2`  (the transpose of `U_a·R_b`)
+//!
+//! and sends both. The client decrypts and assembles its share as
+//! `dec(E1) + dec(E2)ᵀ` — the transpose happens **in plaintext at the
+//! client**, avoiding expensive slot-permuting rotations; the server's
+//! share is `R_s1 + R_s2ᵀ`. Both decryptions are masked, so the client
+//! learns nothing beyond its share.
+
+use crate::hgs::{add_plain_matrix, sub_plain_matrix};
+use crate::packing::{
+    encrypt_matrix, encrypt_matrix_in_layout, matmul_out_layout, matmul_plain_weights, Packing,
+    PackedMatrix,
+};
+use crate::wire::{recv_packed, send_packed};
+use primer_he::{BatchEncoder, Encryptor, Evaluator, GaloisKeys, HeContext};
+use primer_math::{MatZ, Ring};
+use primer_net::Transport;
+use rand::Rng;
+
+/// Shapes of one FHGS product `A (n×k) · B (k×m)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FhgsDims {
+    /// Rows of A.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Columns of B.
+    pub m: usize,
+}
+
+/// Client-side precomputed state.
+#[derive(Debug, Clone)]
+pub struct FhgsClient {
+    /// Mask for A.
+    pub rc_a: MatZ,
+    /// Mask for B.
+    pub rc_b: MatZ,
+    dims: FhgsDims,
+}
+
+/// Server-side precomputed state.
+#[derive(Debug)]
+pub struct FhgsServer {
+    enc_rc_a: PackedMatrix,
+    enc_rc_bt: PackedMatrix,
+    enc_ab: PackedMatrix,
+    rs1: MatZ,
+    rs2: MatZ,
+    dims: FhgsDims,
+}
+
+/// Client offline: samples masks and ships the encrypted triple.
+#[allow(clippy::too_many_arguments)]
+pub fn client_offline<R: Rng + ?Sized>(
+    ring: &Ring,
+    packing: Packing,
+    dims: FhgsDims,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+    transport: &dyn Transport,
+    rng: &mut R,
+) -> FhgsClient {
+    let rc_a = MatZ::random(ring, dims.n, dims.k, rng);
+    let rc_b = MatZ::random(ring, dims.k, dims.m, rng);
+    client_offline_with_masks(ring, packing, rc_a, rc_b, encoder, encryptor, transport)
+}
+
+/// Client offline with externally chosen masks (the masks under which the
+/// upstream GC steps re-share `A` and `B`).
+pub fn client_offline_with_masks(
+    ring: &Ring,
+    packing: Packing,
+    rc_a: MatZ,
+    rc_b: MatZ,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+    transport: &dyn Transport,
+) -> FhgsClient {
+    assert_eq!(rc_a.cols(), rc_b.rows(), "mask inner dimensions");
+    let dims = FhgsDims { n: rc_a.rows(), k: rc_a.cols(), m: rc_b.cols() };
+    let simd = encoder.row_size();
+    send_packed(transport, &encrypt_matrix(packing, &rc_a, encoder, encryptor));
+    send_packed(transport, &encrypt_matrix(packing, &rc_b.transpose(), encoder, encryptor));
+    // Enc(R_a·R_b) must align slot-for-slot with the matmul output of
+    // Enc(R_a)·U_b, so it is encrypted in that product's layout.
+    let prod_layout = matmul_out_layout(packing, dims.n, dims.k, dims.m, simd);
+    let ab = rc_a.matmul(ring, &rc_b);
+    send_packed(transport, &encrypt_matrix_in_layout(prod_layout, &ab, encoder, encryptor));
+    FhgsClient { rc_a, rc_b, dims }
+}
+
+/// Server offline: receives the triple, samples output masks.
+pub fn server_offline<R: Rng + ?Sized>(
+    ring: &Ring,
+    packing: Packing,
+    dims: FhgsDims,
+    ctx: &HeContext,
+    encoder: &BatchEncoder,
+    transport: &dyn Transport,
+    rng: &mut R,
+) -> FhgsServer {
+    let simd = encoder.row_size();
+    let enc_rc_a = recv_packed(
+        transport,
+        ctx,
+        crate::packing::Layout::plan(packing, dims.n, dims.k, simd),
+    );
+    let enc_rc_bt = recv_packed(
+        transport,
+        ctx,
+        crate::packing::Layout::plan(packing, dims.m, dims.k, simd),
+    );
+    let enc_ab =
+        recv_packed(transport, ctx, matmul_out_layout(packing, dims.n, dims.k, dims.m, simd));
+    let rs1 = MatZ::random(ring, dims.n, dims.m, rng);
+    let rs2 = MatZ::random(ring, dims.m, dims.n, rng);
+    FhgsServer { enc_rc_a, enc_rc_bt, enc_ab, rs1, rs2, dims }
+}
+
+/// Server online: two ct–pt matmuls plus plaintext work; returns the
+/// server's share `R_s1 + R_s2ᵀ`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or missing Galois keys (engine setup bugs).
+pub fn server_online(
+    server: &FhgsServer,
+    ring: &Ring,
+    ua: &MatZ,
+    ub: &MatZ,
+    encoder: &BatchEncoder,
+    eval: &Evaluator,
+    keys: &GaloisKeys,
+    transport: &dyn Transport,
+) -> MatZ {
+    let dims = server.dims;
+    assert_eq!(ua.shape(), (dims.n, dims.k), "U_a shape");
+    assert_eq!(ub.shape(), (dims.k, dims.m), "U_b shape");
+    // E1 = Enc(R_a)·U_b + Enc(R_a·R_b) + encode(U_a·U_b) − R_s1.
+    let t3 = matmul_plain_weights(&server.enc_rc_a, ub, eval, encoder, keys)
+        .expect("galois keys provisioned");
+    assert_eq!(t3.layout, server.enc_ab.layout, "triple layout mismatch");
+    let mut e1_cts = Vec::with_capacity(t3.cts.len());
+    for (a, b) in t3.cts.iter().zip(&server.enc_ab.cts) {
+        e1_cts.push(eval.add(a, b));
+    }
+    let e1 = PackedMatrix { layout: t3.layout.clone(), cts: e1_cts };
+    let uaub = ua.matmul(ring, ub);
+    let e1 = add_plain_matrix(&e1, &uaub, eval, encoder);
+    let e1 = sub_plain_matrix(&e1, &server.rs1, eval, encoder);
+    send_packed(transport, &e1);
+    // E2 = Enc(R_bᵀ)·U_aᵀ − R_s2  (= (U_a·R_b)ᵀ − R_s2).
+    let y = matmul_plain_weights(&server.enc_rc_bt, &ua.transpose(), eval, encoder, keys)
+        .expect("galois keys provisioned");
+    let e2 = sub_plain_matrix(&y, &server.rs2, eval, encoder);
+    send_packed(transport, &e2);
+    server.rs1.add(ring, &server.rs2.transpose())
+}
+
+/// Client online: decrypts both flights and assembles its share
+/// `dec(E1) + dec(E2)ᵀ` (plaintext transpose).
+pub fn client_online(
+    client: &FhgsClient,
+    ring: &Ring,
+    packing: Packing,
+    ctx: &HeContext,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+    transport: &dyn Transport,
+) -> MatZ {
+    let dims = client.dims;
+    let simd = encoder.row_size();
+    let e1 = recv_packed(transport, ctx, matmul_out_layout(packing, dims.n, dims.k, dims.m, simd));
+    let e2 = recv_packed(transport, ctx, matmul_out_layout(packing, dims.m, dims.k, dims.n, simd));
+    let a1 = crate::packing::decrypt_matrix(&e1, encoder, encryptor);
+    let y = crate::packing::decrypt_matrix(&e2, encoder, encryptor);
+    a1.add(ring, &y.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primer_he::{HeParams, KeyGenerator};
+    use primer_math::rng::seeded;
+    use primer_net::run_two_party;
+    use std::sync::Arc;
+
+    /// End-to-end FHGS: shares reconstruct A·B exactly with additive-only
+    /// HE (no ct–ct multiplications ever issued).
+    #[test]
+    fn fhgs_shares_reconstruct_ct_ct_product() {
+        for packing in [Packing::TokensFirst, Packing::FeatureBased] {
+            let ctx = HeContext::new(HeParams::toy());
+            let ring = Ring::new(ctx.params().t());
+            let mut rng = seeded(250);
+            let kg = KeyGenerator::new(&ctx, &mut rng);
+            let sk = kg.secret_key().clone();
+            let simd = ctx.params().row_size();
+            let keys = Arc::new(kg.galois_keys_pow2(
+                &[1, 4, 8, simd - 1, simd - 4, simd - 8],
+                false,
+                &mut rng,
+            ));
+            let dims = FhgsDims { n: 4, k: 6, m: 5 };
+            let a = MatZ::from_fn(dims.n, dims.k, |i, j| ((i * 13 + j * 3) % 50) as u64);
+            let b = MatZ::from_fn(dims.k, dims.m, |i, j| ((i * 7 + j * 17) % 50) as u64);
+
+            let (ctx_c, ctx_s) = (ctx.clone(), ctx.clone());
+            let (a_c, b_c) = (a.clone(), b.clone());
+            let (a_s, b_s) = (a.clone(), b.clone());
+            let keys_s = Arc::clone(&keys);
+
+            let (client_share, server_share, _) = run_two_party(
+                move |t| {
+                    let encoder = BatchEncoder::new(&ctx_c);
+                    let encryptor = Encryptor::new(&ctx_c, sk, 251);
+                    let ring = Ring::new(ctx_c.params().t());
+                    let pre = client_offline(
+                        &ring, packing, dims, &encoder, &encryptor, &t, &mut seeded(252),
+                    );
+                    // Online: server must hold U_a, U_b.
+                    let ua = a_c.sub(&ring, &pre.rc_a);
+                    let ub = b_c.sub(&ring, &pre.rc_b);
+                    crate::wire::send_matrix(&t, &ua);
+                    crate::wire::send_matrix(&t, &ub);
+                    client_online(&pre, &ring, packing, &ctx_c, &encoder, &encryptor, &t)
+                },
+                move |t| {
+                    let encoder = BatchEncoder::new(&ctx_s);
+                    let eval = Evaluator::new(&ctx_s);
+                    let ring = Ring::new(ctx_s.params().t());
+                    let pre = server_offline(
+                        &ring, packing, dims, &ctx_s, &encoder, &t, &mut seeded(253),
+                    );
+                    let ua = crate::wire::recv_matrix(&t);
+                    let ub = crate::wire::recv_matrix(&t);
+                    let share =
+                        server_online(&pre, &ring, &ua, &ub, &encoder, &eval, &keys_s, &t);
+                    // FHGS never multiplies two ciphertexts.
+                    assert_eq!(eval.counts().mul_ct, 0);
+                    let _ = (a_s, b_s);
+                    share
+                },
+            );
+            let got = client_share.add(&ring, &server_share);
+            assert_eq!(got, a.matmul(&ring, &b), "{packing:?}");
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! Garbled-circuit step modules: share reconstruction, the non-polynomial
+//! function, and re-sharing — the `F(X·W) − R_c[i+1]` module of Fig. 4.
+//!
+//! Circuit semantics are pinned to `primer_nn::FixedTransformer`'s
+//! reference operations (which in turn call `primer_math::fxp`), so the
+//! private pipeline is bit-exact against the plaintext fixed-point model.
+//!
+//! Two execution modes:
+//! * [`GcMode::Garbled`] — real half-gates garbling + IKNP OTs,
+//! * [`GcMode::Simulated`] — plain circuit evaluation with wire traffic
+//!   padded to the exact garbled sizes (for fast tests and large sweeps;
+//!   the circuits themselves are identical).
+
+use primer_gc::arith::{add_mod, lift_centered, relu, ring_bits, ring_embed, saturate, sub_mod};
+use primer_gc::builder::{Bit, CircuitBuilder, Word};
+use primer_gc::nonlinear as gcnl;
+use primer_gc::{Circuit, EvaluatorSession, GarblerSession, GcNumCfg, OtGroup};
+use primer_math::fxp;
+use primer_net::Transport;
+use primer_nn::PipelineSpec;
+use rand::Rng;
+
+/// Which non-polynomial step a circuit implements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GcStepKind {
+    /// Truncate raw (double-scale) products back to the value format.
+    TruncSat {
+        /// Number of matrix elements.
+        elems: usize,
+    },
+    /// Truncate then ReLU (kept for ablations; BERT uses GELU).
+    Relu {
+        /// Number of matrix elements.
+        elems: usize,
+    },
+    /// Truncate then GELU (feed-forward activation).
+    Gelu {
+        /// Number of matrix elements.
+        elems: usize,
+    },
+    /// Row-wise SoftMax over raw attention scores, with the 1/√n
+    /// pre-scale folded in.
+    Softmax {
+        /// Rows (queries).
+        rows: usize,
+        /// Columns (keys).
+        cols: usize,
+        /// `const_q(1/√n, gc_frac)`.
+        prescale: i64,
+    },
+    /// Truncate attention output, add the residual stream, LayerNorm.
+    LayerNormResidual {
+        /// Rows (tokens).
+        rows: usize,
+        /// Columns (hidden width).
+        cols: usize,
+        /// γ at GC scale.
+        gamma: Vec<i64>,
+        /// β at GC scale.
+        beta: Vec<i64>,
+    },
+}
+
+impl GcStepKind {
+    /// Primary input elements (shares held by both parties).
+    pub fn elems(&self) -> usize {
+        match self {
+            GcStepKind::TruncSat { elems }
+            | GcStepKind::Relu { elems }
+            | GcStepKind::Gelu { elems } => *elems,
+            GcStepKind::Softmax { rows, cols, .. } => rows * cols,
+            GcStepKind::LayerNormResidual { rows, cols, .. } => rows * cols,
+        }
+    }
+
+    /// Whether the step also consumes residual-stream shares.
+    pub fn has_residual(&self) -> bool {
+        matches!(self, GcStepKind::LayerNormResidual { .. })
+    }
+}
+
+/// Builds the step circuit. Garbler (client) inputs: primary shares,
+/// then optional residual shares, then fresh output masks. Evaluator
+/// (server) inputs: its matching shares. Outputs: the server's next-layer
+/// share (the function result minus the client mask, mod t).
+pub fn build_step_circuit(kind: &GcStepKind, spec: &PipelineSpec, gc: GcNumCfg) -> Circuit {
+    let t = spec.ring.modulus();
+    let rb = ring_bits(t);
+    let w = gc.width;
+    let n = kind.elems();
+    let mut b = CircuitBuilder::new();
+
+    // Input declaration order must match `client_bits` / `server_bits`.
+    let share_c: Vec<Word> = (0..n).map(|_| b.garbler_input(rb)).collect();
+    let res_c: Vec<Word> =
+        (0..if kind.has_residual() { n } else { 0 }).map(|_| b.garbler_input(rb)).collect();
+    let masks: Vec<Word> = (0..n).map(|_| b.garbler_input(rb)).collect();
+    let share_s: Vec<Word> = (0..n).map(|_| b.evaluator_input(rb)).collect();
+    let res_s: Vec<Word> =
+        (0..if kind.has_residual() { n } else { 0 }).map(|_| b.evaluator_input(rb)).collect();
+
+    // Reconstruct and lift every primary element.
+    let lifted: Vec<Word> = share_c
+        .iter()
+        .zip(&share_s)
+        .map(|(c, s)| {
+            let rec = add_mod(&mut b, c, s, t);
+            lift_centered(&mut b, &rec, t, w)
+        })
+        .collect();
+
+    let frac = spec.fixed.frac() as usize;
+    let bits = spec.fixed.bits();
+    let delta = (spec.gc_frac - spec.fixed.frac()) as usize;
+    let trunc_sat = |b: &mut CircuitBuilder, v: &Word| {
+        let shifted = b.shr_arith_const(v, frac);
+        saturate(b, &shifted, bits)
+    };
+
+    let results: Vec<Word> = match kind {
+        GcStepKind::TruncSat { .. } => {
+            lifted.iter().map(|v| trunc_sat(&mut b, v)).collect()
+        }
+        GcStepKind::Relu { .. } => lifted
+            .iter()
+            .map(|v| {
+                let tr = trunc_sat(&mut b, v);
+                relu(&mut b, &tr)
+            })
+            .collect(),
+        GcStepKind::Gelu { .. } => lifted
+            .iter()
+            .map(|v| {
+                let tr = trunc_sat(&mut b, v);
+                let up = b.shl_const(&tr, delta);
+                let g = gcnl::gelu(&mut b, gc, &up);
+                let down = b.shr_arith_const(&g, delta);
+                saturate(&mut b, &down, bits)
+            })
+            .collect(),
+        GcStepKind::Softmax { rows, cols, prescale } => {
+            let shift = spec.gc_frac as i32 - 2 * spec.fixed.frac() as i32;
+            let pre = b.const_word(*prescale, w);
+            let mut out = Vec::with_capacity(rows * cols);
+            for r in 0..*rows {
+                let row: Vec<Word> = (0..*cols)
+                    .map(|c| {
+                        let v = &lifted[r * cols + c];
+                        let shifted = if shift >= 0 {
+                            b.shl_const(v, shift as usize)
+                        } else {
+                            b.shr_arith_const(v, (-shift) as usize)
+                        };
+                        gcnl::mul_q(&mut b, gc, &shifted, &pre)
+                    })
+                    .collect();
+                let probs = gcnl::softmax(&mut b, gc, &row);
+                for p in probs {
+                    let down = b.shr_arith_const(&p, delta);
+                    out.push(saturate(&mut b, &down, bits));
+                }
+            }
+            out
+        }
+        GcStepKind::LayerNormResidual { rows, cols, gamma, beta } => {
+            let mut out = Vec::with_capacity(rows * cols);
+            for r in 0..*rows {
+                let row: Vec<Word> = (0..*cols)
+                    .map(|c| {
+                        let idx = r * cols + c;
+                        let tr = trunc_sat(&mut b, &lifted[idx]);
+                        let rec_x = add_mod(&mut b, &res_c[idx], &res_s[idx], t);
+                        let x_l = lift_centered(&mut b, &rec_x, t, w);
+                        let sum = b.add(&tr, &x_l);
+                        let res = saturate(&mut b, &sum, bits);
+                        b.shl_const(&res, delta)
+                    })
+                    .collect();
+                let normed = gcnl::layer_norm(&mut b, gc, &row, gamma, beta);
+                for v in normed {
+                    let down = b.shr_arith_const(&v, delta);
+                    out.push(saturate(&mut b, &down, bits));
+                }
+            }
+            out
+        }
+    };
+
+    // Re-embed into the ring and subtract the client's fresh mask.
+    let mut outputs: Vec<Bit> = Vec::with_capacity(n * rb);
+    for (res, mask) in results.iter().zip(&masks) {
+        let res_w = b.resize_signed(res, w);
+        let ring_val = ring_embed(&mut b, &res_w, t);
+        let shared = sub_mod(&mut b, &ring_val, mask, t);
+        outputs.extend_from_slice(&shared);
+    }
+    b.build(&outputs)
+}
+
+/// Reference semantics of a step on reconstructed raw values — must agree
+/// with both the circuit and `primer_nn::FixedTransformer`. Input/output
+/// are signed raw values.
+pub fn reference_step(kind: &GcStepKind, spec: &PipelineSpec, raw: &[i64], residual: &[i64]) -> Vec<i64> {
+    let f = spec.fixed;
+    match kind {
+        GcStepKind::TruncSat { .. } => raw.iter().map(|&v| f.truncate_product(v)).collect(),
+        GcStepKind::Relu { .. } => {
+            raw.iter().map(|&v| fxp::relu(f.truncate_product(v))).collect()
+        }
+        GcStepKind::Gelu { .. } => raw
+            .iter()
+            .map(|&v| {
+                let tr = f.truncate_product(v);
+                spec.from_gc(fxp::gelu(spec.to_gc(tr), spec.gc_frac))
+            })
+            .collect(),
+        GcStepKind::Softmax { rows, cols, prescale } => {
+            let mut out = Vec::with_capacity(rows * cols);
+            for r in 0..*rows {
+                let row: Vec<i64> = (0..*cols)
+                    .map(|c| {
+                        fxp::mul_q(spec.product_to_gc(raw[r * cols + c]), *prescale, spec.gc_frac)
+                    })
+                    .collect();
+                for p in fxp::softmax(&row, spec.gc_frac) {
+                    out.push(spec.from_gc(p));
+                }
+            }
+            out
+        }
+        GcStepKind::LayerNormResidual { rows, cols, gamma, beta } => {
+            let inv_n = fxp::const_q(1.0 / *cols as f64, spec.gc_frac);
+            let mut out = Vec::with_capacity(rows * cols);
+            for r in 0..*rows {
+                let row: Vec<i64> = (0..*cols)
+                    .map(|c| {
+                        let idx = r * cols + c;
+                        let res = f.saturate(f.truncate_product(raw[idx]) + residual[idx]);
+                        spec.to_gc(res)
+                    })
+                    .collect();
+                for v in fxp::layer_norm(&row, gamma, beta, inv_n, spec.gc_frac) {
+                    out.push(spec.from_gc(v));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcMode {
+    /// Real garbling + OT.
+    Garbled,
+    /// Plain evaluation with garbled-sized placeholder traffic.
+    Simulated,
+}
+
+/// Packs ring words into circuit input bits.
+pub fn ring_words_to_bits(vals: &[u64], rb: usize) -> Vec<bool> {
+    let mut out = Vec::with_capacity(vals.len() * rb);
+    for &v in vals {
+        for i in 0..rb {
+            out.push((v >> i) & 1 == 1);
+        }
+    }
+    out
+}
+
+/// Unpacks circuit output bits into ring words.
+pub fn bits_to_ring_words(bits: &[bool], rb: usize) -> Vec<u64> {
+    bits.chunks(rb)
+        .map(|chunk| {
+            let mut v = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                if b {
+                    v |= 1 << i;
+                }
+            }
+            v
+        })
+        .collect()
+}
+
+fn pack_bools(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack_bools(bytes: &[u8], len: usize) -> Vec<bool> {
+    (0..len).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect()
+}
+
+/// Wire-size estimates for simulated mode (mirrors what the garbled path
+/// actually ships, so byte metering stays honest).
+fn offline_bytes(circuit: &Circuit) -> usize {
+    // Garbled tables + output decode + IKNP columns (128 columns of
+    // ceil(inputs/128) blocks) + base-OT flights (~128 × 2 × 256B).
+    let tables = circuit.and_count() * 32 + circuit.outputs.len();
+    let iknp = 128 * (circuit.evaluator_inputs as usize).div_ceil(128) * 16;
+    tables + iknp + 128 * 512
+}
+
+fn online_bytes(circuit: &Circuit) -> usize {
+    // Garbler labels + flip bits + OT corrections.
+    circuit.garbler_inputs as usize * 16
+        + (circuit.evaluator_inputs as usize).div_ceil(8)
+        + circuit.evaluator_inputs as usize * 32
+}
+
+/// Client (garbler) half of one step execution.
+#[derive(Debug)]
+pub struct GcClientStep {
+    mode: GcMode,
+    session: Option<GarblerSession>,
+}
+
+impl GcClientStep {
+    /// An already-consumed placeholder (for take-and-replace patterns).
+    pub fn offline_noop() -> Self {
+        Self { mode: GcMode::Simulated, session: None }
+    }
+
+    /// Offline phase: garble (or ship placeholder traffic).
+    pub fn offline<R: Rng + ?Sized>(
+        circuit: &Circuit,
+        mode: GcMode,
+        group: &OtGroup,
+        transport: &dyn Transport,
+        rng: &mut R,
+    ) -> Self {
+        match mode {
+            GcMode::Garbled => {
+                let session = GarblerSession::offline(circuit, group, transport, rng);
+                Self { mode, session: Some(session) }
+            }
+            GcMode::Simulated => {
+                crate::wire::send_placeholder(transport, offline_bytes(circuit));
+                Self { mode, session: None }
+            }
+        }
+    }
+
+    /// Online phase: provide the client's input bits.
+    pub fn online(self, circuit: &Circuit, transport: &dyn Transport, bits: &[bool]) {
+        assert_eq!(bits.len(), circuit.garbler_inputs as usize, "garbler input width");
+        match self.mode {
+            GcMode::Garbled => {
+                self.session.expect("offline ran").online(transport, bits);
+            }
+            GcMode::Simulated => {
+                let mut payload = pack_bools(bits);
+                // Pad to the real online label traffic.
+                payload.resize(payload.len() + online_bytes(circuit), 0);
+                transport.send(payload);
+            }
+        }
+    }
+}
+
+/// Server (evaluator) half of one step execution.
+#[derive(Debug)]
+pub struct GcServerStep {
+    mode: GcMode,
+    session: Option<EvaluatorSession>,
+}
+
+impl GcServerStep {
+    /// An already-consumed placeholder (for take-and-replace patterns).
+    pub fn offline_noop() -> Self {
+        Self { mode: GcMode::Simulated, session: None }
+    }
+
+    /// Offline phase.
+    pub fn offline<R: Rng + ?Sized>(
+        circuit: &Circuit,
+        mode: GcMode,
+        group: &OtGroup,
+        transport: &dyn Transport,
+        rng: &mut R,
+    ) -> Self {
+        match mode {
+            GcMode::Garbled => {
+                let session = EvaluatorSession::offline(circuit, group, transport, rng);
+                Self { mode, session: Some(session) }
+            }
+            GcMode::Simulated => {
+                let _ = transport.recv();
+                Self { mode, session: None }
+            }
+        }
+    }
+
+    /// Online phase: provide the server's input bits; returns outputs.
+    pub fn online(
+        self,
+        circuit: &Circuit,
+        transport: &dyn Transport,
+        bits: &[bool],
+    ) -> Vec<bool> {
+        assert_eq!(bits.len(), circuit.evaluator_inputs as usize, "evaluator input width");
+        match self.mode {
+            GcMode::Garbled => {
+                self.session.expect("offline ran").online(circuit, transport, bits)
+            }
+            GcMode::Simulated => {
+                let payload = transport.recv();
+                let g_bits =
+                    unpack_bools(&payload, circuit.garbler_inputs as usize);
+                circuit.eval_plain(&g_bits, bits)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primer_math::rng::seeded;
+    use primer_math::{FixedSpec, MatZ, Ring};
+    use primer_net::run_two_party;
+    use primer_ss::share_vec;
+
+    fn spec() -> PipelineSpec {
+        PipelineSpec::new(Ring::new((1 << 29) + 11), FixedSpec::new(12, 5), 12)
+    }
+
+    /// Runs a step both in the simulated and garbled modes and checks
+    /// the result against the reference semantics.
+    fn check_step(kind: GcStepKind, raw: Vec<i64>, residual: Vec<i64>, mode: GcMode) {
+        let spec = spec();
+        let gc = GcNumCfg { width: 32, frac: 12 };
+        let ring = spec.ring;
+        let t = ring.modulus();
+        let rb = ring_bits(t);
+        let circuit = build_step_circuit(&kind, &spec, gc);
+        let n = kind.elems();
+
+        // Share the raw inputs (and residuals) between the parties.
+        let mut rng = seeded(300);
+        let raw_ring: Vec<u64> = raw.iter().map(|&v| ring.from_signed(v)).collect();
+        let (c_share, s_share) = share_vec(&ring, &raw_ring, &mut rng);
+        let res_ring: Vec<u64> = residual.iter().map(|&v| ring.from_signed(v)).collect();
+        let (rc_share, rs_share) = share_vec(&ring, &res_ring, &mut rng);
+        let masks = MatZ::random(&ring, 1, n, &mut rng).into_vec();
+
+        // Client bits: shares, [residual shares], masks.
+        let mut client_vals = c_share.clone();
+        if kind.has_residual() {
+            client_vals.extend_from_slice(&rc_share);
+        }
+        client_vals.extend_from_slice(&masks);
+        let client_bits = ring_words_to_bits(&client_vals, rb);
+        let mut server_vals = s_share.clone();
+        if kind.has_residual() {
+            server_vals.extend_from_slice(&rs_share);
+        }
+        let server_bits = ring_words_to_bits(&server_vals, rb);
+
+        let (c1, c2) = (circuit.clone(), circuit.clone());
+        let (_, out_bits, _) = run_two_party(
+            move |tr| {
+                let mut rng = seeded(301);
+                let step =
+                    GcClientStep::offline(&c1, mode, &OtGroup::test_768(), &tr, &mut rng);
+                step.online(&c1, &tr, &client_bits);
+            },
+            move |tr| {
+                let mut rng = seeded(302);
+                let step =
+                    GcServerStep::offline(&c2, mode, &OtGroup::test_768(), &tr, &mut rng);
+                step.online(&c2, &tr, &server_bits)
+            },
+        );
+        let server_out = bits_to_ring_words(&out_bits, rb);
+        // Reconstruct: server share + client mask must equal reference.
+        let want = reference_step(&kind, &spec, &raw, &residual);
+        for i in 0..n {
+            let got = ring.to_signed(ring.add(server_out[i], masks[i]));
+            assert_eq!(got, want[i], "elem {i} ({kind:?}, {mode:?})");
+        }
+    }
+
+    #[test]
+    fn trunc_sat_step_simulated() {
+        let raw: Vec<i64> = vec![0, 1, -1, 1000, -1000, 123_456, -99_999, 32 << 5];
+        check_step(GcStepKind::TruncSat { elems: 8 }, raw, vec![], GcMode::Simulated);
+    }
+
+    #[test]
+    fn trunc_sat_step_garbled() {
+        let raw: Vec<i64> = vec![700, -4096, 88_888, -3];
+        check_step(GcStepKind::TruncSat { elems: 4 }, raw, vec![], GcMode::Garbled);
+    }
+
+    #[test]
+    fn relu_and_gelu_steps_simulated() {
+        let raw: Vec<i64> = vec![5000, -5000, 64, -64, 0, 20_000];
+        check_step(GcStepKind::Relu { elems: 6 }, raw.clone(), vec![], GcMode::Simulated);
+        check_step(GcStepKind::Gelu { elems: 6 }, raw, vec![], GcMode::Simulated);
+    }
+
+    #[test]
+    fn softmax_step_simulated() {
+        // Raw scores at double scale (2·frac = 10 bits).
+        let raw: Vec<i64> =
+            vec![1 << 10, 2 << 10, 0, -(1 << 10), 3 << 10, 1 << 9, -(1 << 9), 1 << 10];
+        let prescale = fxp::const_q(0.5, 12);
+        check_step(
+            GcStepKind::Softmax { rows: 2, cols: 4, prescale },
+            raw,
+            vec![],
+            GcMode::Simulated,
+        );
+    }
+
+    #[test]
+    fn layer_norm_residual_step_simulated() {
+        let raw: Vec<i64> = (0..8).map(|i| (i - 4) << 10).collect();
+        let residual: Vec<i64> = (0..8).map(|i| (8 - i) << 4).collect();
+        let gamma: Vec<i64> = (0..4).map(|i| fxp::const_q(1.0 + i as f64 / 8.0, 12)).collect();
+        let beta: Vec<i64> = (0..4).map(|i| fxp::const_q(i as f64 / 4.0 - 0.5, 12)).collect();
+        check_step(
+            GcStepKind::LayerNormResidual { rows: 2, cols: 4, gamma, beta },
+            raw,
+            residual,
+            GcMode::Simulated,
+        );
+    }
+
+    #[test]
+    fn softmax_step_garbled_matches_simulated_circuit() {
+        let raw: Vec<i64> = vec![1 << 10, 0, -(1 << 9), 2 << 10];
+        let prescale = fxp::const_q(0.5, 12);
+        check_step(
+            GcStepKind::Softmax { rows: 1, cols: 4, prescale },
+            raw,
+            vec![],
+            GcMode::Garbled,
+        );
+    }
+}

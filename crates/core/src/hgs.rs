@@ -1,0 +1,197 @@
+//! The HGS protocol (Fig. 4): offline HE precomputation for
+//! ciphertext–plaintext products `X·W`.
+//!
+//! Offline: the client samples a mask `R_c`, sends `Enc(R_c)`; the server
+//! replies `Enc(R_c·W + R_s)`. Online: the server — which holds `U = X −
+//! R_c` — computes `U·W − R_s` locally, so client (`R_c·W + R_s`) and
+//! server (`U·W − R_s`) hold additive shares of `X·W` with **no encrypted
+//! online computation at all**.
+
+use crate::packing::{
+    encode_matrix_in_layout, encrypt_matrix, matmul_out_layout, matmul_plain_weights, Packing,
+    PackedMatrix,
+};
+use crate::wire::{recv_packed, send_packed};
+use primer_he::{BatchEncoder, Encryptor, Evaluator, GaloisKeys, HeContext};
+use primer_math::{MatZ, Ring};
+use primer_net::Transport;
+use rand::Rng;
+
+/// Client-side result of one HGS offline run.
+#[derive(Debug, Clone)]
+pub struct HgsClient {
+    /// The input mask `R_c` (`rows × in_cols`).
+    pub rc: MatZ,
+    /// The client's share `R_c·W + R_s` of the product.
+    pub share: MatZ,
+}
+
+/// Client offline phase for a `rows × in_cols` input against a
+/// `in_cols × out_cols` server weight matrix.
+#[allow(clippy::too_many_arguments)]
+pub fn client_offline<R: Rng + ?Sized>(
+    ring: &Ring,
+    packing: Packing,
+    rows: usize,
+    in_cols: usize,
+    out_cols: usize,
+    ctx: &HeContext,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+    transport: &dyn Transport,
+    rng: &mut R,
+) -> HgsClient {
+    let rc = MatZ::random(ring, rows, in_cols, rng);
+    client_offline_with_mask(ring, packing, rc, out_cols, ctx, encoder, encryptor, transport)
+}
+
+/// Client offline phase with an externally chosen input mask — used when
+/// the mask must equal an upstream GC step's re-sharing mask.
+#[allow(clippy::too_many_arguments)]
+pub fn client_offline_with_mask(
+    ring: &Ring,
+    packing: Packing,
+    rc: MatZ,
+    out_cols: usize,
+    ctx: &HeContext,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+    transport: &dyn Transport,
+) -> HgsClient {
+    let _ = ring;
+    let (rows, in_cols) = rc.shape();
+    let packed = encrypt_matrix(packing, &rc, encoder, encryptor);
+    send_packed(transport, &packed);
+    let out_layout = matmul_out_layout(packing, rows, in_cols, out_cols, encoder.row_size());
+    let result = recv_packed(transport, ctx, out_layout);
+    let share = crate::packing::decrypt_matrix(&result, encoder, encryptor);
+    HgsClient { rc, share }
+}
+
+/// Server offline phase; returns `R_s` (the server's correction mask).
+///
+/// # Panics
+///
+/// Panics if a required Galois key is missing (engine setup bug).
+pub fn server_offline<R: Rng + ?Sized>(
+    ring: &Ring,
+    packing: Packing,
+    rows: usize,
+    w: &MatZ,
+    ctx: &HeContext,
+    encoder: &BatchEncoder,
+    eval: &Evaluator,
+    keys: &GaloisKeys,
+    transport: &dyn Transport,
+    rng: &mut R,
+) -> MatZ {
+    let in_layout =
+        crate::packing::Layout::plan(packing, rows, w.rows(), encoder.row_size());
+    let packed = recv_packed(transport, ctx, in_layout);
+    let product =
+        matmul_plain_weights(&packed, w, eval, encoder, keys).expect("galois keys provisioned");
+    let rs = MatZ::random(ring, rows, w.cols(), rng);
+    let masked = add_plain_matrix(&product, &rs, eval, encoder);
+    send_packed(transport, &masked);
+    rs
+}
+
+/// Server online phase: the share `U·W − R_s` (pure plaintext work).
+pub fn server_online(ring: &Ring, u: &MatZ, w: &MatZ, rs: &MatZ) -> MatZ {
+    u.matmul(ring, w).sub(ring, rs)
+}
+
+/// `packed + encode(m)` slot-wise (layout-aligned plaintext addition).
+pub fn add_plain_matrix(
+    packed: &PackedMatrix,
+    m: &MatZ,
+    eval: &Evaluator,
+    encoder: &BatchEncoder,
+) -> PackedMatrix {
+    let pts = encode_matrix_in_layout(&packed.layout, m, encoder);
+    let cts = packed.cts.iter().zip(&pts).map(|(ct, pt)| eval.add_plain(ct, pt)).collect();
+    PackedMatrix { layout: packed.layout.clone(), cts }
+}
+
+/// `packed − encode(m)` slot-wise.
+pub fn sub_plain_matrix(
+    packed: &PackedMatrix,
+    m: &MatZ,
+    eval: &Evaluator,
+    encoder: &BatchEncoder,
+) -> PackedMatrix {
+    let pts = encode_matrix_in_layout(&packed.layout, m, encoder);
+    let cts = packed.cts.iter().zip(&pts).map(|(ct, pt)| eval.sub_plain(ct, pt)).collect();
+    PackedMatrix { layout: packed.layout.clone(), cts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primer_he::{HeParams, KeyGenerator};
+    use primer_math::rng::seeded;
+    use primer_net::run_two_party;
+    use std::sync::Arc;
+
+    /// Full HGS: offline + online shares must reconstruct X·W exactly,
+    /// with zero online HE operations.
+    #[test]
+    fn hgs_shares_reconstruct_product() {
+        for packing in [Packing::TokensFirst, Packing::FeatureBased] {
+            let ctx = HeContext::new(HeParams::toy());
+            let ring = Ring::new(ctx.params().t());
+            let mut rng = seeded(240);
+            let kg = KeyGenerator::new(&ctx, &mut rng);
+            let sk = kg.secret_key().clone();
+            let simd = ctx.params().row_size();
+            let keys = Arc::new(kg.galois_keys_pow2(&[1, 4, simd - 1, simd - 4], false, &mut rng));
+
+            let (rows, in_cols, out_cols) = (4usize, 8usize, 6usize);
+            let x = MatZ::from_fn(rows, in_cols, |i, j| ((i * 31 + j * 7) % 40) as u64);
+            let w = MatZ::from_fn(in_cols, out_cols, |i, j| ((i * 5 + j * 11) % 30) as u64);
+
+            let ctx_c = ctx.clone();
+            let ctx_s = ctx.clone();
+            let (w_c, x_c) = (w.clone(), x.clone());
+            let (w_s, x_s) = (w.clone(), x.clone());
+            let keys_s = Arc::clone(&keys);
+
+            let (client_out, server_out, _) = run_two_party(
+                move |t| {
+                    let encoder = BatchEncoder::new(&ctx_c);
+                    let encryptor = Encryptor::new(&ctx_c, sk, 241);
+                    let ring = Ring::new(ctx_c.params().t());
+                    let hgs = client_offline(
+                        &ring, packing, rows, in_cols, out_cols, &ctx_c, &encoder,
+                        &encryptor, &t, &mut seeded(242),
+                    );
+                    // Online: client ships U = X − Rc to the server.
+                    let u = x_c.sub(&ring, &hgs.rc);
+                    crate::wire::send_matrix(&t, &u);
+                    hgs.share
+                },
+                move |t| {
+                    let encoder = BatchEncoder::new(&ctx_s);
+                    let eval = Evaluator::new(&ctx_s);
+                    let ring = Ring::new(ctx_s.params().t());
+                    let rs = server_offline(
+                        &ring, packing, rows, &w_s, &ctx_s, &encoder, &eval, &keys_s, &t,
+                        &mut seeded(243),
+                    );
+                    let offline_ops = eval.counts();
+                    let u = crate::wire::recv_matrix(&t);
+                    let share = server_online(&ring, &u, &w_s, &rs);
+                    let online_ops = eval.counts().since(&offline_ops);
+                    let _ = x_s;
+                    (share, online_ops)
+                },
+            );
+            let (server_share, online_ops) = server_out;
+            let ring2 = Ring::new(ctx.params().t());
+            let reconstructed = client_out.add(&ring2, &server_share);
+            assert_eq!(reconstructed, x.matmul(&ring2, &w_c), "{packing:?}");
+            // The paper's claim: the online phase has no HE operations.
+            assert_eq!(online_ops.total(), 0, "online HE ops must be zero");
+        }
+    }
+}

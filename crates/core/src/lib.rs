@@ -1,0 +1,39 @@
+//! The Primer private-transformer protocols — the paper's contribution.
+//!
+//! * [`packing`] — feature-based vs tokens-first ciphertext packing with
+//!   exact encrypted matmul (Fig. 6),
+//! * [`hgs`] — offline/online split for ciphertext–plaintext products
+//!   (Fig. 4),
+//! * [`fhgs`] — Beaver-style ciphertext–ciphertext products with
+//!   additive-only HE (Fig. 5),
+//! * [`chgs`] — the combined embed+QKV module (Fig. 3d),
+//! * [`gcmod`] — garbled non-polynomial steps, bit-exact against
+//!   `primer_nn::FixedTransformer`,
+//! * [`engine`] — the full client/server inference engine for the Base /
+//!   F / FP / FPC variants,
+//! * [`costmodel`] — analytic extrapolation to paper-scale latencies
+//!   (Tables I–III, Fig. 2) plus the THE-X and GCFormer baselines,
+//! * [`system`], [`stats`], [`wire`] — configuration, Table II
+//!   accounting, transport framing.
+//!
+//! The repository-level integration tests assert the headline invariant:
+//! for every protocol variant, the private inference output equals the
+//! plaintext fixed-point reference **bit for bit**.
+
+pub mod chgs;
+pub mod costmodel;
+pub mod engine;
+pub mod fhgs;
+pub mod gcmod;
+pub mod hgs;
+pub mod packing;
+pub mod stats;
+pub mod system;
+pub mod wire;
+
+pub use costmodel::{gcformer_latency, thex_latency, CostModel, GcGateModel, OpCosts};
+pub use engine::{Engine, InferenceReport, ProtocolVariant};
+pub use gcmod::{GcMode, GcStepKind};
+pub use packing::{matmul_counts, MatmulCounts, Packing};
+pub use stats::{PhaseCost, StepBreakdown, StepCategory};
+pub use system::{ConfigError, OtGroupKind, SystemConfig};

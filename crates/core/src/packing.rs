@@ -1,0 +1,730 @@
+//! Ciphertext packing strategies and encrypted matrix multiplication —
+//! the paper's Figure 6 in executable form.
+//!
+//! Both strategies compute `Enc(X)·W` for an encrypted `r × c` matrix `X`
+//! and a plaintext `c × m` weight matrix `W`, producing exactly the ring
+//! matmul `X·W mod t` (tests assert equality), but with very different
+//! homomorphic rotation counts:
+//!
+//! * **feature-based** (prior work): tokens are laid out row-major, a
+//!   diagonal-method rotation chain of ~`feats_pad` (up to `M`) steps per
+//!   output ciphertext is required;
+//! * **tokens-first** (the paper's contribution): the j-th feature of
+//!   *all* tokens shares one block of `n_pad` slots, so one stride-`n_pad`
+//!   rotation serves every token simultaneously — `M / n_pad` steps.
+//!
+//! Implementation note: accumulation is Horner-style (rotate the
+//! accumulator, multiply fresh ciphertexts by pre-rotated masks). This is
+//! the standard output-rotation formulation; it keeps multiplicative
+//! noise off the rotation chain, which is mandatory at the paper-scale
+//! plaintext modulus. Rotation counts per strategy keep the paper's
+//! `M` vs `M/n` asymmetry (see `counts` functions, which the
+//! implementation `debug_assert`s against).
+
+use primer_he::{BatchEncoder, Ciphertext, Encryptor, Evaluator, GaloisKeys, HeError};
+use primer_math::MatZ;
+
+/// Which packing strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Packing {
+    /// Prior-work feature-major packing (Fig. 6a).
+    FeatureBased,
+    /// The paper's tokens-first packing (Fig. 6b).
+    TokensFirst,
+}
+
+/// Layout metadata of a packed matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Strategy that produced this layout.
+    pub packing: Packing,
+    /// Logical rows (tokens).
+    pub rows: usize,
+    /// Logical columns (features).
+    pub cols: usize,
+    /// SIMD width (slots per batching row).
+    pub simd: usize,
+    /// Tokens-first: padded token count (block stride).
+    /// Feature-based: padded feature width (region size).
+    pub pad: usize,
+    /// Number of ciphertexts.
+    pub num_cts: usize,
+}
+
+impl Layout {
+    /// Computes the layout for a `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix cannot be packed at this SIMD width.
+    pub fn plan(packing: Packing, rows: usize, cols: usize, simd: usize) -> Layout {
+        match packing {
+            Packing::TokensFirst => {
+                let pad = rows.next_power_of_two();
+                assert!(pad <= simd, "padded rows {pad} exceed SIMD width {simd}");
+                let block = simd / pad;
+                let num_cts = cols.div_ceil(block);
+                Layout { packing, rows, cols, simd, pad, num_cts }
+            }
+            Packing::FeatureBased => {
+                let pad = cols.next_power_of_two().min(simd);
+                if pad == simd {
+                    // One token spans ceil(cols/simd) chunk ciphertexts.
+                    let chunks = cols.div_ceil(simd);
+                    Layout { packing, rows, cols, simd, pad, num_cts: rows * chunks }
+                } else {
+                    // Multiple token regions per ciphertext.
+                    let group = simd / pad;
+                    Layout { packing, rows, cols, simd, pad, num_cts: rows.div_ceil(group) }
+                }
+            }
+        }
+    }
+
+    /// Features per ciphertext block (tokens-first).
+    pub fn block(&self) -> usize {
+        debug_assert_eq!(self.packing, Packing::TokensFirst);
+        self.simd / self.pad
+    }
+
+    /// Token regions per ciphertext (feature-based, `pad < simd`).
+    pub fn group(&self) -> usize {
+        debug_assert_eq!(self.packing, Packing::FeatureBased);
+        self.simd / self.pad
+    }
+
+    /// Slot vector (length `simd`) of ciphertext `k` for matrix `x`.
+    fn slots_of(&self, x: &MatZ, k: usize) -> Vec<u64> {
+        let mut slots = vec![0u64; self.simd];
+        match self.packing {
+            Packing::TokensFirst => {
+                let block = self.block();
+                for b in 0..block {
+                    let j = k * block + b;
+                    if j >= self.cols {
+                        break;
+                    }
+                    for i in 0..self.rows {
+                        slots[b * self.pad + i] = x[(i, j)];
+                    }
+                }
+            }
+            Packing::FeatureBased => {
+                if self.pad == self.simd {
+                    let chunks = self.cols.div_ceil(self.simd);
+                    let (i, c) = (k / chunks, k % chunks);
+                    for o in 0..self.simd.min(self.cols - c * self.simd) {
+                        slots[o] = x[(i, c * self.simd + o)];
+                    }
+                } else {
+                    let group = self.group();
+                    let chunks = self.cols.div_ceil(self.pad);
+                    let (z, oc) = (k / chunks, k % chunks);
+                    let col_base = oc * self.pad;
+                    let width = self.pad.min(self.cols - col_base);
+                    for u in 0..group {
+                        let i = z * group + u;
+                        if i >= self.rows {
+                            break;
+                        }
+                        for o in 0..width {
+                            slots[u * self.pad + o] = x[(i, col_base + o)];
+                        }
+                    }
+                }
+            }
+        }
+        slots
+    }
+
+    /// Reads matrix entry `(i, j)` back out of decoded slot vectors.
+    fn read(&self, decoded: &[Vec<u64>], i: usize, j: usize) -> u64 {
+        match self.packing {
+            Packing::TokensFirst => {
+                let block = self.block();
+                decoded[j / block][(j % block) * self.pad + i]
+            }
+            Packing::FeatureBased => {
+                if self.pad == self.simd {
+                    let chunks = self.cols.div_ceil(self.simd);
+                    decoded[i * chunks + j / self.simd][j % self.simd]
+                } else {
+                    // Columns beyond `pad` live in sibling chunk
+                    // ciphertexts (matmul outputs inherit the input pad).
+                    let group = self.group();
+                    let chunks = self.cols.div_ceil(self.pad);
+                    decoded[(i / group) * chunks + j / self.pad]
+                        [(i % group) * self.pad + (j % self.pad)]
+                }
+            }
+        }
+    }
+}
+
+/// A packed, encrypted matrix.
+#[derive(Debug, Clone)]
+pub struct PackedMatrix {
+    /// Layout metadata (public).
+    pub layout: Layout,
+    /// The ciphertexts.
+    pub cts: Vec<Ciphertext>,
+}
+
+impl PackedMatrix {
+    /// Total wire size of the ciphertexts.
+    pub fn serialized_size(&self) -> usize {
+        self.cts.iter().map(Ciphertext::serialized_size).sum()
+    }
+}
+
+/// The layout that [`matmul_plain_weights`] produces for the given input
+/// shape (needed by a decrypting party to interpret received products).
+pub fn matmul_out_layout(
+    packing: Packing,
+    rows: usize,
+    in_cols: usize,
+    out_cols: usize,
+    simd: usize,
+) -> Layout {
+    match packing {
+        Packing::TokensFirst => Layout::plan(packing, rows, out_cols, simd),
+        Packing::FeatureBased => {
+            fb_out_layout(&Layout::plan(packing, rows, in_cols, simd), out_cols)
+        }
+    }
+}
+
+/// Encrypts a ring matrix under the given packing.
+pub fn encrypt_matrix(
+    packing: Packing,
+    x: &MatZ,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+) -> PackedMatrix {
+    let layout = Layout::plan(packing, x.rows(), x.cols(), encoder.row_size());
+    encrypt_matrix_in_layout(layout, x, encoder, encryptor)
+}
+
+/// Encrypts a ring matrix into a caller-specified layout (used when the
+/// ciphertexts must align with a matmul output for later addition).
+pub fn encrypt_matrix_in_layout(
+    layout: Layout,
+    x: &MatZ,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+) -> PackedMatrix {
+    assert_eq!((layout.rows, layout.cols), x.shape(), "layout shape mismatch");
+    let cts = (0..layout.num_cts)
+        .map(|k| encryptor.encrypt(&encoder.encode(&layout.slots_of(x, k))))
+        .collect();
+    PackedMatrix { layout, cts }
+}
+
+/// Encodes a ring matrix as *plaintexts* in a given layout (used by the
+/// server to add its plaintext terms, e.g. `tmp1` or `−Rs`, to matmul
+/// outputs).
+pub fn encode_matrix_in_layout(
+    layout: &Layout,
+    x: &MatZ,
+    encoder: &BatchEncoder,
+) -> Vec<primer_he::Plaintext> {
+    assert_eq!((layout.rows, layout.cols), x.shape(), "layout shape mismatch");
+    (0..layout.num_cts).map(|k| encoder.encode(&layout.slots_of(x, k))).collect()
+}
+
+/// Decrypts a packed matrix of known logical shape.
+pub fn decrypt_matrix(
+    packed: &PackedMatrix,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+) -> MatZ {
+    let decoded: Vec<Vec<u64>> =
+        packed.cts.iter().map(|ct| encoder.decode(&encryptor.decrypt(ct))).collect();
+    MatZ::from_fn(packed.layout.rows, packed.layout.cols, |i, j| {
+        packed.layout.read(&decoded, i, j)
+    })
+}
+
+/// Operation counts of one encrypted matmul (the quantities behind the
+/// paper's Fig. 6 comparison and the cost model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatmulCounts {
+    /// Elementary rotations.
+    pub rotations: u64,
+    /// Plaintext multiplications (incl. multiply-accumulate).
+    pub mul_plain: u64,
+    /// Input ciphertexts.
+    pub in_cts: u64,
+    /// Output ciphertexts.
+    pub out_cts: u64,
+}
+
+/// Output layout produced by a feature-based matmul (regions inherit the
+/// input padding, so it differs from `Layout::plan` of a fresh matrix).
+fn fb_out_layout(in_l: &Layout, out_cols: usize) -> Layout {
+    let simd = in_l.simd;
+    let fp = in_l.pad;
+    let num_cts = if fp == simd {
+        in_l.rows * out_cols.div_ceil(simd)
+    } else {
+        in_l.num_cts * out_cols.div_ceil(fp)
+    };
+    Layout {
+        packing: Packing::FeatureBased,
+        rows: in_l.rows,
+        cols: out_cols,
+        simd,
+        pad: fp,
+        num_cts,
+    }
+}
+
+/// Predicts the op counts of [`matmul_plain_weights`] analytically.
+/// The implementation `debug_assert`s that its real counts match; the
+/// cost model extrapolates paper-scale latency from these formulas.
+pub fn matmul_counts(
+    packing: Packing,
+    rows: usize,
+    cols: usize,
+    out_cols: usize,
+    simd: usize,
+) -> MatmulCounts {
+    let in_l = Layout::plan(packing, rows, cols, simd);
+    let mut c = MatmulCounts { in_cts: in_l.num_cts as u64, ..Default::default() };
+    match packing {
+        Packing::TokensFirst => {
+            let out_l = Layout::plan(packing, rows, out_cols, simd);
+            c.out_cts = out_l.num_cts as u64;
+            let block = in_l.block();
+            for r in 0..out_l.num_cts {
+                let mut b_max: Option<usize> = None;
+                for b in (0..block).rev() {
+                    let mut any = false;
+                    for k in 0..in_l.num_cts {
+                        if tf_mask_nonempty(&in_l, out_cols, k, b, r) {
+                            any = true;
+                            c.mul_plain += 1;
+                        }
+                    }
+                    if any && b_max.is_none() {
+                        b_max = Some(b);
+                    }
+                }
+                c.rotations += b_max.unwrap_or(0) as u64;
+            }
+        }
+        Packing::FeatureBased => {
+            let out_l = fb_out_layout(&in_l, out_cols);
+            c.out_cts = out_l.num_cts as u64;
+            let fp = in_l.pad;
+            if fp == simd {
+                let chunks = cols.div_ceil(simd);
+                let out_chunks = out_cols.div_ceil(simd);
+                c.rotations += (rows * out_chunks * (simd - 1)) as u64;
+                c.mul_plain += (rows * out_chunks * simd * chunks) as u64;
+            } else {
+                let out_chunks = out_cols.div_ceil(fp);
+                let chain_a = cols.min(fp);
+                for _z in 0..in_l.num_cts {
+                    for oc in 0..out_chunks {
+                        let dout_chunk = fp.min(out_cols - oc * fp);
+                        c.rotations += (chain_a - 1) as u64;
+                        c.mul_plain += chain_a as u64;
+                        if dout_chunk > 1 {
+                            c.rotations += (dout_chunk - 1) as u64;
+                            c.mul_plain += (dout_chunk - 1) as u64;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+fn tf_mask_nonempty(in_l: &Layout, out_cols: usize, k: usize, b: usize, r: usize) -> bool {
+    let block = in_l.block();
+    for u in 0..block {
+        let j = k * block + u;
+        if j >= in_l.cols {
+            continue;
+        }
+        let g = r * block + (u + block - b) % block;
+        if g < out_cols {
+            return true;
+        }
+    }
+    false
+}
+
+/// Encrypted × plaintext matrix multiplication: `Enc(X) · W` where `X`
+/// is `rows × cols` (packed) and `W` is `cols × out_cols`.
+///
+/// Returns the packed product and the op counts actually spent.
+///
+/// # Errors
+///
+/// Propagates [`HeError`] if a required Galois key is missing.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn matmul_plain_weights(
+    x: &PackedMatrix,
+    w: &MatZ,
+    eval: &Evaluator,
+    encoder: &BatchEncoder,
+    keys: &GaloisKeys,
+) -> Result<PackedMatrix, HeError> {
+    assert_eq!(x.layout.cols, w.rows(), "inner dimension mismatch");
+    let before = eval.counts();
+    let out = match x.layout.packing {
+        Packing::TokensFirst => tf_matmul(x, w, eval, encoder, keys)?,
+        Packing::FeatureBased => fb_matmul(x, w, eval, encoder, keys)?,
+    };
+    let spent = eval.counts().since(&before);
+    let predicted = matmul_counts(
+        x.layout.packing,
+        x.layout.rows,
+        x.layout.cols,
+        w.cols(),
+        x.layout.simd,
+    );
+    debug_assert_eq!(
+        spent.rotations, predicted.rotations,
+        "rotation count model diverged from implementation"
+    );
+    debug_assert_eq!(
+        spent.mul_plain, predicted.mul_plain,
+        "mul_plain count model diverged from implementation"
+    );
+    Ok(out)
+}
+
+/// Tokens-first matmul (Horner accumulation over stride rotations).
+fn tf_matmul(
+    x: &PackedMatrix,
+    w: &MatZ,
+    eval: &Evaluator,
+    encoder: &BatchEncoder,
+    keys: &GaloisKeys,
+) -> Result<PackedMatrix, HeError> {
+    let in_l = &x.layout;
+    let simd = in_l.simd;
+    let block = in_l.block();
+    let pad = in_l.pad;
+    let out_l = Layout::plan(Packing::TokensFirst, in_l.rows, w.cols(), simd);
+    let mut out_cts = Vec::with_capacity(out_l.num_cts);
+    for r in 0..out_l.num_cts {
+        // Horner over stride rotations: acc ← rot(acc) + y_b, b descending.
+        let mut acc: Option<Ciphertext> = None;
+        for b in (0..block).rev() {
+            if let Some(a) = acc.take() {
+                acc = Some(eval.rotate_rows(&a, pad, keys)?);
+            }
+            // Pre-rotated mask m'_b: feature block u contributes
+            // W[j = k·B+u][g = r·B + (u − b) mod B].
+            let mut step_sum: Option<Ciphertext> = None;
+            for k in 0..in_l.num_cts {
+                if !tf_mask_nonempty(in_l, w.cols(), k, b, r) {
+                    continue;
+                }
+                let mut slots = vec![0u64; simd];
+                for u in 0..block {
+                    let j = k * block + u;
+                    if j >= in_l.cols {
+                        continue;
+                    }
+                    let g = r * block + (u + block - b) % block;
+                    if g >= w.cols() {
+                        continue;
+                    }
+                    for i in 0..in_l.rows {
+                        slots[u * pad + i] = w[(j, g)];
+                    }
+                }
+                let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
+                match &mut step_sum {
+                    None => step_sum = Some(eval.mul_plain(&x.cts[k], &mask)),
+                    Some(s) => eval.mul_plain_accumulate(s, &x.cts[k], &mask),
+                }
+            }
+            acc = match (acc, step_sum) {
+                (None, None) => None,
+                (None, Some(y)) => Some(y),
+                (Some(a), None) => Some(a),
+                (Some(a), Some(y)) => Some(eval.add(&a, &y)),
+            };
+        }
+        out_cts.push(acc.unwrap_or_else(|| eval.zero_ciphertext()));
+    }
+    Ok(PackedMatrix { layout: out_l, cts: out_cts })
+}
+
+/// Feature-based matmul (diagonal method; dual Horner chains when
+/// multiple token regions share a ciphertext).
+fn fb_matmul(
+    x: &PackedMatrix,
+    w: &MatZ,
+    eval: &Evaluator,
+    encoder: &BatchEncoder,
+    keys: &GaloisKeys,
+) -> Result<PackedMatrix, HeError> {
+    let fp = x.layout.pad;
+    if fp == x.layout.simd {
+        fb_matmul_full(x, w, eval, encoder, keys)
+    } else {
+        fb_matmul_grouped(x, w, eval, encoder, keys)
+    }
+}
+
+/// Feature-based, `pad == simd`: each ciphertext is one feature chunk of
+/// one token; a full `simd`-step rotation chain per output ciphertext.
+fn fb_matmul_full(
+    x: &PackedMatrix,
+    w: &MatZ,
+    eval: &Evaluator,
+    encoder: &BatchEncoder,
+    keys: &GaloisKeys,
+) -> Result<PackedMatrix, HeError> {
+    let in_l = &x.layout;
+    let simd = in_l.simd;
+    let chunks = in_l.cols.div_ceil(simd);
+    let out_chunks = w.cols().div_ceil(simd);
+    // Output here uses full-width regions regardless of out width.
+    let mut out_cts = Vec::with_capacity(in_l.rows * out_chunks);
+    for token in 0..in_l.rows {
+        for oc in 0..out_chunks {
+            let mut acc: Option<Ciphertext> = None;
+            for delta in (0..simd).rev() {
+                // m'_delta[u] = W[c·simd + u][oc·simd + (u − delta) mod simd]
+                let mut step_sum: Option<Ciphertext> = None;
+                for c in 0..chunks {
+                    let base = c * simd;
+                    if base >= in_l.cols {
+                        continue;
+                    }
+                    let mut slots = vec![0u64; simd];
+                    for (u, slot) in slots.iter_mut().enumerate() {
+                        let j = base + u;
+                        let g = oc * simd + (u + simd - delta) % simd;
+                        if j < in_l.cols && g < w.cols() {
+                            *slot = w[(j, g)];
+                        }
+                    }
+                    let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
+                    let ct = &x.cts[token * chunks + c];
+                    match &mut step_sum {
+                        None => step_sum = Some(eval.mul_plain(ct, &mask)),
+                        Some(s) => eval.mul_plain_accumulate(s, ct, &mask),
+                    }
+                }
+                let y = step_sum.expect("chunk loop ran");
+                acc = Some(match acc {
+                    None => y,
+                    Some(a) => {
+                        let rotated = eval.rotate_rows(&a, 1, keys)?;
+                        eval.add(&rotated, &y)
+                    }
+                });
+            }
+            out_cts.push(acc.expect("simd > 0"));
+        }
+    }
+    let layout = fb_out_layout(in_l, w.cols());
+    debug_assert_eq!(layout.num_cts, out_cts.len());
+    Ok(PackedMatrix { layout, cts: out_cts })
+}
+
+/// Feature-based, `pad < simd`: several token regions per ciphertext.
+/// Output regions inherit the input region size `fp`; output columns are
+/// chunked by `fp`. Two Horner chains handle positive and negative
+/// feature-output offsets.
+fn fb_matmul_grouped(
+    x: &PackedMatrix,
+    w: &MatZ,
+    eval: &Evaluator,
+    encoder: &BatchEncoder,
+    keys: &GaloisKeys,
+) -> Result<PackedMatrix, HeError> {
+    let in_l = &x.layout;
+    let simd = in_l.simd;
+    let fp = in_l.pad;
+    let group = in_l.group();
+    let feats = in_l.cols;
+    let dout = w.cols();
+    let out_chunks = dout.div_ceil(fp);
+    let mut out_cts = Vec::with_capacity(in_l.num_cts * out_chunks);
+    for z in 0..in_l.num_cts {
+        for oc in 0..out_chunks {
+            let dout_chunk = fp.min(dout - oc * fp);
+            let ct = &x.cts[z];
+            // Chain A: delta = 0..feats: m'[u·fp + o] = W[o][oc·fp + o−delta].
+            let chain_a_len = feats.min(fp);
+            let mut acc_a: Option<Ciphertext> = None;
+            for delta in (0..chain_a_len).rev() {
+                let mut slots = vec![0u64; simd];
+                for u in 0..group {
+                    for o in delta..feats {
+                        let g = o - delta;
+                        if g < dout_chunk {
+                            slots[u * fp + o] = w[(o, oc * fp + g)];
+                        }
+                    }
+                }
+                let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
+                let y = eval.mul_plain(ct, &mask);
+                acc_a = Some(match acc_a {
+                    None => y,
+                    Some(a) => {
+                        let rotated = eval.rotate_rows(&a, 1, keys)?;
+                        eval.add(&rotated, &y)
+                    }
+                });
+            }
+            let mut result = acc_a.expect("chain A non-empty");
+            // Chain B: k = 1..dout_chunk: out[o+k] += in[o]·W[o][o+k],
+            // realized as inverse rotations (step simd−1 chains).
+            if dout_chunk > 1 {
+                let mut acc_b: Option<Ciphertext> = None;
+                for k in (1..dout_chunk).rev() {
+                    let mut slots = vec![0u64; simd];
+                    for u in 0..group {
+                        for o in 0..feats {
+                            let g = o + k;
+                            if g < dout_chunk {
+                                slots[u * fp + o] = w[(o, oc * fp + g)];
+                            }
+                        }
+                    }
+                    let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
+                    let y = eval.mul_plain(ct, &mask);
+                    acc_b = Some(match acc_b {
+                        None => y,
+                        Some(a) => {
+                            let rotated = eval.rotate_rows(&a, simd - 1, keys)?;
+                            eval.add(&rotated, &y)
+                        }
+                    });
+                }
+                if let Some(b_acc) = acc_b {
+                    let rotated = eval.rotate_rows(&b_acc, simd - 1, keys)?;
+                    result = eval.add(&result, &rotated);
+                }
+            }
+            out_cts.push(result);
+        }
+    }
+    let layout = Layout {
+        packing: Packing::FeatureBased,
+        rows: in_l.rows,
+        cols: dout,
+        simd,
+        pad: fp,
+        num_cts: out_cts.len(),
+    };
+    Ok(PackedMatrix { layout, cts: out_cts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primer_he::{HeContext, HeParams, KeyGenerator};
+    use primer_math::rng::seeded;
+    use primer_math::Ring;
+
+    struct Fx {
+        ring: Ring,
+        encoder: BatchEncoder,
+        encryptor: Encryptor,
+        eval: Evaluator,
+        keys: GaloisKeys,
+    }
+
+    fn fixture(stride: usize) -> Fx {
+        let ctx = HeContext::new(HeParams::toy());
+        let encoder = BatchEncoder::new(&ctx);
+        let mut rng = seeded(200);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let encryptor = Encryptor::new(&ctx, kg.secret_key().clone(), 201);
+        let eval = Evaluator::new(&ctx);
+        let simd = ctx.params().row_size();
+        let keys =
+            kg.galois_keys_pow2(&[1, stride, simd - 1, simd - stride], false, &mut rng);
+        Fx { ring: Ring::new(ctx.params().t()), encoder, encryptor, eval, keys }
+    }
+
+    fn small_matrix(ring: &Ring, rows: usize, cols: usize, seed: u64) -> MatZ {
+        // Small signed entries so products stay far from t.
+        let mut rng = seeded(seed);
+        MatZ::from_fn(rows, cols, |_, _| {
+            ring.from_signed(rand::Rng::gen_range(&mut rng, -20i64..=20))
+        })
+    }
+
+    fn check_roundtrip(packing: Packing, rows: usize, cols: usize) {
+        let fx = fixture(rows.next_power_of_two());
+        let x = small_matrix(&fx.ring, rows, cols, 210);
+        let packed = encrypt_matrix(packing, &x, &fx.encoder, &fx.encryptor);
+        let back = decrypt_matrix(&packed, &fx.encoder, &fx.encryptor);
+        assert_eq!(back, x, "{packing:?} {rows}x{cols} roundtrip");
+    }
+
+    #[test]
+    fn roundtrips_both_packings() {
+        for packing in [Packing::TokensFirst, Packing::FeatureBased] {
+            check_roundtrip(packing, 4, 8);
+            check_roundtrip(packing, 3, 17);
+            check_roundtrip(packing, 6, 600); // feature chunking path
+        }
+    }
+
+    fn check_matmul(packing: Packing, rows: usize, cols: usize, out_cols: usize) {
+        let fx = fixture(rows.next_power_of_two());
+        let x = small_matrix(&fx.ring, rows, cols, 220 + out_cols as u64);
+        let w = small_matrix(&fx.ring, cols, out_cols, 221 + cols as u64);
+        let packed = encrypt_matrix(packing, &x, &fx.encoder, &fx.encryptor);
+        let product =
+            matmul_plain_weights(&packed, &w, &fx.eval, &fx.encoder, &fx.keys).expect("keys");
+        let got = decrypt_matrix(&product, &fx.encoder, &fx.encryptor);
+        assert_eq!(got, x.matmul(&fx.ring, &w), "{packing:?} {rows}x{cols}x{out_cols}");
+    }
+
+    #[test]
+    fn tokens_first_matmul_exact() {
+        check_matmul(Packing::TokensFirst, 4, 8, 8);
+        check_matmul(Packing::TokensFirst, 4, 8, 16);
+        check_matmul(Packing::TokensFirst, 3, 10, 5);
+    }
+
+    #[test]
+    fn feature_based_matmul_exact_grouped() {
+        check_matmul(Packing::FeatureBased, 4, 8, 8);
+        check_matmul(Packing::FeatureBased, 4, 8, 16);
+        check_matmul(Packing::FeatureBased, 3, 10, 5);
+    }
+
+    #[test]
+    fn feature_based_matmul_exact_full_width() {
+        // cols padded to the full SIMD width (the big-vocab regime):
+        // use a column count > simd/2 so pad == simd.
+        check_matmul(Packing::FeatureBased, 2, 513, 6);
+    }
+
+    #[test]
+    fn tokens_first_uses_far_fewer_rotations() {
+        // The paper's headline packing claim at matched shapes.
+        let rows = 4;
+        let cols = 300;
+        let out_cols = 16;
+        let simd = 512;
+        let tf = matmul_counts(Packing::TokensFirst, rows, cols, out_cols, simd);
+        let fb = matmul_counts(Packing::FeatureBased, rows, cols, out_cols, simd);
+        assert!(
+            fb.rotations > tf.rotations * (rows as u64),
+            "FB {} vs TF {} rotations",
+            fb.rotations,
+            tf.rotations
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-step timing/traffic accounting in the paper's Table II categories.
+
+use primer_net::{NetworkModel, TrafficSnapshot};
+use std::time::Duration;
+
+/// The six step categories of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StepCategory {
+    /// Word + positional embedding.
+    Embed,
+    /// Q/K/V projections.
+    Qkv,
+    /// The Q×Kᵀ ciphertext–ciphertext product (and, under CHGS, the
+    /// combined embed+QKV module the paper folds into this step).
+    QxK,
+    /// SoftMax (GC).
+    Softmax,
+    /// Attention × V.
+    AttnValue,
+    /// Everything else: output projection, LayerNorms, feed-forward,
+    /// classifier, key material.
+    Others,
+}
+
+impl StepCategory {
+    /// All categories in Table II order.
+    pub fn all() -> [StepCategory; 6] {
+        [
+            StepCategory::Embed,
+            StepCategory::Qkv,
+            StepCategory::QxK,
+            StepCategory::Softmax,
+            StepCategory::AttnValue,
+            StepCategory::Others,
+        ]
+    }
+
+    /// The paper's column header.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StepCategory::Embed => "Embed",
+            StepCategory::Qkv => "QKV",
+            StepCategory::QxK => "QxK",
+            StepCategory::Softmax => "SoftMax",
+            StepCategory::AttnValue => "Atten.Value",
+            StepCategory::Others => "Others",
+        }
+    }
+}
+
+/// Accumulated cost of one category in one phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseCost {
+    /// Wall-clock compute time (both parties, serialized).
+    pub compute: Duration,
+    /// Bytes on the wire.
+    pub bytes: u64,
+    /// Message flights.
+    pub messages: u64,
+}
+
+impl PhaseCost {
+    /// Adds network time under a model: compute + latency/bandwidth.
+    pub fn total_with_network(&self, net: &NetworkModel) -> Duration {
+        self.compute + net.time_for(self.messages, self.bytes)
+    }
+
+    pub(crate) fn absorb(&mut self, elapsed: Duration, traffic: TrafficSnapshot) {
+        self.compute += elapsed;
+        self.bytes += traffic.total_bytes();
+        self.messages += traffic.total_messages();
+    }
+
+    /// Merges another cost into this one.
+    pub fn merge(&mut self, other: &PhaseCost) {
+        self.compute += other.compute;
+        self.bytes += other.bytes;
+        self.messages += other.messages;
+    }
+}
+
+/// Offline + online cost for every category.
+#[derive(Debug, Clone, Default)]
+pub struct StepBreakdown {
+    costs: Vec<(StepCategory, PhaseCost, PhaseCost)>,
+}
+
+impl StepBreakdown {
+    /// Empty breakdown.
+    pub fn new() -> Self {
+        Self { costs: StepCategory::all().iter().map(|&c| (c, PhaseCost::default(), PhaseCost::default())).collect() }
+    }
+
+    /// Mutable (offline, online) entry for a category.
+    pub fn entry(&mut self, cat: StepCategory) -> (&mut PhaseCost, &mut PhaseCost) {
+        let e = self
+            .costs
+            .iter_mut()
+            .find(|(c, _, _)| *c == cat)
+            .expect("all categories present");
+        (&mut e.1, &mut e.2)
+    }
+
+    /// (offline, online) for a category.
+    pub fn get(&self, cat: StepCategory) -> (PhaseCost, PhaseCost) {
+        let e = self.costs.iter().find(|(c, _, _)| *c == cat).expect("present");
+        (e.1, e.2)
+    }
+
+    /// Total offline cost across categories.
+    pub fn offline_total(&self) -> PhaseCost {
+        let mut acc = PhaseCost::default();
+        for (_, off, _) in &self.costs {
+            acc.merge(off);
+        }
+        acc
+    }
+
+    /// Total online cost across categories.
+    pub fn online_total(&self) -> PhaseCost {
+        let mut acc = PhaseCost::default();
+        for (_, _, on) in &self.costs {
+            acc.merge(on);
+        }
+        acc
+    }
+
+    /// Folds all offline cost into online (Primer-base: nothing is
+    /// precomputed, the same work simply runs during inference).
+    pub fn fold_offline_into_online(&mut self) {
+        for (_, off, on) in &mut self.costs {
+            on.merge(&*off);
+            *off = PhaseCost::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_and_folds() {
+        let mut b = StepBreakdown::new();
+        b.entry(StepCategory::Embed).0.absorb(
+            Duration::from_millis(5),
+            TrafficSnapshot { c2s_bytes: 100, c2s_messages: 1, ..Default::default() },
+        );
+        b.entry(StepCategory::Embed).1.absorb(Duration::from_millis(2), Default::default());
+        let (off, on) = b.get(StepCategory::Embed);
+        assert_eq!(off.bytes, 100);
+        assert_eq!(on.compute, Duration::from_millis(2));
+        b.fold_offline_into_online();
+        let (off, on) = b.get(StepCategory::Embed);
+        assert_eq!(off.bytes, 0);
+        assert_eq!(on.bytes, 100);
+        assert_eq!(on.compute, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn network_time_is_added() {
+        let mut c = PhaseCost::default();
+        c.absorb(
+            Duration::from_millis(10),
+            TrafficSnapshot { c2s_bytes: 1_000_000, c2s_messages: 2, ..Default::default() },
+        );
+        let net = NetworkModel::paper_lan();
+        let total = c.total_with_network(&net);
+        // 10ms + 2×2.3ms + 10ms transfer = ~24.6ms
+        assert!(total > Duration::from_millis(24) && total < Duration::from_millis(26));
+    }
+}

@@ -1,0 +1,94 @@
+//! Transport framing for ciphertext batches and ring matrices.
+
+use crate::packing::{Layout, PackedMatrix};
+use primer_he::{Ciphertext, HeContext};
+use primer_math::MatZ;
+use primer_net::Transport;
+
+/// Sends a batch of ciphertexts as one message.
+pub fn send_cts(t: &dyn Transport, cts: &[Ciphertext]) {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(cts.len() as u32).to_le_bytes());
+    for ct in cts {
+        out.extend_from_slice(&ct.to_bytes());
+    }
+    t.send(out);
+}
+
+/// Receives a batch of ciphertexts.
+pub fn recv_cts(t: &dyn Transport, ctx: &HeContext) -> Vec<Ciphertext> {
+    let bytes = t.recv();
+    let count = u32::from_le_bytes(bytes[..4].try_into().expect("count")) as usize;
+    let mut off = 4;
+    (0..count)
+        .map(|_| {
+            let (ct, used) = Ciphertext::from_bytes(ctx, &bytes[off..]);
+            off += used;
+            ct
+        })
+        .collect()
+}
+
+/// Sends a packed matrix (layout is public and known to both sides, so
+/// only the ciphertexts travel).
+pub fn send_packed(t: &dyn Transport, m: &PackedMatrix) {
+    send_cts(t, &m.cts);
+}
+
+/// Receives a packed matrix into a known layout.
+pub fn recv_packed(t: &dyn Transport, ctx: &HeContext, layout: Layout) -> PackedMatrix {
+    let cts = recv_cts(t, ctx);
+    assert_eq!(cts.len(), layout.num_cts, "ciphertext count mismatch for layout");
+    PackedMatrix { layout, cts }
+}
+
+/// Sends a ring matrix in the clear (shares and masked values only!).
+pub fn send_matrix(t: &dyn Transport, m: &MatZ) {
+    let mut out = Vec::with_capacity(16 + m.rows() * m.cols() * 8);
+    out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+    for v in m.iter() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    t.send(out);
+}
+
+/// Receives a ring matrix.
+pub fn recv_matrix(t: &dyn Transport) -> MatZ {
+    let bytes = t.recv();
+    let rows = u32::from_le_bytes(bytes[..4].try_into().expect("rows")) as usize;
+    let cols = u32::from_le_bytes(bytes[4..8].try_into().expect("cols")) as usize;
+    let mut data = Vec::with_capacity(rows * cols);
+    for i in 0..rows * cols {
+        let s = 8 + i * 8;
+        data.push(u64::from_le_bytes(bytes[s..s + 8].try_into().expect("u64")));
+    }
+    MatZ::from_vec(rows, cols, data)
+}
+
+/// Sends `len` placeholder bytes — used to account for one-time material
+/// (Galois keys) that both parties construct locally in-process but that
+/// would travel over the wire in a deployment.
+pub fn send_placeholder(t: &dyn Transport, len: usize) {
+    t.send(vec![0u8; len]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primer_math::rng::seeded;
+    use primer_math::Ring;
+    use primer_net::run_two_party;
+
+    #[test]
+    fn matrix_roundtrip() {
+        let ring = Ring::new(65537);
+        let m = MatZ::random(&ring, 3, 5, &mut seeded(230));
+        let m2 = m.clone();
+        let (got, _, _) = run_two_party(
+            move |t| recv_matrix(&t),
+            move |t| send_matrix(&t, &m2),
+        );
+        assert_eq!(got, m);
+    }
+}

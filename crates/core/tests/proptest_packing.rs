@@ -1,0 +1,76 @@
+//! Property-based test: both packing strategies compute the exact ring
+//! matmul for arbitrary shapes and entries.
+
+use primer_core::packing::{decrypt_matrix, encrypt_matrix, matmul_plain_weights, Packing};
+use primer_he::{BatchEncoder, Encryptor, Evaluator, HeContext, HeParams, KeyGenerator};
+use primer_math::rng::seeded;
+use primer_math::{MatZ, Ring};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+struct Fx {
+    encoder: BatchEncoder,
+    encryptor: Encryptor,
+    eval: Evaluator,
+    keys: primer_he::GaloisKeys,
+    ring: Ring,
+}
+
+thread_local! {
+    static FX: Fx = {
+        let ctx = HeContext::new(HeParams::toy());
+        let encoder = BatchEncoder::new(&ctx);
+        let mut rng = seeded(950);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let encryptor = Encryptor::new(&ctx, kg.secret_key().clone(), 951);
+        let eval = Evaluator::new(&ctx);
+        let simd = ctx.params().row_size();
+        let keys = kg.galois_keys_pow2(
+            &[1, 2, 4, 8, simd - 1, simd - 2, simd - 4, simd - 8],
+            false,
+            &mut rng,
+        );
+        let ring = Ring::new(ctx.params().t());
+        Fx { encoder, encryptor, eval, keys, ring }
+    };
+}
+
+fn with_fixture(
+    body: impl FnOnce(&Fx) -> Result<(), TestCaseError>,
+) -> Result<(), TestCaseError> {
+    FX.with(|fx| body(fx))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Encrypted matmul == plaintext ring matmul, for both packings,
+    /// arbitrary small shapes and values.
+    #[test]
+    fn encrypted_matmul_is_exact(
+        rows in 1usize..6,
+        cols in 1usize..24,
+        out in 1usize..20,
+        seed in 0u64..10_000,
+    ) {
+        with_fixture(|f| {
+            let mut rng = seeded(seed);
+            let x = MatZ::from_fn(rows, cols, |_, _| {
+                f.ring.from_signed(rand::Rng::gen_range(&mut rng, -15i64..=15))
+            });
+            let w = MatZ::from_fn(cols, out, |_, _| {
+                f.ring.from_signed(rand::Rng::gen_range(&mut rng, -15i64..=15))
+            });
+            let want = x.matmul(&f.ring, &w);
+            for packing in [Packing::TokensFirst, Packing::FeatureBased] {
+                let packed = encrypt_matrix(packing, &x, &f.encoder, &f.encryptor);
+                let product =
+                    matmul_plain_weights(&packed, &w, &f.eval, &f.encoder, &f.keys)
+                        .expect("keys provisioned");
+                let got = decrypt_matrix(&product, &f.encoder, &f.encryptor);
+                prop_assert_eq!(&got, &want, "{:?} {}x{}x{}", packing, rows, cols, out);
+            }
+            Ok(())
+        })?;
+    }
+}

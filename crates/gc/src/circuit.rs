@@ -1,0 +1,134 @@
+//! Boolean circuit intermediate representation.
+//!
+//! Gates operate on wire ids; inputs are split between the garbler's and
+//! the evaluator's words. The representation keeps only {XOR, AND, INV}:
+//! XOR and INV are free under free-XOR garbling, AND costs two
+//! ciphertexts (half-gates).
+
+/// Wire identifier.
+pub type WireId = u32;
+
+/// A gate: `out` is implicit (gates are stored in topological order and
+/// gate `k` drives wire `first_gate_wire + k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// `out = a ⊕ b` (free).
+    Xor(WireId, WireId),
+    /// `out = a ∧ b` (2 ciphertexts).
+    And(WireId, WireId),
+    /// `out = ¬a` (free).
+    Inv(WireId),
+}
+
+/// An output bit: either a wire or a constant folded at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutBit {
+    /// Output driven by a wire.
+    Wire(WireId),
+    /// Output is a build-time constant.
+    Const(bool),
+}
+
+/// A complete boolean circuit.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    /// Number of garbler input wires (wires `0..garbler_inputs`).
+    pub garbler_inputs: u32,
+    /// Number of evaluator input wires (following the garbler's).
+    pub evaluator_inputs: u32,
+    /// Gates in topological order.
+    pub gates: Vec<Gate>,
+    /// Output bits.
+    pub outputs: Vec<OutBit>,
+}
+
+impl Circuit {
+    /// Wire id of the first gate-driven wire.
+    #[inline]
+    pub fn first_gate_wire(&self) -> u32 {
+        self.garbler_inputs + self.evaluator_inputs
+    }
+
+    /// Total number of wires.
+    #[inline]
+    pub fn num_wires(&self) -> usize {
+        self.first_gate_wire() as usize + self.gates.len()
+    }
+
+    /// Number of AND gates (the garbling cost driver).
+    pub fn and_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::And(_, _))).count()
+    }
+
+    /// Number of XOR gates (free).
+    pub fn xor_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::Xor(_, _))).count()
+    }
+
+    /// Garbled-table wire size: 2 ciphertexts of 16 bytes per AND gate.
+    pub fn garbled_size_bytes(&self) -> usize {
+        self.and_count() * 32
+    }
+
+    /// Evaluates the circuit in the clear (test oracle for garbling and
+    /// for checking builder gadgets against reference algorithms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input slices have the wrong lengths.
+    pub fn eval_plain(&self, garbler_in: &[bool], evaluator_in: &[bool]) -> Vec<bool> {
+        assert_eq!(garbler_in.len(), self.garbler_inputs as usize, "garbler input len");
+        assert_eq!(evaluator_in.len(), self.evaluator_inputs as usize, "evaluator input len");
+        let mut wires = Vec::with_capacity(self.num_wires());
+        wires.extend_from_slice(garbler_in);
+        wires.extend_from_slice(evaluator_in);
+        for g in &self.gates {
+            let v = match *g {
+                Gate::Xor(a, b) => wires[a as usize] ^ wires[b as usize],
+                Gate::And(a, b) => wires[a as usize] & wires[b as usize],
+                Gate::Inv(a) => !wires[a as usize],
+            };
+            wires.push(v);
+        }
+        self.outputs
+            .iter()
+            .map(|o| match *o {
+                OutBit::Wire(w) => wires[w as usize],
+                OutBit::Const(c) => c,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built 1-bit adder: inputs a (garbler), b (evaluator);
+    /// outputs (sum, carry).
+    fn adder() -> Circuit {
+        Circuit {
+            garbler_inputs: 1,
+            evaluator_inputs: 1,
+            gates: vec![Gate::Xor(0, 1), Gate::And(0, 1)],
+            outputs: vec![OutBit::Wire(2), OutBit::Wire(3)],
+        }
+    }
+
+    #[test]
+    fn truth_table() {
+        let c = adder();
+        assert_eq!(c.eval_plain(&[false], &[false]), vec![false, false]);
+        assert_eq!(c.eval_plain(&[true], &[false]), vec![true, false]);
+        assert_eq!(c.eval_plain(&[false], &[true]), vec![true, false]);
+        assert_eq!(c.eval_plain(&[true], &[true]), vec![false, true]);
+    }
+
+    #[test]
+    fn counts() {
+        let c = adder();
+        assert_eq!(c.and_count(), 1);
+        assert_eq!(c.xor_count(), 1);
+        assert_eq!(c.garbled_size_bytes(), 32);
+    }
+}

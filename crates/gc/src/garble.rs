@@ -1,0 +1,258 @@
+//! Half-gates garbling (Zahur–Rosulek–Evans) with free XOR and free NOT.
+
+use crate::circuit::{Circuit, Gate, OutBit};
+use crate::label::{color, sample_delta, sample_label, GarbleHash, Label};
+use rand::Rng;
+
+/// The garbled tables plus output decode bits — everything shipped to the
+/// evaluator besides input labels.
+#[derive(Debug, Clone)]
+pub struct GarbledCircuit {
+    /// Two ciphertexts per AND gate, in gate order.
+    pub tables: Vec<[u128; 2]>,
+    /// Permute (color) bit of each output wire's zero-label; XOR with the
+    /// evaluated label's color decodes the plaintext output.
+    pub output_decode: Vec<OutDecode>,
+}
+
+/// Decode info for one output bit.
+#[derive(Debug, Clone, Copy)]
+pub enum OutDecode {
+    /// Wire output: stores the color of the FALSE label.
+    Wire {
+        /// Color bit of label-for-false.
+        zero_color: bool,
+    },
+    /// Constant output folded at build time.
+    Const(bool),
+}
+
+/// The garbler's secrets: zero-labels for every input wire and the global
+/// offset Δ (label-for-true = label-for-false ⊕ Δ).
+#[derive(Debug, Clone)]
+pub struct InputEncoding {
+    /// Zero-labels of the garbler's input wires.
+    pub garbler_zero: Vec<Label>,
+    /// Zero-labels of the evaluator's input wires.
+    pub evaluator_zero: Vec<Label>,
+    /// Global free-XOR offset.
+    pub delta: Label,
+}
+
+impl InputEncoding {
+    /// Label for a garbler input bit.
+    pub fn garbler_label(&self, index: usize, bit: bool) -> Label {
+        self.garbler_zero[index] ^ if bit { self.delta } else { 0 }
+    }
+
+    /// Label pair `(false, true)` for an evaluator input wire (fed to OT).
+    pub fn evaluator_pair(&self, index: usize) -> (Label, Label) {
+        let zero = self.evaluator_zero[index];
+        (zero, zero ^ self.delta)
+    }
+}
+
+/// Garbles a circuit; returns the material for the evaluator and the
+/// garbler's input encoding secrets.
+pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> (GarbledCircuit, InputEncoding) {
+    let hash = GarbleHash::new();
+    let delta = sample_delta(rng);
+    let n_inputs = circuit.first_gate_wire() as usize;
+    let mut zero = Vec::with_capacity(circuit.num_wires());
+    for _ in 0..n_inputs {
+        zero.push(sample_label(rng));
+    }
+
+    let mut tables = Vec::with_capacity(circuit.and_count());
+    let mut tweak: u64 = 0;
+    for gate in &circuit.gates {
+        let w0 = match *gate {
+            Gate::Xor(a, b) => zero[a as usize] ^ zero[b as usize],
+            Gate::Inv(a) => zero[a as usize] ^ delta,
+            Gate::And(a, b) => {
+                let (a0, b0) = (zero[a as usize], zero[b as usize]);
+                let (a1, b1) = (a0 ^ delta, b0 ^ delta);
+                let pa = color(a0);
+                let pb = color(b0);
+                let j0 = tweak;
+                let j1 = tweak + 1;
+                tweak += 2;
+                // Garbler half gate.
+                let tg = hash.hash(a0, j0) ^ hash.hash(a1, j0) ^ if pb { delta } else { 0 };
+                let wg = hash.hash(a0, j0) ^ if pa { tg } else { 0 };
+                // Evaluator half gate.
+                let te = hash.hash(b0, j1) ^ hash.hash(b1, j1) ^ a0;
+                let we = hash.hash(b0, j1) ^ if pb { te ^ a0 } else { 0 };
+                tables.push([tg, te]);
+                wg ^ we
+            }
+        };
+        zero.push(w0);
+    }
+
+    let output_decode = circuit
+        .outputs
+        .iter()
+        .map(|o| match *o {
+            OutBit::Wire(w) => OutDecode::Wire { zero_color: color(zero[w as usize]) },
+            OutBit::Const(c) => OutDecode::Const(c),
+        })
+        .collect();
+
+    let encoding = InputEncoding {
+        garbler_zero: zero[..circuit.garbler_inputs as usize].to_vec(),
+        evaluator_zero: zero
+            [circuit.garbler_inputs as usize..n_inputs]
+            .to_vec(),
+        delta,
+    };
+    (GarbledCircuit { tables, output_decode }, encoding)
+}
+
+/// Evaluates a garbled circuit given one label per input wire.
+/// Returns the decoded plaintext outputs.
+///
+/// # Panics
+///
+/// Panics if label counts don't match the circuit.
+pub fn evaluate(
+    circuit: &Circuit,
+    garbled: &GarbledCircuit,
+    garbler_labels: &[Label],
+    evaluator_labels: &[Label],
+) -> Vec<bool> {
+    assert_eq!(garbler_labels.len(), circuit.garbler_inputs as usize, "garbler labels");
+    assert_eq!(evaluator_labels.len(), circuit.evaluator_inputs as usize, "evaluator labels");
+    let hash = GarbleHash::new();
+    let mut wires = Vec::with_capacity(circuit.num_wires());
+    wires.extend_from_slice(garbler_labels);
+    wires.extend_from_slice(evaluator_labels);
+
+    let mut and_idx = 0usize;
+    let mut tweak: u64 = 0;
+    for gate in &circuit.gates {
+        let w = match *gate {
+            Gate::Xor(a, b) => wires[a as usize] ^ wires[b as usize],
+            Gate::Inv(a) => wires[a as usize],
+            Gate::And(a, b) => {
+                let (la, lb) = (wires[a as usize], wires[b as usize]);
+                let sa = color(la);
+                let sb = color(lb);
+                let [tg, te] = garbled.tables[and_idx];
+                and_idx += 1;
+                let j0 = tweak;
+                let j1 = tweak + 1;
+                tweak += 2;
+                let wg = hash.hash(la, j0) ^ if sa { tg } else { 0 };
+                let we = hash.hash(lb, j1) ^ if sb { te ^ la } else { 0 };
+                wg ^ we
+            }
+        };
+        wires.push(w);
+    }
+
+    circuit
+        .outputs
+        .iter()
+        .zip(&garbled.output_decode)
+        .map(|(o, d)| match (*o, *d) {
+            (OutBit::Wire(w), OutDecode::Wire { zero_color }) => {
+                color(wires[w as usize]) ^ zero_color
+            }
+            (OutBit::Const(c), _) => c,
+            (OutBit::Wire(_), OutDecode::Const(_)) => {
+                unreachable!("wire output with const decode")
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_bits_signed, to_bits, CircuitBuilder};
+    use primer_math::rng::seeded;
+
+    /// Garbled evaluation must agree with plain evaluation on every input
+    /// combination for a 1-bit AND/XOR/INV mix.
+    #[test]
+    fn garbled_equals_plain_exhaustive_small() {
+        let mut b = CircuitBuilder::new();
+        let x = b.garbler_input(2);
+        let y = b.evaluator_input(2);
+        let a = b.and(x[0], y[0]);
+        let o = b.or(x[1], y[1]);
+        let n = b.not(a);
+        let m = b.mux(a, o, n);
+        let circuit = b.build(&[a, o, n, m]);
+
+        let mut rng = seeded(100);
+        let (garbled, enc) = garble(&circuit, &mut rng);
+        for bits in 0..16u32 {
+            let gi = [(bits & 1) != 0, (bits & 2) != 0];
+            let ei = [(bits & 4) != 0, (bits & 8) != 0];
+            let want = circuit.eval_plain(&gi, &ei);
+            let gl: Vec<_> = gi.iter().enumerate().map(|(i, &v)| enc.garbler_label(i, v)).collect();
+            let el: Vec<_> = ei
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let (l0, l1) = enc.evaluator_pair(i);
+                    if v {
+                        l1
+                    } else {
+                        l0
+                    }
+                })
+                .collect();
+            let got = evaluate(&circuit, &garbled, &gl, &el);
+            assert_eq!(got, want, "inputs {bits:04b}");
+        }
+    }
+
+    #[test]
+    fn garbled_adder_matches_reference() {
+        let width = 12;
+        let mut b = CircuitBuilder::new();
+        let x = b.garbler_input(width);
+        let y = b.evaluator_input(width);
+        let s = b.add(&x, &y);
+        let circuit = b.build(&s);
+        let mut rng = seeded(101);
+        let (garbled, enc) = garble(&circuit, &mut rng);
+        for (a, c) in [(100i64, 200i64), (-1000, 999), (2047, 2047), (-2048, -1)] {
+            let gi = to_bits(a, width);
+            let ei = to_bits(c, width);
+            let gl: Vec<_> = gi.iter().enumerate().map(|(i, &v)| enc.garbler_label(i, v)).collect();
+            let el: Vec<_> = ei
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let (l0, l1) = enc.evaluator_pair(i);
+                    if v {
+                        l1
+                    } else {
+                        l0
+                    }
+                })
+                .collect();
+            let got = from_bits_signed(&evaluate(&circuit, &garbled, &gl, &el));
+            let m = 1i64 << width;
+            let want = (((a + c) % m) + m) % m;
+            let want = if want >= m / 2 { want - m } else { want };
+            assert_eq!(got, want, "{a}+{c}");
+        }
+    }
+
+    #[test]
+    fn table_count_equals_and_count() {
+        let mut b = CircuitBuilder::new();
+        let x = b.garbler_input(8);
+        let y = b.evaluator_input(8);
+        let p = b.mul(&x, &y);
+        let circuit = b.build(&p);
+        let mut rng = seeded(102);
+        let (garbled, _) = garble(&circuit, &mut rng);
+        assert_eq!(garbled.tables.len(), circuit.and_count());
+    }
+}

@@ -1,0 +1,156 @@
+//! Chou–Orlandi "simplest OT" over a MODP group.
+//!
+//! Used only to bootstrap the IKNP extension (128 base OTs per session).
+
+use crate::aes::Aes128;
+use crate::ot::bignum::{BigUint, MontCtx};
+use primer_net::Transport;
+use rand::Rng;
+
+/// A multiplicative group `Z_p^*` with generator `g` for the base OTs.
+#[derive(Debug, Clone)]
+pub struct OtGroup {
+    ctx: MontCtx,
+    g: BigUint,
+    limbs: usize,
+}
+
+impl OtGroup {
+    /// The RFC 3526 2048-bit MODP group (generator 2) — the
+    /// production-parameter group.
+    pub fn rfc3526_2048() -> Self {
+        let hex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+                   020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+                   4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+                   EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+                   98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+                   9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
+                   E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
+                   3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+        let limbs = 32;
+        Self {
+            ctx: MontCtx::new(BigUint::from_hex(hex, limbs)),
+            g: BigUint::from_u64(2, limbs),
+            limbs,
+        }
+    }
+
+    /// The RFC 2409 Oakley Group 1 768-bit MODP group — fast enough for
+    /// unit tests (below today's security margin; test profile only).
+    pub fn test_768() -> Self {
+        let hex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+                   020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+                   4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF";
+        let limbs = 12;
+        Self {
+            ctx: MontCtx::new(BigUint::from_hex(hex, limbs)),
+            g: BigUint::from_u64(2, limbs),
+            limbs,
+        }
+    }
+
+    fn random_exponent<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
+        // Exponents one limb short of p keep values < p without bias
+        // concerns that matter here.
+        (0..(self.limbs - 1) * 8).map(|_| rng.gen()).collect()
+    }
+
+    fn pow_g(&self, exp: &[u8]) -> BigUint {
+        self.ctx.pow_mod(&self.g, exp)
+    }
+}
+
+/// Hashes a group element (plus an index tweak) to a 128-bit key with a
+/// Matyas–Meyer–Oseas chain over fixed-key AES.
+fn hash_to_key(elem: &BigUint, tweak: u64) -> u128 {
+    let aes = Aes128::fixed();
+    let mut h: u128 = tweak as u128;
+    for chunk in elem.to_bytes_le().chunks(16) {
+        let mut block = [0u8; 16];
+        block[..chunk.len()].copy_from_slice(chunk);
+        let m = u128::from_le_bytes(block);
+        h = aes.encrypt_block(h ^ m) ^ h ^ m;
+    }
+    h
+}
+
+/// Sender side of `choices.len()` base OTs; `pairs[i]` are the two
+/// 128-bit messages of OT `i`.
+pub fn base_ot_send<R: Rng + ?Sized>(
+    group: &OtGroup,
+    transport: &dyn Transport,
+    pairs: &[(u128, u128)],
+    rng: &mut R,
+) {
+    let a = group.random_exponent(rng);
+    let big_a = group.pow_g(&a);
+    transport.send(big_a.to_bytes_le());
+    let a_inv = group.ctx.inv_mod(&big_a);
+    for (i, &(m0, m1)) in pairs.iter().enumerate() {
+        let b_bytes = transport.recv();
+        let big_b = BigUint::from_bytes_le(&b_bytes, group.limbs);
+        let k0 = hash_to_key(&group.ctx.pow_mod(&big_b, &a), i as u64);
+        let b_over_a = group.ctx.mul_mod(&big_b, &a_inv);
+        let k1 = hash_to_key(&group.ctx.pow_mod(&b_over_a, &a), i as u64);
+        let mut payload = (m0 ^ k0).to_le_bytes().to_vec();
+        payload.extend_from_slice(&(m1 ^ k1).to_le_bytes());
+        transport.send(payload);
+    }
+}
+
+/// Receiver side; returns message `choices[i] ? m1 : m0` for each OT.
+pub fn base_ot_receive<R: Rng + ?Sized>(
+    group: &OtGroup,
+    transport: &dyn Transport,
+    choices: &[bool],
+    rng: &mut R,
+) -> Vec<u128> {
+    let big_a = BigUint::from_bytes_le(&transport.recv(), group.limbs);
+    let mut out = Vec::with_capacity(choices.len());
+    for (i, &c) in choices.iter().enumerate() {
+        let b = group.random_exponent(rng);
+        let g_b = group.pow_g(&b);
+        let big_b = if c { group.ctx.mul_mod(&g_b, &big_a) } else { g_b };
+        transport.send(big_b.to_bytes_le());
+        let key = hash_to_key(&group.ctx.pow_mod(&big_a, &b), i as u64);
+        let payload = transport.recv();
+        let m0 = u128::from_le_bytes(payload[..16].try_into().expect("16 bytes"));
+        let m1 = u128::from_le_bytes(payload[16..32].try_into().expect("16 bytes"));
+        out.push(if c { m1 ^ key } else { m0 ^ key });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primer_math::rng::seeded;
+    use primer_net::run_two_party;
+
+    #[test]
+    fn base_ot_transfers_chosen_messages() {
+        let pairs: Vec<(u128, u128)> = (0..8).map(|i| (100 + i as u128, 200 + i as u128)).collect();
+        let choices: Vec<bool> = (0..8).map(|i| i % 3 == 0).collect();
+        let pairs_c = pairs.clone();
+        let choices_c = choices.clone();
+        let (got, _, _) = run_two_party(
+            move |t| {
+                base_ot_receive(&OtGroup::test_768(), &t, &choices_c, &mut seeded(110))
+            },
+            move |t| base_ot_send(&OtGroup::test_768(), &t, &pairs_c, &mut seeded(111)),
+        );
+        for i in 0..8 {
+            let want = if choices[i] { pairs[i].1 } else { pairs[i].0 };
+            assert_eq!(got[i], want, "ot {i}");
+        }
+    }
+
+    #[test]
+    fn group_inverse_sanity() {
+        let g = OtGroup::test_768();
+        let x = g.pow_g(&42u64.to_le_bytes());
+        let xi = g.ctx.inv_mod(&x);
+        let one = BigUint::from_u64(1, 12);
+        assert_eq!(g.ctx.mul_mod(&x, &xi), one);
+    }
+}

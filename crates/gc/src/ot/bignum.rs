@@ -1,0 +1,298 @@
+//! Minimal big-unsigned arithmetic with Montgomery exponentiation, just
+//! enough for discrete-log base OT over MODP groups.
+
+/// A big unsigned integer, little-endian u64 limbs, fixed width per group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero with `n` limbs.
+    pub fn zero(n: usize) -> Self {
+        Self { limbs: vec![0; n] }
+    }
+
+    /// From a small value.
+    pub fn from_u64(v: u64, n: usize) -> Self {
+        let mut limbs = vec![0; n];
+        limbs[0] = v;
+        Self { limbs }
+    }
+
+    /// From big-endian hex (whitespace ignored), padded to `n` limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid hex or overflow of `n` limbs.
+    pub fn from_hex(hex: &str, n: usize) -> Self {
+        let clean: String = hex.chars().filter(|c| !c.is_whitespace()).collect();
+        let mut limbs = vec![0u64; n];
+        let bytes: Vec<u8> = {
+            let padded =
+                if clean.len() % 2 == 1 { format!("0{clean}") } else { clean };
+            (0..padded.len() / 2)
+                .map(|i| u8::from_str_radix(&padded[2 * i..2 * i + 2], 16).expect("hex"))
+                .collect()
+        };
+        for (i, b) in bytes.iter().rev().enumerate() {
+            assert!(i / 8 < n, "hex value exceeds {n} limbs");
+            limbs[i / 8] |= (*b as u64) << (8 * (i % 8));
+        }
+        Self { limbs }
+    }
+
+    /// Number of limbs.
+    pub fn width(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Little-endian bytes.
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        self.limbs.iter().flat_map(|l| l.to_le_bytes()).collect()
+    }
+
+    /// From little-endian bytes, padded to `n` limbs.
+    pub fn from_bytes_le(bytes: &[u8], n: usize) -> Self {
+        let mut limbs = vec![0u64; n];
+        for (i, b) in bytes.iter().enumerate() {
+            assert!(i / 8 < n, "byte string exceeds {n} limbs");
+            limbs[i / 8] |= (*b as u64) << (8 * (i % 8));
+        }
+        Self { limbs }
+    }
+
+    /// `self >= other` (equal widths).
+    pub fn ge(&self, other: &Self) -> bool {
+        for i in (0..self.limbs.len()).rev() {
+            if self.limbs[i] != other.limbs[i] {
+                return self.limbs[i] > other.limbs[i];
+            }
+        }
+        true
+    }
+
+    /// Subtraction (caller guarantees `self >= other`).
+    pub fn sub_assign(&mut self, other: &Self) {
+        let borrow = self.sub_assign_wrapping(other);
+        debug_assert_eq!(borrow, 0, "bignum underflow");
+    }
+
+    /// Wrapping subtraction mod `2^(64·limbs)`; returns the final borrow.
+    /// Used when a conceptual carry bit above the top limb cancels the
+    /// borrow (modular doubling / Montgomery final reduction).
+    pub fn sub_assign_wrapping(&mut self, other: &Self) -> u64 {
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let (d1, b1) = self.limbs[i].overflowing_sub(other.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            self.limbs[i] = d2;
+            borrow = (b1 || b2) as u64;
+        }
+        borrow
+    }
+
+    fn is_odd(&self) -> bool {
+        self.limbs[0] & 1 == 1
+    }
+}
+
+/// A Montgomery arithmetic context modulo an odd prime.
+#[derive(Debug, Clone)]
+pub struct MontCtx {
+    /// The modulus.
+    pub p: BigUint,
+    n0_inv: u64, // -p^{-1} mod 2^64
+    r2: BigUint, // R^2 mod p, R = 2^(64·limbs)
+}
+
+impl MontCtx {
+    /// Builds a context for an odd modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is even.
+    pub fn new(p: BigUint) -> Self {
+        assert!(p.is_odd(), "Montgomery requires an odd modulus");
+        // n0_inv = -p^{-1} mod 2^64 by Newton iteration.
+        let p0 = p.limbs[0];
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(p0.wrapping_mul(inv)));
+        }
+        let n0_inv = inv.wrapping_neg();
+        // R mod p by repeated doubling, then square to get R².
+        let n = p.width();
+        let mut r = BigUint::zero(n);
+        // Set r = 2^(64n - 1) mod p … simpler: start from 1 and double 64n times.
+        r.limbs[0] = 1;
+        let mut ctx = Self { p: p.clone(), n0_inv, r2: BigUint::zero(n) };
+        for _ in 0..(64 * n * 2) {
+            ctx.double_mod(&mut r);
+        }
+        ctx.r2 = r;
+        ctx
+    }
+
+    fn double_mod(&self, x: &mut BigUint) {
+        let mut carry = 0u64;
+        for i in 0..x.limbs.len() {
+            let v = x.limbs[i];
+            x.limbs[i] = (v << 1) | carry;
+            carry = v >> 63;
+        }
+        if carry == 1 {
+            // 2x = 2^(64n) + x_lo; the wrap cancels the lost carry.
+            x.sub_assign_wrapping(&self.p);
+        } else if x.ge(&self.p) {
+            x.sub_assign(&self.p);
+        }
+    }
+
+    /// Montgomery product `a·b·R^{-1} mod p` (CIOS).
+    pub fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let n = self.p.width();
+        let mut t = vec![0u64; n + 2];
+        for i in 0..n {
+            // t += a[i] * b
+            let mut carry = 0u128;
+            for j in 0..n {
+                let v = t[j] as u128 + a.limbs[i] as u128 * b.limbs[j] as u128 + carry;
+                t[j] = v as u64;
+                carry = v >> 64;
+            }
+            let v = t[n] as u128 + carry;
+            t[n] = v as u64;
+            t[n + 1] = (v >> 64) as u64;
+            // m = t[0] * n0_inv mod 2^64; t += m * p; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let v = t[0] as u128 + m as u128 * self.p.limbs[0] as u128;
+            let mut carry = v >> 64;
+            for j in 1..n {
+                let v = t[j] as u128 + m as u128 * self.p.limbs[j] as u128 + carry;
+                t[j - 1] = v as u64;
+                carry = v >> 64;
+            }
+            let v = t[n] as u128 + carry;
+            t[n - 1] = v as u64;
+            t[n] = t[n + 1] + (v >> 64) as u64;
+            t[n + 1] = 0;
+        }
+        let mut out = BigUint { limbs: t[..n].to_vec() };
+        if t[n] != 0 {
+            out.sub_assign_wrapping(&self.p);
+        } else if out.ge(&self.p) {
+            out.sub_assign(&self.p);
+        }
+        out
+    }
+
+    /// To Montgomery form.
+    pub fn to_mont(&self, a: &BigUint) -> BigUint {
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// From Montgomery form.
+    pub fn from_mont(&self, a: &BigUint) -> BigUint {
+        let one = BigUint::from_u64(1, self.p.width());
+        self.mont_mul(a, &one)
+    }
+
+    /// Modular multiplication (plain domain).
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod p` (square-and-multiply over
+    /// Montgomery representation). `exp` is little-endian bytes.
+    pub fn pow_mod(&self, base: &BigUint, exp_le: &[u8]) -> BigUint {
+        let n = self.p.width();
+        let mut acc = self.to_mont(&BigUint::from_u64(1, n));
+        let base_m = self.to_mont(base);
+        // MSB-first over bits.
+        for byte in exp_le.iter().rev() {
+            for bit in (0..8).rev() {
+                acc = self.mont_mul(&acc, &acc);
+                if (byte >> bit) & 1 == 1 {
+                    acc = self.mont_mul(&acc, &base_m);
+                }
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Modular inverse via Fermat (`p` prime): `a^(p-2)`.
+    pub fn inv_mod(&self, a: &BigUint) -> BigUint {
+        let mut exp = self.p.clone();
+        exp.sub_assign(&BigUint::from_u64(2, self.p.width()));
+        self.pow_mod(a, &exp.to_bytes_le())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ctx() -> MontCtx {
+        // 2^61 - 1 is a Mersenne prime; use 4 limbs to exercise carries.
+        MontCtx::new(BigUint::from_u64((1u64 << 61) - 1, 4))
+    }
+
+    #[test]
+    fn mont_roundtrip() {
+        let ctx = small_ctx();
+        let a = BigUint::from_u64(123_456_789, 4);
+        let am = ctx.to_mont(&a);
+        assert_eq!(ctx.from_mont(&am), a);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let ctx = small_ctx();
+        let p = (1u128 << 61) - 1;
+        for (x, y) in [(3u64, 5u64), (1 << 60, 1 << 60), (999_999_937, 87_178_291_199)] {
+            let got = ctx.mul_mod(&BigUint::from_u64(x, 4), &BigUint::from_u64(y, 4));
+            let want = ((x as u128 * y as u128) % p) as u64;
+            assert_eq!(got, BigUint::from_u64(want, 4), "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_u128() {
+        let ctx = small_ctx();
+        let p = (1u128 << 61) - 1;
+        let base = 7u64;
+        let exp = 1_000_003u64;
+        let got = ctx.pow_mod(&BigUint::from_u64(base, 4), &exp.to_le_bytes());
+        // Reference square-and-multiply in u128.
+        let mut want: u128 = 1;
+        let mut b = base as u128;
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                want = want * b % p;
+            }
+            b = b * b % p;
+            e >>= 1;
+        }
+        assert_eq!(got, BigUint::from_u64(want as u64, 4));
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        let ctx = small_ctx();
+        let a = BigUint::from_u64(42_424_242, 4);
+        let inv = ctx.inv_mod(&a);
+        assert_eq!(ctx.mul_mod(&a, &inv), BigUint::from_u64(1, 4));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let v = BigUint::from_hex("ffffffff00000001deadbeef", 3);
+        assert_eq!(v.limbs[0], 0x00000001deadbeef);
+        assert_eq!(v.limbs[1], 0xffffffff);
+        assert_eq!(v.limbs[2], 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! IKNP oblivious-transfer extension with precomputed random OTs.
+//!
+//! The garbler needs one OT per evaluator input wire per circuit; IKNP
+//! turns 128 public-key base OTs into arbitrarily many symmetric-crypto
+//! OTs. We expose them as *random* OTs generated offline plus the classic
+//! one-message-each derandomization online — matching the paper's split
+//! where garbling and OT precomputation are offline and the online phase
+//! only ships corrections.
+
+use crate::aes::Aes128;
+use crate::label::Label;
+use crate::ot::base::{base_ot_receive, base_ot_send, OtGroup};
+use primer_net::Transport;
+use rand::Rng;
+
+const KAPPA: usize = 128;
+
+/// PRG: expands a 128-bit seed into `n` pseudorandom bits (packed LSB
+/// first in u128 blocks) using AES-CTR.
+fn prg_bits(seed: u128, n: usize) -> Vec<u128> {
+    let aes = Aes128::fixed();
+    let blocks = n.div_ceil(128);
+    (0..blocks).map(|i| aes.encrypt_block(seed ^ (i as u128) ^ (1u128 << 120))).collect()
+}
+
+fn get_bit(words: &[u128], j: usize) -> bool {
+    (words[j / 128] >> (j % 128)) & 1 == 1
+}
+
+fn xor_words(a: &[u128], b: &[u128]) -> Vec<u128> {
+    a.iter().zip(b).map(|(x, y)| x ^ y).collect()
+}
+
+/// Correlation-robust hash for row keys.
+fn row_hash(j: u64, q: u128) -> u128 {
+    let aes = Aes128::fixed();
+    let x = q ^ ((j as u128) << 64);
+    aes.encrypt_block(x) ^ x
+}
+
+/// The receiver's precomputed random OTs: for each index, a random
+/// choice bit and the corresponding random message.
+#[derive(Debug, Clone)]
+pub struct RotReceiver {
+    choices: Vec<bool>,
+    received: Vec<Label>,
+    used: usize,
+}
+
+/// The sender's precomputed random OTs: both random messages per index.
+#[derive(Debug, Clone)]
+pub struct RotSender {
+    pairs: Vec<(Label, Label)>,
+    used: usize,
+}
+
+/// Offline: runs base OTs + IKNP to set up `count` random OTs.
+/// `rot_sender_offline` runs on the party that will later *send* real
+/// messages (the garbler).
+pub fn rot_sender_offline<R: Rng + ?Sized>(
+    group: &OtGroup,
+    transport: &dyn Transport,
+    count: usize,
+    rng: &mut R,
+) -> RotSender {
+    // IKNP: extension sender acts as base-OT *receiver* with random s.
+    let s_bits: Vec<bool> = (0..KAPPA).map(|_| rng.gen()).collect();
+    let seeds = base_ot_receive(group, transport, &s_bits, rng);
+    let mut s_word: u128 = 0;
+    for (i, &b) in s_bits.iter().enumerate() {
+        if b {
+            s_word |= 1 << i;
+        }
+    }
+    // Receive correction columns u_i; q_i = G(k_{s_i}) ⊕ s_i·u_i.
+    let blocks = count.div_ceil(128);
+    let mut q_cols: Vec<Vec<u128>> = Vec::with_capacity(KAPPA);
+    for (i, &seed) in seeds.iter().enumerate() {
+        let u_bytes = transport.recv();
+        let u: Vec<u128> = u_bytes
+            .chunks(16)
+            .map(|c| u128::from_le_bytes(c.try_into().expect("16-byte block")))
+            .collect();
+        assert_eq!(u.len(), blocks, "column length mismatch");
+        let g = prg_bits(seed, count);
+        q_cols.push(if s_bits[i] { xor_words(&g, &u) } else { g });
+    }
+    // Rows: q_j; keys (H(j, q_j), H(j, q_j ⊕ s)).
+    let pairs = (0..count)
+        .map(|j| {
+            let mut q_row: u128 = 0;
+            for (i, col) in q_cols.iter().enumerate() {
+                if get_bit(col, j) {
+                    q_row |= 1 << i;
+                }
+            }
+            (row_hash(j as u64, q_row), row_hash(j as u64, q_row ^ s_word))
+        })
+        .collect();
+    RotSender { pairs, used: 0 }
+}
+
+/// Offline counterpart on the receiving party (the evaluator).
+pub fn rot_receiver_offline<R: Rng + ?Sized>(
+    group: &OtGroup,
+    transport: &dyn Transport,
+    count: usize,
+    rng: &mut R,
+) -> RotReceiver {
+    let choices: Vec<bool> = (0..count).map(|_| rng.gen()).collect();
+    let blocks = count.div_ceil(128);
+    let mut r_word = vec![0u128; blocks];
+    for (j, &c) in choices.iter().enumerate() {
+        if c {
+            r_word[j / 128] |= 1 << (j % 128);
+        }
+    }
+    // Base OTs: we are the *sender*, offering seed pairs.
+    let seed_pairs: Vec<(u128, u128)> = (0..KAPPA).map(|_| (rng.gen(), rng.gen())).collect();
+    base_ot_send(group, transport, &seed_pairs, rng);
+    // Send corrections u_i = G(k0) ⊕ G(k1) ⊕ r.
+    let mut t_cols: Vec<Vec<u128>> = Vec::with_capacity(KAPPA);
+    for &(k0, k1) in &seed_pairs {
+        let t = prg_bits(k0, count);
+        let g1 = prg_bits(k1, count);
+        let u = xor_words(&xor_words(&t, &g1), &r_word);
+        let bytes: Vec<u8> = u.iter().flat_map(|w| w.to_le_bytes()).collect();
+        transport.send(bytes);
+        t_cols.push(t);
+    }
+    let received = (0..count)
+        .map(|j| {
+            let mut t_row: u128 = 0;
+            for (i, col) in t_cols.iter().enumerate() {
+                if get_bit(col, j) {
+                    t_row |= 1 << i;
+                }
+            }
+            row_hash(j as u64, t_row)
+        })
+        .collect();
+    RotReceiver { choices, received, used: 0 }
+}
+
+impl RotSender {
+    /// Remaining precomputed OTs.
+    pub fn remaining(&self) -> usize {
+        self.pairs.len() - self.used
+    }
+
+    /// Online derandomization: transfers `messages[i] = (m0, m1)` so the
+    /// receiver learns its chosen message. One receive + one send.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer precomputed OTs remain than messages.
+    pub fn send_chosen(&mut self, transport: &dyn Transport, messages: &[(Label, Label)]) {
+        assert!(self.remaining() >= messages.len(), "ROTs exhausted");
+        let flips = transport.recv();
+        assert_eq!(flips.len(), messages.len().div_ceil(8), "flip length");
+        let mut payload = Vec::with_capacity(messages.len() * 32);
+        for (k, &(m0, m1)) in messages.iter().enumerate() {
+            let (r0, r1) = self.pairs[self.used + k];
+            let e = (flips[k / 8] >> (k % 8)) & 1 == 1;
+            // Receiver knows r_d; e = c ⊕ d.
+            let (f0, f1) = if e { (m0 ^ r1, m1 ^ r0) } else { (m0 ^ r0, m1 ^ r1) };
+            payload.extend_from_slice(&f0.to_le_bytes());
+            payload.extend_from_slice(&f1.to_le_bytes());
+        }
+        self.used += messages.len();
+        transport.send(payload);
+    }
+}
+
+impl RotReceiver {
+    /// Remaining precomputed OTs.
+    pub fn remaining(&self) -> usize {
+        self.choices.len() - self.used
+    }
+
+    /// Online derandomization: learns `m_{choices[i]}` for each index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer precomputed OTs remain than choices.
+    pub fn receive_chosen(&mut self, transport: &dyn Transport, choices: &[bool]) -> Vec<Label> {
+        assert!(self.remaining() >= choices.len(), "ROTs exhausted");
+        let mut flips = vec![0u8; choices.len().div_ceil(8)];
+        for (k, &c) in choices.iter().enumerate() {
+            let d = self.choices[self.used + k];
+            if c ^ d {
+                flips[k / 8] |= 1 << (k % 8);
+            }
+        }
+        transport.send(flips);
+        let payload = transport.recv();
+        let out = choices
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| {
+                let base = k * 32;
+                let f0 = u128::from_le_bytes(payload[base..base + 16].try_into().expect("f0"));
+                let f1 =
+                    u128::from_le_bytes(payload[base + 16..base + 32].try_into().expect("f1"));
+                let rd = self.received[self.used + k];
+                if c {
+                    f1 ^ rd
+                } else {
+                    f0 ^ rd
+                }
+            })
+            .collect();
+        self.used += choices.len();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primer_math::rng::seeded;
+    use primer_net::run_two_party;
+
+    #[test]
+    fn extension_transfers_many_chosen_messages() {
+        let count = 300usize;
+        let messages: Vec<(Label, Label)> =
+            (0..count).map(|i| ((2 * i) as u128, (2 * i + 1) as u128)).collect();
+        let choices: Vec<bool> = (0..count).map(|i| (i * 7) % 3 == 1).collect();
+        let msgs = messages.clone();
+        let chs = choices.clone();
+        let (got, _, meter) = run_two_party(
+            move |t| {
+                let mut rot =
+                    rot_receiver_offline(&OtGroup::test_768(), &t, count, &mut seeded(120));
+                rot.receive_chosen(&t, &chs)
+            },
+            move |t| {
+                let mut rot =
+                    rot_sender_offline(&OtGroup::test_768(), &t, count, &mut seeded(121));
+                rot.send_chosen(&t, &msgs);
+            },
+        );
+        for i in 0..count {
+            let want = if choices[i] { messages[i].1 } else { messages[i].0 };
+            assert_eq!(got[i], want, "ot {i}");
+        }
+        // Online phase is 2 messages; the rest is offline setup.
+        assert!(meter.total_messages() > 2);
+    }
+
+    #[test]
+    fn rots_can_be_consumed_in_batches() {
+        let (got, _, _) = run_two_party(
+            move |t| {
+                let mut rot =
+                    rot_receiver_offline(&OtGroup::test_768(), &t, 10, &mut seeded(122));
+                let mut all = rot.receive_chosen(&t, &[true, false]);
+                all.extend(rot.receive_chosen(&t, &[true]));
+                all
+            },
+            move |t| {
+                let mut rot = rot_sender_offline(&OtGroup::test_768(), &t, 10, &mut seeded(123));
+                rot.send_chosen(&t, &[(1, 2), (3, 4)]);
+                rot.send_chosen(&t, &[(5, 6)]);
+            },
+        );
+        assert_eq!(got, vec![2, 3, 6]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Oblivious transfer: Chou–Orlandi base OTs over MODP groups, extended
+//! by IKNP to arbitrarily many precomputed random OTs.
+
+pub mod base;
+pub mod bignum;
+pub mod iknp;
+
+pub use base::{base_ot_receive, base_ot_send, OtGroup};
+pub use iknp::{rot_receiver_offline, rot_sender_offline, RotReceiver, RotSender};

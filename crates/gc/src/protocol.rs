@@ -1,0 +1,208 @@
+//! Two-party garbled-circuit execution with an offline/online split.
+//!
+//! Roles follow the Primer layout: the **client garbles** (it knows its
+//! own masks, which enter as garbler inputs for free) and the **server
+//! evaluates** (its shares enter via precomputed OTs; the server learns
+//! the decoded output, which is the re-masked next-layer share).
+//!
+//! Offline: garbling, table transfer, IKNP random-OT setup.
+//! Online:  garbler input labels + OT derandomization (two flights), then
+//!          local evaluation — matching the paper's "only unencrypted
+//!          computations online" property for the GC phase.
+
+use crate::circuit::Circuit;
+use crate::garble::{evaluate, garble, GarbledCircuit, InputEncoding, OutDecode};
+use crate::label::Label;
+use crate::ot::{rot_receiver_offline, rot_sender_offline, OtGroup, RotReceiver, RotSender};
+use primer_net::Transport;
+use rand::Rng;
+
+/// Client-side (garbler) session state after the offline phase.
+#[derive(Debug)]
+pub struct GarblerSession {
+    encoding: InputEncoding,
+    rots: RotSender,
+}
+
+impl GarblerSession {
+    /// Offline phase: garbles `circuit`, ships tables + output decode
+    /// info, and prepares random OTs for the evaluator's inputs.
+    pub fn offline<R: Rng + ?Sized>(
+        circuit: &Circuit,
+        group: &OtGroup,
+        transport: &dyn Transport,
+        rng: &mut R,
+    ) -> Self {
+        let (garbled, encoding) = garble(circuit, rng);
+        transport.send(serialize_garbled(&garbled));
+        let rots =
+            rot_sender_offline(group, transport, circuit.evaluator_inputs as usize, rng);
+        Self { encoding, rots }
+    }
+
+    /// Online phase: sends the garbler's input labels and derandomizes
+    /// the evaluator's input OTs.
+    pub fn online(mut self, transport: &dyn Transport, garbler_inputs: &[bool]) {
+        let labels: Vec<u8> = garbler_inputs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &b)| self.encoding.garbler_label(i, b).to_le_bytes())
+            .collect();
+        transport.send(labels);
+        let pairs: Vec<(Label, Label)> = (0..self.encoding.evaluator_zero.len())
+            .map(|i| self.encoding.evaluator_pair(i))
+            .collect();
+        self.rots.send_chosen(transport, &pairs);
+    }
+}
+
+/// Server-side (evaluator) session state after the offline phase.
+#[derive(Debug)]
+pub struct EvaluatorSession {
+    garbled: GarbledCircuit,
+    rots: RotReceiver,
+}
+
+impl EvaluatorSession {
+    /// Offline phase: receives the garbled tables and runs the OT setup.
+    pub fn offline<R: Rng + ?Sized>(
+        circuit: &Circuit,
+        group: &OtGroup,
+        transport: &dyn Transport,
+        rng: &mut R,
+    ) -> Self {
+        let garbled = deserialize_garbled(&transport.recv(), circuit);
+        let rots =
+            rot_receiver_offline(group, transport, circuit.evaluator_inputs as usize, rng);
+        Self { garbled, rots }
+    }
+
+    /// Online phase: obtains labels and evaluates; returns the decoded
+    /// output bits (the evaluator learns the output, per the protocol).
+    pub fn online(
+        mut self,
+        circuit: &Circuit,
+        transport: &dyn Transport,
+        evaluator_inputs: &[bool],
+    ) -> Vec<bool> {
+        let garbler_bytes = transport.recv();
+        let garbler_labels: Vec<Label> = garbler_bytes
+            .chunks(16)
+            .map(|c| u128::from_le_bytes(c.try_into().expect("16-byte label")))
+            .collect();
+        assert_eq!(garbler_labels.len(), circuit.garbler_inputs as usize, "garbler labels");
+        let my_labels = self.rots.receive_chosen(transport, evaluator_inputs);
+        evaluate(circuit, &self.garbled, &garbler_labels, &my_labels)
+    }
+}
+
+fn serialize_garbled(g: &GarbledCircuit) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + g.tables.len() * 32 + g.output_decode.len());
+    out.extend_from_slice(&(g.tables.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(g.output_decode.len() as u64).to_le_bytes());
+    for [a, b] in &g.tables {
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    for d in &g.output_decode {
+        out.push(match d {
+            OutDecode::Wire { zero_color } => u8::from(*zero_color),
+            OutDecode::Const(c) => 2 + u8::from(*c),
+        });
+    }
+    out
+}
+
+fn deserialize_garbled(bytes: &[u8], circuit: &Circuit) -> GarbledCircuit {
+    let n_tables = u64::from_le_bytes(bytes[..8].try_into().expect("header")) as usize;
+    let n_out = u64::from_le_bytes(bytes[8..16].try_into().expect("header")) as usize;
+    assert_eq!(n_tables, circuit.and_count(), "table count mismatch");
+    assert_eq!(n_out, circuit.outputs.len(), "output count mismatch");
+    let mut tables = Vec::with_capacity(n_tables);
+    let mut off = 16;
+    for _ in 0..n_tables {
+        let a = u128::from_le_bytes(bytes[off..off + 16].try_into().expect("table"));
+        let b = u128::from_le_bytes(bytes[off + 16..off + 32].try_into().expect("table"));
+        tables.push([a, b]);
+        off += 32;
+    }
+    let output_decode = bytes[off..off + n_out]
+        .iter()
+        .map(|&v| match v {
+            0 => OutDecode::Wire { zero_color: false },
+            1 => OutDecode::Wire { zero_color: true },
+            2 => OutDecode::Const(false),
+            _ => OutDecode::Const(true),
+        })
+        .collect();
+    GarbledCircuit { tables, output_decode }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_bits_signed, to_bits, CircuitBuilder};
+    use primer_math::rng::seeded;
+    use primer_net::run_two_party;
+
+    /// Full two-party execution of a multiplier: client provides x,
+    /// server provides y, server learns x·y.
+    #[test]
+    fn two_party_multiplier() {
+        let width = 10;
+        let mut b = CircuitBuilder::new();
+        let x = b.garbler_input(width);
+        let y = b.evaluator_input(width);
+        let p = b.mul(&x, &y);
+        let circuit = b.build(&p);
+        let circuit_c = circuit.clone();
+        let circuit_s = circuit.clone();
+
+        let (_, result, meter) = run_two_party(
+            move |t| {
+                let mut rng = seeded(130);
+                let sess =
+                    GarblerSession::offline(&circuit_c, &OtGroup::test_768(), &t, &mut rng);
+                sess.online(&t, &to_bits(-23, width));
+            },
+            move |t| {
+                let mut rng = seeded(131);
+                let sess =
+                    EvaluatorSession::offline(&circuit_s, &OtGroup::test_768(), &t, &mut rng);
+                sess.online(&circuit_s, &t, &to_bits(17, width))
+            },
+        );
+        assert_eq!(from_bits_signed(&result), -23 * 17);
+        assert!(meter.total_bytes() > 0);
+    }
+
+    /// The online phase must be cheap: only 4 flights (labels, flips,
+    /// corrections, plus the garbler-labels message).
+    #[test]
+    fn online_phase_is_constant_rounds() {
+        let mut b = CircuitBuilder::new();
+        let x = b.garbler_input(4);
+        let y = b.evaluator_input(4);
+        let s = b.add(&x, &y);
+        let circuit = b.build(&s);
+        let (c1, c2) = (circuit.clone(), circuit.clone());
+
+        let (_, (result, online_msgs), _) = run_two_party(
+            move |t| {
+                let mut rng = seeded(132);
+                let sess = GarblerSession::offline(&c1, &OtGroup::test_768(), &t, &mut rng);
+                sess.online(&t, &to_bits(3, 4));
+            },
+            move |t| {
+                let mut rng = seeded(133);
+                let sess = EvaluatorSession::offline(&c2, &OtGroup::test_768(), &t, &mut rng);
+                let before = t.meter().total_messages();
+                let out = sess.online(&c2, &t, &to_bits(4, 4));
+                let after = t.meter().total_messages();
+                (out, after - before)
+            },
+        );
+        assert_eq!(from_bits_signed(&result), 7);
+        assert!(online_msgs <= 3, "online flights: {online_msgs}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Plaintext and ciphertext containers with wire serialization.
+
+use crate::context::HeContext;
+use crate::poly::RnsPoly;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A batched plaintext: polynomial coefficients mod `t` (coefficient form).
+///
+/// Produced by [`crate::encoder::BatchEncoder::encode`]; consumed by
+/// encryption, plaintext addition and (after preparation) plaintext
+/// multiplication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plaintext {
+    coeffs: Vec<u64>,
+}
+
+impl Plaintext {
+    /// Wraps raw coefficients (values reduced mod `t`).
+    pub(crate) fn from_coeffs(coeffs: Vec<u64>) -> Self {
+        Self { coeffs }
+    }
+
+    /// Polynomial coefficients mod `t`.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Serialized size in bytes.
+    pub fn serialized_size(&self) -> usize {
+        8 + self.coeffs.len() * 8
+    }
+}
+
+/// A ciphertext: 2 (or 3, before relinearization) polynomials in NTT form.
+///
+/// Fresh symmetric ciphertexts carry the 32-byte PRG seed that generated
+/// their uniform part, so they serialize to roughly half the size (the
+/// standard Gazelle-style upload compression); any homomorphic operation
+/// clears the seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext {
+    parts: Vec<RnsPoly>,
+    seed: Option<[u8; 32]>,
+}
+
+impl Ciphertext {
+    pub(crate) fn new(parts: Vec<RnsPoly>, seed: Option<[u8; 32]>) -> Self {
+        debug_assert!(parts.len() == 2 || parts.len() == 3);
+        Self { parts, seed }
+    }
+
+    /// Regenerates the uniform part `a` from a seed (shared by encryption
+    /// and deserialization so both sides derive the identical polynomial).
+    pub(crate) fn a_from_seed(ctx: &HeContext, seed: &[u8; 32]) -> RnsPoly {
+        let mut rng = StdRng::from_seed(*seed);
+        let mut a = RnsPoly::uniform(ctx, &mut rng);
+        a.to_ntt(ctx);
+        a
+    }
+
+    /// Number of polynomial parts (2, or 3 after a ct–ct multiply).
+    pub fn size(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Borrow of part `i`.
+    pub fn part(&self, i: usize) -> &RnsPoly {
+        &self.parts[i]
+    }
+
+    pub(crate) fn part_mut(&mut self, i: usize) -> &mut RnsPoly {
+        self.seed = None;
+        &mut self.parts[i]
+    }
+
+    /// Whether this ciphertext still qualifies for seed compression.
+    pub fn is_seed_compressible(&self) -> bool {
+        self.seed.is_some()
+    }
+
+    /// Wire size in bytes. Fresh symmetric ciphertexts replace the random
+    /// part with their 32-byte seed.
+    pub fn serialized_size(&self) -> usize {
+        let header = 2;
+        if self.seed.is_some() {
+            header + self.parts[0].serialized_size() + 32
+        } else {
+            header + self.parts.iter().map(RnsPoly::serialized_size).sum::<usize>()
+        }
+    }
+
+    /// Serializes to bytes (matches [`Ciphertext::serialized_size`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_size());
+        match &self.seed {
+            Some(seed) => {
+                out.push(1);
+                out.push(self.parts.len() as u8);
+                self.parts[0].write_bytes(&mut out);
+                out.extend_from_slice(seed);
+            }
+            None => {
+                out.push(0);
+                out.push(self.parts.len() as u8);
+                for p in &self.parts {
+                    p.write_bytes(&mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes; returns the ciphertext and bytes consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input (protocol logic error).
+    pub fn from_bytes(ctx: &HeContext, bytes: &[u8]) -> (Self, usize) {
+        let seeded = bytes[0] == 1;
+        let n_parts = bytes[1] as usize;
+        let mut off = 2;
+        if seeded {
+            assert_eq!(n_parts, 2, "seeded ciphertexts always have 2 parts");
+            let (c0, used) = RnsPoly::read_bytes(ctx, &bytes[off..]);
+            off += used;
+            let seed: [u8; 32] = bytes[off..off + 32].try_into().expect("32-byte seed");
+            off += 32;
+            let a = Self::a_from_seed(ctx, &seed);
+            (Self { parts: vec![c0, a], seed: Some(seed) }, off)
+        } else {
+            let mut parts = Vec::with_capacity(n_parts);
+            for _ in 0..n_parts {
+                let (p, used) = RnsPoly::read_bytes(ctx, &bytes[off..]);
+                off += used;
+                parts.push(p);
+            }
+            (Self { parts, seed: None }, off)
+        }
+    }
+
+    /// Deep structural check that the ciphertext belongs to `ctx`.
+    pub fn validate(&self, ctx: &HeContext) -> bool {
+        self.parts.iter().all(|p| p.residues(0).len() == ctx.n())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::HeParams;
+
+    #[test]
+    fn seed_compression_halves_fresh_size() {
+        let ctx = HeContext::new(HeParams::toy());
+        let p0 = RnsPoly::zero(&ctx, true);
+        let fresh = Ciphertext::new(vec![p0.clone(), p0.clone()], Some([7; 32]));
+        let evaluated = Ciphertext::new(vec![p0.clone(), p0], None);
+        assert!(fresh.serialized_size() < evaluated.serialized_size() * 6 / 10);
+    }
+
+    #[test]
+    fn mutation_clears_compressibility() {
+        let ctx = HeContext::new(HeParams::toy());
+        let p = RnsPoly::zero(&ctx, true);
+        let mut ct = Ciphertext::new(vec![p.clone(), p], Some([9; 32]));
+        assert!(ct.is_seed_compressible());
+        let _ = ct.part_mut(0);
+        assert!(!ct.is_seed_compressible());
+    }
+
+    #[test]
+    fn serialization_roundtrip_both_forms() {
+        let ctx = HeContext::new(HeParams::toy());
+        let seed = [3u8; 32];
+        let a = Ciphertext::a_from_seed(&ctx, &seed);
+        let fresh = Ciphertext::new(vec![a.clone(), a.clone()], Some(seed));
+        let bytes = fresh.to_bytes();
+        assert_eq!(bytes.len(), fresh.serialized_size());
+        let (back, used) = Ciphertext::from_bytes(&ctx, &bytes);
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, fresh);
+
+        let evaluated = Ciphertext::new(vec![a.clone(), a], None);
+        let bytes = evaluated.to_bytes();
+        let (back, _) = Ciphertext::from_bytes(&ctx, &bytes);
+        assert_eq!(back, evaluated);
+    }
+}

@@ -1,0 +1,205 @@
+//! Shared precomputed state for one parameter set.
+
+use crate::modulus::Modulus;
+use crate::ntt::NttTables;
+use crate::params::HeParams;
+use std::sync::Arc;
+
+/// Precomputed context: moduli wrappers, NTT tables per RNS prime, the
+/// plaintext-side NTT, CRT (Garner) constants and the BFV scaling factor
+/// `Δ = ⌊q/t⌋`.
+///
+/// Contexts are cheap to clone (`Arc` inside) and shared by every key,
+/// ciphertext operation and encoder.
+#[derive(Debug, Clone)]
+pub struct HeContext {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    params: HeParams,
+    moduli: Vec<Modulus>,
+    ntt: Vec<NttTables>,
+    plain: Modulus,
+    plain_ntt: NttTables,
+    q: u128,
+    delta: u128,
+    delta_mod_qi: Vec<u64>,
+    // Garner mixed-radix constants: garner_inv[i] = (q_0·…·q_{i-1})^{-1} mod q_i.
+    garner_inv: Vec<u64>,
+}
+
+impl HeContext {
+    /// Builds the context for a parameter set.
+    pub fn new(params: HeParams) -> Self {
+        let moduli: Vec<Modulus> = params.moduli().iter().map(|&q| Modulus::new(q)).collect();
+        let ntt = moduli.iter().map(|m| NttTables::new(params.n(), *m)).collect();
+        let plain = Modulus::new(params.t());
+        let plain_ntt = NttTables::new(params.n(), plain);
+        let q = params.q();
+        let delta = q / params.t() as u128;
+        let delta_mod_qi = moduli.iter().map(|m| m.reduce_u128(delta)).collect();
+        let mut garner_inv = vec![0u64; moduli.len()];
+        for i in 1..moduli.len() {
+            let mi = moduli[i];
+            let mut prod = 1u64;
+            for m in &moduli[..i] {
+                prod = mi.mul(prod, mi.reduce(m.value()));
+            }
+            garner_inv[i] = mi.inv(prod);
+        }
+        Self {
+            inner: Arc::new(Inner {
+                params,
+                moduli,
+                ntt,
+                plain,
+                plain_ntt,
+                q,
+                delta,
+                delta_mod_qi,
+                garner_inv,
+            }),
+        }
+    }
+
+    /// The parameter set.
+    #[inline]
+    pub fn params(&self) -> &HeParams {
+        &self.inner.params
+    }
+
+    /// Ring degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.inner.params.n()
+    }
+
+    /// Number of RNS primes.
+    #[inline]
+    pub fn num_primes(&self) -> usize {
+        self.inner.moduli.len()
+    }
+
+    /// RNS prime wrappers.
+    #[inline]
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.inner.moduli
+    }
+
+    /// NTT tables per RNS prime.
+    #[inline]
+    pub fn ntt(&self) -> &[NttTables] {
+        &self.inner.ntt
+    }
+
+    /// Plaintext modulus wrapper.
+    #[inline]
+    pub fn plain(&self) -> Modulus {
+        self.inner.plain
+    }
+
+    /// Plaintext-side NTT tables (mod `t`), used by the batching encoder.
+    #[inline]
+    pub fn plain_ntt(&self) -> &NttTables {
+        &self.inner.plain_ntt
+    }
+
+    /// `q` as a u128.
+    #[inline]
+    pub fn q(&self) -> u128 {
+        self.inner.q
+    }
+
+    /// `Δ = ⌊q/t⌋`.
+    #[inline]
+    pub fn delta(&self) -> u128 {
+        self.inner.delta
+    }
+
+    /// `Δ mod q_i` per prime.
+    #[inline]
+    pub fn delta_mod_qi(&self) -> &[u64] {
+        &self.inner.delta_mod_qi
+    }
+
+    /// Recombines RNS residues of one coefficient into the integer
+    /// representative in `[0, q)` (Garner's mixed-radix algorithm; exact
+    /// because `q < 2^125`).
+    pub fn crt_compose(&self, residues: &[u64]) -> u128 {
+        debug_assert_eq!(residues.len(), self.num_primes());
+        let moduli = &self.inner.moduli;
+        // Mixed-radix digits: v = d0 + d1·q0 + d2·q0·q1 + …
+        let mut digits = vec![0u64; residues.len()];
+        digits[0] = residues[0];
+        for i in 1..residues.len() {
+            let mi = moduli[i];
+            // u = (r_i - value-so-far) * inv mod q_i
+            let mut val = mi.reduce(digits[0]);
+            let mut radix = 1u64;
+            for (j, &d) in digits.iter().enumerate().take(i).skip(1) {
+                radix = mi.mul(radix, mi.reduce(moduli[j - 1].value()));
+                val = mi.add(val, mi.mul(mi.reduce(d), radix));
+            }
+            let diff = mi.sub(mi.reduce(residues[i]), val);
+            digits[i] = mi.mul(diff, self.inner.garner_inv[i]);
+        }
+        let mut acc = 0u128;
+        let mut radix = 1u128;
+        for (i, &d) in digits.iter().enumerate() {
+            acc += d as u128 * radix;
+            radix *= moduli[i].value() as u128;
+        }
+        acc
+    }
+
+    /// Centers an integer in `[0, q)` to the signed representative in
+    /// `(-q/2, q/2]`, returned as `(negative, magnitude)`.
+    pub fn center_q(&self, v: u128) -> (bool, u128) {
+        if v > self.inner.q / 2 {
+            (true, self.inner.q - v)
+        } else {
+            (false, v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crt_compose_roundtrip() {
+        let ctx = HeContext::new(HeParams::test_2k());
+        let q = ctx.q();
+        for v in [0u128, 1, 12345, q / 3, q - 1] {
+            let residues: Vec<u64> =
+                ctx.moduli().iter().map(|m| m.reduce_u128(v)).collect();
+            assert_eq!(ctx.crt_compose(&residues), v);
+        }
+    }
+
+    #[test]
+    fn single_prime_compose_is_identity() {
+        let ctx = HeContext::new(HeParams::toy());
+        assert_eq!(ctx.crt_compose(&[777]), 777);
+    }
+
+    #[test]
+    fn delta_relation() {
+        let ctx = HeContext::new(HeParams::test_2k());
+        let t = ctx.params().t() as u128;
+        assert!(ctx.delta() * t <= ctx.q());
+        assert!((ctx.delta() + 1) * t > ctx.q());
+    }
+
+    #[test]
+    fn center_q_halves() {
+        let ctx = HeContext::new(HeParams::toy());
+        let q = ctx.q();
+        assert_eq!(ctx.center_q(0), (false, 0));
+        assert_eq!(ctx.center_q(1), (false, 1));
+        assert_eq!(ctx.center_q(q - 1), (true, 1));
+    }
+}

@@ -1,0 +1,129 @@
+//! Operation counters.
+//!
+//! Every evaluator op bumps a counter; the Primer cost model extrapolates
+//! paper-scale latency from these counts times per-op costs measured by
+//! Criterion, and integration tests assert the analytic counts match the
+//! instrumented ones.
+
+use std::cell::Cell;
+
+/// A snapshot of homomorphic operation counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Elementary Galois rotations (each = one key switch).
+    pub rotations: u64,
+    /// Ciphertext × plaintext multiplications.
+    pub mul_plain: u64,
+    /// Ciphertext + ciphertext additions.
+    pub add: u64,
+    /// Ciphertext + plaintext additions.
+    pub add_plain: u64,
+    /// Fresh encryptions.
+    pub encrypt: u64,
+    /// Decryptions.
+    pub decrypt: u64,
+    /// Ciphertext × ciphertext multiplications (THE-X baseline only).
+    pub mul_ct: u64,
+    /// Relinearizations.
+    pub relin: u64,
+}
+
+impl OpCounts {
+    /// Element-wise difference (`self` must dominate `earlier`).
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            rotations: self.rotations - earlier.rotations,
+            mul_plain: self.mul_plain - earlier.mul_plain,
+            add: self.add - earlier.add,
+            add_plain: self.add_plain - earlier.add_plain,
+            encrypt: self.encrypt - earlier.encrypt,
+            decrypt: self.decrypt - earlier.decrypt,
+            mul_ct: self.mul_ct - earlier.mul_ct,
+            relin: self.relin - earlier.relin,
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn plus(&self, other: &OpCounts) -> OpCounts {
+        OpCounts {
+            rotations: self.rotations + other.rotations,
+            mul_plain: self.mul_plain + other.mul_plain,
+            add: self.add + other.add,
+            add_plain: self.add_plain + other.add_plain,
+            encrypt: self.encrypt + other.encrypt,
+            decrypt: self.decrypt + other.decrypt,
+            mul_ct: self.mul_ct + other.mul_ct,
+            relin: self.relin + other.relin,
+        }
+    }
+
+    /// Total op count (all kinds).
+    pub fn total(&self) -> u64 {
+        self.rotations
+            + self.mul_plain
+            + self.add
+            + self.add_plain
+            + self.encrypt
+            + self.decrypt
+            + self.mul_ct
+            + self.relin
+    }
+}
+
+/// Interior-mutable counter cell owned by an evaluator.
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    counts: Cell<OpCounts>,
+}
+
+impl OpCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current snapshot.
+    pub fn snapshot(&self) -> OpCounts {
+        self.counts.get()
+    }
+
+    /// Resets everything to zero.
+    pub fn reset(&self) {
+        self.counts.set(OpCounts::default());
+    }
+
+    pub(crate) fn bump(&self, f: impl FnOnce(&mut OpCounts)) {
+        let mut c = self.counts.get();
+        f(&mut c);
+        self.counts.set(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_diff() {
+        let c = OpCounters::new();
+        c.bump(|x| x.rotations += 3);
+        let early = c.snapshot();
+        c.bump(|x| {
+            x.rotations += 2;
+            x.add += 1;
+        });
+        let late = c.snapshot();
+        let d = late.since(&early);
+        assert_eq!(d.rotations, 2);
+        assert_eq!(d.add, 1);
+        assert_eq!(late.total(), 6);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = OpCounters::new();
+        c.bump(|x| x.mul_plain += 9);
+        c.reset();
+        assert_eq!(c.snapshot(), OpCounts::default());
+    }
+}

@@ -1,0 +1,178 @@
+//! Symmetric encryption, decryption and noise measurement.
+//!
+//! Only the client ever encrypts in the Primer protocols (Gazelle-style),
+//! so secret-key encryption suffices — fresh ciphertexts are also
+//! seed-compressible on the wire, halving upload bandwidth.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::context::HeContext;
+use crate::counters::{OpCounters, OpCounts};
+use crate::keys::SecretKey;
+use crate::poly::RnsPoly;
+use crate::u256::U256;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+
+/// Client-side encryptor/decryptor holding the secret key.
+#[derive(Debug)]
+pub struct Encryptor {
+    ctx: HeContext,
+    sk: SecretKey,
+    rng: RefCell<StdRng>,
+    counters: OpCounters,
+}
+
+impl Encryptor {
+    /// Creates an encryptor with a deterministic randomness seed.
+    pub fn new(ctx: &HeContext, sk: SecretKey, seed: u64) -> Self {
+        Self {
+            ctx: ctx.clone(),
+            sk,
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            counters: OpCounters::new(),
+        }
+    }
+
+    /// Operation counters (encrypt/decrypt).
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Snapshot of the counters.
+    pub fn counts(&self) -> OpCounts {
+        self.counters.snapshot()
+    }
+
+    /// Encrypts a plaintext: `(Δm + e − a·s, a)` with uniform `a`.
+    pub fn encrypt(&self, pt: &Plaintext) -> Ciphertext {
+        self.counters.bump(|c| c.encrypt += 1);
+        let ctx = &self.ctx;
+        let mut rng = self.rng.borrow_mut();
+        let mut seed = [0u8; 32];
+        rand::Rng::fill(&mut *rng, &mut seed);
+        let a = Ciphertext::a_from_seed(ctx, &seed);
+        let mut c0 = RnsPoly::scale_plain_to_q(ctx, pt.coeffs());
+        let e = RnsPoly::gaussian(ctx, ctx.params().sigma(), &mut *rng);
+        c0.add_assign(ctx, &e);
+        c0.to_ntt(ctx);
+        let mut a_s = a.clone();
+        a_s.mul_pointwise_assign(ctx, self.sk.s_ntt());
+        c0.sub_assign(ctx, &a_s);
+        Ciphertext::new(vec![c0, a], Some(seed))
+    }
+
+    /// Decrypts a size-2 or size-3 ciphertext.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        self.counters.bump(|c| c.decrypt += 1);
+        let v = self.inner_product(ct);
+        let ctx = &self.ctx;
+        let t = ctx.params().t() as u128;
+        let q = ctx.q();
+        let n = ctx.n();
+        let mut msg = vec![0u64; n];
+        for k in 0..n {
+            let residues: Vec<u64> = (0..ctx.num_primes()).map(|i| v.residues(i)[k]).collect();
+            let composed = ctx.crt_compose(&residues);
+            let (negative, mag) = ctx.center_q(composed);
+            let m_abs = U256::mul_u128(t, mag).div_round_u128(q) % t;
+            msg[k] = if negative && m_abs != 0 { (t - m_abs) as u64 } else { m_abs as u64 };
+        }
+        Plaintext::from_coeffs(msg)
+    }
+
+    /// Remaining noise budget in bits: `log2(q/(2t)) − log2(‖v −
+    /// round(q·m/t)‖∞)`, clamped at zero. A ciphertext decrypts correctly
+    /// while this is positive.
+    pub fn noise_budget(&self, ct: &Ciphertext) -> f64 {
+        let ctx = &self.ctx;
+        let pt = self.decrypt(ct);
+        let v = self.inner_product(ct);
+        let reference = RnsPoly::scale_plain_to_q(ctx, pt.coeffs());
+        let n = ctx.n();
+        let mut worst: u128 = 1;
+        for k in 0..n {
+            // residual = v − round(q·m/t) computed per prime, composed.
+            let residues: Vec<u64> = (0..ctx.num_primes())
+                .map(|i| {
+                    let m = ctx.moduli()[i];
+                    m.sub(v.residues(i)[k], reference.residues(i)[k])
+                })
+                .collect();
+            let (_, mag) = ctx.center_q(ctx.crt_compose(&residues));
+            worst = worst.max(mag);
+        }
+        let budget = (ctx.delta() as f64).log2() - 1.0 - (worst as f64).log2();
+        budget.max(0.0)
+    }
+
+    /// `v = c0 + c1·s (+ c2·s²)` in coefficient form.
+    fn inner_product(&self, ct: &Ciphertext) -> RnsPoly {
+        let ctx = &self.ctx;
+        let mut v = ct.part(0).clone();
+        let mut c1s = ct.part(1).clone();
+        c1s.mul_pointwise_assign(ctx, self.sk.s_ntt());
+        v.add_assign(ctx, &c1s);
+        if ct.size() == 3 {
+            let mut c2s2 = ct.part(2).clone();
+            c2s2.mul_pointwise_assign(ctx, self.sk.s2_ntt());
+            v.add_assign(ctx, &c2s2);
+        }
+        v.to_coeff(ctx);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::BatchEncoder;
+    use crate::keys::KeyGenerator;
+    use crate::params::HeParams;
+    use primer_math::rng::seeded;
+
+    fn setup(params: HeParams) -> (HeContext, BatchEncoder, Encryptor) {
+        let ctx = HeContext::new(params);
+        let enc = BatchEncoder::new(&ctx);
+        let mut rng = seeded(40);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let e = Encryptor::new(&ctx, kg.secret_key().clone(), 41);
+        (ctx, enc, e)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_toy() {
+        let (ctx, enc, e) = setup(HeParams::toy());
+        let t = ctx.params().t();
+        let vals: Vec<u64> = (0..ctx.n() as u64).map(|v| v * 37 % t).collect();
+        let ct = e.encrypt(&enc.encode(&vals));
+        assert_eq!(enc.decode(&e.decrypt(&ct)), vals);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_two_primes() {
+        let (ctx, enc, e) = setup(HeParams::test_2k());
+        let t = ctx.params().t();
+        let vals: Vec<u64> = (0..ctx.n() as u64).map(|v| (v * v + 3) % t).collect();
+        let ct = e.encrypt(&enc.encode(&vals));
+        assert_eq!(enc.decode(&e.decrypt(&ct)), vals);
+    }
+
+    #[test]
+    fn fresh_noise_budget_is_deep() {
+        let (_ctx, enc, e) = setup(HeParams::test_2k());
+        let ct = e.encrypt(&enc.encode(&[1, 2, 3]));
+        let budget = e.noise_budget(&ct);
+        assert!(budget > 50.0, "budget {budget}");
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let (_ctx, enc, e) = setup(HeParams::toy());
+        let ct = e.encrypt(&enc.encode(&[9]));
+        let _ = e.decrypt(&ct);
+        let c = e.counts();
+        assert_eq!(c.encrypt, 1);
+        assert_eq!(c.decrypt, 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for fallible HE operations.
+
+use std::fmt;
+
+/// Errors returned by fallible evaluator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeError {
+    /// No Galois key available for the requested rotation step, and the
+    /// step cannot be decomposed into available power-of-two hops.
+    MissingGaloisKey {
+        /// The elementary step that had no key.
+        step: usize,
+    },
+    /// Operation requires a single-prime (u128-tensorable) profile.
+    MultiPrimeUnsupported {
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// Ciphertext has an unexpected number of polynomial parts.
+    WrongCiphertextSize {
+        /// Expected part count.
+        expected: usize,
+        /// Actual part count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for HeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeError::MissingGaloisKey { step } => {
+                write!(f, "no galois key covers rotation step {step}")
+            }
+            HeError::MultiPrimeUnsupported { op } => {
+                write!(f, "{op} requires a single-prime parameter profile")
+            }
+            HeError::WrongCiphertextSize { expected, actual } => {
+                write!(f, "ciphertext has {actual} parts, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HeError::MissingGaloisKey { step: 5 };
+        assert!(e.to_string().contains("step 5"));
+    }
+}

@@ -1,0 +1,439 @@
+//! Homomorphic evaluation: additions, plaintext multiplication, and
+//! Galois rotations with key switching.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::context::HeContext;
+use crate::counters::{OpCounters, OpCounts};
+use crate::error::HeError;
+use crate::galois;
+use crate::keys::{GaloisKeys, KskKey, RelinKey};
+use crate::poly::RnsPoly;
+
+/// A plaintext prepared for multiplication: centered-lifted into `R_q`
+/// and transformed to NTT form. Reused across many `mul_plain` calls.
+#[derive(Debug, Clone)]
+pub struct MulPlain {
+    poly: RnsPoly,
+    /// True if every slot is zero (multiplication can be skipped).
+    pub is_zero: bool,
+}
+
+/// Server-side homomorphic evaluator (no secret key).
+#[derive(Debug)]
+pub struct Evaluator {
+    ctx: HeContext,
+    counters: OpCounters,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for a context.
+    pub fn new(ctx: &HeContext) -> Self {
+        Self { ctx: ctx.clone(), counters: OpCounters::new() }
+    }
+
+    /// The context.
+    pub fn context(&self) -> &HeContext {
+        &self.ctx
+    }
+
+    /// Operation counters.
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Snapshot of the counters.
+    pub fn counts(&self) -> OpCounts {
+        self.counters.snapshot()
+    }
+
+    /// `a + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if part counts differ (relinearize or resize first).
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        assert_eq!(a.size(), b.size(), "ciphertext size mismatch in add");
+        self.counters.bump(|c| c.add += 1);
+        let mut out = a.clone();
+        for i in 0..b.size() {
+            out.part_mut(i).add_assign(&self.ctx, b.part(i));
+        }
+        out
+    }
+
+    /// `a += b` in place.
+    pub fn add_inplace(&self, a: &mut Ciphertext, b: &Ciphertext) {
+        assert_eq!(a.size(), b.size(), "ciphertext size mismatch in add");
+        self.counters.bump(|c| c.add += 1);
+        for i in 0..b.size() {
+            a.part_mut(i).add_assign(&self.ctx, b.part(i));
+        }
+    }
+
+    /// `a - b`.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        assert_eq!(a.size(), b.size(), "ciphertext size mismatch in sub");
+        self.counters.bump(|c| c.add += 1);
+        let mut out = a.clone();
+        for i in 0..b.size() {
+            out.part_mut(i).sub_assign(&self.ctx, b.part(i));
+        }
+        out
+    }
+
+    /// `-a`.
+    pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
+        let mut out = a.clone();
+        for i in 0..out.size() {
+            out.part_mut(i).negate(&self.ctx);
+        }
+        out
+    }
+
+    /// `ct + pt` (Δ-scaled plaintext added to the body).
+    pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        self.counters.bump(|c| c.add_plain += 1);
+        let mut scaled = RnsPoly::scale_plain_to_q(&self.ctx, pt.coeffs());
+        scaled.to_ntt(&self.ctx);
+        let mut out = ct.clone();
+        out.part_mut(0).add_assign(&self.ctx, &scaled);
+        out
+    }
+
+    /// `ct - pt`.
+    pub fn sub_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        self.counters.bump(|c| c.add_plain += 1);
+        let mut scaled = RnsPoly::scale_plain_to_q(&self.ctx, pt.coeffs());
+        scaled.to_ntt(&self.ctx);
+        let mut out = ct.clone();
+        out.part_mut(0).sub_assign(&self.ctx, &scaled);
+        out
+    }
+
+    /// Prepares a plaintext for repeated multiplication.
+    pub fn prepare_mul_plain(&self, pt: &Plaintext) -> MulPlain {
+        let is_zero = pt.coeffs().iter().all(|&c| c == 0);
+        let mut poly = RnsPoly::lift_plain_centered(&self.ctx, pt.coeffs());
+        poly.to_ntt(&self.ctx);
+        MulPlain { poly, is_zero }
+    }
+
+    /// `ct × pt` (slot-wise).
+    pub fn mul_plain(&self, ct: &Ciphertext, pt: &MulPlain) -> Ciphertext {
+        self.counters.bump(|c| c.mul_plain += 1);
+        let mut out = ct.clone();
+        for i in 0..out.size() {
+            out.part_mut(i).mul_pointwise_assign(&self.ctx, &pt.poly);
+        }
+        out
+    }
+
+    /// Fused `acc += ct × pt`, the inner loop of encrypted matmul.
+    pub fn mul_plain_accumulate(&self, acc: &mut Ciphertext, ct: &Ciphertext, pt: &MulPlain) {
+        assert_eq!(acc.size(), ct.size(), "size mismatch in accumulate");
+        self.counters.bump(|c| {
+            c.mul_plain += 1;
+            c.add += 1;
+        });
+        for i in 0..ct.size() {
+            acc.part_mut(i).add_mul_pointwise_assign(&self.ctx, ct.part(i), &pt.poly);
+        }
+    }
+
+    /// An encryption of zero (trivial, noiseless — used as accumulator seed).
+    pub fn zero_ciphertext(&self) -> Ciphertext {
+        Ciphertext::new(
+            vec![RnsPoly::zero(&self.ctx, true), RnsPoly::zero(&self.ctx, true)],
+            None,
+        )
+    }
+
+    /// Rotates both batching rows left by `step` (`result slot i` =
+    /// `input slot i+step`). Uses a dedicated key when available,
+    /// otherwise composes power-of-two hops.
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::MissingGaloisKey`] if the step cannot be realized with
+    /// the provided keys.
+    pub fn rotate_rows(
+        &self,
+        ct: &Ciphertext,
+        step: usize,
+        keys: &GaloisKeys,
+    ) -> Result<Ciphertext, HeError> {
+        let n = self.ctx.n();
+        let s = step % (n / 2);
+        if s == 0 {
+            return Ok(ct.clone());
+        }
+        let hops = galois::decompose_step(s, keys.steps())
+            .ok_or(HeError::MissingGaloisKey { step: s })?;
+        let mut out = ct.clone();
+        for hop in hops {
+            let element = galois::element_for_row_step(n, hop);
+            let key = keys.key_for(element).ok_or(HeError::MissingGaloisKey { step: hop })?;
+            out = self.apply_galois(&out, element, key);
+        }
+        Ok(out)
+    }
+
+    /// Swaps the two batching rows.
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::MissingGaloisKey`] if the column key was not generated.
+    pub fn rotate_columns(
+        &self,
+        ct: &Ciphertext,
+        keys: &GaloisKeys,
+    ) -> Result<Ciphertext, HeError> {
+        let element = galois::element_for_columns(self.ctx.n());
+        let key = keys.key_for(element).ok_or(HeError::MissingGaloisKey { step: 0 })?;
+        Ok(self.apply_galois(ct, element, key))
+    }
+
+    /// Applies `x → x^element` and switches back to the canonical key.
+    /// One call = one elementary rotation in the op counts.
+    pub fn apply_galois(&self, ct: &Ciphertext, element: u64, key: &KskKey) -> Ciphertext {
+        assert_eq!(ct.size(), 2, "galois on size-2 ciphertexts only");
+        self.counters.bump(|c| c.rotations += 1);
+        let ctx = &self.ctx;
+        let mut c0 = ct.part(0).clone();
+        let mut c1 = ct.part(1).clone();
+        c0.to_coeff(ctx);
+        c1.to_coeff(ctx);
+        let c0g = c0.apply_automorphism(ctx, element);
+        let c1g = c1.apply_automorphism(ctx, element);
+        let (mut acc0, acc1) = self.key_switch(&c1g, key);
+        let mut c0g_ntt = c0g;
+        c0g_ntt.to_ntt(ctx);
+        acc0.add_assign(ctx, &c0g_ntt);
+        Ciphertext::new(vec![acc0, acc1], None)
+    }
+
+    /// Relinearizes a size-3 ciphertext down to size 2 (THE-X baseline).
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::WrongCiphertextSize`] unless the input has 3 parts.
+    pub fn relinearize(&self, ct: &Ciphertext, rk: &RelinKey) -> Result<Ciphertext, HeError> {
+        if ct.size() != 3 {
+            return Err(HeError::WrongCiphertextSize { expected: 3, actual: ct.size() });
+        }
+        self.counters.bump(|c| c.relin += 1);
+        let ctx = &self.ctx;
+        let mut c2 = ct.part(2).clone();
+        c2.to_coeff(ctx);
+        let (acc0, acc1) = self.key_switch(&c2, &rk.0);
+        let mut p0 = ct.part(0).clone();
+        p0.add_assign(ctx, &acc0);
+        let mut p1 = ct.part(1).clone();
+        p1.add_assign(ctx, &acc1);
+        Ok(Ciphertext::new(vec![p0, p1], None))
+    }
+
+    /// Core key switch: given `poly` (coefficient form) encrypted-times
+    /// `s_old`, produces `(acc0, acc1)` in NTT form such that
+    /// `acc0 + acc1·s ≈ poly·s_old`.
+    fn key_switch(&self, poly_coeff: &RnsPoly, key: &KskKey) -> (RnsPoly, RnsPoly) {
+        let ctx = &self.ctx;
+        let w = key.digit_bits();
+        let mask = (1u128 << w) - 1;
+        let mut acc0 = RnsPoly::zero(ctx, true);
+        let mut acc1 = RnsPoly::zero(ctx, true);
+        let n = ctx.n();
+        for i in 0..ctx.num_primes() {
+            let residues = poly_coeff.residues(i).to_vec();
+            for j in 0..key.digits(i) {
+                let shift = (j as u32) * w;
+                let mut digit = RnsPoly::zero(ctx, false);
+                for k in 0..n {
+                    let d = ((residues[k] as u128 >> shift) & mask) as u64;
+                    for p in 0..ctx.num_primes() {
+                        // d < 2^w < every q_p: no reduction needed.
+                        digit.residues_mut(p)[k] = d;
+                    }
+                }
+                digit.to_ntt(ctx);
+                let (b, a) = key.part(i, j);
+                acc0.add_mul_pointwise_assign(ctx, &digit, b);
+                acc1.add_mul_pointwise_assign(ctx, &digit, a);
+            }
+        }
+        (acc0, acc1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::BatchEncoder;
+    use crate::encryptor::Encryptor;
+    use crate::keys::KeyGenerator;
+    use crate::params::HeParams;
+    use primer_math::rng::seeded;
+
+    struct Fixture {
+        ctx: HeContext,
+        enc: BatchEncoder,
+        encr: Encryptor,
+        eval: Evaluator,
+        kg: KeyGenerator,
+    }
+
+    fn fixture(params: HeParams) -> Fixture {
+        let ctx = HeContext::new(params);
+        let enc = BatchEncoder::new(&ctx);
+        let mut rng = seeded(50);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let encr = Encryptor::new(&ctx, kg.secret_key().clone(), 51);
+        let eval = Evaluator::new(&ctx);
+        Fixture { ctx, enc, encr, eval, kg }
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let f = fixture(HeParams::toy());
+        let t = f.ctx.params().t();
+        let a: Vec<u64> = (0..100).map(|i| i * 3 % t).collect();
+        let b: Vec<u64> = (0..100).map(|i| i * 7 % t).collect();
+        let ca = f.encr.encrypt(&f.enc.encode(&a));
+        let cb = f.encr.encrypt(&f.enc.encode(&b));
+        let sum = f.eval.add(&ca, &cb);
+        let got = f.enc.decode(&f.encr.decrypt(&sum));
+        for i in 0..100 {
+            assert_eq!(got[i], (a[i] + b[i]) % t);
+        }
+    }
+
+    #[test]
+    fn plaintext_add_and_sub() {
+        let f = fixture(HeParams::toy());
+        let t = f.ctx.params().t();
+        let a = vec![100u64, 200, 300];
+        let b = vec![5u64, t - 1, 42];
+        let ct = f.encr.encrypt(&f.enc.encode(&a));
+        let added = f.eval.add_plain(&ct, &f.enc.encode(&b));
+        let got = f.enc.decode(&f.encr.decrypt(&added));
+        for i in 0..3 {
+            assert_eq!(got[i], (a[i] + b[i]) % t);
+        }
+        let subbed = f.eval.sub_plain(&added, &f.enc.encode(&b));
+        let back = f.enc.decode(&f.encr.decrypt(&subbed));
+        assert_eq!(&back[..3], &a[..]);
+    }
+
+    #[test]
+    fn plaintext_multiplication_slotwise() {
+        let f = fixture(HeParams::toy());
+        let t = f.ctx.params().t();
+        let a: Vec<u64> = (0..50).map(|i| (i * i) % t).collect();
+        let w: Vec<u64> = (0..50).map(|i| (i + 13) % t).collect();
+        let ct = f.encr.encrypt(&f.enc.encode(&a));
+        let mp = f.eval.prepare_mul_plain(&f.enc.encode(&w));
+        let prod = f.eval.mul_plain(&ct, &mp);
+        let budget = f.encr.noise_budget(&prod);
+        assert!(budget > 5.0, "post-mult budget {budget}");
+        let got = f.enc.decode(&f.encr.decrypt(&prod));
+        for i in 0..50 {
+            assert_eq!(got[i], a[i] * w[i] % t, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn rotation_moves_slots_left() {
+        let f = fixture(HeParams::toy());
+        let rs = f.enc.row_size();
+        let vals: Vec<u64> = (0..2 * rs as u64).map(|v| v + 1).collect();
+        let ct = f.encr.encrypt(&f.enc.encode(&vals));
+        let mut rng = seeded(52);
+        let gk = f.kg.galois_keys(&[1, 5], false, &mut rng);
+        for step in [1usize, 5] {
+            let rot = f.eval.rotate_rows(&ct, step, &gk).expect("key present");
+            let got = f.enc.decode(&f.encr.decrypt(&rot));
+            for i in 0..rs {
+                assert_eq!(got[i], vals[(i + step) % rs], "step {step} slot {i}");
+                assert_eq!(got[rs + i], vals[rs + (i + step) % rs]);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_composes_from_pow2() {
+        let f = fixture(HeParams::toy());
+        let rs = f.enc.row_size();
+        let vals: Vec<u64> = (0..2 * rs as u64).map(|v| 2 * v + 3).collect();
+        let ct = f.encr.encrypt(&f.enc.encode(&vals));
+        let mut rng = seeded(53);
+        let gk = f.kg.galois_keys_pow2(&[], false, &mut rng);
+        let before = f.eval.counts().rotations;
+        let rot = f.eval.rotate_rows(&ct, 11, &gk).expect("pow2 coverage");
+        // 11 = 8 + 2 + 1 → exactly three elementary rotations.
+        assert_eq!(f.eval.counts().rotations - before, 3);
+        let got = f.enc.decode(&f.encr.decrypt(&rot));
+        for i in 0..rs {
+            assert_eq!(got[i], vals[(i + 11) % rs]);
+        }
+    }
+
+    #[test]
+    fn column_rotation_swaps_rows() {
+        let f = fixture(HeParams::toy());
+        let rs = f.enc.row_size();
+        let vals: Vec<u64> = (0..2 * rs as u64).map(|v| v + 7).collect();
+        let ct = f.encr.encrypt(&f.enc.encode(&vals));
+        let mut rng = seeded(54);
+        let gk = f.kg.galois_keys(&[1], true, &mut rng);
+        let rot = f.eval.rotate_columns(&ct, &gk).expect("columns key");
+        let got = f.enc.decode(&f.encr.decrypt(&rot));
+        for i in 0..rs {
+            assert_eq!(got[i], vals[rs + i]);
+            assert_eq!(got[rs + i], vals[i]);
+        }
+    }
+
+    #[test]
+    fn missing_key_is_an_error() {
+        let f = fixture(HeParams::toy());
+        let ct = f.encr.encrypt(&f.enc.encode(&[1]));
+        let mut rng = seeded(55);
+        let gk = f.kg.galois_keys(&[4], false, &mut rng);
+        let err = f.eval.rotate_rows(&ct, 3, &gk).unwrap_err();
+        assert!(matches!(err, HeError::MissingGaloisKey { .. }));
+    }
+
+    #[test]
+    fn rotation_works_on_two_prime_profile() {
+        let f = fixture(HeParams::test_2k());
+        let rs = f.enc.row_size();
+        let vals: Vec<u64> = (0..2 * rs as u64).map(|v| v % 1000).collect();
+        let ct = f.encr.encrypt(&f.enc.encode(&vals));
+        let mut rng = seeded(56);
+        let gk = f.kg.galois_keys(&[7], false, &mut rng);
+        let rot = f.eval.rotate_rows(&ct, 7, &gk).expect("key present");
+        let budget = f.encr.noise_budget(&rot);
+        assert!(budget > 30.0, "post-rotation budget {budget}");
+        let got = f.enc.decode(&f.encr.decrypt(&rot));
+        for i in 0..rs {
+            assert_eq!(got[i], vals[(i + 7) % rs]);
+        }
+    }
+
+    #[test]
+    fn accumulate_matches_mul_then_add() {
+        let f = fixture(HeParams::toy());
+        let t = f.ctx.params().t();
+        let a: Vec<u64> = (0..20).map(|i| i + 1).collect();
+        let w: Vec<u64> = (0..20).map(|i| 2 * i + 1).collect();
+        let ct = f.encr.encrypt(&f.enc.encode(&a));
+        let mp = f.eval.prepare_mul_plain(&f.enc.encode(&w));
+        let mut acc = f.eval.zero_ciphertext();
+        f.eval.mul_plain_accumulate(&mut acc, &ct, &mp);
+        f.eval.mul_plain_accumulate(&mut acc, &ct, &mp);
+        let got = f.enc.decode(&f.encr.decrypt(&acc));
+        for i in 0..20 {
+            assert_eq!(got[i], 2 * a[i] * w[i] % t);
+        }
+    }
+}

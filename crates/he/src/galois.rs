@@ -1,0 +1,81 @@
+//! Galois element bookkeeping for slot rotations.
+//!
+//! Rotating both batching rows left by `k` corresponds to the automorphism
+//! `x → x^(3^k mod 2n)`; swapping the rows corresponds to `x → x^(2n-1)`.
+//! (The direction convention is pinned down by the encoder tests.)
+
+/// Galois element implementing `rotate_rows(step)` (step in `1..n/2`).
+pub fn element_for_row_step(n: usize, step: usize) -> u64 {
+    let two_n = 2 * n as u64;
+    let s = (step % (n / 2)) as u64;
+    pow_mod(3, s, two_n)
+}
+
+/// Galois element implementing the row swap.
+pub fn element_for_columns(n: usize) -> u64 {
+    2 * n as u64 - 1
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    base %= m;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % m; // m = 2n < 2^32: no overflow
+        }
+        base = base * base % m;
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Decomposes `step` into a sequence of available elementary steps
+/// (greedy over set bits). Returns `None` if some power of two has no key.
+pub fn decompose_step(step: usize, available: &[usize]) -> Option<Vec<usize>> {
+    if available.contains(&step) {
+        return Some(vec![step]);
+    }
+    let mut hops = Vec::new();
+    for bit in 0..usize::BITS {
+        let p = 1usize << bit;
+        if step & p != 0 {
+            if !available.contains(&p) {
+                return None;
+            }
+            hops.push(p);
+        }
+    }
+    Some(hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_are_odd() {
+        for step in 1..10 {
+            assert_eq!(element_for_row_step(1024, step) % 2, 1);
+        }
+        assert_eq!(element_for_columns(1024), 2047);
+    }
+
+    #[test]
+    fn element_composition() {
+        let n = 1024;
+        let e1 = element_for_row_step(n, 1);
+        let e2 = element_for_row_step(n, 2);
+        assert_eq!(e1 * e1 % (2 * n as u64), e2);
+    }
+
+    #[test]
+    fn decompose_prefers_dedicated() {
+        assert_eq!(decompose_step(30, &[30, 1, 2, 4, 8, 16]), Some(vec![30]));
+    }
+
+    #[test]
+    fn decompose_falls_back_to_bits() {
+        assert_eq!(decompose_step(5, &[1, 2, 4]), Some(vec![1, 4]));
+        assert_eq!(decompose_step(5, &[1, 2]), None);
+    }
+}

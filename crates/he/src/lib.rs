@@ -1,0 +1,62 @@
+//! Additive BFV-style homomorphic encryption with SIMD batching and
+//! Galois rotations — the Primer stack's substitute for Microsoft SEAL.
+//!
+//! The scheme is a textbook RLWE BFV instantiation restricted to the
+//! operations the Primer protocols actually use:
+//!
+//! * symmetric encryption / decryption ([`Encryptor`]),
+//! * batching of `n` plaintext slots arranged as a 2 × n/2 matrix
+//!   ([`BatchEncoder`]),
+//! * ciphertext ± ciphertext, ciphertext ± plaintext, ciphertext ×
+//!   plaintext ([`Evaluator`]),
+//! * slot rotations via Galois automorphism + key switching
+//!   ([`Evaluator::rotate_rows`], [`Evaluator::rotate_columns`]),
+//! * ciphertext × ciphertext with relinearization ([`mult::multiply`]) —
+//!   **only** for the THE-X baseline; Primer itself never needs it,
+//!   exactly as the paper states.
+//!
+//! Every operation is counted ([`OpCounters`]) so the benchmark harness
+//! can extrapolate paper-scale costs from measured per-op latencies.
+//!
+//! ```
+//! use primer_he::{BatchEncoder, Encryptor, Evaluator, HeContext, HeParams, KeyGenerator};
+//! use primer_math::rng::seeded;
+//!
+//! let ctx = HeContext::new(HeParams::toy());
+//! let encoder = BatchEncoder::new(&ctx);
+//! let mut rng = seeded(7);
+//! let keygen = KeyGenerator::new(&ctx, &mut rng);
+//! let encryptor = Encryptor::new(&ctx, keygen.secret_key().clone(), 8);
+//! let evaluator = Evaluator::new(&ctx);
+//!
+//! let ct = encryptor.encrypt(&encoder.encode(&[1, 2, 3]));
+//! let doubled = evaluator.add(&ct, &ct);
+//! assert_eq!(&encoder.decode(&encryptor.decrypt(&doubled))[..3], &[2, 4, 6]);
+//! ```
+
+pub mod cipher;
+pub mod context;
+pub mod counters;
+pub mod encoder;
+pub mod encryptor;
+pub mod error;
+pub mod eval;
+pub mod galois;
+pub mod keys;
+pub mod modulus;
+pub mod mult;
+pub mod ntt;
+pub mod params;
+pub mod poly;
+pub mod primes;
+pub mod u256;
+
+pub use cipher::{Ciphertext, Plaintext};
+pub use context::HeContext;
+pub use counters::{OpCounters, OpCounts};
+pub use encoder::BatchEncoder;
+pub use encryptor::Encryptor;
+pub use error::HeError;
+pub use eval::{Evaluator, MulPlain};
+pub use keys::{GaloisKeys, KeyGenerator, RelinKey, SecretKey};
+pub use params::HeParams;

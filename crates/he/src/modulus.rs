@@ -1,0 +1,194 @@
+//! Arithmetic modulo a word-sized prime used by the RNS/NTT layers.
+
+/// A prime modulus `p < 2^62` with convenience arithmetic.
+///
+/// All NTT primes and the plaintext modulus are wrapped in this type. The
+/// implementation reduces through `u128`; this is not the fastest possible
+/// (no Barrett/Montgomery caching) but it is branch-simple, obviously
+/// correct, and fast enough that NTTs dominate where intended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    p: u64,
+}
+
+impl Modulus {
+    /// Wraps a modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2` or `p >= 2^62`.
+    pub fn new(p: u64) -> Self {
+        assert!(p >= 2, "modulus must be at least 2");
+        assert!(p < (1u64 << 62), "modulus must be below 2^62");
+        Self { p }
+    }
+
+    /// The raw modulus value.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.p
+    }
+
+    /// `x mod p` for arbitrary `x`.
+    #[inline]
+    pub fn reduce(&self, x: u64) -> u64 {
+        x % self.p
+    }
+
+    /// `x mod p` for a 128-bit `x`.
+    #[inline]
+    pub fn reduce_u128(&self, x: u128) -> u64 {
+        (x % self.p as u128) as u64
+    }
+
+    /// Modular addition of reduced operands.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.p && b < self.p);
+        let s = a + b;
+        if s >= self.p {
+            s - self.p
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction of reduced operands.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.p && b < self.p);
+        if a >= b {
+            a - b
+        } else {
+            a + self.p - b
+        }
+    }
+
+    /// Modular negation.
+    #[inline]
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.p);
+        if a == 0 {
+            0
+        } else {
+            self.p - a
+        }
+    }
+
+    /// Modular multiplication.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.p && b < self.p);
+        ((a as u128 * b as u128) % self.p as u128) as u64
+    }
+
+    /// Modular exponentiation.
+    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        base = self.reduce(base);
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Modular inverse for prime `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a ≡ 0 (mod p)`.
+    pub fn inv(&self, a: u64) -> u64 {
+        let a = self.reduce(a);
+        assert!(a != 0, "zero has no modular inverse");
+        self.pow(a, self.p - 2)
+    }
+
+    /// Centers `a` into `(-p/2, p/2]`.
+    #[inline]
+    pub fn to_signed(&self, a: u64) -> i64 {
+        debug_assert!(a < self.p);
+        if a > self.p / 2 {
+            -((self.p - a) as i64)
+        } else {
+            a as i64
+        }
+    }
+
+    /// Embeds a signed value.
+    #[inline]
+    pub fn from_signed(&self, x: i64) -> u64 {
+        let p = self.p as i128;
+        (((x as i128 % p) + p) % p) as u64
+    }
+
+    /// Finds a primitive `m`-th root of unity (requires `m | p-1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` does not divide `p - 1` or no generator is found.
+    pub fn primitive_root(&self, m: u64) -> u64 {
+        assert!(m >= 1 && (self.p - 1) % m == 0, "m must divide p-1");
+        let cofactor = (self.p - 1) / m;
+        // Random-ish search over small candidates; the density of
+        // generators makes this terminate almost immediately.
+        for cand in 2..10_000u64 {
+            let g = self.pow(cand, cofactor);
+            if g != 1 && self.is_primitive_root(g, m) {
+                return g;
+            }
+        }
+        panic!("no primitive {m}-th root found for modulus {}", self.p);
+    }
+
+    /// Checks that `g` is a primitive `m`-th root of unity (power of two `m`).
+    pub fn is_primitive_root(&self, g: u64, m: u64) -> bool {
+        debug_assert!(m.is_power_of_two(), "only power-of-two orders supported");
+        if self.pow(g, m) != 1 {
+            return false;
+        }
+        self.pow(g, m / 2) == self.p - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let m = Modulus::new(65537);
+        assert_eq!(m.add(65536, 2), 1);
+        assert_eq!(m.sub(0, 1), 65536);
+        assert_eq!(m.mul(256, 256), 65536);
+        assert_eq!(m.mul(m.inv(12345), 12345), 1);
+    }
+
+    #[test]
+    fn primitive_root_order() {
+        // 65537 = 2^16 + 1: 2^16 | p-1.
+        let m = Modulus::new(65537);
+        let g = m.primitive_root(1 << 16);
+        assert!(m.is_primitive_root(g, 1 << 16));
+        assert!(!m.is_primitive_root(m.mul(g, g), 1 << 16));
+    }
+
+    #[test]
+    fn signed_embedding() {
+        let m = Modulus::new(97);
+        for x in -48..=48 {
+            assert_eq!(m.to_signed(m.from_signed(x)), x);
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let m = Modulus::new(101);
+        assert_eq!(m.pow(5, 0), 1);
+        assert_eq!(m.pow(0, 5), 0);
+        assert_eq!(m.pow(7, 100), 1); // Fermat
+    }
+}

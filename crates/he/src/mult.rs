@@ -1,0 +1,200 @@
+//! Ciphertext–ciphertext multiplication (BFV tensoring).
+//!
+//! **Used only by the THE-X baseline.** The Primer protocols never
+//! multiply two ciphertexts — FHGS moves those products offline — which is
+//! why this operation is restricted to single-prime parameter profiles
+//! where the exact integer tensor fits in 256-bit accumulators.
+
+use crate::cipher::Ciphertext;
+use crate::context::HeContext;
+use crate::counters::OpCounters;
+use crate::error::HeError;
+use crate::poly::RnsPoly;
+use crate::u256::U256;
+
+/// Multiplies two size-2 ciphertexts, producing a size-3 ciphertext
+/// (relinearize afterwards, or decrypt directly with `s²`).
+///
+/// # Errors
+///
+/// [`HeError::MultiPrimeUnsupported`] on multi-prime profiles and
+/// [`HeError::WrongCiphertextSize`] unless both inputs have 2 parts.
+pub fn multiply(
+    ctx: &HeContext,
+    counters: &OpCounters,
+    a: &Ciphertext,
+    b: &Ciphertext,
+) -> Result<Ciphertext, HeError> {
+    if ctx.num_primes() != 1 {
+        return Err(HeError::MultiPrimeUnsupported { op: "ciphertext multiplication" });
+    }
+    if a.size() != 2 {
+        return Err(HeError::WrongCiphertextSize { expected: 2, actual: a.size() });
+    }
+    if b.size() != 2 {
+        return Err(HeError::WrongCiphertextSize { expected: 2, actual: b.size() });
+    }
+    counters.bump(|c| c.mul_ct += 1);
+
+    let centered = |p: &RnsPoly| -> Vec<(bool, u64)> {
+        let m = ctx.moduli()[0];
+        let mut q = p.clone();
+        q.to_coeff(ctx);
+        q.residues(0)
+            .iter()
+            .map(|&x| {
+                let s = m.to_signed(x);
+                (s < 0, s.unsigned_abs())
+            })
+            .collect()
+    };
+    let a0 = centered(a.part(0));
+    let a1 = centered(a.part(1));
+    let b0 = centered(b.part(0));
+    let b1 = centered(b.part(1));
+
+    let c0 = scaled_negacyclic(ctx, &a0, &b0, None);
+    let c1 = scaled_negacyclic(ctx, &a0, &b1, Some((&a1, &b0)));
+    let c2 = scaled_negacyclic(ctx, &a1, &b1, None);
+
+    let build = |coeffs: Vec<u64>| {
+        let m = ctx.moduli()[0];
+        let signed: Vec<i64> = coeffs.iter().map(|&c| m.to_signed(c)).collect();
+        let mut p = RnsPoly::from_signed(ctx, &signed);
+        p.to_ntt(ctx);
+        p
+    };
+    Ok(Ciphertext::new(vec![build(c0), build(c1), build(c2)], None))
+}
+
+/// Computes `round(t/q · (x ⊛ y [+ x2 ⊛ y2]))` coefficient-wise, where `⊛`
+/// is the exact negacyclic convolution over the integers.
+fn scaled_negacyclic(
+    ctx: &HeContext,
+    x: &[(bool, u64)],
+    y: &[(bool, u64)],
+    extra: Option<(&[(bool, u64)], &[(bool, u64)])>,
+) -> Vec<u64> {
+    let n = x.len();
+    let mut pos = vec![U256::ZERO; n];
+    let mut neg = vec![U256::ZERO; n];
+    let mut accumulate = |u: &[(bool, u64)], v: &[(bool, u64)]| {
+        for i in 0..n {
+            let (sx, mx) = u[i];
+            if mx == 0 {
+                continue;
+            }
+            for j in 0..n {
+                let (sy, my) = v[j];
+                if my == 0 {
+                    continue;
+                }
+                let k = i + j;
+                let (idx, wrap) = if k < n { (k, false) } else { (k - n, true) };
+                let negative = sx ^ sy ^ wrap;
+                let prod = U256::from_u128(mx as u128 * my as u128);
+                if negative {
+                    neg[idx] = neg[idx].add(prod);
+                } else {
+                    pos[idx] = pos[idx].add(prod);
+                }
+            }
+        }
+    };
+    accumulate(x, y);
+    if let Some((x2, y2)) = extra {
+        accumulate(x2, y2);
+    }
+
+    let t = ctx.params().t();
+    let q = ctx.q();
+    let m = ctx.moduli()[0];
+    (0..n)
+        .map(|k| {
+            let (negative, mag) = if pos[k] >= neg[k] {
+                (false, pos[k].sub(neg[k]))
+            } else {
+                (true, neg[k].sub(pos[k]))
+            };
+            let scaled = mag.mul_small(t).div_round_u128(q);
+            let reduced = m.reduce_u128(scaled);
+            if negative {
+                m.neg(reduced)
+            } else {
+                reduced
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::BatchEncoder;
+    use crate::encryptor::Encryptor;
+    use crate::eval::Evaluator;
+    use crate::keys::KeyGenerator;
+    use crate::params::HeParams;
+    use primer_math::rng::seeded;
+
+    #[test]
+    fn slotwise_product_decrypts_at_size_3() {
+        let ctx = HeContext::new(HeParams::toy());
+        let enc = BatchEncoder::new(&ctx);
+        let mut rng = seeded(60);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let encr = Encryptor::new(&ctx, kg.secret_key().clone(), 61);
+        let eval = Evaluator::new(&ctx);
+        let t = ctx.params().t();
+
+        let a: Vec<u64> = (0..64).map(|i| (i * 11 + 1) % 200).collect();
+        let b: Vec<u64> = (0..64).map(|i| (i * 7 + 3) % 200).collect();
+        let ca = encr.encrypt(&enc.encode(&a));
+        let cb = encr.encrypt(&enc.encode(&b));
+        let prod = multiply(&ctx, eval.counters(), &ca, &cb).expect("single prime");
+        assert_eq!(prod.size(), 3);
+        let got = enc.decode(&encr.decrypt(&prod));
+        for i in 0..64 {
+            assert_eq!(got[i], a[i] * b[i] % t, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn relinearized_product_decrypts_at_size_2() {
+        let ctx = HeContext::new(HeParams::toy());
+        let enc = BatchEncoder::new(&ctx);
+        let mut rng = seeded(62);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let encr = Encryptor::new(&ctx, kg.secret_key().clone(), 63);
+        let eval = Evaluator::new(&ctx);
+        let rk = kg.relin_key(&mut rng);
+        let t = ctx.params().t();
+
+        let a = vec![3u64, 50, 111];
+        let b = vec![7u64, 2, 90];
+        let ca = encr.encrypt(&enc.encode(&a));
+        let cb = encr.encrypt(&enc.encode(&b));
+        let prod = multiply(&ctx, eval.counters(), &ca, &cb).expect("single prime");
+        let lin = eval.relinearize(&prod, &rk).expect("size 3 input");
+        assert_eq!(lin.size(), 2);
+        let budget = encr.noise_budget(&lin);
+        assert!(budget > 1.0, "post-relin budget {budget}");
+        let got = enc.decode(&encr.decrypt(&lin));
+        for i in 0..3 {
+            assert_eq!(got[i], a[i] * b[i] % t);
+        }
+    }
+
+    #[test]
+    fn multi_prime_profiles_are_rejected() {
+        let ctx = HeContext::new(HeParams::test_2k());
+        let enc = BatchEncoder::new(&ctx);
+        let mut rng = seeded(64);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let encr = Encryptor::new(&ctx, kg.secret_key().clone(), 65);
+        let eval = Evaluator::new(&ctx);
+        let ct = encr.encrypt(&enc.encode(&[1]));
+        let err = multiply(&ctx, eval.counters(), &ct, &ct).unwrap_err();
+        assert_eq!(err, HeError::MultiPrimeUnsupported { op: "ciphertext multiplication" });
+    }
+}

@@ -1,0 +1,272 @@
+//! Negacyclic number-theoretic transform.
+//!
+//! Pointwise multiplication in the transformed domain corresponds to
+//! multiplication in `Z_p[x]/(x^n + 1)`. The butterflies use Shoup
+//! precomputed twiddles (the hot path of the whole HE layer).
+//!
+//! The output ordering of [`NttTables::forward`] is an implementation
+//! detail; all users either operate pointwise (ciphertext arithmetic) or
+//! recover the evaluation-point ordering empirically (the batching
+//! encoder), so no external contract depends on it.
+
+use crate::modulus::Modulus;
+
+/// Precomputed tables for a negacyclic NTT of size `n` modulo `p`.
+#[derive(Debug, Clone)]
+pub struct NttTables {
+    n: usize,
+    log_n: u32,
+    modulus: Modulus,
+    // psi powers in bit-reversed order, with Shoup companions.
+    psi_rev: Vec<u64>,
+    psi_rev_shoup: Vec<u64>,
+    psi_inv_rev: Vec<u64>,
+    psi_inv_rev_shoup: Vec<u64>,
+    n_inv: u64,
+    n_inv_shoup: u64,
+}
+
+#[inline]
+fn shoup(w: u64, p: u64) -> u64 {
+    (((w as u128) << 64) / p as u128) as u64
+}
+
+/// Shoup modular multiplication: `x * w mod p` where `w_shoup` was
+/// precomputed for `w`. Requires `p < 2^62`.
+#[inline]
+fn mul_shoup(x: u64, w: u64, w_shoup: u64, p: u64) -> u64 {
+    let q = ((x as u128 * w_shoup as u128) >> 64) as u64;
+    let r = (x.wrapping_mul(w)).wrapping_sub(q.wrapping_mul(p));
+    if r >= p {
+        r - p
+    } else {
+        r
+    }
+}
+
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+impl NttTables {
+    /// Builds tables for degree `n` (power of two) modulo `p` with
+    /// `p ≡ 1 (mod 2n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or the root condition fails.
+    pub fn new(n: usize, modulus: Modulus) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        let p = modulus.value();
+        assert_eq!((p - 1) % (2 * n as u64), 0, "p must be 1 mod 2n");
+        let log_n = n.trailing_zeros();
+        let psi = modulus.primitive_root(2 * n as u64);
+        let psi_inv = modulus.inv(psi);
+
+        let mut psi_pows = vec![0u64; n];
+        let mut psi_inv_pows = vec![0u64; n];
+        let mut acc = 1u64;
+        let mut acc_inv = 1u64;
+        for i in 0..n {
+            psi_pows[i] = acc;
+            psi_inv_pows[i] = acc_inv;
+            acc = modulus.mul(acc, psi);
+            acc_inv = modulus.mul(acc_inv, psi_inv);
+        }
+        let mut psi_rev = vec![0u64; n];
+        let mut psi_inv_rev = vec![0u64; n];
+        for i in 0..n {
+            let r = bit_reverse(i, log_n);
+            psi_rev[i] = psi_pows[r];
+            psi_inv_rev[i] = psi_inv_pows[r];
+        }
+        let psi_rev_shoup = psi_rev.iter().map(|&w| shoup(w, p)).collect();
+        let psi_inv_rev_shoup = psi_inv_rev.iter().map(|&w| shoup(w, p)).collect();
+        let n_inv = modulus.inv(n as u64);
+        Self {
+            n,
+            log_n,
+            modulus,
+            psi_rev,
+            psi_rev_shoup,
+            psi_inv_rev,
+            psi_inv_rev_shoup,
+            n_inv,
+            n_inv_shoup: shoup(n_inv, p),
+        }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate zero-size table (never constructed).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The modulus of this table.
+    #[inline]
+    pub fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// In-place forward negacyclic NTT (coefficients → evaluations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let p = self.modulus.value();
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let w = self.psi_rev[m + i];
+                let ws = self.psi_rev_shoup[m + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = mul_shoup(a[j + t], w, ws, p);
+                    let sum = u + v;
+                    a[j] = if sum >= p { sum - p } else { sum };
+                    a[j + t] = if u >= v { u - v } else { u + p - v };
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluations → coefficients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let p = self.modulus.value();
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let w = self.psi_inv_rev[h + i];
+                let ws = self.psi_inv_rev_shoup[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    let sum = u + v;
+                    a[j] = if sum >= p { sum - p } else { sum };
+                    let diff = if u >= v { u - v } else { u + p - v };
+                    a[j + t] = mul_shoup(diff, w, ws, p);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = mul_shoup(*x, self.n_inv, self.n_inv_shoup, p);
+        }
+    }
+
+    /// log2 of the transform size.
+    #[inline]
+    pub fn log_len(&self) -> u32 {
+        self.log_n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::ntt_prime;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn table(n: usize) -> NttTables {
+        let p = ntt_prime(50, 2 * n as u64, &[]);
+        NttTables::new(n, Modulus::new(p))
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let t = table(256);
+        let mut rng = StdRng::seed_from_u64(9);
+        let orig: Vec<u64> =
+            (0..256).map(|_| rng.gen_range(0..t.modulus().value())).collect();
+        let mut a = orig.clone();
+        t.forward(&mut a);
+        assert_ne!(a, orig, "transform should change the data");
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn pointwise_is_negacyclic_convolution() {
+        let n = 64;
+        let t = table(n);
+        let m = t.modulus();
+        let mut rng = StdRng::seed_from_u64(10);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+
+        // Schoolbook negacyclic product.
+        let mut want = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let prod = m.mul(a[i], b[j]);
+                let k = i + j;
+                if k < n {
+                    want[k] = m.add(want[k], prod);
+                } else {
+                    want[k - n] = m.sub(want[k - n], prod);
+                }
+            }
+        }
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| m.mul(x, y)).collect();
+        t.inverse(&mut fc);
+        assert_eq!(fc, want);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 128;
+        let t = table(n);
+        let m = t.modulus();
+        let mut rng = StdRng::seed_from_u64(11);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| m.add(x, y)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        t.forward(&mut fs);
+        for i in 0..n {
+            assert_eq!(fs[i], m.add(fa[i], fb[i]));
+        }
+    }
+
+    #[test]
+    fn works_at_paper_degree() {
+        let t = table(8192);
+        let mut a = vec![0u64; 8192];
+        a[1] = 1; // the polynomial x
+        let mut f = a.clone();
+        t.forward(&mut f);
+        t.inverse(&mut f);
+        assert_eq!(f, a);
+    }
+}

@@ -1,0 +1,190 @@
+//! Encryption parameters and standard profiles.
+
+use crate::primes::{is_prime, ntt_prime, ntt_primes};
+
+/// BFV-style encryption parameters.
+///
+/// * `n` — ring degree (power of two); the scheme offers `n` SIMD slots
+///   arranged as a 2 × n/2 matrix,
+/// * `moduli` — the RNS ciphertext primes (`q = Π moduli`), each
+///   `≡ 1 (mod 2n)`,
+/// * `t` — plaintext prime, `≡ 1 (mod 2n)` for batching,
+/// * `sigma` — error Gaussian width,
+/// * `decomp_bits` — digit width of the key-switching decomposition.
+///
+/// ```
+/// use primer_he::HeParams;
+/// let p = HeParams::test_2k();
+/// assert_eq!(p.n(), 2048);
+/// assert!(p.t() % (2 * 2048) == 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeParams {
+    n: usize,
+    moduli: Vec<u64>,
+    t: u64,
+    sigma: f64,
+    decomp_bits: u32,
+}
+
+impl HeParams {
+    /// Builds and validates a parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any structural condition fails (degree not a power of
+    /// two, non-prime or ill-congruent moduli, duplicate primes, digit
+    /// width out of `[4, 40]`).
+    pub fn new(n: usize, moduli: Vec<u64>, t: u64, sigma: f64, decomp_bits: u32) -> Self {
+        assert!(n.is_power_of_two() && n >= 16, "degree must be a power of two >= 16");
+        assert!(!moduli.is_empty() && moduli.len() <= 3, "1..=3 RNS primes supported");
+        let two_n = 2 * n as u64;
+        for (i, &q) in moduli.iter().enumerate() {
+            assert!(is_prime(q), "ciphertext modulus {q} is not prime");
+            assert_eq!(q % two_n, 1, "ciphertext modulus {q} is not 1 mod 2n");
+            assert!(q < (1u64 << 62), "ciphertext modulus too large");
+            assert!(!moduli[..i].contains(&q), "duplicate ciphertext modulus {q}");
+            assert_ne!(q, t, "plaintext modulus must differ from ciphertext primes");
+        }
+        assert!(is_prime(t), "plaintext modulus {t} is not prime");
+        assert_eq!(t % two_n, 1, "plaintext modulus {t} is not 1 mod 2n");
+        assert!(sigma > 0.0, "sigma must be positive");
+        assert!((4..=40).contains(&decomp_bits), "decomp_bits out of range");
+        Self { n, moduli, t, sigma, decomp_bits }
+    }
+
+    /// Tiny profile for fast unit tests (`n = 1024`, one 60-bit prime,
+    /// ~15-bit plaintext — small enough that even 512-step
+    /// multiply-accumulate chains keep positive noise budget).
+    /// **Not secure** — test-only.
+    pub fn toy() -> Self {
+        let n = 1024usize;
+        let step = 2 * n as u64;
+        let q = ntt_prime(60, step, &[]);
+        let t = ntt_prime(15, step, &[q]);
+        Self::new(n, vec![q], t, 3.2, 16)
+    }
+
+    /// Protocol test profile (`n = 2048`, two 55-bit primes, ~30-bit
+    /// plaintext): deep enough noise budget for the full Primer pipeline
+    /// at reduced model dimensions. Security is below 128 bits at this
+    /// degree — acceptable for tests, documented in DESIGN.md.
+    pub fn test_2k() -> Self {
+        let n = 2048usize;
+        let step = 2 * n as u64;
+        let qs = ntt_primes(55, step, 2, &[]);
+        let t = ntt_prime(30, step, &qs);
+        Self::new(n, qs, t, 3.2, 20)
+    }
+
+    /// Like [`HeParams::test_2k`] but with two 60-bit primes (`q ≈
+    /// 2^120`), giving the extra noise headroom that deep protocol
+    /// pipelines (many masked multiply-accumulates) need in tests.
+    pub fn test_2k_wide() -> Self {
+        let n = 2048usize;
+        let step = 2 * n as u64;
+        let qs = ntt_primes(60, step, 2, &[]);
+        let t = ntt_prime(30, step, &qs);
+        Self::new(n, qs, t, 3.2, 20)
+    }
+
+    /// Paper-scale profile (`n = 8192`, two 59-bit primes → `q ≈ 2^118`,
+    /// ~43-bit plaintext). `log2 q = 118` is far below the 218-bit bound
+    /// that the homomorphic-encryption standard tables allow for 128-bit
+    /// security at this degree, matching the paper's security claim.
+    pub fn paper_8k() -> Self {
+        let n = 8192usize;
+        let step = 2 * n as u64;
+        let qs = ntt_primes(59, step, 2, &[]);
+        let t = ntt_prime(43, step, &qs);
+        Self::new(n, qs, t, 3.2, 20)
+    }
+
+    /// Ring degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// RNS ciphertext primes.
+    #[inline]
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
+    }
+
+    /// Plaintext modulus.
+    #[inline]
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// Error Gaussian width.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Key-switching digit width in bits.
+    #[inline]
+    pub fn decomp_bits(&self) -> u32 {
+        self.decomp_bits
+    }
+
+    /// Number of SIMD slots (= n).
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.n
+    }
+
+    /// Slots per batching row (= n/2); the protocol layer's vector width.
+    #[inline]
+    pub fn row_size(&self) -> usize {
+        self.n / 2
+    }
+
+    /// `q` as a 128-bit integer.
+    pub fn q(&self) -> u128 {
+        self.moduli.iter().map(|&m| m as u128).product()
+    }
+
+    /// `log2(q)` (approximate, for reporting).
+    pub fn log2_q(&self) -> f64 {
+        self.moduli.iter().map(|&m| (m as f64).log2()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for p in [HeParams::toy(), HeParams::test_2k(), HeParams::paper_8k()] {
+            assert!(p.q() > p.t() as u128);
+            assert_eq!(p.slot_count(), p.n());
+            assert_eq!(p.row_size() * 2, p.n());
+        }
+    }
+
+    #[test]
+    fn paper_profile_has_two_primes_and_deep_budget() {
+        let p = HeParams::paper_8k();
+        assert_eq!(p.moduli().len(), 2);
+        // Budget headroom: log2(q) - log2(t) > 70 bits.
+        assert!(p.log2_q() - (p.t() as f64).log2() > 70.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not 1 mod 2n")]
+    fn congruence_enforced() {
+        let q = crate::primes::ntt_prime(60, 2048, &[]);
+        // 13 is prime but 13 % 2048 != 1.
+        HeParams::new(1024, vec![q], 13, 3.2, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "not prime")]
+    fn primality_enforced() {
+        HeParams::new(1024, vec![2049 * 4 + 1], 40961, 3.2, 16);
+    }
+}

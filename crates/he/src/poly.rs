@@ -1,0 +1,338 @@
+//! Polynomials in RNS (double-CRT) representation.
+
+use crate::context::HeContext;
+use rand::Rng;
+
+/// A polynomial in `R_q`, stored as one residue vector per RNS prime,
+/// in either coefficient or NTT (evaluation) form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    values: Vec<Vec<u64>>,
+    ntt_form: bool,
+}
+
+impl RnsPoly {
+    /// The zero polynomial (form is caller's choice — zero is both).
+    pub fn zero(ctx: &HeContext, ntt_form: bool) -> Self {
+        Self { values: vec![vec![0; ctx.n()]; ctx.num_primes()], ntt_form }
+    }
+
+    /// Embeds small signed coefficients (coefficient form).
+    pub fn from_signed(ctx: &HeContext, coeffs: &[i64]) -> Self {
+        assert_eq!(coeffs.len(), ctx.n(), "coefficient count mismatch");
+        let values = ctx
+            .moduli()
+            .iter()
+            .map(|m| coeffs.iter().map(|&c| m.from_signed(c)).collect())
+            .collect();
+        Self { values, ntt_form: false }
+    }
+
+    /// Lifts a plaintext polynomial (coefficients mod `t`) into `R_q`
+    /// using the **centered** representative, so that `‖lift‖∞ ≤ t/2`.
+    /// This is the lift used for plaintext multiplication.
+    pub fn lift_plain_centered(ctx: &HeContext, plain_coeffs: &[u64]) -> Self {
+        assert_eq!(plain_coeffs.len(), ctx.n(), "coefficient count mismatch");
+        let t = ctx.plain();
+        let signed: Vec<i64> = plain_coeffs.iter().map(|&c| t.to_signed(c)).collect();
+        Self::from_signed(ctx, &signed)
+    }
+
+    /// Scales a plaintext polynomial into `R_q` as `round(q·m/t)` per
+    /// coefficient — the exact-rational BFV embedding used by encryption
+    /// and `add_plain`.
+    ///
+    /// The exact scaling (instead of `⌊q/t⌋·m`) is essential at Primer's
+    /// plaintext sizes: with `t ≈ 2^43`, the classic embedding leaks a
+    /// `(q mod t)·k` noise term through plaintext multiplication that
+    /// would exceed the decryption bound; with `round(q·m/t)` the
+    /// wraparound multiples of `t` map to exact multiples of `q` and
+    /// vanish.
+    pub fn scale_plain_to_q(ctx: &HeContext, plain_coeffs: &[u64]) -> Self {
+        assert_eq!(plain_coeffs.len(), ctx.n(), "coefficient count mismatch");
+        let t = ctx.params().t() as u128;
+        let delta = ctx.delta(); // floor(q/t) < 2^(128-43): Δ·m fits u128
+        let r_t = ctx.q() - delta * t; // q mod t
+        let mut values = vec![Vec::with_capacity(ctx.n()); ctx.num_primes()];
+        for &c in plain_coeffs {
+            let m = c as u128;
+            debug_assert!(m < t, "plaintext coefficient not reduced");
+            // round(q·m/t) = Δ·m + round(r_t·m / t); both terms fit u128.
+            let scaled = delta * m + (r_t * m + t / 2) / t;
+            for (i, md) in ctx.moduli().iter().enumerate() {
+                values[i].push(md.reduce_u128(scaled));
+            }
+        }
+        Self { values, ntt_form: false }
+    }
+
+    /// Uniformly random element of `R_q` (coefficient form). Sampling
+    /// reduces a random `u128` mod `q`; the modulo bias is negligible for
+    /// the simulation purposes of this crate.
+    pub fn uniform<R: Rng + ?Sized>(ctx: &HeContext, rng: &mut R) -> Self {
+        let q = ctx.q();
+        let n = ctx.n();
+        let mut values = vec![Vec::with_capacity(n); ctx.num_primes()];
+        for _ in 0..n {
+            let v: u128 = rng.gen::<u128>() % q;
+            for (i, m) in ctx.moduli().iter().enumerate() {
+                values[i].push(m.reduce_u128(v));
+            }
+        }
+        Self { values, ntt_form: false }
+    }
+
+    /// Discrete-Gaussian-ish error polynomial (Box–Muller, rounded),
+    /// coefficient form.
+    pub fn gaussian<R: Rng + ?Sized>(ctx: &HeContext, sigma: f64, rng: &mut R) -> Self {
+        let coeffs: Vec<i64> = (0..ctx.n())
+            .map(|_| {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (z * sigma).round() as i64
+            })
+            .collect();
+        Self::from_signed(ctx, &coeffs)
+    }
+
+    /// Uniform ternary polynomial ({-1, 0, 1}), coefficient form.
+    pub fn ternary<R: Rng + ?Sized>(ctx: &HeContext, rng: &mut R) -> Self {
+        let coeffs: Vec<i64> = (0..ctx.n()).map(|_| rng.gen_range(-1i64..=1)).collect();
+        Self::from_signed(ctx, &coeffs)
+    }
+
+    /// True if in NTT (evaluation) form.
+    #[inline]
+    pub fn is_ntt(&self) -> bool {
+        self.ntt_form
+    }
+
+    /// Residues for prime `i`.
+    #[inline]
+    pub fn residues(&self, i: usize) -> &[u64] {
+        &self.values[i]
+    }
+
+    /// Mutable residues for prime `i`.
+    #[inline]
+    pub fn residues_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.values[i]
+    }
+
+    /// Converts to NTT form in place (no-op if already there).
+    pub fn to_ntt(&mut self, ctx: &HeContext) {
+        if !self.ntt_form {
+            for (tbl, v) in ctx.ntt().iter().zip(&mut self.values) {
+                tbl.forward(v);
+            }
+            self.ntt_form = true;
+        }
+    }
+
+    /// Converts to coefficient form in place (no-op if already there).
+    pub fn to_coeff(&mut self, ctx: &HeContext) {
+        if self.ntt_form {
+            for (tbl, v) in ctx.ntt().iter().zip(&mut self.values) {
+                tbl.inverse(v);
+            }
+            self.ntt_form = false;
+        }
+    }
+
+    /// `self += other` (forms must match).
+    pub fn add_assign(&mut self, ctx: &HeContext, other: &Self) {
+        assert_eq!(self.ntt_form, other.ntt_form, "form mismatch in add");
+        for ((m, a), b) in ctx.moduli().iter().zip(&mut self.values).zip(&other.values) {
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = m.add(*x, y);
+            }
+        }
+    }
+
+    /// `self -= other` (forms must match).
+    pub fn sub_assign(&mut self, ctx: &HeContext, other: &Self) {
+        assert_eq!(self.ntt_form, other.ntt_form, "form mismatch in sub");
+        for ((m, a), b) in ctx.moduli().iter().zip(&mut self.values).zip(&other.values) {
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = m.sub(*x, y);
+            }
+        }
+    }
+
+    /// `self = -self`.
+    pub fn negate(&mut self, ctx: &HeContext) {
+        for (m, a) in ctx.moduli().iter().zip(&mut self.values) {
+            for x in a.iter_mut() {
+                *x = m.neg(*x);
+            }
+        }
+    }
+
+    /// Pointwise product (both operands must be in NTT form).
+    pub fn mul_pointwise_assign(&mut self, ctx: &HeContext, other: &Self) {
+        assert!(self.ntt_form && other.ntt_form, "pointwise mul needs NTT form");
+        for ((m, a), b) in ctx.moduli().iter().zip(&mut self.values).zip(&other.values) {
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = m.mul(*x, y);
+            }
+        }
+    }
+
+    /// `self += a ⊙ b` (all three in NTT form) without an intermediate
+    /// allocation — the accumulation pattern of encrypted matmul.
+    pub fn add_mul_pointwise_assign(&mut self, ctx: &HeContext, a: &Self, b: &Self) {
+        assert!(self.ntt_form && a.ntt_form && b.ntt_form, "needs NTT form");
+        for (((m, acc), x), y) in
+            ctx.moduli().iter().zip(&mut self.values).zip(&a.values).zip(&b.values)
+        {
+            for ((o, &p), &q) in acc.iter_mut().zip(x).zip(y) {
+                *o = m.add(*o, m.mul(p, q));
+            }
+        }
+    }
+
+    /// Applies the Galois automorphism `x → x^g` (coefficient form only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if in NTT form or `g` is even / out of range.
+    pub fn apply_automorphism(&self, ctx: &HeContext, g: u64) -> Self {
+        assert!(!self.ntt_form, "automorphism operates on coefficient form");
+        let n = ctx.n();
+        let two_n = 2 * n as u64;
+        assert!(g % 2 == 1 && g < two_n, "galois element must be odd and < 2n");
+        let mut out = Self::zero(ctx, false);
+        for (pi, m) in ctx.moduli().iter().enumerate() {
+            let src = &self.values[pi];
+            let dst = &mut out.values[pi];
+            for (i, &c) in src.iter().enumerate() {
+                let idx = (i as u64 * g) % two_n;
+                if idx < n as u64 {
+                    dst[idx as usize] = c;
+                } else {
+                    dst[(idx - n as u64) as usize] = m.neg(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialized size in bytes (8 bytes per residue + 2-byte header).
+    pub fn serialized_size(&self) -> usize {
+        2 + self.values.iter().map(|v| v.len() * 8).sum::<usize>()
+    }
+
+    /// Appends the wire encoding (form byte + residues LE) to `out`.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(self.ntt_form));
+        out.push(self.values.len() as u8);
+        for residues in &self.values {
+            for &v in residues {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+
+    /// Reads a polynomial written by [`RnsPoly::write_bytes`]; returns
+    /// the poly and the number of bytes consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input (protocol logic error).
+    pub fn read_bytes(ctx: &HeContext, bytes: &[u8]) -> (Self, usize) {
+        let ntt_form = bytes[0] == 1;
+        let primes = bytes[1] as usize;
+        assert_eq!(primes, ctx.num_primes(), "prime count mismatch");
+        let n = ctx.n();
+        let mut off = 2;
+        let mut values = Vec::with_capacity(primes);
+        for _ in 0..primes {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(u64::from_le_bytes(bytes[off..off + 8].try_into().expect("u64")));
+                off += 8;
+            }
+            values.push(v);
+        }
+        (Self { values, ntt_form }, off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::HeParams;
+    use primer_math::rng::seeded;
+
+    fn ctx() -> HeContext {
+        HeContext::new(HeParams::toy())
+    }
+
+    #[test]
+    fn ntt_roundtrip() {
+        let ctx = ctx();
+        let mut rng = seeded(20);
+        let p = RnsPoly::uniform(&ctx, &mut rng);
+        let mut q = p.clone();
+        q.to_ntt(&ctx);
+        assert!(q.is_ntt());
+        q.to_coeff(&ctx);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn add_sub_cancel() {
+        let ctx = ctx();
+        let mut rng = seeded(21);
+        let a = RnsPoly::uniform(&ctx, &mut rng);
+        let b = RnsPoly::uniform(&ctx, &mut rng);
+        let mut c = a.clone();
+        c.add_assign(&ctx, &b);
+        c.sub_assign(&ctx, &b);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn automorphism_identity_element() {
+        let ctx = ctx();
+        let mut rng = seeded(22);
+        let a = RnsPoly::uniform(&ctx, &mut rng);
+        assert_eq!(a.apply_automorphism(&ctx, 1), a);
+    }
+
+    #[test]
+    fn automorphism_composes() {
+        let ctx = ctx();
+        let n = ctx.n() as u64;
+        let mut rng = seeded(23);
+        let a = RnsPoly::uniform(&ctx, &mut rng);
+        let g1 = 3u64;
+        let g2 = 5u64;
+        let lhs = a.apply_automorphism(&ctx, g1).apply_automorphism(&ctx, g2);
+        let rhs = a.apply_automorphism(&ctx, (g1 * g2) % (2 * n));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ternary_is_small() {
+        let ctx = ctx();
+        let mut rng = seeded(24);
+        let s = RnsPoly::ternary(&ctx, &mut rng);
+        let m = ctx.moduli()[0];
+        for &c in s.residues(0) {
+            assert!(m.to_signed(c).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn gaussian_is_narrow() {
+        let ctx = ctx();
+        let mut rng = seeded(25);
+        let e = RnsPoly::gaussian(&ctx, 3.2, &mut rng);
+        let m = ctx.moduli()[0];
+        for &c in e.residues(0) {
+            assert!(m.to_signed(c).abs() < 40, "gaussian tail unreasonably fat");
+        }
+    }
+}

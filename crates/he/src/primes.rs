@@ -1,0 +1,138 @@
+//! NTT-friendly prime generation.
+//!
+//! The scheme needs primes `q ≡ 1 (mod 2N)` so that the negacyclic NTT
+//! exists, and a plaintext prime `t ≡ 1 (mod 2N)` so that batching works.
+//! Primality is decided by a deterministic Miller–Rabin for `u64`.
+
+/// Deterministic Miller–Rabin for 64-bit integers.
+///
+/// The witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}` is
+/// proven sufficient for all `n < 3.3 · 10^24`, which covers `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    base %= m;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Largest primes `p ≡ 1 (mod step)` strictly below `2^bits`, skipping any
+/// value in `exclude`.
+///
+/// # Panics
+///
+/// Panics if the search space is exhausted (never happens for the
+/// parameter ranges used here) or preconditions are violated.
+pub fn ntt_primes(bits: u32, step: u64, count: usize, exclude: &[u64]) -> Vec<u64> {
+    assert!(bits >= 10 && bits <= 62, "bits out of range");
+    assert!(step.is_power_of_two(), "step must be a power of two");
+    let mut found = Vec::with_capacity(count);
+    // Start at the largest candidate ≡ 1 mod step below 2^bits.
+    let top = (1u64 << bits) - 1;
+    let mut cand = top - (top % step) + 1;
+    if cand > top {
+        cand -= step;
+    }
+    while found.len() < count {
+        assert!(cand > (1u64 << (bits - 1)), "prime search space exhausted");
+        if is_prime(cand) && !exclude.contains(&cand) && !found.contains(&cand) {
+            found.push(cand);
+        }
+        cand -= step;
+    }
+    found
+}
+
+/// The single largest prime `p ≡ 1 (mod step)` below `2^bits`.
+pub fn ntt_prime(bits: u32, step: u64, exclude: &[u64]) -> u64 {
+    ntt_primes(bits, step, 1, exclude)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_prime_classification() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 65537, 1_000_003];
+        let composites = [1u64, 4, 9, 15, 65536, 1_000_001, 6_700_417 * 3];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 825_265] {
+            assert!(!is_prime(c), "{c} is a Carmichael number");
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_ntt_structure() {
+        let ps = ntt_primes(50, 1 << 12, 3, &[]);
+        assert_eq!(ps.len(), 3);
+        for p in &ps {
+            assert!(is_prime(*p));
+            assert_eq!(p % (1 << 12), 1);
+            assert!(*p < (1u64 << 50));
+        }
+        // Distinct and descending.
+        assert!(ps[0] > ps[1] && ps[1] > ps[2]);
+    }
+
+    #[test]
+    fn exclusion_respected() {
+        let first = ntt_prime(40, 1 << 10, &[]);
+        let second = ntt_prime(40, 1 << 10, &[first]);
+        assert_ne!(first, second);
+        assert!(second < first);
+    }
+}

@@ -1,0 +1,185 @@
+//! Minimal 256-bit unsigned arithmetic for exact BFV decryption and
+//! ciphertext–ciphertext tensoring.
+//!
+//! Decryption computes `round(t · v / q)` where `v < q < 2^124`; the
+//! intermediate product needs up to ~170 bits. Only the handful of
+//! operations required for that (and for the THE-X tensor product) are
+//! implemented.
+
+/// An unsigned 256-bit integer as `hi·2^128 + lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct U256 {
+    /// High 128 bits.
+    pub hi: u128,
+    /// Low 128 bits.
+    pub lo: u128,
+}
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256 { hi: 0, lo: 0 };
+
+    /// Constructs from a `u128`.
+    #[inline]
+    pub fn from_u128(x: u128) -> Self {
+        Self { hi: 0, lo: x }
+    }
+
+    /// Full 128×128→256-bit product.
+    pub fn mul_u128(a: u128, b: u128) -> Self {
+        let (a_hi, a_lo) = ((a >> 64) as u128, a & u64::MAX as u128);
+        let (b_hi, b_lo) = ((b >> 64) as u128, b & u64::MAX as u128);
+        let ll = a_lo * b_lo;
+        let lh = a_lo * b_hi;
+        let hl = a_hi * b_lo;
+        let hh = a_hi * b_hi;
+        let mid = lh.wrapping_add(hl);
+        let mid_carry = if mid < lh { 1u128 << 64 } else { 0 };
+        let lo = ll.wrapping_add(mid << 64);
+        let lo_carry = if lo < ll { 1u128 } else { 0 };
+        let hi = hh + (mid >> 64) + mid_carry + lo_carry;
+        Self { hi, lo }
+    }
+
+    /// Wrapping addition with carry-out ignored (values stay below 2^255
+    /// in all call sites).
+    pub fn add(self, other: Self) -> Self {
+        let lo = self.lo.wrapping_add(other.lo);
+        let carry = if lo < self.lo { 1 } else { 0 };
+        Self { hi: self.hi + other.hi + carry, lo }
+    }
+
+    /// Saturating-at-zero subtraction (callers guarantee `self >= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `self < other`.
+    pub fn sub(self, other: Self) -> Self {
+        debug_assert!(self >= other, "u256 underflow");
+        let (lo, borrow) = self.lo.overflowing_sub(other.lo);
+        Self { hi: self.hi - other.hi - borrow as u128, lo }
+    }
+
+    /// True if the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.hi == 0 && self.lo == 0
+    }
+
+    /// Left shift by one bit.
+    #[inline]
+    fn shl1(self) -> Self {
+        Self { hi: (self.hi << 1) | (self.lo >> 127), lo: self.lo << 1 }
+    }
+
+    /// Division by a `u128` divisor, returning `(quotient, remainder)`.
+    ///
+    /// Simple bit-serial restoring division; 256 iterations, used only in
+    /// decryption/tensoring inner loops where it is not the bottleneck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or if the quotient would exceed 128 bits.
+    pub fn div_rem_u128(self, d: u128) -> (u128, u128) {
+        assert!(d != 0, "division by zero");
+        let mut rem = U256::ZERO;
+        let mut quo = U256::ZERO;
+        for i in (0..256).rev() {
+            rem = rem.shl1();
+            let bit = if i >= 128 {
+                (self.hi >> (i - 128)) & 1
+            } else {
+                (self.lo >> i) & 1
+            };
+            rem.lo |= bit as u128; // rem < d <= 2^128 so hi bits stay clear
+            if rem.hi > 0 || rem.lo >= d {
+                // rem -= d (rem < 2d <= 2^129 so this is exact)
+                if rem.lo >= d {
+                    rem.lo -= d;
+                } else {
+                    rem.lo = rem.lo.wrapping_sub(d);
+                    rem.hi -= 1;
+                }
+                quo = quo.shl1();
+                quo.lo |= 1;
+            } else {
+                quo = quo.shl1();
+            }
+        }
+        assert!(quo.hi == 0, "quotient exceeds 128 bits");
+        (quo.lo, rem.lo)
+    }
+
+    /// Multiplies by a small factor (caller guarantees no 256-bit
+    /// overflow, which holds for all tensoring call sites).
+    pub fn mul_small(self, k: u64) -> Self {
+        let k = k as u128;
+        let (lo_hi, lo_lo) = ((self.lo >> 64) * k, (self.lo & u64::MAX as u128) * k);
+        let lo = lo_lo.wrapping_add(lo_hi << 64);
+        let carry = (lo_hi >> 64) + if lo < lo_lo { 1 } else { 0 };
+        Self { hi: self.hi * k + carry, lo }
+    }
+
+    /// `round(self / d)` with ties away from zero, as a `u128`.
+    pub fn div_round_u128(self, d: u128) -> u128 {
+        let (q, r) = self.div_rem_u128(d);
+        if r >= d - r {
+            q + 1
+        } else {
+            q
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_matches_native_for_small() {
+        for a in [0u128, 1, 7, u64::MAX as u128] {
+            for b in [0u128, 1, 13, u64::MAX as u128] {
+                let p = U256::mul_u128(a, b);
+                assert_eq!(p.hi, 0);
+                assert_eq!(p.lo, a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_large_cross_check() {
+        // (2^100)·(2^100) = 2^200
+        let p = U256::mul_u128(1u128 << 100, 1u128 << 100);
+        assert_eq!(p.hi, 1u128 << 72);
+        assert_eq!(p.lo, 0);
+    }
+
+    #[test]
+    fn div_rem_roundtrip() {
+        let vals = [
+            (U256::mul_u128(123_456_789_012_345u128, 987_654_321_098_765u128), 1_000_003u128),
+            (U256::mul_u128(u128::MAX / 3, 12_345u128), (1u128 << 100) + 7),
+            (U256::from_u128(42), 43u128),
+        ];
+        for (x, d) in vals {
+            let (q, r) = x.div_rem_u128(d);
+            assert!(r < d);
+            let back = U256::mul_u128(q, d).add(U256::from_u128(r));
+            assert_eq!(back, x);
+        }
+    }
+
+    #[test]
+    fn div_round_behaviour() {
+        assert_eq!(U256::from_u128(7).div_round_u128(2), 4); // ties away
+        assert_eq!(U256::from_u128(6).div_round_u128(4), 2); // 1.5 → 2
+        assert_eq!(U256::from_u128(5).div_round_u128(4), 1); // 1.25 → 1
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U256::mul_u128(u128::MAX / 5, 3);
+        let b = U256::mul_u128(u128::MAX / 7, 2);
+        assert_eq!(a.add(b).sub(b), a);
+    }
+}

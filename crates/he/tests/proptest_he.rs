@@ -1,0 +1,128 @@
+//! Property-based tests of the HE scheme's homomorphisms.
+
+use primer_he::{BatchEncoder, Encryptor, Evaluator, HeContext, HeParams, KeyGenerator};
+use primer_math::rng::seeded;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+struct Fixture {
+    ctx: HeContext,
+    encoder: BatchEncoder,
+    encryptor: Encryptor,
+    eval: Evaluator,
+    keys: primer_he::GaloisKeys,
+}
+
+thread_local! {
+    static FX: Fixture = {
+        let ctx = HeContext::new(HeParams::toy());
+        let encoder = BatchEncoder::new(&ctx);
+        let mut rng = seeded(900);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let encryptor = Encryptor::new(&ctx, kg.secret_key().clone(), 901);
+        let eval = Evaluator::new(&ctx);
+        let keys = kg.galois_keys_pow2(&[], false, &mut rng);
+        Fixture { ctx, encoder, encryptor, eval, keys }
+    };
+}
+
+fn with_fixture(
+    body: impl FnOnce(&Fixture) -> Result<(), TestCaseError>,
+) -> Result<(), TestCaseError> {
+    FX.with(|fx| body(fx))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Enc/Dec is the identity on arbitrary slot vectors.
+    #[test]
+    fn encrypt_decrypt_roundtrip(seed in 0u64..10_000) {
+        with_fixture(|f| {
+            let t = f.ctx.params().t();
+            let mut rng = seeded(seed);
+            let vals: Vec<u64> =
+                (0..64).map(|_| rand::Rng::gen_range(&mut rng, 0..t)).collect();
+            let ct = f.encryptor.encrypt(&f.encoder.encode(&vals));
+            let got = f.encoder.decode(&f.encryptor.decrypt(&ct));
+            prop_assert_eq!(&got[..64], &vals[..]);
+            Ok(())
+        })?;
+    }
+
+    /// Dec(Enc(a) + Enc(b)) == a + b mod t, slot-wise.
+    #[test]
+    fn addition_homomorphism(seed in 0u64..10_000) {
+        with_fixture(|f| {
+            let t = f.ctx.params().t();
+            let mut rng = seeded(seed ^ 0xA);
+            let a: Vec<u64> = (0..32).map(|_| rand::Rng::gen_range(&mut rng, 0..t)).collect();
+            let b: Vec<u64> = (0..32).map(|_| rand::Rng::gen_range(&mut rng, 0..t)).collect();
+            let ca = f.encryptor.encrypt(&f.encoder.encode(&a));
+            let cb = f.encryptor.encrypt(&f.encoder.encode(&b));
+            let got = f.encoder.decode(&f.encryptor.decrypt(&f.eval.add(&ca, &cb)));
+            for i in 0..32 {
+                prop_assert_eq!(got[i], (a[i] + b[i]) % t);
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Dec(Enc(a) ⊙ pt) == a·w mod t for bounded weights.
+    #[test]
+    fn plain_mult_homomorphism(seed in 0u64..10_000) {
+        with_fixture(|f| {
+            let t = f.ctx.params().t();
+            let mut rng = seeded(seed ^ 0xB);
+            let a: Vec<u64> =
+                (0..32).map(|_| rand::Rng::gen_range(&mut rng, 0..1000)).collect();
+            let w: Vec<u64> =
+                (0..32).map(|_| rand::Rng::gen_range(&mut rng, 0..1000)).collect();
+            let ca = f.encryptor.encrypt(&f.encoder.encode(&a));
+            let mp = f.eval.prepare_mul_plain(&f.encoder.encode(&w));
+            let got = f.encoder.decode(&f.encryptor.decrypt(&f.eval.mul_plain(&ca, &mp)));
+            for i in 0..32 {
+                prop_assert_eq!(got[i], a[i] * w[i] % t);
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Rotation by any step permutes slots cyclically per row.
+    #[test]
+    fn rotation_permutes(step in 1usize..511) {
+        with_fixture(|f| {
+            let rs = f.encoder.row_size();
+            let vals: Vec<u64> = (0..2 * rs as u64).map(|v| v % 997).collect();
+            let ct = f.encryptor.encrypt(&f.encoder.encode(&vals));
+            let rot = f.eval.rotate_rows(&ct, step, &f.keys).expect("pow2 coverage");
+            let got = f.encoder.decode(&f.encryptor.decrypt(&rot));
+            for i in 0..rs {
+                prop_assert_eq!(got[i], vals[(i + step) % rs]);
+                prop_assert_eq!(got[rs + i], vals[rs + (i + step) % rs]);
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Serialization roundtrips ciphertexts exactly (fresh + evaluated).
+    #[test]
+    fn ciphertext_serialization_roundtrip(seed in 0u64..10_000) {
+        with_fixture(|f| {
+            let mut rng = seeded(seed ^ 0xC);
+            let t = f.ctx.params().t();
+            let vals: Vec<u64> =
+                (0..16).map(|_| rand::Rng::gen_range(&mut rng, 0..t)).collect();
+            let fresh = f.encryptor.encrypt(&f.encoder.encode(&vals));
+            let evaluated = f.eval.add(&fresh, &fresh);
+            for ct in [fresh, evaluated] {
+                let bytes = ct.to_bytes();
+                prop_assert_eq!(bytes.len(), ct.serialized_size());
+                let (back, used) = primer_he::Ciphertext::from_bytes(&f.ctx, &bytes);
+                prop_assert_eq!(used, bytes.len());
+                prop_assert_eq!(back, ct);
+            }
+            Ok(())
+        })?;
+    }
+}

@@ -1,0 +1,148 @@
+//! Floating-point reference activations and their polynomial
+//! approximations.
+//!
+//! The f64 versions define ground truth for accuracy experiments. The
+//! `poly_*` variants replicate THE-X-style polynomial approximations that
+//! FHE-only systems must use — they are what costs THE-X its ~8 accuracy
+//! points in the paper's Figure 2 / Table I.
+
+/// Numerically-stable softmax.
+pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    assert!(!xs.is_empty(), "softmax of an empty slice");
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = xs.iter().map(|&x| (x - m).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// GELU in its sigmoid form `x·σ(1.702x)` (matches the fixed-point path).
+pub fn gelu(x: f64) -> f64 {
+    x / (1.0 + (-1.702 * x).exp())
+}
+
+/// ReLU.
+pub fn relu(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+/// LayerNorm with affine parameters.
+pub fn layer_norm(xs: &[f64], gamma: &[f64], beta: &[f64], eps: f64) -> Vec<f64> {
+    assert_eq!(xs.len(), gamma.len(), "gamma length mismatch");
+    assert_eq!(xs.len(), beta.len(), "beta length mismatch");
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let denom = (var + eps).sqrt();
+    xs.iter()
+        .zip(gamma.iter().zip(beta))
+        .map(|(x, (g, b))| g * (x - mean) / denom + b)
+        .collect()
+}
+
+/// THE-X-style softmax replacement: exponentials are replaced by a
+/// clipped quadratic and the division by a crude linear-feedback estimate.
+/// This deliberately mirrors the accuracy-losing approximations that pure
+/// FHE systems apply so comparisons are fair.
+pub fn poly_softmax(xs: &[f64]) -> Vec<f64> {
+    assert!(!xs.is_empty(), "softmax of an empty slice");
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    // Quadratic surrogate of exp on [-4, 0], clipped to zero below -4.
+    let surrogate = |d: f64| {
+        if d <= -4.0 {
+            0.0
+        } else {
+            let u = 1.0 + d / 4.0;
+            u * u
+        }
+    };
+    let es: Vec<f64> = xs.iter().map(|&x| surrogate(x - m)).collect();
+    let sum: f64 = es.iter().sum::<f64>().max(1e-9);
+    es.into_iter().map(|e| e / sum).collect()
+}
+
+/// THE-X-style GELU replacement: a quadratic fit on `[-4, 4]`, clipped to
+/// the ReLU asymptotes outside.
+pub fn poly_gelu(x: f64) -> f64 {
+    if x <= -4.0 {
+        0.0
+    } else if x >= 4.0 {
+        x
+    } else {
+        0.125 * x * x + 0.5 * x + 0.4
+    }
+}
+
+/// THE-X-style LayerNorm: the inverse square root is replaced by a
+/// first-order Taylor estimate around a fixed operating point, as done by
+/// approximation-based FHE transformers.
+pub fn poly_layer_norm(xs: &[f64], gamma: &[f64], beta: &[f64], eps: f64) -> Vec<f64> {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n + eps;
+    // 1/sqrt(v) ≈ 1.5/sqrt(c) - 0.5*v/c^1.5 around operating point c = 1.
+    let inv_denom = (1.5 - 0.5 * var).max(0.05);
+    xs.iter()
+        .zip(gamma.iter().zip(beta))
+        .map(|(x, (g, b))| g * (x - mean) * inv_denom + b)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let y = softmax(&[0.3, -1.0, 2.0]);
+        assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(y.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn softmax_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[11.0, 12.0, 13.0]);
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gelu_asymptotes() {
+        assert!(gelu(10.0) > 9.99);
+        assert!(gelu(-10.0).abs() < 1e-6);
+        assert!((gelu(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let y = layer_norm(&xs, &[1.0; 4], &[0.0; 4], 1e-9);
+        let mean = y.iter().sum::<f64>() / 4.0;
+        let var = y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poly_softmax_deviates_from_exact() {
+        // The approximation must be "close but measurably off" — this gap
+        // is what produces THE-X's accuracy loss.
+        let xs = [0.0, 1.0, -2.0, 0.5];
+        let exact = softmax(&xs);
+        let approx = poly_softmax(&xs);
+        let dev: f64 =
+            exact.iter().zip(&approx).map(|(a, b)| (a - b).abs()).sum();
+        assert!(dev > 1e-3, "approximation suspiciously exact");
+        assert!(dev < 0.5, "approximation uselessly bad: {dev}");
+        assert!((approx.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poly_gelu_tracks_gelu_loosely() {
+        for i in -20..=20 {
+            let x = i as f64 / 2.5;
+            assert!((poly_gelu(x) - gelu(x)).abs() < 0.45, "at {x}");
+        }
+    }
+}

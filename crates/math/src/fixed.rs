@@ -1,0 +1,205 @@
+//! Fixed-point number format of the Primer pipeline.
+//!
+//! The paper uses a 15-bit two's-complement fixed-point representation for
+//! inputs and weights, and truncates intermediate results back to 15 bits
+//! after every linear layer. [`FixedSpec`] captures the format; conversion
+//! to/from the ring `Z_t` goes through the centered representative.
+
+use crate::ring::Ring;
+
+/// A fixed-point format: `bits` total (including sign), `frac` fractional.
+///
+/// The representable range is `[-2^(bits-1), 2^(bits-1))` raw steps, i.e.
+/// real values in `[-2^(bits-1-frac), 2^(bits-1-frac))` at a resolution of
+/// `2^-frac`.
+///
+/// ```
+/// use primer_math::FixedSpec;
+/// let f = FixedSpec::paper(); // 15 bits, 7 fractional
+/// let raw = f.quantize(1.5);
+/// assert_eq!(raw, 192);
+/// assert_eq!(f.dequantize(raw), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedSpec {
+    bits: u32,
+    frac: u32,
+}
+
+impl FixedSpec {
+    /// Creates a format with `bits` total bits and `frac` fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < frac < bits <= 62`.
+    pub fn new(bits: u32, frac: u32) -> Self {
+        assert!(bits > 1 && bits <= 62, "bits out of range: {bits}");
+        assert!(frac > 0 && frac < bits, "frac out of range: {frac} for {bits} bits");
+        Self { bits, frac }
+    }
+
+    /// The paper's format: 15-bit values, 7 fractional bits.
+    pub fn paper() -> Self {
+        Self::new(15, 7)
+    }
+
+    /// A compact format for fast garbled-circuit tests.
+    pub fn test_small() -> Self {
+        Self::new(12, 5)
+    }
+
+    /// Total bits including sign.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Fractional bits.
+    #[inline]
+    pub fn frac(&self) -> u32 {
+        self.frac
+    }
+
+    /// The scale factor `2^frac`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        (1u64 << self.frac) as f64
+    }
+
+    /// Largest representable raw value, `2^(bits-1) - 1`.
+    #[inline]
+    pub fn max_raw(&self) -> i64 {
+        (1i64 << (self.bits - 1)) - 1
+    }
+
+    /// Smallest representable raw value, `-2^(bits-1)`.
+    #[inline]
+    pub fn min_raw(&self) -> i64 {
+        -(1i64 << (self.bits - 1))
+    }
+
+    /// Quantizes a real number to the nearest representable raw value,
+    /// saturating at the format bounds.
+    pub fn quantize(&self, x: f64) -> i64 {
+        let scaled = (x * self.scale()).round();
+        if scaled.is_nan() {
+            0
+        } else {
+            (scaled as i64).clamp(self.min_raw(), self.max_raw())
+        }
+    }
+
+    /// Recovers the real number represented by a raw value.
+    #[inline]
+    pub fn dequantize(&self, raw: i64) -> f64 {
+        raw as f64 / self.scale()
+    }
+
+    /// Saturates an arbitrary signed integer into the format's raw range.
+    #[inline]
+    pub fn saturate(&self, raw: i64) -> i64 {
+        raw.clamp(self.min_raw(), self.max_raw())
+    }
+
+    /// The paper's re-truncation step: after a linear layer accumulates
+    /// products (which carry `2·frac` fractional bits), shift right by
+    /// `frac` (arithmetic, rounding toward negative infinity) and saturate
+    /// back into the format. This exact semantics is replicated inside the
+    /// garbled truncation circuit.
+    #[inline]
+    pub fn truncate_product(&self, wide: i64) -> i64 {
+        self.saturate(wide >> self.frac)
+    }
+
+    /// Fixed-point multiply: `(a*b) >> frac`, saturated.
+    #[inline]
+    pub fn mul(&self, a: i64, b: i64) -> i64 {
+        let wide = (a as i128 * b as i128) >> self.frac;
+        self.saturate(wide.clamp(i64::MIN as i128, i64::MAX as i128) as i64)
+    }
+
+    /// Embeds a raw value into `Z_t`.
+    #[inline]
+    pub fn to_ring(&self, ring: &Ring, raw: i64) -> u64 {
+        ring.from_signed(raw)
+    }
+
+    /// Extracts the raw value from a ring element (centered lift).
+    #[inline]
+    pub fn from_ring(&self, ring: &Ring, elem: u64) -> i64 {
+        ring.to_signed(elem)
+    }
+
+    /// Quantizes directly into the ring.
+    #[inline]
+    pub fn encode(&self, ring: &Ring, x: f64) -> u64 {
+        self.to_ring(ring, self.quantize(x))
+    }
+
+    /// Dequantizes directly from the ring.
+    #[inline]
+    pub fn decode(&self, ring: &Ring, elem: u64) -> f64 {
+        self.dequantize(self.from_ring(ring, elem))
+    }
+}
+
+impl Default for FixedSpec {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrips_on_grid() {
+        let f = FixedSpec::paper();
+        for i in -100..100 {
+            let x = i as f64 / 128.0;
+            assert_eq!(f.dequantize(f.quantize(x)), x);
+        }
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let f = FixedSpec::new(8, 4);
+        assert_eq!(f.quantize(1e9), f.max_raw());
+        assert_eq!(f.quantize(-1e9), f.min_raw());
+    }
+
+    #[test]
+    fn truncate_product_matches_shift() {
+        let f = FixedSpec::new(15, 7);
+        // 1.5 * 2.0 = 3.0: raw 192 * 256 = 49152; >>7 = 384 = 3.0
+        assert_eq!(f.truncate_product(192 * 256), 384);
+        // Negative values round toward -inf, like an arithmetic shift.
+        assert_eq!(f.truncate_product(-1), -1);
+    }
+
+    #[test]
+    fn mul_is_quantized_product() {
+        let f = FixedSpec::paper();
+        let a = f.quantize(1.25);
+        let b = f.quantize(-2.5);
+        assert!((f.dequantize(f.mul(a, b)) - (-3.125)).abs() < 1.0 / f.scale());
+    }
+
+    #[test]
+    fn ring_embedding_roundtrips() {
+        let f = FixedSpec::paper();
+        let r = Ring::new((1 << 20) + 7);
+        for i in [-100i64, -1, 0, 1, 99, f.max_raw(), f.min_raw()] {
+            assert_eq!(f.from_ring(&r, f.to_ring(&r, i)), i);
+        }
+    }
+
+    #[test]
+    fn paper_spec_has_15_bits() {
+        let f = FixedSpec::paper();
+        assert_eq!(f.bits(), 15);
+        assert_eq!(f.frac(), 7);
+        assert_eq!(f.max_raw(), 16383);
+    }
+}

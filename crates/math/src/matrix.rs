@@ -1,0 +1,336 @@
+//! Dense row-major matrices over arbitrary element types, with ring and
+//! floating-point linear algebra used throughout the Primer stack.
+
+use crate::ring::Ring;
+use rand::Rng;
+
+/// A dense row-major matrix.
+///
+/// ```
+/// use primer_math::Matrix;
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as u64);
+/// assert_eq!(m[(1, 2)], 5);
+/// assert_eq!(m.transpose()[(2, 1)], 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Matrix<T> {
+    /// A matrix filled with copies of `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn filled(rows: usize, cols: usize, fill: T) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self { rows, cols, data: vec![fill; rows * cols] }
+    }
+
+    /// Builds a matrix from a generator function over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)].clone())
+    }
+
+    /// Element-wise map.
+    pub fn map<U: Clone>(&self, mut f: impl FnMut(&T) -> U) -> Matrix<U> {
+        Matrix::from_fn(self.rows, self.cols, |r, c| f(&self[(r, c)]))
+    }
+
+    /// Iterator over all elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+}
+
+impl<T> std::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// A matrix over the ring `Z_t` (elements stored reduced in `[0, t)`).
+pub type MatZ = Matrix<u64>;
+/// A real-valued matrix.
+pub type MatF = Matrix<f64>;
+
+impl MatZ {
+    /// The all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0)
+    }
+
+    /// A uniformly random matrix over `Z_t`.
+    pub fn random<R: Rng + ?Sized>(ring: &Ring, rows: usize, cols: usize, rng: &mut R) -> Self {
+        Self::from_fn(rows, cols, |_, _| ring.random(rng))
+    }
+
+    /// Element-wise sum mod `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, ring: &Ring, other: &Self) -> Self {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add");
+        Self::from_fn(self.rows, self.cols, |r, c| ring.add(self[(r, c)], other[(r, c)]))
+    }
+
+    /// Element-wise difference mod `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, ring: &Ring, other: &Self) -> Self {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in sub");
+        Self::from_fn(self.rows, self.cols, |r, c| ring.sub(self[(r, c)], other[(r, c)]))
+    }
+
+    /// Element-wise negation mod `t`.
+    pub fn neg(&self, ring: &Ring) -> Self {
+        self.map(|&x| ring.neg(x))
+    }
+
+    /// Matrix product mod `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, ring: &Ring, other: &Self) -> Self {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch in matmul");
+        let t = ring.modulus() as u128;
+        let mut out = MatZ::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)] as u128;
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    let cur = out[(r, c)] as u128;
+                    out[(r, c)] = ((cur + a * other[(k, c)] as u128) % t) as u64;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scalar multiply mod `t`.
+    pub fn scale(&self, ring: &Ring, k: u64) -> Self {
+        self.map(|&x| ring.mul(x, k))
+    }
+
+    /// Centered signed view of every element.
+    pub fn to_signed(&self, ring: &Ring) -> Matrix<i64> {
+        self.map(|&x| ring.to_signed(x))
+    }
+
+    /// Embeds a signed matrix into the ring.
+    pub fn from_signed(ring: &Ring, m: &Matrix<i64>) -> Self {
+        m.map(|&x| ring.from_signed(x))
+    }
+}
+
+impl MatF {
+    /// The all-zero matrix.
+    pub fn zeros_f(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Real matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_f(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch in matmul");
+        let mut out = MatF::zeros_f(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out[(r, c)] += a * other[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    pub fn add_f(&self, other: &Self) -> Self {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add");
+        Self::from_fn(self.rows, self.cols, |r, c| self[(r, c)] + other[(r, c)])
+    }
+
+    /// A matrix with i.i.d. uniform entries in `[-a, a]`.
+    pub fn random_uniform<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        a: f64,
+        rng: &mut R,
+    ) -> Self {
+        Self::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 10 + c) as u64);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let ring = Ring::new(97);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = MatZ::random(&ring, 4, 4, &mut rng);
+        let id = MatZ::from_fn(4, 4, |r, c| u64::from(r == c));
+        assert_eq!(a.matmul(&ring, &id), a);
+        assert_eq!(id.matmul(&ring, &a), a);
+    }
+
+    #[test]
+    fn matmul_matches_schoolbook() {
+        let ring = Ring::new(1_000_003);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = MatZ::random(&ring, 3, 7, &mut rng);
+        let b = MatZ::random(&ring, 7, 2, &mut rng);
+        let c = a.matmul(&ring, &b);
+        for r in 0..3 {
+            for col in 0..2 {
+                let mut acc = 0u64;
+                for k in 0..7 {
+                    acc = ring.add(acc, ring.mul(a[(r, k)], b[(k, col)]));
+                }
+                assert_eq!(c[(r, col)], acc);
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let ring = Ring::new(65537);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = MatZ::random(&ring, 2, 3, &mut rng);
+        let b = MatZ::random(&ring, 2, 3, &mut rng);
+        assert_eq!(a.add(&ring, &b).sub(&ring, &b), a);
+        assert_eq!(a.add(&ring, &a.neg(&ring)), MatZ::zeros(2, 3));
+    }
+
+    #[test]
+    fn signed_roundtrip_matrix() {
+        let ring = Ring::new(101);
+        let m = Matrix::from_fn(2, 2, |r, c| (r as i64 - c as i64) * 7);
+        let z = MatZ::from_signed(&ring, &m);
+        assert_eq!(z.to_signed(&ring), m);
+    }
+
+    #[test]
+    fn matmul_f_associates_with_transpose() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = MatF::random_uniform(3, 4, 1.0, &mut rng);
+        let b = MatF::random_uniform(4, 2, 1.0, &mut rng);
+        let ab_t = a.matmul_f(&b).transpose();
+        let bt_at = b.transpose().matmul_f(&a.transpose());
+        for r in 0..2 {
+            for c in 0..3 {
+                assert!((ab_t[(r, c)] - bt_at[(r, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_checked() {
+        let ring = Ring::new(97);
+        let a = MatZ::zeros(2, 3);
+        let b = MatZ::zeros(2, 3);
+        let _ = a.matmul(&ring, &b);
+    }
+}

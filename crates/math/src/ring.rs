@@ -1,0 +1,215 @@
+//! Arithmetic in the plaintext ring `Z_t`.
+//!
+//! Every value that flows through the Primer pipeline — inputs, weights,
+//! secret shares, HE plaintext slots — is an element of `Z_t` for a single
+//! modulus `t` fixed by the system configuration. Signed quantities use the
+//! centered representative in `(-t/2, t/2]`.
+
+use rand::Rng;
+
+/// The plaintext ring `Z_t`.
+///
+/// `t` must be odd and at least 3 (Primer uses an NTT-friendly prime so the
+/// same ring doubles as the HE batching plaintext modulus).
+///
+/// ```
+/// use primer_math::Ring;
+/// let r = Ring::new(97);
+/// assert_eq!(r.add(90, 10), 3);
+/// assert_eq!(r.to_signed(96), -1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ring {
+    t: u64,
+}
+
+impl Ring {
+    /// Creates the ring `Z_t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < 3` or `t` is even.
+    pub fn new(t: u64) -> Self {
+        assert!(t >= 3, "modulus must be at least 3, got {t}");
+        assert!(t % 2 == 1, "modulus must be odd, got {t}");
+        Self { t }
+    }
+
+    /// The modulus `t`.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.t
+    }
+
+    /// Reduces an arbitrary `u64` into `[0, t)`.
+    #[inline]
+    pub fn reduce(&self, x: u64) -> u64 {
+        x % self.t
+    }
+
+    /// Reduces an `i128` into `[0, t)`.
+    #[inline]
+    pub fn reduce_i128(&self, x: i128) -> u64 {
+        let t = self.t as i128;
+        (((x % t) + t) % t) as u64
+    }
+
+    /// Addition mod `t`.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.t && b < self.t);
+        let s = a + b;
+        if s >= self.t {
+            s - self.t
+        } else {
+            s
+        }
+    }
+
+    /// Subtraction mod `t`.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.t && b < self.t);
+        if a >= b {
+            a - b
+        } else {
+            a + self.t - b
+        }
+    }
+
+    /// Negation mod `t`.
+    #[inline]
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.t);
+        if a == 0 {
+            0
+        } else {
+            self.t - a
+        }
+    }
+
+    /// Multiplication mod `t` (via 128-bit intermediate).
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.t && b < self.t);
+        ((a as u128 * b as u128) % self.t as u128) as u64
+    }
+
+    /// Exponentiation mod `t` by square-and-multiply.
+    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        base %= self.t;
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse for prime `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    pub fn inv(&self, a: u64) -> u64 {
+        assert!(a != 0, "zero has no inverse");
+        // Fermat: a^(t-2) mod t. Correct only when t is prime, which all
+        // system profiles guarantee.
+        self.pow(a, self.t - 2)
+    }
+
+    /// Maps a ring element to its centered signed representative in
+    /// `(-t/2, t/2]`.
+    #[inline]
+    pub fn to_signed(&self, a: u64) -> i64 {
+        debug_assert!(a < self.t);
+        if a > self.t / 2 {
+            -((self.t - a) as i64)
+        } else {
+            a as i64
+        }
+    }
+
+    /// Embeds a signed integer into the ring.
+    #[inline]
+    pub fn from_signed(&self, x: i64) -> u64 {
+        self.reduce_i128(x as i128)
+    }
+
+    /// A uniform ring element.
+    #[inline]
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.gen_range(0..self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let r = Ring::new(65537);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let a = r.random(&mut rng);
+            let b = r.random(&mut rng);
+            assert_eq!(r.sub(r.add(a, b), b), a);
+            assert_eq!(r.add(r.sub(a, b), b), a);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        let r = Ring::new(101);
+        for x in -50..=50 {
+            assert_eq!(r.to_signed(r.from_signed(x)), x);
+        }
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let r = Ring::new(97);
+        for a in 0..97 {
+            assert_eq!(r.add(a, r.neg(a)), 0);
+        }
+    }
+
+    #[test]
+    fn inverse_works_for_prime() {
+        let r = Ring::new(65537);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let a = 1 + rng.gen_range(0..65536);
+            assert_eq!(r.mul(a, r.inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn pow_matches_iterated_mul() {
+        let r = Ring::new(101);
+        let mut acc = 1;
+        for e in 0..20u64 {
+            assert_eq!(r.pow(7, e), acc);
+            acc = r.mul(acc, 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be odd")]
+    fn even_modulus_rejected() {
+        Ring::new(100);
+    }
+
+    #[test]
+    fn reduce_i128_handles_negatives() {
+        let r = Ring::new(11);
+        assert_eq!(r.reduce_i128(-1), 10);
+        assert_eq!(r.reduce_i128(-22), 0);
+        assert_eq!(r.reduce_i128(23), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the numeric foundations.
+
+use primer_math::{fxp, FixedSpec, MatZ, Matrix, Ring};
+use proptest::prelude::*;
+
+proptest! {
+    /// Ring axioms under random operands.
+    #[test]
+    fn ring_add_mul_laws(a in 0u64..65537, b in 0u64..65537, c in 0u64..65537) {
+        let r = Ring::new(65537);
+        let (a, b, c) = (r.reduce(a), r.reduce(b), r.reduce(c));
+        prop_assert_eq!(r.add(a, b), r.add(b, a));
+        prop_assert_eq!(r.mul(a, b), r.mul(b, a));
+        prop_assert_eq!(r.add(r.add(a, b), c), r.add(a, r.add(b, c)));
+        prop_assert_eq!(r.mul(a, r.add(b, c)), r.add(r.mul(a, b), r.mul(a, c)));
+        prop_assert_eq!(r.sub(r.add(a, b), b), a);
+    }
+
+    /// Centered lift is a bijection on the representable range.
+    #[test]
+    fn signed_embedding_roundtrip(x in -((1i64 << 40) - 1)..(1i64 << 40)) {
+        let r = Ring::new((1u64 << 43) - 57); // odd modulus > 2^42
+        prop_assert_eq!(r.to_signed(r.from_signed(x)), x);
+    }
+
+    /// Quantization is the identity on grid points and saturates off-range.
+    #[test]
+    fn fixed_quantize_grid(raw in -16384i64..16383) {
+        let f = FixedSpec::paper();
+        let x = f.dequantize(raw);
+        prop_assert_eq!(f.quantize(x), raw);
+    }
+
+    /// truncate_product(a·2^f) == saturate(a): scaling then truncating a
+    /// value recovers it.
+    #[test]
+    fn truncation_inverts_scaling(a in -16000i64..16000) {
+        let f = FixedSpec::paper();
+        prop_assert_eq!(f.truncate_product(a << f.frac()), f.saturate(a));
+    }
+
+    /// Matrix multiplication distributes over addition mod t.
+    #[test]
+    fn matmul_distributes(seed in 0u64..1000) {
+        let ring = Ring::new(1_000_003);
+        let mut rng = primer_math::rng::seeded(seed);
+        let a = MatZ::random(&ring, 3, 4, &mut rng);
+        let b = MatZ::random(&ring, 4, 2, &mut rng);
+        let c = MatZ::random(&ring, 4, 2, &mut rng);
+        let lhs = a.matmul(&ring, &b.add(&ring, &c));
+        let rhs = a.matmul(&ring, &b).add(&ring, &a.matmul(&ring, &c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Transpose of a product equals the reversed product of transposes.
+    #[test]
+    fn matmul_transpose_law(seed in 0u64..1000) {
+        let ring = Ring::new(65537);
+        let mut rng = primer_math::rng::seeded(seed);
+        let a = MatZ::random(&ring, 2, 5, &mut rng);
+        let b = MatZ::random(&ring, 5, 3, &mut rng);
+        prop_assert_eq!(
+            a.matmul(&ring, &b).transpose(),
+            b.transpose().matmul(&ring, &a.transpose())
+        );
+    }
+
+    /// Fixed-point exp stays within [0, 1] and is monotone decreasing.
+    #[test]
+    fn exp_neg_bounded_monotone(x in 0i64..(40 << 12), dx in 1i64..4096) {
+        let frac = 12;
+        let e1 = fxp::exp_neg(x, frac);
+        let e2 = fxp::exp_neg(x + dx, frac);
+        prop_assert!(e1 >= 0 && e1 <= (1 << frac) + 8);
+        prop_assert!(e2 <= e1 + 1, "exp must not increase: {} then {}", e1, e2);
+    }
+
+    /// softmax outputs are non-negative and sum close to one.
+    #[test]
+    fn softmax_is_distribution(v in proptest::collection::vec(-(8i64 << 12)..(8i64 << 12), 2..8)) {
+        let frac = 12;
+        let y = fxp::softmax(&v, frac);
+        let sum: i64 = y.iter().sum();
+        prop_assert!(y.iter().all(|&p| p >= 0));
+        prop_assert!((sum - (1 << frac)).abs() < (1 << frac) / 8, "sum {}", sum);
+    }
+
+    /// recip is a right inverse up to fixed-point tolerance.
+    #[test]
+    fn recip_inverts(x in (1i64 << 10)..(1i64 << 18)) {
+        let frac = 12;
+        let r = fxp::recip(x, frac);
+        let prod = fxp::mul_q(x, r, frac);
+        prop_assert!((prod - (1 << frac)).abs() < 64, "x·(1/x) = {}", prod);
+    }
+
+    /// Matrix from_fn/index coherence.
+    #[test]
+    fn matrix_from_fn_index(rows in 1usize..6, cols in 1usize..6) {
+        let m = Matrix::from_fn(rows, cols, |r, c| (r * 100 + c) as u64);
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(m[(r, c)], (r * 100 + c) as u64);
+            }
+        }
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+}

@@ -1,0 +1,34 @@
+//! Metered in-process transport and network time model for two-party
+//! protocols.
+//!
+//! Primer's client and server run as threads connected by a
+//! [`MemTransport`] pair; every byte and message is metered, and the
+//! paper's LAN characteristics (2.3 ms delay, 100 MB/s) are applied
+//! analytically via [`NetworkModel`] so experiments report both measured
+//! traffic (Table III's "Message GB") and modeled network time.
+//!
+//! ```
+//! use primer_net::{run_two_party, Transport};
+//! let (doubled, _, meter) = run_two_party(
+//!     |t| {
+//!         t.send(vec![21]);
+//!         t.recv()[0]
+//!     },
+//!     |t| {
+//!         let x = t.recv()[0];
+//!         t.send(vec![x * 2]);
+//!     },
+//! );
+//! assert_eq!(doubled, 42);
+//! assert_eq!(meter.total_messages(), 2);
+//! ```
+
+pub mod mem;
+pub mod metering;
+pub mod model;
+pub mod transport;
+
+pub use mem::{run_two_party, MemTransport};
+pub use metering::{Meter, TrafficSnapshot};
+pub use model::NetworkModel;
+pub use transport::{wire, Transport};

@@ -1,0 +1,119 @@
+//! In-process channel transport between two party threads.
+
+use crate::metering::Meter;
+use crate::transport::Transport;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+
+/// One endpoint of an in-memory duplex channel.
+#[derive(Debug)]
+pub struct MemTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    meter: Arc<Meter>,
+    is_client: bool,
+}
+
+impl MemTransport {
+    /// Creates a connected (client, server) endpoint pair sharing a meter.
+    pub fn pair() -> (MemTransport, MemTransport, Arc<Meter>) {
+        let meter = Meter::new();
+        let (tx_c2s, rx_c2s) = unbounded();
+        let (tx_s2c, rx_s2c) = unbounded();
+        let client = MemTransport {
+            tx: tx_c2s,
+            rx: rx_s2c,
+            meter: Arc::clone(&meter),
+            is_client: true,
+        };
+        let server = MemTransport {
+            tx: tx_s2c,
+            rx: rx_c2s,
+            meter: Arc::clone(&meter),
+            is_client: false,
+        };
+        (client, server, meter)
+    }
+
+    /// The shared traffic meter.
+    pub fn meter(&self) -> &Arc<Meter> {
+        &self.meter
+    }
+}
+
+impl Transport for MemTransport {
+    fn send(&self, bytes: Vec<u8>) {
+        if self.is_client {
+            self.meter.c2s.record(bytes.len());
+        } else {
+            self.meter.s2c.record(bytes.len());
+        }
+        self.tx.send(bytes).expect("peer endpoint dropped mid-protocol");
+    }
+
+    fn recv(&self) -> Vec<u8> {
+        self.rx.recv().expect("peer endpoint dropped mid-protocol")
+    }
+}
+
+/// Runs a two-party protocol: `client` and `server` closures execute on
+/// their own threads with connected transports; returns both results and
+/// the shared meter.
+///
+/// # Panics
+///
+/// Propagates panics from either party (protocol bugs fail loudly).
+pub fn run_two_party<C, S, RC, RS>(client: C, server: S) -> (RC, RS, Arc<Meter>)
+where
+    C: FnOnce(MemTransport) -> RC + Send + 'static,
+    S: FnOnce(MemTransport) -> RS + Send + 'static,
+    RC: Send + 'static,
+    RS: Send + 'static,
+{
+    let (ct, st, meter) = MemTransport::pair();
+    let server_handle = std::thread::spawn(move || server(st));
+    let client_out = client(ct);
+    let server_out = server_handle.join().expect("server thread panicked");
+    (client_out, server_out, meter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::wire;
+
+    #[test]
+    fn ping_pong() {
+        let (c, s, meter) = MemTransport::pair();
+        let h = std::thread::spawn(move || {
+            let msg = s.recv();
+            let vals = wire::decode_u64s(&msg);
+            s.send(wire::encode_u64s(&[vals.iter().sum::<u64>()]));
+        });
+        c.send(wire::encode_u64s(&[1, 2, 3]));
+        let reply = wire::decode_u64s(&c.recv());
+        h.join().expect("server ok");
+        assert_eq!(reply, vec![6]);
+        assert_eq!(meter.c2s.messages(), 1);
+        assert_eq!(meter.s2c.messages(), 1);
+        assert!(meter.total_bytes() > 0);
+    }
+
+    #[test]
+    fn run_two_party_returns_both_results() {
+        let (c_out, s_out, meter) = run_two_party(
+            |t| {
+                t.send(vec![9]);
+                t.recv()[0]
+            },
+            |t| {
+                let v = t.recv()[0];
+                t.send(vec![v + 1]);
+                v
+            },
+        );
+        assert_eq!(c_out, 10);
+        assert_eq!(s_out, 9);
+        assert_eq!(meter.total_messages(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Traffic meters shared by the two endpoints of a channel.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cumulative traffic statistics for one direction of a channel.
+#[derive(Debug, Default)]
+pub struct DirectionMeter {
+    bytes: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl DirectionMeter {
+    pub(crate) fn record(&self, bytes: usize) {
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes sent in this direction.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total messages sent in this direction.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+}
+
+/// Bidirectional traffic meter (shared between both endpoints).
+#[derive(Debug, Default)]
+pub struct Meter {
+    /// Client → server traffic (endpoint 0 sends).
+    pub c2s: DirectionMeter,
+    /// Server → client traffic (endpoint 1 sends).
+    pub s2c: DirectionMeter,
+}
+
+impl Meter {
+    /// Fresh shared meter.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.c2s.bytes() + self.s2c.bytes()
+    }
+
+    /// Total messages in both directions. In a sequential two-party
+    /// protocol this equals the number of latency-bearing flights.
+    pub fn total_messages(&self) -> u64 {
+        self.c2s.messages() + self.s2c.messages()
+    }
+}
+
+/// An immutable snapshot of a meter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficSnapshot {
+    /// Bytes client → server.
+    pub c2s_bytes: u64,
+    /// Bytes server → client.
+    pub s2c_bytes: u64,
+    /// Messages client → server.
+    pub c2s_messages: u64,
+    /// Messages server → client.
+    pub s2c_messages: u64,
+}
+
+impl TrafficSnapshot {
+    /// Captures the current state of a meter.
+    pub fn capture(meter: &Meter) -> Self {
+        Self {
+            c2s_bytes: meter.c2s.bytes(),
+            s2c_bytes: meter.s2c.bytes(),
+            c2s_messages: meter.c2s.messages(),
+            s2c_messages: meter.s2c.messages(),
+        }
+    }
+
+    /// Traffic since an earlier snapshot.
+    pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            c2s_bytes: self.c2s_bytes - earlier.c2s_bytes,
+            s2c_bytes: self.s2c_bytes - earlier.s2c_bytes,
+            c2s_messages: self.c2s_messages - earlier.c2s_messages,
+            s2c_messages: self.s2c_messages - earlier.s2c_messages,
+        }
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.c2s_bytes + self.s2c_bytes
+    }
+
+    /// Total messages in both directions.
+    pub fn total_messages(&self) -> u64 {
+        self.c2s_messages + self.s2c_messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let m = Meter::new();
+        m.c2s.record(100);
+        m.c2s.record(50);
+        m.s2c.record(7);
+        assert_eq!(m.c2s.bytes(), 150);
+        assert_eq!(m.c2s.messages(), 2);
+        assert_eq!(m.total_bytes(), 157);
+        assert_eq!(m.total_messages(), 3);
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let m = Meter::new();
+        m.c2s.record(10);
+        let early = TrafficSnapshot::capture(&m);
+        m.s2c.record(20);
+        let late = TrafficSnapshot::capture(&m);
+        let d = late.since(&early);
+        assert_eq!(d.c2s_bytes, 0);
+        assert_eq!(d.s2c_bytes, 20);
+        assert_eq!(d.total_messages(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Analytic network time model.
+//!
+//! The paper's testbed: two instances, average delay 2.3 ms, ~100 MB/s.
+//! Protocol executions run in-process; the network's wall-clock
+//! contribution is computed from metered traffic using this model.
+
+use crate::metering::TrafficSnapshot;
+use std::time::Duration;
+
+/// Latency + bandwidth model for a sequential two-party link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// One-way message latency.
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl NetworkModel {
+    /// The paper's LAN: 2.3 ms delay, 100 MB/s.
+    pub fn paper_lan() -> Self {
+        Self { latency: Duration::from_micros(2300), bandwidth_bps: 100.0e6 }
+    }
+
+    /// An ideal link (zero cost) for isolating compute time.
+    pub fn ideal() -> Self {
+        Self { latency: Duration::ZERO, bandwidth_bps: f64::INFINITY }
+    }
+
+    /// Time for `messages` sequential flights carrying `bytes` total.
+    pub fn time_for(&self, messages: u64, bytes: u64) -> Duration {
+        let latency = self.latency * (messages as u32);
+        let transfer = if self.bandwidth_bps.is_finite() {
+            Duration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+        } else {
+            Duration::ZERO
+        };
+        latency + transfer
+    }
+
+    /// Time for the traffic captured in a snapshot.
+    pub fn time_for_snapshot(&self, snap: &TrafficSnapshot) -> Duration {
+        self.time_for(snap.total_messages(), snap.total_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lan_numbers() {
+        let m = NetworkModel::paper_lan();
+        // 10 messages, 100 MB → 10×2.3ms + 1s.
+        let t = m.time_for(10, 100_000_000);
+        assert!((t.as_secs_f64() - 1.023).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_is_free() {
+        let m = NetworkModel::ideal();
+        assert_eq!(m.time_for(1000, u64::MAX), Duration::ZERO);
+    }
+}

@@ -1,0 +1,168 @@
+//! Transformer model configurations (Table III of the paper, plus
+//! scaled-down test profiles).
+
+/// Hyper-parameters of a BERT-style encoder stack.
+///
+/// ```
+/// use primer_nn::TransformerConfig;
+/// let base = TransformerConfig::bert_base();
+/// assert_eq!(base.n_blocks, 12);
+/// assert_eq!(base.d_model, 768);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// Vocabulary size `d_oh` (one-hot width; WordPiece uses 30522).
+    pub vocab: usize,
+    /// Number of encoder blocks `N`.
+    pub n_blocks: usize,
+    /// Embedding / hidden width `d_emb`.
+    pub d_model: usize,
+    /// Attention heads `H`.
+    pub n_heads: usize,
+    /// Input tokens `n`.
+    pub n_tokens: usize,
+    /// Feed-forward inner width (4 × d_model for BERT).
+    pub d_ff: usize,
+    /// Output classes of the classification head.
+    pub n_classes: usize,
+}
+
+impl TransformerConfig {
+    /// Generic constructor with BERT's `d_ff = 4·d_model` convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `d_model` is divisible by `n_heads` and all
+    /// dimensions are non-zero.
+    pub fn new(
+        name: &str,
+        vocab: usize,
+        n_blocks: usize,
+        d_model: usize,
+        n_heads: usize,
+        n_tokens: usize,
+        n_classes: usize,
+    ) -> Self {
+        assert!(vocab > 0 && n_blocks > 0 && d_model > 0 && n_tokens > 0 && n_classes > 1);
+        assert_eq!(d_model % n_heads, 0, "d_model must divide into heads");
+        Self {
+            name: name.to_owned(),
+            vocab,
+            n_blocks,
+            d_model,
+            n_heads,
+            n_tokens,
+            d_ff: 4 * d_model,
+            n_classes,
+        }
+    }
+
+    /// BERT-tiny (Table III): N=3, d=768, H=12, n=30.
+    pub fn bert_tiny() -> Self {
+        Self::new("BERT-tiny", 30522, 3, 768, 12, 30, 3)
+    }
+
+    /// BERT-small (Table III): N=6, d=768, H=12, n=30.
+    pub fn bert_small() -> Self {
+        Self::new("BERT-small", 30522, 6, 768, 12, 30, 3)
+    }
+
+    /// BERT-base (Table III): N=12, d=768, H=12, n=30.
+    pub fn bert_base() -> Self {
+        Self::new("BERT-base", 30522, 12, 768, 12, 30, 3)
+    }
+
+    /// BERT-medium (Table III): N=12, d=1024, H=16, n=30.
+    pub fn bert_medium() -> Self {
+        Self::new("BERT-medium", 30522, 12, 1024, 16, 30, 3)
+    }
+
+    /// BERT-large (Table III): N=24, d=1024, H=16, n=30.
+    pub fn bert_large() -> Self {
+        Self::new("BERT-large", 30522, 24, 1024, 16, 30, 3)
+    }
+
+    /// All five Table III models, in the paper's order.
+    pub fn table3_models() -> Vec<Self> {
+        vec![
+            Self::bert_tiny(),
+            Self::bert_small(),
+            Self::bert_base(),
+            Self::bert_medium(),
+            Self::bert_large(),
+        ]
+    }
+
+    /// Minimal profile for end-to-end private-inference tests.
+    pub fn test_tiny() -> Self {
+        Self::new("test-tiny", 32, 1, 8, 2, 4, 3)
+    }
+
+    /// Slightly larger test profile (two blocks).
+    pub fn test_small() -> Self {
+        Self::new("test-small", 64, 2, 16, 4, 6, 3)
+    }
+
+    /// Per-head width.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// Attention scale η = √n, following the paper's definition
+    /// (`Attention = SoftMax(X_Q·X_Kᵀ/√n)·X_V` with n = token count).
+    pub fn attn_scale(&self) -> f64 {
+        1.0 / (self.n_tokens as f64).sqrt()
+    }
+
+    /// Total parameter count (for reports).
+    pub fn param_count(&self) -> usize {
+        let block = 4 * self.d_model * self.d_model
+            + 2 * self.d_model * self.d_ff
+            + 4 * self.d_model;
+        self.vocab * self.d_model
+            + self.n_tokens * self.d_model
+            + self.n_blocks * block
+            + self.d_model * self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_hyperparameters_match_paper() {
+        let models = TransformerConfig::table3_models();
+        let expect = [
+            ("BERT-tiny", 3usize, 768usize, 12usize),
+            ("BERT-small", 6, 768, 12),
+            ("BERT-base", 12, 768, 12),
+            ("BERT-medium", 12, 1024, 16),
+            ("BERT-large", 24, 1024, 16),
+        ];
+        for (m, (name, n, d, h)) in models.iter().zip(expect) {
+            assert_eq!(m.name, name);
+            assert_eq!(m.n_blocks, n);
+            assert_eq!(m.d_model, d);
+            assert_eq!(m.n_heads, h);
+            assert_eq!(m.n_tokens, 30);
+            assert_eq!(m.vocab, 30522);
+        }
+    }
+
+    #[test]
+    fn bert_base_param_count_plausible() {
+        // BERT-base is ~110M parameters; our encoder-only accounting
+        // (no segment embeddings etc.) should land in the same decade.
+        let p = TransformerConfig::bert_base().param_count();
+        assert!(p > 80_000_000 && p < 130_000_000, "params {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "divide into heads")]
+    fn head_divisibility_enforced() {
+        TransformerConfig::new("bad", 10, 1, 10, 3, 4, 2);
+    }
+}

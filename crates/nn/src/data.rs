@@ -1,0 +1,217 @@
+//! Synthetic NLP task generation.
+//!
+//! Substitution (see DESIGN.md): GLUE/SQuAD need fine-tuned checkpoints
+//! and licensed corpora we cannot use here, so each task is a synthetic
+//! token-sequence distribution labeled by the float teacher. Accuracy of
+//! any approximate pipeline is its agreement with the teacher — which is
+//! exactly the quantity the paper's accuracy deltas measure.
+
+use crate::config::TransformerConfig;
+use crate::model::{ActivationMode, Transformer};
+use rand::Rng;
+
+/// The five benchmark tasks of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// MNLI-matched-like: 3-way classification.
+    MnliM,
+    /// MRPC-like: paraphrase detection (2-way).
+    Mrpc,
+    /// SST-2-like: sentiment (2-way).
+    Sst2,
+    /// SQuAD 1-like: answer-span extraction (F1 metric).
+    Squad1,
+    /// SQuAD 2-like: span extraction with unanswerables (F1 metric).
+    Squad2,
+}
+
+impl Task {
+    /// All Table III tasks in paper order.
+    pub fn all() -> [Task; 5] {
+        [Task::MnliM, Task::Mrpc, Task::Sst2, Task::Squad1, Task::Squad2]
+    }
+
+    /// Display name matching the paper's column headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Task::MnliM => "MNLI-m",
+            Task::Mrpc => "MRPC",
+            Task::Sst2 => "SST-2",
+            Task::Squad1 => "SQuAD1",
+            Task::Squad2 => "SQuAD2",
+        }
+    }
+
+    /// True for span-extraction tasks (scored by F1, not accuracy).
+    pub fn is_span_task(&self) -> bool {
+        matches!(self, Task::Squad1 | Task::Squad2)
+    }
+
+    /// Number of classification labels (span tasks predict positions).
+    pub fn n_classes(&self) -> usize {
+        match self {
+            Task::MnliM => 3,
+            Task::Mrpc | Task::Sst2 => 2,
+            Task::Squad1 | Task::Squad2 => 0,
+        }
+    }
+}
+
+/// One labeled example.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// Token ids (length = model's `n_tokens`).
+    pub tokens: Vec<usize>,
+    /// Class label (classification) or encoded span (span tasks).
+    pub label: usize,
+    /// Gold span for span tasks.
+    pub span: Option<(usize, usize)>,
+}
+
+/// A synthetic dataset for one task.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The task.
+    pub task: Task,
+    /// Labeled examples.
+    pub examples: Vec<Example>,
+}
+
+impl Dataset {
+    /// Generates `size` examples labeled by the (exact f64) teacher.
+    ///
+    /// Task identity shapes the token distribution (different Zipf-like
+    /// skews and paired-segment structure), so the five tasks exercise
+    /// genuinely different input statistics.
+    pub fn generate<R: Rng + ?Sized>(
+        task: Task,
+        teacher: &Transformer,
+        size: usize,
+        rng: &mut R,
+    ) -> Self {
+        let cfg = teacher.config();
+        let examples = (0..size)
+            .map(|_| {
+                let tokens = sample_tokens(task, cfg, rng);
+                if task.is_span_task() {
+                    let span = teacher.predict_span(&tokens, ActivationMode::Exact);
+                    Example { tokens, label: span.0, span: Some(span) }
+                } else {
+                    let label = teacher.classify(&tokens, ActivationMode::Exact);
+                    Example { tokens, label, span: None }
+                }
+            })
+            .collect();
+        Self { task, examples }
+    }
+}
+
+fn sample_tokens<R: Rng + ?Sized>(
+    task: Task,
+    cfg: &TransformerConfig,
+    rng: &mut R,
+) -> Vec<usize> {
+    let v = cfg.vocab;
+    let skew = match task {
+        Task::MnliM => 1.0,
+        Task::Mrpc => 1.6,
+        Task::Sst2 => 2.2,
+        Task::Squad1 => 1.3,
+        Task::Squad2 => 0.8,
+    };
+    (0..cfg.n_tokens)
+        .map(|i| {
+            // Zipf-ish skewed sampling; paired tasks repeat a segment.
+            let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-9);
+            let id = ((u.powf(skew)) * v as f64) as usize % v;
+            if matches!(task, Task::Mrpc) && i >= cfg.n_tokens / 2 {
+                // Second segment echoes the first with noise.
+                (id / 2) % v
+            } else {
+                id
+            }
+        })
+        .collect()
+}
+
+/// Token-level F1 between two spans (the SQuAD metric restricted to
+/// positional overlap).
+pub fn span_f1(pred: (usize, usize), gold: (usize, usize)) -> f64 {
+    let (ps, pe) = (pred.0.min(pred.1), pred.0.max(pred.1));
+    let (gs, ge) = (gold.0.min(gold.1), gold.0.max(gold.1));
+    let inter = {
+        let lo = ps.max(gs);
+        let hi = pe.min(ge);
+        if hi >= lo {
+            hi - lo + 1
+        } else {
+            0
+        }
+    };
+    if inter == 0 {
+        return 0.0;
+    }
+    let p_len = pe - ps + 1;
+    let g_len = ge - gs + 1;
+    let precision = inter as f64 / p_len as f64;
+    let recall = inter as f64 / g_len as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::TransformerWeights;
+    use primer_math::rng::seeded;
+
+    fn teacher() -> Transformer {
+        let cfg = TransformerConfig::test_tiny();
+        let w = TransformerWeights::random(&cfg, &mut seeded(170));
+        Transformer::new(cfg, w)
+    }
+
+    #[test]
+    fn datasets_have_valid_labels() {
+        let t = teacher();
+        for task in Task::all() {
+            let ds = Dataset::generate(task, &t, 20, &mut seeded(171));
+            assert_eq!(ds.examples.len(), 20);
+            for ex in &ds.examples {
+                assert_eq!(ex.tokens.len(), t.config().n_tokens);
+                assert!(ex.tokens.iter().all(|&id| id < t.config().vocab));
+                if task.is_span_task() {
+                    let (s, e) = ex.span.expect("span label");
+                    assert!(s <= e && e < t.config().n_tokens);
+                } else {
+                    assert!(ex.label < t.config().n_classes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_not_degenerate() {
+        // The teacher should produce more than one class over a sample.
+        let t = teacher();
+        let ds = Dataset::generate(Task::MnliM, &t, 60, &mut seeded(172));
+        let first = ds.examples[0].label;
+        assert!(
+            ds.examples.iter().any(|e| e.label != first),
+            "teacher labels are constant — degenerate task"
+        );
+    }
+
+    #[test]
+    fn span_f1_boundaries() {
+        assert_eq!(span_f1((2, 5), (2, 5)), 1.0);
+        assert_eq!(span_f1((0, 1), (3, 4)), 0.0);
+        let partial = span_f1((2, 4), (3, 5));
+        assert!(partial > 0.5 && partial < 1.0);
+    }
+
+    #[test]
+    fn tasks_have_paper_names() {
+        let names: Vec<_> = Task::all().iter().map(|t| t.name()).collect();
+        assert_eq!(names, ["MNLI-m", "MRPC", "SST-2", "SQuAD1", "SQuAD2"]);
+    }
+}

@@ -1,0 +1,34 @@
+//! BERT-style transformer library for the Primer stack: floating-point
+//! and fixed-point inference, THE-X-style approximation variants,
+//! synthetic NLP tasks and accuracy evaluation.
+//!
+//! The [`fixedpoint::FixedTransformer`] is the load-bearing piece: it
+//! defines, operation by operation, the exact function the private
+//! protocols in `primer-core` compute — ring-domain linear layers, the
+//! paper's 15-bit re-truncation, and GC non-linear modules that share
+//! their algorithms with `primer_math::fxp`.
+//!
+//! ```
+//! use primer_nn::{ActivationMode, Transformer, TransformerConfig, TransformerWeights};
+//! use primer_math::rng::seeded;
+//!
+//! let cfg = TransformerConfig::test_tiny();
+//! let weights = TransformerWeights::random(&cfg, &mut seeded(1));
+//! let model = Transformer::new(cfg, weights);
+//! let class = model.classify(&[1, 2, 3, 4], ActivationMode::Exact);
+//! assert!(class < 3);
+//! ```
+
+pub mod accuracy;
+pub mod config;
+pub mod data;
+pub mod fixedpoint;
+pub mod model;
+pub mod weights;
+
+pub use accuracy::{evaluate, AccuracyReport};
+pub use config::TransformerConfig;
+pub use data::{Dataset, Task};
+pub use fixedpoint::{FixedTransformer, PipelineSpec};
+pub use model::{ActivationMode, Transformer};
+pub use weights::TransformerWeights;

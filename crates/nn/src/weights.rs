@@ -1,0 +1,108 @@
+//! Random-teacher transformer weights.
+//!
+//! We cannot fine-tune real BERT checkpoints in this environment, so
+//! accuracy experiments use the *random-teacher* substitution documented
+//! in DESIGN.md: a randomly initialized transformer defines ground-truth
+//! labels, and every approximation's "accuracy" is its agreement with
+//! that teacher.
+
+use crate::config::TransformerConfig;
+use primer_math::MatF;
+use rand::Rng;
+
+/// Weights of one encoder block.
+#[derive(Debug, Clone)]
+pub struct BlockWeights {
+    /// Query projection (d × d).
+    pub wq: MatF,
+    /// Key projection (d × d).
+    pub wk: MatF,
+    /// Value projection (d × d).
+    pub wv: MatF,
+    /// Output projection (d × d).
+    pub wo: MatF,
+    /// LayerNorm 1 scale (d).
+    pub ln1_gamma: Vec<f64>,
+    /// LayerNorm 1 shift (d).
+    pub ln1_beta: Vec<f64>,
+    /// Feed-forward expansion (d × d_ff).
+    pub w1: MatF,
+    /// Feed-forward contraction (d_ff × d).
+    pub w2: MatF,
+    /// LayerNorm 2 scale (d).
+    pub ln2_gamma: Vec<f64>,
+    /// LayerNorm 2 shift (d).
+    pub ln2_beta: Vec<f64>,
+}
+
+/// Full model weights.
+#[derive(Debug, Clone)]
+pub struct TransformerWeights {
+    /// Word embedding (vocab × d).
+    pub we: MatF,
+    /// Positional embedding λ (n × d).
+    pub pos: MatF,
+    /// Encoder blocks.
+    pub blocks: Vec<BlockWeights>,
+    /// Classification head (d × classes).
+    pub classifier: MatF,
+    /// Span head for SQuAD-style tasks (d × 2: start/end scores).
+    pub span_head: MatF,
+}
+
+impl TransformerWeights {
+    /// Samples a random teacher with fan-in-scaled uniform init.
+    pub fn random<R: Rng + ?Sized>(cfg: &TransformerConfig, rng: &mut R) -> Self {
+        let d = cfg.d_model;
+        let a_d = (3.0 / d as f64).sqrt();
+        let a_ff = (3.0 / cfg.d_ff as f64).sqrt();
+        let mat = |r: usize, c: usize, a: f64, rng: &mut R| MatF::random_uniform(r, c, a, rng);
+        let blocks = (0..cfg.n_blocks)
+            .map(|_| BlockWeights {
+                wq: mat(d, d, a_d, rng),
+                wk: mat(d, d, a_d, rng),
+                wv: mat(d, d, a_d, rng),
+                wo: mat(d, d, a_d, rng),
+                ln1_gamma: (0..d).map(|_| 1.0 + rng.gen_range(-0.1..0.1)).collect(),
+                ln1_beta: (0..d).map(|_| rng.gen_range(-0.1..0.1)).collect(),
+                w1: mat(d, cfg.d_ff, a_d, rng),
+                w2: mat(cfg.d_ff, d, a_ff, rng),
+                ln2_gamma: (0..d).map(|_| 1.0 + rng.gen_range(-0.1..0.1)).collect(),
+                ln2_beta: (0..d).map(|_| rng.gen_range(-0.1..0.1)).collect(),
+            })
+            .collect();
+        Self {
+            we: mat(cfg.vocab, d, 1.0, rng),
+            pos: mat(cfg.n_tokens, d, 0.3, rng),
+            blocks,
+            classifier: mat(d, cfg.n_classes, a_d, rng),
+            span_head: mat(d, 2, a_d, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primer_math::rng::seeded;
+
+    #[test]
+    fn shapes_match_config() {
+        let cfg = TransformerConfig::test_small();
+        let w = TransformerWeights::random(&cfg, &mut seeded(140));
+        assert_eq!(w.we.shape(), (cfg.vocab, cfg.d_model));
+        assert_eq!(w.pos.shape(), (cfg.n_tokens, cfg.d_model));
+        assert_eq!(w.blocks.len(), cfg.n_blocks);
+        assert_eq!(w.blocks[0].w1.shape(), (cfg.d_model, cfg.d_ff));
+        assert_eq!(w.blocks[0].w2.shape(), (cfg.d_ff, cfg.d_model));
+        assert_eq!(w.classifier.shape(), (cfg.d_model, cfg.n_classes));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = TransformerConfig::test_tiny();
+        let a = TransformerWeights::random(&cfg, &mut seeded(141));
+        let b = TransformerWeights::random(&cfg, &mut seeded(141));
+        assert_eq!(a.we, b.we);
+    }
+}

@@ -1,0 +1,27 @@
+//! Additive secret sharing and Beaver triples over the plaintext ring
+//! `Z_t`.
+//!
+//! Primer glues its HE and GC phases with two-out-of-two additive shares:
+//! after every linear layer the client and server each hold one share of
+//! the activation matrix, and the garbled circuit reconstructs, applies
+//! the non-linearity, and re-shares. This crate provides the sharing
+//! primitives and the dealer-mode Beaver triples used as a correctness
+//! reference for FHGS.
+//!
+//! ```
+//! use primer_math::{MatZ, Ring};
+//! use primer_math::rng::seeded;
+//! use primer_ss::{open_matrix, share_matrix};
+//!
+//! let ring = Ring::new(65537);
+//! let mut rng = seeded(1);
+//! let x = MatZ::random(&ring, 2, 2, &mut rng);
+//! let (s0, s1) = share_matrix(&ring, &x, &mut rng);
+//! assert_eq!(open_matrix(&ring, &s0, &s1), x);
+//! ```
+
+pub mod shares;
+pub mod triples;
+
+pub use shares::{open_matrix, open_vec, share_matrix, share_vec};
+pub use triples::{beaver_combine, deal_matrix_triple, TripleShare};

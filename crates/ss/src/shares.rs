@@ -1,0 +1,67 @@
+//! Additive secret sharing over `Z_t`.
+
+use primer_math::{MatZ, Ring};
+use rand::Rng;
+
+/// Splits a matrix into two additive shares: `x = s0 + s1 (mod t)`.
+pub fn share_matrix<R: Rng + ?Sized>(ring: &Ring, x: &MatZ, rng: &mut R) -> (MatZ, MatZ) {
+    let mask = MatZ::random(ring, x.rows(), x.cols(), rng);
+    let other = x.sub(ring, &mask);
+    (mask, other)
+}
+
+/// Reconstructs `s0 + s1 (mod t)`.
+pub fn open_matrix(ring: &Ring, s0: &MatZ, s1: &MatZ) -> MatZ {
+    s0.add(ring, s1)
+}
+
+/// Splits a vector of ring elements into two additive shares.
+pub fn share_vec<R: Rng + ?Sized>(ring: &Ring, xs: &[u64], rng: &mut R) -> (Vec<u64>, Vec<u64>) {
+    let mask: Vec<u64> = xs.iter().map(|_| ring.random(rng)).collect();
+    let other: Vec<u64> = xs.iter().zip(&mask).map(|(&x, &m)| ring.sub(x, m)).collect();
+    (mask, other)
+}
+
+/// Reconstructs a shared vector.
+pub fn open_vec(ring: &Ring, s0: &[u64], s1: &[u64]) -> Vec<u64> {
+    assert_eq!(s0.len(), s1.len(), "share length mismatch");
+    s0.iter().zip(s1).map(|(&a, &b)| ring.add(a, b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primer_math::rng::seeded;
+
+    #[test]
+    fn matrix_share_open_roundtrip() {
+        let ring = Ring::new(65537);
+        let mut rng = seeded(70);
+        let x = MatZ::random(&ring, 3, 4, &mut rng);
+        let (s0, s1) = share_matrix(&ring, &x, &mut rng);
+        assert_ne!(s0, x, "share must not reveal the secret");
+        assert_eq!(open_matrix(&ring, &s0, &s1), x);
+    }
+
+    #[test]
+    fn vec_share_open_roundtrip() {
+        let ring = Ring::new(97);
+        let mut rng = seeded(71);
+        let xs = vec![1u64, 50, 96, 0];
+        let (a, b) = share_vec(&ring, &xs, &mut rng);
+        assert_eq!(open_vec(&ring, &a, &b), xs);
+    }
+
+    #[test]
+    fn shares_are_uniformly_masked() {
+        // The first share is independent of the secret (it *is* the mask):
+        // sharing two different secrets with the same RNG stream yields
+        // identical first shares.
+        let ring = Ring::new(101);
+        let x1 = MatZ::filled(2, 2, 7);
+        let x2 = MatZ::filled(2, 2, 55);
+        let (m1, _) = share_matrix(&ring, &x1, &mut seeded(72));
+        let (m2, _) = share_matrix(&ring, &x2, &mut seeded(72));
+        assert_eq!(m1, m2);
+    }
+}

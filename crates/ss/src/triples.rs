@@ -1,0 +1,96 @@
+//! Beaver multiplication triples over `Z_t`.
+//!
+//! FHGS (the paper's contribution) *is* an HE-assisted Beaver-style
+//! precomputation specialized to matrix products; this module provides
+//! the generic dealer-mode triples used as a correctness reference and by
+//! the GC layer's multiplication tests.
+
+use primer_math::{MatZ, Ring};
+use rand::Rng;
+
+/// One party's share of a matrix Beaver triple `(A, B, C = A·B)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TripleShare {
+    /// Share of A (shape `m × k`).
+    pub a: MatZ,
+    /// Share of B (shape `k × n`).
+    pub b: MatZ,
+    /// Share of C = A·B (shape `m × n`).
+    pub c: MatZ,
+}
+
+/// Dealer-mode generation of a matrix triple: returns the two parties'
+/// shares of random `A (m×k)`, `B (k×n)` and `C = A·B`.
+pub fn deal_matrix_triple<R: Rng + ?Sized>(
+    ring: &Ring,
+    m: usize,
+    k: usize,
+    n: usize,
+    rng: &mut R,
+) -> (TripleShare, TripleShare) {
+    let a = MatZ::random(ring, m, k, rng);
+    let b = MatZ::random(ring, k, n, rng);
+    let c = a.matmul(ring, &b);
+    let (a0, a1) = crate::shares::share_matrix(ring, &a, rng);
+    let (b0, b1) = crate::shares::share_matrix(ring, &b, rng);
+    let (c0, c1) = crate::shares::share_matrix(ring, &c, rng);
+    (TripleShare { a: a0, b: b0, c: c0 }, TripleShare { a: a1, b: b1, c: c1 })
+}
+
+/// Local step of Beaver matrix multiplication: given this party's shares
+/// of `X`, `Y`, the public openings `E = X − A`, `F = Y − B`, and the
+/// triple share, produces this party's share of `X·Y`.
+///
+/// Party 0 additionally adds the public `E·F` term.
+pub fn beaver_combine(
+    ring: &Ring,
+    party0: bool,
+    e: &MatZ,
+    f: &MatZ,
+    triple: &TripleShare,
+) -> MatZ {
+    // share(XY) = share(C) + E·share(B) + share(A)·F (+ E·F for one party)
+    let mut out = triple.c.add(ring, &e.matmul(ring, &triple.b));
+    out = out.add(ring, &triple.a.matmul(ring, f));
+    if party0 {
+        out = out.add(ring, &e.matmul(ring, f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shares::{open_matrix, share_matrix};
+    use primer_math::rng::seeded;
+
+    #[test]
+    fn dealer_triple_is_consistent() {
+        let ring = Ring::new(1_000_003);
+        let mut rng = seeded(80);
+        let (t0, t1) = deal_matrix_triple(&ring, 3, 4, 2, &mut rng);
+        let a = open_matrix(&ring, &t0.a, &t1.a);
+        let b = open_matrix(&ring, &t0.b, &t1.b);
+        let c = open_matrix(&ring, &t0.c, &t1.c);
+        assert_eq!(a.matmul(&ring, &b), c);
+    }
+
+    #[test]
+    fn beaver_multiplication_is_exact() {
+        let ring = Ring::new(65537);
+        let mut rng = seeded(81);
+        let x = MatZ::random(&ring, 3, 4, &mut rng);
+        let y = MatZ::random(&ring, 4, 5, &mut rng);
+        let (x0, x1) = share_matrix(&ring, &x, &mut rng);
+        let (y0, y1) = share_matrix(&ring, &y, &mut rng);
+        let (t0, t1) = deal_matrix_triple(&ring, 3, 4, 5, &mut rng);
+
+        // Both parties open E = X − A and F = Y − B.
+        let e = open_matrix(&ring, &x0.sub(&ring, &t0.a), &x1.sub(&ring, &t1.a));
+        let f = open_matrix(&ring, &y0.sub(&ring, &t0.b), &y1.sub(&ring, &t1.b));
+
+        let z0 = beaver_combine(&ring, true, &e, &f, &t0);
+        let z1 = beaver_combine(&ring, false, &e, &f, &t1);
+        assert_eq!(open_matrix(&ring, &z0, &z1), x.matmul(&ring, &y));
+    }
+}

@@ -1,0 +1,45 @@
+//! Property-based tests of secret sharing and Beaver triples.
+
+use primer_math::rng::seeded;
+use primer_math::{MatZ, Ring};
+use primer_ss::{beaver_combine, deal_matrix_triple, open_matrix, open_vec, share_matrix, share_vec};
+use proptest::prelude::*;
+
+proptest! {
+    /// share/open is the identity for arbitrary matrices and moduli.
+    #[test]
+    fn share_open_identity(seed in 0u64..10_000, rows in 1usize..5, cols in 1usize..5) {
+        let ring = Ring::new(1_000_003);
+        let mut rng = seeded(seed);
+        let x = MatZ::random(&ring, rows, cols, &mut rng);
+        let (a, b) = share_matrix(&ring, &x, &mut rng);
+        prop_assert_eq!(open_matrix(&ring, &a, &b), x);
+    }
+
+    /// Vector sharing round-trips too.
+    #[test]
+    fn vec_share_open_identity(vals in proptest::collection::vec(0u64..65537, 1..20), seed in 0u64..10_000) {
+        let ring = Ring::new(65537);
+        let mut rng = seeded(seed);
+        let (a, b) = share_vec(&ring, &vals, &mut rng);
+        prop_assert_eq!(open_vec(&ring, &a, &b), vals);
+    }
+
+    /// Beaver multiplication computes the exact product for arbitrary
+    /// shapes and secrets.
+    #[test]
+    fn beaver_product_exact(seed in 0u64..10_000, m in 1usize..4, k in 1usize..4, n in 1usize..4) {
+        let ring = Ring::new(65537);
+        let mut rng = seeded(seed);
+        let x = MatZ::random(&ring, m, k, &mut rng);
+        let y = MatZ::random(&ring, k, n, &mut rng);
+        let (x0, x1) = share_matrix(&ring, &x, &mut rng);
+        let (y0, y1) = share_matrix(&ring, &y, &mut rng);
+        let (t0, t1) = deal_matrix_triple(&ring, m, k, n, &mut rng);
+        let e = open_matrix(&ring, &x0.sub(&ring, &t0.a), &x1.sub(&ring, &t1.a));
+        let f = open_matrix(&ring, &y0.sub(&ring, &t0.b), &y1.sub(&ring, &t1.b));
+        let z0 = beaver_combine(&ring, true, &e, &f, &t0);
+        let z1 = beaver_combine(&ring, false, &e, &f, &t1);
+        prop_assert_eq!(open_matrix(&ring, &z0, &z1), x.matmul(&ring, &y));
+    }
+}

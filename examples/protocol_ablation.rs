@@ -1,0 +1,53 @@
+//! The paper's Table II ablation, measured live on a scaled model:
+//! Primer-base → +FHGS (F) → +tokens-first packing (FP) → +CHGS (FPC).
+//!
+//! Run: `cargo run --release --example protocol_ablation`
+
+use primer::core::{Engine, GcMode, ProtocolVariant, StepCategory, SystemConfig};
+use primer::math::rng::seeded;
+use primer::nn::{FixedTransformer, TransformerConfig, TransformerWeights};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = TransformerConfig::test_tiny();
+    let sys = SystemConfig::test_profile(&cfg)?;
+    let weights = TransformerWeights::random(&cfg, &mut seeded(41));
+    let fixed = FixedTransformer::quantize(&cfg, &weights, sys.pipeline);
+    let tokens = vec![3, 1, 4, 1];
+
+    println!("measured per-step cost (scaled model, milliseconds compute / KB traffic):");
+    println!(
+        "{:<14} {:>22} {:>22} {:>14} {:>12}",
+        "variant", "offline ms / KB", "online ms / KB", "off rotations", "exact?"
+    );
+    for variant in ProtocolVariant::all() {
+        let engine =
+            Engine::new(sys.clone(), variant, fixed.clone(), GcMode::Simulated, 42);
+        let report = engine.run(&tokens);
+        let off = report.steps.offline_total();
+        let on = report.steps.online_total();
+        println!(
+            "{:<14} {:>12.0} / {:>7.0} {:>12.0} / {:>7.0} {:>14} {:>12}",
+            variant.name(),
+            off.compute.as_secs_f64() * 1e3,
+            off.bytes as f64 / 1e3,
+            on.compute.as_secs_f64() * 1e3,
+            on.bytes as f64 / 1e3,
+            report.he_ops_offline.rotations,
+            report.matches_plaintext_reference()
+        );
+    }
+
+    println!("\nper-category breakdown for Primer-FPC (compute ms, offline/online):");
+    let engine = Engine::new(sys, ProtocolVariant::Fpc, fixed, GcMode::Simulated, 43);
+    let report = engine.run(&tokens);
+    for cat in StepCategory::all() {
+        let (off, on) = report.steps.get(cat);
+        println!(
+            "  {:<12} {:>8.1} / {:>8.1}",
+            cat.name(),
+            off.compute.as_secs_f64() * 1e3,
+            on.compute.as_secs_f64() * 1e3
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: one private transformer inference, end to end.
+//!
+//! A client holds a token sequence; a server holds transformer weights.
+//! They run the full Primer protocol (HE linear layers offline via
+//! HGS/FHGS/CHGS, garbled circuits for SoftMax/GELU/LayerNorm) and the
+//! client learns the classification — bit-identical to what the plaintext
+//! fixed-point model computes.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use primer::core::{Engine, GcMode, ProtocolVariant, SystemConfig};
+use primer::math::rng::seeded;
+use primer::nn::{FixedTransformer, TransformerConfig, TransformerWeights};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A scaled-down BERT (1 block, d=8, 4 tokens) that runs in seconds;
+    // `TransformerConfig::bert_base()` is the paper-scale shape.
+    let cfg = TransformerConfig::test_tiny();
+    let sys = SystemConfig::test_profile(&cfg)?;
+
+    // The server's model: a random teacher, quantized to the pipeline's
+    // fixed-point format.
+    let weights = TransformerWeights::random(&cfg, &mut seeded(7));
+    let fixed = FixedTransformer::quantize(&cfg, &weights, sys.pipeline);
+
+    // Full Primer (tokens-first packing + combined CHGS module).
+    let engine = Engine::new(sys, ProtocolVariant::Fpc, fixed, GcMode::Simulated, 8);
+
+    let tokens = vec![3, 17, 0, 29];
+    println!("running private inference on tokens {tokens:?} …");
+    let report = engine.run(&tokens);
+
+    println!("predicted class : {}", report.predicted);
+    println!("logits (fixed)  : {:?}", report.logits);
+    println!("matches plaintext reference exactly: {}", report.matches_plaintext_reference());
+    println!(
+        "traffic         : {:.2} MB over {} messages",
+        report.traffic.total_bytes() as f64 / 1e6,
+        report.traffic.total_messages()
+    );
+    println!(
+        "HE ops          : {} offline rotations, {} online rotations",
+        report.he_ops_offline.rotations, report.he_ops_online.rotations
+    );
+    println!("GC size         : {} AND gates", report.gc_and_gates);
+    assert!(report.matches_plaintext_reference());
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! The THE-X baseline's core mechanic, live: evaluating a polynomial
+//! activation **inside** FHE via ciphertext–ciphertext multiplication and
+//! relinearization — the operation Primer's FHGS exists to avoid.
+//!
+//! Computes a quadratic surrogate `act(x) = 0.125x² + 0.5x + 0.4` (the
+//! THE-X-style GELU replacement from `primer_math::activation`) over an
+//! encrypted vector, and shows both the mechanics and the accuracy gap
+//! against the exact GELU.
+//!
+//! Run: `cargo run --release --example thex_baseline`
+
+use primer::he::{mult, BatchEncoder, Encryptor, Evaluator, HeContext, HeParams, KeyGenerator};
+use primer::math::activation;
+use primer::math::rng::seeded;
+use primer::math::{FixedSpec, Ring};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // THE-X runs on a single-prime profile (ct–ct tensoring fits u128).
+    let ctx = HeContext::new(HeParams::toy());
+    let encoder = BatchEncoder::new(&ctx);
+    let mut rng = seeded(51);
+    let kg = KeyGenerator::new(&ctx, &mut rng);
+    let encryptor = Encryptor::new(&ctx, kg.secret_key().clone(), 52);
+    let eval = Evaluator::new(&ctx);
+    let rk = kg.relin_key(&mut rng);
+    let ring = Ring::new(ctx.params().t());
+    // Coarse fixed point: the polynomial is evaluated at scale 2^(3f),
+    // which must fit the toy profile's ~15-bit plaintext ring.
+    let fixed = FixedSpec::new(10, 3);
+
+    // Encrypt a few activations.
+    let xs: Vec<f64> = vec![-2.0, -0.5, 0.0, 0.7, 1.5, 3.0];
+    let raw: Vec<u64> = xs.iter().map(|&x| fixed.encode(&ring, x)).collect();
+    let ct = encryptor.encrypt(&encoder.encode(&raw));
+
+    // act(x) = 0.125·x² + 0.5·x + 0.4 homomorphically:
+    // x² via ct–ct multiply + relinearize (scale 2^(2f)), then the linear
+    // terms scale-matched to 2^(2f) before adding.
+    let sq = mult::multiply(&ctx, eval.counters(), &ct, &ct)?;
+    let sq = eval.relinearize(&sq, &rk)?;
+    let c_eighth = encoder.encode(&vec![fixed.quantize(0.125) as u64; xs.len()]);
+    let term2 = eval.mul_plain(&sq, &eval.prepare_mul_plain(&c_eighth));
+    // 0.5·x at scale 2^(3f)… keep everything at 3f: term2 is (2f+f)=3f
+    // after the plaintext multiply; x·(0.5·2^(2f)) matches it.
+    let half_2f = (0.5 * fixed.scale() * fixed.scale()).round() as u64;
+    let c_half = encoder.encode(&vec![half_2f % ring.modulus(); xs.len()]);
+    let term1 = eval.mul_plain(&ct, &eval.prepare_mul_plain(&c_half));
+    let bias = (0.4 * fixed.scale() * fixed.scale() * fixed.scale()).round() as u64;
+    let c_bias = encoder.encode(&vec![bias % ring.modulus(); xs.len()]);
+    let sum = eval.add_plain(&eval.add(&term2, &term1), &c_bias);
+
+    println!("budget after ct–ct mult + relin + poly: {:.1} bits", encryptor.noise_budget(&sum));
+    let decoded = encoder.decode(&encryptor.decrypt(&sum));
+    println!("{:>6} {:>12} {:>12} {:>10}", "x", "FHE poly", "exact GELU", "error");
+    let scale3 = fixed.scale().powi(3);
+    for (i, &x) in xs.iter().enumerate() {
+        let got = ring.to_signed(decoded[i]) as f64 / scale3;
+        let exact = activation::gelu(x);
+        println!("{:>6.2} {:>12.3} {:>12.3} {:>10.3}", x, got, exact, (got - exact).abs());
+    }
+    println!();
+    println!("this per-element error is the mechanism behind THE-X's accuracy loss;");
+    println!("Primer's FHGS+GC pipeline computes the exact function instead.");
+    Ok(())
+}

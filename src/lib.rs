@@ -1,0 +1,44 @@
+//! # Primer — fast private transformer inference on encrypted data
+//!
+//! This crate is the umbrella entry point for a from-scratch Rust
+//! reproduction of *Primer: Fast Private Transformer Inference on Encrypted
+//! Data* (Zheng, Lou, Jiang — DAC 2023). It re-exports every subsystem:
+//!
+//! * [`math`] — fixed-point and modular-ring linear algebra,
+//! * [`he`] — an additive BFV-style homomorphic encryption scheme with SIMD
+//!   batching and Galois rotations (the paper's SEAL substitute),
+//! * [`gc`] — garbled circuits with free-XOR + half-gates and oblivious
+//!   transfer (the paper's JustGarble substitute),
+//! * [`ss`] — additive secret sharing and Beaver triples,
+//! * [`net`] — a metered transport with a latency/bandwidth time model,
+//! * [`nn`] — a BERT-style transformer library (f64 and fixed-point),
+//! * [`core`] — the Primer protocols themselves: HGS, FHGS, CHGS,
+//!   tokens-first packing, the THE-X and GCFormer baselines, and the
+//!   cost model that regenerates the paper's tables.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use primer::core::{Engine, GcMode, ProtocolVariant, SystemConfig};
+//! use primer::math::rng::seeded;
+//! use primer::nn::{FixedTransformer, TransformerConfig, TransformerWeights};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A scaled-down BERT suitable for tests; `bert_base()` etc. exist too.
+//! let cfg = TransformerConfig::test_tiny();
+//! let sys = SystemConfig::test_profile(&cfg)?;
+//! let weights = TransformerWeights::random(&cfg, &mut seeded(7));
+//! let fixed = FixedTransformer::quantize(&cfg, &weights, sys.pipeline);
+//! let engine = Engine::new(sys, ProtocolVariant::Fpc, fixed, GcMode::Simulated, 8);
+//! let report = engine.run(&[3, 17, 0, 29]);
+//! assert!(report.matches_plaintext_reference());
+//! # Ok(())
+//! # }
+//! ```
+pub use primer_core as core;
+pub use primer_gc as gc;
+pub use primer_he as he;
+pub use primer_math as math;
+pub use primer_net as net;
+pub use primer_nn as nn;
+pub use primer_ss as ss;

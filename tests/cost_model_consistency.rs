@@ -1,0 +1,59 @@
+//! The cost model's op-count formulas must match the instrumented
+//! implementation exactly — the bridge that makes paper-scale
+//! extrapolation trustworthy.
+
+use primer::core::packing::{encrypt_matrix, matmul_plain_weights};
+use primer::core::{matmul_counts, Packing};
+use primer::he::{BatchEncoder, Encryptor, Evaluator, HeContext, HeParams, KeyGenerator};
+use primer::math::rng::seeded;
+use primer::math::MatZ;
+
+#[test]
+fn analytic_counts_match_instrumented_execution() {
+    let ctx = HeContext::new(HeParams::toy());
+    let encoder = BatchEncoder::new(&ctx);
+    let mut rng = seeded(800);
+    let kg = KeyGenerator::new(&ctx, &mut rng);
+    let encryptor = Encryptor::new(&ctx, kg.secret_key().clone(), 801);
+    let eval = Evaluator::new(&ctx);
+    let simd = ctx.params().row_size();
+    let keys = kg.galois_keys_pow2(&[1, 4, 8, simd - 1, simd - 4, simd - 8], false, &mut rng);
+
+    for packing in [Packing::TokensFirst, Packing::FeatureBased] {
+        for (rows, cols, out) in [(4usize, 8usize, 8usize), (4, 8, 20), (3, 33, 5), (8, 600, 12)]
+        {
+            let x = MatZ::from_fn(rows, cols, |i, j| ((i + j * 3) % 25) as u64);
+            let w = MatZ::from_fn(cols, out, |i, j| ((i * 5 + j) % 25) as u64);
+            let packed = encrypt_matrix(packing, &x, &encoder, &encryptor);
+            let before = eval.counts();
+            let _ = matmul_plain_weights(&packed, &w, &eval, &encoder, &keys).expect("keys");
+            let spent = eval.counts().since(&before);
+            let predicted = matmul_counts(packing, rows, cols, out, simd);
+            assert_eq!(
+                spent.rotations, predicted.rotations,
+                "{packing:?} {rows}x{cols}x{out} rotations"
+            );
+            assert_eq!(
+                spent.mul_plain, predicted.mul_plain,
+                "{packing:?} {rows}x{cols}x{out} mul_plain"
+            );
+        }
+    }
+}
+
+#[test]
+fn tokens_first_beats_feature_based_at_every_paper_shape() {
+    // Fig. 6's claim across all four matmul shapes of a BERT block.
+    for (rows, cols, out) in
+        [(30usize, 30522usize, 768usize), (30, 768, 768), (30, 768, 3072), (30, 3072, 768)]
+    {
+        let fb = matmul_counts(Packing::FeatureBased, rows, cols, out, 4096);
+        let tf = matmul_counts(Packing::TokensFirst, rows, cols, out, 4096);
+        assert!(
+            fb.rotations as f64 >= 10.0 * tf.rotations as f64,
+            "{rows}x{cols}x{out}: FB {} vs TF {}",
+            fb.rotations,
+            tf.rotations
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Cross-crate integration tests: full private inference through every
+//! workspace layer (math → he/gc/ss/net → nn → core).
+
+use primer::core::{Engine, GcMode, ProtocolVariant, SystemConfig};
+use primer::math::rng::seeded;
+use primer::nn::{FixedTransformer, TransformerConfig, TransformerWeights};
+
+fn fixed_model(cfg: &TransformerConfig, sys: &SystemConfig, seed: u64) -> FixedTransformer {
+    let weights = TransformerWeights::random(cfg, &mut seeded(seed));
+    FixedTransformer::quantize(cfg, &weights, sys.pipeline)
+}
+
+/// The headline reproduction claim: for every Primer variant, the private
+/// protocol output equals the plaintext fixed-point reference bit for
+/// bit — "no polynomial approximation" made checkable.
+#[test]
+fn all_variants_are_bit_exact_against_reference() {
+    let cfg = TransformerConfig::test_tiny();
+    let sys = SystemConfig::test_profile(&cfg).expect("profile");
+    let fixed = fixed_model(&cfg, &sys, 600);
+    for variant in ProtocolVariant::all() {
+        let engine = Engine::new(sys.clone(), variant, fixed.clone(), GcMode::Simulated, 601);
+        let report = engine.run(&[7, 2, 19, 30]);
+        assert!(
+            report.matches_plaintext_reference(),
+            "{}: private {:?} != reference {:?}",
+            variant.name(),
+            report.logits,
+            report.reference_logits
+        );
+    }
+}
+
+/// Different inputs produce different predictions through the private
+/// pipeline (the protocol is not constant).
+#[test]
+fn private_predictions_depend_on_input() {
+    let cfg = TransformerConfig::test_tiny();
+    let sys = SystemConfig::test_profile(&cfg).expect("profile");
+    let fixed = fixed_model(&cfg, &sys, 602);
+    let engine = Engine::new(sys, ProtocolVariant::Fp, fixed, GcMode::Simulated, 603);
+    let a = engine.run(&[0, 1, 2, 3]);
+    let b = engine.run(&[31, 30, 29, 28]);
+    assert!(a.matches_plaintext_reference());
+    assert!(b.matches_plaintext_reference());
+    assert_ne!(a.logits, b.logits, "logits must depend on the input");
+}
+
+/// A two-block model exercises the block-to-block share threading.
+#[test]
+fn two_block_model_is_bit_exact() {
+    let cfg = TransformerConfig::test_small();
+    let sys = SystemConfig::test_profile(&cfg).expect("profile");
+    let fixed = fixed_model(&cfg, &sys, 604);
+    let engine = Engine::new(sys, ProtocolVariant::Fpc, fixed, GcMode::Simulated, 605);
+    let report = engine.run(&[5, 60, 33, 2, 47, 11]);
+    assert!(report.matches_plaintext_reference());
+}
+
+/// The FHGS/HGS offline split: the online phase must execute far fewer
+/// HE rotations than the offline phase (the paper's core latency claim).
+#[test]
+fn offline_phase_carries_the_rotations() {
+    let cfg = TransformerConfig::test_tiny();
+    let sys = SystemConfig::test_profile(&cfg).expect("profile");
+    let fixed = fixed_model(&cfg, &sys, 606);
+    let engine = Engine::new(sys, ProtocolVariant::Fp, fixed, GcMode::Simulated, 607);
+    let report = engine.run(&[1, 2, 3, 4]);
+    assert!(report.he_ops_offline.rotations > 0);
+    // At this tiny scale the FHGS online matmuls keep a visible share of
+    // rotations; at paper shapes the offline share dominates by orders of
+    // magnitude (see the cost-model tests). Here we check the direction.
+    assert!(
+        report.he_ops_online.rotations < report.he_ops_offline.rotations,
+        "online rotations {} should be below offline {}",
+        report.he_ops_online.rotations,
+        report.he_ops_offline.rotations
+    );
+    // And no ciphertext–ciphertext multiplications anywhere.
+    assert_eq!(report.he_ops_offline.mul_ct + report.he_ops_online.mul_ct, 0);
+}
