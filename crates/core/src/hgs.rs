@@ -187,9 +187,8 @@ mod tests {
                 },
             );
             let (server_share, online_ops) = server_out;
-            let ring2 = Ring::new(ctx.params().t());
-            let reconstructed = client_out.add(&ring2, &server_share);
-            assert_eq!(reconstructed, x.matmul(&ring2, &w_c), "{packing:?}");
+            let reconstructed = client_out.add(&ring, &server_share);
+            assert_eq!(reconstructed, x.matmul(&ring, &w_c), "{packing:?}");
             // The paper's claim: the online phase has no HE operations.
             assert_eq!(online_ops.total(), 0, "online HE ops must be zero");
         }

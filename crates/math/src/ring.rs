@@ -184,7 +184,7 @@ mod tests {
         let r = Ring::new(65537);
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..50 {
-            let a = 1 + rng.gen_range(0..65536);
+            let a = 1 + rng.gen_range(0u64..65536);
             assert_eq!(r.mul(a, r.inv(a)), 1);
         }
     }

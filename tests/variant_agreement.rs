@@ -1,0 +1,77 @@
+//! Regression: every protocol variant's private output must agree with
+//! the plaintext model.
+//!
+//! Two layers of agreement are asserted for `TransformerConfig::
+//! test_tiny()` under each [`ProtocolVariant`] (Base = hybrid protocol,
+//! F = +HGS/FHGS offline split, Fp = +tokens-first packing, Fpc =
+//! +CHGS combined embed+QKV):
+//!
+//! 1. **bit-exact** against the fixed-point reference
+//!    (`FixedTransformer`), the invariant the paper's "no approximation"
+//!    claim rests on, and
+//! 2. **within fixed-point tolerance** of the exact floating-point
+//!    transformer — catching quantization-pipeline regressions that a
+//!    purely internal fixed-vs-private comparison would miss (e.g. a
+//!    wrong truncation that the GC circuits faithfully replicate).
+
+use primer::core::{Engine, GcMode, ProtocolVariant, SystemConfig};
+use primer::math::rng::seeded;
+use primer::nn::{
+    ActivationMode, FixedTransformer, Transformer, TransformerConfig, TransformerWeights,
+};
+
+#[test]
+fn variants_agree_with_plaintext_within_fixed_point_tolerance() {
+    let cfg = TransformerConfig::test_tiny();
+    let sys = SystemConfig::test_profile(&cfg).expect("profile");
+    let weights = TransformerWeights::random(&cfg, &mut seeded(810));
+    let float_model = Transformer::new(cfg.clone(), weights.clone());
+    let fixed = FixedTransformer::quantize(&cfg, &weights, sys.pipeline);
+
+    let tokens = [3usize, 17, 0, 29];
+    let float_logits = float_model.logits(&tokens, ActivationMode::Exact);
+    let spec = sys.pipeline.fixed;
+    // One quantization step costs 2^-frac; the tiny model's few layers of
+    // re-truncated matmuls and GC non-linearities compound that to ~4
+    // steps at worst (measured 3.66 for Fpc with this seed). 16 steps
+    // gives a 4x flakiness margin while still catching any systematic
+    // quantization-pipeline error.
+    let tolerance = 16.0 / (1u64 << spec.frac()) as f64;
+
+    for variant in ProtocolVariant::all() {
+        let engine = Engine::new(sys.clone(), variant, fixed.clone(), GcMode::Simulated, 811);
+        let report = engine.run(&tokens);
+
+        assert!(
+            report.matches_plaintext_reference(),
+            "{}: private logits {:?} != fixed-point reference {:?}",
+            variant.name(),
+            report.logits,
+            report.reference_logits
+        );
+
+        assert_eq!(
+            report.logits.len(),
+            float_logits.len(),
+            "{}: logit arity mismatch",
+            variant.name()
+        );
+        for (class, (&raw, &exact)) in
+            report.logits.iter().zip(float_logits.iter()).enumerate()
+        {
+            let private = spec.dequantize(raw);
+            let err = (private - exact).abs();
+            assert!(
+                err <= tolerance,
+                "{}: logit {} diverged from plaintext: private {} vs exact {} \
+                 (err {:.6} > tol {:.6})",
+                variant.name(),
+                class,
+                private,
+                exact,
+                err,
+                tolerance
+            );
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` bench harness.
+//!
+//! Implements the subset the Primer bench targets use: benchmark
+//! groups, `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of
+//! criterion's statistical machinery it runs a short calibration pass,
+//! then measures enough iterations to fill a fixed time budget and
+//! reports mean wall-clock time per iteration on stdout.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    /// Per-benchmark measurement budget.
+    measure_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Criterion { measure_time: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { criterion: self, name, throughput: None }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget = self.measure_time;
+        run_one(&id.into().to_string(), None, budget, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's sampling is
+    /// time-budgeted rather than sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used to report a rate next to the time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.throughput, self.criterion.measure_time, f);
+        self
+    }
+
+    /// Ends the group (output is already flushed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        BenchmarkId { text }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    budget: Duration,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, returning control once the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: one untimed call, then estimate the per-iter cost.
+        std_black_box(f());
+        let probe_start = Instant::now();
+        std_black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+
+        let iters = (self.budget.as_nanos() / probe.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        self.result = Some(start.elapsed() / iters as u32);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher { budget, result: None };
+    f(&mut bencher);
+    match bencher.result {
+        Some(per_iter) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!("  ({:.0} elem/s)", n as f64 / per_iter.as_secs_f64())
+                }
+                Throughput::Bytes(n) => {
+                    format!("  ({:.0} B/s)", n as f64 / per_iter.as_secs_f64())
+                }
+            });
+            println!("{label:<48} {per_iter:>12.2?}/iter{}", rate.unwrap_or_default());
+        }
+        None => println!("{label:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a group function invoking each bench function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_once() {
+        let mut c = Criterion { measure_time: Duration::from_millis(1) };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("f", "p"), |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs >= 3, "calibration + measurement should run the closure");
+    }
+}

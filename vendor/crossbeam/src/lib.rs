@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides only `crossbeam::channel::{unbounded, Sender, Receiver}` —
+//! the subset `primer_net` uses. Both endpoints are `Clone + Send +
+//! Sync`, like the real crossbeam MPMC channel, implemented over a
+//! mutex-guarded queue with a condvar (throughput is not a concern: the
+//! transport layer batches protocol messages into large frames).
+
+pub mod channel;

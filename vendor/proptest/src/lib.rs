@@ -1,0 +1,182 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! implements the subset of proptest the Primer test suites use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * range strategies (`0u64..10_000`, `-2048i64..2048`, `1usize..6`),
+//! * [`collection::vec`] for vectors of range-strategy elements,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] and
+//!   [`test_runner::TestCaseError`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! exact inputs instead), and case generation is deterministic — the
+//! RNG for case `i` of test `t` is seeded from `hash(t) ⊕ i`, so every
+//! run explores the same inputs. Case counts default to
+//! [`test_runner::DEFAULT_CASES`] and can be raised globally with the
+//! `PROPTEST_CASES` environment variable.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let test_path = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    // A `prop_assume!` reject regenerates the case from a
+                    // perturbed seed (attempt 0 keeps the canonical seed,
+                    // so suites without rejects are unaffected), capped
+                    // like upstream so a vacuous property cannot pass.
+                    let mut attempt: u64 = 0;
+                    loop {
+                        let mut runner_rng = $crate::test_runner::case_rng(
+                            test_path,
+                            case as u64 ^ (attempt << 32),
+                        );
+                        $(
+                            let $arg = $crate::strategy::Strategy::new_value(
+                                &($strategy),
+                                &mut runner_rng,
+                            );
+                        )+
+                        let inputs = || {
+                            let mut s = String::new();
+                            $(
+                                s.push_str(concat!(stringify!($arg), " = "));
+                                s.push_str(&format!("{:?}, ", $arg));
+                            )+
+                            s
+                        };
+                        let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                            (|| { $body ::std::result::Result::Ok(()) })();
+                        match outcome {
+                            ::std::result::Result::Ok(()) => break,
+                            ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(reason)) => {
+                                attempt += 1;
+                                if attempt >= $crate::test_runner::MAX_REJECTS_PER_CASE {
+                                    panic!(
+                                        "proptest {}: case {}/{} rejected {} times \
+                                         (last: {}); assumption too restrictive",
+                                        test_path, case + 1, config.cases, attempt, reason,
+                                    );
+                                }
+                            }
+                            ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                                panic!(
+                                    "proptest {} failed at case {}/{}:\n  {}\n  inputs: {}",
+                                    test_path, case + 1, config.cases, msg, inputs(),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through [`test_runner::TestCaseError`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format_args!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through [`test_runner::TestCaseError`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                left, right,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n  {}",
+                left, right,
+                format_args!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert_eq!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: `{:?}`",
+                left,
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,107 @@
+//! Runner configuration, case RNG derivation, and failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// The RNG handed to strategies (one fresh instance per case).
+pub type TestRng = StdRng;
+
+/// Default number of cases per property when no
+/// `#![proptest_config(...)]` header overrides it. Chosen so the whole
+/// workspace's property suites finish in seconds in CI; raise globally
+/// with the `PROPTEST_CASES` environment variable.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// How many times one case may be rejected by `prop_assume!` before the
+/// test aborts (upstream proptest similarly errors on excessive global
+/// rejects rather than letting a property pass vacuously).
+pub const MAX_REJECTS_PER_CASE: u64 = 64;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case found a real counterexample.
+    Fail(String),
+    /// The case was discarded (e.g. `prop_assume!` failed).
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-case RNG: seeded from the test's module path and
+/// the case index, so every run of the suite explores the same inputs.
+pub fn case_rng(test_path: &str, case: u64) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3); // FNV-1a 64-bit prime
+    }
+    TestRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn case_rng_is_deterministic_and_case_sensitive() {
+        let mut a = case_rng("t::x", 3);
+        let mut b = case_rng("t::x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = case_rng("t::x", 4);
+        let mut d = case_rng("t::y", 3);
+        let base = case_rng("t::x", 3).next_u64();
+        assert_ne!(c.next_u64(), base);
+        assert_ne!(d.next_u64(), base);
+    }
+
+    #[test]
+    fn config_with_cases_overrides() {
+        assert_eq!(ProptestConfig::with_cases(8).cases, 8);
+    }
+}

@@ -1,0 +1,30 @@
+//! The stub's `prop_assume!` semantics: rejected cases regenerate
+//! inputs instead of passing vacuously, and an unsatisfiable assumption
+//! aborts the test.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every case that reaches the assertion satisfied the assumption,
+    /// and regeneration finds satisfying inputs for all 16 cases even
+    /// though the assumption rejects half the domain.
+    #[test]
+    fn assume_regenerates_until_satisfied(x in 0u64..100) {
+        prop_assume!(x >= 50);
+        prop_assert!(x >= 50);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// An unsatisfiable assumption must abort, not pass vacuously.
+    #[test]
+    #[should_panic(expected = "assumption too restrictive")]
+    fn unsatisfiable_assume_aborts(x in 0u64..100) {
+        prop_assume!(x > 100);
+        prop_assert!(x > 100);
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides exactly the subset of the `rand 0.8` API the Primer
+//! workspace uses:
+//!
+//! * [`Rng`] — `gen`, `gen_range` (half-open and inclusive integer and
+//!   float ranges), `gen_bool`, `fill`,
+//! * [`SeedableRng`] — `seed_from_u64`, `from_seed`,
+//! * [`rngs::StdRng`] — a deterministic xoshiro256** generator.
+//!
+//! Streams differ numerically from upstream `rand` (a different core
+//! generator), but every consumer in this repository only relies on
+//! determinism-given-a-seed, not on specific values.
+
+pub mod rngs;
+
+mod distributions;
+mod range;
+
+pub use distributions::SampleStandard;
+pub use range::{SampleRange, SampleUniform};
+
+/// Generic random-number-generator interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The core primitive: the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from the "standard" distribution
+    /// (uniform over all values for integers, `[0, 1)` for floats).
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        f64::sample_standard(self) < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from seeds (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type (32 bytes for [`rngs::StdRng`]).
+    type Seed;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let a: Vec<u64> = (0..8).map(|_| StdRng::seed_from_u64(9).next_u64()).collect();
+        assert!(a.windows(2).all(|w| w[0] == w[1]));
+        let mut r1 = StdRng::seed_from_u64(10);
+        let mut r2 = StdRng::seed_from_u64(10);
+        for _ in 0..100 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let v: i64 = rng.gen_range(-15i64..=15);
+            assert!((-15..=15).contains(&v));
+            let u: u64 = rng.gen_range(0u64..7);
+            assert!(u < 7);
+            let f: f64 = rng.gen_range(0.25..0.5);
+            assert!((0.25..0.5).contains(&f));
+            let s: usize = rng.gen_range(1usize..2);
+            assert_eq!(s, 1);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..600 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..6 should appear");
+    }
+
+    #[test]
+    fn fill_fills_every_byte_position() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut any_nonzero = [0u8; 13];
+        for _ in 0..32 {
+            let mut buf = [0u8; 13];
+            rng.fill(&mut buf);
+            for (acc, b) in any_nonzero.iter_mut().zip(buf.iter()) {
+                *acc |= b;
+            }
+        }
+        assert!(any_nonzero.iter().all(|&b| b != 0));
+    }
+
+    #[test]
+    fn standard_floats_are_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn from_seed_differs_by_seed() {
+        let mut a = StdRng::from_seed([1u8; 32]);
+        let mut b = StdRng::from_seed([2u8; 32]);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,161 @@
+//! Uniform sampling from ranges: what `rng.gen_range(a..b)` uses.
+
+use crate::distributions::SampleStandard;
+use crate::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Marker for types `gen_range` can produce.
+pub trait SampleUniform {}
+
+/// Range shapes `gen_range` accepts for a given output type.
+pub trait SampleRange<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps 64 random bits to `[0, span)` by fixed-point multiplication.
+/// The modulo bias is at most `span / 2^64`, far below anything the
+/// test suites could observe.
+fn sample_span<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+fn sample_span_u128<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        sample_span(rng, span as u64) as u128
+    } else {
+        // Rejection sampling over the full 128-bit space; `limit` is the
+        // largest multiple of `span` that fits, so values below it are
+        // bias-free.
+        let limit = span * (u128::MAX / span);
+        loop {
+            let v = u128::sample_standard(rng);
+            if v < limit {
+                return v % span;
+            }
+        }
+    }
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {}
+
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = self.end as u128 - self.start as u128;
+                self.start + sample_span_u128(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = end as u128 - start as u128 + 1;
+                start + sample_span_u128(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_uint!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for u128 {}
+
+impl SampleRange<u128> for Range<u128> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> u128 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + sample_span_u128(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<u128> for RangeInclusive<u128> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> u128 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        match (end - start).checked_add(1) {
+            Some(span) => start + sample_span_u128(rng, span),
+            None => u128::sample_standard(rng),
+        }
+    }
+}
+
+macro_rules! impl_range_sint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {}
+
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + sample_span_u128(rng, span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + sample_span_u128(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sint!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for i128 {}
+
+impl SampleRange<i128> for Range<i128> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> i128 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        self.start.wrapping_add(sample_span_u128(rng, span) as i128)
+    }
+}
+
+impl SampleRange<i128> for RangeInclusive<i128> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> i128 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        match (end.wrapping_sub(start) as u128).checked_add(1) {
+            Some(span) => start.wrapping_add(sample_span_u128(rng, span) as i128),
+            None => i128::sample_standard(rng),
+        }
+    }
+}
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {}
+
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = <$t>::sample_standard(rng);
+                let v = self.start + u * (self.end - self.start);
+                // Floating rounding can land exactly on `end`; clamp back
+                // into the half-open interval.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let u = <$t>::sample_standard(rng);
+                let v = start + u * (end - start);
+                // `end - start` can round up, pushing `v` one ulp past
+                // `end`; clamp to honour the inclusive contract.
+                if v > end { end } else { v }
+            }
+        }
+    )*};
+}
+
+impl_range_float!(f32, f64);
