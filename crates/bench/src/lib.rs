@@ -32,9 +32,7 @@ pub fn measure_accuracy(seed: u64, samples: usize) -> Vec<(Task, AccuracyReport)
 
 /// Formats seconds the way the paper's tables do (e.g. `3094.4`).
 pub fn fmt_s(v: f64) -> String {
-    if v >= 1000.0 {
-        format!("{:.1}", v)
-    } else if v >= 1.0 {
+    if v >= 1.0 {
         format!("{:.1}", v)
     } else {
         format!("{:.2}", v)

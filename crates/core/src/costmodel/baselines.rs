@@ -1,0 +1,89 @@
+//! The prior-art baselines the paper compares against (Fig. 2 /
+//! Table I): an all-FHE THE-X-style pipeline and an all-GC GCFormer.
+
+use super::{GcGateModel, ModelCost, OpCosts};
+use crate::packing::Packing;
+use primer_net::NetworkModel;
+use primer_nn::TransformerConfig;
+
+/// THE-X-style all-FHE baseline: every linear layer plus degree-2
+/// polynomial activations evaluated homomorphically online.
+pub fn thex_latency(cfg: &TransformerConfig, costs: &OpCosts, net: &NetworkModel, simd: usize) -> f64 {
+    let (n, d, dff, heads, dh) = (cfg.n_tokens, cfg.d_model, cfg.d_ff, cfg.n_heads, cfg.d_head());
+    let mut c = ModelCost::default();
+    // Linear layers, feature-based packing (prior art).
+    c.add_matmul(Packing::FeatureBased, n, cfg.vocab, d, simd);
+    for _ in 0..cfg.n_blocks {
+        for _ in 0..3 {
+            c.add_matmul(Packing::FeatureBased, n, d, d, simd);
+        }
+        for _ in 0..heads {
+            c.add_matmul(Packing::FeatureBased, n, dh, n, simd);
+            c.add_matmul(Packing::FeatureBased, n, n, dh, simd);
+        }
+        c.add_matmul(Packing::FeatureBased, n, d, d, simd);
+        c.add_matmul(Packing::FeatureBased, n, d, dff, simd);
+        c.add_matmul(Packing::FeatureBased, n, dff, d, simd);
+        // Poly activations: one ct–ct mult per ciphertext-slot-group per
+        // nonlinearity (softmax surrogate, GELU surrogate, 2 layernorms).
+        let act_elems = heads * n * n + n * dff + 2 * n * d;
+        c.mul_ct += (act_elems as f64 / simd as f64).ceil() * 3.0;
+    }
+    c.flights = (cfg.n_blocks * 4) as f64;
+    c.bytes = c.mul_ct * costs.ct_full_bytes as f64;
+    c.total_seconds(costs, net)
+}
+
+/// GC-only baseline (GCFormer): every multiplication as a garbled
+/// multiplier, activations as GC circuits. Returns (offline, online).
+pub fn gcformer_latency(
+    cfg: &TransformerConfig,
+    costs: &OpCosts,
+    net: &NetworkModel,
+    gates: &GcGateModel,
+    fixed_bits: f64,
+) -> (f64, f64) {
+    let (n, d, dff, heads, dh) = (cfg.n_tokens, cfg.d_model, cfg.d_ff, cfg.n_heads, cfg.d_head());
+    // ANDs per fixed-point multiply (shift-add multiplier).
+    let per_mul = 2.0 * fixed_bits * fixed_bits;
+    let mut mults = 0.0f64;
+    // Embedding as a vocab-wide mux tree per token/feature.
+    let embed_ands = (n * cfg.vocab) as f64 * fixed_bits;
+    for _ in 0..cfg.n_blocks {
+        mults += (3 * n * d * d) as f64;
+        mults += (heads * (n * n * dh) * 2) as f64;
+        mults += (n * d * d) as f64;
+        mults += (n * d * dff * 2) as f64;
+    }
+    let mut ands = embed_ands + mults * per_mul;
+    for _ in 0..cfg.n_blocks {
+        ands += gates.softmax(heads * n, n) + gates.gelu(n * dff) + gates.layer_norm(n, d) * 2.0;
+    }
+    let offline = ands * costs.gc_garble_and
+        + net.time_for(2, (ands * 32.0) as u64).as_secs_f64() * 0.0;
+    // Tables + labels transfer and evaluation are online.
+    let online = ands * costs.gc_eval_and
+        + net.time_for(4, (ands * 32.0) as u64).as_secs_f64();
+    (offline, online)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::CostModel;
+    use super::*;
+    use crate::session::ProtocolVariant;
+
+    #[test]
+    fn baselines_are_slower_than_primer() {
+        let model = CostModel::paper();
+        let costs = OpCosts::paper_defaults();
+        let net = NetworkModel::paper_lan();
+        let cfg = TransformerConfig::bert_base();
+        let (off_p, on_p) = model.variant_latency(&cfg, ProtocolVariant::Fpc, &costs, &net);
+        let thex = thex_latency(&cfg, &costs, &net, model.simd);
+        let (gc_off, gc_on) = gcformer_latency(&cfg, &costs, &net, &model.gates, 15.0);
+        // Fig. 2 / Table I shape: Primer total ≪ THE-X online ≪ GCFormer total.
+        assert!(off_p + on_p < thex, "primer {:.0}s vs THE-X {thex:.0}s", off_p + on_p);
+        assert!(thex < gc_off + gc_on, "THE-X {thex:.0}s vs GCFormer {:.0}s", gc_off + gc_on);
+    }
+}

@@ -9,209 +9,18 @@
 //! on paper-scale parameters (`N = 8192`); the bench harness can
 //! re-measure them (`OpCosts::measure`).
 
-use crate::engine::ProtocolVariant;
-use crate::gcmod::{build_step_circuit, GcStepKind};
 use crate::packing::{matmul_counts, Layout, Packing};
+use crate::session::ProtocolVariant;
 use crate::stats::StepCategory;
-use primer_gc::GcNumCfg;
-use primer_he::{BatchEncoder, Encryptor, Evaluator, HeContext, HeParams, KeyGenerator};
-use primer_math::rng::seeded;
-use primer_math::{FixedSpec, Ring};
 use primer_net::NetworkModel;
-use primer_nn::{PipelineSpec, TransformerConfig};
+use primer_nn::TransformerConfig;
 use std::collections::BTreeMap;
-use std::time::Instant;
 
-/// Per-operation costs in seconds (and wire sizes in bytes).
-#[derive(Debug, Clone, Copy)]
-pub struct OpCosts {
-    /// One elementary Galois rotation (key switch).
-    pub rotation: f64,
-    /// One ciphertext × plaintext multiply(+accumulate).
-    pub mul_plain: f64,
-    /// One ciphertext/plaintext addition.
-    pub add: f64,
-    /// One fresh encryption.
-    pub encrypt: f64,
-    /// One decryption.
-    pub decrypt: f64,
-    /// One ciphertext × ciphertext multiply + relinearization (THE-X).
-    pub mul_ct: f64,
-    /// Garbling one AND gate.
-    pub gc_garble_and: f64,
-    /// Evaluating one AND gate.
-    pub gc_eval_and: f64,
-    /// Wire bytes of one (seed-compressed) fresh ciphertext.
-    pub ct_fresh_bytes: u64,
-    /// Wire bytes of one evaluated ciphertext.
-    pub ct_full_bytes: u64,
-}
+mod baselines;
+mod calibrate;
 
-impl OpCosts {
-    /// Default cost table. HE numbers are Criterion measurements of this
-    /// codebase at the paper profile (`N = 8192`, two 59-bit primes,
-    /// single x86-64 core — see `bench_output.txt`). GC per-AND rates
-    /// are JustGarble-class (hardware-AES garbling, the paper's tooling);
-    /// our table-less software AES garbles ~6× slower — pass `--measure`
-    /// to the table binaries to price everything with this codebase's
-    /// own rates instead.
-    pub fn paper_defaults() -> Self {
-        Self {
-            rotation: 14.3e-3,
-            mul_plain: 0.14e-3,
-            add: 0.042e-3,
-            encrypt: 4.0e-3,
-            decrypt: 13.2e-3,
-            mul_ct: 600.0e-3,
-            gc_garble_and: 0.55e-6,
-            gc_eval_and: 0.45e-6,
-            ct_fresh_bytes: (2 * 8192 * 8 + 32 + 2) as u64,
-            ct_full_bytes: (2 * 2 * 8192 * 8 + 2) as u64,
-        }
-    }
-
-    /// Measures the HE costs on live paper-scale parameters (a few
-    /// seconds). GC costs are measured on a mid-size adder circuit.
-    pub fn measure() -> Self {
-        let mut costs = Self::paper_defaults();
-        let ctx = HeContext::new(HeParams::paper_8k());
-        let encoder = BatchEncoder::new(&ctx);
-        let mut rng = seeded(77);
-        let kg = KeyGenerator::new(&ctx, &mut rng);
-        let encryptor = Encryptor::new(&ctx, kg.secret_key().clone(), 78);
-        let eval = Evaluator::new(&ctx);
-        let gk = kg.galois_keys(&[1], false, &mut rng);
-        let vals: Vec<u64> = (0..100u64).collect();
-        let pt = encoder.encode(&vals);
-
-        let timed = |f: &mut dyn FnMut(), reps: u32| -> f64 {
-            let start = Instant::now();
-            for _ in 0..reps {
-                f();
-            }
-            start.elapsed().as_secs_f64() / reps as f64
-        };
-        let ct = encryptor.encrypt(&pt);
-        costs.encrypt = timed(&mut || drop(encryptor.encrypt(&pt)), 5);
-        costs.decrypt = timed(&mut || drop(encryptor.decrypt(&ct)), 5);
-        let mp = eval.prepare_mul_plain(&pt);
-        costs.mul_plain = timed(&mut || drop(eval.mul_plain(&ct, &mp)), 10);
-        costs.add = timed(&mut || drop(eval.add(&ct, &ct)), 10);
-        costs.rotation = timed(&mut || drop(eval.rotate_rows(&ct, 1, &gk)), 5);
-        costs.ct_fresh_bytes = ct.serialized_size() as u64;
-        costs.ct_full_bytes = eval.add(&ct, &ct).serialized_size() as u64;
-
-        // GC per-AND costs from a real garble/eval of a multiplier.
-        let mut b = primer_gc::CircuitBuilder::new();
-        let x = b.garbler_input(32);
-        let y = b.evaluator_input(32);
-        let p = b.mul(&x, &y);
-        let circuit = b.build(&p);
-        let ands = circuit.and_count() as f64;
-        let start = Instant::now();
-        let (garbled, enc) = primer_gc::garble::garble(&circuit, &mut rng);
-        costs.gc_garble_and = start.elapsed().as_secs_f64() / ands;
-        let gl: Vec<u128> = (0..32).map(|i| enc.garbler_label(i, false)).collect();
-        let el: Vec<u128> = (0..32).map(|i| enc.evaluator_pair(i).0).collect();
-        let start = Instant::now();
-        let _ = primer_gc::garble::evaluate(&circuit, &garbled, &gl, &el);
-        costs.gc_eval_and = start.elapsed().as_secs_f64() / ands;
-        costs
-    }
-}
-
-/// AND-gate counts per element/row for each GC step kind, calibrated by
-/// building real circuits at the paper's numeric widths.
-#[derive(Debug, Clone, Copy)]
-pub struct GcGateModel {
-    trunc_per_elem: f64,
-    relu_per_elem: f64,
-    gelu_per_elem: f64,
-    softmax_per_row_base: f64,
-    softmax_per_elem: f64,
-    ln_per_row_base: f64,
-    ln_per_elem: f64,
-}
-
-impl GcGateModel {
-    /// Calibrates against real circuits at the given numeric profile.
-    pub fn calibrate(spec: &PipelineSpec, gc: GcNumCfg) -> Self {
-        let ands = |kind: &GcStepKind| build_step_circuit(kind, spec, gc).and_count() as f64;
-        let t1 = ands(&GcStepKind::TruncSat { elems: 4 });
-        let t2 = ands(&GcStepKind::TruncSat { elems: 8 });
-        let trunc_per_elem = (t2 - t1) / 4.0;
-        let r1 = ands(&GcStepKind::Relu { elems: 4 });
-        let r2 = ands(&GcStepKind::Relu { elems: 8 });
-        let relu_per_elem = (r2 - r1) / 4.0;
-        let g1 = ands(&GcStepKind::Gelu { elems: 2 });
-        let g2 = ands(&GcStepKind::Gelu { elems: 4 });
-        let gelu_per_elem = (g2 - g1) / 2.0;
-        let prescale = primer_math::fxp::const_q(0.2, spec.gc_frac);
-        let s4 = ands(&GcStepKind::Softmax { rows: 1, cols: 4, prescale });
-        let s8 = ands(&GcStepKind::Softmax { rows: 1, cols: 8, prescale });
-        let softmax_per_elem = (s8 - s4) / 4.0;
-        let softmax_per_row_base = s4 - 4.0 * softmax_per_elem;
-        let gamma4 = vec![1 << spec.gc_frac; 4];
-        let beta4 = vec![0i64; 4];
-        let gamma8 = vec![1 << spec.gc_frac; 8];
-        let beta8 = vec![0i64; 8];
-        let l4 = ands(&GcStepKind::LayerNormResidual {
-            rows: 1,
-            cols: 4,
-            gamma: gamma4,
-            beta: beta4,
-        });
-        let l8 = ands(&GcStepKind::LayerNormResidual {
-            rows: 1,
-            cols: 8,
-            gamma: gamma8,
-            beta: beta8,
-        });
-        let ln_per_elem = (l8 - l4) / 4.0;
-        let ln_per_row_base = l4 - 4.0 * ln_per_elem;
-        Self {
-            trunc_per_elem,
-            relu_per_elem,
-            gelu_per_elem,
-            softmax_per_row_base,
-            softmax_per_elem,
-            ln_per_row_base,
-            ln_per_elem,
-        }
-    }
-
-    /// The paper numeric profile: 43-bit ring, the paper's 15/7 fixed
-    /// point, 32-bit GC words (15-bit values make 31-bit products;
-    /// LayerNorm, whose variance accumulation needs more headroom, is
-    /// calibrated at the 48-bit protocol width).
-    pub fn paper() -> Self {
-        let ring = Ring::new(primer_he::HeParams::paper_8k().t());
-        let spec = PipelineSpec::new(ring, FixedSpec::paper(), 12);
-        let narrow = Self::calibrate(&spec, GcNumCfg { width: 32, frac: 12 });
-        let wide = Self::calibrate(&spec, GcNumCfg::protocol());
-        Self { ln_per_row_base: wide.ln_per_row_base, ln_per_elem: wide.ln_per_elem, ..narrow }
-    }
-
-    fn trunc(&self, elems: usize) -> f64 {
-        self.trunc_per_elem * elems as f64
-    }
-
-    fn relu(&self, elems: usize) -> f64 {
-        self.relu_per_elem * elems as f64
-    }
-
-    fn gelu(&self, elems: usize) -> f64 {
-        self.gelu_per_elem * elems as f64
-    }
-
-    fn softmax(&self, rows: usize, cols: usize) -> f64 {
-        rows as f64 * (self.softmax_per_row_base + self.softmax_per_elem * cols as f64)
-    }
-
-    fn layer_norm(&self, rows: usize, cols: usize) -> f64 {
-        rows as f64 * (self.ln_per_row_base + self.ln_per_elem * cols as f64)
-    }
-}
+pub use baselines::{gcformer_latency, thex_latency};
+pub use calibrate::{GcGateModel, OpCosts};
 
 /// Accumulated analytic cost of one phase of one step category.
 #[derive(Debug, Clone, Copy, Default)]
@@ -479,86 +288,9 @@ impl CostModel {
     }
 }
 
-/// THE-X-style all-FHE baseline: every linear layer plus degree-2
-/// polynomial activations evaluated homomorphically online.
-pub fn thex_latency(cfg: &TransformerConfig, costs: &OpCosts, net: &NetworkModel, simd: usize) -> f64 {
-    let (n, d, dff, heads, dh) = (cfg.n_tokens, cfg.d_model, cfg.d_ff, cfg.n_heads, cfg.d_head());
-    let mut c = ModelCost::default();
-    // Linear layers, feature-based packing (prior art).
-    c.add_matmul(Packing::FeatureBased, n, cfg.vocab, d, simd);
-    for _ in 0..cfg.n_blocks {
-        for _ in 0..3 {
-            c.add_matmul(Packing::FeatureBased, n, d, d, simd);
-        }
-        for _ in 0..heads {
-            c.add_matmul(Packing::FeatureBased, n, dh, n, simd);
-            c.add_matmul(Packing::FeatureBased, n, n, dh, simd);
-        }
-        c.add_matmul(Packing::FeatureBased, n, d, d, simd);
-        c.add_matmul(Packing::FeatureBased, n, d, dff, simd);
-        c.add_matmul(Packing::FeatureBased, n, dff, d, simd);
-        // Poly activations: one ct–ct mult per ciphertext-slot-group per
-        // nonlinearity (softmax surrogate, GELU surrogate, 2 layernorms).
-        let act_elems = heads * n * n + n * dff + 2 * n * d;
-        c.mul_ct += (act_elems as f64 / simd as f64).ceil() * 3.0;
-    }
-    c.flights = (cfg.n_blocks * 4) as f64;
-    c.bytes = c.mul_ct * costs.ct_full_bytes as f64;
-    c.total_seconds(costs, net)
-}
-
-/// GC-only baseline (GCFormer): every multiplication as a garbled
-/// multiplier, activations as GC circuits. Returns (offline, online).
-pub fn gcformer_latency(
-    cfg: &TransformerConfig,
-    costs: &OpCosts,
-    net: &NetworkModel,
-    gates: &GcGateModel,
-    fixed_bits: f64,
-) -> (f64, f64) {
-    let (n, d, dff, heads, dh) = (cfg.n_tokens, cfg.d_model, cfg.d_ff, cfg.n_heads, cfg.d_head());
-    // ANDs per fixed-point multiply (shift-add multiplier).
-    let per_mul = 2.0 * fixed_bits * fixed_bits;
-    let mut mults = 0.0f64;
-    // Embedding as a vocab-wide mux tree per token/feature.
-    let embed_ands = (n * cfg.vocab) as f64 * fixed_bits;
-    for _ in 0..cfg.n_blocks {
-        mults += (3 * n * d * d) as f64;
-        mults += (heads * (n * n * dh) * 2) as f64;
-        mults += (n * d * d) as f64;
-        mults += (n * d * dff * 2) as f64;
-    }
-    let mut ands = embed_ands + mults * per_mul;
-    for _ in 0..cfg.n_blocks {
-        ands += gates.softmax(heads * n, n) + gates.gelu(n * dff) + gates.layer_norm(n, d) * 2.0;
-    }
-    let offline = ands * costs.gc_garble_and
-        + net.time_for(2, (ands * 32.0) as u64).as_secs_f64() * 0.0;
-    // Tables + labels transfer and evaluation are online.
-    let online = ands * costs.gc_eval_and
-        + net.time_for(4, (ands * 32.0) as u64).as_secs_f64();
-    (offline, online)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn gate_model_is_linear_and_positive() {
-        let ring = Ring::new((1 << 29) + 11);
-        let spec = PipelineSpec::new(ring, FixedSpec::new(12, 5), 12);
-        let g = GcGateModel::calibrate(&spec, GcNumCfg { width: 32, frac: 12 });
-        assert!(g.trunc_per_elem > 50.0);
-        assert!(g.gelu_per_elem > g.trunc_per_elem);
-        assert!(g.softmax_per_elem > 0.0 && g.softmax_per_row_base > 0.0);
-        assert!(g.ln_per_elem > 0.0);
-        // Linearity check against a real circuit.
-        let kind = GcStepKind::TruncSat { elems: 16 };
-        let real = build_step_circuit(&kind, &spec, GcNumCfg { width: 32, frac: 12 })
-            .and_count() as f64;
-        assert!((g.trunc(16) - real).abs() / real < 0.01, "model {} real {real}", g.trunc(16));
-    }
 
     #[test]
     fn packing_ablation_reduces_offline_latency() {
@@ -589,20 +321,6 @@ mod tests {
         let (off, on) = model.variant_latency(&cfg, ProtocolVariant::Base, &costs, &net);
         assert_eq!(off, 0.0);
         assert!(on > 0.0);
-    }
-
-    #[test]
-    fn baselines_are_slower_than_primer() {
-        let model = CostModel::paper();
-        let costs = OpCosts::paper_defaults();
-        let net = NetworkModel::paper_lan();
-        let cfg = TransformerConfig::bert_base();
-        let (off_p, on_p) = model.variant_latency(&cfg, ProtocolVariant::Fpc, &costs, &net);
-        let thex = thex_latency(&cfg, &costs, &net, model.simd);
-        let (gc_off, gc_on) = gcformer_latency(&cfg, &costs, &net, &model.gates, 15.0);
-        // Fig. 2 / Table I shape: Primer total ≪ THE-X online ≪ GCFormer total.
-        assert!(off_p + on_p < thex, "primer {:.0}s vs THE-X {thex:.0}s", off_p + on_p);
-        assert!(thex < gc_off + gc_on, "THE-X {thex:.0}s vs GCFormer {:.0}s", gc_off + gc_on);
     }
 
     #[test]

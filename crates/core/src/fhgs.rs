@@ -139,6 +139,7 @@ pub fn server_offline<R: Rng + ?Sized>(
 /// # Panics
 ///
 /// Panics on shape mismatch or missing Galois keys (engine setup bugs).
+#[allow(clippy::too_many_arguments)]
 pub fn server_online(
     server: &FhgsServer,
     ring: &Ring,

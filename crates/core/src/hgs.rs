@@ -73,6 +73,7 @@ pub fn client_offline_with_mask(
 /// # Panics
 ///
 /// Panics if a required Galois key is missing (engine setup bug).
+#[allow(clippy::too_many_arguments)]
 pub fn server_offline<R: Rng + ?Sized>(
     ring: &Ring,
     packing: Packing,

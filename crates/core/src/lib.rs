@@ -9,11 +9,12 @@
 //! * [`chgs`] — the combined embed+QKV module (Fig. 3d),
 //! * [`gcmod`] — garbled non-polynomial steps, bit-exact against
 //!   `primer_nn::FixedTransformer`,
-//! * [`engine`] — the full client/server inference engine for the Base /
-//!   F / FP / FPC variants,
+//! * [`session`] — the session-structured client/server inference engine
+//!   for the Base / F / FP / FPC variants, with explicit Setup / Offline
+//!   / Online phases, pooled offline bundles and a batched serving API,
 //! * [`costmodel`] — analytic extrapolation to paper-scale latencies
 //!   (Tables I–III, Fig. 2) plus the THE-X and GCFormer baselines,
-//! * [`system`], [`stats`], [`wire`] — configuration, Table II
+//! * [`system`], [`stats`], [`wire`] — configuration, Table II + phase
 //!   accounting, transport framing.
 //!
 //! The repository-level integration tests assert the headline invariant:
@@ -22,18 +23,20 @@
 
 pub mod chgs;
 pub mod costmodel;
-pub mod engine;
 pub mod fhgs;
 pub mod gcmod;
 pub mod hgs;
 pub mod packing;
+pub mod session;
 pub mod stats;
 pub mod system;
 pub mod wire;
 
 pub use costmodel::{gcformer_latency, thex_latency, CostModel, GcGateModel, OpCosts};
-pub use engine::{Engine, InferenceReport, ProtocolVariant};
 pub use gcmod::{GcMode, GcStepKind};
 pub use packing::{matmul_counts, MatmulCounts, Packing};
-pub use stats::{PhaseCost, StepBreakdown, StepCategory};
+pub use session::{ClientSession, Engine, OfflinePool, ProtocolVariant, ServerSession};
+pub use stats::{
+    argmax_logits, InferenceReport, PhaseCost, PhaseTotals, StepBreakdown, StepCategory,
+};
 pub use system::{ConfigError, OtGroupKind, SystemConfig};

@@ -1,0 +1,110 @@
+//! The client side of a persistent two-party session.
+
+use super::offline::{produce_client_bundle, ClientBundle};
+use super::pool::OfflinePool;
+use super::{online, ProtocolVariant};
+use crate::gcmod::GcMode;
+use crate::system::SystemConfig;
+use crate::wire;
+use primer_gc::{Circuit, OtGroup};
+use primer_he::{BatchEncoder, Encryptor, KeyGenerator};
+use primer_math::rng::derive;
+use primer_net::MemTransport;
+use primer_nn::FixedTransformer;
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+/// Long-lived client session state: everything Setup establishes once —
+/// the secret key, encoder, encryptor, OT group and step circuits — plus
+/// a pool of precomputed offline bundles.
+///
+/// The Galois keys generated here are shipped to the server as real
+/// serialized bytes during [`ClientSession::setup`]; the client itself
+/// never rotates, so it keeps only the secret key.
+pub struct ClientSession {
+    pub(crate) sys: SystemConfig,
+    pub(crate) variant: ProtocolVariant,
+    pub(crate) mode: GcMode,
+    pub(crate) fixed: Arc<FixedTransformer>,
+    pub(crate) circuits: Arc<Vec<Circuit>>,
+    pub(crate) rng: StdRng,
+    pub(crate) encoder: BatchEncoder,
+    pub(crate) encryptor: Encryptor,
+    pub(crate) group: OtGroup,
+    pool: OfflinePool<ClientBundle>,
+    pool_target: usize,
+    total_queries: usize,
+    produced: usize,
+}
+
+impl ClientSession {
+    /// Setup phase: derives the client RNG, generates the secret and
+    /// Galois keys, and ships the Galois keys to the server (the one
+    /// Setup flight). Runs once per session.
+    #[allow(clippy::too_many_arguments)]
+    pub fn setup(
+        sys: SystemConfig,
+        variant: ProtocolVariant,
+        mode: GcMode,
+        fixed: Arc<FixedTransformer>,
+        circuits: Arc<Vec<Circuit>>,
+        seed: u64,
+        total_queries: usize,
+        pool_target: usize,
+        t: &MemTransport,
+    ) -> Self {
+        let mut rng = derive(seed, "client");
+        let encoder = BatchEncoder::new(&sys.he);
+        let keygen = KeyGenerator::new(&sys.he, &mut rng);
+        let encryptor = Encryptor::new(&sys.he, keygen.secret_key().clone(), seed ^ 0x5eed);
+        let group = sys.ot_group.group();
+        let simd = sys.simd_width();
+        let stride = sys.padded_tokens();
+        let gk = keygen.galois_keys_pow2(&[1, stride, simd - 1, simd - stride], false, &mut rng);
+        wire::send_galois_keys(t, &gk);
+        Self {
+            sys,
+            variant,
+            mode,
+            fixed,
+            circuits,
+            rng,
+            encoder,
+            encryptor,
+            group,
+            pool: OfflinePool::new(),
+            pool_target: pool_target.max(1),
+            total_queries,
+            produced: 0,
+        }
+    }
+
+    /// Unconsumed offline bundles waiting in the pool.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Produces `k` offline bundles into the pool. The server must run
+    /// the matching [`super::ServerSession::refill`] with the same `k`
+    /// — both sessions derive the same refill schedule from the shared
+    /// (total, pool) parameters, keeping the wire in lockstep.
+    pub fn refill(&mut self, t: &MemTransport, k: usize) {
+        for _ in 0..k {
+            let bundle = produce_client_bundle(self, t);
+            self.pool.put(bundle);
+            self.produced += 1;
+        }
+    }
+
+    /// Runs one online inference, consuming one pooled offline bundle
+    /// (refilling the pool first if it has drained).
+    pub fn infer(&mut self, tokens: &[usize], t: &MemTransport) -> Vec<i64> {
+        if self.pool.is_empty() {
+            let k =
+                super::pool::refill_quota(self.pool_target, self.total_queries, self.produced);
+            self.refill(t, k);
+        }
+        let bundle = self.pool.take().expect("pool refilled above");
+        online::client_online(self, bundle, tokens, t)
+    }
+}

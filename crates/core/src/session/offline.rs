@@ -1,0 +1,449 @@
+//! The Offline phase: input-independent per-query precomputation,
+//! produced into pools ahead of the queries that consume it.
+//!
+//! One **bundle** holds everything a single inference consumes beyond
+//! the session state: the client's masks and HGS/FHGS/CHGS shares, the
+//! server's correction masks and encrypted FHGS triples, and the garbled
+//! sessions for every GC step. Bundles are *moved* out of an
+//! [`super::OfflinePool`] — a consumed bundle (and with it its one-time masks)
+//! can never be silently reused.
+
+use super::client::ClientSession;
+use super::column_slice;
+use super::server::ServerSession;
+use crate::chgs;
+use crate::fhgs::{self, FhgsDims};
+use crate::gcmod::{GcClientStep, GcServerStep};
+use crate::hgs;
+use crate::stats::{StepBreakdown, StepCategory};
+use primer_he::OpCounts;
+use primer_math::MatZ;
+use primer_net::{MemTransport, TrafficSnapshot};
+use std::time::Instant;
+
+/// Client-side masks for one block.
+pub(crate) struct BlockMasks {
+    pub q: MatZ,
+    pub k: MatZ,
+    pub v: MatZ,
+    pub probs: Vec<MatZ>,
+    pub av: MatZ,
+    pub ln1: MatZ,
+    pub gelu: MatZ,
+    pub ln2: MatZ,
+}
+
+/// Client-side per-block precomputed protocol state.
+pub(crate) struct BlockClientPre {
+    pub qkv_shares: Option<[MatZ; 3]>,
+    pub score_pre: Vec<fhgs::FhgsClient>,
+    pub av_pre: Vec<fhgs::FhgsClient>,
+    pub wo: hgs::HgsClient,
+    pub w1: hgs::HgsClient,
+    pub w2: hgs::HgsClient,
+}
+
+/// Everything the client's online phase consumes for one query.
+pub(crate) struct ClientBundle {
+    pub m_embed_in: MatZ,
+    pub m_x1: MatZ,
+    pub blocks: Vec<BlockMasks>,
+    pub embed_shares: Vec<MatZ>,
+    pub bclients: Vec<BlockClientPre>,
+    pub cls: hgs::HgsClient,
+    pub gc: Vec<GcClientStep>,
+}
+
+/// Server-side per-block precomputed protocol state.
+pub(crate) struct BlockServerPre {
+    pub qkv_rs: Option<[MatZ; 3]>,
+    pub score_pre: Vec<fhgs::FhgsServer>,
+    pub av_pre: Vec<fhgs::FhgsServer>,
+    pub wo_rs: MatZ,
+    pub w1_rs: MatZ,
+    pub w2_rs: MatZ,
+}
+
+/// Everything the server's online phase consumes for one query, plus
+/// the cost attribution of producing it.
+pub(crate) struct ServerBundle {
+    pub embed_rs: Vec<MatZ>,
+    pub bservers: Vec<BlockServerPre>,
+    pub cls_rs: MatZ,
+    pub gc: Vec<GcServerStep>,
+    /// Offline-phase costs of producing this bundle (per category).
+    pub steps: StepBreakdown,
+    /// HE ops spent producing this bundle.
+    pub he: OpCounts,
+    /// Traffic spent producing this bundle.
+    pub traffic: TrafficSnapshot,
+}
+
+/// Server-side per-step wall-clock + traffic attribution.
+pub(crate) struct StepTimer<'a> {
+    transport: &'a MemTransport,
+    mark: Instant,
+    last: TrafficSnapshot,
+}
+
+impl<'a> StepTimer<'a> {
+    /// Resumes from the previous phase's final snapshot rather than a
+    /// fresh meter capture. The client pipelines its sends, so a fresh
+    /// capture could already contain the client's next flights — bytes
+    /// that would then be attributed to *no* phase. Chaining snapshots
+    /// keeps the union of all phase deltas equal to the total wire
+    /// traffic exactly (per-step attribution stays best-effort).
+    pub fn resume(transport: &'a MemTransport, last: TrafficSnapshot) -> Self {
+        Self { transport, mark: Instant::now(), last }
+    }
+
+    /// The meter snapshot at the last absorb (phase boundary).
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        self.last
+    }
+
+    pub fn absorb(&mut self, steps: &mut StepBreakdown, cat: StepCategory, offline: bool) {
+        let elapsed = self.mark.elapsed();
+        let now = TrafficSnapshot::capture(self.transport.meter());
+        let delta = now.since(&self.last);
+        self.mark = Instant::now();
+        self.last = now;
+        let entry = steps.entry(cat);
+        let slot = if offline { entry.0 } else { entry.1 };
+        slot.absorb(elapsed, delta);
+    }
+}
+
+/// Produces one client offline bundle: samples every mask, runs the
+/// client half of the HGS/FHGS/CHGS offline protocols against them, and
+/// garbles (or simulates) every GC step in consumption order.
+pub(crate) fn produce_client_bundle(
+    sess: &mut ClientSession,
+    t: &MemTransport,
+) -> ClientBundle {
+    let cfg = sess.sys.model.clone();
+    let ring = sess.sys.ring();
+    let packing = sess.variant.packing();
+    let (n, d, dff, heads) = (cfg.n_tokens, cfg.d_model, cfg.d_ff, cfg.n_heads);
+    let dh = cfg.d_head();
+
+    // Masks.
+    let m_embed_in = MatZ::random(&ring, n, cfg.vocab, &mut sess.rng);
+    let m_x1 = MatZ::random(&ring, n, d, &mut sess.rng); // block-0 input / residual
+    let blocks: Vec<BlockMasks> = (0..cfg.n_blocks)
+        .map(|_| BlockMasks {
+            q: MatZ::random(&ring, n, d, &mut sess.rng),
+            k: MatZ::random(&ring, n, d, &mut sess.rng),
+            v: MatZ::random(&ring, n, d, &mut sess.rng),
+            probs: (0..heads).map(|_| MatZ::random(&ring, n, n, &mut sess.rng)).collect(),
+            av: MatZ::random(&ring, n, d, &mut sess.rng),
+            ln1: MatZ::random(&ring, n, d, &mut sess.rng),
+            gelu: MatZ::random(&ring, n, dff, &mut sess.rng),
+            ln2: MatZ::random(&ring, n, d, &mut sess.rng),
+        })
+        .collect();
+
+    // Embed / combined module.
+    let (embed_shares, qkv_first): (Vec<MatZ>, bool) = if sess.variant.combined() {
+        let pre = chgs::client_offline_with_mask(
+            packing,
+            m_embed_in.clone(),
+            &[d, d, d, d],
+            &sess.sys.he,
+            &sess.encoder,
+            &sess.encryptor,
+            t,
+        );
+        (pre.shares, false)
+    } else {
+        let h = hgs::client_offline_with_mask(
+            &ring,
+            packing,
+            m_embed_in.clone(),
+            d,
+            &sess.sys.he,
+            &sess.encoder,
+            &sess.encryptor,
+            t,
+        );
+        (vec![h.share], true)
+    };
+
+    // Per-block linear offline.
+    let block_inputs: Vec<MatZ> = (0..cfg.n_blocks)
+        .map(|b| if b == 0 { m_x1.clone() } else { blocks[b - 1].ln2.clone() })
+        .collect();
+    let bclients: Vec<BlockClientPre> = (0..cfg.n_blocks)
+        .map(|b| {
+            let bm = &blocks[b];
+            let qkv_shares = if b > 0 || qkv_first {
+                let mut shares = Vec::new();
+                for _ in 0..3 {
+                    let h = hgs::client_offline_with_mask(
+                        &ring,
+                        packing,
+                        block_inputs[b].clone(),
+                        d,
+                        &sess.sys.he,
+                        &sess.encoder,
+                        &sess.encryptor,
+                        t,
+                    );
+                    shares.push(h.share);
+                }
+                Some([shares.remove(0), shares.remove(0), shares.remove(0)])
+            } else {
+                None
+            };
+            let score_pre = (0..heads)
+                .map(|h| {
+                    fhgs::client_offline_with_masks(
+                        &ring,
+                        packing,
+                        column_slice(&bm.q, h * dh, dh),
+                        column_slice(&bm.k, h * dh, dh).transpose(),
+                        &sess.encoder,
+                        &sess.encryptor,
+                        t,
+                    )
+                })
+                .collect();
+            let av_pre = (0..heads)
+                .map(|h| {
+                    fhgs::client_offline_with_masks(
+                        &ring,
+                        packing,
+                        bm.probs[h].clone(),
+                        column_slice(&bm.v, h * dh, dh),
+                        &sess.encoder,
+                        &sess.encryptor,
+                        t,
+                    )
+                })
+                .collect();
+            let wo = hgs::client_offline_with_mask(
+                &ring,
+                packing,
+                bm.av.clone(),
+                d,
+                &sess.sys.he,
+                &sess.encoder,
+                &sess.encryptor,
+                t,
+            );
+            let w1 = hgs::client_offline_with_mask(
+                &ring,
+                packing,
+                bm.ln1.clone(),
+                dff,
+                &sess.sys.he,
+                &sess.encoder,
+                &sess.encryptor,
+                t,
+            );
+            let w2 = hgs::client_offline_with_mask(
+                &ring,
+                packing,
+                bm.gelu.clone(),
+                d,
+                &sess.sys.he,
+                &sess.encoder,
+                &sess.encryptor,
+                t,
+            );
+            BlockClientPre { qkv_shares, score_pre, av_pre, wo, w1, w2 }
+        })
+        .collect();
+    // Classifier (row 0 of the last LN2 mask).
+    let last_mask = &blocks[cfg.n_blocks - 1].ln2;
+    let cls_mask = MatZ::from_fn(1, d, |_, j| last_mask[(0, j)]);
+    let cls = hgs::client_offline_with_mask(
+        &ring,
+        packing,
+        cls_mask,
+        cfg.n_classes,
+        &sess.sys.he,
+        &sess.encoder,
+        &sess.encryptor,
+        t,
+    );
+
+    // GC offline sessions (consumption order).
+    let gc: Vec<GcClientStep> = sess
+        .circuits
+        .iter()
+        .map(|c| GcClientStep::offline(c, sess.mode, &sess.group, t, &mut sess.rng))
+        .collect();
+
+    ClientBundle { m_embed_in, m_x1, blocks, embed_shares, bclients, cls, gc }
+}
+
+/// Produces one server offline bundle, attributing wall-clock and
+/// traffic per Table II category as it goes.
+pub(crate) fn produce_server_bundle(
+    sess: &mut ServerSession,
+    t: &MemTransport,
+) -> ServerBundle {
+    let cfg = sess.sys.model.clone();
+    let ring = sess.sys.ring();
+    let packing = sess.variant.packing();
+    let (n, dh, heads) = (cfg.n_tokens, cfg.d_head(), cfg.n_heads);
+
+    let mut steps = StepBreakdown::new();
+    let he_before = sess.eval.counts();
+    let mut timer = StepTimer::resume(t, sess.wire_mark);
+    let start = timer.snapshot();
+
+    // Embed / combined offline.
+    let (embed_rs, embed_cat) = if sess.variant.combined() {
+        let cw = sess.weights.combined.as_ref().expect("combined weights prepared");
+        let rs = chgs::server_offline(
+            &ring,
+            packing,
+            n,
+            &[&sess.weights.we, &cw.a_q, &cw.a_k, &cw.a_v],
+            &sess.sys.he,
+            &sess.encoder,
+            &sess.eval,
+            &sess.gk,
+            t,
+            &mut sess.rng,
+        );
+        (rs, StepCategory::QxK)
+    } else {
+        let rs = hgs::server_offline(
+            &ring,
+            packing,
+            n,
+            &sess.weights.we,
+            &sess.sys.he,
+            &sess.encoder,
+            &sess.eval,
+            &sess.gk,
+            t,
+            &mut sess.rng,
+        );
+        (vec![rs], StepCategory::Embed)
+    };
+    timer.absorb(&mut steps, embed_cat, true);
+
+    let qkv_first = !sess.variant.combined();
+    let bservers: Vec<BlockServerPre> = (0..cfg.n_blocks)
+        .map(|b| {
+            let blk = &sess.weights.blocks[b];
+            let qkv_rs = if b > 0 || qkv_first {
+                let mut rs = Vec::new();
+                for w in [&blk.wq, &blk.wk, &blk.wv] {
+                    rs.push(hgs::server_offline(
+                        &ring,
+                        packing,
+                        n,
+                        w,
+                        &sess.sys.he,
+                        &sess.encoder,
+                        &sess.eval,
+                        &sess.gk,
+                        t,
+                        &mut sess.rng,
+                    ));
+                }
+                timer.absorb(&mut steps, StepCategory::Qkv, true);
+                Some([rs.remove(0), rs.remove(0), rs.remove(0)])
+            } else {
+                None
+            };
+            let score_pre: Vec<_> = (0..heads)
+                .map(|_| {
+                    fhgs::server_offline(
+                        &ring,
+                        packing,
+                        FhgsDims { n, k: dh, m: n },
+                        &sess.sys.he,
+                        &sess.encoder,
+                        t,
+                        &mut sess.rng,
+                    )
+                })
+                .collect();
+            timer.absorb(&mut steps, StepCategory::QxK, true);
+            let av_pre: Vec<_> = (0..heads)
+                .map(|_| {
+                    fhgs::server_offline(
+                        &ring,
+                        packing,
+                        FhgsDims { n, k: n, m: dh },
+                        &sess.sys.he,
+                        &sess.encoder,
+                        t,
+                        &mut sess.rng,
+                    )
+                })
+                .collect();
+            timer.absorb(&mut steps, StepCategory::AttnValue, true);
+            let wo_rs = hgs::server_offline(
+                &ring,
+                packing,
+                n,
+                &blk.wo,
+                &sess.sys.he,
+                &sess.encoder,
+                &sess.eval,
+                &sess.gk,
+                t,
+                &mut sess.rng,
+            );
+            let w1_rs = hgs::server_offline(
+                &ring,
+                packing,
+                n,
+                &blk.w1,
+                &sess.sys.he,
+                &sess.encoder,
+                &sess.eval,
+                &sess.gk,
+                t,
+                &mut sess.rng,
+            );
+            let w2_rs = hgs::server_offline(
+                &ring,
+                packing,
+                n,
+                &blk.w2,
+                &sess.sys.he,
+                &sess.encoder,
+                &sess.eval,
+                &sess.gk,
+                t,
+                &mut sess.rng,
+            );
+            timer.absorb(&mut steps, StepCategory::Others, true);
+            BlockServerPre { qkv_rs, score_pre, av_pre, wo_rs, w1_rs, w2_rs }
+        })
+        .collect();
+    let cls_rs = hgs::server_offline(
+        &ring,
+        packing,
+        1,
+        &sess.weights.classifier,
+        &sess.sys.he,
+        &sess.encoder,
+        &sess.eval,
+        &sess.gk,
+        t,
+        &mut sess.rng,
+    );
+    timer.absorb(&mut steps, StepCategory::Others, true);
+
+    // GC offline.
+    let gc: Vec<GcServerStep> = sess
+        .circuits
+        .iter()
+        .map(|c| GcServerStep::offline(c, sess.mode, &sess.group, t, &mut sess.rng))
+        .collect();
+    timer.absorb(&mut steps, StepCategory::Others, true);
+
+    let he = sess.eval.counts().since(&he_before);
+    let traffic = timer.snapshot().since(&start);
+    sess.wire_mark = timer.snapshot();
+    ServerBundle { embed_rs, bservers, cls_rs, gc, steps, he, traffic }
+}

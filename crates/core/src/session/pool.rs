@@ -1,0 +1,72 @@
+//! Bundle pooling: FIFO pools of precomputed offline material and the
+//! lockstep refill schedule both parties share.
+
+use std::collections::VecDeque;
+
+/// A FIFO pool of precomputed offline bundles.
+///
+/// Bundles leave the pool by move ([`OfflinePool::take`]), so the masks
+/// they carry are consumed exactly once; an empty pool yields `None`
+/// and must be explicitly refilled by the owning session.
+#[derive(Debug, Default)]
+pub struct OfflinePool<B> {
+    bundles: VecDeque<B>,
+}
+
+impl<B> OfflinePool<B> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self { bundles: VecDeque::new() }
+    }
+
+    /// Number of unconsumed bundles.
+    pub fn len(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// Whether the pool has no bundles left.
+    pub fn is_empty(&self) -> bool {
+        self.bundles.is_empty()
+    }
+
+    /// Adds a freshly produced bundle.
+    pub fn put(&mut self, bundle: B) {
+        self.bundles.push_back(bundle);
+    }
+
+    /// Takes the oldest bundle, or `None` if the pool is drained.
+    pub fn take(&mut self) -> Option<B> {
+        self.bundles.pop_front()
+    }
+}
+
+/// How many bundles the next refill should produce: the pool target,
+/// capped by the queries the session still owes (never overproducing
+/// masks that would go unused). Both parties evaluate this formula with
+/// identical arguments, so their refills stay in lockstep on the wire.
+pub(crate) fn refill_quota(pool_target: usize, total_queries: usize, produced: usize) -> usize {
+    pool_target.min(total_queries.saturating_sub(produced)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_drains_by_move_and_refuses_silent_reuse() {
+        let mut pool: OfflinePool<Vec<u8>> = OfflinePool::new();
+        assert!(pool.is_empty());
+        pool.put(vec![1]);
+        pool.put(vec![2]);
+        assert_eq!(pool.len(), 2);
+        // FIFO: the oldest bundle is consumed first, by move.
+        assert_eq!(pool.take(), Some(vec![1]));
+        assert_eq!(pool.take(), Some(vec![2]));
+        // Drained: takes fail loudly rather than re-serving a bundle.
+        assert_eq!(pool.take(), None);
+        assert!(pool.is_empty());
+        // Refill works after a drain.
+        pool.put(vec![3]);
+        assert_eq!(pool.take(), Some(vec![3]));
+    }
+}

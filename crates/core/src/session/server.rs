@@ -1,0 +1,233 @@
+//! The server side of a persistent two-party session.
+
+use super::offline::{produce_server_bundle, ServerBundle};
+use super::pool::OfflinePool;
+use super::{lambda_scaled, online, to_ring, ProtocolVariant};
+use crate::gcmod::GcMode;
+use crate::stats::{PhaseCost, StepBreakdown};
+use crate::system::SystemConfig;
+use primer_gc::{Circuit, OtGroup};
+use primer_he::{BatchEncoder, Evaluator, GaloisKeys, OpCounts};
+use primer_math::rng::derive;
+use primer_math::MatZ;
+use primer_net::{MemTransport, TrafficSnapshot, Transport};
+use primer_nn::FixedTransformer;
+use rand::rngs::StdRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Ring-domain weights, converted once per session during Setup (the
+/// old per-inference `to_ring` conversions were pure setup waste).
+pub(crate) struct ServerWeights {
+    /// Embedding table (`Ā_e` under CHGS).
+    pub we: MatZ,
+    /// Positional term at product scale.
+    pub lam: MatZ,
+    /// CHGS pre-combined projections (Fpc only).
+    pub combined: Option<CombinedRing>,
+    /// Per-block projection weights.
+    pub blocks: Vec<BlockRing>,
+    /// Classifier head.
+    pub classifier: MatZ,
+}
+
+/// Ring-domain CHGS combined weights and positional terms.
+pub(crate) struct CombinedRing {
+    pub a_q: MatZ,
+    pub a_k: MatZ,
+    pub a_v: MatZ,
+    pub lam_q: MatZ,
+    pub lam_k: MatZ,
+    pub lam_v: MatZ,
+}
+
+/// Ring-domain weights of one encoder block.
+pub(crate) struct BlockRing {
+    pub wq: MatZ,
+    pub wk: MatZ,
+    pub wv: MatZ,
+    pub wo: MatZ,
+    pub w1: MatZ,
+    pub w2: MatZ,
+}
+
+/// What one served round hands back to the engine.
+pub struct ServeRound {
+    /// Per-category offline+online costs, with the session setup cost
+    /// attached.
+    pub steps: StepBreakdown,
+    /// HE ops spent producing this query's offline bundle.
+    pub he_offline: OpCounts,
+    /// HE ops spent in this query's online phase.
+    pub he_online: OpCounts,
+    /// This query's offline + online traffic.
+    pub traffic: TrafficSnapshot,
+}
+
+/// Long-lived server session state: the received Galois keys, the
+/// evaluator, ring-domain weights, and a pool of offline bundles.
+pub struct ServerSession {
+    pub(crate) sys: SystemConfig,
+    pub(crate) variant: ProtocolVariant,
+    pub(crate) mode: GcMode,
+    pub(crate) circuits: Arc<Vec<Circuit>>,
+    pub(crate) rng: StdRng,
+    pub(crate) encoder: BatchEncoder,
+    pub(crate) eval: Evaluator,
+    pub(crate) gk: GaloisKeys,
+    pub(crate) group: OtGroup,
+    pub(crate) weights: ServerWeights,
+    pool: OfflinePool<ServerBundle>,
+    pool_target: usize,
+    total_queries: usize,
+    produced: usize,
+    setup_cost: PhaseCost,
+    /// Running wire snapshot chaining phase deltas together (see
+    /// [`super::offline::StepTimer::resume`]): everything the protocol
+    /// has put on the wire up to the end of the last attributed phase.
+    pub(crate) wire_mark: TrafficSnapshot,
+}
+
+impl ServerSession {
+    /// Setup phase: receives the client's serialized Galois keys (the
+    /// wall-clock spent blocked here *is* the client's key generation,
+    /// so the recorded setup cost covers both parties serialized) and
+    /// converts every model weight into the ring once.
+    #[allow(clippy::too_many_arguments)]
+    pub fn setup(
+        sys: SystemConfig,
+        variant: ProtocolVariant,
+        mode: GcMode,
+        fixed: Arc<FixedTransformer>,
+        circuits: Arc<Vec<Circuit>>,
+        seed: u64,
+        total_queries: usize,
+        pool_target: usize,
+        t: &MemTransport,
+    ) -> Self {
+        let start = Instant::now();
+        let rng = derive(seed, "server");
+        let encoder = BatchEncoder::new(&sys.he);
+        let eval = Evaluator::new(&sys.he);
+        let group = sys.ot_group.group();
+        let key_bytes = t.recv();
+        let gk = GaloisKeys::from_bytes(&sys.he, &key_bytes);
+        // Ring-domain weights live in the session; the quantized model
+        // itself is not needed after Setup.
+        let weights = Self::prepare_weights(&sys, variant, &fixed);
+        drop(fixed);
+        // Setup traffic is exactly the key flight (the server sends
+        // nothing during Setup), so it is constructed from the received
+        // length instead of a meter capture — the pipelining client may
+        // already have sent its first offline flights by now, and a
+        // capture would swallow them. The same snapshot seeds
+        // `wire_mark`, so the first bundle's delta starts exactly where
+        // Setup ended and no bytes escape attribution.
+        let setup_traffic = TrafficSnapshot {
+            c2s_bytes: key_bytes.len() as u64,
+            c2s_messages: 1,
+            ..Default::default()
+        };
+        let mut setup_cost = PhaseCost::default();
+        setup_cost.absorb(start.elapsed(), setup_traffic);
+        Self {
+            sys,
+            variant,
+            mode,
+            circuits,
+            rng,
+            encoder,
+            eval,
+            gk,
+            group,
+            weights,
+            pool: OfflinePool::new(),
+            pool_target: pool_target.max(1),
+            total_queries,
+            produced: 0,
+            setup_cost,
+            wire_mark: setup_traffic,
+        }
+    }
+
+    fn prepare_weights(
+        sys: &SystemConfig,
+        variant: ProtocolVariant,
+        fixed: &FixedTransformer,
+    ) -> ServerWeights {
+        let ring = sys.ring();
+        let frac = fixed.spec().fixed.frac();
+        let combined = variant.combined().then(|| {
+            let cw = fixed.combined_weights();
+            CombinedRing {
+                a_q: to_ring(&ring, &cw.a_q),
+                a_k: to_ring(&ring, &cw.a_k),
+                a_v: to_ring(&ring, &cw.a_v),
+                lam_q: lambda_scaled(&ring, &cw.lam_q, frac),
+                lam_k: lambda_scaled(&ring, &cw.lam_k, frac),
+                lam_v: lambda_scaled(&ring, &cw.lam_v, frac),
+            }
+        });
+        ServerWeights {
+            we: to_ring(&ring, &fixed.we),
+            lam: lambda_scaled(&ring, &fixed.pos, frac),
+            combined,
+            blocks: fixed
+                .blocks
+                .iter()
+                .map(|blk| BlockRing {
+                    wq: to_ring(&ring, &blk.wq),
+                    wk: to_ring(&ring, &blk.wk),
+                    wv: to_ring(&ring, &blk.wv),
+                    wo: to_ring(&ring, &blk.wo),
+                    w1: to_ring(&ring, &blk.w1),
+                    w2: to_ring(&ring, &blk.w2),
+                })
+                .collect(),
+            classifier: to_ring(&ring, &fixed.classifier),
+        }
+    }
+
+    /// The session's one-time setup cost (key transfer + weight prep).
+    pub fn setup_cost(&self) -> PhaseCost {
+        self.setup_cost
+    }
+
+    /// Unconsumed offline bundles waiting in the pool.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Produces `k` offline bundles into the pool (the mirror of
+    /// [`super::ClientSession::refill`]).
+    pub fn refill(&mut self, t: &MemTransport, k: usize) {
+        for _ in 0..k {
+            let bundle = produce_server_bundle(self, t);
+            self.pool.put(bundle);
+            self.produced += 1;
+        }
+    }
+
+    /// Serves one query's online phase, consuming one pooled offline
+    /// bundle (refilling first — with the same quota formula as the
+    /// client — if the pool has drained).
+    pub fn serve_one(&mut self, t: &MemTransport) -> ServeRound {
+        if self.pool.is_empty() {
+            let k =
+                super::pool::refill_quota(self.pool_target, self.total_queries, self.produced);
+            self.refill(t, k);
+        }
+        let bundle = self.pool.take().expect("pool refilled above");
+        let ServerBundle { embed_rs, bservers, cls_rs, gc, mut steps, he, traffic } = bundle;
+        let he_before = self.eval.counts();
+        let online_traffic = online::server_online(
+            self,
+            online::ServerOnlineInputs { embed_rs, bservers, cls_rs, gc },
+            &mut steps,
+            t,
+        );
+        let he_online = self.eval.counts().since(&he_before);
+        steps.set_setup(self.setup_cost);
+        ServeRound { steps, he_offline: he, he_online, traffic: traffic.plus(&online_traffic) }
+    }
+}

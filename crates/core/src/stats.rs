@@ -1,5 +1,18 @@
-//! Per-step timing/traffic accounting in the paper's Table II categories.
+//! Per-step timing/traffic accounting in the paper's Table II categories,
+//! per-phase (Setup / Offline / Online) attribution, and the
+//! [`InferenceReport`] a served query returns.
+//!
+//! The session engine distinguishes three phases:
+//!
+//! * **Setup** — once per client/server session: key generation, the
+//!   Galois-key transfer, weight preparation. Amortized over every query
+//!   the session serves.
+//! * **Offline** — once per query, but input-*independent*: HGS/FHGS/CHGS
+//!   precomputation and garbled-circuit material, producible in pools
+//!   ahead of time.
+//! * **Online** — the input-dependent remainder, per query.
 
+use primer_he::OpCounts;
 use primer_net::{NetworkModel, TrafficSnapshot};
 use std::time::Duration;
 
@@ -77,18 +90,77 @@ impl PhaseCost {
         self.bytes += other.bytes;
         self.messages += other.messages;
     }
+
+    /// This cost spread over `n` queries (amortizing one-time work).
+    pub fn divided_by(&self, n: usize) -> PhaseCost {
+        let n = n.max(1);
+        PhaseCost {
+            compute: self.compute / n as u32,
+            bytes: self.bytes / n as u64,
+            messages: self.messages / n as u64,
+        }
+    }
 }
 
-/// Offline + online cost for every category.
+/// Setup / offline / online totals of one query (plus its session).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTotals {
+    /// One-time session establishment (shared by all queries).
+    pub setup: PhaseCost,
+    /// Input-independent per-query precomputation.
+    pub offline: PhaseCost,
+    /// Input-dependent per-query work.
+    pub online: PhaseCost,
+}
+
+impl PhaseTotals {
+    /// Amortized per-query cost when the setup is shared by `queries`
+    /// inferences: `setup/queries + offline + online`.
+    pub fn amortized_per_query(&self, queries: usize) -> PhaseCost {
+        let mut acc = self.setup.divided_by(queries);
+        acc.merge(&self.offline);
+        acc.merge(&self.online);
+        acc
+    }
+}
+
+/// Offline + online cost for every category, plus the session's one-time
+/// setup cost (not category-attributed: key exchange and weight prep).
 #[derive(Debug, Clone, Default)]
 pub struct StepBreakdown {
     costs: Vec<(StepCategory, PhaseCost, PhaseCost)>,
+    setup: PhaseCost,
 }
 
 impl StepBreakdown {
     /// Empty breakdown.
     pub fn new() -> Self {
-        Self { costs: StepCategory::all().iter().map(|&c| (c, PhaseCost::default(), PhaseCost::default())).collect() }
+        Self {
+            costs: StepCategory::all()
+                .iter()
+                .map(|&c| (c, PhaseCost::default(), PhaseCost::default()))
+                .collect(),
+            setup: PhaseCost::default(),
+        }
+    }
+
+    /// The session's one-time setup cost.
+    pub fn setup(&self) -> PhaseCost {
+        self.setup
+    }
+
+    /// Records the session's one-time setup cost.
+    pub fn set_setup(&mut self, setup: PhaseCost) {
+        self.setup = setup;
+    }
+
+    /// Setup / offline / online totals.
+    pub fn phase_totals(&self) -> PhaseTotals {
+        PhaseTotals {
+            setup: self.setup,
+            offline: self.offline_total(),
+            online: self.online_total(),
+        }
     }
 
     /// Mutable (offline, online) entry for a category.
@@ -126,12 +198,73 @@ impl StepBreakdown {
     }
 
     /// Folds all offline cost into online (Primer-base: nothing is
-    /// precomputed, the same work simply runs during inference).
+    /// precomputed, the same work simply runs during inference). The
+    /// setup cost is untouched: session establishment stays one-time
+    /// even when the per-query precomputation cannot be moved offline.
     pub fn fold_offline_into_online(&mut self) {
         for (_, off, on) in &mut self.costs {
             on.merge(&*off);
             *off = PhaseCost::default();
         }
+    }
+}
+
+/// Argmax over fixed-point logits, with the **lowest index winning
+/// ties** — the same rule as `primer_nn::argmax`, so private and
+/// plaintext predictions can never disagree on tied logits.
+pub fn argmax_logits(xs: &[i64]) -> usize {
+    assert!(!xs.is_empty(), "non-empty logits");
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate().skip(1) {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Result of one private inference.
+#[derive(Debug)]
+pub struct InferenceReport {
+    /// Reconstructed logits (raw fixed-point).
+    pub logits: Vec<i64>,
+    /// Argmax class (ties broken toward the lowest index, matching the
+    /// plaintext reference argmax).
+    pub predicted: usize,
+    /// The plaintext fixed-point reference logits.
+    pub reference_logits: Vec<i64>,
+    /// Per-category, per-phase cost breakdown.
+    pub steps: StepBreakdown,
+    /// Server-side HE op counts (offline phase of this query).
+    pub he_ops_offline: OpCounts,
+    /// Server-side HE op counts (online phase of this query).
+    pub he_ops_online: OpCounts,
+    /// Total AND gates across all GC steps.
+    pub gc_and_gates: u64,
+    /// This query's traffic (offline + online; the one-time setup flight
+    /// is reported separately in `steps.setup()`).
+    pub traffic: TrafficSnapshot,
+    /// How many queries the producing session served — the denominator
+    /// for amortizing the setup cost.
+    pub session_queries: usize,
+}
+
+impl InferenceReport {
+    /// The headline correctness check: private output == plaintext
+    /// fixed-point reference, bit for bit.
+    pub fn matches_plaintext_reference(&self) -> bool {
+        self.logits == self.reference_logits
+    }
+
+    /// Setup / offline / online totals for this query's session.
+    pub fn phases(&self) -> PhaseTotals {
+        self.steps.phase_totals()
+    }
+
+    /// Amortized per-query cost: the session setup spread over every
+    /// query it served, plus this query's offline + online work.
+    pub fn amortized_cost(&self) -> PhaseCost {
+        self.phases().amortized_per_query(self.session_queries)
     }
 }
 
@@ -155,6 +288,31 @@ mod tests {
         assert_eq!(off.bytes, 0);
         assert_eq!(on.bytes, 100);
         assert_eq!(on.compute, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn setup_survives_offline_fold_and_amortizes() {
+        let mut b = StepBreakdown::new();
+        b.set_setup(PhaseCost {
+            compute: Duration::from_millis(80),
+            bytes: 4000,
+            messages: 1,
+        });
+        b.entry(StepCategory::Qkv).0.absorb(Duration::from_millis(6), Default::default());
+        b.fold_offline_into_online();
+        assert_eq!(b.setup().bytes, 4000, "fold must not consume setup");
+        assert_eq!(b.offline_total().compute, Duration::ZERO);
+        let amortized = b.phase_totals().amortized_per_query(4);
+        assert_eq!(amortized.bytes, 1000);
+        assert_eq!(amortized.compute, Duration::from_millis(20 + 6));
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_lowest_index() {
+        assert_eq!(argmax_logits(&[3, 7, 7, 1]), 1);
+        assert_eq!(argmax_logits(&[-5, -5]), 0);
+        assert_eq!(argmax_logits(&[0]), 0);
+        assert_eq!(argmax_logits(&[1, 2, 3]), 2);
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Transport framing for ciphertext batches and ring matrices.
+//! Transport framing for ciphertext batches, ring matrices and key
+//! material.
 
 use crate::packing::{Layout, PackedMatrix};
-use primer_he::{Ciphertext, HeContext};
+use primer_he::{Ciphertext, GaloisKeys, HeContext};
 use primer_math::MatZ;
 use primer_net::Transport;
 
@@ -66,9 +67,19 @@ pub fn recv_matrix(t: &dyn Transport) -> MatZ {
     MatZ::from_vec(rows, cols, data)
 }
 
-/// Sends `len` placeholder bytes — used to account for one-time material
-/// (Galois keys) that both parties construct locally in-process but that
-/// would travel over the wire in a deployment.
+/// Sends the client's Galois keys as real serialized bytes (the one-time
+/// Setup flight; the server reconstructs them with [`recv_galois_keys`]).
+pub fn send_galois_keys(t: &dyn Transport, keys: &GaloisKeys) {
+    t.send(keys.to_bytes());
+}
+
+/// Receives and deserializes Galois keys sent by [`send_galois_keys`].
+pub fn recv_galois_keys(t: &dyn Transport, ctx: &HeContext) -> GaloisKeys {
+    GaloisKeys::from_bytes(ctx, &t.recv())
+}
+
+/// Sends `len` placeholder bytes — used by the simulated GC mode to
+/// account for garbled-table traffic without performing the garbling.
 pub fn send_placeholder(t: &dyn Transport, len: usize) {
     t.send(vec![0u8; len]);
 }
@@ -79,6 +90,24 @@ mod tests {
     use primer_math::rng::seeded;
     use primer_math::Ring;
     use primer_net::run_two_party;
+
+    #[test]
+    fn galois_keys_roundtrip_over_transport() {
+        use primer_he::{HeContext, HeParams, KeyGenerator};
+        let ctx = HeContext::new(HeParams::toy());
+        let mut rng = seeded(231);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let gk = kg.galois_keys(&[1, 2], false, &mut rng);
+        let size = gk.serialized_size();
+        let ctx_s = ctx.clone();
+        let (_, received, meter) = run_two_party(
+            move |t| send_galois_keys(&t, &gk),
+            move |t| recv_galois_keys(&t, &ctx_s),
+        );
+        assert_eq!(received.steps(), &[1, 2]);
+        // Metered traffic reflects the real key bytes, not a placeholder.
+        assert_eq!(meter.c2s.bytes(), size as u64);
+    }
 
     #[test]
     fn matrix_roundtrip() {

@@ -156,9 +156,9 @@ impl MontCtx {
         for i in 0..n {
             // t += a[i] * b
             let mut carry = 0u128;
-            for j in 0..n {
-                let v = t[j] as u128 + a.limbs[i] as u128 * b.limbs[j] as u128 + carry;
-                t[j] = v as u64;
+            for (tj, &bj) in t.iter_mut().zip(&b.limbs) {
+                let v = *tj as u128 + a.limbs[i] as u128 * bj as u128 + carry;
+                *tj = v as u64;
                 carry = v >> 64;
             }
             let v = t[n] as u128 + carry;

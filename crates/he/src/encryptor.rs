@@ -71,12 +71,12 @@ impl Encryptor {
         let q = ctx.q();
         let n = ctx.n();
         let mut msg = vec![0u64; n];
-        for k in 0..n {
+        for (k, m) in msg.iter_mut().enumerate() {
             let residues: Vec<u64> = (0..ctx.num_primes()).map(|i| v.residues(i)[k]).collect();
             let composed = ctx.crt_compose(&residues);
             let (negative, mag) = ctx.center_q(composed);
             let m_abs = U256::mul_u128(t, mag).div_round_u128(q) % t;
-            msg[k] = if negative && m_abs != 0 { (t - m_abs) as u64 } else { m_abs as u64 };
+            *m = if negative && m_abs != 0 { (t - m_abs) as u64 } else { m_abs as u64 };
         }
         Plaintext::from_coeffs(msg)
     }

@@ -242,14 +242,13 @@ impl Evaluator {
         let mask = (1u128 << w) - 1;
         let mut acc0 = RnsPoly::zero(ctx, true);
         let mut acc1 = RnsPoly::zero(ctx, true);
-        let n = ctx.n();
         for i in 0..ctx.num_primes() {
             let residues = poly_coeff.residues(i).to_vec();
             for j in 0..key.digits(i) {
                 let shift = (j as u32) * w;
                 let mut digit = RnsPoly::zero(ctx, false);
-                for k in 0..n {
-                    let d = ((residues[k] as u128 >> shift) & mask) as u64;
+                for (k, &r) in residues.iter().enumerate() {
+                    let d = ((r as u128 >> shift) & mask) as u64;
                     for p in 0..ctx.num_primes() {
                         // d < 2^w < every q_p: no reduction needed.
                         digit.residues_mut(p)[k] = d;

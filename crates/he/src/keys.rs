@@ -104,14 +104,59 @@ impl KskKey {
         self.digit_bits
     }
 
-    /// Wire size in bytes.
+    /// Wire size in bytes (matches [`KskKey::write_bytes`] exactly).
     pub fn serialized_size(&self) -> usize {
-        16 + self
+        2 + self
             .parts
             .iter()
-            .flat_map(|pp| pp.iter())
-            .map(|(b, a)| b.serialized_size() + a.serialized_size())
+            .map(|pp| {
+                1 + pp
+                    .iter()
+                    .map(|(b, a)| b.serialized_size() + a.serialized_size())
+                    .sum::<usize>()
+            })
             .sum::<usize>()
+    }
+
+    /// Appends the wire encoding to `out`.
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.push(self.digit_bits as u8);
+        out.push(self.parts.len() as u8);
+        for prime_parts in &self.parts {
+            out.push(prime_parts.len() as u8);
+            for (b, a) in prime_parts {
+                b.write_bytes(out);
+                a.write_bytes(out);
+            }
+        }
+    }
+
+    /// Reads a key written by [`KskKey::write_bytes`]; returns the key
+    /// and the bytes consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input (protocol logic error).
+    fn read_bytes(ctx: &HeContext, bytes: &[u8]) -> (Self, usize) {
+        let digit_bits = u32::from(bytes[0]);
+        let n_primes = bytes[1] as usize;
+        assert_eq!(n_primes, ctx.num_primes(), "source prime count mismatch");
+        let mut off = 2;
+        let mut parts = Vec::with_capacity(n_primes);
+        for _ in 0..n_primes {
+            let digits = bytes[off] as usize;
+            off += 1;
+            let mut prime_parts = Vec::with_capacity(digits);
+            for _ in 0..digits {
+                let (b, used) = RnsPoly::read_bytes(ctx, &bytes[off..]);
+                off += used;
+                let (a, used) = RnsPoly::read_bytes(ctx, &bytes[off..]);
+                off += used;
+                prime_parts.push((b, a));
+            }
+            parts.push(prime_parts);
+        }
+        (Self { parts, digit_bits }, off)
     }
 }
 
@@ -152,9 +197,65 @@ impl GaloisKeys {
         self.columns
     }
 
-    /// Wire size in bytes (these keys travel client → server offline).
+    /// Wire size in bytes (these keys travel client → server once per
+    /// session, during Setup). Matches [`GaloisKeys::to_bytes`] exactly.
     pub fn serialized_size(&self) -> usize {
-        16 + self.keys.values().map(KskKey::serialized_size).sum::<usize>()
+        1 + 4
+            + 4 * self.steps.len()
+            + 4
+            + self.keys.values().map(|k| 8 + k.serialized_size()).sum::<usize>()
+    }
+
+    /// Serializes for the wire. Keys are written in ascending galois
+    /// element order so the encoding is deterministic (the backing map is
+    /// unordered).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_size());
+        out.push(u8::from(self.columns));
+        out.extend_from_slice(&(self.steps.len() as u32).to_le_bytes());
+        for &s in &self.steps {
+            out.extend_from_slice(&(s as u32).to_le_bytes());
+        }
+        let mut elements: Vec<u64> = self.keys.keys().copied().collect();
+        elements.sort_unstable();
+        out.extend_from_slice(&(elements.len() as u32).to_le_bytes());
+        for e in elements {
+            out.extend_from_slice(&e.to_le_bytes());
+            self.keys[&e].write_bytes(&mut out);
+        }
+        debug_assert_eq!(out.len(), self.serialized_size());
+        out
+    }
+
+    /// Deserializes keys produced by [`GaloisKeys::to_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input (protocol logic error).
+    pub fn from_bytes(ctx: &HeContext, bytes: &[u8]) -> Self {
+        let columns = bytes[0] == 1;
+        let n_steps =
+            u32::from_le_bytes(bytes[1..5].try_into().expect("step count")) as usize;
+        let mut off = 5;
+        let mut steps = Vec::with_capacity(n_steps);
+        for _ in 0..n_steps {
+            steps.push(u32::from_le_bytes(bytes[off..off + 4].try_into().expect("step")) as usize);
+            off += 4;
+        }
+        let n_keys =
+            u32::from_le_bytes(bytes[off..off + 4].try_into().expect("key count")) as usize;
+        off += 4;
+        let mut keys = HashMap::with_capacity(n_keys);
+        for _ in 0..n_keys {
+            let element =
+                u64::from_le_bytes(bytes[off..off + 8].try_into().expect("element"));
+            off += 8;
+            let (key, used) = KskKey::read_bytes(ctx, &bytes[off..]);
+            off += used;
+            keys.insert(element, key);
+        }
+        assert_eq!(off, bytes.len(), "trailing bytes after galois keys");
+        Self { keys, steps, columns }
     }
 }
 
@@ -283,6 +384,38 @@ mod tests {
         assert!(gk.steps().contains(&256));
         assert!(gk.steps().contains(&30));
         assert!(gk.has_columns());
+    }
+
+    #[test]
+    fn galois_keys_roundtrip_through_bytes() {
+        use crate::encoder::BatchEncoder;
+        use crate::encryptor::Encryptor;
+        use crate::eval::Evaluator;
+
+        let ctx = HeContext::new(HeParams::toy());
+        let mut rng = seeded(34);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let gk = kg.galois_keys(&[1, 4], true, &mut rng);
+        let bytes = gk.to_bytes();
+        assert_eq!(bytes.len(), gk.serialized_size());
+        let back = GaloisKeys::from_bytes(&ctx, &bytes);
+        assert_eq!(back.steps(), gk.steps());
+        assert!(back.has_columns());
+        assert_eq!(back.to_bytes(), bytes, "re-serialization must be stable");
+
+        // The deserialized keys must actually rotate: a fresh evaluator
+        // using only `back` produces the same slots as the original keys.
+        let encoder = BatchEncoder::new(&ctx);
+        let encryptor = Encryptor::new(&ctx, kg.secret_key().clone(), 35);
+        let eval = Evaluator::new(&ctx);
+        let vals: Vec<u64> = (0..encoder.row_size() as u64).collect();
+        let ct = encryptor.encrypt(&encoder.encode(&vals));
+        let with_orig = eval.rotate_rows(&ct, 4, &gk).expect("orig keys");
+        let with_back = eval.rotate_rows(&ct, 4, &back).expect("deserialized keys");
+        assert_eq!(
+            encoder.decode(&encryptor.decrypt(&with_orig)),
+            encoder.decode(&encryptor.decrypt(&with_back)),
+        );
     }
 
     #[test]

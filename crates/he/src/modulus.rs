@@ -131,7 +131,7 @@ impl Modulus {
     ///
     /// Panics if `m` does not divide `p - 1` or no generator is found.
     pub fn primitive_root(&self, m: u64) -> u64 {
-        assert!(m >= 1 && (self.p - 1) % m == 0, "m must divide p-1");
+        assert!(m >= 1 && (self.p - 1).is_multiple_of(m), "m must divide p-1");
         let cofactor = (self.p - 1) / m;
         // Random-ish search over small candidates; the density of
         // generators makes this terminate almost immediately.

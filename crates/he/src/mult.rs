@@ -69,23 +69,24 @@ pub fn multiply(
 
 /// Computes `round(t/q · (x ⊛ y [+ x2 ⊛ y2]))` coefficient-wise, where `⊛`
 /// is the exact negacyclic convolution over the integers.
+/// Centered coefficients as (sign, magnitude) pairs.
+type SignedCoeffs<'a> = &'a [(bool, u64)];
+
 fn scaled_negacyclic(
     ctx: &HeContext,
-    x: &[(bool, u64)],
-    y: &[(bool, u64)],
-    extra: Option<(&[(bool, u64)], &[(bool, u64)])>,
+    x: SignedCoeffs<'_>,
+    y: SignedCoeffs<'_>,
+    extra: Option<(SignedCoeffs<'_>, SignedCoeffs<'_>)>,
 ) -> Vec<u64> {
     let n = x.len();
     let mut pos = vec![U256::ZERO; n];
     let mut neg = vec![U256::ZERO; n];
-    let mut accumulate = |u: &[(bool, u64)], v: &[(bool, u64)]| {
-        for i in 0..n {
-            let (sx, mx) = u[i];
+    let mut accumulate = |u: SignedCoeffs<'_>, v: SignedCoeffs<'_>| {
+        for (i, &(sx, mx)) in u.iter().enumerate() {
             if mx == 0 {
                 continue;
             }
-            for j in 0..n {
-                let (sy, my) = v[j];
+            for (j, &(sy, my)) in v.iter().enumerate() {
                 if my == 0 {
                     continue;
                 }

@@ -218,9 +218,9 @@ mod tests {
 
         // Schoolbook negacyclic product.
         let mut want = vec![0u64; n];
-        for i in 0..n {
-            for j in 0..n {
-                let prod = m.mul(a[i], b[j]);
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                let prod = m.mul(ai, bj);
                 let k = i + j;
                 if k < n {
                     want[k] = m.add(want[k], prod);

@@ -16,13 +16,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -68,7 +68,7 @@ fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
 /// Panics if the search space is exhausted (never happens for the
 /// parameter ranges used here) or preconditions are violated.
 pub fn ntt_primes(bits: u32, step: u64, count: usize, exclude: &[u64]) -> Vec<u64> {
-    assert!(bits >= 10 && bits <= 62, "bits out of range");
+    assert!((10..=62).contains(&bits), "bits out of range");
     assert!(step.is_power_of_two(), "step must be a power of two");
     let mut found = Vec::with_capacity(count);
     // Start at the largest candidate ≡ 1 mod step below 2^bits.

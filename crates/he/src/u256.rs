@@ -27,8 +27,8 @@ impl U256 {
 
     /// Full 128×128→256-bit product.
     pub fn mul_u128(a: u128, b: u128) -> Self {
-        let (a_hi, a_lo) = ((a >> 64) as u128, a & u64::MAX as u128);
-        let (b_hi, b_lo) = ((b >> 64) as u128, b & u64::MAX as u128);
+        let (a_hi, a_lo) = (a >> 64, a & u64::MAX as u128);
+        let (b_hi, b_lo) = (b >> 64, b & u64::MAX as u128);
         let ll = a_lo * b_lo;
         let lh = a_lo * b_hi;
         let hl = a_hi * b_lo;
@@ -43,6 +43,7 @@ impl U256 {
 
     /// Wrapping addition with carry-out ignored (values stay below 2^255
     /// in all call sites).
+    #[allow(clippy::should_implement_trait)] // named form keeps the wrapping contract visible
     pub fn add(self, other: Self) -> Self {
         let lo = self.lo.wrapping_add(other.lo);
         let carry = if lo < self.lo { 1 } else { 0 };
@@ -54,6 +55,7 @@ impl U256 {
     /// # Panics
     ///
     /// Panics in debug builds if `self < other`.
+    #[allow(clippy::should_implement_trait)] // named form keeps the underflow contract visible
     pub fn sub(self, other: Self) -> Self {
         debug_assert!(self >= other, "u256 underflow");
         let (lo, borrow) = self.lo.overflowing_sub(other.lo);
@@ -91,7 +93,7 @@ impl U256 {
             } else {
                 (self.lo >> i) & 1
             };
-            rem.lo |= bit as u128; // rem < d <= 2^128 so hi bits stay clear
+            rem.lo |= bit; // rem < d <= 2^128 so hi bits stay clear
             if rem.hi > 0 || rem.lo >= d {
                 // rem -= d (rem < 2d <= 2^129 so this is exact)
                 if rem.lo >= d {

@@ -28,7 +28,7 @@ pub mod metering;
 pub mod model;
 pub mod transport;
 
-pub use mem::{run_two_party, MemTransport};
+pub use mem::{run_two_party, run_two_party_persistent, MemTransport};
 pub use metering::{Meter, TrafficSnapshot};
 pub use model::NetworkModel;
 pub use transport::{wire, Transport};

@@ -77,6 +77,52 @@ where
     (client_out, server_out, meter)
 }
 
+/// Runs a **persistent** two-party protocol: one client/server thread
+/// pair stays connected over a single [`MemTransport`] pair across many
+/// protocol rounds (the serving model of the session engine).
+///
+/// Each party first runs its `setup` closure exactly once (key exchange,
+/// weight preparation, …) producing its long-lived session state, then
+/// its `round` closure once per query: the client consumes one query per
+/// round, the server is driven by the round index alone (it never sees
+/// the queries). Both parties execute the same number of rounds, so the
+/// message schedule stays in lockstep by construction.
+///
+/// # Panics
+///
+/// Propagates panics from either party (protocol bugs fail loudly).
+#[allow(clippy::type_complexity)]
+pub fn run_two_party_persistent<Q, CSetup, CState, CRound, RC, SSetup, SState, SRound, RS>(
+    queries: Vec<Q>,
+    client_setup: CSetup,
+    client_round: CRound,
+    server_setup: SSetup,
+    server_round: SRound,
+) -> (Vec<RC>, Vec<RS>, Arc<Meter>)
+where
+    Q: Send + 'static,
+    CSetup: FnOnce(&MemTransport) -> CState + Send + 'static,
+    CRound: FnMut(&mut CState, Q, &MemTransport) -> RC + Send + 'static,
+    RC: Send + 'static,
+    SSetup: FnOnce(&MemTransport) -> SState + Send + 'static,
+    SRound: FnMut(&mut SState, usize, &MemTransport) -> RS + Send + 'static,
+    RS: Send + 'static,
+{
+    let rounds = queries.len();
+    let (ct, st, meter) = MemTransport::pair();
+    let server_handle = std::thread::spawn(move || {
+        let mut state = server_setup(&st);
+        let mut round = server_round;
+        (0..rounds).map(|i| round(&mut state, i, &st)).collect::<Vec<RS>>()
+    });
+    let mut state = client_setup(&ct);
+    let mut round = client_round;
+    let client_out: Vec<RC> =
+        queries.into_iter().map(|q| round(&mut state, q, &ct)).collect();
+    let server_out = server_handle.join().expect("server thread panicked");
+    (client_out, server_out, meter)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +143,49 @@ mod tests {
         assert_eq!(meter.c2s.messages(), 1);
         assert_eq!(meter.s2c.messages(), 1);
         assert!(meter.total_bytes() > 0);
+    }
+
+    #[test]
+    fn persistent_parties_share_setup_state_across_rounds() {
+        // Client sends a per-session base during setup; every round adds
+        // a query to it on the server and returns the sum. The base is
+        // exchanged exactly once, proving the transport pair persists.
+        let (c_out, s_out, meter) = run_two_party_persistent(
+            vec![10u64, 20, 30],
+            |t: &MemTransport| {
+                t.send(wire::encode_u64s(&[100]));
+                0u64 // client state: rounds seen
+            },
+            |seen: &mut u64, q: u64, t: &MemTransport| {
+                *seen += 1;
+                t.send(wire::encode_u64s(&[q]));
+                wire::decode_u64s(&t.recv())[0]
+            },
+            |t: &MemTransport| wire::decode_u64s(&t.recv())[0], // server state: base
+            |base: &mut u64, round: usize, t: &MemTransport| {
+                let q = wire::decode_u64s(&t.recv())[0];
+                t.send(wire::encode_u64s(&[*base + q]));
+                round
+            },
+        );
+        assert_eq!(c_out, vec![110, 120, 130]);
+        assert_eq!(s_out, vec![0, 1, 2]);
+        // 1 setup flight + 2 flights per round.
+        assert_eq!(meter.total_messages(), 1 + 2 * 3);
+    }
+
+    #[test]
+    fn persistent_parties_with_no_rounds_still_run_setup() {
+        let (c_out, s_out, meter) = run_two_party_persistent(
+            Vec::<u64>::new(),
+            |t: &MemTransport| t.send(vec![1, 2, 3]),
+            |_: &mut (), q: u64, _: &MemTransport| q,
+            |t: &MemTransport| t.recv().len(),
+            |len: &mut usize, _: usize, _: &MemTransport| *len,
+        );
+        assert!(c_out.is_empty());
+        assert!(s_out.is_empty());
+        assert_eq!(meter.total_messages(), 1);
     }
 
     #[test]

@@ -88,6 +88,17 @@ impl TrafficSnapshot {
         }
     }
 
+    /// Element-wise sum with another snapshot (combining per-phase deltas
+    /// into a per-query total).
+    pub fn plus(&self, other: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            c2s_bytes: self.c2s_bytes + other.c2s_bytes,
+            s2c_bytes: self.s2c_bytes + other.s2c_bytes,
+            c2s_messages: self.c2s_messages + other.c2s_messages,
+            s2c_messages: self.s2c_messages + other.s2c_messages,
+        }
+    }
+
     /// Total bytes in both directions.
     pub fn total_bytes(&self) -> u64 {
         self.c2s_bytes + self.s2c_bytes

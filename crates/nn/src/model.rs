@@ -181,13 +181,22 @@ impl Transformer {
     }
 }
 
-/// Index of the maximum element.
+/// Index of the maximum element, with the **lowest index winning ties**
+/// (the tie-break every pipeline — float, fixed-point, private — must
+/// share so predictions can never diverge on equal logits).
+///
+/// # Panics
+///
+/// Panics on an empty slice or a NaN comparison.
 pub fn argmax(xs: &[f64]) -> usize {
-    xs.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaNs"))
-        .map(|(i, _)| i)
-        .expect("non-empty")
+    assert!(!xs.is_empty(), "non-empty");
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate().skip(1) {
+        if v.partial_cmp(&xs[best]).expect("no NaNs") == std::cmp::Ordering::Greater {
+            best = i;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -195,6 +204,13 @@ mod tests {
     use super::*;
     use crate::weights::TransformerWeights;
     use primer_math::rng::seeded;
+
+    #[test]
+    fn argmax_prefers_lowest_index_on_ties() {
+        assert_eq!(argmax(&[0.5, 2.0, 2.0, 1.0]), 1);
+        assert_eq!(argmax(&[3.0, 3.0, 3.0]), 0);
+        assert_eq!(argmax(&[-1.0, 0.0, 4.0]), 2);
+    }
     use rand::Rng;
 
     fn model() -> Transformer {

@@ -30,11 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  poly approx (THE-X) : {:>5.1}", report.poly_approx);
     println!("  approximation gap   : {:>5.1} points", report.approx_gap());
 
-    // Now run a few of those examples through the real private protocol
-    // and confirm each prediction equals the fixed-point model's.
+    // Now serve a few of those examples through the real private
+    // protocol over one warm session (Setup and circuit construction run
+    // once for the whole batch) and confirm each prediction equals the
+    // fixed-point model's.
     let engine = Engine::new(sys, ProtocolVariant::Fp, fixed.clone(), GcMode::Simulated, 13);
-    for ex in dataset.examples.iter().take(3) {
-        let private = engine.run(&ex.tokens);
+    let queries: Vec<Vec<usize>> =
+        dataset.examples.iter().take(3).map(|ex| ex.tokens.clone()).collect();
+    for (ex, private) in dataset.examples.iter().zip(engine.serve(&queries)) {
         let plain = fixed.classify(&ex.tokens);
         println!(
             "tokens {:?} → private class {} (plaintext fixed-point: {}, exact match: {})",

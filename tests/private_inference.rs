@@ -32,15 +32,16 @@ fn all_variants_are_bit_exact_against_reference() {
 }
 
 /// Different inputs produce different predictions through the private
-/// pipeline (the protocol is not constant).
+/// pipeline (the protocol is not constant). Served through one warm
+/// session so the expensive Setup phase runs once, not per input.
 #[test]
 fn private_predictions_depend_on_input() {
     let cfg = TransformerConfig::test_tiny();
     let sys = SystemConfig::test_profile(&cfg).expect("profile");
     let fixed = fixed_model(&cfg, &sys, 602);
     let engine = Engine::new(sys, ProtocolVariant::Fp, fixed, GcMode::Simulated, 603);
-    let a = engine.run(&[0, 1, 2, 3]);
-    let b = engine.run(&[31, 30, 29, 28]);
+    let reports = engine.serve(&[vec![0, 1, 2, 3], vec![31, 30, 29, 28]]);
+    let (a, b) = (&reports[0], &reports[1]);
     assert!(a.matches_plaintext_reference());
     assert!(b.matches_plaintext_reference());
     assert_ne!(a.logits, b.logits, "logits must depend on the input");
