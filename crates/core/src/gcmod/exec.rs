@@ -82,7 +82,7 @@ impl GcClientStep {
                 let mut payload = pack_bools(bits);
                 // Pad to the real online label traffic.
                 payload.resize(payload.len() + online_bytes(circuit), 0);
-                transport.send(payload);
+                transport.send_owned(payload);
             }
         }
     }

@@ -1,7 +1,7 @@
 //! The client side of a persistent two-party session.
 
 use super::offline::{produce_client_bundle, ClientBundle};
-use super::pool::OfflinePool;
+use super::pool::{OfflinePool, SharedPool, SharedPoolGuard};
 use super::{online, ProtocolVariant};
 use crate::gcmod::GcMode;
 use crate::system::SystemConfig;
@@ -9,28 +9,36 @@ use crate::wire;
 use primer_gc::{Circuit, OtGroup};
 use primer_he::{BatchEncoder, Encryptor, KeyGenerator};
 use primer_math::rng::derive;
-use primer_net::MemTransport;
+use primer_net::Transport;
 use primer_nn::FixedTransformer;
 use rand::rngs::StdRng;
 use std::sync::Arc;
 
-/// Long-lived client session state: everything Setup establishes once —
-/// the secret key, encoder, encryptor, OT group and step circuits — plus
-/// a pool of precomputed offline bundles.
-///
-/// The Galois keys generated here are shipped to the server as real
-/// serialized bytes during [`ClientSession::setup`]; the client itself
-/// never rotates, so it keeps only the secret key.
-pub struct ClientSession {
+/// Everything Setup establishes once on the client, shareable between
+/// the offline-producer thread and the online thread: the secret key
+/// (inside the encryptor), encoder, OT group and step circuits. All
+/// methods on these take `&self`; the only mutable per-session state is
+/// the mask rng, which lives with whichever half samples masks.
+pub(crate) struct ClientCore {
     pub(crate) sys: SystemConfig,
     pub(crate) variant: ProtocolVariant,
     pub(crate) mode: GcMode,
     pub(crate) fixed: Arc<FixedTransformer>,
     pub(crate) circuits: Arc<Vec<Circuit>>,
-    pub(crate) rng: StdRng,
     pub(crate) encoder: BatchEncoder,
     pub(crate) encryptor: Encryptor,
     pub(crate) group: OtGroup,
+}
+
+/// Long-lived client session state: the shared [`ClientCore`] plus the
+/// mask rng and a pool of precomputed offline bundles.
+///
+/// The Galois keys generated here are shipped to the server as real
+/// serialized bytes during [`ClientSession::setup`]; the client itself
+/// never rotates, so it keeps only the secret key.
+pub struct ClientSession {
+    core: Arc<ClientCore>,
+    rng: StdRng,
     pool: OfflinePool<ClientBundle>,
     pool_target: usize,
     total_queries: usize,
@@ -51,7 +59,7 @@ impl ClientSession {
         seed: u64,
         total_queries: usize,
         pool_target: usize,
-        t: &MemTransport,
+        t: &dyn Transport,
     ) -> Self {
         let mut rng = derive(seed, "client");
         let encoder = BatchEncoder::new(&sys.he);
@@ -63,15 +71,17 @@ impl ClientSession {
         let gk = keygen.galois_keys_pow2(&[1, stride, simd - 1, simd - stride], false, &mut rng);
         wire::send_galois_keys(t, &gk);
         Self {
-            sys,
-            variant,
-            mode,
-            fixed,
-            circuits,
+            core: Arc::new(ClientCore {
+                sys,
+                variant,
+                mode,
+                fixed,
+                circuits,
+                encoder,
+                encryptor,
+                group,
+            }),
             rng,
-            encoder,
-            encryptor,
-            group,
             pool: OfflinePool::new(),
             pool_target: pool_target.max(1),
             total_queries,
@@ -88,9 +98,9 @@ impl ClientSession {
     /// the matching [`super::ServerSession::refill`] with the same `k`
     /// — both sessions derive the same refill schedule from the shared
     /// (total, pool) parameters, keeping the wire in lockstep.
-    pub fn refill(&mut self, t: &MemTransport, k: usize) {
+    pub fn refill(&mut self, t: &dyn Transport, k: usize) {
         for _ in 0..k {
-            let bundle = produce_client_bundle(self, t);
+            let bundle = produce_client_bundle(&self.core, &mut self.rng, t);
             self.pool.put(bundle);
             self.produced += 1;
         }
@@ -98,13 +108,85 @@ impl ClientSession {
 
     /// Runs one online inference, consuming one pooled offline bundle
     /// (refilling the pool first if it has drained).
-    pub fn infer(&mut self, tokens: &[usize], t: &MemTransport) -> Vec<i64> {
+    pub fn infer(&mut self, tokens: &[usize], t: &dyn Transport) -> Vec<i64> {
         if self.pool.is_empty() {
             let k =
                 super::pool::refill_quota(self.pool_target, self.total_queries, self.produced);
             self.refill(t, k);
         }
         let bundle = self.pool.take().expect("pool refilled above");
-        online::client_online(self, bundle, tokens, t)
+        online::client_online(&self.core, bundle, tokens, t)
+    }
+
+    /// Splits a freshly set-up session into a pipelined producer /
+    /// online pair connected by a bounded blocking pool of `capacity`
+    /// bundles: the producer thread runs the whole offline phase on its
+    /// own transport channel while the online half serves queries
+    /// concurrently on another.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session already produced bundles sequentially
+    /// (mixing the two modes would fork the mask-rng schedule between
+    /// parties).
+    pub fn into_pipelined(self, capacity: usize) -> (ClientProducer, ClientOnline) {
+        assert!(self.pool.is_empty() && self.produced == 0, "split before any sequential use");
+        let pool = Arc::new(SharedPool::new(capacity.max(1)));
+        (
+            ClientProducer {
+                core: Arc::clone(&self.core),
+                rng: self.rng,
+                pool: Arc::clone(&pool),
+                remaining: self.total_queries,
+            },
+            ClientOnline { core: self.core, pool },
+        )
+    }
+}
+
+/// The offline half of a pipelined client session: produces every
+/// bundle the session will consume, in lockstep with the server's
+/// producer on the same transport channel.
+pub struct ClientProducer {
+    core: Arc<ClientCore>,
+    rng: StdRng,
+    pool: Arc<SharedPool<ClientBundle>>,
+    remaining: usize,
+}
+
+impl ClientProducer {
+    /// Produces all bundles, blocking on the pool bound for
+    /// backpressure. Closes the pool on exit (including panic), so the
+    /// online half can never deadlock on a dead producer.
+    pub fn run(mut self, t: &dyn Transport) {
+        let _guard = SharedPoolGuard(&self.pool);
+        for _ in 0..self.remaining {
+            let bundle = produce_client_bundle(&self.core, &mut self.rng, t);
+            self.pool.put_blocking(bundle);
+        }
+    }
+}
+
+/// The online half of a pipelined client session.
+pub struct ClientOnline {
+    core: Arc<ClientCore>,
+    pool: Arc<SharedPool<ClientBundle>>,
+}
+
+impl ClientOnline {
+    /// Runs one online inference, blocking until the producer has a
+    /// bundle ready. Takes `&mut self` (like its server mirror) so two
+    /// threads cannot interleave queries on one lockstep wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the producer closed the pool before delivering enough
+    /// bundles (a producer crash, surfaced loudly here).
+    pub fn infer(&mut self, tokens: &[usize], t: &dyn Transport) -> Vec<i64> {
+        let bundle = self
+            .pool
+            .take_blocking()
+            .expect("offline producer died before delivering this query's bundle");
+        online::client_online(&self.core, bundle, tokens, t)
     }
 }

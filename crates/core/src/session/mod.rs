@@ -28,9 +28,9 @@ pub mod online;
 pub mod pool;
 pub mod server;
 
-pub use client::ClientSession;
+pub use client::{ClientOnline, ClientProducer, ClientSession};
 pub use pool::OfflinePool;
-pub use server::ServerSession;
+pub use server::{ServeRound, ServerOnline, ServerProducer, ServerSession};
 
 use crate::gcmod::{build_step_circuit, GcMode, GcStepKind};
 use crate::packing::Packing;
@@ -217,55 +217,63 @@ impl Engine {
 
     /// Builds every GC step circuit in online consumption order.
     fn build_circuits(&self) -> Vec<Circuit> {
-        let cfg = &self.sys.model;
-        let spec = self.fixed.spec();
-        let gc = self.sys.gc;
-        let (n, d, dff, heads) = (cfg.n_tokens, cfg.d_model, cfg.d_ff, cfg.n_heads);
-        let mut out = Vec::new();
-        if self.variant.combined() {
-            out.push(build_step_circuit(&GcStepKind::TruncSat { elems: 4 * n * d }, spec, gc));
-        } else {
-            out.push(build_step_circuit(&GcStepKind::TruncSat { elems: n * d }, spec, gc));
-        }
-        for b in 0..cfg.n_blocks {
-            if b > 0 || !self.variant.combined() {
-                out.push(build_step_circuit(&GcStepKind::TruncSat { elems: 3 * n * d }, spec, gc));
-            }
-            out.push(build_step_circuit(
-                &GcStepKind::Softmax {
-                    rows: heads * n,
-                    cols: n,
-                    prescale: self.fixed.attn_prescale,
-                },
-                spec,
-                gc,
-            ));
-            out.push(build_step_circuit(&GcStepKind::TruncSat { elems: n * d }, spec, gc));
-            let blk = &self.fixed.blocks[b];
-            out.push(build_step_circuit(
-                &GcStepKind::LayerNormResidual {
-                    rows: n,
-                    cols: d,
-                    gamma: blk.ln1_gamma.clone(),
-                    beta: blk.ln1_beta.clone(),
-                },
-                spec,
-                gc,
-            ));
-            out.push(build_step_circuit(&GcStepKind::Gelu { elems: n * dff }, spec, gc));
-            out.push(build_step_circuit(
-                &GcStepKind::LayerNormResidual {
-                    rows: n,
-                    cols: d,
-                    gamma: blk.ln2_gamma.clone(),
-                    beta: blk.ln2_beta.clone(),
-                },
-                spec,
-                gc,
-            ));
-        }
-        out
+        build_session_circuits(&self.sys, self.variant, &self.fixed)
     }
+}
+
+/// Builds every GC step circuit a session for (`sys`, `variant`,
+/// `fixed`) consumes, in online consumption order. Both parties must
+/// build the identical list — the serving stack calls this on each side
+/// after the model-config handshake.
+pub fn build_session_circuits(
+    sys: &SystemConfig,
+    variant: ProtocolVariant,
+    fixed: &FixedTransformer,
+) -> Vec<Circuit> {
+    let cfg = &sys.model;
+    let spec = fixed.spec();
+    let gc = sys.gc;
+    let (n, d, dff, heads) = (cfg.n_tokens, cfg.d_model, cfg.d_ff, cfg.n_heads);
+    let mut out = Vec::new();
+    if variant.combined() {
+        out.push(build_step_circuit(&GcStepKind::TruncSat { elems: 4 * n * d }, spec, gc));
+    } else {
+        out.push(build_step_circuit(&GcStepKind::TruncSat { elems: n * d }, spec, gc));
+    }
+    for b in 0..cfg.n_blocks {
+        if b > 0 || !variant.combined() {
+            out.push(build_step_circuit(&GcStepKind::TruncSat { elems: 3 * n * d }, spec, gc));
+        }
+        out.push(build_step_circuit(
+            &GcStepKind::Softmax { rows: heads * n, cols: n, prescale: fixed.attn_prescale },
+            spec,
+            gc,
+        ));
+        out.push(build_step_circuit(&GcStepKind::TruncSat { elems: n * d }, spec, gc));
+        let blk = &fixed.blocks[b];
+        out.push(build_step_circuit(
+            &GcStepKind::LayerNormResidual {
+                rows: n,
+                cols: d,
+                gamma: blk.ln1_gamma.clone(),
+                beta: blk.ln1_beta.clone(),
+            },
+            spec,
+            gc,
+        ));
+        out.push(build_step_circuit(&GcStepKind::Gelu { elems: n * dff }, spec, gc));
+        out.push(build_step_circuit(
+            &GcStepKind::LayerNormResidual {
+                rows: n,
+                cols: d,
+                gamma: blk.ln2_gamma.clone(),
+                beta: blk.ln2_beta.clone(),
+            },
+            spec,
+            gc,
+        ));
+    }
+    out
 }
 
 /// Ring-domain view of a quantized matrix.

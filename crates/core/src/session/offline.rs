@@ -8,17 +8,18 @@
 //! [`super::OfflinePool`] — a consumed bundle (and with it its one-time masks)
 //! can never be silently reused.
 
-use super::client::ClientSession;
+use super::client::ClientCore;
 use super::column_slice;
-use super::server::ServerSession;
+use super::server::ServerCore;
 use crate::chgs;
 use crate::fhgs::{self, FhgsDims};
 use crate::gcmod::{GcClientStep, GcServerStep};
 use crate::hgs;
 use crate::stats::{StepBreakdown, StepCategory};
-use primer_he::OpCounts;
+use primer_he::{Evaluator, OpCounts};
 use primer_math::MatZ;
-use primer_net::{MemTransport, TrafficSnapshot};
+use primer_net::{MeteredTransport, Transport, TrafficSnapshot};
+use rand::rngs::StdRng;
 use std::time::Instant;
 
 /// Client-side masks for one block.
@@ -81,7 +82,7 @@ pub(crate) struct ServerBundle {
 
 /// Server-side per-step wall-clock + traffic attribution.
 pub(crate) struct StepTimer<'a> {
-    transport: &'a MemTransport,
+    transport: &'a dyn MeteredTransport,
     mark: Instant,
     last: TrafficSnapshot,
 }
@@ -93,7 +94,7 @@ impl<'a> StepTimer<'a> {
     /// that would then be attributed to *no* phase. Chaining snapshots
     /// keeps the union of all phase deltas equal to the total wire
     /// traffic exactly (per-step attribution stays best-effort).
-    pub fn resume(transport: &'a MemTransport, last: TrafficSnapshot) -> Self {
+    pub fn resume(transport: &'a dyn MeteredTransport, last: TrafficSnapshot) -> Self {
         Self { transport, mark: Instant::now(), last }
     }
 
@@ -118,40 +119,41 @@ impl<'a> StepTimer<'a> {
 /// client half of the HGS/FHGS/CHGS offline protocols against them, and
 /// garbles (or simulates) every GC step in consumption order.
 pub(crate) fn produce_client_bundle(
-    sess: &mut ClientSession,
-    t: &MemTransport,
+    core: &ClientCore,
+    rng: &mut StdRng,
+    t: &dyn Transport,
 ) -> ClientBundle {
-    let cfg = sess.sys.model.clone();
-    let ring = sess.sys.ring();
-    let packing = sess.variant.packing();
+    let cfg = core.sys.model.clone();
+    let ring = core.sys.ring();
+    let packing = core.variant.packing();
     let (n, d, dff, heads) = (cfg.n_tokens, cfg.d_model, cfg.d_ff, cfg.n_heads);
     let dh = cfg.d_head();
 
     // Masks.
-    let m_embed_in = MatZ::random(&ring, n, cfg.vocab, &mut sess.rng);
-    let m_x1 = MatZ::random(&ring, n, d, &mut sess.rng); // block-0 input / residual
+    let m_embed_in = MatZ::random(&ring, n, cfg.vocab, rng);
+    let m_x1 = MatZ::random(&ring, n, d, rng); // block-0 input / residual
     let blocks: Vec<BlockMasks> = (0..cfg.n_blocks)
         .map(|_| BlockMasks {
-            q: MatZ::random(&ring, n, d, &mut sess.rng),
-            k: MatZ::random(&ring, n, d, &mut sess.rng),
-            v: MatZ::random(&ring, n, d, &mut sess.rng),
-            probs: (0..heads).map(|_| MatZ::random(&ring, n, n, &mut sess.rng)).collect(),
-            av: MatZ::random(&ring, n, d, &mut sess.rng),
-            ln1: MatZ::random(&ring, n, d, &mut sess.rng),
-            gelu: MatZ::random(&ring, n, dff, &mut sess.rng),
-            ln2: MatZ::random(&ring, n, d, &mut sess.rng),
+            q: MatZ::random(&ring, n, d, rng),
+            k: MatZ::random(&ring, n, d, rng),
+            v: MatZ::random(&ring, n, d, rng),
+            probs: (0..heads).map(|_| MatZ::random(&ring, n, n, rng)).collect(),
+            av: MatZ::random(&ring, n, d, rng),
+            ln1: MatZ::random(&ring, n, d, rng),
+            gelu: MatZ::random(&ring, n, dff, rng),
+            ln2: MatZ::random(&ring, n, d, rng),
         })
         .collect();
 
     // Embed / combined module.
-    let (embed_shares, qkv_first): (Vec<MatZ>, bool) = if sess.variant.combined() {
+    let (embed_shares, qkv_first): (Vec<MatZ>, bool) = if core.variant.combined() {
         let pre = chgs::client_offline_with_mask(
             packing,
             m_embed_in.clone(),
             &[d, d, d, d],
-            &sess.sys.he,
-            &sess.encoder,
-            &sess.encryptor,
+            &core.sys.he,
+            &core.encoder,
+            &core.encryptor,
             t,
         );
         (pre.shares, false)
@@ -161,9 +163,9 @@ pub(crate) fn produce_client_bundle(
             packing,
             m_embed_in.clone(),
             d,
-            &sess.sys.he,
-            &sess.encoder,
-            &sess.encryptor,
+            &core.sys.he,
+            &core.encoder,
+            &core.encryptor,
             t,
         );
         (vec![h.share], true)
@@ -184,9 +186,9 @@ pub(crate) fn produce_client_bundle(
                         packing,
                         block_inputs[b].clone(),
                         d,
-                        &sess.sys.he,
-                        &sess.encoder,
-                        &sess.encryptor,
+                        &core.sys.he,
+                        &core.encoder,
+                        &core.encryptor,
                         t,
                     );
                     shares.push(h.share);
@@ -202,8 +204,8 @@ pub(crate) fn produce_client_bundle(
                         packing,
                         column_slice(&bm.q, h * dh, dh),
                         column_slice(&bm.k, h * dh, dh).transpose(),
-                        &sess.encoder,
-                        &sess.encryptor,
+                        &core.encoder,
+                        &core.encryptor,
                         t,
                     )
                 })
@@ -215,8 +217,8 @@ pub(crate) fn produce_client_bundle(
                         packing,
                         bm.probs[h].clone(),
                         column_slice(&bm.v, h * dh, dh),
-                        &sess.encoder,
-                        &sess.encryptor,
+                        &core.encoder,
+                        &core.encryptor,
                         t,
                     )
                 })
@@ -226,9 +228,9 @@ pub(crate) fn produce_client_bundle(
                 packing,
                 bm.av.clone(),
                 d,
-                &sess.sys.he,
-                &sess.encoder,
-                &sess.encryptor,
+                &core.sys.he,
+                &core.encoder,
+                &core.encryptor,
                 t,
             );
             let w1 = hgs::client_offline_with_mask(
@@ -236,9 +238,9 @@ pub(crate) fn produce_client_bundle(
                 packing,
                 bm.ln1.clone(),
                 dff,
-                &sess.sys.he,
-                &sess.encoder,
-                &sess.encryptor,
+                &core.sys.he,
+                &core.encoder,
+                &core.encryptor,
                 t,
             );
             let w2 = hgs::client_offline_with_mask(
@@ -246,9 +248,9 @@ pub(crate) fn produce_client_bundle(
                 packing,
                 bm.gelu.clone(),
                 d,
-                &sess.sys.he,
-                &sess.encoder,
-                &sess.encryptor,
+                &core.sys.he,
+                &core.encoder,
+                &core.encryptor,
                 t,
             );
             BlockClientPre { qkv_shares, score_pre, av_pre, wo, w1, w2 }
@@ -262,17 +264,17 @@ pub(crate) fn produce_client_bundle(
         packing,
         cls_mask,
         cfg.n_classes,
-        &sess.sys.he,
-        &sess.encoder,
-        &sess.encryptor,
+        &core.sys.he,
+        &core.encoder,
+        &core.encryptor,
         t,
     );
 
     // GC offline sessions (consumption order).
-    let gc: Vec<GcClientStep> = sess
+    let gc: Vec<GcClientStep> = core
         .circuits
         .iter()
-        .map(|c| GcClientStep::offline(c, sess.mode, &sess.group, t, &mut sess.rng))
+        .map(|c| GcClientStep::offline(c, core.mode, &core.group, t, rng))
         .collect();
 
     ClientBundle { m_embed_in, m_x1, blocks, embed_shares, bclients, cls, gc }
@@ -281,33 +283,36 @@ pub(crate) fn produce_client_bundle(
 /// Produces one server offline bundle, attributing wall-clock and
 /// traffic per Table II category as it goes.
 pub(crate) fn produce_server_bundle(
-    sess: &mut ServerSession,
-    t: &MemTransport,
+    core: &ServerCore,
+    eval: &Evaluator,
+    rng: &mut StdRng,
+    t: &dyn MeteredTransport,
+    wire_mark: &mut TrafficSnapshot,
 ) -> ServerBundle {
-    let cfg = sess.sys.model.clone();
-    let ring = sess.sys.ring();
-    let packing = sess.variant.packing();
+    let cfg = core.sys.model.clone();
+    let ring = core.sys.ring();
+    let packing = core.variant.packing();
     let (n, dh, heads) = (cfg.n_tokens, cfg.d_head(), cfg.n_heads);
 
     let mut steps = StepBreakdown::new();
-    let he_before = sess.eval.counts();
-    let mut timer = StepTimer::resume(t, sess.wire_mark);
+    let he_before = eval.counts();
+    let mut timer = StepTimer::resume(t, *wire_mark);
     let start = timer.snapshot();
 
     // Embed / combined offline.
-    let (embed_rs, embed_cat) = if sess.variant.combined() {
-        let cw = sess.weights.combined.as_ref().expect("combined weights prepared");
+    let (embed_rs, embed_cat) = if core.variant.combined() {
+        let cw = core.weights.combined.as_ref().expect("combined weights prepared");
         let rs = chgs::server_offline(
             &ring,
             packing,
             n,
-            &[&sess.weights.we, &cw.a_q, &cw.a_k, &cw.a_v],
-            &sess.sys.he,
-            &sess.encoder,
-            &sess.eval,
-            &sess.gk,
+            &[&core.weights.we, &cw.a_q, &cw.a_k, &cw.a_v],
+            &core.sys.he,
+            &core.encoder,
+            eval,
+            &core.gk,
             t,
-            &mut sess.rng,
+            rng,
         );
         (rs, StepCategory::QxK)
     } else {
@@ -315,22 +320,22 @@ pub(crate) fn produce_server_bundle(
             &ring,
             packing,
             n,
-            &sess.weights.we,
-            &sess.sys.he,
-            &sess.encoder,
-            &sess.eval,
-            &sess.gk,
+            &core.weights.we,
+            &core.sys.he,
+            &core.encoder,
+            eval,
+            &core.gk,
             t,
-            &mut sess.rng,
+            rng,
         );
         (vec![rs], StepCategory::Embed)
     };
     timer.absorb(&mut steps, embed_cat, true);
 
-    let qkv_first = !sess.variant.combined();
+    let qkv_first = !core.variant.combined();
     let bservers: Vec<BlockServerPre> = (0..cfg.n_blocks)
         .map(|b| {
-            let blk = &sess.weights.blocks[b];
+            let blk = &core.weights.blocks[b];
             let qkv_rs = if b > 0 || qkv_first {
                 let mut rs = Vec::new();
                 for w in [&blk.wq, &blk.wk, &blk.wv] {
@@ -339,12 +344,12 @@ pub(crate) fn produce_server_bundle(
                         packing,
                         n,
                         w,
-                        &sess.sys.he,
-                        &sess.encoder,
-                        &sess.eval,
-                        &sess.gk,
+                        &core.sys.he,
+                        &core.encoder,
+                        eval,
+                        &core.gk,
                         t,
-                        &mut sess.rng,
+                        rng,
                     ));
                 }
                 timer.absorb(&mut steps, StepCategory::Qkv, true);
@@ -358,10 +363,10 @@ pub(crate) fn produce_server_bundle(
                         &ring,
                         packing,
                         FhgsDims { n, k: dh, m: n },
-                        &sess.sys.he,
-                        &sess.encoder,
+                        &core.sys.he,
+                        &core.encoder,
                         t,
-                        &mut sess.rng,
+                        rng,
                     )
                 })
                 .collect();
@@ -372,10 +377,10 @@ pub(crate) fn produce_server_bundle(
                         &ring,
                         packing,
                         FhgsDims { n, k: n, m: dh },
-                        &sess.sys.he,
-                        &sess.encoder,
+                        &core.sys.he,
+                        &core.encoder,
                         t,
-                        &mut sess.rng,
+                        rng,
                     )
                 })
                 .collect();
@@ -385,36 +390,36 @@ pub(crate) fn produce_server_bundle(
                 packing,
                 n,
                 &blk.wo,
-                &sess.sys.he,
-                &sess.encoder,
-                &sess.eval,
-                &sess.gk,
+                &core.sys.he,
+                &core.encoder,
+                eval,
+                &core.gk,
                 t,
-                &mut sess.rng,
+                rng,
             );
             let w1_rs = hgs::server_offline(
                 &ring,
                 packing,
                 n,
                 &blk.w1,
-                &sess.sys.he,
-                &sess.encoder,
-                &sess.eval,
-                &sess.gk,
+                &core.sys.he,
+                &core.encoder,
+                eval,
+                &core.gk,
                 t,
-                &mut sess.rng,
+                rng,
             );
             let w2_rs = hgs::server_offline(
                 &ring,
                 packing,
                 n,
                 &blk.w2,
-                &sess.sys.he,
-                &sess.encoder,
-                &sess.eval,
-                &sess.gk,
+                &core.sys.he,
+                &core.encoder,
+                eval,
+                &core.gk,
                 t,
-                &mut sess.rng,
+                rng,
             );
             timer.absorb(&mut steps, StepCategory::Others, true);
             BlockServerPre { qkv_rs, score_pre, av_pre, wo_rs, w1_rs, w2_rs }
@@ -424,26 +429,26 @@ pub(crate) fn produce_server_bundle(
         &ring,
         packing,
         1,
-        &sess.weights.classifier,
-        &sess.sys.he,
-        &sess.encoder,
-        &sess.eval,
-        &sess.gk,
+        &core.weights.classifier,
+        &core.sys.he,
+        &core.encoder,
+        eval,
+        &core.gk,
         t,
-        &mut sess.rng,
+        rng,
     );
     timer.absorb(&mut steps, StepCategory::Others, true);
 
     // GC offline.
-    let gc: Vec<GcServerStep> = sess
+    let gc: Vec<GcServerStep> = core
         .circuits
         .iter()
-        .map(|c| GcServerStep::offline(c, sess.mode, &sess.group, t, &mut sess.rng))
+        .map(|c| GcServerStep::offline(c, core.mode, &core.group, t, rng))
         .collect();
     timer.absorb(&mut steps, StepCategory::Others, true);
 
-    let he = sess.eval.counts().since(&he_before);
+    let he = eval.counts().since(&he_before);
     let traffic = timer.snapshot().since(&start);
-    sess.wire_mark = timer.snapshot();
+    *wire_mark = timer.snapshot();
     ServerBundle { embed_rs, bservers, cls_rs, gc, steps, he, traffic }
 }

@@ -1,10 +1,10 @@
 //! The Online phase: the input-dependent part of one inference,
 //! consuming exactly one offline bundle per query.
 
-use super::client::ClientSession;
+use super::client::ClientCore;
 use super::column_slice;
 use super::offline::{ClientBundle, StepTimer};
-use super::server::ServerSession;
+use super::server::ServerCore;
 use crate::chgs;
 use crate::fhgs;
 use crate::gcmod::{bits_to_ring_words, ring_words_to_bits, GcClientStep, GcServerStep};
@@ -12,8 +12,9 @@ use crate::hgs;
 use crate::stats::{StepBreakdown, StepCategory};
 use crate::wire;
 use primer_gc::arith::ring_bits;
+use primer_he::Evaluator;
 use primer_math::MatZ;
-use primer_net::{MemTransport, TrafficSnapshot};
+use primer_net::{MeteredTransport, Transport, TrafficSnapshot};
 
 /// The protocol material the server's online phase consumes (one
 /// [`ServerBundle`] minus its cost attribution).
@@ -28,23 +29,23 @@ pub(crate) struct ServerOnlineInputs {
 /// step consuming the bundle's shares and GC sessions, and reconstructs
 /// the logits.
 pub(crate) fn client_online(
-    sess: &ClientSession,
+    core: &ClientCore,
     bundle: ClientBundle,
     tokens: &[usize],
-    t: &MemTransport,
+    t: &dyn Transport,
 ) -> Vec<i64> {
-    let cfg = &sess.sys.model;
-    let ring = sess.sys.ring();
+    let cfg = &core.sys.model;
+    let ring = core.sys.ring();
     let rb = ring_bits(ring.modulus());
-    let packing = sess.variant.packing();
+    let packing = core.variant.packing();
     let (n, heads) = (cfg.n_tokens, cfg.n_heads);
     let dh = cfg.d_head();
-    let frac = sess.fixed.spec().fixed.frac();
+    let frac = core.fixed.spec().fixed.frac();
 
     let ClientBundle { m_embed_in, m_x1, blocks, embed_shares, bclients, cls, gc } = bundle;
     let mut gc_sessions = gc.into_iter();
-    let mut gc_circuits = sess.circuits.iter();
-    let mut run_gc = |t: &MemTransport, vals: &[u64]| {
+    let mut gc_circuits = core.circuits.iter();
+    let mut run_gc = |t: &dyn Transport, vals: &[u64]| {
         let circuit = gc_circuits.next().expect("circuit per GC step");
         let session: GcClientStep = gc_sessions.next().expect("offline session per GC step");
         session.online(circuit, t, &ring_words_to_bits(vals, rb));
@@ -62,7 +63,7 @@ pub(crate) fn client_online(
     wire::send_matrix(t, &x0.sub(&ring, &m_embed_in));
 
     // Embed / combined GC.
-    if sess.variant.combined() {
+    if core.variant.combined() {
         let mut vals = Vec::new();
         for share in &embed_shares {
             vals.extend_from_slice(share.as_slice());
@@ -98,9 +99,9 @@ pub(crate) fn client_online(
                 &bc.score_pre[h],
                 &ring,
                 packing,
-                &sess.sys.he,
-                &sess.encoder,
-                &sess.encryptor,
+                &core.sys.he,
+                &core.encoder,
+                &core.encryptor,
                 t,
             );
             score_vals.extend_from_slice(share.as_slice());
@@ -116,9 +117,9 @@ pub(crate) fn client_online(
                 &bc.av_pre[h],
                 &ring,
                 packing,
-                &sess.sys.he,
-                &sess.encoder,
-                &sess.encryptor,
+                &core.sys.he,
+                &core.encoder,
+                &core.encryptor,
                 t,
             );
             av_vals.extend_from_slice(share.as_slice());
@@ -150,42 +151,44 @@ pub(crate) fn client_online(
     let raw: Vec<i64> = (0..cfg.n_classes)
         .map(|c| ring.to_signed(ring.add(server_share[(0, c)], cls.share[(0, c)])))
         .collect();
-    raw.iter().map(|&v| sess.fixed.spec().fixed.truncate_product(v)).collect()
+    raw.iter().map(|&v| core.fixed.spec().fixed.truncate_product(v)).collect()
 }
 
 /// Server online phase: pure-plaintext HGS shares, FHGS ct–pt matmuls
 /// and GC evaluations, attributed per category into `steps` (online
 /// slots). Returns the online traffic delta.
 pub(crate) fn server_online(
-    sess: &mut ServerSession,
+    core: &ServerCore,
+    eval: &Evaluator,
     inputs: ServerOnlineInputs,
     steps: &mut StepBreakdown,
-    t: &MemTransport,
+    t: &dyn MeteredTransport,
+    wire_mark: &mut TrafficSnapshot,
 ) -> TrafficSnapshot {
-    let cfg = &sess.sys.model;
-    let ring = sess.sys.ring();
+    let cfg = &core.sys.model;
+    let ring = core.sys.ring();
     let rb = ring_bits(ring.modulus());
     let (n, d, dff, heads) = (cfg.n_tokens, cfg.d_model, cfg.d_ff, cfg.n_heads);
     let dh = cfg.d_head();
 
     let ServerOnlineInputs { embed_rs, bservers, cls_rs, gc } = inputs;
     let mut gc_sessions = gc.into_iter();
-    let mut gc_circuits = sess.circuits.iter();
-    let mut run_gc = |t: &MemTransport, vals: &[u64]| -> Vec<u64> {
+    let mut gc_circuits = core.circuits.iter();
+    let mut run_gc = |t: &dyn MeteredTransport, vals: &[u64]| -> Vec<u64> {
         let circuit = gc_circuits.next().expect("circuit per GC step");
         let session: GcServerStep = gc_sessions.next().expect("offline session per GC step");
         let out = session.online(circuit, t, &ring_words_to_bits(vals, rb));
         bits_to_ring_words(&out, rb)
     };
 
-    let mut timer = StepTimer::resume(t, sess.wire_mark);
+    let mut timer = StepTimer::resume(t, *wire_mark);
     let start = timer.snapshot();
-    let w = &sess.weights;
+    let w = &core.weights;
 
     let u0 = wire::recv_matrix(t);
     // Embed / combined online + GC.
     let (mut u_x, mut u_q, mut u_k, mut u_v);
-    if sess.variant.combined() {
+    if core.variant.combined() {
         let cw = w.combined.as_ref().expect("combined weights prepared");
         let raw_e = chgs::server_online(&ring, &u0, &w.we, &embed_rs[0], &w.lam);
         let raw_q = chgs::server_online(&ring, &u0, &cw.a_q, &embed_rs[1], &cw.lam_q);
@@ -236,9 +239,9 @@ pub(crate) fn server_online(
                 &ring,
                 &ua,
                 &ub,
-                &sess.encoder,
-                &sess.eval,
-                &sess.gk,
+                &core.encoder,
+                eval,
+                &core.gk,
                 t,
             );
             score_vals.extend_from_slice(share.as_slice());
@@ -259,9 +262,9 @@ pub(crate) fn server_online(
                 &ring,
                 probs,
                 &ub,
-                &sess.encoder,
-                &sess.eval,
-                &sess.gk,
+                &core.encoder,
+                eval,
+                &core.gk,
                 t,
             );
             av_vals.extend_from_slice(share.as_slice());
@@ -300,6 +303,6 @@ pub(crate) fn server_online(
     wire::send_matrix(t, &raw_cls);
     timer.absorb(steps, StepCategory::Others, false);
 
-    sess.wire_mark = timer.snapshot();
+    *wire_mark = timer.snapshot();
     timer.snapshot().since(&start)
 }

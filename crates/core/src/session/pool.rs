@@ -1,7 +1,10 @@
-//! Bundle pooling: FIFO pools of precomputed offline material and the
-//! lockstep refill schedule both parties share.
+//! Bundle pooling: FIFO pools of precomputed offline material, the
+//! lockstep refill schedule both parties share, and the bounded
+//! blocking pool the pipelined (producer-thread) serving mode hands
+//! bundles through.
 
 use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
 
 /// A FIFO pool of precomputed offline bundles.
 ///
@@ -40,6 +43,91 @@ impl<B> OfflinePool<B> {
     }
 }
 
+/// A bounded, blocking FIFO pool shared between an offline-producer
+/// thread and an online consumer thread (the pipelined serving mode).
+///
+/// The bound is the backpressure that keeps precomputed bundles — each
+/// holding per-query masks, shares and garbled material — from piling
+/// up without limit when the producer outruns the online phase.
+///
+/// Bundles still leave by move, so one-time masks are consumed exactly
+/// once. The producer closes the pool when it is done (or dies — see
+/// [`SharedPoolGuard`]), after which a drained [`SharedPool::take_blocking`]
+/// returns `None` instead of blocking forever.
+#[derive(Debug)]
+pub(crate) struct SharedPool<B> {
+    state: Mutex<SharedPoolState<B>>,
+    changed: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct SharedPoolState<B> {
+    bundles: VecDeque<B>,
+    closed: bool,
+}
+
+impl<B> SharedPool<B> {
+    /// An empty pool holding at most `capacity` bundles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (the producer could never hand off).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "shared pool needs capacity for at least one bundle");
+        Self {
+            state: Mutex::new(SharedPoolState { bundles: VecDeque::new(), closed: false }),
+            changed: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Adds a bundle, blocking while the pool is full.
+    pub fn put_blocking(&self, bundle: B) {
+        let mut st = self.state.lock().expect("pool mutex poisoned");
+        while st.bundles.len() >= self.capacity {
+            st = self.changed.wait(st).expect("pool mutex poisoned");
+        }
+        st.bundles.push_back(bundle);
+        drop(st);
+        self.changed.notify_all();
+    }
+
+    /// Takes the oldest bundle, blocking while the pool is empty.
+    /// Returns `None` once the pool is closed *and* drained.
+    pub fn take_blocking(&self) -> Option<B> {
+        let mut st = self.state.lock().expect("pool mutex poisoned");
+        loop {
+            if let Some(b) = st.bundles.pop_front() {
+                drop(st);
+                self.changed.notify_all();
+                return Some(b);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.changed.wait(st).expect("pool mutex poisoned");
+        }
+    }
+
+    /// Marks the pool closed (no more bundles coming) and wakes waiters.
+    pub fn close(&self) {
+        self.state.lock().expect("pool mutex poisoned").closed = true;
+        self.changed.notify_all();
+    }
+}
+
+/// Closes a [`SharedPool`] on drop — held by the producer's run loop so
+/// a producer panic unblocks the consumer (which then fails loudly on
+/// the missing bundle) instead of deadlocking the session.
+pub(crate) struct SharedPoolGuard<'a, B>(pub &'a SharedPool<B>);
+
+impl<B> Drop for SharedPoolGuard<'_, B> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
 /// How many bundles the next refill should produce: the pool target,
 /// capped by the queries the session still owes (never overproducing
 /// masks that would go unused). Both parties evaluate this formula with
@@ -68,5 +156,45 @@ mod tests {
         // Refill works after a drain.
         pool.put(vec![3]);
         assert_eq!(pool.take(), Some(vec![3]));
+    }
+
+    #[test]
+    fn shared_pool_bounds_the_producer_and_closes_cleanly() {
+        use std::sync::Arc;
+        let pool: Arc<SharedPool<usize>> = Arc::new(SharedPool::new(2));
+        let producer_pool = Arc::clone(&pool);
+        let producer = std::thread::spawn(move || {
+            let _guard = SharedPoolGuard(&producer_pool);
+            // 6 bundles through a capacity-2 pool: puts 3..6 must block
+            // until the consumer drains.
+            for i in 0..6 {
+                producer_pool.put_blocking(i);
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = pool.take_blocking() {
+            got.push(v);
+        }
+        producer.join().expect("producer");
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        // Closed + drained: immediate None, no deadlock.
+        assert_eq!(pool.take_blocking(), None);
+    }
+
+    #[test]
+    fn shared_pool_guard_closes_on_producer_panic() {
+        use std::sync::Arc;
+        let pool: Arc<SharedPool<usize>> = Arc::new(SharedPool::new(4));
+        let producer_pool = Arc::clone(&pool);
+        let producer = std::thread::spawn(move || {
+            let _guard = SharedPoolGuard(&producer_pool);
+            producer_pool.put_blocking(1);
+            panic!("producer died mid-session");
+        });
+        assert_eq!(pool.take_blocking(), Some(1));
+        // The unwind ran the guard: the consumer unblocks with None
+        // instead of waiting forever for bundle 2.
+        assert_eq!(pool.take_blocking(), None);
+        assert!(producer.join().is_err());
     }
 }

@@ -1,7 +1,7 @@
 //! The server side of a persistent two-party session.
 
 use super::offline::{produce_server_bundle, ServerBundle};
-use super::pool::OfflinePool;
+use super::pool::{OfflinePool, SharedPool, SharedPoolGuard};
 use super::{lambda_scaled, online, to_ring, ProtocolVariant};
 use crate::gcmod::GcMode;
 use crate::stats::{PhaseCost, StepBreakdown};
@@ -10,7 +10,7 @@ use primer_gc::{Circuit, OtGroup};
 use primer_he::{BatchEncoder, Evaluator, GaloisKeys, OpCounts};
 use primer_math::rng::derive;
 use primer_math::MatZ;
-use primer_net::{MemTransport, TrafficSnapshot, Transport};
+use primer_net::{MeteredTransport, TrafficSnapshot};
 use primer_nn::FixedTransformer;
 use rand::rngs::StdRng;
 use std::sync::Arc;
@@ -64,19 +64,28 @@ pub struct ServeRound {
     pub traffic: TrafficSnapshot,
 }
 
-/// Long-lived server session state: the received Galois keys, the
-/// evaluator, ring-domain weights, and a pool of offline bundles.
-pub struct ServerSession {
+/// Everything Setup establishes once on the server, shareable between
+/// the offline-producer thread and the online thread: the received
+/// Galois keys, encoder, OT group, step circuits and the ring-domain
+/// weights. All methods on these take `&self`.
+pub(crate) struct ServerCore {
     pub(crate) sys: SystemConfig,
     pub(crate) variant: ProtocolVariant,
     pub(crate) mode: GcMode,
     pub(crate) circuits: Arc<Vec<Circuit>>,
-    pub(crate) rng: StdRng,
     pub(crate) encoder: BatchEncoder,
-    pub(crate) eval: Evaluator,
     pub(crate) gk: GaloisKeys,
     pub(crate) group: OtGroup,
     pub(crate) weights: ServerWeights,
+}
+
+/// Long-lived server session state: the shared [`ServerCore`] plus the
+/// evaluator (HE op counters), correction rng, offline pool and cost
+/// accounting.
+pub struct ServerSession {
+    core: Arc<ServerCore>,
+    eval: Evaluator,
+    rng: StdRng,
     pool: OfflinePool<ServerBundle>,
     pool_target: usize,
     total_queries: usize,
@@ -85,7 +94,7 @@ pub struct ServerSession {
     /// Running wire snapshot chaining phase deltas together (see
     /// [`super::offline::StepTimer::resume`]): everything the protocol
     /// has put on the wire up to the end of the last attributed phase.
-    pub(crate) wire_mark: TrafficSnapshot,
+    wire_mark: TrafficSnapshot,
 }
 
 impl ServerSession {
@@ -103,7 +112,7 @@ impl ServerSession {
         seed: u64,
         total_queries: usize,
         pool_target: usize,
-        t: &MemTransport,
+        t: &dyn MeteredTransport,
     ) -> Self {
         let start = Instant::now();
         let rng = derive(seed, "server");
@@ -131,16 +140,18 @@ impl ServerSession {
         let mut setup_cost = PhaseCost::default();
         setup_cost.absorb(start.elapsed(), setup_traffic);
         Self {
-            sys,
-            variant,
-            mode,
-            circuits,
-            rng,
-            encoder,
+            core: Arc::new(ServerCore {
+                sys,
+                variant,
+                mode,
+                circuits,
+                encoder,
+                gk,
+                group,
+                weights,
+            }),
             eval,
-            gk,
-            group,
-            weights,
+            rng,
             pool: OfflinePool::new(),
             pool_target: pool_target.max(1),
             total_queries,
@@ -200,9 +211,15 @@ impl ServerSession {
 
     /// Produces `k` offline bundles into the pool (the mirror of
     /// [`super::ClientSession::refill`]).
-    pub fn refill(&mut self, t: &MemTransport, k: usize) {
+    pub fn refill(&mut self, t: &dyn MeteredTransport, k: usize) {
         for _ in 0..k {
-            let bundle = produce_server_bundle(self, t);
+            let bundle = produce_server_bundle(
+                &self.core,
+                &self.eval,
+                &mut self.rng,
+                t,
+                &mut self.wire_mark,
+            );
             self.pool.put(bundle);
             self.produced += 1;
         }
@@ -211,23 +228,134 @@ impl ServerSession {
     /// Serves one query's online phase, consuming one pooled offline
     /// bundle (refilling first — with the same quota formula as the
     /// client — if the pool has drained).
-    pub fn serve_one(&mut self, t: &MemTransport) -> ServeRound {
+    pub fn serve_one(&mut self, t: &dyn MeteredTransport) -> ServeRound {
         if self.pool.is_empty() {
             let k =
                 super::pool::refill_quota(self.pool_target, self.total_queries, self.produced);
             self.refill(t, k);
         }
         let bundle = self.pool.take().expect("pool refilled above");
-        let ServerBundle { embed_rs, bservers, cls_rs, gc, mut steps, he, traffic } = bundle;
-        let he_before = self.eval.counts();
-        let online_traffic = online::server_online(
-            self,
-            online::ServerOnlineInputs { embed_rs, bservers, cls_rs, gc },
-            &mut steps,
-            t,
-        );
-        let he_online = self.eval.counts().since(&he_before);
-        steps.set_setup(self.setup_cost);
-        ServeRound { steps, he_offline: he, he_online, traffic: traffic.plus(&online_traffic) }
+        serve_round(&self.core, &self.eval, bundle, self.setup_cost, t, &mut self.wire_mark)
+    }
+
+    /// Splits a freshly set-up session into a pipelined producer /
+    /// online pair connected by a bounded blocking pool of `capacity`
+    /// bundles. The producer gets its **own** evaluator, so the
+    /// per-query offline/online HE op attribution stays exact even while
+    /// the two halves run concurrently; its wire mark starts at zero
+    /// because the offline phase runs on its own (fresh) transport
+    /// channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session already produced bundles sequentially.
+    pub fn into_pipelined(self, capacity: usize) -> (ServerProducer, ServerOnline) {
+        assert!(self.pool.is_empty() && self.produced == 0, "split before any sequential use");
+        let pool = Arc::new(SharedPool::new(capacity.max(1)));
+        let producer_eval = Evaluator::new(&self.core.sys.he);
+        (
+            ServerProducer {
+                core: Arc::clone(&self.core),
+                eval: producer_eval,
+                rng: self.rng,
+                pool: Arc::clone(&pool),
+                remaining: self.total_queries,
+                wire_mark: TrafficSnapshot::default(),
+            },
+            ServerOnline {
+                core: self.core,
+                eval: self.eval,
+                pool,
+                setup_cost: self.setup_cost,
+                wire_mark: self.wire_mark,
+            },
+        )
+    }
+}
+
+/// Consumes one bundle: runs the online phase and assembles the round's
+/// cost report (shared by the sequential and pipelined paths).
+fn serve_round(
+    core: &ServerCore,
+    eval: &Evaluator,
+    bundle: ServerBundle,
+    setup_cost: PhaseCost,
+    t: &dyn MeteredTransport,
+    wire_mark: &mut TrafficSnapshot,
+) -> ServeRound {
+    let ServerBundle { embed_rs, bservers, cls_rs, gc, mut steps, he, traffic } = bundle;
+    let he_before = eval.counts();
+    let online_traffic = online::server_online(
+        core,
+        eval,
+        online::ServerOnlineInputs { embed_rs, bservers, cls_rs, gc },
+        &mut steps,
+        t,
+        wire_mark,
+    );
+    let he_online = eval.counts().since(&he_before);
+    steps.set_setup(setup_cost);
+    ServeRound { steps, he_offline: he, he_online, traffic: traffic.plus(&online_traffic) }
+}
+
+/// The offline half of a pipelined server session: produces every
+/// bundle the session will serve, in lockstep with the client's
+/// producer on the same transport channel.
+pub struct ServerProducer {
+    core: Arc<ServerCore>,
+    eval: Evaluator,
+    rng: StdRng,
+    pool: Arc<SharedPool<ServerBundle>>,
+    remaining: usize,
+    wire_mark: TrafficSnapshot,
+}
+
+impl ServerProducer {
+    /// Produces all bundles, blocking on the pool bound for
+    /// backpressure. Closes the pool on exit (including panic), so the
+    /// online half can never deadlock on a dead producer.
+    pub fn run(mut self, t: &dyn MeteredTransport) {
+        let _guard = SharedPoolGuard(&self.pool);
+        for _ in 0..self.remaining {
+            let bundle = produce_server_bundle(
+                &self.core,
+                &self.eval,
+                &mut self.rng,
+                t,
+                &mut self.wire_mark,
+            );
+            self.pool.put_blocking(bundle);
+        }
+    }
+}
+
+/// The online half of a pipelined server session.
+pub struct ServerOnline {
+    core: Arc<ServerCore>,
+    eval: Evaluator,
+    pool: Arc<SharedPool<ServerBundle>>,
+    setup_cost: PhaseCost,
+    wire_mark: TrafficSnapshot,
+}
+
+impl ServerOnline {
+    /// The session's one-time setup cost (key transfer + weight prep).
+    pub fn setup_cost(&self) -> PhaseCost {
+        self.setup_cost
+    }
+
+    /// Serves one query's online phase, blocking until the producer has
+    /// a bundle ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the producer closed the pool before delivering enough
+    /// bundles (a producer crash, surfaced loudly here).
+    pub fn serve_one(&mut self, t: &dyn MeteredTransport) -> ServeRound {
+        let bundle = self
+            .pool
+            .take_blocking()
+            .expect("offline producer died before delivering this query's bundle");
+        serve_round(&self.core, &self.eval, bundle, self.setup_cost, t, &mut self.wire_mark)
     }
 }

@@ -13,7 +13,7 @@ pub fn send_cts(t: &dyn Transport, cts: &[Ciphertext]) {
     for ct in cts {
         out.extend_from_slice(&ct.to_bytes());
     }
-    t.send(out);
+    t.send_owned(out);
 }
 
 /// Receives a batch of ciphertexts.
@@ -51,7 +51,7 @@ pub fn send_matrix(t: &dyn Transport, m: &MatZ) {
     for v in m.iter() {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    t.send(out);
+    t.send_owned(out);
 }
 
 /// Receives a ring matrix.
@@ -70,7 +70,7 @@ pub fn recv_matrix(t: &dyn Transport) -> MatZ {
 /// Sends the client's Galois keys as real serialized bytes (the one-time
 /// Setup flight; the server reconstructs them with [`recv_galois_keys`]).
 pub fn send_galois_keys(t: &dyn Transport, keys: &GaloisKeys) {
-    t.send(keys.to_bytes());
+    t.send_owned(keys.to_bytes());
 }
 
 /// Receives and deserializes Galois keys sent by [`send_galois_keys`].
@@ -81,7 +81,7 @@ pub fn recv_galois_keys(t: &dyn Transport, ctx: &HeContext) -> GaloisKeys {
 /// Sends `len` placeholder bytes — used by the simulated GC mode to
 /// account for garbled-table traffic without performing the garbling.
 pub fn send_placeholder(t: &dyn Transport, len: usize) {
-    t.send(vec![0u8; len]);
+    t.send_owned(vec![0u8; len]);
 }
 
 #[cfg(test)]

@@ -84,7 +84,7 @@ pub fn base_ot_send<R: Rng + ?Sized>(
 ) {
     let a = group.random_exponent(rng);
     let big_a = group.pow_g(&a);
-    transport.send(big_a.to_bytes_le());
+    transport.send_owned(big_a.to_bytes_le());
     let a_inv = group.ctx.inv_mod(&big_a);
     for (i, &(m0, m1)) in pairs.iter().enumerate() {
         let b_bytes = transport.recv();
@@ -94,7 +94,7 @@ pub fn base_ot_send<R: Rng + ?Sized>(
         let k1 = hash_to_key(&group.ctx.pow_mod(&b_over_a, &a), i as u64);
         let mut payload = (m0 ^ k0).to_le_bytes().to_vec();
         payload.extend_from_slice(&(m1 ^ k1).to_le_bytes());
-        transport.send(payload);
+        transport.send_owned(payload);
     }
 }
 
@@ -111,7 +111,7 @@ pub fn base_ot_receive<R: Rng + ?Sized>(
         let b = group.random_exponent(rng);
         let g_b = group.pow_g(&b);
         let big_b = if c { group.ctx.mul_mod(&g_b, &big_a) } else { g_b };
-        transport.send(big_b.to_bytes_le());
+        transport.send_owned(big_b.to_bytes_le());
         let key = hash_to_key(&group.ctx.pow_mod(&big_a, &b), i as u64);
         let payload = transport.recv();
         let m0 = u128::from_le_bytes(payload[..16].try_into().expect("16 bytes"));

@@ -125,7 +125,7 @@ pub fn rot_receiver_offline<R: Rng + ?Sized>(
         let g1 = prg_bits(k1, count);
         let u = xor_words(&xor_words(&t, &g1), &r_word);
         let bytes: Vec<u8> = u.iter().flat_map(|w| w.to_le_bytes()).collect();
-        transport.send(bytes);
+        transport.send_owned(bytes);
         t_cols.push(t);
     }
     let received = (0..count)
@@ -168,7 +168,7 @@ impl RotSender {
             payload.extend_from_slice(&f1.to_le_bytes());
         }
         self.used += messages.len();
-        transport.send(payload);
+        transport.send_owned(payload);
     }
 }
 
@@ -192,7 +192,7 @@ impl RotReceiver {
                 flips[k / 8] |= 1 << (k % 8);
             }
         }
-        transport.send(flips);
+        transport.send_owned(flips);
         let payload = transport.recv();
         let out = choices
             .iter()

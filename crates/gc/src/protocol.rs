@@ -34,7 +34,7 @@ impl GarblerSession {
         rng: &mut R,
     ) -> Self {
         let (garbled, encoding) = garble(circuit, rng);
-        transport.send(serialize_garbled(&garbled));
+        transport.send_owned(serialize_garbled(&garbled));
         let rots =
             rot_sender_offline(group, transport, circuit.evaluator_inputs as usize, rng);
         Self { encoding, rots }
@@ -48,7 +48,7 @@ impl GarblerSession {
             .enumerate()
             .flat_map(|(i, &b)| self.encoding.garbler_label(i, b).to_le_bytes())
             .collect();
-        transport.send(labels);
+        transport.send_owned(labels);
         let pairs: Vec<(Label, Label)> = (0..self.encoding.evaluator_zero.len())
             .map(|i| self.encoding.evaluator_pair(i))
             .collect();

@@ -5,7 +5,7 @@
 //! Criterion, and integration tests assert the analytic counts match the
 //! instrumented ones.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A snapshot of homomorphic operation counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -71,9 +71,20 @@ impl OpCounts {
 }
 
 /// Interior-mutable counter cell owned by an evaluator.
+///
+/// Backed by per-field atomics so an `Evaluator`/`Encryptor` can be
+/// shared across threads (the TCP serving stack runs a session's offline
+/// producer concurrently with its online worker).
 #[derive(Debug, Default)]
 pub struct OpCounters {
-    counts: Cell<OpCounts>,
+    rotations: AtomicU64,
+    mul_plain: AtomicU64,
+    add: AtomicU64,
+    add_plain: AtomicU64,
+    encrypt: AtomicU64,
+    decrypt: AtomicU64,
+    mul_ct: AtomicU64,
+    relin: AtomicU64,
 }
 
 impl OpCounters {
@@ -84,18 +95,43 @@ impl OpCounters {
 
     /// Current snapshot.
     pub fn snapshot(&self) -> OpCounts {
-        self.counts.get()
+        OpCounts {
+            rotations: self.rotations.load(Ordering::Relaxed),
+            mul_plain: self.mul_plain.load(Ordering::Relaxed),
+            add: self.add.load(Ordering::Relaxed),
+            add_plain: self.add_plain.load(Ordering::Relaxed),
+            encrypt: self.encrypt.load(Ordering::Relaxed),
+            decrypt: self.decrypt.load(Ordering::Relaxed),
+            mul_ct: self.mul_ct.load(Ordering::Relaxed),
+            relin: self.relin.load(Ordering::Relaxed),
+        }
     }
 
     /// Resets everything to zero.
     pub fn reset(&self) {
-        self.counts.set(OpCounts::default());
+        self.rotations.store(0, Ordering::Relaxed);
+        self.mul_plain.store(0, Ordering::Relaxed);
+        self.add.store(0, Ordering::Relaxed);
+        self.add_plain.store(0, Ordering::Relaxed);
+        self.encrypt.store(0, Ordering::Relaxed);
+        self.decrypt.store(0, Ordering::Relaxed);
+        self.mul_ct.store(0, Ordering::Relaxed);
+        self.relin.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn bump(&self, f: impl FnOnce(&mut OpCounts)) {
-        let mut c = self.counts.get();
-        f(&mut c);
-        self.counts.set(c);
+        // Every caller only increments, so the closure's effect on a
+        // zeroed snapshot is exactly the delta to add.
+        let mut delta = OpCounts::default();
+        f(&mut delta);
+        self.rotations.fetch_add(delta.rotations, Ordering::Relaxed);
+        self.mul_plain.fetch_add(delta.mul_plain, Ordering::Relaxed);
+        self.add.fetch_add(delta.add, Ordering::Relaxed);
+        self.add_plain.fetch_add(delta.add_plain, Ordering::Relaxed);
+        self.encrypt.fetch_add(delta.encrypt, Ordering::Relaxed);
+        self.decrypt.fetch_add(delta.decrypt, Ordering::Relaxed);
+        self.mul_ct.fetch_add(delta.mul_ct, Ordering::Relaxed);
+        self.relin.fetch_add(delta.relin, Ordering::Relaxed);
     }
 }
 

@@ -12,14 +12,18 @@ use crate::poly::RnsPoly;
 use crate::u256::U256;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// Client-side encryptor/decryptor holding the secret key.
+///
+/// The encryption rng sits behind a mutex so one encryptor can serve a
+/// session's offline-producer thread and online thread concurrently (the
+/// masks cancel exactly, so encryption randomness never affects results).
 #[derive(Debug)]
 pub struct Encryptor {
     ctx: HeContext,
     sk: SecretKey,
-    rng: RefCell<StdRng>,
+    rng: Mutex<StdRng>,
     counters: OpCounters,
 }
 
@@ -29,7 +33,7 @@ impl Encryptor {
         Self {
             ctx: ctx.clone(),
             sk,
-            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
             counters: OpCounters::new(),
         }
     }
@@ -48,7 +52,7 @@ impl Encryptor {
     pub fn encrypt(&self, pt: &Plaintext) -> Ciphertext {
         self.counters.bump(|c| c.encrypt += 1);
         let ctx = &self.ctx;
-        let mut rng = self.rng.borrow_mut();
+        let mut rng = self.rng.lock().expect("encryptor rng mutex poisoned");
         let mut seed = [0u8; 32];
         rand::Rng::fill(&mut *rng, &mut seed);
         let a = Ciphertext::a_from_seed(ctx, &seed);

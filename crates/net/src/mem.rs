@@ -1,7 +1,7 @@
 //! In-process channel transport between two party threads.
 
 use crate::metering::Meter;
-use crate::transport::Transport;
+use crate::transport::{MeteredTransport, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
 
@@ -42,7 +42,13 @@ impl MemTransport {
 }
 
 impl Transport for MemTransport {
-    fn send(&self, bytes: Vec<u8>) {
+    fn send(&self, bytes: &[u8]) {
+        self.send_owned(bytes.to_vec());
+    }
+
+    /// Owned sends move straight into the channel — the in-process hot
+    /// path stays zero-copy.
+    fn send_owned(&self, bytes: Vec<u8>) {
         if self.is_client {
             self.meter.c2s.record(bytes.len());
         } else {
@@ -53,6 +59,12 @@ impl Transport for MemTransport {
 
     fn recv(&self) -> Vec<u8> {
         self.rx.recv().expect("peer endpoint dropped mid-protocol")
+    }
+}
+
+impl MeteredTransport for MemTransport {
+    fn meter(&self) -> &Arc<Meter> {
+        &self.meter
     }
 }
 
@@ -134,9 +146,9 @@ mod tests {
         let h = std::thread::spawn(move || {
             let msg = s.recv();
             let vals = wire::decode_u64s(&msg);
-            s.send(wire::encode_u64s(&[vals.iter().sum::<u64>()]));
+            s.send(&wire::encode_u64s(&[vals.iter().sum::<u64>()]));
         });
-        c.send(wire::encode_u64s(&[1, 2, 3]));
+        c.send(&wire::encode_u64s(&[1, 2, 3]));
         let reply = wire::decode_u64s(&c.recv());
         h.join().expect("server ok");
         assert_eq!(reply, vec![6]);
@@ -153,18 +165,18 @@ mod tests {
         let (c_out, s_out, meter) = run_two_party_persistent(
             vec![10u64, 20, 30],
             |t: &MemTransport| {
-                t.send(wire::encode_u64s(&[100]));
+                t.send(&wire::encode_u64s(&[100]));
                 0u64 // client state: rounds seen
             },
             |seen: &mut u64, q: u64, t: &MemTransport| {
                 *seen += 1;
-                t.send(wire::encode_u64s(&[q]));
+                t.send(&wire::encode_u64s(&[q]));
                 wire::decode_u64s(&t.recv())[0]
             },
             |t: &MemTransport| wire::decode_u64s(&t.recv())[0], // server state: base
             |base: &mut u64, round: usize, t: &MemTransport| {
                 let q = wire::decode_u64s(&t.recv())[0];
-                t.send(wire::encode_u64s(&[*base + q]));
+                t.send(&wire::encode_u64s(&[*base + q]));
                 round
             },
         );
@@ -178,7 +190,7 @@ mod tests {
     fn persistent_parties_with_no_rounds_still_run_setup() {
         let (c_out, s_out, meter) = run_two_party_persistent(
             Vec::<u64>::new(),
-            |t: &MemTransport| t.send(vec![1, 2, 3]),
+            |t: &MemTransport| t.send(&[1, 2, 3]),
             |_: &mut (), q: u64, _: &MemTransport| q,
             |t: &MemTransport| t.recv().len(),
             |len: &mut usize, _: usize, _: &MemTransport| *len,
@@ -192,12 +204,12 @@ mod tests {
     fn run_two_party_returns_both_results() {
         let (c_out, s_out, meter) = run_two_party(
             |t| {
-                t.send(vec![9]);
+                t.send(&[9]);
                 t.recv()[0]
             },
             |t| {
                 let v = t.recv()[0];
-                t.send(vec![v + 1]);
+                t.send(&[v + 1]);
                 v
             },
         );

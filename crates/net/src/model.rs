@@ -22,6 +22,15 @@ impl NetworkModel {
         Self { latency: Duration::from_micros(2300), bandwidth_bps: 100.0e6 }
     }
 
+    /// A WAN setting: 40 ms one-way delay, 9 MB/s (~72 Mbit/s). These
+    /// are the round numbers the 2PC-inference literature evaluates
+    /// under (Cheetah/Iron-style WAN: tens of ms RTT, sub-100 Mbit
+    /// links); the paper itself only reports LAN, so this profile is
+    /// what "Primer over a real WAN" is measured against.
+    pub fn paper_wan() -> Self {
+        Self { latency: Duration::from_millis(40), bandwidth_bps: 9.0e6 }
+    }
+
     /// An ideal link (zero cost) for isolating compute time.
     pub fn ideal() -> Self {
         Self { latency: Duration::ZERO, bandwidth_bps: f64::INFINITY }
@@ -54,6 +63,16 @@ mod tests {
         // 10 messages, 100 MB → 10×2.3ms + 1s.
         let t = m.time_for(10, 100_000_000);
         assert!((t.as_secs_f64() - 1.023).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_wan_numbers() {
+        let m = NetworkModel::paper_wan();
+        // 5 messages, 9 MB → 5×40ms + 1s.
+        let t = m.time_for(5, 9_000_000);
+        assert!((t.as_secs_f64() - 1.2).abs() < 1e-9);
+        // WAN dominates LAN for the same transcript.
+        assert!(t > NetworkModel::paper_lan().time_for(5, 9_000_000));
     }
 
     #[test]

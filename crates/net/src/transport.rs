@@ -1,12 +1,27 @@
 //! The blocking message transport used by every two-party protocol.
 
+use crate::metering::Meter;
+use std::sync::Arc;
+
 /// A reliable, ordered, blocking message channel to the peer party.
 ///
 /// Implementations meter all traffic; protocol time models convert the
 /// metered bytes/messages into network time using [`crate::NetworkModel`].
 pub trait Transport {
-    /// Sends one message to the peer.
-    fn send(&self, bytes: Vec<u8>);
+    /// Sends one message to the peer. The transport copies (or writes)
+    /// the bytes before returning; the caller keeps ownership, so hot
+    /// protocol paths can send borrowed buffers without a forced
+    /// allocation per flight.
+    fn send(&self, bytes: &[u8]);
+
+    /// Sends one message the caller no longer needs. Channel-backed
+    /// transports override this to move the buffer instead of copying
+    /// it ([`crate::MemTransport`] does); stream-backed transports fall
+    /// back to the borrowed path. Callers that just built an owned
+    /// `Vec` should prefer this.
+    fn send_owned(&self, bytes: Vec<u8>) {
+        self.send(&bytes);
+    }
 
     /// Receives the next message from the peer (blocking).
     ///
@@ -15,6 +30,19 @@ pub trait Transport {
     /// Panics if the peer disconnected with messages outstanding — a
     /// protocol logic error, not a runtime condition to handle.
     fn recv(&self) -> Vec<u8>;
+}
+
+/// A transport whose endpoint exposes a traffic [`Meter`].
+///
+/// The in-process [`crate::MemTransport`] shares one meter between both
+/// endpoints; TCP endpoints each own a per-channel meter that records
+/// their sends plus the peer's messages as they are consumed, so both
+/// meters agree at every protocol synchronization point. The session
+/// engine's per-phase traffic attribution only needs *a* meter whose
+/// deltas bracket the phases it runs on this transport.
+pub trait MeteredTransport: Transport {
+    /// The endpoint's traffic meter.
+    fn meter(&self) -> &Arc<Meter>;
 }
 
 /// Helpers for shipping `u64` matrices/vectors without a serde dependency.

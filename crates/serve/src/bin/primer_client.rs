@@ -1,0 +1,130 @@
+//! `primer-client` — run private inferences against a `primer-server`.
+//!
+//! ```text
+//! primer-client [--addr 127.0.0.1:9470] [--variant base|f|fp|fpc]
+//!               [--mode simulated|garbled] [--queries N] [--pool N] [--seed N]
+//!               [--tokens "1,2,3,4;5,6,7,8"] [--wan | --lan]
+//! ```
+//!
+//! Without `--tokens`, generates `--queries` random token sequences
+//! from `--seed`. Prints one line per prediction plus the server's
+//! session summary.
+
+use primer_core::{GcMode, ProtocolVariant};
+use primer_net::NetworkModel;
+use primer_serve::{run_queries, run_random_queries, ClientConfig};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: primer-client [--addr HOST:PORT] [--variant base|f|fp|fpc] \
+         [--mode simulated|garbled] [--queries N] [--pool N] [--seed N] \
+         [--tokens \"1,2,3;4,5,6\"] [--wan | --lan]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:9470".to_string();
+    let mut cfg = ClientConfig::new(ProtocolVariant::Fpc);
+    let mut queries = 1usize;
+    let mut tokens: Option<Vec<Vec<usize>>> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = value(&mut i),
+            "--variant" => {
+                cfg.variant = match value(&mut i).as_str() {
+                    "base" => ProtocolVariant::Base,
+                    "f" => ProtocolVariant::F,
+                    "fp" => ProtocolVariant::Fp,
+                    "fpc" => ProtocolVariant::Fpc,
+                    other => {
+                        eprintln!("unknown variant {other:?}");
+                        usage()
+                    }
+                };
+            }
+            "--mode" => {
+                cfg.mode = match value(&mut i).as_str() {
+                    "simulated" => GcMode::Simulated,
+                    "garbled" => GcMode::Garbled,
+                    other => {
+                        eprintln!("unknown mode {other:?}");
+                        usage()
+                    }
+                };
+            }
+            "--queries" => queries = parse(&value(&mut i)) as usize,
+            "--pool" => cfg.pool = parse(&value(&mut i)) as usize,
+            "--seed" => cfg.seed = parse(&value(&mut i)),
+            "--tokens" => tokens = Some(parse_tokens(&value(&mut i))),
+            "--wan" => cfg.shape = Some(NetworkModel::paper_wan()),
+            "--lan" => cfg.shape = Some(NetworkModel::paper_lan()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    // Explicit tokens fix the query list; otherwise random queries are
+    // sampled from --seed once the handshake announces the model shape.
+    let outcome = match tokens {
+        Some(qs) => run_queries(&addr, &cfg, &qs),
+        None => run_random_queries(&addr, &cfg, queries),
+    };
+    match outcome {
+        Ok(out) => {
+            for (i, p) in out.predictions.iter().enumerate() {
+                println!("query {i}: class {} logits {:?}", p.predicted, p.logits);
+            }
+            let s = &out.summary;
+            println!(
+                "session {}: {} queries, offline {:.1} ms / {} B, online {:.1} ms / {} B, \
+                 setup {:.1} ms / {} B, client traffic {} B",
+                s.session_id,
+                s.queries,
+                s.offline.compute_ns as f64 / 1e6,
+                s.offline.bytes,
+                s.online.compute_ns as f64 / 1e6,
+                s.online.bytes,
+                s.setup.compute_ns as f64 / 1e6,
+                s.setup.bytes,
+                out.client_traffic.total_bytes(),
+            );
+        }
+        Err(e) => {
+            eprintln!("client: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn parse(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s:?}");
+        usage()
+    })
+}
+
+fn parse_tokens(s: &str) -> Vec<Vec<usize>> {
+    s.split(';')
+        .map(|q| {
+            q.split(',')
+                .map(|t| t.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("bad token {t:?}");
+                    usage()
+                }))
+                .collect()
+        })
+        .collect()
+}

@@ -1,0 +1,102 @@
+//! `primer-server` — serve a Primer model to TCP clients.
+//!
+//! ```text
+//! primer-server [--addr 127.0.0.1:9470] [--model test-tiny] [--profile test|paper]
+//!               [--weight-seed 7] [--seed 40] [--max-workers 4] [--pool 2]
+//!               [--sessions N] [--wan | --lan]
+//! ```
+//!
+//! Prints `listening on <addr>` once bound (machine-readable for smoke
+//! tests with `--addr 127.0.0.1:0`). With `--sessions N` it serves
+//! exactly N sessions, prints the aggregated stats table and exits;
+//! otherwise it serves forever.
+
+use primer_net::NetworkModel;
+use primer_serve::{model_by_name, Profile, Server, ServerConfig};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: primer-server [--addr HOST:PORT] [--model NAME] [--profile test|paper] \
+         [--weight-seed N] [--seed N] [--max-workers N] [--pool N] [--sessions N] \
+         [--wan | --lan]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:9470".to_string();
+    let mut config = ServerConfig::test_default(
+        model_by_name("test-tiny").expect("known model"),
+    );
+    let mut sessions: Option<usize> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = value(&mut i),
+            "--model" => {
+                let name = value(&mut i);
+                config.model = model_by_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown model {name:?}");
+                    usage()
+                });
+            }
+            "--profile" => {
+                config.profile = match value(&mut i).as_str() {
+                    "test" => Profile::Test,
+                    "paper" => Profile::Paper,
+                    other => {
+                        eprintln!("unknown profile {other:?}");
+                        usage()
+                    }
+                };
+            }
+            "--weight-seed" => config.weight_seed = parse(&value(&mut i)),
+            "--seed" => config.seed = parse(&value(&mut i)),
+            "--max-workers" => config.max_workers = parse(&value(&mut i)) as usize,
+            "--pool" => config.pool = parse(&value(&mut i)) as usize,
+            "--sessions" => sessions = Some(parse(&value(&mut i)) as usize),
+            "--wan" => config.shape = Some(NetworkModel::paper_wan()),
+            "--lan" => config.shape = Some(NetworkModel::paper_lan()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    let server = Server::bind(&addr, config).unwrap_or_else(|e| {
+        eprintln!("bind {addr}: {e}");
+        exit(1);
+    });
+    let bound = server.local_addr().expect("bound address");
+    println!("listening on {bound}");
+
+    match sessions {
+        Some(n) => {
+            let stats = server.serve_sessions(n);
+            print!("{}", stats.render());
+        }
+        None => {
+            if let Err(e) = server.run_forever() {
+                eprintln!("serve: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
+fn parse(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s:?}");
+        usage()
+    })
+}

@@ -1,0 +1,247 @@
+//! The client side: connect, negotiate, run queries over a pipelined
+//! session, collect the server's summary.
+
+use crate::proto::{ClientHello, ProtoError, ServerWelcome, SessionSummary};
+use crate::{maybe_shaped, system_for, CH_CONTROL, CH_OFFLINE, CH_ONLINE};
+use primer_core::{argmax_logits, build_session_circuits, ClientSession, GcMode, ProtocolVariant};
+use primer_math::rng::seeded;
+use primer_net::tcp::TcpConnection;
+use primer_net::{NetworkModel, TrafficSnapshot};
+use primer_nn::{FixedTransformer, TransformerConfig, TransformerWeights};
+use std::io;
+use std::net::ToSocketAddrs;
+use std::sync::Arc;
+
+/// Everything a client run is configured with.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Protocol variant to request.
+    pub variant: ProtocolVariant,
+    /// GC execution mode to request.
+    pub mode: GcMode,
+    /// Offline pool bound to pipeline with.
+    pub pool: usize,
+    /// Client-side session seed (masks, keys, encryption randomness).
+    ///
+    /// **Privacy:** two sessions run from the same seed reuse the same
+    /// mask stream, so the server can difference their masked inputs
+    /// and learn how the private queries differ. The default is fresh
+    /// OS entropy per config; pin a seed only for reproducibility
+    /// experiments with non-sensitive inputs.
+    pub seed: u64,
+    /// Optional traffic shaping on the client's channels (one shared
+    /// link shaper covers all channels of the connection).
+    pub shape: Option<NetworkModel>,
+}
+
+impl ClientConfig {
+    /// Defaults: the full Primer variant, simulated GC, pool of 2, and
+    /// a fresh entropy-derived session seed (see [`ClientConfig::seed`]).
+    pub fn new(variant: ProtocolVariant) -> Self {
+        Self { variant, mode: GcMode::Simulated, pool: 2, seed: entropy_seed(), shape: None }
+    }
+}
+
+/// A fresh unpredictable seed from OS entropy (`RandomState` hashes
+/// per-process random keys), without a dependency on an OS rng crate.
+fn entropy_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u64(std::time::UNIX_EPOCH.elapsed().map_or(0, |d| d.subsec_nanos() as u64));
+    h.finish()
+}
+
+/// One query's reconstructed result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prediction {
+    /// Reconstructed fixed-point logits.
+    pub logits: Vec<i64>,
+    /// Argmax class (lowest index wins ties, like the engine).
+    pub predicted: usize,
+}
+
+/// What a completed client run returns.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Server-assigned session id.
+    pub session_id: u64,
+    /// The negotiated model configuration.
+    pub model: TransformerConfig,
+    /// Per-query results, in submission order.
+    pub predictions: Vec<Prediction>,
+    /// The server's end-of-session stats.
+    pub summary: SessionSummary,
+    /// Client-side metered traffic (online + offline channels; the
+    /// control channel's few handshake bytes are not session traffic).
+    pub client_traffic: TrafficSnapshot,
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Handshake/stats decoding failure or server rejection.
+    Proto(ProtoError),
+    /// The negotiated model cannot be instantiated or the queries do
+    /// not fit it.
+    Config(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Config(m) => write!(f, "config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// Connects to a server, negotiates a session and runs `queries`
+/// private inferences through it, with offline bundle production
+/// pipelined on its own connection channel.
+///
+/// # Errors
+///
+/// [`ClientError`] on socket failures, handshake rejection, or a model
+/// the queries do not fit.
+pub fn run_queries<A: ToSocketAddrs>(
+    addr: A,
+    cfg: &ClientConfig,
+    queries: &[Vec<usize>],
+) -> Result<RunOutcome, ClientError> {
+    run_with(addr, cfg, queries.len(), |model| {
+        for (i, q) in queries.iter().enumerate() {
+            if q.len() != model.n_tokens {
+                return Err(ClientError::Config(format!(
+                    "query {i} has {} tokens, the negotiated model takes {}",
+                    q.len(),
+                    model.n_tokens
+                )));
+            }
+            if let Some(&tok) = q.iter().find(|&&tok| tok >= model.vocab) {
+                return Err(ClientError::Config(format!(
+                    "query {i} token {tok} outside vocab {}",
+                    model.vocab
+                )));
+            }
+        }
+        Ok(queries.to_vec())
+    })
+}
+
+/// Like [`run_queries`], but samples `n` random token sequences from
+/// `cfg.seed` once the model shape is known (the handshake announces
+/// it) — what `primer-client` runs without `--tokens`.
+///
+/// # Errors
+///
+/// [`ClientError`] on socket failures or handshake rejection.
+pub fn run_random_queries<A: ToSocketAddrs>(
+    addr: A,
+    cfg: &ClientConfig,
+    n: usize,
+) -> Result<RunOutcome, ClientError> {
+    let seed = cfg.seed;
+    run_with(addr, cfg, n, move |model| {
+        use rand::Rng;
+        let mut rng = seeded(seed ^ 0x70_6b_65_6e);
+        Ok((0..n)
+            .map(|_| (0..model.n_tokens).map(|_| rng.gen_range(0..model.vocab)).collect())
+            .collect())
+    })
+}
+
+/// The shared client run: handshake, then build queries from the
+/// negotiated model, then the pipelined session.
+fn run_with<A: ToSocketAddrs>(
+    addr: A,
+    cfg: &ClientConfig,
+    count: usize,
+    make_queries: impl FnOnce(&TransformerConfig) -> Result<Vec<Vec<usize>>, ClientError>,
+) -> Result<RunOutcome, ClientError> {
+    let mut conn = TcpConnection::connect(addr)?;
+    let shaper = cfg.shape.map(primer_net::LinkShaper::new);
+    let online_t = maybe_shaped(conn.take_channel(CH_ONLINE), shaper.as_ref());
+    let offline_t = maybe_shaped(conn.take_channel(CH_OFFLINE), shaper.as_ref());
+    let control = maybe_shaped(conn.take_channel(CH_CONTROL), shaper.as_ref());
+
+    control.send(
+        &ClientHello {
+            variant: cfg.variant,
+            mode: cfg.mode,
+            queries: count as u32,
+            pool: cfg.pool as u32,
+        }
+        .encode(),
+    );
+    let welcome = ServerWelcome::decode(&control.recv())?;
+    let model = welcome.model.clone();
+    let queries = make_queries(&model)?;
+    assert_eq!(queries.len(), count, "query factory must honor the announced count");
+
+    // Reconstruct the identical quantized model from the negotiated
+    // seed: the GC step circuits bake in LayerNorm constants, so the
+    // garbler needs them too.
+    let sys = system_for(welcome.profile, &model).map_err(|e| ClientError::Config(e.to_string()))?;
+    let weights = TransformerWeights::random(&model, &mut seeded(welcome.weight_seed));
+    let fixed = Arc::new(FixedTransformer::quantize(&model, &weights, sys.pipeline));
+    let circuits = Arc::new(build_session_circuits(&sys, cfg.variant, &fixed));
+
+    let session = ClientSession::setup(
+        sys,
+        cfg.variant,
+        cfg.mode,
+        fixed,
+        circuits,
+        cfg.seed,
+        queries.len(),
+        cfg.pool.max(1),
+        &*online_t,
+    );
+    let (producer, mut online) = session.into_pipelined(cfg.pool.max(1));
+
+    let offline_meter = Arc::clone(offline_t.meter());
+    let producer_handle = std::thread::Builder::new()
+        .name("offline-producer-client".into())
+        .spawn(move || producer.run(&*offline_t))
+        .expect("spawn offline producer");
+
+    let predictions: Vec<Prediction> = queries
+        .iter()
+        .map(|q| {
+            let logits = online.infer(q, &*online_t);
+            Prediction { predicted: argmax_logits(&logits), logits }
+        })
+        .collect();
+
+    let summary = SessionSummary::decode(&control.recv())?;
+    producer_handle
+        .join()
+        .map_err(|_| ClientError::Config("offline producer thread panicked".into()))?;
+
+    let client_traffic = TrafficSnapshot::capture(online_t.meter())
+        .plus(&TrafficSnapshot::capture(&offline_meter));
+    Ok(RunOutcome {
+        session_id: welcome.session_id,
+        model,
+        predictions,
+        summary,
+        client_traffic,
+    })
+}

@@ -1,0 +1,475 @@
+//! The serving handshake and stats frames (control-channel protocol).
+//!
+//! All frames ride the control channel ([`crate::CH_CONTROL`]) so the
+//! online channel's meter sees exactly the traffic the session engine
+//! attributes (setup + per-query online), nothing else.
+//!
+//! Sequence, client speaks first:
+//!
+//! 1. client → server: [`ClientHello`] — protocol version, requested
+//!    variant, GC mode, query count and offline pool bound.
+//! 2. server → client: [`ServerWelcome`] — assigned session id plus the
+//!    served model's full configuration, numeric profile and weight
+//!    seed, so the client can reconstruct the identical quantized model
+//!    (the GC step circuits embed LayerNorm constants, which the client
+//!    garbles). A version/config problem yields a reject frame instead.
+//! 3. (the two-party session runs: Setup + queries on the online
+//!    channel, offline bundle production on the offline channel.)
+//! 4. server → client: [`SessionSummary`] — the server's per-session
+//!    phase totals and traffic attribution.
+//!
+//! Encoding is the same dependency-free little-endian style the wire
+//! helpers use; strings are length-prefixed UTF-8.
+
+use primer_core::{GcMode, ProtocolVariant};
+use primer_net::TrafficSnapshot;
+use primer_nn::TransformerConfig;
+
+/// Version of the handshake + framing described above.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Magic prefix of every hello frame.
+pub const MAGIC: [u8; 4] = *b"PRMR";
+
+/// Errors raised while decoding a peer's frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Frame shorter than its fixed layout or length prefixes claim.
+    Truncated,
+    /// Bad magic bytes — the peer is not speaking this protocol.
+    BadMagic,
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Version the peer announced.
+        theirs: u32,
+    },
+    /// An enum code outside the known range.
+    BadCode(u8),
+    /// The server rejected the hello; the payload explains why.
+    Rejected(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::BadMagic => write!(f, "bad magic (peer is not a primer endpoint)"),
+            ProtoError::VersionMismatch { theirs } => {
+                write!(f, "protocol version mismatch (ours {PROTOCOL_VERSION}, theirs {theirs})")
+            }
+            ProtoError::BadCode(c) => write!(f, "unknown enum code {c}"),
+            ProtoError::Rejected(msg) => write!(f, "server rejected session: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---- primitive cursor ----------------------------------------------------
+
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::Truncated)
+    }
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---- enum codes ----------------------------------------------------------
+
+pub(crate) fn variant_code(v: ProtocolVariant) -> u8 {
+    match v {
+        ProtocolVariant::Base => 0,
+        ProtocolVariant::F => 1,
+        ProtocolVariant::Fp => 2,
+        ProtocolVariant::Fpc => 3,
+    }
+}
+
+pub(crate) fn variant_from_code(c: u8) -> Result<ProtocolVariant, ProtoError> {
+    Ok(match c {
+        0 => ProtocolVariant::Base,
+        1 => ProtocolVariant::F,
+        2 => ProtocolVariant::Fp,
+        3 => ProtocolVariant::Fpc,
+        _ => return Err(ProtoError::BadCode(c)),
+    })
+}
+
+pub(crate) fn mode_code(m: GcMode) -> u8 {
+    match m {
+        GcMode::Simulated => 0,
+        GcMode::Garbled => 1,
+    }
+}
+
+pub(crate) fn mode_from_code(c: u8) -> Result<GcMode, ProtoError> {
+    Ok(match c {
+        0 => GcMode::Simulated,
+        1 => GcMode::Garbled,
+        _ => return Err(ProtoError::BadCode(c)),
+    })
+}
+
+/// Numeric profile negotiated for a session (which
+/// [`primer_core::SystemConfig`] constructor both parties run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// `SystemConfig::test_profile` (n = 2048 ring, fast tests).
+    Test,
+    /// `SystemConfig::paper_profile` (n = 8192, paper parameters).
+    Paper,
+}
+
+pub(crate) fn profile_code(p: Profile) -> u8 {
+    match p {
+        Profile::Test => 0,
+        Profile::Paper => 1,
+    }
+}
+
+pub(crate) fn profile_from_code(c: u8) -> Result<Profile, ProtoError> {
+    Ok(match c {
+        0 => Profile::Test,
+        1 => Profile::Paper,
+        _ => return Err(ProtoError::BadCode(c)),
+    })
+}
+
+// ---- frames --------------------------------------------------------------
+
+/// The client's opening frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// Requested protocol variant (Table II row).
+    pub variant: ProtocolVariant,
+    /// Requested GC execution mode (must match on both sides — the two
+    /// modes put different bytes on the wire).
+    pub mode: GcMode,
+    /// How many queries this session will run.
+    pub queries: u32,
+    /// Offline pool bound the client will pipeline with.
+    pub pool: u32,
+}
+
+impl ClientHello {
+    /// Encodes the hello frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, PROTOCOL_VERSION);
+        out.push(variant_code(self.variant));
+        out.push(mode_code(self.mode));
+        put_u32(&mut out, self.queries);
+        put_u32(&mut out, self.pool);
+        out
+    }
+
+    /// Decodes a hello frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on truncation, bad magic, version or code.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(c.take(4)?);
+        if magic != MAGIC {
+            return Err(ProtoError::BadMagic);
+        }
+        let version = c.u32()?;
+        if version != PROTOCOL_VERSION {
+            return Err(ProtoError::VersionMismatch { theirs: version });
+        }
+        Ok(Self {
+            variant: variant_from_code(c.u8()?)?,
+            mode: mode_from_code(c.u8()?)?,
+            queries: c.u32()?,
+            pool: c.u32()?,
+        })
+    }
+}
+
+const STATUS_OK: u8 = 0;
+const STATUS_REJECT: u8 = 1;
+
+/// The server's accept frame: everything the client needs to
+/// reconstruct the identical quantized model and system configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerWelcome {
+    /// Server-assigned session id (stable in logs/registry).
+    pub session_id: u64,
+    /// Numeric profile to instantiate.
+    pub profile: Profile,
+    /// Seed the server's deterministic weights were drawn from.
+    pub weight_seed: u64,
+    /// The served model's hyper-parameters.
+    pub model: TransformerConfig,
+}
+
+impl ServerWelcome {
+    /// Encodes the welcome (status-OK) frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![STATUS_OK];
+        put_u64(&mut out, self.session_id);
+        out.push(profile_code(self.profile));
+        put_u64(&mut out, self.weight_seed);
+        let m = &self.model;
+        put_string(&mut out, &m.name);
+        for dim in [m.vocab, m.n_blocks, m.d_model, m.n_heads, m.n_tokens, m.d_ff, m.n_classes] {
+            put_u32(&mut out, dim as u32);
+        }
+        out
+    }
+
+    /// Encodes a rejection with a reason.
+    pub fn encode_reject(reason: &str) -> Vec<u8> {
+        let mut out = vec![STATUS_REJECT];
+        put_string(&mut out, reason);
+        out
+    }
+
+    /// Decodes a welcome or rejection frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Rejected`] when the server declined, other
+    /// [`ProtoError`]s on malformed frames.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        match c.u8()? {
+            STATUS_OK => {}
+            STATUS_REJECT => return Err(ProtoError::Rejected(c.string()?)),
+            other => return Err(ProtoError::BadCode(other)),
+        }
+        let session_id = c.u64()?;
+        let profile = profile_from_code(c.u8()?)?;
+        let weight_seed = c.u64()?;
+        let name = c.string()?;
+        let mut dims = [0usize; 7];
+        for d in &mut dims {
+            *d = c.u32()? as usize;
+        }
+        let [vocab, n_blocks, d_model, n_heads, n_tokens, d_ff, n_classes] = dims;
+        Ok(Self {
+            session_id,
+            profile,
+            weight_seed,
+            model: TransformerConfig {
+                name,
+                vocab,
+                n_blocks,
+                d_model,
+                n_heads,
+                n_tokens,
+                d_ff,
+                n_classes,
+            },
+        })
+    }
+}
+
+/// One phase's cost as the summary frame carries it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseSummary {
+    /// Server-side compute nanoseconds.
+    pub compute_ns: u64,
+    /// Bytes on the wire.
+    pub bytes: u64,
+    /// Message flights.
+    pub messages: u64,
+}
+
+/// The server's end-of-session stats frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// Session id (matches the welcome).
+    pub session_id: u64,
+    /// Queries served.
+    pub queries: u64,
+    /// One-time session setup.
+    pub setup: PhaseSummary,
+    /// Sum of per-query offline phases.
+    pub offline: PhaseSummary,
+    /// Sum of per-query online phases.
+    pub online: PhaseSummary,
+    /// Total per-query traffic (offline + online, both directions).
+    pub traffic: TrafficSnapshot,
+}
+
+fn put_phase(out: &mut Vec<u8>, p: &PhaseSummary) {
+    put_u64(out, p.compute_ns);
+    put_u64(out, p.bytes);
+    put_u64(out, p.messages);
+}
+
+fn get_phase(c: &mut Cursor<'_>) -> Result<PhaseSummary, ProtoError> {
+    Ok(PhaseSummary { compute_ns: c.u64()?, bytes: c.u64()?, messages: c.u64()? })
+}
+
+impl SessionSummary {
+    /// Encodes the summary frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.session_id);
+        put_u64(&mut out, self.queries);
+        for p in [&self.setup, &self.offline, &self.online] {
+            put_phase(&mut out, p);
+        }
+        for v in [
+            self.traffic.c2s_bytes,
+            self.traffic.s2c_bytes,
+            self.traffic.c2s_messages,
+            self.traffic.s2c_messages,
+        ] {
+            put_u64(&mut out, v);
+        }
+        out
+    }
+
+    /// Decodes a summary frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Truncated`] on malformed frames.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        Ok(Self {
+            session_id: c.u64()?,
+            queries: c.u64()?,
+            setup: get_phase(&mut c)?,
+            offline: get_phase(&mut c)?,
+            online: get_phase(&mut c)?,
+            traffic: TrafficSnapshot {
+                c2s_bytes: c.u64()?,
+                s2c_bytes: c.u64()?,
+                c2s_messages: c.u64()?,
+                s2c_messages: c.u64()?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip() {
+        let h = ClientHello {
+            variant: ProtocolVariant::Fpc,
+            mode: GcMode::Garbled,
+            queries: 12,
+            pool: 3,
+        };
+        assert_eq!(ClientHello::decode(&h.encode()).expect("decode"), h);
+    }
+
+    #[test]
+    fn hello_rejects_bad_magic_and_version() {
+        let mut bytes = ClientHello {
+            variant: ProtocolVariant::F,
+            mode: GcMode::Simulated,
+            queries: 1,
+            pool: 1,
+        }
+        .encode();
+        bytes[0] = b'X';
+        assert_eq!(ClientHello::decode(&bytes), Err(ProtoError::BadMagic));
+        let mut bytes2 = ClientHello {
+            variant: ProtocolVariant::F,
+            mode: GcMode::Simulated,
+            queries: 1,
+            pool: 1,
+        }
+        .encode();
+        bytes2[4] = 99;
+        assert!(matches!(
+            ClientHello::decode(&bytes2),
+            Err(ProtoError::VersionMismatch { theirs: 99 })
+        ));
+    }
+
+    #[test]
+    fn welcome_roundtrip_carries_model() {
+        let w = ServerWelcome {
+            session_id: 7,
+            profile: Profile::Test,
+            weight_seed: 1234,
+            model: TransformerConfig::test_small(),
+        };
+        let got = ServerWelcome::decode(&w.encode()).expect("decode");
+        assert_eq!(got, w);
+        assert_eq!(got.model.d_ff, 4 * got.model.d_model);
+    }
+
+    #[test]
+    fn reject_surfaces_reason() {
+        let bytes = ServerWelcome::encode_reject("over capacity");
+        assert_eq!(
+            ServerWelcome::decode(&bytes),
+            Err(ProtoError::Rejected("over capacity".into()))
+        );
+    }
+
+    #[test]
+    fn summary_roundtrip() {
+        let s = SessionSummary {
+            session_id: 3,
+            queries: 5,
+            setup: PhaseSummary { compute_ns: 10, bytes: 20, messages: 1 },
+            offline: PhaseSummary { compute_ns: 30, bytes: 40, messages: 6 },
+            online: PhaseSummary { compute_ns: 50, bytes: 60, messages: 9 },
+            traffic: TrafficSnapshot {
+                c2s_bytes: 100,
+                s2c_bytes: 200,
+                c2s_messages: 7,
+                s2c_messages: 8,
+            },
+        };
+        assert_eq!(SessionSummary::decode(&s.encode()).expect("decode"), s);
+    }
+}

@@ -1,0 +1,129 @@
+//! Session registry and server-wide stats aggregation.
+
+use primer_core::{PhaseCost, PhaseTotals, ProtocolVariant};
+use primer_net::TrafficSnapshot;
+use std::net::SocketAddr;
+use std::sync::Mutex;
+
+/// What one completed session leaves behind.
+#[derive(Debug, Clone)]
+pub struct SessionRecord {
+    /// Server-assigned session id (handshake order).
+    pub id: u64,
+    /// The client's socket address.
+    pub peer: SocketAddr,
+    /// Variant the session ran.
+    pub variant: ProtocolVariant,
+    /// GC mode the session ran.
+    pub garbled: bool,
+    /// Queries served.
+    pub queries: usize,
+    /// Setup + summed per-query offline/online costs.
+    pub phases: PhaseTotals,
+    /// Summed per-query traffic (offline + online, both directions;
+    /// setup traffic is inside `phases.setup`).
+    pub traffic: TrafficSnapshot,
+}
+
+/// Thread-shared registry the accept loop and workers write into.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    completed: Mutex<Vec<SessionRecord>>,
+}
+
+impl Registry {
+    pub fn record(&self, rec: SessionRecord) {
+        self.completed.lock().expect("registry mutex poisoned").push(rec);
+    }
+
+    pub fn into_stats(self) -> ServerStats {
+        let mut sessions = self.completed.into_inner().expect("registry mutex poisoned");
+        sessions.sort_by_key(|r| r.id);
+        ServerStats { sessions }
+    }
+
+    pub fn snapshot(&self) -> ServerStats {
+        let mut sessions = self.completed.lock().expect("registry mutex poisoned").clone();
+        sessions.sort_by_key(|r| r.id);
+        ServerStats { sessions }
+    }
+}
+
+/// Aggregated view over every completed session.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Per-session records, in session-id order.
+    pub sessions: Vec<SessionRecord>,
+}
+
+impl ServerStats {
+    /// Total queries served across sessions.
+    pub fn total_queries(&self) -> usize {
+        self.sessions.iter().map(|s| s.queries).sum()
+    }
+
+    /// Total bytes on the wire across sessions (setup + offline +
+    /// online).
+    pub fn total_bytes(&self) -> u64 {
+        self.sessions.iter().map(|s| s.traffic.total_bytes() + s.phases.setup.bytes).sum()
+    }
+
+    /// Summed phase costs across sessions.
+    pub fn phase_totals(&self) -> PhaseTotals {
+        let mut acc = PhaseTotals::default();
+        for s in &self.sessions {
+            acc.setup.merge(&s.phases.setup);
+            acc.offline.merge(&s.phases.offline);
+            acc.online.merge(&s.phases.online);
+        }
+        acc
+    }
+
+    /// Sessions that ran a given variant.
+    pub fn sessions_for(&self, variant: ProtocolVariant) -> usize {
+        self.sessions.iter().filter(|s| s.variant == variant).count()
+    }
+
+    /// One line per session plus a totals line (the server binary's
+    /// shutdown report).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<21} {:<11} {:>7}  {:>12}  {:>9}  {:>9}",
+            "id", "peer", "variant", "queries", "bytes", "off(ms)", "on(ms)"
+        );
+        for s in &self.sessions {
+            let _ = writeln!(
+                out,
+                "{:>4}  {:<21} {:<11} {:>7}  {:>12}  {:>9.1}  {:>9.1}",
+                s.id,
+                s.peer.to_string(),
+                s.variant.name(),
+                s.queries,
+                s.traffic.total_bytes(),
+                s.phases.offline.compute.as_secs_f64() * 1e3,
+                s.phases.online.compute.as_secs_f64() * 1e3,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {} sessions, {} queries, {} bytes on the wire",
+            self.sessions.len(),
+            self.total_queries(),
+            self.total_bytes()
+        );
+        out
+    }
+}
+
+/// Accumulates one session's rounds into a [`SessionRecord`].
+pub(crate) fn accumulate_phases(rounds: &[PhaseTotals], setup: PhaseCost) -> PhaseTotals {
+    let mut acc = PhaseTotals { setup, ..Default::default() };
+    for r in rounds {
+        acc.offline.merge(&r.offline);
+        acc.online.merge(&r.online);
+    }
+    acc
+}

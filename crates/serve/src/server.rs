@@ -1,0 +1,327 @@
+//! The concurrent serving side: accept loop, worker scheduler, session
+//! workers with pipelined offline producers, and stats aggregation.
+
+use crate::proto::{ClientHello, Profile, ServerWelcome, SessionSummary};
+use crate::registry::{accumulate_phases, Registry, ServerStats, SessionRecord};
+use crate::{maybe_shaped, phase_summary, system_for, CH_CONTROL, CH_OFFLINE, CH_ONLINE};
+use primer_core::{build_session_circuits, ServerSession, SystemConfig};
+use primer_gc::Circuit;
+use primer_math::rng::seeded;
+use primer_net::tcp::TcpConnection;
+use primer_net::{NetworkModel, TrafficSnapshot};
+use primer_nn::{FixedTransformer, TransformerConfig, TransformerWeights};
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Everything a server instance is configured with.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The model every session serves.
+    pub model: TransformerConfig,
+    /// Numeric profile (HE parameters, fixed format, OT group).
+    pub profile: Profile,
+    /// Seed the deterministic model weights are drawn from; shipped to
+    /// clients in the welcome so both parties quantize the same model.
+    pub weight_seed: u64,
+    /// Base seed for per-session server randomness (each session derives
+    /// its own stream from this and its session id).
+    pub seed: u64,
+    /// Concurrent session cap: connection N+1 waits in the accept
+    /// backlog until a worker slot frees.
+    pub max_workers: usize,
+    /// Per-session offline pool bound. This is a **cap**: a client may
+    /// ask for a smaller pool in its hello, but never a larger one —
+    /// precomputed bundles are the server's memory commitment.
+    pub pool: usize,
+    /// Upper bound on queries a single session may book; hellos beyond
+    /// it are rejected (the query count sizes the session's offline
+    /// production, so it must not be client-unbounded).
+    pub max_queries_per_session: usize,
+    /// Optional traffic shaping applied to every session's channels
+    /// (measured LAN/WAN serving instead of loopback speed). Each
+    /// connection gets one shared link shaper covering all channels.
+    pub shape: Option<NetworkModel>,
+}
+
+impl ServerConfig {
+    /// A test-profile config with sane defaults.
+    pub fn test_default(model: TransformerConfig) -> Self {
+        Self {
+            model,
+            profile: Profile::Test,
+            weight_seed: 7,
+            seed: 40,
+            max_workers: 4,
+            pool: 2,
+            max_queries_per_session: 10_000,
+            shape: None,
+        }
+    }
+}
+
+/// How long a freshly accepted connection gets to complete the
+/// handshake before the worker abandons it — an idle client must not
+/// pin a worker slot forever.
+const HANDSHAKE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// State shared by the accept loop and every worker.
+struct ServerShared {
+    config: ServerConfig,
+    sys: SystemConfig,
+    fixed: Arc<FixedTransformer>,
+    /// Per-variant circuit cache (variant code → circuits); sessions of
+    /// the same variant share one immutable circuit list.
+    circuits: Mutex<HashMap<u8, Arc<Vec<Circuit>>>>,
+    registry: Registry,
+    gate: Gate,
+}
+
+/// Counting gate bounding concurrent session workers.
+struct Gate {
+    active: Mutex<usize>,
+    freed: Condvar,
+    cap: usize,
+}
+
+impl Gate {
+    fn new(cap: usize) -> Self {
+        Self { active: Mutex::new(0), freed: Condvar::new(), cap: cap.max(1) }
+    }
+
+    fn acquire(&self) {
+        let mut n = self.active.lock().expect("gate mutex poisoned");
+        while *n >= self.cap {
+            n = self.freed.wait(n).expect("gate mutex poisoned");
+        }
+        *n += 1;
+    }
+
+    fn release(&self) {
+        *self.active.lock().expect("gate mutex poisoned") -= 1;
+        self.freed.notify_one();
+    }
+}
+
+/// Releases the gate slot even when the worker panics.
+struct GateSlot<'a>(&'a Gate);
+
+impl Drop for GateSlot<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// A bound serving instance. Quantizes the model once; every accepted
+/// connection becomes a session worker (bounded by
+/// [`ServerConfig::max_workers`]) whose offline bundle production runs
+/// on a dedicated producer thread, overlapping in-flight online queries.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+}
+
+impl Server {
+    /// Binds a listener and prepares the shared model state.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or `InvalidInput` when the model cannot be packed
+    /// under the profile's HE parameters.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let sys = system_for(config.profile, &config.model)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let weights = TransformerWeights::random(&config.model, &mut seeded(config.weight_seed));
+        let fixed = Arc::new(FixedTransformer::quantize(&config.model, &weights, sys.pipeline));
+        let gate = Gate::new(config.max_workers);
+        Ok(Self {
+            listener,
+            shared: Arc::new(ServerShared {
+                config,
+                sys,
+                fixed,
+                circuits: Mutex::new(HashMap::new()),
+                registry: Registry::default(),
+                gate,
+            }),
+        })
+    }
+
+    /// The bound address (use with port 0 to serve on an OS-picked
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves exactly `n` sessions, then returns the
+    /// aggregated stats. Worker panics fail the session (logged to
+    /// stderr), not the server.
+    pub fn serve_sessions(self, n: usize) -> ServerStats {
+        let mut handles = Vec::with_capacity(n);
+        for id in 0..n as u64 {
+            match self.listener.accept() {
+                Ok((stream, _)) => handles.push(spawn_worker(&self.shared, stream, id)),
+                Err(e) => eprintln!("accept failed: {e}"),
+            }
+        }
+        for h in handles {
+            if h.join().is_err() {
+                eprintln!("session worker panicked (session failed)");
+            }
+        }
+        drop(self.listener);
+        Arc::try_unwrap(self.shared)
+            .map(|s| s.registry.into_stats())
+            .unwrap_or_else(|shared| shared.registry.snapshot())
+    }
+
+    /// Serves forever, printing one line per completed session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors.
+    pub fn run_forever(self) -> io::Result<()> {
+        let mut id = 0u64;
+        loop {
+            let (stream, peer) = self.listener.accept()?;
+            eprintln!("session {id}: accepted {peer}");
+            let _ = spawn_worker(&self.shared, stream, id);
+            id += 1;
+        }
+    }
+}
+
+fn spawn_worker(
+    shared: &Arc<ServerShared>,
+    stream: TcpStream,
+    id: u64,
+) -> std::thread::JoinHandle<()> {
+    // The slot is taken before the worker starts, so at most
+    // `max_workers` sessions run concurrently; further connections queue
+    // in the OS accept backlog with their handshake unread.
+    shared.gate.acquire();
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        let _slot = GateSlot(&shared.gate);
+        if let Err(e) = serve_session(&shared, stream, id) {
+            eprintln!("session {id} failed: {e}");
+        }
+    })
+}
+
+/// Runs one complete session: handshake, setup, pipelined
+/// offline/online phases, summary, registry record.
+fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Result<()> {
+    let mut conn = TcpConnection::from_stream(stream, false)?;
+    let peer = conn.peer_addr();
+    let shaper = shared.config.shape.map(primer_net::LinkShaper::new);
+    let online_t = maybe_shaped(conn.take_channel(CH_ONLINE), shaper.as_ref());
+    let offline_t = maybe_shaped(conn.take_channel(CH_OFFLINE), shaper.as_ref());
+    let control = maybe_shaped(conn.take_channel(CH_CONTROL), shaper.as_ref());
+
+    // Handshake deadline: a silent client fails the connection instead
+    // of pinning this worker slot until restart.
+    conn.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    let hello = match ClientHello::decode(&control.recv()) {
+        Ok(h) => h,
+        Err(e) => {
+            control.send(&ServerWelcome::encode_reject(&e.to_string()));
+            return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+        }
+    };
+    conn.set_read_timeout(None)?;
+    if hello.queries as usize > shared.config.max_queries_per_session {
+        let reason = format!(
+            "session booked {} queries, server caps at {}",
+            hello.queries, shared.config.max_queries_per_session
+        );
+        control.send(&ServerWelcome::encode_reject(&reason));
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, reason));
+    }
+    control.send(
+        &ServerWelcome {
+            session_id: id,
+            profile: shared.config.profile,
+            weight_seed: shared.config.weight_seed,
+            model: shared.config.model.clone(),
+        }
+        .encode(),
+    );
+
+    let circuits = {
+        let mut cache = shared.circuits.lock().expect("circuit cache mutex poisoned");
+        Arc::clone(cache.entry(crate::proto::variant_code(hello.variant)).or_insert_with(|| {
+            Arc::new(build_session_circuits(&shared.sys, hello.variant, &shared.fixed))
+        }))
+    };
+
+    // Per-session server randomness: a distinct stream per session id.
+    let session_seed = shared.config.seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let queries = hello.queries as usize;
+    // The hello's pool is a request; the server's configured bound caps
+    // it (bundle memory is the server's commitment, not the client's
+    // choice). Capacities need not match across parties — they only
+    // throttle, the producers' wire schedule is identical regardless.
+    let pool = (hello.pool as usize).clamp(1, shared.config.pool.max(1));
+    let session = ServerSession::setup(
+        shared.sys.clone(),
+        hello.variant,
+        hello.mode,
+        Arc::clone(&shared.fixed),
+        circuits,
+        session_seed,
+        queries,
+        pool,
+        &*online_t,
+    );
+    let (producer, mut online) = session.into_pipelined(pool);
+    let setup_cost = online.setup_cost();
+
+    // The offline producer pipelines bundle production on its own
+    // channel while the loop below serves online queries.
+    let producer_handle = std::thread::Builder::new()
+        .name(format!("offline-producer-{id}"))
+        .spawn(move || producer.run(&*offline_t))
+        .expect("spawn offline producer");
+
+    let mut rounds = Vec::with_capacity(queries);
+    let mut traffic = TrafficSnapshot::default();
+    for _ in 0..queries {
+        let round = online.serve_one(&*online_t);
+        traffic = traffic.plus(&round.traffic);
+        rounds.push(round.steps.phase_totals());
+    }
+    producer_handle.join().map_err(|_| {
+        io::Error::new(io::ErrorKind::BrokenPipe, "offline producer thread panicked")
+    })?;
+
+    let phases = accumulate_phases(&rounds, setup_cost);
+    control.send(
+        &SessionSummary {
+            session_id: id,
+            queries: queries as u64,
+            setup: phase_summary(&phases.setup),
+            offline: phase_summary(&phases.offline),
+            online: phase_summary(&phases.online),
+            traffic,
+        }
+        .encode(),
+    );
+
+    shared.registry.record(SessionRecord {
+        id,
+        peer,
+        variant: hello.variant,
+        garbled: matches!(hello.mode, primer_core::GcMode::Garbled),
+        queries,
+        phases,
+        traffic,
+    });
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Shared harness for the serving integration tests.
+
+use primer_core::{Engine, GcMode, ProtocolVariant, SystemConfig};
+use primer_math::rng::seeded;
+use primer_nn::{FixedTransformer, TransformerConfig, TransformerWeights};
+use primer_serve::{Server, ServerConfig, ServerStats};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+/// The weight seed every test server announces (clients rebuild the
+/// same model from it, and so do the in-process reference engines).
+pub const WEIGHT_SEED: u64 = 7;
+
+/// Starts a test-profile server for `sessions` sessions on an OS port.
+pub fn start_server(
+    model: TransformerConfig,
+    sessions: usize,
+    max_workers: usize,
+    pool: usize,
+) -> (SocketAddr, JoinHandle<ServerStats>) {
+    let mut config = ServerConfig::test_default(model);
+    config.max_workers = max_workers;
+    config.pool = pool;
+    config.weight_seed = WEIGHT_SEED;
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.serve_sessions(sessions));
+    (addr, handle)
+}
+
+/// The in-process reference engine for the same model the test servers
+/// serve: bit-identical logits are the acceptance bar for the TCP path.
+pub fn reference_engine(
+    model: &TransformerConfig,
+    variant: ProtocolVariant,
+    mode: GcMode,
+) -> Engine {
+    let sys = SystemConfig::test_profile(model).expect("profile");
+    let weights = TransformerWeights::random(model, &mut seeded(WEIGHT_SEED));
+    let fixed = FixedTransformer::quantize(model, &weights, sys.pipeline);
+    // The engine seed drives masks/keys only; the protocol reconstructs
+    // exact values regardless, so any seed yields the same logits.
+    Engine::new(sys, variant, fixed, mode, 0xe16)
+}

@@ -10,11 +10,16 @@
 //! * [`gc`] — garbled circuits with free-XOR + half-gates and oblivious
 //!   transfer (the paper's JustGarble substitute),
 //! * [`ss`] — additive secret sharing and Beaver triples,
-//! * [`net`] — a metered transport with a latency/bandwidth time model,
+//! * [`net`] — metered transports (in-process, real multiplexed TCP,
+//!   and a latency/bandwidth-enforcing decorator) plus LAN/WAN time
+//!   models,
 //! * [`nn`] — a BERT-style transformer library (f64 and fixed-point),
 //! * [`core`] — the Primer protocols themselves: HGS, FHGS, CHGS,
 //!   tokens-first packing, the THE-X and GCFormer baselines, and the
-//!   cost model that regenerates the paper's tables.
+//!   cost model that regenerates the paper's tables,
+//! * [`serve`] — the concurrent multi-client TCP serving stack
+//!   (`primer-server` / `primer-client`, handshake, session registry,
+//!   pipelined offline producers).
 //!
 //! ## Quickstart
 //!
@@ -41,4 +46,5 @@ pub use primer_he as he;
 pub use primer_math as math;
 pub use primer_net as net;
 pub use primer_nn as nn;
+pub use primer_serve as serve;
 pub use primer_ss as ss;
