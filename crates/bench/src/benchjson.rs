@@ -1,0 +1,256 @@
+//! The `BENCH_*.json` schema: emit, parse, and regression-check the
+//! phase-level benchmark records the `bench-json` harness produces and
+//! CI gates on.
+//!
+//! One record per `(bench, variant, threads)` cell:
+//!
+//! ```json
+//! [
+//!   {"bench": "offline", "variant": "f", "threads": 4, "mean_ms": 812.5, "iters": 2}
+//! ]
+//! ```
+//!
+//! `bench` is the phase (`setup` | `offline` | `online`), `variant` the
+//! lowercase CLI code (`base` | `f` | `fp` | `fpc`), `mean_ms` the mean
+//! wall-clock per iteration (for `offline`: per pool refill; for
+//! `online`: per query). The container has no serde, so this module
+//! hand-rolls the emitter and a parser for exactly this flat shape.
+
+/// One benchmark cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Phase name: `setup`, `offline` or `online`.
+    pub bench: String,
+    /// Variant CLI code: `base`, `f`, `fp`, `fpc`.
+    pub variant: String,
+    /// `PRIMER_THREADS` the cell ran with.
+    pub threads: usize,
+    /// Mean wall-clock per iteration, milliseconds.
+    pub mean_ms: f64,
+    /// Iterations averaged over.
+    pub iters: usize,
+}
+
+/// Serializes records as the committed `BENCH_*.json` format (one
+/// object per line, stable field order, trailing newline).
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \
+             \"mean_ms\": {:.3}, \"iters\": {}}}{}\n",
+            r.bench,
+            r.variant,
+            r.threads,
+            r.mean_ms,
+            r.iters,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Parses the flat record array emitted by [`to_json`] (tolerant of
+/// whitespace and field order, intolerant of anything else).
+///
+/// # Errors
+///
+/// A human-readable message naming the first malformed construct.
+pub fn parse_json(s: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.expect(b'[')?;
+    let mut records = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        return Ok(records);
+    }
+    loop {
+        records.push(p.object()?);
+        p.skip_ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b']') => break,
+            other => return Err(format!("expected ',' or ']', got {other:?}")),
+        }
+    }
+    Ok(records)
+}
+
+/// Compares `current` against `baseline` for the offline phase: every
+/// baseline `offline` cell must exist in `current` with
+/// `mean_ms <= baseline * (1 + tolerance)`. Returns one message per
+/// violation (empty = pass). Setup/online cells are informational only —
+/// the offline phase is where the paper says the time goes, and the
+/// other phases are too short on `test-tiny` for a stable gate.
+pub fn check_offline_regressions(
+    current: &[BenchRecord],
+    baseline: &[BenchRecord],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for base in baseline.iter().filter(|r| r.bench == "offline") {
+        let Some(cur) = current
+            .iter()
+            .find(|r| r.bench == base.bench && r.variant == base.variant && r.threads == base.threads)
+        else {
+            problems.push(format!(
+                "baseline cell offline/{}/t{} missing from current run",
+                base.variant, base.threads
+            ));
+            continue;
+        };
+        let limit = base.mean_ms * (1.0 + tolerance);
+        if cur.mean_ms > limit {
+            problems.push(format!(
+                "offline/{}/t{} regressed: {:.1} ms > {:.1} ms (baseline {:.1} ms + {:.0}% tolerance)",
+                base.variant,
+                base.threads,
+                cur.mean_ms,
+                limit,
+                base.mean_ms,
+                tolerance * 100.0
+            ));
+        }
+    }
+    problems
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        self.skip_ws();
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid utf8 in string".to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            if b == b'\\' {
+                return Err("escapes are not used in bench json".into());
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn object(&mut self) -> Result<BenchRecord, String> {
+        self.expect(b'{')?;
+        let (mut bench, mut variant) = (None, None);
+        let (mut threads, mut mean_ms, mut iters) = (None, None, None);
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "bench" => bench = Some(self.string()?),
+                "variant" => variant = Some(self.string()?),
+                "threads" => threads = Some(self.number()? as usize),
+                "mean_ms" => mean_ms = Some(self.number()?),
+                "iters" => iters = Some(self.number()? as usize),
+                other => return Err(format!("unknown key {other:?}")),
+            }
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+        Ok(BenchRecord {
+            bench: bench.ok_or("missing bench")?,
+            variant: variant.ok_or("missing variant")?,
+            threads: threads.ok_or("missing threads")?,
+            mean_ms: mean_ms.ok_or("missing mean_ms")?,
+            iters: iters.ok_or("missing iters")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(bench: &str, variant: &str, threads: usize, mean_ms: f64) -> BenchRecord {
+        BenchRecord { bench: bench.into(), variant: variant.into(), threads, mean_ms, iters: 2 }
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let records = vec![
+            record("setup", "f", 1, 45.25),
+            record("offline", "f", 4, 812.5),
+            record("online", "fpc", 4, 9.125),
+        ];
+        let parsed = parse_json(&to_json(&records)).expect("parse");
+        assert_eq!(parsed, records);
+        assert_eq!(parse_json("[]").expect("empty"), vec![]);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[{\"bench\": \"x\"}]").is_err()); // missing fields
+        assert!(parse_json("[{\"bogus\": 1}]").is_err());
+    }
+
+    #[test]
+    fn regression_gate_tolerates_and_fires() {
+        let baseline = vec![record("offline", "f", 4, 100.0), record("online", "f", 4, 5.0)];
+        // +20% with 25% tolerance: fine; online never gates.
+        let ok = vec![record("offline", "f", 4, 120.0), record("online", "f", 4, 50.0)];
+        assert!(check_offline_regressions(&ok, &baseline, 0.25).is_empty());
+        // +30%: fires with the offending numbers in the message.
+        let slow = vec![record("offline", "f", 4, 130.0)];
+        let problems = check_offline_regressions(&slow, &baseline, 0.25);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("offline/f/t4"), "{}", problems[0]);
+        // A vanished baseline cell is a loud failure, not a silent pass.
+        let missing = check_offline_regressions(&[], &baseline, 0.25);
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].contains("missing"), "{}", missing[0]);
+    }
+}

@@ -6,6 +6,8 @@
 //! scaled random-teacher tasks (the DESIGN.md substitution), reported
 //! next to the paper's values in EXPERIMENTS.md.
 
+pub mod benchjson;
+
 use primer_math::rng::seeded;
 use primer_math::{FixedSpec, Ring};
 use primer_nn::{

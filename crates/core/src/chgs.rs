@@ -17,12 +17,13 @@
 
 use crate::hgs::add_plain_matrix;
 use crate::packing::{
-    encrypt_matrix, matmul_out_layout, matmul_plain_weights, Packing,
+    encrypt_matrix_with, matmul_out_layout, matmul_plain_weights, Layout, Packing, PackedMatrix,
 };
 use crate::wire::{recv_packed, send_packed};
 use primer_he::{BatchEncoder, Encryptor, Evaluator, GaloisKeys, HeContext};
 use primer_math::{MatZ, Ring};
 use primer_net::Transport;
+use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Client state: one mask, one share per combined projection.
@@ -63,17 +64,101 @@ pub fn client_offline_with_mask(
     encryptor: &Encryptor,
     transport: &dyn Transport,
 ) -> ChgsClient {
-    let (rows, in_cols) = rc.shape();
-    send_packed(transport, &encrypt_matrix(packing, &rc, encoder, encryptor));
-    let shares = out_cols
+    let mut rng = encryptor.fork_rng();
+    let (pending, request) =
+        client_request(packing, rc, out_cols, encoder, encryptor, &mut rng);
+    send_packed(transport, &request);
+    let replies: Vec<PackedMatrix> = pending
+        .reply_layouts(encoder.row_size())
+        .into_iter()
+        .map(|layout| recv_packed(transport, ctx, layout))
+        .collect();
+    client_finish(pending, &replies, encoder, encryptor)
+}
+
+/// A client CHGS instance between its single request flight and the
+/// per-projection replies (the pipelined form of the offline phase).
+#[derive(Debug)]
+pub struct ChgsPending {
+    packing: Packing,
+    rc: MatZ,
+    out_cols: Vec<usize>,
+}
+
+impl ChgsPending {
+    /// Layouts of the reply flights this instance expects, in wire order.
+    pub fn reply_layouts(&self, simd: usize) -> Vec<Layout> {
+        let (rows, in_cols) = self.rc.shape();
+        self.out_cols
+            .iter()
+            .map(|&oc| matmul_out_layout(self.packing, rows, in_cols, oc, simd))
+            .collect()
+    }
+}
+
+/// Pipelined client half 1: encrypts the single combined mask into the
+/// request flight. Pure local compute with explicit randomness.
+pub fn client_request(
+    packing: Packing,
+    rc: MatZ,
+    out_cols: &[usize],
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+    rng: &mut StdRng,
+) -> (ChgsPending, PackedMatrix) {
+    let request = encrypt_matrix_with(packing, &rc, encoder, encryptor, rng);
+    (ChgsPending { packing, rc, out_cols: out_cols.to_vec() }, request)
+}
+
+/// Pipelined client half 2: decrypts one reply per combined projection.
+///
+/// # Panics
+///
+/// Panics if the reply count or layouts mismatch the request.
+pub fn client_finish(
+    pending: ChgsPending,
+    replies: &[PackedMatrix],
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+) -> ChgsClient {
+    let layouts = pending.reply_layouts(encoder.row_size());
+    assert_eq!(replies.len(), layouts.len(), "CHGS reply count mismatch");
+    let shares = replies
         .iter()
-        .map(|&oc| {
-            let layout = matmul_out_layout(packing, rows, in_cols, oc, encoder.row_size());
-            let result = recv_packed(transport, ctx, layout);
-            crate::packing::decrypt_matrix(&result, encoder, encryptor)
+        .zip(&layouts)
+        .map(|(reply, layout)| {
+            assert_eq!(&reply.layout, layout, "CHGS reply layout mismatch");
+            crate::packing::decrypt_matrix(reply, encoder, encryptor)
         })
         .collect();
-    ChgsClient { rc, shares }
+    ChgsClient { rc: pending.rc, shares }
+}
+
+/// Pipelined server half: every combined projection's masked product
+/// from the one received `Enc(R_c)` and pre-sampled correction masks.
+/// Pure local compute, one reply flight per projection in weight order.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or missing Galois keys (engine setup bugs).
+pub fn server_compute(
+    request: &PackedMatrix,
+    combined_weights: &[&MatZ],
+    rss: &[&MatZ],
+    eval: &Evaluator,
+    encoder: &BatchEncoder,
+    keys: &GaloisKeys,
+) -> Vec<PackedMatrix> {
+    assert_eq!(combined_weights.len(), rss.len(), "one R_s per projection");
+    combined_weights
+        .iter()
+        .zip(rss)
+        .map(|(w, rs)| {
+            let product = matmul_plain_weights(request, w, eval, encoder, keys)
+                .expect("galois keys provisioned");
+            add_plain_matrix(&product, rs, eval, encoder)
+        })
+        .collect()
 }
 
 /// Server offline phase against pre-combined weights; returns one `R_s`
@@ -92,19 +177,20 @@ pub fn server_offline<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<MatZ> {
     let in_cols = combined_weights[0].rows();
-    let in_layout = crate::packing::Layout::plan(packing, rows, in_cols, encoder.row_size());
+    for w in combined_weights {
+        assert_eq!(w.rows(), in_cols, "combined weights share the input width");
+    }
+    let in_layout = Layout::plan(packing, rows, in_cols, encoder.row_size());
     let enc_rc = recv_packed(transport, ctx, in_layout);
-    combined_weights
+    let rss: Vec<MatZ> = combined_weights
         .iter()
-        .map(|w| {
-            assert_eq!(w.rows(), in_cols, "combined weights share the input width");
-            let product = matmul_plain_weights(&enc_rc, w, eval, encoder, keys)
-                .expect("galois keys provisioned");
-            let rs = MatZ::random(ring, rows, w.cols(), rng);
-            send_packed(transport, &add_plain_matrix(&product, &rs, eval, encoder));
-            rs
-        })
-        .collect()
+        .map(|w| MatZ::random(ring, rows, w.cols(), rng))
+        .collect();
+    let rs_refs: Vec<&MatZ> = rss.iter().collect();
+    for reply in server_compute(&enc_rc, combined_weights, &rs_refs, eval, encoder, keys) {
+        send_packed(transport, &reply);
+    }
+    rss
 }
 
 /// Server online share for projection `i`: `U·Ā_i − R_s,i` plus the

@@ -24,13 +24,14 @@
 
 use crate::hgs::{add_plain_matrix, sub_plain_matrix};
 use crate::packing::{
-    encrypt_matrix, encrypt_matrix_in_layout, matmul_out_layout, matmul_plain_weights, Packing,
-    PackedMatrix,
+    encrypt_matrix_in_layout_with, encrypt_matrix_with, matmul_out_layout, matmul_plain_weights,
+    Layout, Packing, PackedMatrix,
 };
 use crate::wire::{recv_packed, send_packed};
 use primer_he::{BatchEncoder, Encryptor, Evaluator, GaloisKeys, HeContext};
 use primer_math::{MatZ, Ring};
 use primer_net::Transport;
+use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Shapes of one FHGS product `A (n×k) · B (k×m)`.
@@ -92,17 +93,64 @@ pub fn client_offline_with_masks(
     encryptor: &Encryptor,
     transport: &dyn Transport,
 ) -> FhgsClient {
+    let mut rng = encryptor.fork_rng();
+    let (client, requests) =
+        client_request(ring, packing, rc_a, rc_b, encoder, encryptor, &mut rng);
+    for flight in &requests {
+        send_packed(transport, flight);
+    }
+    client
+}
+
+/// Pipelined client half: encrypts the whole FHGS triple — `Enc(R_a)`,
+/// `Enc(R_bᵀ)`, `Enc(R_a·R_b)` — as three request flights without
+/// touching the transport, with explicit encryption randomness so many
+/// instances can be prepared concurrently. FHGS expects no offline
+/// reply; the returned [`FhgsClient`] is complete.
+pub fn client_request(
+    ring: &Ring,
+    packing: Packing,
+    rc_a: MatZ,
+    rc_b: MatZ,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+    rng: &mut StdRng,
+) -> (FhgsClient, [PackedMatrix; 3]) {
     assert_eq!(rc_a.cols(), rc_b.rows(), "mask inner dimensions");
     let dims = FhgsDims { n: rc_a.rows(), k: rc_a.cols(), m: rc_b.cols() };
     let simd = encoder.row_size();
-    send_packed(transport, &encrypt_matrix(packing, &rc_a, encoder, encryptor));
-    send_packed(transport, &encrypt_matrix(packing, &rc_b.transpose(), encoder, encryptor));
+    let enc_a = encrypt_matrix_with(packing, &rc_a, encoder, encryptor, rng);
+    let enc_bt = encrypt_matrix_with(packing, &rc_b.transpose(), encoder, encryptor, rng);
     // Enc(R_a·R_b) must align slot-for-slot with the matmul output of
     // Enc(R_a)·U_b, so it is encrypted in that product's layout.
     let prod_layout = matmul_out_layout(packing, dims.n, dims.k, dims.m, simd);
     let ab = rc_a.matmul(ring, &rc_b);
-    send_packed(transport, &encrypt_matrix_in_layout(prod_layout, &ab, encoder, encryptor));
-    FhgsClient { rc_a, rc_b, dims }
+    let enc_ab = encrypt_matrix_in_layout_with(prod_layout, &ab, encoder, encryptor, rng);
+    (FhgsClient { rc_a, rc_b, dims }, [enc_a, enc_bt, enc_ab])
+}
+
+/// Layouts of the three request flights a [`client_request`] produces,
+/// in wire order — what the server's batched receiver expects.
+pub fn request_layouts(packing: Packing, dims: FhgsDims, simd: usize) -> [Layout; 3] {
+    [
+        Layout::plan(packing, dims.n, dims.k, simd),
+        Layout::plan(packing, dims.m, dims.k, simd),
+        matmul_out_layout(packing, dims.n, dims.k, dims.m, simd),
+    ]
+}
+
+/// Pipelined server half: stores a received triple with pre-sampled
+/// output masks. No HE compute happens offline on the server side of
+/// FHGS — the matmuls run online against `U_a`, `U_b`.
+pub fn server_accept(
+    dims: FhgsDims,
+    [enc_rc_a, enc_rc_bt, enc_ab]: [PackedMatrix; 3],
+    rs1: MatZ,
+    rs2: MatZ,
+) -> FhgsServer {
+    assert_eq!(rs1.shape(), (dims.n, dims.m), "R_s1 shape");
+    assert_eq!(rs2.shape(), (dims.m, dims.n), "R_s2 shape");
+    FhgsServer { enc_rc_a, enc_rc_bt, enc_ab, rs1, rs2, dims }
 }
 
 /// Server offline: receives the triple, samples output masks.
@@ -116,21 +164,11 @@ pub fn server_offline<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> FhgsServer {
     let simd = encoder.row_size();
-    let enc_rc_a = recv_packed(
-        transport,
-        ctx,
-        crate::packing::Layout::plan(packing, dims.n, dims.k, simd),
-    );
-    let enc_rc_bt = recv_packed(
-        transport,
-        ctx,
-        crate::packing::Layout::plan(packing, dims.m, dims.k, simd),
-    );
-    let enc_ab =
-        recv_packed(transport, ctx, matmul_out_layout(packing, dims.n, dims.k, dims.m, simd));
+    let flights = request_layouts(packing, dims, simd)
+        .map(|layout| recv_packed(transport, ctx, layout));
     let rs1 = MatZ::random(ring, dims.n, dims.m, rng);
     let rs2 = MatZ::random(ring, dims.m, dims.n, rng);
-    FhgsServer { enc_rc_a, enc_rc_bt, enc_ab, rs1, rs2, dims }
+    server_accept(dims, flights, rs1, rs2)
 }
 
 /// Server online: two ct–pt matmuls plus plaintext work; returns the

@@ -8,13 +8,14 @@
 //! online computation at all**.
 
 use crate::packing::{
-    encode_matrix_in_layout, encrypt_matrix, matmul_out_layout, matmul_plain_weights, Packing,
-    PackedMatrix,
+    encode_matrix_in_layout, encrypt_matrix_with, matmul_out_layout, matmul_plain_weights,
+    Layout, Packing, PackedMatrix,
 };
 use crate::wire::{recv_packed, send_packed};
 use primer_he::{BatchEncoder, Encryptor, Evaluator, GaloisKeys, HeContext};
 use primer_math::{MatZ, Ring};
 use primer_net::Transport;
+use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Client-side result of one HGS offline run.
@@ -24,6 +25,82 @@ pub struct HgsClient {
     pub rc: MatZ,
     /// The client's share `R_c·W + R_s` of the product.
     pub share: MatZ,
+}
+
+/// A client HGS instance between its request flight and the server's
+/// reply — the pipelined form of the offline phase. The batched offline
+/// producers build many requests in parallel, put them on the wire in
+/// deterministic bundle order, and finish each instance once its reply
+/// arrives ([`client_request`] / [`HgsPending::reply_layout`] /
+/// [`client_finish`]).
+#[derive(Debug)]
+pub struct HgsPending {
+    packing: Packing,
+    rc: MatZ,
+    out_cols: usize,
+}
+
+impl HgsPending {
+    /// Layout of the reply flight this instance expects.
+    pub fn reply_layout(&self, simd: usize) -> Layout {
+        matmul_out_layout(self.packing, self.rc.rows(), self.rc.cols(), self.out_cols, simd)
+    }
+}
+
+/// Pipelined client half 1: encrypts the mask into the request flight.
+/// Pure local compute (no transport) with explicit encryption
+/// randomness, so many requests can be prepared concurrently.
+pub fn client_request(
+    packing: Packing,
+    rc: MatZ,
+    out_cols: usize,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+    rng: &mut StdRng,
+) -> (HgsPending, PackedMatrix) {
+    let request = encrypt_matrix_with(packing, &rc, encoder, encryptor, rng);
+    (HgsPending { packing, rc, out_cols }, request)
+}
+
+/// Pipelined client half 2: decrypts the server's reply into the share.
+///
+/// # Panics
+///
+/// Panics if the reply does not carry this instance's layout.
+pub fn client_finish(
+    pending: HgsPending,
+    reply: &PackedMatrix,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+) -> HgsClient {
+    assert_eq!(
+        reply.layout,
+        pending.reply_layout(encoder.row_size()),
+        "HGS reply layout mismatch"
+    );
+    let share = crate::packing::decrypt_matrix(reply, encoder, encryptor);
+    HgsClient { rc: pending.rc, share }
+}
+
+/// Pipelined server half: the masked product `Enc(R_c)·W + R_s` for a
+/// received request and a pre-sampled correction mask. Pure local
+/// compute (no transport, no rng), so many instances can run
+/// concurrently on the pool.
+///
+/// # Panics
+///
+/// Panics if a required Galois key is missing (engine setup bug).
+pub fn server_compute(
+    request: &PackedMatrix,
+    w: &MatZ,
+    rs: &MatZ,
+    eval: &Evaluator,
+    encoder: &BatchEncoder,
+    keys: &GaloisKeys,
+) -> PackedMatrix {
+    let product =
+        matmul_plain_weights(request, w, eval, encoder, keys).expect("galois keys provisioned");
+    add_plain_matrix(&product, rs, eval, encoder)
 }
 
 /// Client offline phase for a `rows × in_cols` input against a
@@ -59,13 +136,11 @@ pub fn client_offline_with_mask(
     transport: &dyn Transport,
 ) -> HgsClient {
     let _ = ring;
-    let (rows, in_cols) = rc.shape();
-    let packed = encrypt_matrix(packing, &rc, encoder, encryptor);
-    send_packed(transport, &packed);
-    let out_layout = matmul_out_layout(packing, rows, in_cols, out_cols, encoder.row_size());
-    let result = recv_packed(transport, ctx, out_layout);
-    let share = crate::packing::decrypt_matrix(&result, encoder, encryptor);
-    HgsClient { rc, share }
+    let mut rng = encryptor.fork_rng();
+    let (pending, request) = client_request(packing, rc, out_cols, encoder, encryptor, &mut rng);
+    send_packed(transport, &request);
+    let reply = recv_packed(transport, ctx, pending.reply_layout(encoder.row_size()));
+    client_finish(pending, &reply, encoder, encryptor)
 }
 
 /// Server offline phase; returns `R_s` (the server's correction mask).
@@ -86,13 +161,10 @@ pub fn server_offline<R: Rng + ?Sized>(
     transport: &dyn Transport,
     rng: &mut R,
 ) -> MatZ {
-    let in_layout =
-        crate::packing::Layout::plan(packing, rows, w.rows(), encoder.row_size());
+    let in_layout = Layout::plan(packing, rows, w.rows(), encoder.row_size());
     let packed = recv_packed(transport, ctx, in_layout);
-    let product =
-        matmul_plain_weights(&packed, w, eval, encoder, keys).expect("galois keys provisioned");
     let rs = MatZ::random(ring, rows, w.cols(), rng);
-    let masked = add_plain_matrix(&product, &rs, eval, encoder);
+    let masked = server_compute(&packed, w, &rs, eval, encoder, keys);
     send_packed(transport, &masked);
     rs
 }

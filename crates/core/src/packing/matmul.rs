@@ -6,10 +6,36 @@
 //! diagonal method with up-to-`simd`-step rotation chains. Both paths
 //! `debug_assert` their live op counts against [`matmul_counts`], the
 //! same formulas the analytic cost model extrapolates from.
+//!
+//! **Parallelism**: each output ciphertext is an independent Horner
+//! chain, so the chains fan out across the `rayon` pool (one task per
+//! output ciphertext — "output chunks" in tokens-first, `(token, chunk)`
+//! / `(group, chunk)` pairs in feature-based). The per-chain reduction
+//! order is untouched, so every output ciphertext is **bit-identical**
+//! to the sequential path at any `PRIMER_THREADS`. Live op counts are
+//! tallied per chain (not via the shared evaluator counters, whose
+//! deltas would interleave when several matmuls or chains run at once)
+//! and summed in chain order for the model check.
 
 use super::{Layout, MatmulCounts, Packing, PackedMatrix};
 use primer_he::{BatchEncoder, Ciphertext, Evaluator, GaloisKeys, HeError};
 use primer_math::MatZ;
+
+/// Per-chain tally of the ops a matmul actually issued, kept separate
+/// from the evaluator's (shared, atomic) counters so the model check
+/// stays exact under concurrency.
+#[derive(Debug, Clone, Copy, Default)]
+struct LiveCounts {
+    rotations: u64,
+    mul_plain: u64,
+}
+
+impl LiveCounts {
+    fn merge(&mut self, other: &LiveCounts) {
+        self.rotations += other.rotations;
+        self.mul_plain += other.mul_plain;
+    }
+}
 
 /// The layout that [`matmul_plain_weights`] produces for the given input
 /// shape (needed by a decrypting party to interpret received products).
@@ -146,12 +172,10 @@ pub fn matmul_plain_weights(
     keys: &GaloisKeys,
 ) -> Result<PackedMatrix, HeError> {
     assert_eq!(x.layout.cols, w.rows(), "inner dimension mismatch");
-    let before = eval.counts();
-    let out = match x.layout.packing {
+    let (out, live) = match x.layout.packing {
         Packing::TokensFirst => tf_matmul(x, w, eval, encoder, keys)?,
         Packing::FeatureBased => fb_matmul(x, w, eval, encoder, keys)?,
     };
-    let spent = eval.counts().since(&before);
     let predicted = matmul_counts(
         x.layout.packing,
         x.layout.rows,
@@ -160,36 +184,53 @@ pub fn matmul_plain_weights(
         x.layout.simd,
     );
     debug_assert_eq!(
-        spent.rotations, predicted.rotations,
+        live.rotations, predicted.rotations,
         "rotation count model diverged from implementation"
     );
     debug_assert_eq!(
-        spent.mul_plain, predicted.mul_plain,
+        live.mul_plain, predicted.mul_plain,
         "mul_plain count model diverged from implementation"
     );
     Ok(out)
 }
 
-/// Tokens-first matmul (Horner accumulation over stride rotations).
+/// Collects the per-chain results of a parallel matmul: ciphertexts in
+/// chain order, live counts summed, first error propagated.
+fn collect_chains(
+    results: Vec<Result<(Ciphertext, LiveCounts), HeError>>,
+) -> Result<(Vec<Ciphertext>, LiveCounts), HeError> {
+    let mut cts = Vec::with_capacity(results.len());
+    let mut live = LiveCounts::default();
+    for r in results {
+        let (ct, counts) = r?;
+        live.merge(&counts);
+        cts.push(ct);
+    }
+    Ok((cts, live))
+}
+
+/// Tokens-first matmul (Horner accumulation over stride rotations),
+/// parallel across output ciphertexts.
 fn tf_matmul(
     x: &PackedMatrix,
     w: &MatZ,
     eval: &Evaluator,
     encoder: &BatchEncoder,
     keys: &GaloisKeys,
-) -> Result<PackedMatrix, HeError> {
+) -> Result<(PackedMatrix, LiveCounts), HeError> {
     let in_l = &x.layout;
     let simd = in_l.simd;
     let block = in_l.block();
     let pad = in_l.pad;
     let out_l = Layout::plan(Packing::TokensFirst, in_l.rows, w.cols(), simd);
-    let mut out_cts = Vec::with_capacity(out_l.num_cts);
-    for r in 0..out_l.num_cts {
+    let results = rayon::par_iter_chunks(out_l.num_cts, |r| {
+        let mut live = LiveCounts::default();
         // Horner over stride rotations: acc ← rot(acc) + y_b, b descending.
         let mut acc: Option<Ciphertext> = None;
         for b in (0..block).rev() {
             if let Some(a) = acc.take() {
                 acc = Some(eval.rotate_rows(&a, pad, keys)?);
+                live.rotations += 1;
             }
             // Pre-rotated mask m'_b: feature block u contributes
             // W[j = k·B+u][g = r·B + (u − b) mod B].
@@ -213,6 +254,7 @@ fn tf_matmul(
                     }
                 }
                 let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
+                live.mul_plain += 1;
                 match &mut step_sum {
                     None => step_sum = Some(eval.mul_plain(&x.cts[k], &mask)),
                     Some(s) => eval.mul_plain_accumulate(s, &x.cts[k], &mask),
@@ -225,9 +267,10 @@ fn tf_matmul(
                 (Some(a), Some(y)) => Some(eval.add(&a, &y)),
             };
         }
-        out_cts.push(acc.unwrap_or_else(|| eval.zero_ciphertext()));
-    }
-    Ok(PackedMatrix { layout: out_l, cts: out_cts })
+        Ok((acc.unwrap_or_else(|| eval.zero_ciphertext()), live))
+    });
+    let (out_cts, live) = collect_chains(results)?;
+    Ok((PackedMatrix { layout: out_l, cts: out_cts }, live))
 }
 
 /// Feature-based matmul (diagonal method; dual Horner chains when
@@ -238,7 +281,7 @@ fn fb_matmul(
     eval: &Evaluator,
     encoder: &BatchEncoder,
     keys: &GaloisKeys,
-) -> Result<PackedMatrix, HeError> {
+) -> Result<(PackedMatrix, LiveCounts), HeError> {
     let fp = x.layout.pad;
     if fp == x.layout.simd {
         fb_matmul_full(x, w, eval, encoder, keys)
@@ -248,61 +291,64 @@ fn fb_matmul(
 }
 
 /// Feature-based, `pad == simd`: each ciphertext is one feature chunk of
-/// one token; a full `simd`-step rotation chain per output ciphertext.
+/// one token; a full `simd`-step rotation chain per output ciphertext,
+/// parallel across `(token, chunk)` outputs.
 fn fb_matmul_full(
     x: &PackedMatrix,
     w: &MatZ,
     eval: &Evaluator,
     encoder: &BatchEncoder,
     keys: &GaloisKeys,
-) -> Result<PackedMatrix, HeError> {
+) -> Result<(PackedMatrix, LiveCounts), HeError> {
     let in_l = &x.layout;
     let simd = in_l.simd;
     let chunks = in_l.cols.div_ceil(simd);
     let out_chunks = w.cols().div_ceil(simd);
     // Output here uses full-width regions regardless of out width.
-    let mut out_cts = Vec::with_capacity(in_l.rows * out_chunks);
-    for token in 0..in_l.rows {
-        for oc in 0..out_chunks {
-            let mut acc: Option<Ciphertext> = None;
-            for delta in (0..simd).rev() {
-                // m'_delta[u] = W[c·simd + u][oc·simd + (u − delta) mod simd]
-                let mut step_sum: Option<Ciphertext> = None;
-                for c in 0..chunks {
-                    let base = c * simd;
-                    if base >= in_l.cols {
-                        continue;
-                    }
-                    let mut slots = vec![0u64; simd];
-                    for (u, slot) in slots.iter_mut().enumerate() {
-                        let j = base + u;
-                        let g = oc * simd + (u + simd - delta) % simd;
-                        if j < in_l.cols && g < w.cols() {
-                            *slot = w[(j, g)];
-                        }
-                    }
-                    let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
-                    let ct = &x.cts[token * chunks + c];
-                    match &mut step_sum {
-                        None => step_sum = Some(eval.mul_plain(ct, &mask)),
-                        Some(s) => eval.mul_plain_accumulate(s, ct, &mask),
+    let results = rayon::par_iter_chunks(in_l.rows * out_chunks, |idx| {
+        let (token, oc) = (idx / out_chunks, idx % out_chunks);
+        let mut live = LiveCounts::default();
+        let mut acc: Option<Ciphertext> = None;
+        for delta in (0..simd).rev() {
+            // m'_delta[u] = W[c·simd + u][oc·simd + (u − delta) mod simd]
+            let mut step_sum: Option<Ciphertext> = None;
+            for c in 0..chunks {
+                let base = c * simd;
+                if base >= in_l.cols {
+                    continue;
+                }
+                let mut slots = vec![0u64; simd];
+                for (u, slot) in slots.iter_mut().enumerate() {
+                    let j = base + u;
+                    let g = oc * simd + (u + simd - delta) % simd;
+                    if j < in_l.cols && g < w.cols() {
+                        *slot = w[(j, g)];
                     }
                 }
-                let y = step_sum.expect("chunk loop ran");
-                acc = Some(match acc {
-                    None => y,
-                    Some(a) => {
-                        let rotated = eval.rotate_rows(&a, 1, keys)?;
-                        eval.add(&rotated, &y)
-                    }
-                });
+                let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
+                let ct = &x.cts[token * chunks + c];
+                live.mul_plain += 1;
+                match &mut step_sum {
+                    None => step_sum = Some(eval.mul_plain(ct, &mask)),
+                    Some(s) => eval.mul_plain_accumulate(s, ct, &mask),
+                }
             }
-            out_cts.push(acc.expect("simd > 0"));
+            let y = step_sum.expect("chunk loop ran");
+            acc = Some(match acc {
+                None => y,
+                Some(a) => {
+                    let rotated = eval.rotate_rows(&a, 1, keys)?;
+                    live.rotations += 1;
+                    eval.add(&rotated, &y)
+                }
+            });
         }
-    }
+        Ok((acc.expect("simd > 0"), live))
+    });
+    let (out_cts, live) = collect_chains(results)?;
     let layout = fb_out_layout(in_l, w.cols());
     debug_assert_eq!(layout.num_cts, out_cts.len());
-    Ok(PackedMatrix { layout, cts: out_cts })
+    Ok((PackedMatrix { layout, cts: out_cts }, live))
 }
 
 /// Feature-based, `pad < simd`: several token regions per ciphertext.
@@ -315,7 +361,7 @@ fn fb_matmul_grouped(
     eval: &Evaluator,
     encoder: &BatchEncoder,
     keys: &GaloisKeys,
-) -> Result<PackedMatrix, HeError> {
+) -> Result<(PackedMatrix, LiveCounts), HeError> {
     let in_l = &x.layout;
     let simd = in_l.simd;
     let fp = in_l.pad;
@@ -323,19 +369,46 @@ fn fb_matmul_grouped(
     let feats = in_l.cols;
     let dout = w.cols();
     let out_chunks = dout.div_ceil(fp);
-    let mut out_cts = Vec::with_capacity(in_l.num_cts * out_chunks);
-    for z in 0..in_l.num_cts {
-        for oc in 0..out_chunks {
-            let dout_chunk = fp.min(dout - oc * fp);
-            let ct = &x.cts[z];
-            // Chain A: delta = 0..feats: m'[u·fp + o] = W[o][oc·fp + o−delta].
-            let chain_a_len = feats.min(fp);
-            let mut acc_a: Option<Ciphertext> = None;
-            for delta in (0..chain_a_len).rev() {
+    let results = rayon::par_iter_chunks(in_l.num_cts * out_chunks, |idx| {
+        let (z, oc) = (idx / out_chunks, idx % out_chunks);
+        let mut live = LiveCounts::default();
+        let dout_chunk = fp.min(dout - oc * fp);
+        let ct = &x.cts[z];
+        // Chain A: delta = 0..feats: m'[u·fp + o] = W[o][oc·fp + o−delta].
+        let chain_a_len = feats.min(fp);
+        let mut acc_a: Option<Ciphertext> = None;
+        for delta in (0..chain_a_len).rev() {
+            let mut slots = vec![0u64; simd];
+            for u in 0..group {
+                for o in delta..feats {
+                    let g = o - delta;
+                    if g < dout_chunk {
+                        slots[u * fp + o] = w[(o, oc * fp + g)];
+                    }
+                }
+            }
+            let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
+            let y = eval.mul_plain(ct, &mask);
+            live.mul_plain += 1;
+            acc_a = Some(match acc_a {
+                None => y,
+                Some(a) => {
+                    let rotated = eval.rotate_rows(&a, 1, keys)?;
+                    live.rotations += 1;
+                    eval.add(&rotated, &y)
+                }
+            });
+        }
+        let mut result = acc_a.expect("chain A non-empty");
+        // Chain B: k = 1..dout_chunk: out[o+k] += in[o]·W[o][o+k],
+        // realized as inverse rotations (step simd−1 chains).
+        if dout_chunk > 1 {
+            let mut acc_b: Option<Ciphertext> = None;
+            for k in (1..dout_chunk).rev() {
                 let mut slots = vec![0u64; simd];
                 for u in 0..group {
-                    for o in delta..feats {
-                        let g = o - delta;
+                    for o in 0..feats {
+                        let g = o + k;
                         if g < dout_chunk {
                             slots[u * fp + o] = w[(o, oc * fp + g)];
                         }
@@ -343,47 +416,25 @@ fn fb_matmul_grouped(
                 }
                 let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
                 let y = eval.mul_plain(ct, &mask);
-                acc_a = Some(match acc_a {
+                live.mul_plain += 1;
+                acc_b = Some(match acc_b {
                     None => y,
                     Some(a) => {
-                        let rotated = eval.rotate_rows(&a, 1, keys)?;
+                        let rotated = eval.rotate_rows(&a, simd - 1, keys)?;
+                        live.rotations += 1;
                         eval.add(&rotated, &y)
                     }
                 });
             }
-            let mut result = acc_a.expect("chain A non-empty");
-            // Chain B: k = 1..dout_chunk: out[o+k] += in[o]·W[o][o+k],
-            // realized as inverse rotations (step simd−1 chains).
-            if dout_chunk > 1 {
-                let mut acc_b: Option<Ciphertext> = None;
-                for k in (1..dout_chunk).rev() {
-                    let mut slots = vec![0u64; simd];
-                    for u in 0..group {
-                        for o in 0..feats {
-                            let g = o + k;
-                            if g < dout_chunk {
-                                slots[u * fp + o] = w[(o, oc * fp + g)];
-                            }
-                        }
-                    }
-                    let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
-                    let y = eval.mul_plain(ct, &mask);
-                    acc_b = Some(match acc_b {
-                        None => y,
-                        Some(a) => {
-                            let rotated = eval.rotate_rows(&a, simd - 1, keys)?;
-                            eval.add(&rotated, &y)
-                        }
-                    });
-                }
-                if let Some(b_acc) = acc_b {
-                    let rotated = eval.rotate_rows(&b_acc, simd - 1, keys)?;
-                    result = eval.add(&result, &rotated);
-                }
+            if let Some(b_acc) = acc_b {
+                let rotated = eval.rotate_rows(&b_acc, simd - 1, keys)?;
+                live.rotations += 1;
+                result = eval.add(&result, &rotated);
             }
-            out_cts.push(result);
         }
-    }
+        Ok((result, live))
+    });
+    let (out_cts, live) = collect_chains(results)?;
     let layout = Layout {
         packing: Packing::FeatureBased,
         rows: in_l.rows,
@@ -392,7 +443,7 @@ fn fb_matmul_grouped(
         pad: fp,
         num_cts: out_cts.len(),
     };
-    Ok(PackedMatrix { layout, cts: out_cts })
+    Ok((PackedMatrix { layout, cts: out_cts }, live))
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 
 use primer_he::{BatchEncoder, Ciphertext, Encryptor};
 use primer_math::MatZ;
+use rand::rngs::StdRng;
 
 /// Which packing strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -177,7 +178,9 @@ impl PackedMatrix {
     }
 }
 
-/// Encrypts a ring matrix under the given packing.
+/// Encrypts a ring matrix under the given packing, drawing encryption
+/// randomness from the encryptor's own rng (sequential; the parallel
+/// offline producers use [`encrypt_matrix_with`] instead).
 pub fn encrypt_matrix(
     packing: Packing,
     x: &MatZ,
@@ -196,10 +199,40 @@ pub fn encrypt_matrix_in_layout(
     encoder: &BatchEncoder,
     encryptor: &Encryptor,
 ) -> PackedMatrix {
+    let mut rng = encryptor.fork_rng();
+    encrypt_matrix_in_layout_with(layout, x, encoder, encryptor, &mut rng)
+}
+
+/// [`encrypt_matrix`] with caller-provided encryption randomness,
+/// fanning the per-ciphertext encryptions out across the thread pool.
+/// One sub-rng per ciphertext is derived from `rng` in ciphertext order
+/// first, so the ciphertext bytes are identical at every thread count.
+pub fn encrypt_matrix_with(
+    packing: Packing,
+    x: &MatZ,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+    rng: &mut StdRng,
+) -> PackedMatrix {
+    let layout = Layout::plan(packing, x.rows(), x.cols(), encoder.row_size());
+    encrypt_matrix_in_layout_with(layout, x, encoder, encryptor, rng)
+}
+
+/// [`encrypt_matrix_in_layout`] with caller-provided randomness (see
+/// [`encrypt_matrix_with`]).
+pub fn encrypt_matrix_in_layout_with(
+    layout: Layout,
+    x: &MatZ,
+    encoder: &BatchEncoder,
+    encryptor: &Encryptor,
+    rng: &mut StdRng,
+) -> PackedMatrix {
     assert_eq!((layout.rows, layout.cols), x.shape(), "layout shape mismatch");
-    let cts = (0..layout.num_cts)
-        .map(|k| encryptor.encrypt(&encoder.encode(&layout.slots_of(x, k))))
-        .collect();
+    let seeds: Vec<u64> = (0..layout.num_cts).map(|_| rand::Rng::gen(rng)).collect();
+    let cts = rayon::par_iter_chunks(layout.num_cts, |k| {
+        let mut ct_rng: StdRng = rand::SeedableRng::seed_from_u64(seeds[k]);
+        encryptor.encrypt_with(&encoder.encode(&layout.slots_of(x, k)), &mut ct_rng)
+    });
     PackedMatrix { layout, cts }
 }
 
@@ -215,14 +248,17 @@ pub fn encode_matrix_in_layout(
     (0..layout.num_cts).map(|k| encoder.encode(&layout.slots_of(x, k))).collect()
 }
 
-/// Decrypts a packed matrix of known logical shape.
+/// Decrypts a packed matrix of known logical shape, fanning the
+/// per-ciphertext decryptions out across the thread pool (decryption is
+/// deterministic, so the result is independent of the thread count).
 pub fn decrypt_matrix(
     packed: &PackedMatrix,
     encoder: &BatchEncoder,
     encryptor: &Encryptor,
 ) -> MatZ {
-    let decoded: Vec<Vec<u64>> =
-        packed.cts.iter().map(|ct| encoder.decode(&encryptor.decrypt(ct))).collect();
+    let decoded: Vec<Vec<u64>> = rayon::par_iter_chunks(packed.cts.len(), |k| {
+        encoder.decode(&encryptor.decrypt(&packed.cts[k]))
+    });
     MatZ::from_fn(packed.layout.rows, packed.layout.cols, |i, j| {
         packed.layout.read(&decoded, i, j)
     })

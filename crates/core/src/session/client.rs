@@ -1,7 +1,7 @@
 //! The client side of a persistent two-party session.
 
-use super::offline::{produce_client_bundle, ClientBundle};
-use super::pool::{OfflinePool, SharedPool, SharedPoolGuard};
+use super::offline::{produce_client_bundles, ClientBundle};
+use super::pool::{refill_quota, OfflinePool, SharedPool, SharedPoolGuard};
 use super::{online, ProtocolVariant};
 use crate::gcmod::GcMode;
 use crate::system::SystemConfig;
@@ -94,13 +94,15 @@ impl ClientSession {
         self.pool.len()
     }
 
-    /// Produces `k` offline bundles into the pool. The server must run
-    /// the matching [`super::ServerSession::refill`] with the same `k`
-    /// — both sessions derive the same refill schedule from the shared
-    /// (total, pool) parameters, keeping the wire in lockstep.
+    /// Produces `k` offline bundles into the pool — as **one batch**, so
+    /// the heavy HE work fans out across the thread pool (DESIGN.md §9).
+    /// The server must run the matching [`super::ServerSession::refill`]
+    /// with the same `k` — both sessions derive the same refill schedule
+    /// from the shared (total, pool) parameters, keeping the wire in
+    /// lockstep; the batch size shapes the wire schedule, so it must
+    /// match on both sides.
     pub fn refill(&mut self, t: &dyn Transport, k: usize) {
-        for _ in 0..k {
-            let bundle = produce_client_bundle(&self.core, &mut self.rng, t);
+        for bundle in produce_client_bundles(&self.core, &mut self.rng, t, k) {
             self.pool.put(bundle);
             self.produced += 1;
         }
@@ -110,8 +112,7 @@ impl ClientSession {
     /// (refilling the pool first if it has drained).
     pub fn infer(&mut self, tokens: &[usize], t: &dyn Transport) -> Vec<i64> {
         if self.pool.is_empty() {
-            let k =
-                super::pool::refill_quota(self.pool_target, self.total_queries, self.produced);
+            let k = refill_quota(self.pool_target, self.total_queries, self.produced);
             self.refill(t, k);
         }
         let bundle = self.pool.take().expect("pool refilled above");
@@ -138,6 +139,7 @@ impl ClientSession {
                 rng: self.rng,
                 pool: Arc::clone(&pool),
                 remaining: self.total_queries,
+                chunk: self.pool_target,
             },
             ClientOnline { core: self.core, pool },
         )
@@ -152,17 +154,28 @@ pub struct ClientProducer {
     rng: StdRng,
     pool: Arc<SharedPool<ClientBundle>>,
     remaining: usize,
+    /// Production batch size (= the session's pool target). Shapes the
+    /// wire schedule, so both parties must derive the identical value —
+    /// the serving handshake negotiates it (`ServerWelcome::pool`).
+    chunk: usize,
 }
 
 impl ClientProducer {
-    /// Produces all bundles, blocking on the pool bound for
-    /// backpressure. Closes the pool on exit (including panic), so the
-    /// online half can never deadlock on a dead producer.
+    /// Produces all bundles in batches of the negotiated chunk size
+    /// (parallel production, lockstep wire order), blocking on the pool
+    /// bound for backpressure between hand-offs. Closes the pool on exit
+    /// (including panic — e.g. a worker panic propagated out of a
+    /// parallel refill), so the online half can never deadlock on a dead
+    /// producer.
     pub fn run(mut self, t: &dyn Transport) {
         let _guard = SharedPoolGuard(&self.pool);
-        for _ in 0..self.remaining {
-            let bundle = produce_client_bundle(&self.core, &mut self.rng, t);
-            self.pool.put_blocking(bundle);
+        let mut produced = 0;
+        while produced < self.remaining {
+            let k = refill_quota(self.chunk, self.remaining, produced);
+            for bundle in produce_client_bundles(&self.core, &mut self.rng, t, k) {
+                self.pool.put_blocking(bundle);
+            }
+            produced += k;
         }
     }
 }

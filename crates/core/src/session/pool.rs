@@ -182,6 +182,34 @@ mod tests {
     }
 
     #[test]
+    fn worker_panic_in_parallel_refill_fails_the_session_loudly() {
+        // A panic inside a pool task during a parallel refill must
+        // propagate out of the rayon scope into the producer thread,
+        // whose guard then closes the SharedPool — the consumer gets
+        // `None` (and fails loudly on the missing bundle) instead of
+        // hanging forever.
+        use std::sync::Arc;
+        let pool: Arc<SharedPool<usize>> = Arc::new(SharedPool::new(4));
+        let producer_pool = Arc::clone(&pool);
+        let producer = std::thread::spawn(move || {
+            let _guard = SharedPoolGuard(&producer_pool);
+            producer_pool.put_blocking(0);
+            // Parallel "bundle production" in which one worker dies.
+            let bundles = rayon::par_iter_chunks(4, |i| {
+                assert!(i != 2, "worker died producing bundle 2");
+                i
+            });
+            for b in bundles {
+                producer_pool.put_blocking(b);
+            }
+        });
+        assert_eq!(pool.take_blocking(), Some(0));
+        // The guard ran on the producer's unwind: drained + closed.
+        assert_eq!(pool.take_blocking(), None);
+        assert!(producer.join().is_err(), "producer must die loudly");
+    }
+
+    #[test]
     fn shared_pool_guard_closes_on_producer_panic() {
         use std::sync::Arc;
         let pool: Arc<SharedPool<usize>> = Arc::new(SharedPool::new(4));

@@ -1,7 +1,7 @@
 //! The server side of a persistent two-party session.
 
-use super::offline::{produce_server_bundle, ServerBundle};
-use super::pool::{OfflinePool, SharedPool, SharedPoolGuard};
+use super::offline::{produce_server_bundles, ServerBundle};
+use super::pool::{refill_quota, OfflinePool, SharedPool, SharedPoolGuard};
 use super::{lambda_scaled, online, to_ring, ProtocolVariant};
 use crate::gcmod::GcMode;
 use crate::stats::{PhaseCost, StepBreakdown};
@@ -209,17 +209,19 @@ impl ServerSession {
         self.pool.len()
     }
 
-    /// Produces `k` offline bundles into the pool (the mirror of
-    /// [`super::ClientSession::refill`]).
+    /// Produces `k` offline bundles into the pool as **one batch** (the
+    /// mirror of [`super::ClientSession::refill`] — the batch size
+    /// shapes the wire schedule and must match the client's).
     pub fn refill(&mut self, t: &dyn MeteredTransport, k: usize) {
-        for _ in 0..k {
-            let bundle = produce_server_bundle(
-                &self.core,
-                &self.eval,
-                &mut self.rng,
-                t,
-                &mut self.wire_mark,
-            );
+        let bundles = produce_server_bundles(
+            &self.core,
+            &self.eval,
+            &mut self.rng,
+            t,
+            &mut self.wire_mark,
+            k,
+        );
+        for bundle in bundles {
             self.pool.put(bundle);
             self.produced += 1;
         }
@@ -230,8 +232,7 @@ impl ServerSession {
     /// client — if the pool has drained).
     pub fn serve_one(&mut self, t: &dyn MeteredTransport) -> ServeRound {
         if self.pool.is_empty() {
-            let k =
-                super::pool::refill_quota(self.pool_target, self.total_queries, self.produced);
+            let k = refill_quota(self.pool_target, self.total_queries, self.produced);
             self.refill(t, k);
         }
         let bundle = self.pool.take().expect("pool refilled above");
@@ -260,6 +261,7 @@ impl ServerSession {
                 rng: self.rng,
                 pool: Arc::clone(&pool),
                 remaining: self.total_queries,
+                chunk: self.pool_target,
                 wire_mark: TrafficSnapshot::default(),
             },
             ServerOnline {
@@ -307,24 +309,37 @@ pub struct ServerProducer {
     rng: StdRng,
     pool: Arc<SharedPool<ServerBundle>>,
     remaining: usize,
+    /// Production batch size (= the session's pool target). Shapes the
+    /// wire schedule, so both parties must derive the identical value —
+    /// the serving handshake negotiates it (`ServerWelcome::pool`).
+    chunk: usize,
     wire_mark: TrafficSnapshot,
 }
 
 impl ServerProducer {
-    /// Produces all bundles, blocking on the pool bound for
-    /// backpressure. Closes the pool on exit (including panic), so the
-    /// online half can never deadlock on a dead producer.
+    /// Produces all bundles in batches of the negotiated chunk size
+    /// (parallel production, lockstep wire order), blocking on the pool
+    /// bound for backpressure between hand-offs. Closes the pool on exit
+    /// (including panic — e.g. a worker panic propagated out of a
+    /// parallel refill), so the online half can never deadlock on a dead
+    /// producer.
     pub fn run(mut self, t: &dyn MeteredTransport) {
         let _guard = SharedPoolGuard(&self.pool);
-        for _ in 0..self.remaining {
-            let bundle = produce_server_bundle(
+        let mut produced = 0;
+        while produced < self.remaining {
+            let k = refill_quota(self.chunk, self.remaining, produced);
+            let bundles = produce_server_bundles(
                 &self.core,
                 &self.eval,
                 &mut self.rng,
                 t,
                 &mut self.wire_mark,
+                k,
             );
-            self.pool.put_blocking(bundle);
+            for bundle in bundles {
+                self.pool.put_blocking(bundle);
+            }
+            produced += k;
         }
     }
 }

@@ -119,6 +119,20 @@ impl OpCounters {
         self.relin.store(0, Ordering::Relaxed);
     }
 
+    /// Adds a whole snapshot at once — used to merge a scratch
+    /// evaluator's counts (e.g. one offline bundle produced on the
+    /// thread pool) back into the owning session's totals.
+    pub fn add(&self, delta: &OpCounts) {
+        self.rotations.fetch_add(delta.rotations, Ordering::Relaxed);
+        self.mul_plain.fetch_add(delta.mul_plain, Ordering::Relaxed);
+        self.add.fetch_add(delta.add, Ordering::Relaxed);
+        self.add_plain.fetch_add(delta.add_plain, Ordering::Relaxed);
+        self.encrypt.fetch_add(delta.encrypt, Ordering::Relaxed);
+        self.decrypt.fetch_add(delta.decrypt, Ordering::Relaxed);
+        self.mul_ct.fetch_add(delta.mul_ct, Ordering::Relaxed);
+        self.relin.fetch_add(delta.relin, Ordering::Relaxed);
+    }
+
     pub(crate) fn bump(&self, f: impl FnOnce(&mut OpCounts)) {
         // Every caller only increments, so the closure's effect on a
         // zeroed snapshot is exactly the delta to add.

@@ -48,22 +48,42 @@ impl Encryptor {
         self.counters.snapshot()
     }
 
-    /// Encrypts a plaintext: `(Δm + e − a·s, a)` with uniform `a`.
+    /// Encrypts a plaintext: `(Δm + e − a·s, a)` with uniform `a`,
+    /// drawing randomness from the encryptor's own (mutex-guarded) rng.
     pub fn encrypt(&self, pt: &Plaintext) -> Ciphertext {
+        let mut rng = self.rng.lock().expect("encryptor rng mutex poisoned");
+        self.encrypt_with(pt, &mut *rng)
+    }
+
+    /// Encrypts with caller-provided randomness. The parallel offline
+    /// producers fork one deterministic rng per bundle ([`Self::fork_rng`])
+    /// and encrypt that bundle's flights from it, so the ciphertext
+    /// stream is bit-identical at every thread count (the shared-rng
+    /// path would interleave draws in scheduling order).
+    pub fn encrypt_with<R: rand::Rng + ?Sized>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
         self.counters.bump(|c| c.encrypt += 1);
         let ctx = &self.ctx;
-        let mut rng = self.rng.lock().expect("encryptor rng mutex poisoned");
         let mut seed = [0u8; 32];
-        rand::Rng::fill(&mut *rng, &mut seed);
+        rng.fill(&mut seed);
         let a = Ciphertext::a_from_seed(ctx, &seed);
         let mut c0 = RnsPoly::scale_plain_to_q(ctx, pt.coeffs());
-        let e = RnsPoly::gaussian(ctx, ctx.params().sigma(), &mut *rng);
+        let e = RnsPoly::gaussian(ctx, ctx.params().sigma(), rng);
         c0.add_assign(ctx, &e);
         c0.to_ntt(ctx);
         let mut a_s = a.clone();
         a_s.mul_pointwise_assign(ctx, self.sk.s_ntt());
         c0.sub_assign(ctx, &a_s);
         Ciphertext::new(vec![c0, a], Some(seed))
+    }
+
+    /// Forks a deterministic child rng off the encryptor's stream (one
+    /// shared-rng draw). Child streams are a function of the encryptor
+    /// seed and the fork order alone, so forking once per offline bundle
+    /// — in bundle order, before any parallel work — yields encryption
+    /// randomness independent of worker scheduling.
+    pub fn fork_rng(&self) -> StdRng {
+        let mut rng = self.rng.lock().expect("encryptor rng mutex poisoned");
+        StdRng::seed_from_u64(rand::Rng::gen(&mut *rng))
     }
 
     /// Decrypts a size-2 or size-3 ciphertext.

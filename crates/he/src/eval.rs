@@ -46,6 +46,13 @@ impl Evaluator {
         self.counters.snapshot()
     }
 
+    /// Merges another evaluator's counts into this one (the parallel
+    /// offline producers give each bundle a scratch evaluator for exact
+    /// per-bundle attribution, then fold the ops back into the session).
+    pub fn absorb_counts(&self, delta: &OpCounts) {
+        self.counters.add(delta);
+    }
+
     /// `a + b`.
     ///
     /// # Panics

@@ -60,3 +60,24 @@ pub use error::HeError;
 pub use eval::{Evaluator, MulPlain};
 pub use keys::{GaloisKeys, KeyGenerator, RelinKey, SecretKey};
 pub use params::HeParams;
+
+/// Compile-time audit of the Sync story the parallel engine relies on:
+/// one `Evaluator`/`Encryptor`/`BatchEncoder`/`GaloisKeys` per session is
+/// shared by the offline-producer pool workers and the online thread
+/// simultaneously (`OpCounters` are atomic; the encryptor rng sits
+/// behind a mutex; everything else is immutable after construction).
+/// Removing `Sync` from any of these breaks the build here, not at a
+/// distant spawn site.
+#[allow(dead_code)]
+fn assert_shared_he_types_are_sync() {
+    fn ok<T: Send + Sync>() {}
+    ok::<HeContext>();
+    ok::<BatchEncoder>();
+    ok::<Encryptor>();
+    ok::<Evaluator>();
+    ok::<GaloisKeys>();
+    ok::<OpCounters>();
+    ok::<Ciphertext>();
+    ok::<Plaintext>();
+    ok::<MulPlain>();
+}

@@ -3,8 +3,11 @@
 //! ```text
 //! primer-client [--addr 127.0.0.1:9470] [--variant base|f|fp|fpc]
 //!               [--mode simulated|garbled] [--queries N] [--pool N] [--seed N]
-//!               [--tokens "1,2,3,4;5,6,7,8"] [--wan | --lan]
+//!               [--threads N] [--tokens "1,2,3,4;5,6,7,8"] [--wan | --lan]
 //! ```
+//!
+//! `--threads` overrides the `PRIMER_THREADS` environment variable (the
+//! client-side offline/HE thread-pool size; default = available cores).
 //!
 //! Without `--tokens`, generates `--queries` random token sequences
 //! from `--seed`. Prints one line per prediction plus the server's
@@ -19,7 +22,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: primer-client [--addr HOST:PORT] [--variant base|f|fp|fpc] \
          [--mode simulated|garbled] [--queries N] [--pool N] [--seed N] \
-         [--tokens \"1,2,3;4,5,6\"] [--wan | --lan]"
+         [--threads N] [--tokens \"1,2,3;4,5,6\"] [--wan | --lan]"
     );
     exit(2);
 }
@@ -64,6 +67,9 @@ fn main() {
             "--queries" => queries = parse(&value(&mut i)) as usize,
             "--pool" => cfg.pool = parse(&value(&mut i)) as usize,
             "--seed" => cfg.seed = parse(&value(&mut i)),
+            // Overrides PRIMER_THREADS for this process; set before any
+            // parallel work so the first pool use sees it.
+            "--threads" => std::env::set_var("PRIMER_THREADS", value(&mut i)),
             "--tokens" => tokens = Some(parse_tokens(&value(&mut i))),
             "--wan" => cfg.shape = Some(NetworkModel::paper_wan()),
             "--lan" => cfg.shape = Some(NetworkModel::paper_lan()),
@@ -89,10 +95,11 @@ fn main() {
             }
             let s = &out.summary;
             println!(
-                "session {}: {} queries, offline {:.1} ms / {} B, online {:.1} ms / {} B, \
-                 setup {:.1} ms / {} B, client traffic {} B",
+                "session {}: {} queries, server threads {}, offline {:.1} ms / {} B, \
+                 online {:.1} ms / {} B, setup {:.1} ms / {} B, client traffic {} B",
                 s.session_id,
                 s.queries,
+                s.threads,
                 s.offline.compute_ns as f64 / 1e6,
                 s.offline.bytes,
                 s.online.compute_ns as f64 / 1e6,

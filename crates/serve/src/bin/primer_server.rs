@@ -3,8 +3,12 @@
 //! ```text
 //! primer-server [--addr 127.0.0.1:9470] [--model test-tiny] [--profile test|paper]
 //!               [--weight-seed 7] [--seed 40] [--max-workers 4] [--pool 2]
-//!               [--sessions N] [--wan | --lan]
+//!               [--threads N] [--sessions N] [--wan | --lan]
 //! ```
+//!
+//! `--threads` overrides the `PRIMER_THREADS` environment variable (the
+//! offline/HE thread-pool size; default = available cores). The served
+//! thread count is reported in every session summary and the stats table.
 //!
 //! Prints `listening on <addr>` once bound (machine-readable for smoke
 //! tests with `--addr 127.0.0.1:0`). With `--sessions N` it serves
@@ -18,8 +22,8 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage: primer-server [--addr HOST:PORT] [--model NAME] [--profile test|paper] \
-         [--weight-seed N] [--seed N] [--max-workers N] [--pool N] [--sessions N] \
-         [--wan | --lan]"
+         [--weight-seed N] [--seed N] [--max-workers N] [--pool N] [--threads N] \
+         [--sessions N] [--wan | --lan]"
     );
     exit(2);
 }
@@ -61,6 +65,9 @@ fn main() {
             "--seed" => config.seed = parse(&value(&mut i)),
             "--max-workers" => config.max_workers = parse(&value(&mut i)) as usize,
             "--pool" => config.pool = parse(&value(&mut i)) as usize,
+            // Overrides PRIMER_THREADS for this process; set before any
+            // parallel work so the first pool use sees it.
+            "--threads" => std::env::set_var("PRIMER_THREADS", value(&mut i)),
             "--sessions" => sessions = Some(parse(&value(&mut i)) as usize),
             "--wan" => config.shape = Some(NetworkModel::paper_wan()),
             "--lan" => config.shape = Some(NetworkModel::paper_lan()),

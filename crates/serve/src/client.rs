@@ -192,6 +192,10 @@ fn run_with<A: ToSocketAddrs>(
     );
     let welcome = ServerWelcome::decode(&control.recv())?;
     let model = welcome.model.clone();
+    // The pool the session actually runs with is the *negotiated* one
+    // (our request clamped by the server's cap): production is batched
+    // by it, which shapes the wire schedule, so both parties must agree.
+    let pool = (welcome.pool as usize).max(1);
     let queries = make_queries(&model)?;
     assert_eq!(queries.len(), count, "query factory must honor the announced count");
 
@@ -211,10 +215,10 @@ fn run_with<A: ToSocketAddrs>(
         circuits,
         cfg.seed,
         queries.len(),
-        cfg.pool.max(1),
+        pool,
         &*online_t,
     );
-    let (producer, mut online) = session.into_pipelined(cfg.pool.max(1));
+    let (producer, mut online) = session.into_pipelined(pool);
 
     let offline_meter = Arc::clone(offline_t.meter());
     let producer_handle = std::thread::Builder::new()

@@ -8,7 +8,9 @@
 //!
 //! 1. client → server: [`ClientHello`] — protocol version, requested
 //!    variant, GC mode, query count and offline pool bound.
-//! 2. server → client: [`ServerWelcome`] — assigned session id plus the
+//! 2. server → client: [`ServerWelcome`] — assigned session id, the
+//!    **negotiated offline pool** (both parties batch their offline
+//!    production by it, which shapes the wire schedule), plus the
 //!    served model's full configuration, numeric profile and weight
 //!    seed, so the client can reconstruct the identical quantized model
 //!    (the GC step circuits embed LayerNorm constants, which the client
@@ -26,7 +28,12 @@ use primer_net::TrafficSnapshot;
 use primer_nn::TransformerConfig;
 
 /// Version of the handshake + framing described above.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: [`ServerWelcome`] carries the negotiated offline pool (the
+/// parallel producers batch bundle production by it, which shapes the
+/// wire schedule — both parties must use the identical value), and
+/// [`SessionSummary`] records the server's thread count.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Magic prefix of every hello frame.
 pub const MAGIC: [u8; 4] = *b"PRMR";
@@ -246,6 +253,12 @@ pub struct ServerWelcome {
     pub profile: Profile,
     /// Seed the server's deterministic weights were drawn from.
     pub weight_seed: u64,
+    /// The **negotiated** offline pool: the client's request clamped by
+    /// the server's cap. Both parties batch their offline bundle
+    /// production by this value, and the batch size shapes the wire
+    /// schedule, so the session must run with exactly this pool on both
+    /// sides.
+    pub pool: u32,
     /// The served model's hyper-parameters.
     pub model: TransformerConfig,
 }
@@ -257,6 +270,7 @@ impl ServerWelcome {
         put_u64(&mut out, self.session_id);
         out.push(profile_code(self.profile));
         put_u64(&mut out, self.weight_seed);
+        put_u32(&mut out, self.pool);
         let m = &self.model;
         put_string(&mut out, &m.name);
         for dim in [m.vocab, m.n_blocks, m.d_model, m.n_heads, m.n_tokens, m.d_ff, m.n_classes] {
@@ -288,6 +302,7 @@ impl ServerWelcome {
         let session_id = c.u64()?;
         let profile = profile_from_code(c.u8()?)?;
         let weight_seed = c.u64()?;
+        let pool = c.u32()?;
         let name = c.string()?;
         let mut dims = [0usize; 7];
         for d in &mut dims {
@@ -298,6 +313,7 @@ impl ServerWelcome {
             session_id,
             profile,
             weight_seed,
+            pool,
             model: TransformerConfig {
                 name,
                 vocab,
@@ -330,6 +346,10 @@ pub struct SessionSummary {
     pub session_id: u64,
     /// Queries served.
     pub queries: u64,
+    /// Thread-pool size the server ran this session with
+    /// (`PRIMER_THREADS` / `--threads`) — serving numbers are not
+    /// interpretable without it.
+    pub threads: u64,
     /// One-time session setup.
     pub setup: PhaseSummary,
     /// Sum of per-query offline phases.
@@ -356,6 +376,7 @@ impl SessionSummary {
         let mut out = Vec::new();
         put_u64(&mut out, self.session_id);
         put_u64(&mut out, self.queries);
+        put_u64(&mut out, self.threads);
         for p in [&self.setup, &self.offline, &self.online] {
             put_phase(&mut out, p);
         }
@@ -380,6 +401,7 @@ impl SessionSummary {
         Ok(Self {
             session_id: c.u64()?,
             queries: c.u64()?,
+            threads: c.u64()?,
             setup: get_phase(&mut c)?,
             offline: get_phase(&mut c)?,
             online: get_phase(&mut c)?,
@@ -439,10 +461,12 @@ mod tests {
             session_id: 7,
             profile: Profile::Test,
             weight_seed: 1234,
+            pool: 3,
             model: TransformerConfig::test_small(),
         };
         let got = ServerWelcome::decode(&w.encode()).expect("decode");
         assert_eq!(got, w);
+        assert_eq!(got.pool, 3);
         assert_eq!(got.model.d_ff, 4 * got.model.d_model);
     }
 
@@ -460,6 +484,7 @@ mod tests {
         let s = SessionSummary {
             session_id: 3,
             queries: 5,
+            threads: 4,
             setup: PhaseSummary { compute_ns: 10, bytes: 20, messages: 1 },
             offline: PhaseSummary { compute_ns: 30, bytes: 40, messages: 6 },
             online: PhaseSummary { compute_ns: 50, bytes: 60, messages: 9 },

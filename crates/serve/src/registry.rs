@@ -18,6 +18,8 @@ pub struct SessionRecord {
     pub garbled: bool,
     /// Queries served.
     pub queries: usize,
+    /// Thread-pool size the server ran this session with.
+    pub threads: usize,
     /// Setup + summed per-query offline/online costs.
     pub phases: PhaseTotals,
     /// Summed per-query traffic (offline + online, both directions;
@@ -91,17 +93,18 @@ impl ServerStats {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>4}  {:<21} {:<11} {:>7}  {:>12}  {:>9}  {:>9}",
-            "id", "peer", "variant", "queries", "bytes", "off(ms)", "on(ms)"
+            "{:>4}  {:<21} {:<11} {:>7}  {:>7}  {:>12}  {:>9}  {:>9}",
+            "id", "peer", "variant", "queries", "threads", "bytes", "off(ms)", "on(ms)"
         );
         for s in &self.sessions {
             let _ = writeln!(
                 out,
-                "{:>4}  {:<21} {:<11} {:>7}  {:>12}  {:>9.1}  {:>9.1}",
+                "{:>4}  {:<21} {:<11} {:>7}  {:>7}  {:>12}  {:>9.1}  {:>9.1}",
                 s.id,
                 s.peer.to_string(),
                 s.variant.name(),
                 s.queries,
+                s.threads,
                 s.traffic.total_bytes(),
                 s.phases.offline.compute.as_secs_f64() * 1e3,
                 s.phases.online.compute.as_secs_f64() * 1e3,

@@ -244,11 +244,18 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
         control.send(&ServerWelcome::encode_reject(&reason));
         return Err(io::Error::new(io::ErrorKind::InvalidInput, reason));
     }
+    // The hello's pool is a request; the server's configured bound caps
+    // it (bundle memory is the server's commitment, not the client's
+    // choice). The *negotiated* value is announced in the welcome: the
+    // parallel producers batch bundle production by it, which shapes the
+    // wire schedule, so both parties must run the identical pool.
+    let pool = (hello.pool as usize).clamp(1, shared.config.pool.max(1));
     control.send(
         &ServerWelcome {
             session_id: id,
             profile: shared.config.profile,
             weight_seed: shared.config.weight_seed,
+            pool: pool as u32,
             model: shared.config.model.clone(),
         }
         .encode(),
@@ -264,11 +271,6 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
     // Per-session server randomness: a distinct stream per session id.
     let session_seed = shared.config.seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     let queries = hello.queries as usize;
-    // The hello's pool is a request; the server's configured bound caps
-    // it (bundle memory is the server's commitment, not the client's
-    // choice). Capacities need not match across parties — they only
-    // throttle, the producers' wire schedule is identical regardless.
-    let pool = (hello.pool as usize).clamp(1, shared.config.pool.max(1));
     let session = ServerSession::setup(
         shared.sys.clone(),
         hello.variant,
@@ -301,11 +303,13 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
         io::Error::new(io::ErrorKind::BrokenPipe, "offline producer thread panicked")
     })?;
 
+    let threads = rayon::current_num_threads();
     let phases = accumulate_phases(&rounds, setup_cost);
     control.send(
         &SessionSummary {
             session_id: id,
             queries: queries as u64,
+            threads: threads as u64,
             setup: phase_summary(&phases.setup),
             offline: phase_summary(&phases.offline),
             online: phase_summary(&phases.online),
@@ -320,6 +324,7 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
         variant: hello.variant,
         garbled: matches!(hello.mode, primer_core::GcMode::Garbled),
         queries,
+        threads,
         phases,
         traffic,
     });

@@ -1,0 +1,380 @@
+//! Offline stand-in for the `rayon` crate: a minimal scoped thread pool.
+//!
+//! The build container has no route to crates.io, so this stub provides
+//! exactly the parallel surface the workspace uses (see vendor/README.md
+//! for the full divergence list):
+//!
+//! * [`current_num_threads`] — the pool's target parallelism, read from
+//!   the **`PRIMER_THREADS`** environment variable (upstream rayon reads
+//!   `RAYON_NUM_THREADS`), defaulting to the machine's available cores;
+//! * [`scope`] / [`Scope::spawn`] — structured fork/join: every spawned
+//!   closure may borrow from the caller's stack and is guaranteed to have
+//!   finished when `scope` returns;
+//! * [`par_iter_chunks`] — the only "parallel iterator" shape the
+//!   workspace needs: map `0..len` through a function, fanning contiguous
+//!   index chunks out across the pool, returning results in index order.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism**: nothing here may make results depend on the
+//!    thread count. `par_iter_chunks` assembles its output in index
+//!    order; chunk *boundaries* depend on the thread count, so callers
+//!    must keep `f(i)` independent of which chunk `i` lands in (every
+//!    call site in this workspace computes per-index values from
+//!    per-index inputs).
+//! 2. **Loud failure**: a panic inside a spawned closure is captured and
+//!    re-raised on the thread that called [`scope`] after all siblings
+//!    finish — a dying worker can never silently swallow work.
+//! 3. **`PRIMER_THREADS=1` is genuinely sequential**: spawns run inline
+//!    on the caller with zero queueing, so single-threaded runs have no
+//!    pool overhead and no cross-thread interleaving at all.
+//!
+//! Implementation: one global injector queue with lazily spawned workers
+//! (at most `current_num_threads() − 1`, grown on demand and re-read per
+//! scope so tests can vary `PRIMER_THREADS` at runtime). The thread that
+//! opened a scope *helps* — it pops and runs queued tasks while waiting
+//! for its own — so nested scopes and concurrent scoping threads (e.g. a
+//! client and a server party in one test process) cannot deadlock: every
+//! waiter makes progress whenever any task is runnable.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A queued unit of work. Lifetime-erased: [`scope`] guarantees the
+/// borrowed environment outlives execution by never returning while any
+/// of its tasks is pending.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<PoolQueue>,
+    /// Woken when a task is pushed (workers) or completes (waiting
+    /// scope owners re-check their pending count).
+    signal: Condvar,
+}
+
+struct PoolQueue {
+    tasks: VecDeque<Task>,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(PoolQueue { tasks: VecDeque::new(), workers: 0 }),
+        signal: Condvar::new(),
+    })
+}
+
+/// The pool's target parallelism: `PRIMER_THREADS` when set to a
+/// positive integer, otherwise the machine's available cores. Re-read on
+/// every call, so changing the variable mid-process (tests, the
+/// `--threads` flags) takes effect at the next scope.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("PRIMER_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+struct ScopeState {
+    pending: AtomicUsize,
+    /// First panic payload raised by any task of this scope.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Handle for spawning borrowed tasks inside a [`scope`] call.
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    inline: bool,
+    /// Invariant over `'scope` (the rayon trick): stops the borrow
+    /// checker from shortening task lifetimes below the scope body.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `f` onto the pool (or runs it inline when the pool is
+    /// sized at one thread). `f` may borrow anything that outlives the
+    /// `scope` call; it is guaranteed to have run to completion before
+    /// `scope` returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        if self.inline {
+            f();
+            return;
+        }
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().expect("scope panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            state.pending.fetch_sub(1, Ordering::SeqCst);
+            // Lock-then-notify so a scope owner between its pending
+            // check and its condvar wait cannot miss this completion.
+            let p = pool();
+            drop(p.queue.lock().expect("pool queue poisoned"));
+            p.signal.notify_all();
+        });
+        // SAFETY: only the lifetime is erased. `scope` blocks (in
+        // `wait_for`, on every exit path including unwinds) until
+        // `pending` reaches zero, which happens strictly after this
+        // closure has finished running, so every `'scope` borrow it
+        // captured is still live whenever it executes.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task)
+        };
+        let p = pool();
+        {
+            let mut q = p.queue.lock().expect("pool queue poisoned");
+            q.tasks.push_back(task);
+            let want = current_num_threads().saturating_sub(1);
+            while q.workers < want {
+                q.workers += 1;
+                spawn_worker(q.workers);
+            }
+        }
+        p.signal.notify_all();
+    }
+}
+
+fn spawn_worker(index: usize) {
+    std::thread::Builder::new()
+        .name(format!("primer-pool-{index}"))
+        .spawn(|| {
+            let p = pool();
+            loop {
+                let task = {
+                    let mut q = p.queue.lock().expect("pool queue poisoned");
+                    loop {
+                        if let Some(t) = q.tasks.pop_front() {
+                            break t;
+                        }
+                        q = p.signal.wait(q).expect("pool queue poisoned");
+                    }
+                };
+                task();
+            }
+        })
+        .expect("spawn pool worker");
+}
+
+/// Blocks until every task of `state` has completed, running queued pool
+/// work (from any scope) while waiting.
+fn wait_for(state: &ScopeState) {
+    let p = pool();
+    loop {
+        if state.pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        // Help: drain one queued task if there is one.
+        let task = {
+            let mut q = p.queue.lock().expect("pool queue poisoned");
+            match q.tasks.pop_front() {
+                Some(t) => Some(t),
+                None => {
+                    // Re-check under the lock (completion notifies under
+                    // it), then sleep until a push or a completion.
+                    if state.pending.load(Ordering::SeqCst) == 0 {
+                        return;
+                    }
+                    drop(p.signal.wait(q).expect("pool queue poisoned"));
+                    None
+                }
+            }
+        };
+        if let Some(t) = task {
+            t();
+        }
+    }
+}
+
+/// Structured fork/join: runs `f` with a [`Scope`] whose spawned tasks
+/// may borrow from the surrounding stack. Returns `f`'s result after
+/// **all** spawned tasks have completed; if any task panicked, the first
+/// captured payload is re-raised here (after the siblings finish, so the
+/// borrowed environment is never freed under a still-running task).
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        state: Arc::new(ScopeState { pending: AtomicUsize::new(0), panic: Mutex::new(None) }),
+        inline: current_num_threads() <= 1,
+        _marker: PhantomData,
+    };
+    // Wait on every exit path: if `f` itself unwinds, spawned tasks
+    // still borrow the stack and must finish before the unwind frees it.
+    struct WaitGuard<'a>(&'a ScopeState);
+    impl Drop for WaitGuard<'_> {
+        fn drop(&mut self) {
+            wait_for(self.0);
+        }
+    }
+    let result = {
+        let _wait = WaitGuard(&s.state);
+        f(&s)
+    };
+    if let Some(payload) = s.state.panic.lock().expect("scope panic slot poisoned").take() {
+        resume_unwind(payload);
+    }
+    result
+}
+
+/// Maps `0..len` through `f`, fanning contiguous index chunks out across
+/// the pool; results are returned in index order. With one thread (or
+/// `len <= 1`) this is a plain sequential map with no pool involvement.
+///
+/// Chunk boundaries depend on [`current_num_threads`], so `f(i)` must
+/// depend only on `i` (not on chunk grouping) for results to be
+/// identical at every thread count — which is how every call site in
+/// this workspace uses it.
+pub fn par_iter_chunks<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunks = threads.min(len);
+    let chunk = len.div_ceil(chunks);
+    let slots: Vec<Mutex<Vec<T>>> = (0..chunks).map(|_| Mutex::new(Vec::new())).collect();
+    let f = &f;
+    scope(|s| {
+        for (ci, slot) in slots.iter().enumerate() {
+            let start = ci * chunk;
+            let end = ((ci + 1) * chunk).min(len);
+            s.spawn(move || {
+                *slot.lock().expect("chunk slot poisoned") = (start..end).map(f).collect();
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .flat_map(|m| m.into_inner().expect("chunk slot poisoned"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Env mutations are process-global; every test that touches
+    /// `PRIMER_THREADS` serializes on this and restores the prior value.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _g = ENV_LOCK.lock().expect("env lock");
+        let old = std::env::var("PRIMER_THREADS").ok();
+        std::env::set_var("PRIMER_THREADS", n.to_string());
+        let r = f();
+        match old {
+            Some(v) => std::env::set_var("PRIMER_THREADS", v),
+            None => std::env::remove_var("PRIMER_THREADS"),
+        }
+        r
+    }
+
+    #[test]
+    fn env_var_controls_thread_count() {
+        with_threads(3, || assert_eq!(current_num_threads(), 3));
+        with_threads(1, || assert_eq!(current_num_threads(), 1));
+        // Zero and garbage fall back to at-least-one / default.
+        let _g = ENV_LOCK.lock().expect("env lock");
+        std::env::set_var("PRIMER_THREADS", "0");
+        assert_eq!(current_num_threads(), 1);
+        std::env::remove_var("PRIMER_THREADS");
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_iter_chunks_is_index_ordered_at_any_thread_count() {
+        for threads in [1usize, 2, 4, 7] {
+            let got = with_threads(threads, || par_iter_chunks(23, |i| i * i));
+            let want: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        // len < threads and the empty map.
+        let got = with_threads(8, || par_iter_chunks(3, |i| i + 1));
+        assert_eq!(got, vec![1, 2, 3]);
+        let empty = with_threads(4, || par_iter_chunks(0, |i| i));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn scope_joins_borrowed_work() {
+        with_threads(4, || {
+            let data: Vec<u64> = (0..100).collect();
+            let sums: Vec<Mutex<u64>> = (0..4).map(|_| Mutex::new(0)).collect();
+            scope(|s| {
+                for (ci, slot) in sums.iter().enumerate() {
+                    let chunk = &data[ci * 25..(ci + 1) * 25];
+                    s.spawn(move || {
+                        *slot.lock().expect("slot") = chunk.iter().sum();
+                    });
+                }
+            });
+            let total: u64 = sums.iter().map(|m| *m.lock().expect("slot")).sum();
+            assert_eq!(total, 99 * 100 / 2);
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_scope_caller() {
+        for threads in [1usize, 4] {
+            let caught = with_threads(threads, || {
+                std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    scope(|s| {
+                        s.spawn(|| {});
+                        s.spawn(|| panic!("worker died"));
+                        s.spawn(|| {});
+                    });
+                }))
+            });
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+            assert_eq!(msg, "worker died", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let total = with_threads(2, || {
+            let acc = Mutex::new(0u64);
+            scope(|outer| {
+                for _ in 0..4 {
+                    let acc = &acc;
+                    outer.spawn(move || {
+                        let inner_sum: u64 = par_iter_chunks(10, |i| i as u64).iter().sum();
+                        *acc.lock().expect("acc") += inner_sum;
+                    });
+                }
+            });
+            acc.into_inner().expect("acc")
+        });
+        assert_eq!(total, 4 * 45);
+    }
+
+    #[test]
+    fn concurrent_scoping_threads_share_the_pool() {
+        // Two "parties" (like a client and server thread) each fan out
+        // work at the same time; both must complete with correct results.
+        let (a, b) = with_threads(3, || {
+            let h = std::thread::spawn(|| par_iter_chunks(50, |i| i as u64 * 2));
+            let a = par_iter_chunks(50, |i| i as u64 * 3);
+            (a, h.join().expect("party thread"))
+        });
+        assert_eq!(a, (0..50).map(|i| i * 3).collect::<Vec<u64>>());
+        assert_eq!(b, (0..50).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+}
