@@ -77,25 +77,24 @@ pub fn parse_json(s: &str) -> Result<Vec<BenchRecord>, String> {
     Ok(records)
 }
 
-/// Compares `current` against `baseline` for the offline phase: every
-/// baseline `offline` cell must exist in `current` with
+/// Compares `current` against `baseline` for one phase: every baseline
+/// cell of that phase must exist in `current` with
 /// `mean_ms <= baseline * (1 + tolerance)`. Returns one message per
-/// violation (empty = pass). Setup/online cells are informational only —
-/// the offline phase is where the paper says the time goes, and the
-/// other phases are too short on `test-tiny` for a stable gate.
-pub fn check_offline_regressions(
+/// violation (empty = pass).
+pub fn check_phase_regressions(
     current: &[BenchRecord],
     baseline: &[BenchRecord],
+    phase: &str,
     tolerance: f64,
 ) -> Vec<String> {
     let mut problems = Vec::new();
-    for base in baseline.iter().filter(|r| r.bench == "offline") {
+    for base in baseline.iter().filter(|r| r.bench == phase) {
         let Some(cur) = current
             .iter()
             .find(|r| r.bench == base.bench && r.variant == base.variant && r.threads == base.threads)
         else {
             problems.push(format!(
-                "baseline cell offline/{}/t{} missing from current run",
+                "baseline cell {phase}/{}/t{} missing from current run",
                 base.variant, base.threads
             ));
             continue;
@@ -103,7 +102,7 @@ pub fn check_offline_regressions(
         let limit = base.mean_ms * (1.0 + tolerance);
         if cur.mean_ms > limit {
             problems.push(format!(
-                "offline/{}/t{} regressed: {:.1} ms > {:.1} ms (baseline {:.1} ms + {:.0}% tolerance)",
+                "{phase}/{}/t{} regressed: {:.1} ms > {:.1} ms (baseline {:.1} ms + {:.0}% tolerance)",
                 base.variant,
                 base.threads,
                 cur.mean_ms,
@@ -113,6 +112,21 @@ pub fn check_offline_regressions(
             ));
         }
     }
+    problems
+}
+
+/// The CI gate: offline **and** online phase means, both at the same
+/// tolerance (setup stays informational — it is one iteration and too
+/// short on `test-tiny` for a stable gate). Prior to PR 5 only offline
+/// gated; the NTT-resident/prepared pipeline made the online phase a
+/// tracked metric too.
+pub fn check_regressions(
+    current: &[BenchRecord],
+    baseline: &[BenchRecord],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut problems = check_phase_regressions(current, baseline, "offline", tolerance);
+    problems.extend(check_phase_regressions(current, baseline, "online", tolerance));
     problems
 }
 
@@ -240,17 +254,26 @@ mod tests {
     #[test]
     fn regression_gate_tolerates_and_fires() {
         let baseline = vec![record("offline", "f", 4, 100.0), record("online", "f", 4, 5.0)];
-        // +20% with 25% tolerance: fine; online never gates.
-        let ok = vec![record("offline", "f", 4, 120.0), record("online", "f", 4, 50.0)];
-        assert!(check_offline_regressions(&ok, &baseline, 0.25).is_empty());
-        // +30%: fires with the offending numbers in the message.
-        let slow = vec![record("offline", "f", 4, 130.0)];
-        let problems = check_offline_regressions(&slow, &baseline, 0.25);
+        // +20% with 25% tolerance: fine (both phases).
+        let ok = vec![record("offline", "f", 4, 120.0), record("online", "f", 4, 6.0)];
+        assert!(check_regressions(&ok, &baseline, 0.25).is_empty());
+        // Offline +30%: fires with the offending numbers in the message.
+        let slow = vec![record("offline", "f", 4, 130.0), record("online", "f", 4, 5.0)];
+        let problems = check_regressions(&slow, &baseline, 0.25);
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("offline/f/t4"), "{}", problems[0]);
+        // The online phase gates too (new in PR 5).
+        let slow_online =
+            vec![record("offline", "f", 4, 100.0), record("online", "f", 4, 50.0)];
+        let problems = check_regressions(&slow_online, &baseline, 0.25);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("online/f/t4"), "{}", problems[0]);
         // A vanished baseline cell is a loud failure, not a silent pass.
-        let missing = check_offline_regressions(&[], &baseline, 0.25);
-        assert_eq!(missing.len(), 1);
-        assert!(missing[0].contains("missing"), "{}", missing[0]);
+        let missing = check_regressions(&[], &baseline, 0.25);
+        assert_eq!(missing.len(), 2, "one per gated phase");
+        assert!(missing.iter().all(|m| m.contains("missing")));
+        // Setup stays ungated.
+        let setup_only = vec![record("setup", "f", 1, 10.0)];
+        assert!(check_regressions(&[], &setup_only, 0.25).is_empty());
     }
 }

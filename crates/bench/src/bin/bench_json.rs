@@ -2,7 +2,7 @@
 //! perf trajectory (`BENCH_*.json`) and the CI perf gate.
 //!
 //! ```text
-//! bench-json [--out BENCH_pr4.json] [--check BASELINE.json] [--tolerance 0.25]
+//! bench-json [--out BENCH_pr5.json] [--check BASELINE.json] [--tolerance 0.25]
 //!            [--pool 4] [--refills 2] [--threads 1,4] [--gate-only]
 //! ```
 //!
@@ -25,12 +25,12 @@
 //! Phase boundaries are barriers, so a phase's time is "both parties
 //! ready" → "both parties done" — the number a serving operator would
 //! see. Results land in `--out` (schema: `primer_bench::benchjson`).
-//! With `--check`, the run additionally gates the offline means against
-//! a committed baseline and exits non-zero on regression beyond the
-//! tolerance (CI skips this step when the commit message carries the
-//! `[bench-skip]` tag).
+//! With `--check`, the run additionally gates the **offline and
+//! online** means against a committed baseline and exits non-zero on
+//! regression beyond the tolerance (CI skips this step when the commit
+//! message carries the `[bench-skip]` tag).
 
-use primer_bench::benchjson::{check_offline_regressions, parse_json, to_json, BenchRecord};
+use primer_bench::benchjson::{check_regressions, parse_json, to_json, BenchRecord};
 use primer_core::{build_session_circuits, ClientSession, GcMode, ProtocolVariant, ServerSession, SystemConfig};
 use primer_math::rng::seeded;
 use primer_net::MemTransport;
@@ -77,7 +77,8 @@ fn run_session(variant: ProtocolVariant, pool: usize, refills: usize) -> PhaseTi
         barrier_s.wait();
         let mut session = ServerSession::setup(
             sys_s, variant, GcMode::Simulated, fixed_s, circuits_s, 4011, total, pool, &st,
-        );
+        )
+        .expect("in-process key transfer");
         barrier_s.wait();
         for _ in 0..refills {
             barrier_s.wait();
@@ -135,7 +136,7 @@ fn variant_code(v: ProtocolVariant) -> &'static str {
 }
 
 fn main() {
-    let mut out_path = "BENCH_pr4.json".to_string();
+    let mut out_path = "BENCH_pr5.json".to_string();
     let mut check_path: Option<String> = None;
     let mut tolerance = 0.25f64;
     let mut pool = 4usize;
@@ -233,24 +234,26 @@ fn main() {
     });
     eprintln!("wrote {} records to {out_path}", records.len());
 
-    // Offline speedup summary (the tentpole metric): threads[0] is the
-    // baseline column.
+    // Speedup summaries: thread scaling per phase (threads[0] is the
+    // baseline column).
     let base_threads = thread_counts[0];
-    for &threads in thread_counts.iter().skip(1) {
-        for variant in ProtocolVariant::all() {
-            let code = variant_code(variant);
-            let find = |t: usize| {
-                records
-                    .iter()
-                    .find(|r| r.bench == "offline" && r.variant == code && r.threads == t)
-                    .map(|r| r.mean_ms)
-            };
-            if let (Some(a), Some(b)) = (find(base_threads), find(threads)) {
-                eprintln!(
-                    "offline {code}: {a:.1} ms @ t{base_threads} → {b:.1} ms @ t{threads} \
-                     ({:.2}x)",
-                    a / b
-                );
+    for phase in ["offline", "online"] {
+        for &threads in thread_counts.iter().skip(1) {
+            for variant in ProtocolVariant::all() {
+                let code = variant_code(variant);
+                let find = |t: usize| {
+                    records
+                        .iter()
+                        .find(|r| r.bench == phase && r.variant == code && r.threads == t)
+                        .map(|r| r.mean_ms)
+                };
+                if let (Some(a), Some(b)) = (find(base_threads), find(threads)) {
+                    eprintln!(
+                        "{phase} {code}: {a:.1} ms @ t{base_threads} → {b:.1} ms @ t{threads} \
+                         ({:.2}x)",
+                        a / b
+                    );
+                }
             }
         }
     }
@@ -261,7 +264,7 @@ fn main() {
 }
 
 /// Gates `current_path` against `baseline_path`, exiting non-zero (with
-/// one line per violation) on any offline-phase regression.
+/// one line per violation) on any offline- or online-phase regression.
 fn gate(current_path: &str, baseline_path: &str, tolerance: f64) {
     let load = |path: &str| -> Vec<BenchRecord> {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -275,10 +278,10 @@ fn gate(current_path: &str, baseline_path: &str, tolerance: f64) {
     };
     let current = load(current_path);
     let baseline = load(baseline_path);
-    let problems = check_offline_regressions(&current, &baseline, tolerance);
+    let problems = check_regressions(&current, &baseline, tolerance);
     if problems.is_empty() {
         eprintln!(
-            "perf gate: offline means in {current_path} within {:.0}% of {baseline_path}",
+            "perf gate: offline+online means in {current_path} within {:.0}% of {baseline_path}",
             tolerance * 100.0
         );
     } else {

@@ -17,7 +17,8 @@
 
 use crate::hgs::add_plain_matrix;
 use crate::packing::{
-    encrypt_matrix_with, matmul_out_layout, matmul_plain_weights, Layout, Packing, PackedMatrix,
+    encrypt_matrix_with, matmul_out_layout, matmul_weights, Layout, MatmulWeights, Packing,
+    PackedMatrix,
 };
 use crate::wire::{recv_packed, send_packed};
 use primer_he::{BatchEncoder, Encryptor, Evaluator, GaloisKeys, HeContext};
@@ -137,13 +138,15 @@ pub fn client_finish(
 /// Pipelined server half: every combined projection's masked product
 /// from the one received `Enc(R_c)` and pre-sampled correction masks.
 /// Pure local compute, one reply flight per projection in weight order.
+/// Each projection's weights are either raw (masks encoded per call) or
+/// a Setup-prepared plane (no per-query mask encoding).
 ///
 /// # Panics
 ///
 /// Panics on shape mismatch or missing Galois keys (engine setup bugs).
 pub fn server_compute(
     request: &PackedMatrix,
-    combined_weights: &[&MatZ],
+    combined_weights: &[MatmulWeights<'_>],
     rss: &[&MatZ],
     eval: &Evaluator,
     encoder: &BatchEncoder,
@@ -154,8 +157,7 @@ pub fn server_compute(
         .iter()
         .zip(rss)
         .map(|(w, rs)| {
-            let product = matmul_plain_weights(request, w, eval, encoder, keys)
-                .expect("galois keys provisioned");
+            let product = matmul_weights(request, w, eval, keys).expect("galois keys provisioned");
             add_plain_matrix(&product, rs, eval, encoder)
         })
         .collect()
@@ -187,7 +189,11 @@ pub fn server_offline<R: Rng + ?Sized>(
         .map(|w| MatZ::random(ring, rows, w.cols(), rng))
         .collect();
     let rs_refs: Vec<&MatZ> = rss.iter().collect();
-    for reply in server_compute(&enc_rc, combined_weights, &rs_refs, eval, encoder, keys) {
+    let weights: Vec<MatmulWeights<'_>> = combined_weights
+        .iter()
+        .map(|&w| MatmulWeights::Fresh { w, encoder })
+        .collect();
+    for reply in server_compute(&enc_rc, &weights, &rs_refs, eval, encoder, keys) {
         send_packed(transport, &reply);
     }
     rss

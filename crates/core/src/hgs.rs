@@ -8,8 +8,8 @@
 //! online computation at all**.
 
 use crate::packing::{
-    encode_matrix_in_layout, encrypt_matrix_with, matmul_out_layout, matmul_plain_weights,
-    Layout, Packing, PackedMatrix,
+    encode_matrix_in_layout, encrypt_matrix_with, matmul_out_layout, matmul_weights, Layout,
+    MatmulWeights, Packing, PackedMatrix,
 };
 use crate::wire::{recv_packed, send_packed};
 use primer_he::{BatchEncoder, Encryptor, Evaluator, GaloisKeys, HeContext};
@@ -85,21 +85,22 @@ pub fn client_finish(
 /// Pipelined server half: the masked product `Enc(R_c)·W + R_s` for a
 /// received request and a pre-sampled correction mask. Pure local
 /// compute (no transport, no rng), so many instances can run
-/// concurrently on the pool.
+/// concurrently on the pool. `w` is either a raw ring matrix (masks
+/// encoded here, per call) or a Setup-prepared plane (the NTT-resident
+/// hot path — zero mask encoding per query).
 ///
 /// # Panics
 ///
 /// Panics if a required Galois key is missing (engine setup bug).
 pub fn server_compute(
     request: &PackedMatrix,
-    w: &MatZ,
+    w: &MatmulWeights<'_>,
     rs: &MatZ,
     eval: &Evaluator,
     encoder: &BatchEncoder,
     keys: &GaloisKeys,
 ) -> PackedMatrix {
-    let product =
-        matmul_plain_weights(request, w, eval, encoder, keys).expect("galois keys provisioned");
+    let product = matmul_weights(request, w, eval, keys).expect("galois keys provisioned");
     add_plain_matrix(&product, rs, eval, encoder)
 }
 
@@ -164,7 +165,8 @@ pub fn server_offline<R: Rng + ?Sized>(
     let in_layout = Layout::plan(packing, rows, w.rows(), encoder.row_size());
     let packed = recv_packed(transport, ctx, in_layout);
     let rs = MatZ::random(ring, rows, w.cols(), rng);
-    let masked = server_compute(&packed, w, &rs, eval, encoder, keys);
+    let masked =
+        server_compute(&packed, &MatmulWeights::Fresh { w, encoder }, &rs, eval, encoder, keys);
     send_packed(transport, &masked);
     rs
 }

@@ -34,10 +34,10 @@ pub mod wire;
 
 pub use costmodel::{gcformer_latency, thex_latency, CostModel, GcGateModel, OpCosts};
 pub use gcmod::{GcMode, GcStepKind};
-pub use packing::{matmul_counts, MatmulCounts, Packing};
+pub use packing::{matmul_counts, MatmulCounts, MatmulWeights, Packing, PreparedMatmul};
 pub use session::{
-    build_session_circuits, ClientOnline, ClientProducer, ClientSession, Engine, OfflinePool,
-    ProtocolVariant, ServeRound, ServerOnline, ServerProducer, ServerSession,
+    build_session_circuits, ClientOnline, ClientProducer, ClientSession, Engine, ModelPlane,
+    OfflinePool, ProtocolVariant, ServeRound, ServerOnline, ServerProducer, ServerSession,
 };
 pub use stats::{
     argmax_logits, InferenceReport, PhaseCost, PhaseTotals, StepBreakdown, StepCategory,

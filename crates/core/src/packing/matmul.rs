@@ -7,6 +7,16 @@
 //! `debug_assert` their live op counts against [`matmul_counts`], the
 //! same formulas the analytic cost model extrapolates from.
 //!
+//! **Weights** come in two forms ([`MatmulWeights`]): raw ring matrices
+//! whose masks are encoded fresh inside the chain (the only option for
+//! data-dependent operands like FHGS's online `U` matrices), or a
+//! [`PreparedMatmul`] plane whose masks were encoded + NTT-lifted once
+//! at session Setup. Both forms feed the *same* chain code and build
+//! bit-identical masks, so the output ciphertexts are bit-identical —
+//! the prepared plane only moves the per-mask `encode` +
+//! `prepare_mul_plain` work out of the hot path (the `mask_prep` op
+//! counter proves where it ran).
+//!
 //! **Parallelism**: each output ciphertext is an independent Horner
 //! chain, so the chains fan out across the `rayon` pool (one task per
 //! output ciphertext — "output chunks" in tokens-first, `(token, chunk)`
@@ -14,11 +24,12 @@
 //! order is untouched, so every output ciphertext is **bit-identical**
 //! to the sequential path at any `PRIMER_THREADS`. Live op counts are
 //! tallied per chain (not via the shared evaluator counters, whose
-//! deltas would interleave when several matmuls or chains run at once)
-//! and summed in chain order for the model check.
+//! deltas would interleave under concurrency) and summed in chain order
+//! for the model check.
 
+use super::prepared::PreparedMatmul;
 use super::{Layout, MatmulCounts, Packing, PackedMatrix};
-use primer_he::{BatchEncoder, Ciphertext, Evaluator, GaloisKeys, HeError};
+use primer_he::{BatchEncoder, Ciphertext, Evaluator, GaloisKeys, HeError, MulPlain};
 use primer_math::MatZ;
 
 /// Per-chain tally of the ops a matmul actually issued, kept separate
@@ -35,6 +46,217 @@ impl LiveCounts {
         self.rotations += other.rotations;
         self.mul_plain += other.mul_plain;
     }
+}
+
+/// Where an encrypted matmul gets its multiplication masks.
+pub enum MatmulWeights<'a> {
+    /// Raw ring weights: every mask is encoded and NTT-lifted inside the
+    /// chain (per call). Required when the "weights" are query data
+    /// (FHGS online); pure overhead for session-constant weights.
+    Fresh {
+        /// The `cols × out_cols` weight matrix.
+        w: &'a MatZ,
+        /// Encoder for the fresh masks.
+        encoder: &'a BatchEncoder,
+    },
+    /// Masks encoded once at Setup and reused read-only by every query
+    /// (and, via the serving registry, by every concurrent session of
+    /// the same model).
+    Prepared(&'a PreparedMatmul),
+}
+
+/// A mask handed to the chain: borrowed from a prepared plane, or owned
+/// because it was just encoded.
+pub(super) enum MaskRef<'a> {
+    Borrowed(&'a MulPlain),
+    Owned(MulPlain),
+}
+
+impl std::ops::Deref for MaskRef<'_> {
+    type Target = MulPlain;
+
+    fn deref(&self) -> &MulPlain {
+        match self {
+            MaskRef::Borrowed(m) => m,
+            MaskRef::Owned(m) => m,
+        }
+    }
+}
+
+impl<'a> MatmulWeights<'a> {
+    fn out_cols(&self) -> usize {
+        match self {
+            MatmulWeights::Fresh { w, .. } => w.cols(),
+            MatmulWeights::Prepared(p) => p.out_cols(),
+        }
+    }
+
+    fn in_rows(&self) -> usize {
+        match self {
+            MatmulWeights::Fresh { w, .. } => w.rows(),
+            MatmulWeights::Prepared(p) => p.in_cols(),
+        }
+    }
+
+    fn tf_mask(
+        &self,
+        eval: &Evaluator,
+        in_l: &Layout,
+        r: usize,
+        b: usize,
+        k: usize,
+    ) -> Option<MaskRef<'_>> {
+        match self {
+            MatmulWeights::Fresh { w, encoder } => {
+                let slots = tf_mask_slots(in_l, w, r, b, k)?;
+                Some(MaskRef::Owned(eval.prepare_mul_plain(&encoder.encode(&slots))))
+            }
+            MatmulWeights::Prepared(p) => p.tf_mask(r, b, k).map(MaskRef::Borrowed),
+        }
+    }
+
+    fn fb_full_mask(
+        &self,
+        eval: &Evaluator,
+        in_l: &Layout,
+        oc: usize,
+        delta: usize,
+        c: usize,
+    ) -> MaskRef<'_> {
+        match self {
+            MatmulWeights::Fresh { w, encoder } => {
+                let slots = fb_full_mask_slots(in_l, w, oc, delta, c);
+                MaskRef::Owned(eval.prepare_mul_plain(&encoder.encode(&slots)))
+            }
+            MatmulWeights::Prepared(p) => MaskRef::Borrowed(p.fb_full_mask(oc, delta, c)),
+        }
+    }
+
+    fn fb_grouped_a_mask(
+        &self,
+        eval: &Evaluator,
+        in_l: &Layout,
+        oc: usize,
+        delta: usize,
+    ) -> MaskRef<'_> {
+        match self {
+            MatmulWeights::Fresh { w, encoder } => {
+                let slots = fb_grouped_a_slots(in_l, w, oc, delta);
+                MaskRef::Owned(eval.prepare_mul_plain(&encoder.encode(&slots)))
+            }
+            MatmulWeights::Prepared(p) => MaskRef::Borrowed(p.fb_grouped_a_mask(oc, delta)),
+        }
+    }
+
+    fn fb_grouped_b_mask(
+        &self,
+        eval: &Evaluator,
+        in_l: &Layout,
+        oc: usize,
+        k: usize,
+    ) -> MaskRef<'_> {
+        match self {
+            MatmulWeights::Fresh { w, encoder } => {
+                let slots = fb_grouped_b_slots(in_l, w, oc, k);
+                MaskRef::Owned(eval.prepare_mul_plain(&encoder.encode(&slots)))
+            }
+            MatmulWeights::Prepared(p) => MaskRef::Borrowed(p.fb_grouped_b_mask(oc, k)),
+        }
+    }
+}
+
+// ---- mask slot builders (shared by the fresh path and the prepared
+// plane, so both produce bit-identical masks) ------------------------------
+
+/// Tokens-first pre-rotated mask `m'_b` for output ct `r`, Horner step
+/// `b`, input ct `k`: feature block `u` contributes
+/// `W[j = k·B+u][g = r·B + (u − b) mod B]`. `None` when every slot is
+/// zero (the chain skips the multiplication entirely).
+pub(super) fn tf_mask_slots(
+    in_l: &Layout,
+    w: &MatZ,
+    r: usize,
+    b: usize,
+    k: usize,
+) -> Option<Vec<u64>> {
+    if !tf_mask_nonempty(in_l, w.cols(), k, b, r) {
+        return None;
+    }
+    let block = in_l.block();
+    let pad = in_l.pad;
+    let mut slots = vec![0u64; in_l.simd];
+    for u in 0..block {
+        let j = k * block + u;
+        if j >= in_l.cols {
+            continue;
+        }
+        let g = r * block + (u + block - b) % block;
+        if g >= w.cols() {
+            continue;
+        }
+        for i in 0..in_l.rows {
+            slots[u * pad + i] = w[(j, g)];
+        }
+    }
+    Some(slots)
+}
+
+/// Feature-based full-width mask:
+/// `m'_delta[u] = W[c·simd + u][oc·simd + (u − delta) mod simd]`.
+pub(super) fn fb_full_mask_slots(
+    in_l: &Layout,
+    w: &MatZ,
+    oc: usize,
+    delta: usize,
+    c: usize,
+) -> Vec<u64> {
+    let simd = in_l.simd;
+    let base = c * simd;
+    let mut slots = vec![0u64; simd];
+    for (u, slot) in slots.iter_mut().enumerate() {
+        let j = base + u;
+        let g = oc * simd + (u + simd - delta) % simd;
+        if j < in_l.cols && g < w.cols() {
+            *slot = w[(j, g)];
+        }
+    }
+    slots
+}
+
+/// Feature-based grouped chain-A mask:
+/// `m'[u·fp + o] = W[o][oc·fp + o − delta]`.
+pub(super) fn fb_grouped_a_slots(in_l: &Layout, w: &MatZ, oc: usize, delta: usize) -> Vec<u64> {
+    let fp = in_l.pad;
+    let feats = in_l.cols;
+    let dout_chunk = fp.min(w.cols() - oc * fp);
+    let mut slots = vec![0u64; in_l.simd];
+    for u in 0..in_l.group() {
+        for o in delta..feats {
+            let g = o - delta;
+            if g < dout_chunk {
+                slots[u * fp + o] = w[(o, oc * fp + g)];
+            }
+        }
+    }
+    slots
+}
+
+/// Feature-based grouped chain-B mask (inverse offsets):
+/// `out[o+k] += in[o]·W[o][o+k]`.
+pub(super) fn fb_grouped_b_slots(in_l: &Layout, w: &MatZ, oc: usize, k: usize) -> Vec<u64> {
+    let fp = in_l.pad;
+    let feats = in_l.cols;
+    let dout_chunk = fp.min(w.cols() - oc * fp);
+    let mut slots = vec![0u64; in_l.simd];
+    for u in 0..in_l.group() {
+        for o in 0..feats {
+            let g = o + k;
+            if g < dout_chunk {
+                slots[u * fp + o] = w[(o, oc * fp + g)];
+            }
+        }
+    }
+    slots
 }
 
 /// The layout that [`matmul_plain_weights`] produces for the given input
@@ -56,7 +278,7 @@ pub fn matmul_out_layout(
 
 /// Output layout produced by a feature-based matmul (regions inherit the
 /// input padding, so it differs from `Layout::plan` of a fresh matrix).
-fn fb_out_layout(in_l: &Layout, out_cols: usize) -> Layout {
+pub(super) fn fb_out_layout(in_l: &Layout, out_cols: usize) -> Layout {
     let simd = in_l.simd;
     let fp = in_l.pad;
     let num_cts = if fp == simd {
@@ -77,6 +299,8 @@ fn fb_out_layout(in_l: &Layout, out_cols: usize) -> Layout {
 /// Predicts the op counts of [`matmul_plain_weights`] analytically.
 /// The implementation `debug_assert`s that its real counts match; the
 /// cost model extrapolates paper-scale latency from these formulas.
+/// `mask_prep` mirrors `mul_plain` on the fresh path and is zero on the
+/// prepared path — the "encode count model" of the prepared plane.
 pub fn matmul_counts(
     packing: Packing,
     rows: usize,
@@ -137,7 +361,13 @@ pub fn matmul_counts(
     c
 }
 
-fn tf_mask_nonempty(in_l: &Layout, out_cols: usize, k: usize, b: usize, r: usize) -> bool {
+pub(super) fn tf_mask_nonempty(
+    in_l: &Layout,
+    out_cols: usize,
+    k: usize,
+    b: usize,
+    r: usize,
+) -> bool {
     let block = in_l.block();
     for u in 0..block {
         let j = k * block + u;
@@ -153,7 +383,8 @@ fn tf_mask_nonempty(in_l: &Layout, out_cols: usize, k: usize, b: usize, r: usize
 }
 
 /// Encrypted × plaintext matrix multiplication: `Enc(X) · W` where `X`
-/// is `rows × cols` (packed) and `W` is `cols × out_cols`.
+/// is `rows × cols` (packed) and `W` is `cols × out_cols`, with masks
+/// encoded fresh per call.
 ///
 /// Returns the packed product and the op counts actually spent.
 ///
@@ -171,16 +402,55 @@ pub fn matmul_plain_weights(
     encoder: &BatchEncoder,
     keys: &GaloisKeys,
 ) -> Result<PackedMatrix, HeError> {
-    assert_eq!(x.layout.cols, w.rows(), "inner dimension mismatch");
+    matmul_weights(x, &MatmulWeights::Fresh { w, encoder }, eval, keys)
+}
+
+/// [`matmul_plain_weights`] against a [`PreparedMatmul`] plane: the
+/// chain consumes setup-encoded NTT-form masks read-only, so the hot
+/// path performs no mask encoding at all. Output ciphertexts are
+/// bit-identical to the fresh path.
+///
+/// # Errors
+///
+/// Propagates [`HeError`] if a required Galois key is missing.
+pub fn matmul_prepared(
+    x: &PackedMatrix,
+    prepared: &PreparedMatmul,
+    eval: &Evaluator,
+    keys: &GaloisKeys,
+) -> Result<PackedMatrix, HeError> {
+    matmul_weights(x, &MatmulWeights::Prepared(prepared), eval, keys)
+}
+
+/// The shared driver behind both mask sources.
+///
+/// # Errors
+///
+/// Propagates [`HeError`] if a required Galois key is missing.
+///
+/// # Panics
+///
+/// Panics on shape mismatch (including a prepared plane built for a
+/// different input layout).
+pub fn matmul_weights(
+    x: &PackedMatrix,
+    weights: &MatmulWeights<'_>,
+    eval: &Evaluator,
+    keys: &GaloisKeys,
+) -> Result<PackedMatrix, HeError> {
+    assert_eq!(x.layout.cols, weights.in_rows(), "inner dimension mismatch");
+    if let MatmulWeights::Prepared(p) = weights {
+        assert_eq!(&x.layout, p.in_layout(), "prepared plane built for a different layout");
+    }
     let (out, live) = match x.layout.packing {
-        Packing::TokensFirst => tf_matmul(x, w, eval, encoder, keys)?,
-        Packing::FeatureBased => fb_matmul(x, w, eval, encoder, keys)?,
+        Packing::TokensFirst => tf_matmul(x, weights, eval, keys)?,
+        Packing::FeatureBased => fb_matmul(x, weights, eval, keys)?,
     };
     let predicted = matmul_counts(
         x.layout.packing,
         x.layout.rows,
         x.layout.cols,
-        w.cols(),
+        weights.out_cols(),
         x.layout.simd,
     );
     debug_assert_eq!(
@@ -213,16 +483,14 @@ fn collect_chains(
 /// parallel across output ciphertexts.
 fn tf_matmul(
     x: &PackedMatrix,
-    w: &MatZ,
+    weights: &MatmulWeights<'_>,
     eval: &Evaluator,
-    encoder: &BatchEncoder,
     keys: &GaloisKeys,
 ) -> Result<(PackedMatrix, LiveCounts), HeError> {
     let in_l = &x.layout;
-    let simd = in_l.simd;
     let block = in_l.block();
     let pad = in_l.pad;
-    let out_l = Layout::plan(Packing::TokensFirst, in_l.rows, w.cols(), simd);
+    let out_l = Layout::plan(Packing::TokensFirst, in_l.rows, weights.out_cols(), in_l.simd);
     let results = rayon::par_iter_chunks(out_l.num_cts, |r| {
         let mut live = LiveCounts::default();
         // Horner over stride rotations: acc ← rot(acc) + y_b, b descending.
@@ -232,28 +500,11 @@ fn tf_matmul(
                 acc = Some(eval.rotate_rows(&a, pad, keys)?);
                 live.rotations += 1;
             }
-            // Pre-rotated mask m'_b: feature block u contributes
-            // W[j = k·B+u][g = r·B + (u − b) mod B].
             let mut step_sum: Option<Ciphertext> = None;
             for k in 0..in_l.num_cts {
-                if !tf_mask_nonempty(in_l, w.cols(), k, b, r) {
+                let Some(mask) = weights.tf_mask(eval, in_l, r, b, k) else {
                     continue;
-                }
-                let mut slots = vec![0u64; simd];
-                for u in 0..block {
-                    let j = k * block + u;
-                    if j >= in_l.cols {
-                        continue;
-                    }
-                    let g = r * block + (u + block - b) % block;
-                    if g >= w.cols() {
-                        continue;
-                    }
-                    for i in 0..in_l.rows {
-                        slots[u * pad + i] = w[(j, g)];
-                    }
-                }
-                let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
+                };
                 live.mul_plain += 1;
                 match &mut step_sum {
                     None => step_sum = Some(eval.mul_plain(&x.cts[k], &mask)),
@@ -277,16 +528,15 @@ fn tf_matmul(
 /// multiple token regions share a ciphertext).
 fn fb_matmul(
     x: &PackedMatrix,
-    w: &MatZ,
+    weights: &MatmulWeights<'_>,
     eval: &Evaluator,
-    encoder: &BatchEncoder,
     keys: &GaloisKeys,
 ) -> Result<(PackedMatrix, LiveCounts), HeError> {
     let fp = x.layout.pad;
     if fp == x.layout.simd {
-        fb_matmul_full(x, w, eval, encoder, keys)
+        fb_matmul_full(x, weights, eval, keys)
     } else {
-        fb_matmul_grouped(x, w, eval, encoder, keys)
+        fb_matmul_grouped(x, weights, eval, keys)
     }
 }
 
@@ -295,37 +545,27 @@ fn fb_matmul(
 /// parallel across `(token, chunk)` outputs.
 fn fb_matmul_full(
     x: &PackedMatrix,
-    w: &MatZ,
+    weights: &MatmulWeights<'_>,
     eval: &Evaluator,
-    encoder: &BatchEncoder,
     keys: &GaloisKeys,
 ) -> Result<(PackedMatrix, LiveCounts), HeError> {
     let in_l = &x.layout;
     let simd = in_l.simd;
     let chunks = in_l.cols.div_ceil(simd);
-    let out_chunks = w.cols().div_ceil(simd);
+    let out_cols = weights.out_cols();
+    let out_chunks = out_cols.div_ceil(simd);
     // Output here uses full-width regions regardless of out width.
     let results = rayon::par_iter_chunks(in_l.rows * out_chunks, |idx| {
         let (token, oc) = (idx / out_chunks, idx % out_chunks);
         let mut live = LiveCounts::default();
         let mut acc: Option<Ciphertext> = None;
         for delta in (0..simd).rev() {
-            // m'_delta[u] = W[c·simd + u][oc·simd + (u − delta) mod simd]
             let mut step_sum: Option<Ciphertext> = None;
             for c in 0..chunks {
-                let base = c * simd;
-                if base >= in_l.cols {
+                if c * simd >= in_l.cols {
                     continue;
                 }
-                let mut slots = vec![0u64; simd];
-                for (u, slot) in slots.iter_mut().enumerate() {
-                    let j = base + u;
-                    let g = oc * simd + (u + simd - delta) % simd;
-                    if j < in_l.cols && g < w.cols() {
-                        *slot = w[(j, g)];
-                    }
-                }
-                let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
+                let mask = weights.fb_full_mask(eval, in_l, oc, delta, c);
                 let ct = &x.cts[token * chunks + c];
                 live.mul_plain += 1;
                 match &mut step_sum {
@@ -346,7 +586,7 @@ fn fb_matmul_full(
         Ok((acc.expect("simd > 0"), live))
     });
     let (out_cts, live) = collect_chains(results)?;
-    let layout = fb_out_layout(in_l, w.cols());
+    let layout = fb_out_layout(in_l, out_cols);
     debug_assert_eq!(layout.num_cts, out_cts.len());
     Ok((PackedMatrix { layout, cts: out_cts }, live))
 }
@@ -357,17 +597,15 @@ fn fb_matmul_full(
 /// feature-output offsets.
 fn fb_matmul_grouped(
     x: &PackedMatrix,
-    w: &MatZ,
+    weights: &MatmulWeights<'_>,
     eval: &Evaluator,
-    encoder: &BatchEncoder,
     keys: &GaloisKeys,
 ) -> Result<(PackedMatrix, LiveCounts), HeError> {
     let in_l = &x.layout;
     let simd = in_l.simd;
     let fp = in_l.pad;
-    let group = in_l.group();
     let feats = in_l.cols;
-    let dout = w.cols();
+    let dout = weights.out_cols();
     let out_chunks = dout.div_ceil(fp);
     let results = rayon::par_iter_chunks(in_l.num_cts * out_chunks, |idx| {
         let (z, oc) = (idx / out_chunks, idx % out_chunks);
@@ -378,16 +616,7 @@ fn fb_matmul_grouped(
         let chain_a_len = feats.min(fp);
         let mut acc_a: Option<Ciphertext> = None;
         for delta in (0..chain_a_len).rev() {
-            let mut slots = vec![0u64; simd];
-            for u in 0..group {
-                for o in delta..feats {
-                    let g = o - delta;
-                    if g < dout_chunk {
-                        slots[u * fp + o] = w[(o, oc * fp + g)];
-                    }
-                }
-            }
-            let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
+            let mask = weights.fb_grouped_a_mask(eval, in_l, oc, delta);
             let y = eval.mul_plain(ct, &mask);
             live.mul_plain += 1;
             acc_a = Some(match acc_a {
@@ -405,16 +634,7 @@ fn fb_matmul_grouped(
         if dout_chunk > 1 {
             let mut acc_b: Option<Ciphertext> = None;
             for k in (1..dout_chunk).rev() {
-                let mut slots = vec![0u64; simd];
-                for u in 0..group {
-                    for o in 0..feats {
-                        let g = o + k;
-                        if g < dout_chunk {
-                            slots[u * fp + o] = w[(o, oc * fp + g)];
-                        }
-                    }
-                }
-                let mask = eval.prepare_mul_plain(&encoder.encode(&slots));
+                let mask = weights.fb_grouped_b_mask(eval, in_l, oc, k);
                 let y = eval.mul_plain(ct, &mask);
                 live.mul_plain += 1;
                 acc_b = Some(match acc_b {
@@ -448,6 +668,7 @@ fn fb_matmul_grouped(
 
 #[cfg(test)]
 mod tests {
+    use super::super::prepared::PreparedMatmul;
     use super::super::testutil::{fixture, small_matrix};
     use super::super::{decrypt_matrix, encrypt_matrix};
     use super::*;
@@ -482,6 +703,54 @@ mod tests {
         // cols padded to the full SIMD width (the big-vocab regime):
         // use a column count > simd/2 so pad == simd.
         check_matmul(Packing::FeatureBased, 2, 513, 6);
+    }
+
+    /// The prepared plane must produce **bit-identical output
+    /// ciphertexts** to the fresh path (same chain, same masks, same
+    /// arithmetic — the plane only moves the encoding to build time),
+    /// while spending zero `mask_prep` ops in the chain itself.
+    #[test]
+    fn prepared_path_is_bit_identical_and_encode_free() {
+        for (packing, rows, cols, out_cols) in [
+            (Packing::TokensFirst, 4usize, 8usize, 16usize),
+            (Packing::TokensFirst, 3, 10, 5),
+            (Packing::FeatureBased, 4, 8, 16),
+            (Packing::FeatureBased, 3, 10, 5),
+            (Packing::FeatureBased, 2, 513, 6),
+        ] {
+            let fx = fixture(rows.next_power_of_two());
+            let x = small_matrix(&fx.ring, rows, cols, 270 + out_cols as u64);
+            let w = small_matrix(&fx.ring, cols, out_cols, 271 + cols as u64);
+            let packed = encrypt_matrix(packing, &x, &fx.encoder, &fx.encryptor);
+
+            let fresh =
+                matmul_plain_weights(&packed, &w, &fx.eval, &fx.encoder, &fx.keys).expect("keys");
+
+            let prepared = PreparedMatmul::new(packing, rows, &w, &fx.eval, &fx.encoder);
+            assert!(prepared.mask_bytes() > 0);
+            let before = fx.eval.counts();
+            let via_plane = matmul_prepared(&packed, &prepared, &fx.eval, &fx.keys).expect("keys");
+            let spent = fx.eval.counts().since(&before);
+
+            assert_eq!(via_plane.cts, fresh.cts, "{packing:?} {rows}x{cols}x{out_cols}");
+            assert_eq!(via_plane.layout, fresh.layout);
+            assert_eq!(spent.mask_prep, 0, "prepared chain must not encode masks");
+            let predicted = matmul_counts(packing, rows, cols, out_cols, fx.encoder.row_size());
+            assert_eq!(spent.mul_plain, predicted.mul_plain);
+        }
+    }
+
+    /// The prepared plane's rotation plan names exactly the steps its
+    /// chains issue, so Setup can provision dedicated Galois keys.
+    #[test]
+    fn rotation_plan_covers_used_steps() {
+        let fx = fixture(4);
+        let simd = fx.encoder.row_size();
+        let w = small_matrix(&fx.ring, 8, 16, 280);
+        let tf = PreparedMatmul::new(Packing::TokensFirst, 4, &w, &fx.eval, &fx.encoder);
+        assert_eq!(tf.rotation_steps(), &[4]);
+        let fb = PreparedMatmul::new(Packing::FeatureBased, 4, &w, &fx.eval, &fx.encoder);
+        assert_eq!(fb.rotation_steps(), &[1, simd - 1]);
     }
 
     #[test]

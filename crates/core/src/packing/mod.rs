@@ -279,8 +279,13 @@ pub struct MatmulCounts {
 }
 
 mod matmul;
+mod prepared;
 
-pub use matmul::{matmul_counts, matmul_out_layout, matmul_plain_weights};
+pub use matmul::{
+    matmul_counts, matmul_out_layout, matmul_plain_weights, matmul_prepared, matmul_weights,
+    MatmulWeights,
+};
+pub use prepared::PreparedMatmul;
 
 /// Shared HE fixture for the packing/matmul test suites.
 #[cfg(test)]

@@ -25,10 +25,12 @@
 pub mod client;
 pub mod offline;
 pub mod online;
+pub mod plane;
 pub mod pool;
 pub mod server;
 
 pub use client::{ClientOnline, ClientProducer, ClientSession};
+pub use plane::ModelPlane;
 pub use pool::OfflinePool;
 pub use server::{ServeRound, ServerOnline, ServerProducer, ServerSession};
 
@@ -187,6 +189,7 @@ impl Engine {
             move |cs: &mut ClientSession, tokens: Vec<usize>, t| cs.infer(&tokens, t),
             move |t| {
                 ServerSession::setup(sys_s, variant, mode, fixed_s, circuits_s, seed, total, pool, t)
+                    .expect("in-process key transfer cannot be malformed")
             },
             move |ss: &mut ServerSession, _round, t| ss.serve_one(t),
         );

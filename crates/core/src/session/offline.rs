@@ -44,7 +44,7 @@ use crate::chgs;
 use crate::fhgs::{self, FhgsDims};
 use crate::gcmod::{GcClientStep, GcServerStep};
 use crate::hgs;
-use crate::packing::{Layout, PackedMatrix};
+use crate::packing::{Layout, MatmulWeights, PackedMatrix};
 use crate::stats::{StepBreakdown, StepCategory};
 use crate::wire::{recv_packed, send_packed};
 use primer_he::{Evaluator, OpCounts};
@@ -585,11 +585,13 @@ fn recv_server_bundle(
 }
 
 /// One parallel compute job: the HE work of a single HGS/CHGS instance.
+/// Weights resolve through the model plane — prepared NTT-form masks on
+/// the default path, raw matrices on the fresh-mask reference path.
 struct ComputeJob<'a> {
     bundle: usize,
     cat: StepCategory,
     req: &'a PackedMatrix,
-    weights: Vec<&'a MatZ>,
+    weights: Vec<MatmulWeights<'a>>,
     rss: Vec<&'a MatZ>,
 }
 
@@ -636,12 +638,11 @@ pub(crate) fn produce_server_bundles(
             let mut jobs = Vec::new();
             match &recv.embed {
                 EmbedRecv::Chgs { req, rss } => {
-                    let cw = core.weights.combined.as_ref().expect("combined weights prepared");
                     jobs.push(ComputeJob {
                         bundle: i,
                         cat: StepCategory::QxK,
                         req,
-                        weights: vec![&core.weights.we, &cw.a_q, &cw.a_k, &cw.a_v],
+                        weights: core.plane.embed_weights(&core.encoder),
                         rss: rss.iter().collect(),
                     });
                 }
@@ -649,14 +650,13 @@ pub(crate) fn produce_server_bundles(
                     bundle: i,
                     cat: StepCategory::Embed,
                     req: &r.req,
-                    weights: vec![&core.weights.we],
+                    weights: core.plane.embed_weights(&core.encoder),
                     rss: vec![&r.rs],
                 }),
             }
             for (b, blk) in recv.blocks.iter().enumerate() {
-                let w = &core.weights.blocks[b];
                 if let Some(qkv) = &blk.qkv {
-                    for (r, wm) in qkv.iter().zip([&w.wq, &w.wk, &w.wv]) {
+                    for (r, wm) in qkv.iter().zip(core.plane.qkv_weights(b, &core.encoder)) {
                         jobs.push(ComputeJob {
                             bundle: i,
                             cat: StepCategory::Qkv,
@@ -666,7 +666,8 @@ pub(crate) fn produce_server_bundles(
                         });
                     }
                 }
-                for (r, wm) in [(&blk.wo, &w.wo), (&blk.w1, &w.w1), (&blk.w2, &w.w2)] {
+                let linear = core.plane.linear_weights(b, &core.encoder);
+                for (r, wm) in [&blk.wo, &blk.w1, &blk.w2].into_iter().zip(linear) {
                     jobs.push(ComputeJob {
                         bundle: i,
                         cat: StepCategory::Others,
@@ -680,7 +681,7 @@ pub(crate) fn produce_server_bundles(
                 bundle: i,
                 cat: StepCategory::Others,
                 req: &recv.cls.req,
-                weights: vec![&core.weights.classifier],
+                weights: vec![core.plane.classifier_weights(&core.encoder)],
                 rss: vec![&recv.cls.rs],
             });
             jobs
@@ -696,7 +697,7 @@ pub(crate) fn produce_server_bundles(
         let replies = if job.weights.len() == 1 {
             vec![hgs::server_compute(
                 job.req,
-                job.weights[0],
+                &job.weights[0],
                 job.rss[0],
                 &scratch,
                 &core.encoder,

@@ -183,7 +183,7 @@ pub(crate) fn server_online(
 
     let mut timer = StepTimer::resume(t, *wire_mark);
     let start = timer.snapshot();
-    let w = &core.weights;
+    let w = &core.plane.weights;
 
     let u0 = wire::recv_matrix(t);
     // Embed / combined online + GC.

@@ -1,0 +1,304 @@
+//! The server's session-constant model plane: ring-domain weights plus
+//! (by default) the prepared NTT-form mask planes for every HGS/CHGS
+//! matmul, built **once** and shared read-only.
+//!
+//! A [`ModelPlane`] is a pure function of `(system config, variant,
+//! quantized model)` — no session randomness touches it — so it is
+//! immutable after construction and `Sync`. The in-process engine
+//! builds one per session during Setup; the TCP serving registry caches
+//! one `Arc` per variant and hands it to every concurrent session of
+//! the same model, amortizing the mask encoding across the whole fleet
+//! (see DESIGN.md §10 for the lifecycle).
+
+use super::server::{BlockRing, CombinedRing, ServerWeights};
+use super::{lambda_scaled, to_ring, ProtocolVariant};
+use crate::packing::{MatmulWeights, Packing, PreparedMatmul};
+use crate::system::SystemConfig;
+use primer_he::{BatchEncoder, Evaluator};
+use primer_math::MatZ;
+use primer_nn::FixedTransformer;
+
+/// Prepared mask planes for one encoder block's HGS matmuls.
+pub(crate) struct PreparedBlock {
+    /// Q/K/V projection planes (absent in block 0 under CHGS, where the
+    /// combined module subsumes them).
+    pub qkv: Option<[PreparedMatmul; 3]>,
+    pub wo: PreparedMatmul,
+    pub w1: PreparedMatmul,
+    pub w2: PreparedMatmul,
+}
+
+/// Prepared mask planes for every session-constant matmul of a model.
+pub(crate) struct PreparedWeights {
+    /// Embedding (`W_E`, or `Ā_e` under CHGS) against the one-hot input.
+    pub we: PreparedMatmul,
+    /// CHGS combined projections `Ā_q`, `Ā_k`, `Ā_v` (Fpc only).
+    pub combined: Option<[PreparedMatmul; 3]>,
+    pub blocks: Vec<PreparedBlock>,
+    pub classifier: PreparedMatmul,
+}
+
+/// Ring weights + optional prepared mask planes for one (model,
+/// variant). See the module docs.
+pub struct ModelPlane {
+    pub(crate) variant: ProtocolVariant,
+    pub(crate) weights: ServerWeights,
+    pub(crate) prepared: Option<PreparedWeights>,
+}
+
+impl ModelPlane {
+    /// Builds the plane with prepared masks (the default, NTT-resident
+    /// serving path). All mask encoding — the entire per-weight
+    /// `mask_prep` budget — runs here, inside Setup.
+    pub fn build(sys: &SystemConfig, variant: ProtocolVariant, fixed: &FixedTransformer) -> Self {
+        Self::assemble(sys, variant, fixed, true)
+    }
+
+    /// Builds the plane **without** prepared masks: every matmul encodes
+    /// its masks fresh, per call — the pre-refactor behaviour, kept as
+    /// the reference arm of the prepared-vs-fresh equivalence suite.
+    pub fn build_raw(
+        sys: &SystemConfig,
+        variant: ProtocolVariant,
+        fixed: &FixedTransformer,
+    ) -> Self {
+        Self::assemble(sys, variant, fixed, false)
+    }
+
+    fn assemble(
+        sys: &SystemConfig,
+        variant: ProtocolVariant,
+        fixed: &FixedTransformer,
+        prepare: bool,
+    ) -> Self {
+        let ring = sys.ring();
+        let frac = fixed.spec().fixed.frac();
+        let combined = variant.combined().then(|| {
+            let cw = fixed.combined_weights();
+            CombinedRing {
+                a_q: to_ring(&ring, &cw.a_q),
+                a_k: to_ring(&ring, &cw.a_k),
+                a_v: to_ring(&ring, &cw.a_v),
+                lam_q: lambda_scaled(&ring, &cw.lam_q, frac),
+                lam_k: lambda_scaled(&ring, &cw.lam_k, frac),
+                lam_v: lambda_scaled(&ring, &cw.lam_v, frac),
+            }
+        });
+        let weights = ServerWeights {
+            we: to_ring(&ring, &fixed.we),
+            lam: lambda_scaled(&ring, &fixed.pos, frac),
+            combined,
+            blocks: fixed
+                .blocks
+                .iter()
+                .map(|blk| BlockRing {
+                    wq: to_ring(&ring, &blk.wq),
+                    wk: to_ring(&ring, &blk.wk),
+                    wv: to_ring(&ring, &blk.wv),
+                    wo: to_ring(&ring, &blk.wo),
+                    w1: to_ring(&ring, &blk.w1),
+                    w2: to_ring(&ring, &blk.w2),
+                })
+                .collect(),
+            classifier: to_ring(&ring, &fixed.classifier),
+        };
+        let prepared = prepare.then(|| Self::prepare(sys, variant, &weights));
+        Self { variant, weights, prepared }
+    }
+
+    /// Encodes every session-constant mask once (a pure function of the
+    /// weights, parallel across masks).
+    fn prepare(
+        sys: &SystemConfig,
+        variant: ProtocolVariant,
+        w: &ServerWeights,
+    ) -> PreparedWeights {
+        let packing = variant.packing();
+        let n = sys.model.n_tokens;
+        // Scratch evaluator/encoder: the `mask_prep` ops belong to plane
+        // construction (Setup), not to any query's phase counters.
+        let encoder = BatchEncoder::new(&sys.he);
+        let eval = Evaluator::new(&sys.he);
+        let plan =
+            |rows: usize, wm: &MatZ| PreparedMatmul::new(packing, rows, wm, &eval, &encoder);
+        PreparedWeights {
+            we: plan(n, &w.we),
+            combined: w
+                .combined
+                .as_ref()
+                .map(|cw| [plan(n, &cw.a_q), plan(n, &cw.a_k), plan(n, &cw.a_v)]),
+            blocks: w
+                .blocks
+                .iter()
+                .enumerate()
+                .map(|(b, blk)| PreparedBlock {
+                    qkv: (b > 0 || !variant.combined())
+                        .then(|| [plan(n, &blk.wq), plan(n, &blk.wk), plan(n, &blk.wv)]),
+                    wo: plan(n, &blk.wo),
+                    w1: plan(n, &blk.w1),
+                    w2: plan(n, &blk.w2),
+                })
+                .collect(),
+            classifier: plan(1, &w.classifier),
+        }
+    }
+
+    /// The variant this plane was built for.
+    pub fn variant(&self) -> ProtocolVariant {
+        self.variant
+    }
+
+    /// Whether the prepared mask planes are present (false only for the
+    /// fresh-mask reference arm).
+    pub fn is_prepared(&self) -> bool {
+        self.prepared.is_some()
+    }
+
+    /// Resident memory pinned by the prepared masks, in bytes (0 when
+    /// unprepared). Surfaced in `ServerStats`.
+    pub fn mask_bytes(&self) -> u64 {
+        self.prepared.as_ref().map_or(0, |p| {
+            let mut total = p.we.mask_bytes() + p.classifier.mask_bytes();
+            if let Some(c) = &p.combined {
+                total += c.iter().map(PreparedMatmul::mask_bytes).sum::<u64>();
+            }
+            for blk in &p.blocks {
+                if let Some(qkv) = &blk.qkv {
+                    total += qkv.iter().map(PreparedMatmul::mask_bytes).sum::<u64>();
+                }
+                total += blk.wo.mask_bytes() + blk.w1.mask_bytes() + blk.w2.mask_bytes();
+            }
+            total
+        })
+    }
+
+    /// Every rotation step the prepared chains will issue — the rotation
+    /// plan Setup checks dedicated Galois keys against.
+    pub fn rotation_steps(&self) -> Vec<usize> {
+        let mut steps: Vec<usize> = Vec::new();
+        let mut add = |p: &PreparedMatmul| {
+            for &s in p.rotation_steps() {
+                if !steps.contains(&s) {
+                    steps.push(s);
+                }
+            }
+        };
+        if let Some(p) = &self.prepared {
+            add(&p.we);
+            if let Some(c) = &p.combined {
+                c.iter().for_each(&mut add);
+            }
+            for blk in &p.blocks {
+                if let Some(qkv) = &blk.qkv {
+                    qkv.iter().for_each(&mut add);
+                }
+                add(&blk.wo);
+                add(&blk.w1);
+                add(&blk.w2);
+            }
+            add(&p.classifier);
+        }
+        steps.sort_unstable();
+        steps
+    }
+
+    /// The embed-module matmul weights in reply order (1 flight for
+    /// HGS, 4 for the CHGS combined module), prepared when available.
+    pub(crate) fn embed_weights<'a>(
+        &'a self,
+        encoder: &'a BatchEncoder,
+    ) -> Vec<MatmulWeights<'a>> {
+        match (&self.prepared, &self.weights.combined) {
+            (Some(p), Some(_)) => {
+                let c = p.combined.as_ref().expect("combined planes prepared");
+                vec![
+                    MatmulWeights::Prepared(&p.we),
+                    MatmulWeights::Prepared(&c[0]),
+                    MatmulWeights::Prepared(&c[1]),
+                    MatmulWeights::Prepared(&c[2]),
+                ]
+            }
+            (Some(p), None) => vec![MatmulWeights::Prepared(&p.we)],
+            (None, Some(cw)) => vec![
+                MatmulWeights::Fresh { w: &self.weights.we, encoder },
+                MatmulWeights::Fresh { w: &cw.a_q, encoder },
+                MatmulWeights::Fresh { w: &cw.a_k, encoder },
+                MatmulWeights::Fresh { w: &cw.a_v, encoder },
+            ],
+            (None, None) => vec![MatmulWeights::Fresh { w: &self.weights.we, encoder }],
+        }
+    }
+
+    /// Block `b`'s Q/K/V projection weights (only meaningful when the
+    /// block runs the QKV HGS module).
+    pub(crate) fn qkv_weights<'a>(
+        &'a self,
+        b: usize,
+        encoder: &'a BatchEncoder,
+    ) -> [MatmulWeights<'a>; 3] {
+        if let Some(p) = &self.prepared {
+            let qkv = p.blocks[b].qkv.as_ref().expect("qkv planes prepared for this block");
+            [
+                MatmulWeights::Prepared(&qkv[0]),
+                MatmulWeights::Prepared(&qkv[1]),
+                MatmulWeights::Prepared(&qkv[2]),
+            ]
+        } else {
+            let blk = &self.weights.blocks[b];
+            [
+                MatmulWeights::Fresh { w: &blk.wq, encoder },
+                MatmulWeights::Fresh { w: &blk.wk, encoder },
+                MatmulWeights::Fresh { w: &blk.wv, encoder },
+            ]
+        }
+    }
+
+    /// Block `b`'s WO / W1 / W2 weights in module order.
+    pub(crate) fn linear_weights<'a>(
+        &'a self,
+        b: usize,
+        encoder: &'a BatchEncoder,
+    ) -> [MatmulWeights<'a>; 3] {
+        if let Some(p) = &self.prepared {
+            let blk = &p.blocks[b];
+            [
+                MatmulWeights::Prepared(&blk.wo),
+                MatmulWeights::Prepared(&blk.w1),
+                MatmulWeights::Prepared(&blk.w2),
+            ]
+        } else {
+            let blk = &self.weights.blocks[b];
+            [
+                MatmulWeights::Fresh { w: &blk.wo, encoder },
+                MatmulWeights::Fresh { w: &blk.w1, encoder },
+                MatmulWeights::Fresh { w: &blk.w2, encoder },
+            ]
+        }
+    }
+
+    /// The classifier head's weights.
+    pub(crate) fn classifier_weights<'a>(
+        &'a self,
+        encoder: &'a BatchEncoder,
+    ) -> MatmulWeights<'a> {
+        match &self.prepared {
+            Some(p) => MatmulWeights::Prepared(&p.classifier),
+            None => MatmulWeights::Fresh { w: &self.weights.classifier, encoder },
+        }
+    }
+
+    /// The packing the plane's prepared masks were laid out for.
+    pub fn packing(&self) -> Packing {
+        self.variant.packing()
+    }
+}
+
+impl std::fmt::Debug for ModelPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelPlane")
+            .field("variant", &self.variant)
+            .field("prepared", &self.is_prepared())
+            .field("mask_bytes", &self.mask_bytes())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,13 +1,14 @@
 //! The server side of a persistent two-party session.
 
 use super::offline::{produce_server_bundles, ServerBundle};
+use super::plane::ModelPlane;
 use super::pool::{refill_quota, OfflinePool, SharedPool, SharedPoolGuard};
-use super::{lambda_scaled, online, to_ring, ProtocolVariant};
+use super::{online, ProtocolVariant};
 use crate::gcmod::GcMode;
 use crate::stats::{PhaseCost, StepBreakdown};
 use crate::system::SystemConfig;
 use primer_gc::{Circuit, OtGroup};
-use primer_he::{BatchEncoder, Evaluator, GaloisKeys, OpCounts};
+use primer_he::{BatchEncoder, Evaluator, GaloisKeys, HeError, OpCounts};
 use primer_math::rng::derive;
 use primer_math::MatZ;
 use primer_net::{MeteredTransport, TrafficSnapshot};
@@ -16,8 +17,8 @@ use rand::rngs::StdRng;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Ring-domain weights, converted once per session during Setup (the
-/// old per-inference `to_ring` conversions were pure setup waste).
+/// Ring-domain weights, converted once per [`ModelPlane`] (the old
+/// per-inference `to_ring` conversions were pure setup waste).
 pub(crate) struct ServerWeights {
     /// Embedding table (`Ā_e` under CHGS).
     pub we: MatZ,
@@ -76,7 +77,9 @@ pub(crate) struct ServerCore {
     pub(crate) encoder: BatchEncoder,
     pub(crate) gk: GaloisKeys,
     pub(crate) group: OtGroup,
-    pub(crate) weights: ServerWeights,
+    /// Ring weights + prepared mask planes — possibly shared with other
+    /// concurrent sessions of the same model (serving registry cache).
+    pub(crate) plane: Arc<ModelPlane>,
 }
 
 /// Long-lived server session state: the shared [`ServerCore`] plus the
@@ -101,7 +104,13 @@ impl ServerSession {
     /// Setup phase: receives the client's serialized Galois keys (the
     /// wall-clock spent blocked here *is* the client's key generation,
     /// so the recorded setup cost covers both parties serialized) and
-    /// converts every model weight into the ring once.
+    /// builds the model plane — ring-domain weights plus the prepared
+    /// NTT-form mask planes — once.
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::Malformed`] when the peer's key flight is truncated or
+    /// corrupt (the serving boundary maps this to a failed session).
     #[allow(clippy::too_many_arguments)]
     pub fn setup(
         sys: SystemConfig,
@@ -113,18 +122,76 @@ impl ServerSession {
         total_queries: usize,
         pool_target: usize,
         t: &dyn MeteredTransport,
-    ) -> Self {
+    ) -> Result<Self, HeError> {
+        // The quantized model is not needed after the plane is built.
+        let build_start = Instant::now();
+        let plane = Arc::new(ModelPlane::build(&sys, variant, &fixed));
+        drop(fixed);
+        let build_elapsed = build_start.elapsed();
+        let mut session = Self::setup_with_plane(
+            sys,
+            variant,
+            mode,
+            circuits,
+            plane,
+            seed,
+            total_queries,
+            pool_target,
+            t,
+        )?;
+        // A session that owns its plane pays the build inside its own
+        // Setup phase (the serving path shares planes across sessions
+        // and meters the one build in `PreparedPlaneStats` instead).
+        session.setup_cost.compute += build_elapsed;
+        Ok(session)
+    }
+
+    /// [`ServerSession::setup`] against a pre-built (possibly shared)
+    /// [`ModelPlane`] — the serving registry caches one plane per
+    /// (model, variant) and passes the same `Arc` to every concurrent
+    /// session, so the mask encoding amortizes across the fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::Malformed`] when the peer's key flight is truncated or
+    /// corrupt; [`HeError::MissingGaloisKey`] when the received keys
+    /// cannot realize a step of the plane's rotation plan (the failure
+    /// would otherwise surface as a mid-offline panic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane was built for a different variant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn setup_with_plane(
+        sys: SystemConfig,
+        variant: ProtocolVariant,
+        mode: GcMode,
+        circuits: Arc<Vec<Circuit>>,
+        plane: Arc<ModelPlane>,
+        seed: u64,
+        total_queries: usize,
+        pool_target: usize,
+        t: &dyn MeteredTransport,
+    ) -> Result<Self, HeError> {
+        assert_eq!(plane.variant(), variant, "model plane built for a different variant");
         let start = Instant::now();
         let rng = derive(seed, "server");
         let encoder = BatchEncoder::new(&sys.he);
         let eval = Evaluator::new(&sys.he);
         let group = sys.ot_group.group();
         let key_bytes = t.recv();
-        let gk = GaloisKeys::from_bytes(&sys.he, &key_bytes);
-        // Ring-domain weights live in the session; the quantized model
-        // itself is not needed after Setup.
-        let weights = Self::prepare_weights(&sys, variant, &fixed);
-        drop(fixed);
+        let gk = GaloisKeys::from_bytes(&sys.he, &key_bytes)?;
+        // Rotation plan check: every step the prepared chains will issue
+        // must be realizable with the received keys (directly or via
+        // power-of-two hops), so an under-provisioned peer fails Setup
+        // cleanly instead of panicking mid-offline.
+        let half = sys.he.params().row_size();
+        for step in plane.rotation_steps() {
+            let s = step % half; // mirror rotate_rows: 0 is the identity
+            if s != 0 && primer_he::galois::decompose_step(s, gk.steps()).is_none() {
+                return Err(HeError::MissingGaloisKey { step: s });
+            }
+        }
         // Setup traffic is exactly the key flight (the server sends
         // nothing during Setup), so it is constructed from the received
         // length instead of a meter capture — the pipelining client may
@@ -139,7 +206,7 @@ impl ServerSession {
         };
         let mut setup_cost = PhaseCost::default();
         setup_cost.absorb(start.elapsed(), setup_traffic);
-        Self {
+        Ok(Self {
             core: Arc::new(ServerCore {
                 sys,
                 variant,
@@ -148,7 +215,7 @@ impl ServerSession {
                 encoder,
                 gk,
                 group,
-                weights,
+                plane,
             }),
             eval,
             rng,
@@ -158,48 +225,12 @@ impl ServerSession {
             produced: 0,
             setup_cost,
             wire_mark: setup_traffic,
-        }
+        })
     }
 
-    fn prepare_weights(
-        sys: &SystemConfig,
-        variant: ProtocolVariant,
-        fixed: &FixedTransformer,
-    ) -> ServerWeights {
-        let ring = sys.ring();
-        let frac = fixed.spec().fixed.frac();
-        let combined = variant.combined().then(|| {
-            let cw = fixed.combined_weights();
-            CombinedRing {
-                a_q: to_ring(&ring, &cw.a_q),
-                a_k: to_ring(&ring, &cw.a_k),
-                a_v: to_ring(&ring, &cw.a_v),
-                lam_q: lambda_scaled(&ring, &cw.lam_q, frac),
-                lam_k: lambda_scaled(&ring, &cw.lam_k, frac),
-                lam_v: lambda_scaled(&ring, &cw.lam_v, frac),
-            }
-        });
-        ServerWeights {
-            we: to_ring(&ring, &fixed.we),
-            lam: lambda_scaled(&ring, &fixed.pos, frac),
-            combined,
-            blocks: fixed
-                .blocks
-                .iter()
-                .map(|blk| BlockRing {
-                    wq: to_ring(&ring, &blk.wq),
-                    wk: to_ring(&ring, &blk.wk),
-                    wv: to_ring(&ring, &blk.wv),
-                    wo: to_ring(&ring, &blk.wo),
-                    w1: to_ring(&ring, &blk.w1),
-                    w2: to_ring(&ring, &blk.w2),
-                })
-                .collect(),
-            classifier: to_ring(&ring, &fixed.classifier),
-        }
-    }
-
-    /// The session's one-time setup cost (key transfer + weight prep).
+    /// The session's one-time setup cost: key transfer, plus the model
+    /// plane build when this session built its own (shared serving
+    /// planes are metered in `PreparedPlaneStats` instead).
     pub fn setup_cost(&self) -> PhaseCost {
         self.setup_cost
     }
@@ -354,7 +385,9 @@ pub struct ServerOnline {
 }
 
 impl ServerOnline {
-    /// The session's one-time setup cost (key transfer + weight prep).
+    /// The session's one-time setup cost: key transfer, plus the model
+    /// plane build when this session built its own (shared serving
+    /// planes are metered in `PreparedPlaneStats` instead).
     pub fn setup_cost(&self) -> PhaseCost {
         self.setup_cost
     }

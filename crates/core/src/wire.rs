@@ -17,13 +17,22 @@ pub fn send_cts(t: &dyn Transport, cts: &[Ciphertext]) {
 }
 
 /// Receives a batch of ciphertexts.
+///
+/// # Panics
+///
+/// Panics on malformed bytes: ciphertext flights arrive mid-session,
+/// after the handshake and key transfer already validated the peer, so
+/// corruption here is a protocol logic error. (The handshake-time
+/// deserializers — hello frames and [`recv_galois_keys`] — return
+/// errors instead, so a garbage connection cannot crash a worker.)
 pub fn recv_cts(t: &dyn Transport, ctx: &HeContext) -> Vec<Ciphertext> {
     let bytes = t.recv();
     let count = u32::from_le_bytes(bytes[..4].try_into().expect("count")) as usize;
     let mut off = 4;
     (0..count)
         .map(|_| {
-            let (ct, used) = Ciphertext::from_bytes(ctx, &bytes[off..]);
+            let (ct, used) =
+                Ciphertext::from_bytes(ctx, &bytes[off..]).expect("malformed ciphertext flight");
             off += used;
             ct
         })
@@ -74,7 +83,17 @@ pub fn send_galois_keys(t: &dyn Transport, keys: &GaloisKeys) {
 }
 
 /// Receives and deserializes Galois keys sent by [`send_galois_keys`].
-pub fn recv_galois_keys(t: &dyn Transport, ctx: &HeContext) -> GaloisKeys {
+///
+/// # Errors
+///
+/// [`primer_he::HeError::Malformed`] on truncated or corrupt key bytes
+/// — this is the first flight a server decodes from an untrusted peer,
+/// so it must fail soft (the serving worker maps it to a failed
+/// session, not a crash).
+pub fn recv_galois_keys(
+    t: &dyn Transport,
+    ctx: &HeContext,
+) -> Result<GaloisKeys, primer_he::HeError> {
     GaloisKeys::from_bytes(ctx, &t.recv())
 }
 
@@ -102,7 +121,7 @@ mod tests {
         let ctx_s = ctx.clone();
         let (_, received, meter) = run_two_party(
             move |t| send_galois_keys(&t, &gk),
-            move |t| recv_galois_keys(&t, &ctx_s),
+            move |t| recv_galois_keys(&t, &ctx_s).expect("well-formed keys"),
         );
         assert_eq!(received.steps(), &[1, 2]);
         // Metered traffic reflects the real key bytes, not a placeholder.

@@ -1,6 +1,7 @@
 //! Plaintext and ciphertext containers with wire serialization.
 
 use crate::context::HeContext;
+use crate::error::HeError;
 use crate::poly::RnsPoly;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -113,29 +114,41 @@ impl Ciphertext {
 
     /// Deserializes; returns the ciphertext and bytes consumed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on malformed input (protocol logic error).
-    pub fn from_bytes(ctx: &HeContext, bytes: &[u8]) -> (Self, usize) {
+    /// [`HeError::Malformed`] on truncated or structurally invalid bytes
+    /// (network-facing: a garbage flight must not crash the receiver).
+    pub fn from_bytes(ctx: &HeContext, bytes: &[u8]) -> Result<(Self, usize), HeError> {
+        if bytes.len() < 2 {
+            return Err(HeError::Malformed { what: "ciphertext header" });
+        }
         let seeded = bytes[0] == 1;
         let n_parts = bytes[1] as usize;
         let mut off = 2;
         if seeded {
-            assert_eq!(n_parts, 2, "seeded ciphertexts always have 2 parts");
-            let (c0, used) = RnsPoly::read_bytes(ctx, &bytes[off..]);
+            if n_parts != 2 {
+                return Err(HeError::Malformed { what: "seeded ciphertext part count" });
+            }
+            let (c0, used) = RnsPoly::read_bytes(ctx, &bytes[off..])?;
             off += used;
-            let seed: [u8; 32] = bytes[off..off + 32].try_into().expect("32-byte seed");
+            let seed: [u8; 32] = bytes
+                .get(off..off + 32)
+                .and_then(|s| s.try_into().ok())
+                .ok_or(HeError::Malformed { what: "ciphertext seed" })?;
             off += 32;
             let a = Self::a_from_seed(ctx, &seed);
-            (Self { parts: vec![c0, a], seed: Some(seed) }, off)
+            Ok((Self { parts: vec![c0, a], seed: Some(seed) }, off))
         } else {
+            if !(2..=3).contains(&n_parts) {
+                return Err(HeError::Malformed { what: "ciphertext part count" });
+            }
             let mut parts = Vec::with_capacity(n_parts);
             for _ in 0..n_parts {
-                let (p, used) = RnsPoly::read_bytes(ctx, &bytes[off..]);
+                let (p, used) = RnsPoly::read_bytes(ctx, &bytes[off..])?;
                 off += used;
                 parts.push(p);
             }
-            (Self { parts, seed: None }, off)
+            Ok((Self { parts, seed: None }, off))
         }
     }
 
@@ -177,13 +190,36 @@ mod tests {
         let fresh = Ciphertext::new(vec![a.clone(), a.clone()], Some(seed));
         let bytes = fresh.to_bytes();
         assert_eq!(bytes.len(), fresh.serialized_size());
-        let (back, used) = Ciphertext::from_bytes(&ctx, &bytes);
+        let (back, used) = Ciphertext::from_bytes(&ctx, &bytes).expect("roundtrip");
         assert_eq!(used, bytes.len());
         assert_eq!(back, fresh);
 
         let evaluated = Ciphertext::new(vec![a.clone(), a], None);
         let bytes = evaluated.to_bytes();
-        let (back, _) = Ciphertext::from_bytes(&ctx, &bytes);
+        let (back, _) = Ciphertext::from_bytes(&ctx, &bytes).expect("roundtrip");
         assert_eq!(back, evaluated);
+    }
+
+    #[test]
+    fn truncated_and_malformed_bytes_are_errors_not_panics() {
+        use crate::error::HeError;
+        let ctx = HeContext::new(HeParams::toy());
+        let seed = [5u8; 32];
+        let a = Ciphertext::a_from_seed(&ctx, &seed);
+        let fresh = Ciphertext::new(vec![a.clone(), a], Some(seed));
+        let bytes = fresh.to_bytes();
+        // Every strict prefix must decode to an error, never a panic.
+        for cut in [0usize, 1, 2, 10, bytes.len() / 2, bytes.len() - 1] {
+            let got = Ciphertext::from_bytes(&ctx, &bytes[..cut]);
+            assert!(
+                matches!(got, Err(HeError::Malformed { .. })),
+                "prefix of {cut} bytes must be Malformed"
+            );
+        }
+        // A corrupted header (absurd part count) is rejected too.
+        let mut bad = bytes.clone();
+        bad[0] = 0; // not seeded …
+        bad[1] = 77; // … with 77 parts
+        assert!(Ciphertext::from_bytes(&ctx, &bad).is_err());
     }
 }

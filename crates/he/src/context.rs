@@ -3,7 +3,8 @@
 use crate::modulus::Modulus;
 use crate::ntt::NttTables;
 use crate::params::HeParams;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Precomputed context: moduli wrappers, NTT tables per RNS prime, the
 /// plaintext-side NTT, CRT (Garner) constants and the BFV scaling factor
@@ -28,6 +29,11 @@ struct Inner {
     delta_mod_qi: Vec<u64>,
     // Garner mixed-radix constants: garner_inv[i] = (q_0·…·q_{i-1})^{-1} mod q_i.
     garner_inv: Vec<u64>,
+    // NTT-domain Galois permutations, one per element, built on first
+    // use and shared by every evaluator cloned from this context (the
+    // automorphism x → x^g permutes NTT evaluation points, so rotations
+    // never have to leave the evaluation domain).
+    galois_perms: Mutex<HashMap<u64, Arc<Vec<u32>>>>,
 }
 
 impl HeContext {
@@ -60,6 +66,7 @@ impl HeContext {
                 delta,
                 delta_mod_qi,
                 garner_inv,
+                galois_perms: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -154,6 +161,41 @@ impl HeContext {
         acc
     }
 
+    /// The NTT-domain permutation realizing the Galois automorphism
+    /// `x → x^g`: `ntt(σ_g(f))[i] = ntt(f)[perm[i]]` for every RNS prime
+    /// (the output ordering of the negacyclic NTT is structural —
+    /// position `i` holds the evaluation at `ψ^(2·bitrev(i)+1)` for that
+    /// prime's own `ψ` — so one index permutation serves all primes;
+    /// `proptest_he` asserts this against the coefficient-domain
+    /// automorphism per parameter profile).
+    ///
+    /// Built once per element and cached; cheap to clone out (`Arc`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even or out of `1..2n` (not a Galois element).
+    pub fn galois_perm(&self, g: u64) -> Arc<Vec<u32>> {
+        let n = self.n();
+        let two_n = 2 * n as u64;
+        assert!(g % 2 == 1 && g < two_n, "galois element must be odd and < 2n");
+        let mut cache = self.inner.galois_perms.lock().expect("galois perm cache poisoned");
+        Arc::clone(cache.entry(g).or_insert_with(|| {
+            let log_n = n.trailing_zeros();
+            let bitrev = |x: usize| x.reverse_bits() >> (usize::BITS - log_n);
+            let perm = (0..n)
+                .map(|i| {
+                    // Evaluation point at position i is ψ^e with
+                    // e = 2·bitrev(i)+1; σ_g(f) there equals f at ψ^(g·e),
+                    // which lives at position bitrev(((g·e mod 2n)−1)/2).
+                    let e = 2 * bitrev(i) as u64 + 1;
+                    let src_e = (g * e) % two_n;
+                    bitrev((src_e >> 1) as usize) as u32
+                })
+                .collect();
+            Arc::new(perm)
+        }))
+    }
+
     /// Centers an integer in `[0, q)` to the signed representative in
     /// `(-q/2, q/2]`, returned as `(negative, magnitude)`.
     pub fn center_q(&self, v: u128) -> (bool, u128) {
@@ -192,6 +234,40 @@ mod tests {
         let t = ctx.params().t() as u128;
         assert!(ctx.delta() * t <= ctx.q());
         assert!((ctx.delta() + 1) * t > ctx.q());
+    }
+
+    #[test]
+    fn galois_perm_is_cached_and_identity_at_one() {
+        let ctx = HeContext::new(HeParams::toy());
+        let p1 = ctx.galois_perm(1);
+        assert!(p1.iter().enumerate().all(|(i, &s)| s as usize == i));
+        let p3a = ctx.galois_perm(3);
+        let p3b = ctx.galois_perm(3);
+        assert!(Arc::ptr_eq(&p3a, &p3b), "second lookup must hit the cache");
+        // Every galois perm is a permutation (g odd ⇒ bijective on points).
+        let mut seen = vec![false; ctx.n()];
+        for &s in p3a.iter() {
+            assert!(!seen[s as usize], "duplicate source index");
+            seen[s as usize] = true;
+        }
+    }
+
+    #[test]
+    fn galois_perm_matches_coefficient_automorphism() {
+        use crate::poly::RnsPoly;
+        for params in [HeParams::toy(), HeParams::test_2k()] {
+            let ctx = HeContext::new(params);
+            let mut rng = primer_math::rng::seeded(77);
+            let p = RnsPoly::uniform(&ctx, &mut rng);
+            for g in [3u64, 9, 2 * ctx.n() as u64 - 1] {
+                let mut via_coeff = p.apply_automorphism(&ctx, g);
+                via_coeff.to_ntt(&ctx);
+                let mut p_ntt = p.clone();
+                p_ntt.to_ntt(&ctx);
+                let via_perm = p_ntt.permute_ntt(&ctx, &ctx.galois_perm(g));
+                assert_eq!(via_perm, via_coeff, "element {g}");
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub struct OpCounts {
     pub mul_ct: u64,
     /// Relinearizations.
     pub relin: u64,
+    /// Multiplication-mask preparations (`prepare_mul_plain`: centered
+    /// lift + forward NTTs). The prepared-weights plane moves all
+    /// weight-mask preparation to session Setup, so a prepared session's
+    /// offline phase must show zero of these.
+    pub mask_prep: u64,
 }
 
 impl OpCounts {
@@ -40,6 +45,7 @@ impl OpCounts {
             decrypt: self.decrypt - earlier.decrypt,
             mul_ct: self.mul_ct - earlier.mul_ct,
             relin: self.relin - earlier.relin,
+            mask_prep: self.mask_prep - earlier.mask_prep,
         }
     }
 
@@ -54,6 +60,7 @@ impl OpCounts {
             decrypt: self.decrypt + other.decrypt,
             mul_ct: self.mul_ct + other.mul_ct,
             relin: self.relin + other.relin,
+            mask_prep: self.mask_prep + other.mask_prep,
         }
     }
 
@@ -67,6 +74,7 @@ impl OpCounts {
             + self.decrypt
             + self.mul_ct
             + self.relin
+            + self.mask_prep
     }
 }
 
@@ -85,6 +93,7 @@ pub struct OpCounters {
     decrypt: AtomicU64,
     mul_ct: AtomicU64,
     relin: AtomicU64,
+    mask_prep: AtomicU64,
 }
 
 impl OpCounters {
@@ -104,6 +113,7 @@ impl OpCounters {
             decrypt: self.decrypt.load(Ordering::Relaxed),
             mul_ct: self.mul_ct.load(Ordering::Relaxed),
             relin: self.relin.load(Ordering::Relaxed),
+            mask_prep: self.mask_prep.load(Ordering::Relaxed),
         }
     }
 
@@ -117,6 +127,7 @@ impl OpCounters {
         self.decrypt.store(0, Ordering::Relaxed);
         self.mul_ct.store(0, Ordering::Relaxed);
         self.relin.store(0, Ordering::Relaxed);
+        self.mask_prep.store(0, Ordering::Relaxed);
     }
 
     /// Adds a whole snapshot at once — used to merge a scratch
@@ -131,6 +142,7 @@ impl OpCounters {
         self.decrypt.fetch_add(delta.decrypt, Ordering::Relaxed);
         self.mul_ct.fetch_add(delta.mul_ct, Ordering::Relaxed);
         self.relin.fetch_add(delta.relin, Ordering::Relaxed);
+        self.mask_prep.fetch_add(delta.mask_prep, Ordering::Relaxed);
     }
 
     pub(crate) fn bump(&self, f: impl FnOnce(&mut OpCounts)) {
@@ -146,6 +158,7 @@ impl OpCounters {
         self.decrypt.fetch_add(delta.decrypt, Ordering::Relaxed);
         self.mul_ct.fetch_add(delta.mul_ct, Ordering::Relaxed);
         self.relin.fetch_add(delta.relin, Ordering::Relaxed);
+        self.mask_prep.fetch_add(delta.mask_prep, Ordering::Relaxed);
     }
 }
 

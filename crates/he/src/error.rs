@@ -23,6 +23,13 @@ pub enum HeError {
         /// Actual part count.
         actual: usize,
     },
+    /// Serialized key/ciphertext bytes are truncated or structurally
+    /// invalid. Network-facing deserializers return this instead of
+    /// panicking, so a garbage peer cannot crash a serving worker.
+    Malformed {
+        /// Which construct failed to decode.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for HeError {
@@ -36,6 +43,9 @@ impl fmt::Display for HeError {
             }
             HeError::WrongCiphertextSize { expected, actual } => {
                 write!(f, "ciphertext has {actual} parts, expected {expected}")
+            }
+            HeError::Malformed { what } => {
+                write!(f, "malformed serialized bytes while decoding {what}")
             }
         }
     }

@@ -1,12 +1,34 @@
 //! Homomorphic evaluation: additions, plaintext multiplication, and
 //! Galois rotations with key switching.
+//!
+//! # NTT residency (DESIGN.md §10)
+//!
+//! Ciphertext polynomials live in NTT (evaluation) form from encryption
+//! to decryption. Rotations used to be the exception — the old path
+//! pulled both parts back to coefficient form, applied the automorphism
+//! there, and transformed every key-switch digit forward again. The
+//! current path instead **hoists** ([`Evaluator::hoist`]): `c1` leaves
+//! the evaluation domain exactly once per hoist for the RNS digit
+//! extraction (digit extraction is inherently positional), the digits
+//! are transformed forward once, and every subsequent Galois element is
+//! applied as a pure evaluation-point permutation
+//! ([`Evaluator::apply_galois_hoisted`]) — `c0` never leaves NTT form at
+//! all. One rotation therefore costs 1 inverse NTT + D forward NTTs
+//! (D = total key-switch digits) instead of the old 2 + D + 1, and
+//! rotating the same ciphertext by many elements ([`Evaluator::
+//! rotate_many`]) pays the decomposition once for the whole set.
+//!
+//! The coefficient-domain implementation survives as
+//! [`Evaluator::apply_galois_coeff`], the reference the equivalence
+//! tests pin the hoisted path against (identical decrypted slots; the
+//! ciphertext noise differs immaterially below the decryption bound).
 
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::context::HeContext;
 use crate::counters::{OpCounters, OpCounts};
 use crate::error::HeError;
 use crate::galois;
-use crate::keys::{GaloisKeys, KskKey, RelinKey};
+use crate::keys::{digits_for_prime, GaloisKeys, KskKey, RelinKey};
 use crate::poly::RnsPoly;
 
 /// A plaintext prepared for multiplication: centered-lifted into `R_q`
@@ -16,6 +38,30 @@ pub struct MulPlain {
     poly: RnsPoly,
     /// True if every slot is zero (multiplication can be skipped).
     pub is_zero: bool,
+}
+
+impl MulPlain {
+    /// Resident memory of the prepared mask (the NTT-form `R_q`
+    /// polynomial) — what a cached prepared-weights plane pins per mask.
+    pub fn resident_bytes(&self) -> usize {
+        self.poly.serialized_size()
+    }
+}
+
+/// A ciphertext whose key-switching decomposition has been computed
+/// once ("hoisted"): the RNS digit extraction of `c1` — and the forward
+/// NTT of every digit — is paid up front, so any number of Galois
+/// elements can then be applied as cheap evaluation-point permutations.
+/// Produced by [`Evaluator::hoist`], consumed by
+/// [`Evaluator::apply_galois_hoisted`].
+#[derive(Debug)]
+pub struct HoistedCiphertext {
+    /// `c0` in NTT form (untouched by the decomposition).
+    c0: RnsPoly,
+    /// `digits[i][j]` = digit `j` of `c1`'s residues mod prime `i`,
+    /// spread over all RNS primes, in NTT form.
+    digits: Vec<Vec<RnsPoly>>,
+    digit_bits: u32,
 }
 
 /// Server-side homomorphic evaluator (no secret key).
@@ -117,8 +163,12 @@ impl Evaluator {
         out
     }
 
-    /// Prepares a plaintext for repeated multiplication.
+    /// Prepares a plaintext for repeated multiplication (centered lift
+    /// into `R_q` plus one forward NTT per prime — the per-mask cost the
+    /// prepared-weights plane hoists out of the hot path; counted as
+    /// `mask_prep` so phase attribution can prove where encoding runs).
     pub fn prepare_mul_plain(&self, pt: &Plaintext) -> MulPlain {
+        self.counters.bump(|c| c.mask_prep += 1);
         let is_zero = pt.coeffs().iter().all(|&c| c == 0);
         let mut poly = RnsPoly::lift_plain_centered(&self.ctx, pt.coeffs());
         poly.to_ntt(&self.ctx);
@@ -200,9 +250,74 @@ impl Evaluator {
         Ok(self.apply_galois(ct, element, key))
     }
 
-    /// Applies `x → x^element` and switches back to the canonical key.
-    /// One call = one elementary rotation in the op counts.
+    /// Hoists a ciphertext: performs the one inverse NTT of `c1` and the
+    /// full RNS digit decomposition (with its forward NTTs) that every
+    /// key switch needs, so the result can be rotated by any number of
+    /// Galois elements at permutation-plus-pointwise cost each.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the ciphertext has exactly 2 parts.
+    pub fn hoist(&self, ct: &Ciphertext) -> HoistedCiphertext {
+        assert_eq!(ct.size(), 2, "hoisting applies to size-2 ciphertexts");
+        let ctx = &self.ctx;
+        let mut c1 = ct.part(1).clone();
+        c1.to_coeff(ctx);
+        HoistedCiphertext {
+            c0: ct.part(0).clone(),
+            digits: self.decompose_ntt(&c1),
+            digit_bits: ctx.params().decomp_bits(),
+        }
+    }
+
+    /// Applies `x → x^element` to a hoisted ciphertext and switches back
+    /// to the canonical key, entirely in the evaluation domain: `c0` and
+    /// every precomputed digit are permuted (the NTT-domain automorphism)
+    /// and multiply-accumulated against the key. One call = one
+    /// elementary rotation in the op counts.
+    pub fn apply_galois_hoisted(
+        &self,
+        h: &HoistedCiphertext,
+        element: u64,
+        key: &KskKey,
+    ) -> Ciphertext {
+        self.counters.bump(|c| c.rotations += 1);
+        let ctx = &self.ctx;
+        debug_assert_eq!(key.digit_bits(), h.digit_bits, "key/hoist digit width mismatch");
+        let perm = ctx.galois_perm(element);
+        let mut acc0 = h.c0.permute_ntt(ctx, &perm);
+        let mut acc1 = RnsPoly::zero(ctx, true);
+        for (i, prime_digits) in h.digits.iter().enumerate() {
+            debug_assert_eq!(prime_digits.len(), key.digits(i), "digit count mismatch");
+            for (j, digit) in prime_digits.iter().enumerate() {
+                // σ(digit) in NTT form: the permutation carries the
+                // negacyclic sign flips, so coefficients stay ±digit —
+                // within the same key-switch noise bound as the
+                // coefficient-domain path.
+                let sd = digit.permute_ntt(ctx, &perm);
+                let (b, a) = key.part(i, j);
+                acc0.add_mul_pointwise_assign(ctx, &sd, b);
+                acc1.add_mul_pointwise_assign(ctx, &sd, a);
+            }
+        }
+        Ciphertext::new(vec![acc0, acc1], None)
+    }
+
+    /// Applies `x → x^element` and switches back to the canonical key
+    /// (hoist + one hoisted application). One call = one elementary
+    /// rotation in the op counts.
     pub fn apply_galois(&self, ct: &Ciphertext, element: u64, key: &KskKey) -> Ciphertext {
+        let h = self.hoist(ct);
+        self.apply_galois_hoisted(&h, element, key)
+    }
+
+    /// The coefficient-domain reference implementation of
+    /// [`Evaluator::apply_galois`] (the pre-hoisting path): both parts
+    /// leave NTT form, the automorphism runs on coefficients, and the
+    /// digits of `σ(c1)` are decomposed after the automorphism. Kept so
+    /// the equivalence suite can pin the hoisted path against it slot
+    /// for slot; not used by any protocol.
+    pub fn apply_galois_coeff(&self, ct: &Ciphertext, element: u64, key: &KskKey) -> Ciphertext {
         assert_eq!(ct.size(), 2, "galois on size-2 ciphertexts only");
         self.counters.bump(|c| c.rotations += 1);
         let ctx = &self.ctx;
@@ -217,6 +332,68 @@ impl Evaluator {
         c0g_ntt.to_ntt(ctx);
         acc0.add_assign(ctx, &c0g_ntt);
         Ciphertext::new(vec![acc0, acc1], None)
+    }
+
+    /// Rotates one ciphertext by several row steps at once, hoisting the
+    /// key-switch decomposition **once** and reusing it for every Galois
+    /// element — the amortization diagonal-method matmul chains rely on.
+    /// Each step must be covered by a dedicated key: falling back to
+    /// power-of-two hop composition would re-decompose at every hop and
+    /// defeat the hoist, so that case is reported as missing instead.
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::MissingGaloisKey`] if any step lacks a dedicated key.
+    pub fn rotate_many(
+        &self,
+        ct: &Ciphertext,
+        steps: &[usize],
+        keys: &GaloisKeys,
+    ) -> Result<Vec<Ciphertext>, HeError> {
+        let n = self.ctx.n();
+        let h = self.hoist(ct);
+        steps
+            .iter()
+            .map(|&step| {
+                let s = step % (n / 2);
+                if s == 0 {
+                    return Ok(ct.clone());
+                }
+                let element = galois::element_for_row_step(n, s);
+                let key = keys.key_for(element).ok_or(HeError::MissingGaloisKey { step: s })?;
+                Ok(self.apply_galois_hoisted(&h, element, key))
+            })
+            .collect()
+    }
+
+    /// The RNS digit decomposition of a coefficient-form polynomial,
+    /// every digit transformed to NTT form — shared by hoisting and the
+    /// relinearization key switch.
+    fn decompose_ntt(&self, poly_coeff: &RnsPoly) -> Vec<Vec<RnsPoly>> {
+        let ctx = &self.ctx;
+        let w = ctx.params().decomp_bits();
+        let mask = (1u128 << w) - 1;
+        (0..ctx.num_primes())
+            .map(|i| {
+                let residues = poly_coeff.residues(i);
+                let digits = digits_for_prime(ctx.moduli()[i].value(), w);
+                (0..digits)
+                    .map(|j| {
+                        let shift = j * w;
+                        let mut digit = RnsPoly::zero(ctx, false);
+                        for (k, &r) in residues.iter().enumerate() {
+                            let d = ((r as u128 >> shift) & mask) as u64;
+                            for p in 0..ctx.num_primes() {
+                                // d < 2^w < every q_p: no reduction needed.
+                                digit.residues_mut(p)[k] = d;
+                            }
+                        }
+                        digit.to_ntt(ctx);
+                        digit
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// Relinearizes a size-3 ciphertext down to size 2 (THE-X baseline).
@@ -242,29 +419,21 @@ impl Evaluator {
 
     /// Core key switch: given `poly` (coefficient form) encrypted-times
     /// `s_old`, produces `(acc0, acc1)` in NTT form such that
-    /// `acc0 + acc1·s ≈ poly·s_old`.
+    /// `acc0 + acc1·s ≈ poly·s_old`. Built on [`Evaluator::decompose_ntt`],
+    /// so this path and hoisting decompose identically by construction
+    /// (deserialization pins every key's digit width to the context's).
     fn key_switch(&self, poly_coeff: &RnsPoly, key: &KskKey) -> (RnsPoly, RnsPoly) {
         let ctx = &self.ctx;
-        let w = key.digit_bits();
-        let mask = (1u128 << w) - 1;
+        debug_assert_eq!(key.digit_bits(), ctx.params().decomp_bits(), "digit width mismatch");
+        let digits = self.decompose_ntt(poly_coeff);
         let mut acc0 = RnsPoly::zero(ctx, true);
         let mut acc1 = RnsPoly::zero(ctx, true);
-        for i in 0..ctx.num_primes() {
-            let residues = poly_coeff.residues(i).to_vec();
-            for j in 0..key.digits(i) {
-                let shift = (j as u32) * w;
-                let mut digit = RnsPoly::zero(ctx, false);
-                for (k, &r) in residues.iter().enumerate() {
-                    let d = ((r as u128 >> shift) & mask) as u64;
-                    for p in 0..ctx.num_primes() {
-                        // d < 2^w < every q_p: no reduction needed.
-                        digit.residues_mut(p)[k] = d;
-                    }
-                }
-                digit.to_ntt(ctx);
+        for (i, prime_digits) in digits.iter().enumerate() {
+            debug_assert_eq!(prime_digits.len(), key.digits(i), "digit count mismatch");
+            for (j, digit) in prime_digits.iter().enumerate() {
                 let (b, a) = key.part(i, j);
-                acc0.add_mul_pointwise_assign(ctx, &digit, b);
-                acc1.add_mul_pointwise_assign(ctx, &digit, a);
+                acc0.add_mul_pointwise_assign(ctx, digit, b);
+                acc1.add_mul_pointwise_assign(ctx, digit, a);
             }
         }
         (acc0, acc1)
@@ -424,6 +593,60 @@ mod tests {
         for i in 0..rs {
             assert_eq!(got[i], vals[(i + 7) % rs]);
         }
+    }
+
+    #[test]
+    fn hoisted_rotation_matches_coeff_reference() {
+        for params in [HeParams::toy(), HeParams::test_2k()] {
+            let f = fixture(params);
+            let rs = f.enc.row_size();
+            let vals: Vec<u64> = (0..2 * rs as u64).map(|v| (v * 3 + 1) % 1000).collect();
+            let ct = f.encr.encrypt(&f.enc.encode(&vals));
+            let mut rng = seeded(57);
+            let gk = f.kg.galois_keys(&[1, 5], true, &mut rng);
+            for element in [
+                crate::galois::element_for_row_step(f.ctx.n(), 1),
+                crate::galois::element_for_row_step(f.ctx.n(), 5),
+                crate::galois::element_for_columns(f.ctx.n()),
+            ] {
+                let key = gk.key_for(element).expect("key generated");
+                let hoisted = f.eval.apply_galois(&ct, element, key);
+                let reference = f.eval.apply_galois_coeff(&ct, element, key);
+                // Same plaintext slots (ciphertext noise differs
+                // immaterially — both stay far below the bound).
+                assert_eq!(
+                    f.enc.decode(&f.encr.decrypt(&hoisted)),
+                    f.enc.decode(&f.encr.decrypt(&reference)),
+                    "element {element}"
+                );
+                let budget = f.encr.noise_budget(&hoisted);
+                assert!(budget > 5.0, "hoisted budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_many_amortizes_one_hoist_and_matches_rotate_rows() {
+        let f = fixture(HeParams::toy());
+        let rs = f.enc.row_size();
+        let vals: Vec<u64> = (0..2 * rs as u64).map(|v| v + 9).collect();
+        let ct = f.encr.encrypt(&f.enc.encode(&vals));
+        let mut rng = seeded(58);
+        let steps = [1usize, 3, 7, 20];
+        let gk = f.kg.galois_keys(&steps, false, &mut rng);
+        let before = f.eval.counts().rotations;
+        let many = f.eval.rotate_many(&ct, &steps, &gk).expect("dedicated keys");
+        assert_eq!(f.eval.counts().rotations - before, steps.len() as u64);
+        for (&step, rotated) in steps.iter().zip(&many) {
+            // Bit-identical to the one-at-a-time path (same element, same
+            // key, same arithmetic — the hoist is pure reuse).
+            let single = f.eval.rotate_rows(&ct, step, &gk).expect("key");
+            assert_eq!(rotated, &single, "step {step}");
+        }
+        // A step without a dedicated key is refused, not silently
+        // decomposed (hop composition would re-hoist per hop).
+        let err = f.eval.rotate_many(&ct, &[6], &gk).unwrap_err();
+        assert!(matches!(err, HeError::MissingGaloisKey { .. }));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Secret keys, key-switching keys, Galois keys, relinearization keys.
 
 use crate::context::HeContext;
+use crate::error::HeError;
 use crate::galois;
 use crate::poly::RnsPoly;
 use rand::Rng;
@@ -134,29 +135,48 @@ impl KskKey {
     /// Reads a key written by [`KskKey::write_bytes`]; returns the key
     /// and the bytes consumed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on malformed input (protocol logic error).
-    fn read_bytes(ctx: &HeContext, bytes: &[u8]) -> (Self, usize) {
+    /// [`HeError::Malformed`] on truncated or structurally invalid
+    /// input — key material arrives over the network during session
+    /// Setup, so this path must never panic on attacker-shaped bytes.
+    fn read_bytes(ctx: &HeContext, bytes: &[u8]) -> Result<(Self, usize), HeError> {
+        if bytes.len() < 2 {
+            return Err(HeError::Malformed { what: "ksk header" });
+        }
         let digit_bits = u32::from(bytes[0]);
+        // The digit width is fixed by the parameter set; a key with any
+        // other width would pass Setup and then index out of bounds (or
+        // silently compute garbage) during the first hoisted key switch.
+        if digit_bits != ctx.params().decomp_bits() {
+            return Err(HeError::Malformed { what: "ksk digit width" });
+        }
         let n_primes = bytes[1] as usize;
-        assert_eq!(n_primes, ctx.num_primes(), "source prime count mismatch");
+        if n_primes != ctx.num_primes() {
+            return Err(HeError::Malformed { what: "ksk prime count" });
+        }
         let mut off = 2;
         let mut parts = Vec::with_capacity(n_primes);
-        for _ in 0..n_primes {
-            let digits = bytes[off] as usize;
+        for i in 0..n_primes {
+            let &digits = bytes.get(off).ok_or(HeError::Malformed { what: "ksk digit count" })?;
+            let digits = digits as usize;
+            // The digit count is fully determined by (prime, width);
+            // anything else is a forgery or corruption.
+            if digits != digits_for_prime(ctx.moduli()[i].value(), digit_bits) as usize {
+                return Err(HeError::Malformed { what: "ksk digit count" });
+            }
             off += 1;
             let mut prime_parts = Vec::with_capacity(digits);
             for _ in 0..digits {
-                let (b, used) = RnsPoly::read_bytes(ctx, &bytes[off..]);
+                let (b, used) = RnsPoly::read_bytes(ctx, &bytes[off..])?;
                 off += used;
-                let (a, used) = RnsPoly::read_bytes(ctx, &bytes[off..]);
+                let (a, used) = RnsPoly::read_bytes(ctx, &bytes[off..])?;
                 off += used;
                 prime_parts.push((b, a));
             }
             parts.push(prime_parts);
         }
-        (Self { parts, digit_bits }, off)
+        Ok((Self { parts, digit_bits }, off))
     }
 }
 
@@ -229,33 +249,57 @@ impl GaloisKeys {
 
     /// Deserializes keys produced by [`GaloisKeys::to_bytes`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on malformed input (protocol logic error).
-    pub fn from_bytes(ctx: &HeContext, bytes: &[u8]) -> Self {
+    /// [`HeError::Malformed`] on truncated, oversized or structurally
+    /// invalid input. This is the first network flight a serving worker
+    /// decodes, so a garbage handshake must surface as an error, not a
+    /// panic.
+    pub fn from_bytes(ctx: &HeContext, bytes: &[u8]) -> Result<Self, HeError> {
+        let take4 = |off: usize| -> Result<u32, HeError> {
+            bytes
+                .get(off..off + 4)
+                .and_then(|s| s.try_into().ok())
+                .map(u32::from_le_bytes)
+                .ok_or(HeError::Malformed { what: "galois key header" })
+        };
+        if bytes.is_empty() {
+            return Err(HeError::Malformed { what: "galois key header" });
+        }
         let columns = bytes[0] == 1;
-        let n_steps =
-            u32::from_le_bytes(bytes[1..5].try_into().expect("step count")) as usize;
+        let n_steps = take4(1)? as usize;
+        // A step list longer than the distinct rotations of the ring is
+        // nonsense; bound it before allocating anything.
+        if n_steps > ctx.n() {
+            return Err(HeError::Malformed { what: "galois step count" });
+        }
         let mut off = 5;
         let mut steps = Vec::with_capacity(n_steps);
         for _ in 0..n_steps {
-            steps.push(u32::from_le_bytes(bytes[off..off + 4].try_into().expect("step")) as usize);
+            steps.push(take4(off)? as usize);
             off += 4;
         }
-        let n_keys =
-            u32::from_le_bytes(bytes[off..off + 4].try_into().expect("key count")) as usize;
+        let n_keys = take4(off)? as usize;
+        if n_keys > 2 * ctx.n() {
+            return Err(HeError::Malformed { what: "galois key count" });
+        }
         off += 4;
         let mut keys = HashMap::with_capacity(n_keys);
         for _ in 0..n_keys {
-            let element =
-                u64::from_le_bytes(bytes[off..off + 8].try_into().expect("element"));
+            let element = bytes
+                .get(off..off + 8)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+                .ok_or(HeError::Malformed { what: "galois element" })?;
             off += 8;
-            let (key, used) = KskKey::read_bytes(ctx, &bytes[off..]);
+            let (key, used) = KskKey::read_bytes(ctx, &bytes[off..])?;
             off += used;
             keys.insert(element, key);
         }
-        assert_eq!(off, bytes.len(), "trailing bytes after galois keys");
-        Self { keys, steps, columns }
+        if off != bytes.len() {
+            return Err(HeError::Malformed { what: "galois keys trailing bytes" });
+        }
+        Ok(Self { keys, steps, columns })
     }
 }
 
@@ -398,7 +442,7 @@ mod tests {
         let gk = kg.galois_keys(&[1, 4], true, &mut rng);
         let bytes = gk.to_bytes();
         assert_eq!(bytes.len(), gk.serialized_size());
-        let back = GaloisKeys::from_bytes(&ctx, &bytes);
+        let back = GaloisKeys::from_bytes(&ctx, &bytes).expect("well-formed keys");
         assert_eq!(back.steps(), gk.steps());
         assert!(back.has_columns());
         assert_eq!(back.to_bytes(), bytes, "re-serialization must be stable");
@@ -416,6 +460,30 @@ mod tests {
             encoder.decode(&encryptor.decrypt(&with_orig)),
             encoder.decode(&encryptor.decrypt(&with_back)),
         );
+    }
+
+    #[test]
+    fn malformed_key_bytes_are_errors_not_panics() {
+        let ctx = HeContext::new(HeParams::toy());
+        let mut rng = seeded(36);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let gk = kg.galois_keys(&[1], false, &mut rng);
+        let bytes = gk.to_bytes();
+        // Truncation anywhere (header, step list, mid-poly, last byte).
+        for cut in [0usize, 3, 5, 17, bytes.len() / 3, bytes.len() - 1] {
+            assert!(
+                GaloisKeys::from_bytes(&ctx, &bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must fail to decode"
+            );
+        }
+        // Trailing garbage is rejected (exact-length framing).
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(GaloisKeys::from_bytes(&ctx, &long).is_err());
+        // Absurd step count cannot trigger a huge allocation or panic.
+        let mut bad = bytes.clone();
+        bad[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(GaloisKeys::from_bytes(&ctx, &bad).is_err());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub use counters::{OpCounters, OpCounts};
 pub use encoder::BatchEncoder;
 pub use encryptor::Encryptor;
 pub use error::HeError;
-pub use eval::{Evaluator, MulPlain};
+pub use eval::{Evaluator, HoistedCiphertext, MulPlain};
 pub use keys::{GaloisKeys, KeyGenerator, RelinKey, SecretKey};
 pub use params::HeParams;
 
@@ -80,4 +80,5 @@ fn assert_shared_he_types_are_sync() {
     ok::<Ciphertext>();
     ok::<Plaintext>();
     ok::<MulPlain>();
+    ok::<HoistedCiphertext>();
 }

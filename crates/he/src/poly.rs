@@ -1,6 +1,7 @@
 //! Polynomials in RNS (double-CRT) representation.
 
 use crate::context::HeContext;
+use crate::error::HeError;
 use rand::Rng;
 
 /// A polynomial in `R_q`, stored as one residue vector per RNS prime,
@@ -192,6 +193,26 @@ impl RnsPoly {
         }
     }
 
+    /// Applies a Galois automorphism **in NTT form** via its evaluation-
+    /// point permutation (see [`HeContext::galois_perm`]): output position
+    /// `i` takes the value at `perm[i]`, per prime. This is how the
+    /// NTT-resident pipeline rotates without leaving the evaluation
+    /// domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not in NTT form or the permutation length mismatches.
+    pub fn permute_ntt(&self, ctx: &HeContext, perm: &[u32]) -> Self {
+        assert!(self.ntt_form, "NTT-domain automorphism needs NTT form");
+        assert_eq!(perm.len(), ctx.n(), "permutation length mismatch");
+        let values = self
+            .values
+            .iter()
+            .map(|src| perm.iter().map(|&s| src[s as usize]).collect())
+            .collect();
+        Self { values, ntt_form: true }
+    }
+
     /// Applies the Galois automorphism `x → x^g` (coefficient form only).
     ///
     /// # Panics
@@ -237,14 +258,24 @@ impl RnsPoly {
     /// Reads a polynomial written by [`RnsPoly::write_bytes`]; returns
     /// the poly and the number of bytes consumed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on malformed input (protocol logic error).
-    pub fn read_bytes(ctx: &HeContext, bytes: &[u8]) -> (Self, usize) {
+    /// [`HeError::Malformed`] on truncated input or a prime count that
+    /// does not match the context (network-facing: never panics).
+    pub fn read_bytes(ctx: &HeContext, bytes: &[u8]) -> Result<(Self, usize), HeError> {
+        if bytes.len() < 2 {
+            return Err(HeError::Malformed { what: "poly header" });
+        }
         let ntt_form = bytes[0] == 1;
         let primes = bytes[1] as usize;
-        assert_eq!(primes, ctx.num_primes(), "prime count mismatch");
+        if primes != ctx.num_primes() {
+            return Err(HeError::Malformed { what: "poly prime count" });
+        }
         let n = ctx.n();
+        let need = 2 + primes * n * 8;
+        if bytes.len() < need {
+            return Err(HeError::Malformed { what: "poly residues" });
+        }
         let mut off = 2;
         let mut values = Vec::with_capacity(primes);
         for _ in 0..primes {
@@ -255,7 +286,7 @@ impl RnsPoly {
             }
             values.push(v);
         }
-        (Self { values, ntt_form }, off)
+        Ok((Self { values, ntt_form }, off))
     }
 }
 

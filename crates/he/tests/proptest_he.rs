@@ -118,11 +118,137 @@ proptest! {
             for ct in [fresh, evaluated] {
                 let bytes = ct.to_bytes();
                 prop_assert_eq!(bytes.len(), ct.serialized_size());
-                let (back, used) = primer_he::Ciphertext::from_bytes(&f.ctx, &bytes);
+                let (back, used) =
+                    primer_he::Ciphertext::from_bytes(&f.ctx, &bytes).expect("roundtrip");
                 prop_assert_eq!(used, bytes.len());
                 prop_assert_eq!(back, ct);
             }
             Ok(())
         })?;
+    }
+
+    /// Truncating serialized ciphertext bytes anywhere yields a decode
+    /// error — never a panic (the serving boundary depends on this).
+    #[test]
+    fn truncated_ciphertext_bytes_error_cleanly(cut_seed in 0u64..10_000) {
+        with_fixture(|f| {
+            let ct = f.encryptor.encrypt(&f.encoder.encode(&[1, 2, 3]));
+            let bytes = ct.to_bytes();
+            let mut rng = seeded(cut_seed);
+            let cut = rand::Rng::gen_range(&mut rng, 0..bytes.len());
+            prop_assert!(primer_he::Ciphertext::from_bytes(&f.ctx, &bytes[..cut]).is_err());
+            Ok(())
+        })?;
+    }
+}
+
+/// NTT invariants per modulus profile (DESIGN.md §10): the evaluation
+/// domain the whole pipeline now lives in is exactly the negacyclic
+/// convolution algebra, for every RNS prime of every parameter profile.
+mod ntt_invariants {
+    use super::*;
+    use primer_he::ntt::NttTables;
+
+    fn profiles() -> [HeParams; 3] {
+        [HeParams::toy(), HeParams::test_2k(), HeParams::test_2k_wide()]
+    }
+
+    fn tables_for(params: &HeParams) -> Vec<NttTables> {
+        HeContext::new(params.clone()).ntt().to_vec()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// forward ∘ inverse == id on random residue vectors, for every
+        /// RNS prime of every profile.
+        #[test]
+        fn forward_inverse_roundtrip(seed in 0u64..10_000) {
+            for params in profiles() {
+                for tbl in tables_for(&params) {
+                    let p = tbl.modulus().value();
+                    let mut rng = seeded(seed ^ p);
+                    let orig: Vec<u64> = (0..tbl.len())
+                        .map(|_| rand::Rng::gen_range(&mut rng, 0..p))
+                        .collect();
+                    let mut a = orig.clone();
+                    tbl.forward(&mut a);
+                    tbl.inverse(&mut a);
+                    prop_assert_eq!(a, orig, "profile n={} prime {}", params.n(), p);
+                }
+            }
+        }
+
+        /// NTT-domain pointwise multiplication equals the negacyclic
+        /// coefficient convolution (`Z_p[x]/(x^n+1)`), checked against a
+        /// schoolbook product on sparse polynomials so the check stays
+        /// O(k·n) at full ring degree.
+        #[test]
+        fn pointwise_mul_is_negacyclic_convolution(seed in 0u64..10_000) {
+            const TERMS: usize = 5;
+            for params in profiles() {
+                for tbl in tables_for(&params) {
+                    let n = tbl.len();
+                    let m = tbl.modulus();
+                    let p = m.value();
+                    let mut rng = seeded(seed ^ p ^ 0xD1);
+                    let mut a = vec![0u64; n];
+                    let mut b = vec![0u64; n];
+                    for _ in 0..TERMS {
+                        a[rand::Rng::gen_range(&mut rng, 0..n)] =
+                            rand::Rng::gen_range(&mut rng, 0..p);
+                        b[rand::Rng::gen_range(&mut rng, 0..n)] =
+                            rand::Rng::gen_range(&mut rng, 0..p);
+                    }
+                    // Schoolbook negacyclic product over the sparse terms.
+                    let mut want = vec![0u64; n];
+                    for (i, &ai) in a.iter().enumerate().filter(|(_, &v)| v != 0) {
+                        for (j, &bj) in b.iter().enumerate().filter(|(_, &v)| v != 0) {
+                            let prod = m.mul(ai, bj);
+                            let k = i + j;
+                            if k < n {
+                                want[k] = m.add(want[k], prod);
+                            } else {
+                                want[k - n] = m.sub(want[k - n], prod);
+                            }
+                        }
+                    }
+                    let (mut fa, mut fb) = (a.clone(), b.clone());
+                    tbl.forward(&mut fa);
+                    tbl.forward(&mut fb);
+                    let mut fc: Vec<u64> =
+                        fa.iter().zip(&fb).map(|(&x, &y)| m.mul(x, y)).collect();
+                    tbl.inverse(&mut fc);
+                    prop_assert_eq!(fc, want, "profile n={} prime {}", params.n(), p);
+                }
+            }
+        }
+
+        /// The NTT-domain Galois permutation equals the coefficient-form
+        /// automorphism conjugated by the transform, for every profile
+        /// and both row-rotation and column-swap elements — the exact
+        /// invariant hoisted rotations rely on.
+        #[test]
+        fn galois_perm_conjugates_automorphism(step in 1usize..100) {
+            use primer_he::poly::RnsPoly;
+            for params in profiles() {
+                let ctx = HeContext::new(params);
+                let n = ctx.n();
+                let s = step % (n / 2);
+                prop_assume!(s != 0);
+                let elements =
+                    [primer_he::galois::element_for_row_step(n, s), 2 * n as u64 - 1];
+                let mut rng = seeded(step as u64 ^ 0xE3);
+                let poly = RnsPoly::uniform(&ctx, &mut rng);
+                for g in elements {
+                    let mut via_coeff = poly.apply_automorphism(&ctx, g);
+                    via_coeff.to_ntt(&ctx);
+                    let mut p_ntt = poly.clone();
+                    p_ntt.to_ntt(&ctx);
+                    let via_perm = p_ntt.permute_ntt(&ctx, &ctx.galois_perm(g));
+                    prop_assert_eq!(&via_perm, &via_coeff, "n={} element {}", n, g);
+                }
+            }
+        }
     }
 }

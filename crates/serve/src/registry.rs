@@ -27,10 +27,28 @@ pub struct SessionRecord {
     pub traffic: TrafficSnapshot,
 }
 
+/// Prepared-weights plane cache accounting: how often concurrent
+/// sessions shared one Setup-encoded mask set instead of re-encoding
+/// it, and how much memory the cached planes pin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreparedPlaneStats {
+    /// Cache misses: planes actually built (one per distinct variant of
+    /// the served model).
+    pub built: u64,
+    /// Cache hits: sessions served from an already-encoded plane.
+    pub reused: u64,
+    /// Bytes pinned by the cached planes' NTT-form masks (sum over
+    /// distinct planes, not per session).
+    pub resident_mask_bytes: u64,
+    /// Wall-clock spent encoding planes, milliseconds (misses only).
+    pub build_ms: u64,
+}
+
 /// Thread-shared registry the accept loop and workers write into.
 #[derive(Debug, Default)]
 pub(crate) struct Registry {
     completed: Mutex<Vec<SessionRecord>>,
+    prepared: Mutex<PreparedPlaneStats>,
 }
 
 impl Registry {
@@ -38,16 +56,29 @@ impl Registry {
         self.completed.lock().expect("registry mutex poisoned").push(rec);
     }
 
+    pub fn record_plane_built(&self, mask_bytes: u64, build_ms: u64) {
+        let mut p = self.prepared.lock().expect("registry mutex poisoned");
+        p.built += 1;
+        p.resident_mask_bytes += mask_bytes;
+        p.build_ms += build_ms;
+    }
+
+    pub fn record_plane_reused(&self) {
+        self.prepared.lock().expect("registry mutex poisoned").reused += 1;
+    }
+
     pub fn into_stats(self) -> ServerStats {
         let mut sessions = self.completed.into_inner().expect("registry mutex poisoned");
         sessions.sort_by_key(|r| r.id);
-        ServerStats { sessions }
+        let prepared = self.prepared.into_inner().expect("registry mutex poisoned");
+        ServerStats { sessions, prepared }
     }
 
     pub fn snapshot(&self) -> ServerStats {
         let mut sessions = self.completed.lock().expect("registry mutex poisoned").clone();
         sessions.sort_by_key(|r| r.id);
-        ServerStats { sessions }
+        let prepared = *self.prepared.lock().expect("registry mutex poisoned");
+        ServerStats { sessions, prepared }
     }
 }
 
@@ -56,6 +87,8 @@ impl Registry {
 pub struct ServerStats {
     /// Per-session records, in session-id order.
     pub sessions: Vec<SessionRecord>,
+    /// Prepared-weights plane cache counters.
+    pub prepared: PreparedPlaneStats,
 }
 
 impl ServerStats {
@@ -116,6 +149,14 @@ impl ServerStats {
             self.sessions.len(),
             self.total_queries(),
             self.total_bytes()
+        );
+        let _ = writeln!(
+            out,
+            "prepared planes: {} built ({} ms), {} reused, {:.1} MiB resident masks",
+            self.prepared.built,
+            self.prepared.build_ms,
+            self.prepared.reused,
+            self.prepared.resident_mask_bytes as f64 / (1024.0 * 1024.0),
         );
         out
     }

@@ -4,7 +4,7 @@
 use crate::proto::{ClientHello, Profile, ServerWelcome, SessionSummary};
 use crate::registry::{accumulate_phases, Registry, ServerStats, SessionRecord};
 use crate::{maybe_shaped, phase_summary, system_for, CH_CONTROL, CH_OFFLINE, CH_ONLINE};
-use primer_core::{build_session_circuits, ServerSession, SystemConfig};
+use primer_core::{build_session_circuits, ModelPlane, ServerSession, SystemConfig};
 use primer_gc::Circuit;
 use primer_math::rng::seeded;
 use primer_net::tcp::TcpConnection;
@@ -74,6 +74,14 @@ struct ServerShared {
     /// Per-variant circuit cache (variant code → circuits); sessions of
     /// the same variant share one immutable circuit list.
     circuits: Mutex<HashMap<u8, Arc<Vec<Circuit>>>>,
+    /// Per-variant prepared-weights plane cache: the Setup-encoded
+    /// NTT-form masks of every session-constant matmul, shared read-only
+    /// by all concurrent sessions of that variant. One server serves one
+    /// model, so the cache key is the variant; the (model, variant)
+    /// pairing is the server itself. The map lock is only held to fetch
+    /// the per-variant cell — builds run inside the cell's `OnceLock`,
+    /// so one variant's encode never blocks another variant's sessions.
+    planes: Mutex<HashMap<u8, Arc<std::sync::OnceLock<Arc<ModelPlane>>>>>,
     registry: Registry,
     gate: Gate,
 }
@@ -143,6 +151,7 @@ impl Server {
                 sys,
                 fixed,
                 circuits: Mutex::new(HashMap::new()),
+                planes: Mutex::new(HashMap::new()),
                 registry: Registry::default(),
                 gate,
             }),
@@ -268,20 +277,50 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
         }))
     };
 
+    // Prepared-weights plane: first session of a variant encodes every
+    // session-constant mask once (a miss); every later session — however
+    // concurrent — shares the same Arc (a hit). Same-variant racers
+    // serialize on the variant's `OnceLock` cell so the plane is never
+    // encoded twice, while other variants (and their hits) only touch
+    // the map lock briefly and proceed during an in-flight build.
+    let plane = {
+        let cell = {
+            let mut cache = shared.planes.lock().expect("plane cache mutex poisoned");
+            Arc::clone(cache.entry(crate::proto::variant_code(hello.variant)).or_default())
+        };
+        let mut built = false;
+        let plane = cell.get_or_init(|| {
+            let started = std::time::Instant::now();
+            let plane = Arc::new(ModelPlane::build(&shared.sys, hello.variant, &shared.fixed));
+            shared
+                .registry
+                .record_plane_built(plane.mask_bytes(), started.elapsed().as_millis() as u64);
+            built = true;
+            plane
+        });
+        if !built {
+            shared.registry.record_plane_reused();
+        }
+        Arc::clone(plane)
+    };
+
     // Per-session server randomness: a distinct stream per session id.
     let session_seed = shared.config.seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     let queries = hello.queries as usize;
-    let session = ServerSession::setup(
+    let session = ServerSession::setup_with_plane(
         shared.sys.clone(),
         hello.variant,
         hello.mode,
-        Arc::clone(&shared.fixed),
         circuits,
+        plane,
         session_seed,
         queries,
         pool,
         &*online_t,
-    );
+    )
+    // A malformed key flight is a protocol error from this peer — fail
+    // the session cleanly (worker logs and exits), never panic.
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let (producer, mut online) = session.into_pipelined(pool);
     let setup_cost = online.setup_cost();
 

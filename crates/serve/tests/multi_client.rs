@@ -75,6 +75,14 @@ fn four_concurrent_mixed_variant_clients_match_sequential_engine() {
         }
     }
 
+    // Prepared-weights plane sharing: five sessions over three distinct
+    // variants must have built exactly three planes — every other
+    // session (the second concurrent F and the baseline F) reused a
+    // cached one rather than re-encoding the masks.
+    assert_eq!(stats.prepared.built, 3, "one plane per distinct variant");
+    assert_eq!(stats.prepared.reused, 2, "same-variant sessions must share");
+    assert!(stats.prepared.resident_mask_bytes > 0);
+
     // Per-session traffic attribution survives concurrency: both
     // concurrent F sessions metered exactly what the solo baseline
     // session metered — and the registry agrees with the clients.
@@ -127,6 +135,8 @@ fn worker_cap_queues_sessions_without_losing_any() {
         handles.into_iter().map(|h| h.join().expect("client thread")).collect();
     let stats = server.join().expect("server thread");
     assert_eq!(stats.sessions.len(), 3);
+    // One variant, three sessions: one plane encoded, two shared.
+    assert_eq!((stats.prepared.built, stats.prepared.reused), (1, 2));
 
     let want = reference_engine(&model, ProtocolVariant::Fpc, GcMode::Simulated).run(&tokens);
     for outcome in &outcomes {

@@ -1,0 +1,63 @@
+//! Prepared-weights plane sharing: two concurrent sessions of the same
+//! model+variant must be served from **one** Setup-encoded mask plane
+//! (one cache miss + one hit, single-plane resident memory), and both
+//! must still produce reference-exact logits.
+
+mod common;
+
+use common::{reference_engine, start_server, WEIGHT_SEED};
+use primer_core::{GcMode, ModelPlane, ProtocolVariant, SystemConfig};
+use primer_math::rng::seeded;
+use primer_nn::{FixedTransformer, TransformerConfig, TransformerWeights};
+use primer_serve::{run_queries, ClientConfig, RunOutcome};
+
+#[test]
+fn two_concurrent_sessions_share_one_prepared_plane() {
+    let model = TransformerConfig::test_tiny();
+    let variant = ProtocolVariant::Fp;
+    let tokens = vec![6usize, 1, 28, 14];
+
+    let (addr, server) = start_server(model.clone(), 2, 2, 1);
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let tokens = tokens.clone();
+            std::thread::spawn(move || -> RunOutcome {
+                run_queries(addr, &ClientConfig::new(variant), &[tokens]).expect("client run")
+            })
+        })
+        .collect();
+    let outcomes: Vec<RunOutcome> =
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect();
+    let stats = server.join().expect("server thread");
+
+    // Exactly one plane was encoded; the other session shared it.
+    assert_eq!(stats.prepared.built, 1, "second session must not re-encode the plane");
+    assert_eq!(stats.prepared.reused, 1);
+
+    // The resident bytes are one plane's masks — byte-identical to an
+    // independently built plane for the same (model, variant).
+    let sys = SystemConfig::test_profile(&model).expect("profile");
+    let weights = TransformerWeights::random(&model, &mut seeded(WEIGHT_SEED));
+    let fixed = FixedTransformer::quantize(&model, &weights, sys.pipeline);
+    let local = ModelPlane::build(&sys, variant, &fixed);
+    assert_eq!(stats.prepared.resident_mask_bytes, local.mask_bytes());
+    assert!(local.is_prepared());
+    // Every step in the plane's rotation plan is one the client's Setup
+    // provisions a dedicated key for (pow2 strides plus the extras).
+    let stride = sys.padded_tokens();
+    let simd = sys.simd_width();
+    let steps = local.rotation_steps();
+    assert!(!steps.is_empty());
+    for &s in &steps {
+        assert!(
+            s.is_power_of_two() || [stride, simd - 1, simd - stride].contains(&s),
+            "step {s} lacks a dedicated galois key"
+        );
+    }
+
+    // Shared plane ⇒ still reference-exact, for both sessions.
+    let want = reference_engine(&model, variant, GcMode::Simulated).run(&tokens);
+    for outcome in &outcomes {
+        assert_eq!(outcome.predictions[0].logits, want.logits);
+    }
+}

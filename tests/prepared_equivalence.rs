@@ -1,0 +1,157 @@
+//! Prepared/NTT-resident vs pre-refactor equivalence: for every
+//! protocol variant, a session served from a Setup-prepared weight
+//! plane (hoisted NTT-domain rotations + setup-encoded masks) must
+//! produce logits **bit-identical** to the fresh-mask reference arm
+//! (`ModelPlane::build_raw` — per-call mask encoding, the pre-refactor
+//! behaviour) — at `PRIMER_THREADS=1` and `4` — and both arms must
+//! match the plaintext fixed-point reference exactly.
+//!
+//! The suite also pins the *encode count model*: a prepared session
+//! spends **zero** `mask_prep` ops producing offline bundles (all
+//! weight-mask encoding ran at Setup), while the reference arm pays per
+//! query; the online phase (whose FHGS masks are query data and can
+//! never be prepared) spends identical `mask_prep` in both arms.
+//!
+//! Everything runs in ONE `#[test]` because `PRIMER_THREADS` is
+//! process-global state; integration-test files get their own process.
+
+use primer_core::{
+    build_session_circuits, ClientSession, GcMode, ModelPlane, ProtocolVariant, ServerSession,
+    SystemConfig,
+};
+use primer_he::OpCounts;
+use primer_math::rng::seeded;
+use primer_net::MemTransport;
+use primer_nn::{FixedTransformer, TransformerConfig, TransformerWeights};
+use std::sync::Arc;
+
+struct Run {
+    logits: Vec<Vec<i64>>,
+    he_offline: Vec<OpCounts>,
+    he_online: Vec<OpCounts>,
+}
+
+/// One full client/server session over an in-memory transport, with the
+/// server arm selected by `prepared`.
+fn run_session(variant: ProtocolVariant, threads: usize, prepared: bool) -> Run {
+    std::env::set_var("PRIMER_THREADS", threads.to_string());
+    let cfg = TransformerConfig::test_tiny();
+    let sys = SystemConfig::test_profile(&cfg).expect("profile");
+    let weights = TransformerWeights::random(&cfg, &mut seeded(700));
+    let fixed = Arc::new(FixedTransformer::quantize(&cfg, &weights, sys.pipeline));
+    let circuits = Arc::new(build_session_circuits(&sys, variant, &fixed));
+    let queries = [vec![3usize, 17, 0, 29], vec![5usize, 5, 30, 1]];
+    let (total, pool) = (queries.len(), queries.len());
+
+    let (ct, st, _meter) = MemTransport::pair();
+    let (sys_s, fixed_s, circuits_s) = (sys.clone(), Arc::clone(&fixed), Arc::clone(&circuits));
+    let server = std::thread::spawn(move || {
+        let plane = Arc::new(if prepared {
+            ModelPlane::build(&sys_s, variant, &fixed_s)
+        } else {
+            ModelPlane::build_raw(&sys_s, variant, &fixed_s)
+        });
+        assert_eq!(plane.is_prepared(), prepared);
+        let mut session = ServerSession::setup_with_plane(
+            sys_s,
+            variant,
+            GcMode::Simulated,
+            circuits_s,
+            plane,
+            701,
+            total,
+            pool,
+            &st,
+        )
+        .expect("in-process key transfer");
+        (0..total).map(|_| session.serve_one(&st)).collect::<Vec<_>>()
+    });
+
+    let mut session = ClientSession::setup(
+        sys,
+        variant,
+        GcMode::Simulated,
+        fixed,
+        circuits,
+        701,
+        total,
+        pool,
+        &ct,
+    );
+    let logits: Vec<Vec<i64>> = queries.iter().map(|q| session.infer(q, &ct)).collect();
+    let rounds = server.join().expect("server thread");
+    Run {
+        logits,
+        he_offline: rounds.iter().map(|r| r.he_offline).collect(),
+        he_online: rounds.iter().map(|r| r.he_online).collect(),
+    }
+}
+
+fn reference_logits(variant: ProtocolVariant, queries: &[Vec<usize>]) -> Vec<Vec<i64>> {
+    let cfg = TransformerConfig::test_tiny();
+    let sys = SystemConfig::test_profile(&cfg).expect("profile");
+    let weights = TransformerWeights::random(&cfg, &mut seeded(700));
+    let fixed = FixedTransformer::quantize(&cfg, &weights, sys.pipeline);
+    queries
+        .iter()
+        .map(|q| {
+            if matches!(variant, ProtocolVariant::Fpc) {
+                fixed.logits_combined(q)
+            } else {
+                fixed.logits(q)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn prepared_path_matches_fresh_reference_all_variants() {
+    let queries = [vec![3usize, 17, 0, 29], vec![5usize, 5, 30, 1]];
+    for variant in ProtocolVariant::all() {
+        let reference = reference_logits(variant, &queries);
+        let mut arms: Vec<(String, Run)> = Vec::new();
+        for threads in [1usize, 4] {
+            for prepared in [true, false] {
+                let label = format!(
+                    "{} t{threads} {}",
+                    variant.name(),
+                    if prepared { "prepared" } else { "fresh" }
+                );
+                arms.push((label, run_session(variant, threads, prepared)));
+            }
+        }
+        for (label, run) in &arms {
+            assert_eq!(run.logits, reference, "{label}: logits != plaintext reference");
+        }
+        // All four arms bit-identical to each other (redundant given the
+        // reference check, but states the acceptance criterion directly).
+        for (label, run) in &arms[1..] {
+            assert_eq!(run.logits, arms[0].1.logits, "{label} diverged from {}", arms[0].0);
+        }
+
+        // Encode count model: prepared arms never encode weight masks in
+        // the offline phase; fresh arms always do. Online mask encoding
+        // (FHGS query data) is identical across arms.
+        for (label, run) in &arms {
+            let prepared = label.contains("prepared");
+            for (i, off) in run.he_offline.iter().enumerate() {
+                if prepared {
+                    assert_eq!(
+                        off.mask_prep, 0,
+                        "{label}: query {i} offline phase encoded weight masks"
+                    );
+                } else {
+                    assert!(
+                        off.mask_prep > 0,
+                        "{label}: fresh arm must encode masks per query"
+                    );
+                }
+            }
+        }
+        let online_model: Vec<u64> = arms[0].1.he_online.iter().map(|c| c.mask_prep).collect();
+        for (label, run) in &arms[1..] {
+            let got: Vec<u64> = run.he_online.iter().map(|c| c.mask_prep).collect();
+            assert_eq!(got, online_model, "{label}: online mask_prep differs");
+        }
+    }
+}
