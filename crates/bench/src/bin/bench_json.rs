@@ -82,11 +82,11 @@ fn run_session(variant: ProtocolVariant, pool: usize, refills: usize) -> PhaseTi
         barrier_s.wait();
         for _ in 0..refills {
             barrier_s.wait();
-            session.refill(&st, pool);
+            session.refill(&st, pool).expect("in-process flight");
             barrier_s.wait();
             for _ in 0..pool {
                 barrier_s.wait();
-                session.serve_one(&st);
+                session.serve_one(&st).expect("in-process flight");
                 barrier_s.wait();
             }
         }
@@ -106,14 +106,14 @@ fn run_session(variant: ProtocolVariant, pool: usize, refills: usize) -> PhaseTi
     for _ in 0..refills {
         barrier.wait();
         let t0 = Instant::now();
-        session.refill(&ct, pool);
+        session.refill(&ct, pool).expect("in-process flight");
         barrier.wait();
         offline_refill_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         for _ in 0..pool {
             let tokens = next_query.next().expect("query per drain");
             barrier.wait();
             let t0 = Instant::now();
-            session.infer(tokens, &ct);
+            session.infer(tokens, &ct).expect("in-process flight");
             barrier.wait();
             online_query_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         }

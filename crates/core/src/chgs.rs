@@ -38,6 +38,10 @@ pub struct ChgsClient {
 
 /// Client offline phase: one encryption of `R_c`, then one decryption
 /// per combined projection.
+///
+/// # Errors
+///
+/// [`primer_he::HeError::Malformed`] on a corrupt reply flight.
 #[allow(clippy::too_many_arguments)]
 pub fn client_offline<R: Rng + ?Sized>(
     ring: &Ring,
@@ -50,12 +54,16 @@ pub fn client_offline<R: Rng + ?Sized>(
     encryptor: &Encryptor,
     transport: &dyn Transport,
     rng: &mut R,
-) -> ChgsClient {
+) -> Result<ChgsClient, primer_he::HeError> {
     let rc = MatZ::random(ring, rows, in_cols, rng);
     client_offline_with_mask(packing, rc, out_cols, ctx, encoder, encryptor, transport)
 }
 
 /// Client offline with an externally chosen input mask.
+///
+/// # Errors
+///
+/// [`primer_he::HeError::Malformed`] on a corrupt reply flight.
 pub fn client_offline_with_mask(
     packing: Packing,
     rc: MatZ,
@@ -64,17 +72,17 @@ pub fn client_offline_with_mask(
     encoder: &BatchEncoder,
     encryptor: &Encryptor,
     transport: &dyn Transport,
-) -> ChgsClient {
+) -> Result<ChgsClient, primer_he::HeError> {
     let mut rng = encryptor.fork_rng();
     let (pending, request) =
         client_request(packing, rc, out_cols, encoder, encryptor, &mut rng);
     send_packed(transport, &request);
-    let replies: Vec<PackedMatrix> = pending
+    let replies = pending
         .reply_layouts(encoder.row_size())
         .into_iter()
         .map(|layout| recv_packed(transport, ctx, layout))
-        .collect();
-    client_finish(pending, &replies, encoder, encryptor)
+        .collect::<Result<Vec<PackedMatrix>, _>>()?;
+    Ok(client_finish(pending, &replies, encoder, encryptor))
 }
 
 /// A client CHGS instance between its single request flight and the
@@ -165,6 +173,10 @@ pub fn server_compute(
 
 /// Server offline phase against pre-combined weights; returns one `R_s`
 /// per projection. The single received `Enc(R_c)` feeds every matmul.
+///
+/// # Errors
+///
+/// [`primer_he::HeError::Malformed`] on a corrupt request flight.
 #[allow(clippy::too_many_arguments)]
 pub fn server_offline<R: Rng + ?Sized>(
     ring: &Ring,
@@ -177,13 +189,13 @@ pub fn server_offline<R: Rng + ?Sized>(
     keys: &GaloisKeys,
     transport: &dyn Transport,
     rng: &mut R,
-) -> Vec<MatZ> {
+) -> Result<Vec<MatZ>, primer_he::HeError> {
     let in_cols = combined_weights[0].rows();
     for w in combined_weights {
         assert_eq!(w.rows(), in_cols, "combined weights share the input width");
     }
     let in_layout = Layout::plan(packing, rows, in_cols, encoder.row_size());
-    let enc_rc = recv_packed(transport, ctx, in_layout);
+    let enc_rc = recv_packed(transport, ctx, in_layout)?;
     let rss: Vec<MatZ> = combined_weights
         .iter()
         .map(|w| MatZ::random(ring, rows, w.cols(), rng))
@@ -196,7 +208,7 @@ pub fn server_offline<R: Rng + ?Sized>(
     for reply in server_compute(&enc_rc, &weights, &rs_refs, eval, encoder, keys) {
         send_packed(transport, &reply);
     }
-    rss
+    Ok(rss)
 }
 
 /// Server online share for projection `i`: `U·Ā_i − R_s,i` plus the
@@ -267,7 +279,8 @@ mod tests {
                     &encryptor,
                     &t,
                     &mut seeded(262),
-                );
+                )
+                .expect("in-process flight");
                 let u = x_c.sub(&ring, &pre.rc);
                 crate::wire::send_matrix(&t, &u);
                 pre.shares
@@ -288,8 +301,9 @@ mod tests {
                     &keys_s,
                     &t,
                     &mut seeded(263),
-                );
-                let u = crate::wire::recv_matrix(&t);
+                )
+                .expect("in-process flight");
+                let u = crate::wire::recv_matrix(&t).expect("in-process flight");
                 ws_s.iter()
                     .zip(rss.iter().zip(&lambdas_s))
                     .map(|(w, (rs, lam))| server_online(&ring, &u, w, rs, lam))

@@ -154,6 +154,10 @@ pub fn server_accept(
 }
 
 /// Server offline: receives the triple, samples output masks.
+///
+/// # Errors
+///
+/// [`primer_he::HeError::Malformed`] on a corrupt request flight.
 pub fn server_offline<R: Rng + ?Sized>(
     ring: &Ring,
     packing: Packing,
@@ -162,13 +166,17 @@ pub fn server_offline<R: Rng + ?Sized>(
     encoder: &BatchEncoder,
     transport: &dyn Transport,
     rng: &mut R,
-) -> FhgsServer {
+) -> Result<FhgsServer, primer_he::HeError> {
     let simd = encoder.row_size();
-    let flights = request_layouts(packing, dims, simd)
-        .map(|layout| recv_packed(transport, ctx, layout));
+    let [l_a, l_bt, l_ab] = request_layouts(packing, dims, simd);
+    let flights = [
+        recv_packed(transport, ctx, l_a)?,
+        recv_packed(transport, ctx, l_bt)?,
+        recv_packed(transport, ctx, l_ab)?,
+    ];
     let rs1 = MatZ::random(ring, dims.n, dims.m, rng);
     let rs2 = MatZ::random(ring, dims.m, dims.n, rng);
-    server_accept(dims, flights, rs1, rs2)
+    Ok(server_accept(dims, flights, rs1, rs2))
 }
 
 /// Server online: two ct–pt matmuls plus plaintext work; returns the
@@ -214,6 +222,10 @@ pub fn server_online(
 
 /// Client online: decrypts both flights and assembles its share
 /// `dec(E1) + dec(E2)ᵀ` (plaintext transpose).
+///
+/// # Errors
+///
+/// [`primer_he::HeError::Malformed`] on a corrupt reply flight.
 pub fn client_online(
     client: &FhgsClient,
     ring: &Ring,
@@ -222,14 +234,16 @@ pub fn client_online(
     encoder: &BatchEncoder,
     encryptor: &Encryptor,
     transport: &dyn Transport,
-) -> MatZ {
+) -> Result<MatZ, primer_he::HeError> {
     let dims = client.dims;
     let simd = encoder.row_size();
-    let e1 = recv_packed(transport, ctx, matmul_out_layout(packing, dims.n, dims.k, dims.m, simd));
-    let e2 = recv_packed(transport, ctx, matmul_out_layout(packing, dims.m, dims.k, dims.n, simd));
+    let e1 =
+        recv_packed(transport, ctx, matmul_out_layout(packing, dims.n, dims.k, dims.m, simd))?;
+    let e2 =
+        recv_packed(transport, ctx, matmul_out_layout(packing, dims.m, dims.k, dims.n, simd))?;
     let a1 = crate::packing::decrypt_matrix(&e1, encoder, encryptor);
     let y = crate::packing::decrypt_matrix(&e2, encoder, encryptor);
-    a1.add(ring, &y.transpose())
+    Ok(a1.add(ring, &y.transpose()))
 }
 
 #[cfg(test)]
@@ -279,6 +293,7 @@ mod tests {
                     crate::wire::send_matrix(&t, &ua);
                     crate::wire::send_matrix(&t, &ub);
                     client_online(&pre, &ring, packing, &ctx_c, &encoder, &encryptor, &t)
+                        .expect("in-process flight")
                 },
                 move |t| {
                     let encoder = BatchEncoder::new(&ctx_s);
@@ -286,9 +301,10 @@ mod tests {
                     let ring = Ring::new(ctx_s.params().t());
                     let pre = server_offline(
                         &ring, packing, dims, &ctx_s, &encoder, &t, &mut seeded(253),
-                    );
-                    let ua = crate::wire::recv_matrix(&t);
-                    let ub = crate::wire::recv_matrix(&t);
+                    )
+                    .expect("in-process flight");
+                    let ua = crate::wire::recv_matrix(&t).expect("in-process flight");
+                    let ub = crate::wire::recv_matrix(&t).expect("in-process flight");
                     let share =
                         server_online(&pre, &ring, &ua, &ub, &encoder, &eval, &keys_s, &t);
                     // FHGS never multiplies two ciphertexts.

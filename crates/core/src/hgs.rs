@@ -106,6 +106,10 @@ pub fn server_compute(
 
 /// Client offline phase for a `rows × in_cols` input against a
 /// `in_cols × out_cols` server weight matrix.
+///
+/// # Errors
+///
+/// [`primer_he::HeError::Malformed`] on a corrupt reply flight.
 #[allow(clippy::too_many_arguments)]
 pub fn client_offline<R: Rng + ?Sized>(
     ring: &Ring,
@@ -118,13 +122,17 @@ pub fn client_offline<R: Rng + ?Sized>(
     encryptor: &Encryptor,
     transport: &dyn Transport,
     rng: &mut R,
-) -> HgsClient {
+) -> Result<HgsClient, primer_he::HeError> {
     let rc = MatZ::random(ring, rows, in_cols, rng);
     client_offline_with_mask(ring, packing, rc, out_cols, ctx, encoder, encryptor, transport)
 }
 
 /// Client offline phase with an externally chosen input mask — used when
 /// the mask must equal an upstream GC step's re-sharing mask.
+///
+/// # Errors
+///
+/// [`primer_he::HeError::Malformed`] on a corrupt reply flight.
 #[allow(clippy::too_many_arguments)]
 pub fn client_offline_with_mask(
     ring: &Ring,
@@ -135,16 +143,20 @@ pub fn client_offline_with_mask(
     encoder: &BatchEncoder,
     encryptor: &Encryptor,
     transport: &dyn Transport,
-) -> HgsClient {
+) -> Result<HgsClient, primer_he::HeError> {
     let _ = ring;
     let mut rng = encryptor.fork_rng();
     let (pending, request) = client_request(packing, rc, out_cols, encoder, encryptor, &mut rng);
     send_packed(transport, &request);
-    let reply = recv_packed(transport, ctx, pending.reply_layout(encoder.row_size()));
-    client_finish(pending, &reply, encoder, encryptor)
+    let reply = recv_packed(transport, ctx, pending.reply_layout(encoder.row_size()))?;
+    Ok(client_finish(pending, &reply, encoder, encryptor))
 }
 
 /// Server offline phase; returns `R_s` (the server's correction mask).
+///
+/// # Errors
+///
+/// [`primer_he::HeError::Malformed`] on a corrupt request flight.
 ///
 /// # Panics
 ///
@@ -161,14 +173,14 @@ pub fn server_offline<R: Rng + ?Sized>(
     keys: &GaloisKeys,
     transport: &dyn Transport,
     rng: &mut R,
-) -> MatZ {
+) -> Result<MatZ, primer_he::HeError> {
     let in_layout = Layout::plan(packing, rows, w.rows(), encoder.row_size());
-    let packed = recv_packed(transport, ctx, in_layout);
+    let packed = recv_packed(transport, ctx, in_layout)?;
     let rs = MatZ::random(ring, rows, w.cols(), rng);
     let masked =
         server_compute(&packed, &MatmulWeights::Fresh { w, encoder }, &rs, eval, encoder, keys);
     send_packed(transport, &masked);
-    rs
+    Ok(rs)
 }
 
 /// Server online phase: the share `U·W − R_s` (pure plaintext work).
@@ -239,7 +251,8 @@ mod tests {
                     let hgs = client_offline(
                         &ring, packing, rows, in_cols, out_cols, &ctx_c, &encoder,
                         &encryptor, &t, &mut seeded(242),
-                    );
+                    )
+                    .expect("in-process flight");
                     // Online: client ships U = X − Rc to the server.
                     let u = x_c.sub(&ring, &hgs.rc);
                     crate::wire::send_matrix(&t, &u);
@@ -252,9 +265,10 @@ mod tests {
                     let rs = server_offline(
                         &ring, packing, rows, &w_s, &ctx_s, &encoder, &eval, &keys_s, &t,
                         &mut seeded(243),
-                    );
+                    )
+                    .expect("in-process flight");
                     let offline_ops = eval.counts();
-                    let u = crate::wire::recv_matrix(&t);
+                    let u = crate::wire::recv_matrix(&t).expect("in-process flight");
                     let share = server_online(&ring, &u, &w_s, &rs);
                     let online_ops = eval.counts().since(&offline_ops);
                     let _ = x_s;

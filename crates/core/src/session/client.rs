@@ -7,7 +7,7 @@ use crate::gcmod::GcMode;
 use crate::system::SystemConfig;
 use crate::wire;
 use primer_gc::{Circuit, OtGroup};
-use primer_he::{BatchEncoder, Encryptor, KeyGenerator};
+use primer_he::{BatchEncoder, Encryptor, HeError, KeyGenerator};
 use primer_math::rng::derive;
 use primer_net::Transport;
 use primer_nn::FixedTransformer;
@@ -101,19 +101,31 @@ impl ClientSession {
     /// from the shared (total, pool) parameters, keeping the wire in
     /// lockstep; the batch size shapes the wire schedule, so it must
     /// match on both sides.
-    pub fn refill(&mut self, t: &dyn Transport, k: usize) {
-        for bundle in produce_client_bundles(&self.core, &mut self.rng, t, k) {
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::Malformed`] on a corrupt or truncated reply flight —
+    /// the session is unusable past this point (the wire is out of
+    /// lockstep), so callers fail the whole session.
+    pub fn refill(&mut self, t: &dyn Transport, k: usize) -> Result<(), HeError> {
+        for bundle in produce_client_bundles(&self.core, &mut self.rng, t, k)? {
             self.pool.put(bundle);
             self.produced += 1;
         }
+        Ok(())
     }
 
     /// Runs one online inference, consuming one pooled offline bundle
     /// (refilling the pool first if it has drained).
-    pub fn infer(&mut self, tokens: &[usize], t: &dyn Transport) -> Vec<i64> {
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::Malformed`] on a corrupt or truncated mid-session
+    /// flight.
+    pub fn infer(&mut self, tokens: &[usize], t: &dyn Transport) -> Result<Vec<i64>, HeError> {
         if self.pool.is_empty() {
             let k = refill_quota(self.pool_target, self.total_queries, self.produced);
-            self.refill(t, k);
+            self.refill(t, k)?;
         }
         let bundle = self.pool.take().expect("pool refilled above");
         online::client_online(&self.core, bundle, tokens, t)
@@ -165,18 +177,25 @@ impl ClientProducer {
     /// (parallel production, lockstep wire order), blocking on the pool
     /// bound for backpressure between hand-offs. Closes the pool on exit
     /// (including panic — e.g. a worker panic propagated out of a
-    /// parallel refill), so the online half can never deadlock on a dead
-    /// producer.
-    pub fn run(mut self, t: &dyn Transport) {
+    /// parallel refill, or an early return on a malformed flight), so
+    /// the online half can never deadlock on a dead producer.
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::Malformed`] on a corrupt or truncated reply flight;
+    /// the pool is closed first, so the online half fails loudly rather
+    /// than blocking forever.
+    pub fn run(mut self, t: &dyn Transport) -> Result<(), HeError> {
         let _guard = SharedPoolGuard(&self.pool);
         let mut produced = 0;
         while produced < self.remaining {
             let k = refill_quota(self.chunk, self.remaining, produced);
-            for bundle in produce_client_bundles(&self.core, &mut self.rng, t, k) {
+            for bundle in produce_client_bundles(&self.core, &mut self.rng, t, k)? {
                 self.pool.put_blocking(bundle);
             }
             produced += k;
         }
+        Ok(())
     }
 }
 
@@ -191,11 +210,16 @@ impl ClientOnline {
     /// bundle ready. Takes `&mut self` (like its server mirror) so two
     /// threads cannot interleave queries on one lockstep wire.
     ///
+    /// # Errors
+    ///
+    /// [`HeError::Malformed`] on a corrupt or truncated mid-session
+    /// flight.
+    ///
     /// # Panics
     ///
     /// Panics if the producer closed the pool before delivering enough
     /// bundles (a producer crash, surfaced loudly here).
-    pub fn infer(&mut self, tokens: &[usize], t: &dyn Transport) -> Vec<i64> {
+    pub fn infer(&mut self, tokens: &[usize], t: &dyn Transport) -> Result<Vec<i64>, HeError> {
         let bundle = self
             .pool
             .take_blocking()

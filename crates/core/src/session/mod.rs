@@ -186,12 +186,16 @@ impl Engine {
             move |t| {
                 ClientSession::setup(sys_c, variant, mode, fixed_c, circuits_c, seed, total, pool, t)
             },
-            move |cs: &mut ClientSession, tokens: Vec<usize>, t| cs.infer(&tokens, t),
+            move |cs: &mut ClientSession, tokens: Vec<usize>, t| {
+                cs.infer(&tokens, t).expect("in-process flight cannot be malformed")
+            },
             move |t| {
                 ServerSession::setup(sys_s, variant, mode, fixed_s, circuits_s, seed, total, pool, t)
                     .expect("in-process key transfer cannot be malformed")
             },
-            move |ss: &mut ServerSession, _round, t| ss.serve_one(t),
+            move |ss: &mut ServerSession, _round, t| {
+                ss.serve_one(t).expect("in-process flight cannot be malformed")
+            },
         );
 
         logits_all

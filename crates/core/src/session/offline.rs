@@ -47,13 +47,13 @@ use crate::hgs;
 use crate::packing::{Layout, MatmulWeights, PackedMatrix};
 use crate::stats::{StepBreakdown, StepCategory};
 use crate::wire::{recv_packed, send_packed};
-use primer_he::{Evaluator, OpCounts};
+use primer_he::{Evaluator, HeError, OpCounts};
 use primer_math::rng::seeded;
 use primer_math::MatZ;
 use primer_net::{MeteredTransport, Transport, TrafficSnapshot};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Client-side masks for one block.
@@ -421,12 +421,17 @@ fn finish_client_bundle(
 /// bundle-major order, decrypts replies in parallel, then runs the
 /// interactive GC offline sessions per bundle in order. See the module
 /// docs for the stage/wire contract with [`produce_server_bundles`].
+///
+/// # Errors
+///
+/// [`HeError::Malformed`] on a corrupt or truncated reply flight — the
+/// whole batch fails (no partial bundles are returned).
 pub(crate) fn produce_client_bundles(
     core: &ClientCore,
     rng: &mut StdRng,
     t: &dyn Transport,
     k: usize,
-) -> Vec<ClientBundle> {
+) -> Result<Vec<ClientBundle>, HeError> {
     // Per-bundle seeds drawn in bundle order: masks and encryption
     // randomness become a function of the session rng alone, not of
     // worker scheduling.
@@ -440,17 +445,15 @@ pub(crate) fn produce_client_bundles(
             send_packed(t, flight);
         }
     }
-    let slots: Vec<ClientFinishSlot> = preps
-        .into_iter()
-        .map(|prep| {
-            let replies: Vec<PackedMatrix> = prep
-                .reply_layouts
-                .iter()
-                .map(|layout| recv_packed(t, &core.sys.he, layout.clone()))
-                .collect();
-            Mutex::new(Some((prep, replies)))
-        })
-        .collect();
+    let mut slots: Vec<ClientFinishSlot> = Vec::with_capacity(k);
+    for prep in preps {
+        let mut replies: Vec<PackedMatrix> = Vec::with_capacity(prep.reply_layouts.len());
+        for layout in &prep.reply_layouts {
+            replies.push(recv_packed(t, &core.sys.he, layout.clone())?);
+        }
+        slots.push(Mutex::new(Some((prep, replies))));
+    }
+    let slots = slots;
 
     let finished = rayon::par_iter_chunks(k, |i| {
         let (prep, replies) =
@@ -460,7 +463,7 @@ pub(crate) fn produce_client_bundles(
 
     // GC offline is interactive (garbling + OT flights), so it stays
     // sequential per bundle, in bundle order, on this thread.
-    finished
+    Ok(finished
         .into_iter()
         .map(|(mut bundle, mut bundle_rng)| {
             bundle.gc = core
@@ -470,7 +473,7 @@ pub(crate) fn produce_client_bundles(
                 .collect();
             bundle
         })
-        .collect()
+        .collect())
 }
 
 /// One received HGS request with its pre-sampled correction mask.
@@ -512,12 +515,16 @@ struct ServerRecv {
 /// the wire in the client's instance order, samples every correction
 /// mask from the bundle rng, and attributes the received traffic per
 /// Table II category. Sequential (it owns the wire).
+///
+/// # Errors
+///
+/// [`HeError::Malformed`] on a corrupt or truncated request flight.
 fn recv_server_bundle(
     core: &ServerCore,
     seed: u64,
     t: &dyn MeteredTransport,
     timer: &mut StepTimer<'_>,
-) -> ServerRecv {
+) -> Result<ServerRecv, HeError> {
     let cfg = core.sys.model.clone();
     let ring = core.sys.ring();
     let packing = core.variant.packing();
@@ -532,56 +539,67 @@ fn recv_server_bundle(
                     in_cols: usize,
                     out_cols: usize,
                     rng: &mut StdRng|
-     -> HgsRecv {
-        let req = recv_packed(t, &core.sys.he, Layout::plan(packing, rows, in_cols, simd));
-        HgsRecv { req, rs: MatZ::random(&ring, rows, out_cols, rng) }
+     -> Result<HgsRecv, HeError> {
+        let req = recv_packed(t, &core.sys.he, Layout::plan(packing, rows, in_cols, simd))?;
+        Ok(HgsRecv { req, rs: MatZ::random(&ring, rows, out_cols, rng) })
     };
 
     // Embed / combined module.
     let embed = if core.variant.combined() {
-        let req = recv_packed(t, &core.sys.he, Layout::plan(packing, n, cfg.vocab, simd));
+        let req = recv_packed(t, &core.sys.he, Layout::plan(packing, n, cfg.vocab, simd))?;
         let rss = (0..4).map(|_| MatZ::random(&ring, n, d, &mut rng)).collect();
         timer.absorb(&mut steps, StepCategory::QxK, true);
         EmbedRecv::Chgs { req, rss }
     } else {
-        let r = recv_hgs(n, cfg.vocab, d, &mut rng);
+        let r = recv_hgs(n, cfg.vocab, d, &mut rng)?;
         timer.absorb(&mut steps, StepCategory::Embed, true);
         EmbedRecv::Hgs(r)
     };
 
     let qkv_first = !core.variant.combined();
-    let recv_fhgs = |dims: FhgsDims, rng: &mut StdRng| -> fhgs::FhgsServer {
-        let flights = fhgs::request_layouts(packing, dims, simd)
-            .map(|layout| recv_packed(t, &core.sys.he, layout));
+    let recv_fhgs = |dims: FhgsDims, rng: &mut StdRng| -> Result<fhgs::FhgsServer, HeError> {
+        let [l_a, l_bt, l_ab] = fhgs::request_layouts(packing, dims, simd);
+        let flights = [
+            recv_packed(t, &core.sys.he, l_a)?,
+            recv_packed(t, &core.sys.he, l_bt)?,
+            recv_packed(t, &core.sys.he, l_ab)?,
+        ];
         let rs1 = MatZ::random(&ring, dims.n, dims.m, rng);
         let rs2 = MatZ::random(&ring, dims.m, dims.n, rng);
-        fhgs::server_accept(dims, flights, rs1, rs2)
+        Ok(fhgs::server_accept(dims, flights, rs1, rs2))
     };
-    let blocks: Vec<BlockRecv> = (0..cfg.n_blocks)
-        .map(|b| {
-            let qkv = (b > 0 || qkv_first).then(|| {
-                let r = [0; 3].map(|_| recv_hgs(n, d, d, &mut rng));
-                timer.absorb(&mut steps, StepCategory::Qkv, true);
-                r
-            });
-            let score =
-                (0..heads).map(|_| recv_fhgs(FhgsDims { n, k: dh, m: n }, &mut rng)).collect();
-            timer.absorb(&mut steps, StepCategory::QxK, true);
-            let av =
-                (0..heads).map(|_| recv_fhgs(FhgsDims { n, k: n, m: dh }, &mut rng)).collect();
-            timer.absorb(&mut steps, StepCategory::AttnValue, true);
-            let wo = recv_hgs(n, d, d, &mut rng);
-            let w1 = recv_hgs(n, d, dff, &mut rng);
-            let w2 = recv_hgs(n, dff, d, &mut rng);
-            timer.absorb(&mut steps, StepCategory::Others, true);
-            BlockRecv { qkv, score, av, wo, w1, w2 }
-        })
-        .collect();
-    let cls = recv_hgs(1, d, cfg.n_classes, &mut rng);
+    let mut blocks: Vec<BlockRecv> = Vec::with_capacity(cfg.n_blocks);
+    for b in 0..cfg.n_blocks {
+        let qkv = if b > 0 || qkv_first {
+            let r = [
+                recv_hgs(n, d, d, &mut rng)?,
+                recv_hgs(n, d, d, &mut rng)?,
+                recv_hgs(n, d, d, &mut rng)?,
+            ];
+            timer.absorb(&mut steps, StepCategory::Qkv, true);
+            Some(r)
+        } else {
+            None
+        };
+        let score = (0..heads)
+            .map(|_| recv_fhgs(FhgsDims { n, k: dh, m: n }, &mut rng))
+            .collect::<Result<Vec<_>, _>>()?;
+        timer.absorb(&mut steps, StepCategory::QxK, true);
+        let av = (0..heads)
+            .map(|_| recv_fhgs(FhgsDims { n, k: n, m: dh }, &mut rng))
+            .collect::<Result<Vec<_>, _>>()?;
+        timer.absorb(&mut steps, StepCategory::AttnValue, true);
+        let wo = recv_hgs(n, d, d, &mut rng)?;
+        let w1 = recv_hgs(n, d, dff, &mut rng)?;
+        let w2 = recv_hgs(n, dff, d, &mut rng)?;
+        timer.absorb(&mut steps, StepCategory::Others, true);
+        blocks.push(BlockRecv { qkv, score, av, wo, w1, w2 });
+    }
+    let cls = recv_hgs(1, d, cfg.n_classes, &mut rng)?;
     timer.absorb(&mut steps, StepCategory::Others, true);
 
     let traffic = timer.snapshot().since(&start);
-    ServerRecv { rng, embed, blocks, cls, steps, traffic }
+    Ok(ServerRecv { rng, embed, blocks, cls, steps, traffic })
 }
 
 /// One parallel compute job: the HE work of a single HGS/CHGS instance.
@@ -614,6 +632,11 @@ struct ComputeOut {
 /// bundle. Wall-clock, traffic and HE ops are attributed per bundle and
 /// per Table II category as before; the union of all bundle deltas still
 /// equals the refill's total wire traffic exactly.
+///
+/// # Errors
+///
+/// [`HeError::Malformed`] on a corrupt or truncated request flight — the
+/// whole batch fails (no partial bundles are returned).
 pub(crate) fn produce_server_bundles(
     core: &ServerCore,
     eval: &Evaluator,
@@ -621,13 +644,15 @@ pub(crate) fn produce_server_bundles(
     t: &dyn MeteredTransport,
     wire_mark: &mut TrafficSnapshot,
     k: usize,
-) -> Vec<ServerBundle> {
+) -> Result<Vec<ServerBundle>, HeError> {
     let seeds: Vec<u64> = (0..k).map(|_| rng.gen()).collect();
     let mut timer = StepTimer::resume(t, *wire_mark);
 
     // Stage A (sequential): receive all requests, sample all masks.
-    let mut recvs: Vec<ServerRecv> =
-        seeds.iter().map(|&seed| recv_server_bundle(core, seed, t, &mut timer)).collect();
+    let mut recvs: Vec<ServerRecv> = seeds
+        .iter()
+        .map(|&seed| recv_server_bundle(core, seed, t, &mut timer))
+        .collect::<Result<Vec<_>, _>>()?;
 
     // Stage B (parallel): one job per HGS/CHGS instance, in bundle-major
     // instance order — which is exactly the order replies go out in.
@@ -691,8 +716,10 @@ pub(crate) fn produce_server_bundles(
     let outs: Vec<ComputeOut> = rayon::par_iter_chunks(jobs.len(), |j| {
         let job = &jobs[j];
         // Scratch evaluator per job: op counts attribute exactly to this
-        // bundle without racing the session's shared counters.
-        let scratch = Evaluator::new(&core.sys.he);
+        // bundle without racing the session's shared counters. The
+        // session arena is shared, so scratch buffers recycle across
+        // jobs instead of each evaluator warming a pool it drops.
+        let scratch = Evaluator::with_arena(&core.sys.he, Arc::clone(eval.arena()));
         let started = Instant::now();
         let replies = if job.weights.len() == 1 {
             vec![hgs::server_compute(
@@ -771,5 +798,5 @@ pub(crate) fn produce_server_bundles(
         })
         .collect();
     *wire_mark = timer.snapshot();
-    bundles
+    Ok(bundles)
 }

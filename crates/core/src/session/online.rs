@@ -12,7 +12,7 @@ use crate::hgs;
 use crate::stats::{StepBreakdown, StepCategory};
 use crate::wire;
 use primer_gc::arith::ring_bits;
-use primer_he::Evaluator;
+use primer_he::{Evaluator, HeError};
 use primer_math::MatZ;
 use primer_net::{MeteredTransport, Transport, TrafficSnapshot};
 
@@ -28,12 +28,16 @@ pub(crate) struct ServerOnlineInputs {
 /// Client online phase: masks the one-hot input, walks every protocol
 /// step consuming the bundle's shares and GC sessions, and reconstructs
 /// the logits.
+///
+/// # Errors
+///
+/// [`HeError::Malformed`] on a corrupt or truncated mid-session flight.
 pub(crate) fn client_online(
     core: &ClientCore,
     bundle: ClientBundle,
     tokens: &[usize],
     t: &dyn Transport,
-) -> Vec<i64> {
+) -> Result<Vec<i64>, HeError> {
     let cfg = &core.sys.model;
     let ring = core.sys.ring();
     let rb = ring_bits(ring.modulus());
@@ -103,7 +107,7 @@ pub(crate) fn client_online(
                 &core.encoder,
                 &core.encryptor,
                 t,
-            );
+            )?;
             score_vals.extend_from_slice(share.as_slice());
         }
         for h in 0..heads {
@@ -121,7 +125,7 @@ pub(crate) fn client_online(
                 &core.encoder,
                 &core.encryptor,
                 t,
-            );
+            )?;
             av_vals.extend_from_slice(share.as_slice());
         }
         // Mask ordering matches the per-head segment layout.
@@ -147,16 +151,20 @@ pub(crate) fn client_online(
     }
 
     // Classifier: reconstruct logits.
-    let server_share = wire::recv_matrix(t);
+    let server_share = wire::recv_matrix(t)?;
     let raw: Vec<i64> = (0..cfg.n_classes)
         .map(|c| ring.to_signed(ring.add(server_share[(0, c)], cls.share[(0, c)])))
         .collect();
-    raw.iter().map(|&v| core.fixed.spec().fixed.truncate_product(v)).collect()
+    Ok(raw.iter().map(|&v| core.fixed.spec().fixed.truncate_product(v)).collect())
 }
 
 /// Server online phase: pure-plaintext HGS shares, FHGS ct–pt matmuls
 /// and GC evaluations, attributed per category into `steps` (online
 /// slots). Returns the online traffic delta.
+///
+/// # Errors
+///
+/// [`HeError::Malformed`] on a corrupt or truncated mid-session flight.
 pub(crate) fn server_online(
     core: &ServerCore,
     eval: &Evaluator,
@@ -164,7 +172,7 @@ pub(crate) fn server_online(
     steps: &mut StepBreakdown,
     t: &dyn MeteredTransport,
     wire_mark: &mut TrafficSnapshot,
-) -> TrafficSnapshot {
+) -> Result<TrafficSnapshot, HeError> {
     let cfg = &core.sys.model;
     let ring = core.sys.ring();
     let rb = ring_bits(ring.modulus());
@@ -185,7 +193,7 @@ pub(crate) fn server_online(
     let start = timer.snapshot();
     let w = &core.plane.weights;
 
-    let u0 = wire::recv_matrix(t);
+    let u0 = wire::recv_matrix(t)?;
     // Embed / combined online + GC.
     let (mut u_x, mut u_q, mut u_k, mut u_v);
     if core.variant.combined() {
@@ -304,5 +312,5 @@ pub(crate) fn server_online(
     timer.absorb(steps, StepCategory::Others, false);
 
     *wire_mark = timer.snapshot();
-    timer.snapshot().since(&start)
+    Ok(timer.snapshot().since(&start))
 }

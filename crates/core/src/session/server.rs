@@ -243,7 +243,13 @@ impl ServerSession {
     /// Produces `k` offline bundles into the pool as **one batch** (the
     /// mirror of [`super::ClientSession::refill`] — the batch size
     /// shapes the wire schedule and must match the client's).
-    pub fn refill(&mut self, t: &dyn MeteredTransport, k: usize) {
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::Malformed`] on a corrupt or truncated request flight —
+    /// the session is unusable past this point (the wire is out of
+    /// lockstep), so callers fail the whole session.
+    pub fn refill(&mut self, t: &dyn MeteredTransport, k: usize) -> Result<(), HeError> {
         let bundles = produce_server_bundles(
             &self.core,
             &self.eval,
@@ -251,20 +257,26 @@ impl ServerSession {
             t,
             &mut self.wire_mark,
             k,
-        );
+        )?;
         for bundle in bundles {
             self.pool.put(bundle);
             self.produced += 1;
         }
+        Ok(())
     }
 
     /// Serves one query's online phase, consuming one pooled offline
     /// bundle (refilling first — with the same quota formula as the
     /// client — if the pool has drained).
-    pub fn serve_one(&mut self, t: &dyn MeteredTransport) -> ServeRound {
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::Malformed`] on a corrupt or truncated mid-session
+    /// flight.
+    pub fn serve_one(&mut self, t: &dyn MeteredTransport) -> Result<ServeRound, HeError> {
         if self.pool.is_empty() {
             let k = refill_quota(self.pool_target, self.total_queries, self.produced);
-            self.refill(t, k);
+            self.refill(t, k)?;
         }
         let bundle = self.pool.take().expect("pool refilled above");
         serve_round(&self.core, &self.eval, bundle, self.setup_cost, t, &mut self.wire_mark)
@@ -315,7 +327,7 @@ fn serve_round(
     setup_cost: PhaseCost,
     t: &dyn MeteredTransport,
     wire_mark: &mut TrafficSnapshot,
-) -> ServeRound {
+) -> Result<ServeRound, HeError> {
     let ServerBundle { embed_rs, bservers, cls_rs, gc, mut steps, he, traffic } = bundle;
     let he_before = eval.counts();
     let online_traffic = online::server_online(
@@ -325,10 +337,10 @@ fn serve_round(
         &mut steps,
         t,
         wire_mark,
-    );
+    )?;
     let he_online = eval.counts().since(&he_before);
     steps.set_setup(setup_cost);
-    ServeRound { steps, he_offline: he, he_online, traffic: traffic.plus(&online_traffic) }
+    Ok(ServeRound { steps, he_offline: he, he_online, traffic: traffic.plus(&online_traffic) })
 }
 
 /// The offline half of a pipelined server session: produces every
@@ -352,9 +364,15 @@ impl ServerProducer {
     /// (parallel production, lockstep wire order), blocking on the pool
     /// bound for backpressure between hand-offs. Closes the pool on exit
     /// (including panic — e.g. a worker panic propagated out of a
-    /// parallel refill), so the online half can never deadlock on a dead
-    /// producer.
-    pub fn run(mut self, t: &dyn MeteredTransport) {
+    /// parallel refill, or an early return on a malformed flight), so
+    /// the online half can never deadlock on a dead producer.
+    ///
+    /// # Errors
+    ///
+    /// [`HeError::Malformed`] on a corrupt or truncated request flight;
+    /// the pool is closed first, so the online half fails loudly rather
+    /// than blocking forever.
+    pub fn run(mut self, t: &dyn MeteredTransport) -> Result<(), HeError> {
         let _guard = SharedPoolGuard(&self.pool);
         let mut produced = 0;
         while produced < self.remaining {
@@ -366,12 +384,13 @@ impl ServerProducer {
                 t,
                 &mut self.wire_mark,
                 k,
-            );
+            )?;
             for bundle in bundles {
                 self.pool.put_blocking(bundle);
             }
             produced += k;
         }
+        Ok(())
     }
 }
 
@@ -395,11 +414,16 @@ impl ServerOnline {
     /// Serves one query's online phase, blocking until the producer has
     /// a bundle ready.
     ///
+    /// # Errors
+    ///
+    /// [`HeError::Malformed`] on a corrupt or truncated mid-session
+    /// flight.
+    ///
     /// # Panics
     ///
     /// Panics if the producer closed the pool before delivering enough
     /// bundles (a producer crash, surfaced loudly here).
-    pub fn serve_one(&mut self, t: &dyn MeteredTransport) -> ServeRound {
+    pub fn serve_one(&mut self, t: &dyn MeteredTransport) -> Result<ServeRound, HeError> {
         let bundle = self
             .pool
             .take_blocking()

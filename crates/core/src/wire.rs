@@ -1,8 +1,16 @@
 //! Transport framing for ciphertext batches, ring matrices and key
 //! material.
+//!
+//! Every receive in this module is `Result`-typed: flights arrive from
+//! the network, so truncated or forged bytes must surface as
+//! [`HeError::Malformed`] and fail the *session* (the serving worker
+//! maps the error to a closed connection), never panic the process.
+//! Header fields (counts, dimensions) are validated against the actual
+//! byte length — with overflow-checked arithmetic — before any slicing
+//! or allocation sized by them.
 
 use crate::packing::{Layout, PackedMatrix};
-use primer_he::{Ciphertext, GaloisKeys, HeContext};
+use primer_he::{Ciphertext, GaloisKeys, HeContext, HeError};
 use primer_math::MatZ;
 use primer_net::Transport;
 
@@ -18,25 +26,26 @@ pub fn send_cts(t: &dyn Transport, cts: &[Ciphertext]) {
 
 /// Receives a batch of ciphertexts.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on malformed bytes: ciphertext flights arrive mid-session,
-/// after the handshake and key transfer already validated the peer, so
-/// corruption here is a protocol logic error. (The handshake-time
-/// deserializers — hello frames and [`recv_galois_keys`] — return
-/// errors instead, so a garbage connection cannot crash a worker.)
-pub fn recv_cts(t: &dyn Transport, ctx: &HeContext) -> Vec<Ciphertext> {
+/// [`HeError::Malformed`] on a truncated header, truncated or corrupt
+/// ciphertext bytes, or a forged count pointing past the flight. The
+/// output vector grows one decoded ciphertext at a time, so a forged
+/// count cannot trigger a huge up-front allocation either.
+pub fn recv_cts(t: &dyn Transport, ctx: &HeContext) -> Result<Vec<Ciphertext>, HeError> {
     let bytes = t.recv();
-    let count = u32::from_le_bytes(bytes[..4].try_into().expect("count")) as usize;
+    if bytes.len() < 4 {
+        return Err(HeError::Malformed { what: "ciphertext batch header" });
+    }
+    let count = u32::from_le_bytes(bytes[..4].try_into().expect("4-byte slice")) as usize;
     let mut off = 4;
-    (0..count)
-        .map(|_| {
-            let (ct, used) =
-                Ciphertext::from_bytes(ctx, &bytes[off..]).expect("malformed ciphertext flight");
-            off += used;
-            ct
-        })
-        .collect()
+    let mut cts = Vec::new();
+    for _ in 0..count {
+        let (ct, used) = Ciphertext::from_bytes(ctx, &bytes[off..])?;
+        off += used;
+        cts.push(ct);
+    }
+    Ok(cts)
 }
 
 /// Sends a packed matrix (layout is public and known to both sides, so
@@ -46,10 +55,21 @@ pub fn send_packed(t: &dyn Transport, m: &PackedMatrix) {
 }
 
 /// Receives a packed matrix into a known layout.
-pub fn recv_packed(t: &dyn Transport, ctx: &HeContext, layout: Layout) -> PackedMatrix {
-    let cts = recv_cts(t, ctx);
-    assert_eq!(cts.len(), layout.num_cts, "ciphertext count mismatch for layout");
-    PackedMatrix { layout, cts }
+///
+/// # Errors
+///
+/// [`HeError::Malformed`] as [`recv_cts`], or if the decoded ciphertext
+/// count does not match the layout both sides agreed on.
+pub fn recv_packed(
+    t: &dyn Transport,
+    ctx: &HeContext,
+    layout: Layout,
+) -> Result<PackedMatrix, HeError> {
+    let cts = recv_cts(t, ctx)?;
+    if cts.len() != layout.num_cts {
+        return Err(HeError::Malformed { what: "packed matrix ciphertext count" });
+    }
+    Ok(PackedMatrix { layout, cts })
 }
 
 /// Sends a ring matrix in the clear (shares and masked values only!).
@@ -64,16 +84,34 @@ pub fn send_matrix(t: &dyn Transport, m: &MatZ) {
 }
 
 /// Receives a ring matrix.
-pub fn recv_matrix(t: &dyn Transport) -> MatZ {
+///
+/// # Errors
+///
+/// [`HeError::Malformed`] on a truncated header or a `rows × cols`
+/// (overflow-checked) that does not match the payload length.
+pub fn recv_matrix(t: &dyn Transport) -> Result<MatZ, HeError> {
     let bytes = t.recv();
-    let rows = u32::from_le_bytes(bytes[..4].try_into().expect("rows")) as usize;
-    let cols = u32::from_le_bytes(bytes[4..8].try_into().expect("cols")) as usize;
-    let mut data = Vec::with_capacity(rows * cols);
-    for i in 0..rows * cols {
-        let s = 8 + i * 8;
-        data.push(u64::from_le_bytes(bytes[s..s + 8].try_into().expect("u64")));
+    if bytes.len() < 8 {
+        return Err(HeError::Malformed { what: "matrix header" });
     }
-    MatZ::from_vec(rows, cols, data)
+    let rows = u32::from_le_bytes(bytes[..4].try_into().expect("4-byte slice")) as usize;
+    let cols = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice")) as usize;
+    let elems = rows
+        .checked_mul(cols)
+        .ok_or(HeError::Malformed { what: "matrix dimensions" })?;
+    let need = elems
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(8))
+        .ok_or(HeError::Malformed { what: "matrix dimensions" })?;
+    if bytes.len() != need {
+        return Err(HeError::Malformed { what: "matrix payload length" });
+    }
+    let mut data = Vec::with_capacity(elems);
+    for i in 0..elems {
+        let s = 8 + i * 8;
+        data.push(u64::from_le_bytes(bytes[s..s + 8].try_into().expect("8-byte slice")));
+    }
+    Ok(MatZ::from_vec(rows, cols, data))
 }
 
 /// Sends the client's Galois keys as real serialized bytes (the one-time
@@ -86,14 +124,11 @@ pub fn send_galois_keys(t: &dyn Transport, keys: &GaloisKeys) {
 ///
 /// # Errors
 ///
-/// [`primer_he::HeError::Malformed`] on truncated or corrupt key bytes
-/// — this is the first flight a server decodes from an untrusted peer,
-/// so it must fail soft (the serving worker maps it to a failed
-/// session, not a crash).
-pub fn recv_galois_keys(
-    t: &dyn Transport,
-    ctx: &HeContext,
-) -> Result<GaloisKeys, primer_he::HeError> {
+/// [`HeError::Malformed`] on truncated or corrupt key bytes — this is
+/// the first flight a server decodes from an untrusted peer, so it must
+/// fail soft (the serving worker maps it to a failed session, not a
+/// crash).
+pub fn recv_galois_keys(t: &dyn Transport, ctx: &HeContext) -> Result<GaloisKeys, HeError> {
     GaloisKeys::from_bytes(ctx, &t.recv())
 }
 
@@ -134,9 +169,111 @@ mod tests {
         let m = MatZ::random(&ring, 3, 5, &mut seeded(230));
         let m2 = m.clone();
         let (got, _, _) = run_two_party(
-            move |t| recv_matrix(&t),
+            move |t| recv_matrix(&t).expect("well-formed matrix"),
             move |t| send_matrix(&t, &m2),
         );
         assert_eq!(got, m);
+    }
+
+    /// Every way an attacker can mangle a matrix flight must come back
+    /// as `Malformed`, never a panic (mirrors the `RnsPoly::read_bytes`
+    /// hardening from the previous PR).
+    #[test]
+    fn forged_matrix_flights_are_malformed_not_panics() {
+        use primer_he::HeError;
+        let recv_forged = |payload: Vec<u8>| {
+            let (got, _, _) = run_two_party(
+                move |t| recv_matrix(&t),
+                move |t| t.send_owned(payload),
+            );
+            got
+        };
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("empty flight", vec![]),
+            ("truncated header", vec![1, 0, 0]),
+            ("header only, rows*cols > 0", {
+                let mut b = Vec::new();
+                b.extend_from_slice(&3u32.to_le_bytes());
+                b.extend_from_slice(&5u32.to_le_bytes());
+                b
+            }),
+            ("payload short one element", {
+                let mut b = Vec::new();
+                b.extend_from_slice(&2u32.to_le_bytes());
+                b.extend_from_slice(&2u32.to_le_bytes());
+                b.extend_from_slice(&[0u8; 3 * 8]);
+                b
+            }),
+            ("payload longer than rows*cols", {
+                let mut b = Vec::new();
+                b.extend_from_slice(&1u32.to_le_bytes());
+                b.extend_from_slice(&1u32.to_le_bytes());
+                b.extend_from_slice(&[0u8; 2 * 8]);
+                b
+            }),
+            ("rows*cols overflows usize", {
+                let mut b = Vec::new();
+                b.extend_from_slice(&u32::MAX.to_le_bytes());
+                b.extend_from_slice(&u32::MAX.to_le_bytes());
+                b.extend_from_slice(&[0u8; 8]);
+                b
+            }),
+        ];
+        for (what, payload) in cases {
+            let got = recv_forged(payload);
+            assert!(
+                matches!(got, Err(HeError::Malformed { .. })),
+                "{what}: expected Malformed, got {got:?}"
+            );
+        }
+    }
+
+    /// Truncated and forged ciphertext batches fail soft mid-session.
+    #[test]
+    fn forged_ciphertext_flights_are_malformed_not_panics() {
+        use primer_he::{BatchEncoder, Encryptor, HeContext, HeParams, KeyGenerator};
+        let ctx = HeContext::new(HeParams::toy());
+        let mut rng = seeded(232);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let encr = Encryptor::new(&ctx, kg.secret_key().clone(), 77);
+        let ct = encr.encrypt(&BatchEncoder::new(&ctx).encode(&[1, 2, 3]));
+        let good = {
+            let mut b = Vec::new();
+            b.extend_from_slice(&1u32.to_le_bytes());
+            b.extend_from_slice(&ct.to_bytes());
+            b
+        };
+
+        let recv_forged = |payload: Vec<u8>, ctx: HeContext| {
+            let (got, _, _) = run_two_party(
+                move |t| recv_cts(&t, &ctx),
+                move |t| t.send_owned(payload),
+            );
+            got
+        };
+        let truncated = good[..good.len() - 5].to_vec();
+        let forged_count = {
+            let mut b = good.clone();
+            b[..4].copy_from_slice(&9u32.to_le_bytes());
+            b
+        };
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("empty flight", vec![]),
+            ("truncated header", vec![2, 0]),
+            ("count with no payload", 4u32.to_le_bytes().to_vec()),
+            ("truncated ciphertext", truncated),
+            ("forged count past the flight", forged_count),
+        ];
+        for (what, payload) in cases {
+            let got = recv_forged(payload, ctx.clone());
+            assert!(
+                matches!(got, Err(primer_he::HeError::Malformed { .. })),
+                "{what}: expected Malformed, got ciphertext batch of {:?}",
+                got.map(|cts| cts.len())
+            );
+        }
+        // Sanity: the well-formed flight still decodes.
+        let ok = recv_forged(good, ctx);
+        assert_eq!(ok.expect("well-formed flight").len(), 1);
     }
 }

@@ -1,0 +1,134 @@
+//! A free-list arena for polynomial-shaped scratch buffers.
+//!
+//! The NTT-resident evaluator (PR 5) allocates short-lived `RnsPoly`
+//! temporaries on every rotation and plaintext add — `num_primes × n`
+//! `u64` limbs each — which shows up as allocator churn once the modular
+//! kernels themselves are SIMD-fast. The arena recycles that storage:
+//!
+//! * [`ScratchArena::take_zeroed`] / [`ScratchArena::take_uninit`] hand
+//!   out a poly backed by recycled limbs (allocating only when the free
+//!   list is empty);
+//! * [`ScratchArena::recycle`] returns the storage when the temporary
+//!   dies.
+//!
+//! **Ownership rules** (DESIGN.md §11): the arena is for *true scratch*
+//! only — buffers whose lifetime ends inside the operation that took
+//! them. Polynomials that escape an operation (ciphertext components,
+//! hoisted digit decompositions, anything stored in a struct) use plain
+//! allocation, so the free list stays balanced at the high-water mark of
+//! concurrent scratch, not the working set. `take_uninit` is reserved
+//! for consumers that overwrite every limb before reading any
+//! (`permute_ntt_into`, `scale_plain_into`, `decompose_ntt`); everything
+//! else takes zeroed storage. "Uninit" contents are stale limbs from a
+//! previous take, never actually uninitialised memory — a logic bug
+//! reading them produces wrong residues, not UB.
+//!
+//! The free list sits behind a [`Mutex`]: takes/recycles are
+//! a few pointer moves, orders of magnitude cheaper than the NTT work
+//! done per buffer, so one lock is not a scalability concern even with
+//! the offline producer pool sharing a session's arena across workers.
+
+use crate::context::HeContext;
+use crate::poly::RnsPoly;
+use std::sync::Mutex;
+
+/// Recycled `num_primes × n` limb buffers for one parameter set.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    free: Mutex<Vec<Vec<Vec<u64>>>>,
+}
+
+impl ScratchArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch polynomial with **every limb zeroed**.
+    pub fn take_zeroed(&self, ctx: &HeContext, ntt_form: bool) -> RnsPoly {
+        match self.pop(ctx) {
+            Some(mut values) => {
+                for row in &mut values {
+                    row.fill(0);
+                }
+                RnsPoly::from_raw_parts(values, ntt_form)
+            }
+            None => RnsPoly::zero(ctx, ntt_form),
+        }
+    }
+
+    /// A scratch polynomial with **stale limb contents** — only for
+    /// callers that overwrite every residue before reading any.
+    pub fn take_uninit(&self, ctx: &HeContext, ntt_form: bool) -> RnsPoly {
+        match self.pop(ctx) {
+            Some(values) => RnsPoly::from_raw_parts(values, ntt_form),
+            None => RnsPoly::zero(ctx, ntt_form),
+        }
+    }
+
+    /// Returns a scratch polynomial's storage to the free list.
+    ///
+    /// Buffers whose shape does not match `ctx` (a poly from a different
+    /// parameter set) are dropped instead of pooled, so the arena can
+    /// never hand out a wrongly-shaped buffer.
+    pub fn recycle(&self, ctx: &HeContext, poly: RnsPoly) {
+        let values = poly.into_raw_parts();
+        if values.len() == ctx.num_primes() && values.iter().all(|row| row.len() == ctx.n()) {
+            self.free.lock().expect("arena poisoned").push(values);
+        }
+    }
+
+    /// Buffers currently parked in the free list (test observability).
+    pub fn pooled(&self) -> usize {
+        self.free.lock().expect("arena poisoned").len()
+    }
+
+    fn pop(&self, ctx: &HeContext) -> Option<Vec<Vec<u64>>> {
+        let values = self.free.lock().expect("arena poisoned").pop()?;
+        // Shape is enforced at recycle time; debug-check it anyway.
+        debug_assert!(
+            values.len() == ctx.num_primes() && values.iter().all(|row| row.len() == ctx.n()),
+            "arena buffer shape drifted"
+        );
+        Some(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::HeParams;
+    use primer_math::rng::seeded;
+
+    #[test]
+    fn recycle_then_take_reuses_storage() {
+        let ctx = HeContext::new(HeParams::toy());
+        let arena = ScratchArena::new();
+        assert_eq!(arena.pooled(), 0);
+        let a = arena.take_zeroed(&ctx, false);
+        arena.recycle(&ctx, a);
+        assert_eq!(arena.pooled(), 1);
+        let b = arena.take_uninit(&ctx, true);
+        assert_eq!(arena.pooled(), 0, "take must pop the free list");
+        assert!(b.is_ntt());
+        arena.recycle(&ctx, b);
+    }
+
+    #[test]
+    fn take_zeroed_clears_stale_limbs() {
+        let ctx = HeContext::new(HeParams::toy());
+        let arena = ScratchArena::new();
+        let dirty = RnsPoly::uniform(&ctx, &mut seeded(33));
+        arena.recycle(&ctx, dirty);
+        let clean = arena.take_zeroed(&ctx, false);
+        assert_eq!(clean, RnsPoly::zero(&ctx, false));
+    }
+
+    #[test]
+    fn wrong_shape_is_dropped_not_pooled() {
+        let ctx = HeContext::new(HeParams::toy());
+        let arena = ScratchArena::new();
+        arena.recycle(&ctx, RnsPoly::from_raw_parts(vec![vec![0u64; 3]], false));
+        assert_eq!(arena.pooled(), 0);
+    }
+}

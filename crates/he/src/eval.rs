@@ -23,6 +23,7 @@
 //! tests pin the hoisted path against (identical decrypted slots; the
 //! ciphertext noise differs immaterially below the decryption bound).
 
+use crate::arena::ScratchArena;
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::context::HeContext;
 use crate::counters::{OpCounters, OpCounts};
@@ -30,6 +31,7 @@ use crate::error::HeError;
 use crate::galois;
 use crate::keys::{digits_for_prime, GaloisKeys, KskKey, RelinKey};
 use crate::poly::RnsPoly;
+use std::sync::Arc;
 
 /// A plaintext prepared for multiplication: centered-lifted into `R_q`
 /// and transformed to NTT form. Reused across many `mul_plain` calls.
@@ -69,12 +71,27 @@ pub struct HoistedCiphertext {
 pub struct Evaluator {
     ctx: HeContext,
     counters: OpCounters,
+    arena: Arc<ScratchArena>,
 }
 
 impl Evaluator {
-    /// Creates an evaluator for a context.
+    /// Creates an evaluator for a context, with a private scratch arena.
     pub fn new(ctx: &HeContext) -> Self {
-        Self { ctx: ctx.clone(), counters: OpCounters::new() }
+        Self::with_arena(ctx, Arc::new(ScratchArena::new()))
+    }
+
+    /// Creates an evaluator sharing an existing scratch arena — the
+    /// parallel offline producers give each bundle a scratch evaluator
+    /// (for exact per-bundle op attribution) but share the session
+    /// arena, so recycled buffers flow between workers instead of each
+    /// scratch evaluator warming a pool it immediately drops.
+    pub fn with_arena(ctx: &HeContext, arena: Arc<ScratchArena>) -> Self {
+        Self { ctx: ctx.clone(), counters: OpCounters::new(), arena }
+    }
+
+    /// The scratch arena (shared with scratch evaluators).
+    pub fn arena(&self) -> &Arc<ScratchArena> {
+        &self.arena
     }
 
     /// The context.
@@ -146,20 +163,24 @@ impl Evaluator {
     /// `ct + pt` (Δ-scaled plaintext added to the body).
     pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         self.counters.bump(|c| c.add_plain += 1);
-        let mut scaled = RnsPoly::scale_plain_to_q(&self.ctx, pt.coeffs());
+        let mut scaled = self.arena.take_uninit(&self.ctx, false);
+        RnsPoly::scale_plain_into(&self.ctx, pt.coeffs(), &mut scaled);
         scaled.to_ntt(&self.ctx);
         let mut out = ct.clone();
         out.part_mut(0).add_assign(&self.ctx, &scaled);
+        self.arena.recycle(&self.ctx, scaled);
         out
     }
 
     /// `ct - pt`.
     pub fn sub_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         self.counters.bump(|c| c.add_plain += 1);
-        let mut scaled = RnsPoly::scale_plain_to_q(&self.ctx, pt.coeffs());
+        let mut scaled = self.arena.take_uninit(&self.ctx, false);
+        RnsPoly::scale_plain_into(&self.ctx, pt.coeffs(), &mut scaled);
         scaled.to_ntt(&self.ctx);
         let mut out = ct.clone();
         out.part_mut(0).sub_assign(&self.ctx, &scaled);
+        self.arena.recycle(&self.ctx, scaled);
         out
     }
 
@@ -287,6 +308,9 @@ impl Evaluator {
         let perm = ctx.galois_perm(element);
         let mut acc0 = h.c0.permute_ntt(ctx, &perm);
         let mut acc1 = RnsPoly::zero(ctx, true);
+        // One arena buffer serves every σ(digit) in the double loop —
+        // permute_ntt_into overwrites all residues each pass.
+        let mut sd = self.arena.take_uninit(ctx, true);
         for (i, prime_digits) in h.digits.iter().enumerate() {
             debug_assert_eq!(prime_digits.len(), key.digits(i), "digit count mismatch");
             for (j, digit) in prime_digits.iter().enumerate() {
@@ -294,12 +318,13 @@ impl Evaluator {
                 // negacyclic sign flips, so coefficients stay ±digit —
                 // within the same key-switch noise bound as the
                 // coefficient-domain path.
-                let sd = digit.permute_ntt(ctx, &perm);
+                digit.permute_ntt_into(ctx, &perm, &mut sd);
                 let (b, a) = key.part(i, j);
                 acc0.add_mul_pointwise_assign(ctx, &sd, b);
                 acc1.add_mul_pointwise_assign(ctx, &sd, a);
             }
         }
+        self.arena.recycle(ctx, sd);
         Ciphertext::new(vec![acc0, acc1], None)
     }
 
@@ -380,7 +405,9 @@ impl Evaluator {
                 (0..digits)
                     .map(|j| {
                         let shift = j * w;
-                        let mut digit = RnsPoly::zero(ctx, false);
+                        // Fully overwritten below (all k, all primes), so
+                        // stale arena limbs are safe.
+                        let mut digit = self.arena.take_uninit(ctx, false);
                         for (k, &r) in residues.iter().enumerate() {
                             let d = ((r as u128 >> shift) & mask) as u64;
                             for p in 0..ctx.num_primes() {
@@ -434,6 +461,13 @@ impl Evaluator {
                 let (b, a) = key.part(i, j);
                 acc0.add_mul_pointwise_assign(ctx, digit, b);
                 acc1.add_mul_pointwise_assign(ctx, digit, a);
+            }
+        }
+        // The digits die here (unlike `hoist`, where they escape into
+        // the HoistedCiphertext) — return their storage to the arena.
+        for prime_digits in digits {
+            for digit in prime_digits {
+                self.arena.recycle(ctx, digit);
             }
         }
         (acc0, acc1)

@@ -34,6 +34,7 @@
 //! assert_eq!(&encoder.decode(&encryptor.decrypt(&doubled))[..3], &[2, 4, 6]);
 //! ```
 
+pub mod arena;
 pub mod cipher;
 pub mod context;
 pub mod counters;
@@ -49,8 +50,10 @@ pub mod ntt;
 pub mod params;
 pub mod poly;
 pub mod primes;
+pub mod simd;
 pub mod u256;
 
+pub use arena::ScratchArena;
 pub use cipher::{Ciphertext, Plaintext};
 pub use context::HeContext;
 pub use counters::{OpCounters, OpCounts};
@@ -81,4 +84,5 @@ fn assert_shared_he_types_are_sync() {
     ok::<Plaintext>();
     ok::<MulPlain>();
     ok::<HoistedCiphertext>();
+    ok::<ScratchArena>();
 }

@@ -3,12 +3,20 @@
 /// A prime modulus `p < 2^62` with convenience arithmetic.
 ///
 /// All NTT primes and the plaintext modulus are wrapped in this type. The
-/// implementation reduces through `u128`; this is not the fastest possible
-/// (no Barrett/Montgomery caching) but it is branch-simple, obviously
-/// correct, and fast enough that NTTs dominate where intended.
+/// scalar implementation reduces through `u128` (branch-simple, obviously
+/// correct); the wrapper additionally caches the Barrett constant
+/// `mu = floor(2^(2·bits) / p)` so the [`crate::simd`] kernels can reduce
+/// four lanes at a time without a 128-bit division — the two paths are
+/// proven bit-identical by the `simd` proptests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Modulus {
     p: u64,
+    /// Bit length of `p` (`L` in the Barrett derivation); `p < 2^62` keeps
+    /// every shift count the kernels derive from it inside `[0, 63]`.
+    bits: u32,
+    /// `floor(2^(2·bits) / p)`. With `2^(bits-1) <= p < 2^bits` this fits
+    /// in 63 bits, so the lane-wise `mulhi` never overflows.
+    barrett_mu: u64,
 }
 
 impl Modulus {
@@ -20,13 +28,27 @@ impl Modulus {
     pub fn new(p: u64) -> Self {
         assert!(p >= 2, "modulus must be at least 2");
         assert!(p < (1u64 << 62), "modulus must be below 2^62");
-        Self { p }
+        let bits = 64 - p.leading_zeros();
+        let barrett_mu = ((1u128 << (2 * bits)) / p as u128) as u64;
+        Self { p, bits, barrett_mu }
     }
 
     /// The raw modulus value.
     #[inline]
     pub fn value(&self) -> u64 {
         self.p
+    }
+
+    /// Bit length of the modulus (`L` such that `2^(L-1) <= p < 2^L`).
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Cached Barrett constant `floor(2^(2·bits) / p)`.
+    #[inline]
+    pub fn barrett_mu(&self) -> u64 {
+        self.barrett_mu
     }
 
     /// `x mod p` for arbitrary `x`.

@@ -10,6 +10,7 @@
 //! encoder), so no external contract depends on it.
 
 use crate::modulus::Modulus;
+use crate::simd::{self, SimdLevel};
 
 /// Precomputed tables for a negacyclic NTT of size `n` modulo `p`.
 #[derive(Debug, Clone)]
@@ -29,19 +30,6 @@ pub struct NttTables {
 #[inline]
 fn shoup(w: u64, p: u64) -> u64 {
     (((w as u128) << 64) / p as u128) as u64
-}
-
-/// Shoup modular multiplication: `x * w mod p` where `w_shoup` was
-/// precomputed for `w`. Requires `p < 2^62`.
-#[inline]
-fn mul_shoup(x: u64, w: u64, w_shoup: u64, p: u64) -> u64 {
-    let q = ((x as u128 * w_shoup as u128) >> 64) as u64;
-    let r = (x.wrapping_mul(w)).wrapping_sub(q.wrapping_mul(p));
-    if r >= p {
-        r - p
-    } else {
-        r
-    }
 }
 
 fn bit_reverse(x: usize, bits: u32) -> usize {
@@ -114,12 +102,24 @@ impl NttTables {
         self.modulus
     }
 
-    /// In-place forward negacyclic NTT (coefficients → evaluations).
+    /// In-place forward negacyclic NTT (coefficients → evaluations),
+    /// at the runtime-detected SIMD level (`PRIMER_SIMD` overridable).
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
     pub fn forward(&self, a: &mut [u64]) {
+        self.forward_at(a, simd::level());
+    }
+
+    /// [`Self::forward`] at an explicit SIMD level. Scalar and AVX2 are
+    /// bit-identical; this entry point exists so the bit-identity suite
+    /// can pin both sides without racing on the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward_at(&self, a: &mut [u64], lvl: SimdLevel) {
         assert_eq!(a.len(), self.n, "length mismatch");
         let p = self.modulus.value();
         let mut t = self.n;
@@ -130,24 +130,29 @@ impl NttTables {
                 let j1 = 2 * i * t;
                 let w = self.psi_rev[m + i];
                 let ws = self.psi_rev_shoup[m + i];
-                for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = mul_shoup(a[j + t], w, ws, p);
-                    let sum = u + v;
-                    a[j] = if sum >= p { sum - p } else { sum };
-                    a[j + t] = if u >= v { u - v } else { u + p - v };
-                }
+                let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
+                simd::forward_butterflies(p, w, ws, lo, hi, lvl);
             }
             m <<= 1;
         }
     }
 
-    /// In-place inverse negacyclic NTT (evaluations → coefficients).
+    /// In-place inverse negacyclic NTT (evaluations → coefficients),
+    /// at the runtime-detected SIMD level (`PRIMER_SIMD` overridable).
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
     pub fn inverse(&self, a: &mut [u64]) {
+        self.inverse_at(a, simd::level());
+    }
+
+    /// [`Self::inverse`] at an explicit SIMD level (see [`Self::forward_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse_at(&self, a: &mut [u64], lvl: SimdLevel) {
         assert_eq!(a.len(), self.n, "length mismatch");
         let p = self.modulus.value();
         let mut t = 1usize;
@@ -158,22 +163,14 @@ impl NttTables {
             for i in 0..h {
                 let w = self.psi_inv_rev[h + i];
                 let ws = self.psi_inv_rev_shoup[h + i];
-                for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = a[j + t];
-                    let sum = u + v;
-                    a[j] = if sum >= p { sum - p } else { sum };
-                    let diff = if u >= v { u - v } else { u + p - v };
-                    a[j + t] = mul_shoup(diff, w, ws, p);
-                }
+                let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
+                simd::inverse_butterflies(p, w, ws, lo, hi, lvl);
                 j1 += 2 * t;
             }
             t <<= 1;
             m = h;
         }
-        for x in a.iter_mut() {
-            *x = mul_shoup(*x, self.n_inv, self.n_inv_shoup, p);
-        }
+        simd::mul_shoup_slice(p, self.n_inv, self.n_inv_shoup, a, lvl);
     }
 
     /// log2 of the transform size.

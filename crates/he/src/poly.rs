@@ -2,6 +2,7 @@
 
 use crate::context::HeContext;
 use crate::error::HeError;
+use crate::simd;
 use rand::Rng;
 
 /// A polynomial in `R_q`, stored as one residue vector per RNS prime,
@@ -50,21 +51,33 @@ impl RnsPoly {
     /// wraparound multiples of `t` map to exact multiples of `q` and
     /// vanish.
     pub fn scale_plain_to_q(ctx: &HeContext, plain_coeffs: &[u64]) -> Self {
+        let mut out = Self::zero(ctx, false);
+        Self::scale_plain_into(ctx, plain_coeffs, &mut out);
+        out
+    }
+
+    /// [`Self::scale_plain_to_q`] into an existing (typically arena-
+    /// recycled) polynomial, overwriting every residue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not shaped for `ctx`.
+    pub fn scale_plain_into(ctx: &HeContext, plain_coeffs: &[u64], out: &mut Self) {
         assert_eq!(plain_coeffs.len(), ctx.n(), "coefficient count mismatch");
+        assert_eq!(out.values.len(), ctx.num_primes(), "prime count mismatch");
         let t = ctx.params().t() as u128;
         let delta = ctx.delta(); // floor(q/t) < 2^(128-43): Δ·m fits u128
         let r_t = ctx.q() - delta * t; // q mod t
-        let mut values = vec![Vec::with_capacity(ctx.n()); ctx.num_primes()];
-        for &c in plain_coeffs {
+        for (j, &c) in plain_coeffs.iter().enumerate() {
             let m = c as u128;
             debug_assert!(m < t, "plaintext coefficient not reduced");
             // round(q·m/t) = Δ·m + round(r_t·m / t); both terms fit u128.
             let scaled = delta * m + (r_t * m + t / 2) / t;
             for (i, md) in ctx.moduli().iter().enumerate() {
-                values[i].push(md.reduce_u128(scaled));
+                out.values[i][j] = md.reduce_u128(scaled);
             }
         }
-        Self { values, ntt_form: false }
+        out.ntt_form = false;
     }
 
     /// Uniformly random element of `R_q` (coefficient form). Sampling
@@ -144,39 +157,35 @@ impl RnsPoly {
     /// `self += other` (forms must match).
     pub fn add_assign(&mut self, ctx: &HeContext, other: &Self) {
         assert_eq!(self.ntt_form, other.ntt_form, "form mismatch in add");
+        let lvl = simd::level();
         for ((m, a), b) in ctx.moduli().iter().zip(&mut self.values).zip(&other.values) {
-            for (x, &y) in a.iter_mut().zip(b) {
-                *x = m.add(*x, y);
-            }
+            simd::add_mod(*m, a, b, lvl);
         }
     }
 
     /// `self -= other` (forms must match).
     pub fn sub_assign(&mut self, ctx: &HeContext, other: &Self) {
         assert_eq!(self.ntt_form, other.ntt_form, "form mismatch in sub");
+        let lvl = simd::level();
         for ((m, a), b) in ctx.moduli().iter().zip(&mut self.values).zip(&other.values) {
-            for (x, &y) in a.iter_mut().zip(b) {
-                *x = m.sub(*x, y);
-            }
+            simd::sub_mod(*m, a, b, lvl);
         }
     }
 
     /// `self = -self`.
     pub fn negate(&mut self, ctx: &HeContext) {
+        let lvl = simd::level();
         for (m, a) in ctx.moduli().iter().zip(&mut self.values) {
-            for x in a.iter_mut() {
-                *x = m.neg(*x);
-            }
+            simd::neg_mod(*m, a, lvl);
         }
     }
 
     /// Pointwise product (both operands must be in NTT form).
     pub fn mul_pointwise_assign(&mut self, ctx: &HeContext, other: &Self) {
         assert!(self.ntt_form && other.ntt_form, "pointwise mul needs NTT form");
+        let lvl = simd::level();
         for ((m, a), b) in ctx.moduli().iter().zip(&mut self.values).zip(&other.values) {
-            for (x, &y) in a.iter_mut().zip(b) {
-                *x = m.mul(*x, y);
-            }
+            simd::mul_mod(*m, a, b, lvl);
         }
     }
 
@@ -184,12 +193,11 @@ impl RnsPoly {
     /// allocation — the accumulation pattern of encrypted matmul.
     pub fn add_mul_pointwise_assign(&mut self, ctx: &HeContext, a: &Self, b: &Self) {
         assert!(self.ntt_form && a.ntt_form && b.ntt_form, "needs NTT form");
+        let lvl = simd::level();
         for (((m, acc), x), y) in
             ctx.moduli().iter().zip(&mut self.values).zip(&a.values).zip(&b.values)
         {
-            for ((o, &p), &q) in acc.iter_mut().zip(x).zip(y) {
-                *o = m.add(*o, m.mul(p, q));
-            }
+            simd::add_mul_mod(*m, acc, x, y, lvl);
         }
     }
 
@@ -203,14 +211,42 @@ impl RnsPoly {
     ///
     /// Panics if not in NTT form or the permutation length mismatches.
     pub fn permute_ntt(&self, ctx: &HeContext, perm: &[u32]) -> Self {
+        let mut out = Self::zero(ctx, true);
+        self.permute_ntt_into(ctx, perm, &mut out);
+        out
+    }
+
+    /// [`Self::permute_ntt`] into an existing (typically arena-recycled)
+    /// polynomial, overwriting every residue.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Self::permute_ntt`], or if `out` is not shaped for
+    /// `ctx`.
+    pub fn permute_ntt_into(&self, ctx: &HeContext, perm: &[u32], out: &mut Self) {
         assert!(self.ntt_form, "NTT-domain automorphism needs NTT form");
         assert_eq!(perm.len(), ctx.n(), "permutation length mismatch");
-        let values = self
-            .values
-            .iter()
-            .map(|src| perm.iter().map(|&s| src[s as usize]).collect())
-            .collect();
-        Self { values, ntt_form: true }
+        assert_eq!(out.values.len(), self.values.len(), "prime count mismatch");
+        for (src, dst) in self.values.iter().zip(&mut out.values) {
+            assert_eq!(dst.len(), perm.len(), "residue length mismatch");
+            for (d, &s) in dst.iter_mut().zip(perm) {
+                *d = src[s as usize];
+            }
+        }
+        out.ntt_form = true;
+    }
+
+    /// Rebuilds a polynomial from arena-recycled limb storage. The
+    /// buffers must be shaped `num_primes × n` for the context the poly
+    /// will be used with; contents are taken as-is (callers overwrite
+    /// them fully or pass zeroed storage).
+    pub fn from_raw_parts(values: Vec<Vec<u64>>, ntt_form: bool) -> Self {
+        Self { values, ntt_form }
+    }
+
+    /// Surrenders the limb storage (for recycling into a scratch arena).
+    pub fn into_raw_parts(self) -> Vec<Vec<u64>> {
+        self.values
     }
 
     /// Applies the Galois automorphism `x → x^g` (coefficient form only).

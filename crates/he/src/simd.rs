@@ -1,0 +1,667 @@
+//! Runtime-dispatched SIMD kernels for the modular hot loops.
+//!
+//! PR 5 made the HE pipeline NTT-resident, so essentially all hot-path
+//! time is pointwise `u64` arithmetic over RNS limbs: NTT butterflies
+//! (Shoup multiplication), pointwise multiply (Barrett), and ciphertext
+//! add/sub. This module hand-rolls AVX2 versions of exactly those loops
+//! with `std::arch`, behind a scalar fallback, under one invariant:
+//!
+//! > **Bit identity.** For every input, the AVX2 kernel produces the same
+//! > bytes as the scalar kernel — the same guarantee the PR 4 thread pool
+//! > gives for thread counts. SIMD width is a pure performance knob;
+//! > wire bytes and logits never depend on it.
+//!
+//! The invariant holds by construction, not by rounding luck: every
+//! kernel ends in a *canonical* residue in `[0, p)`.
+//!
+//! * add/sub/neg and the butterflies use the identical `+p` / conditional-
+//!   subtract branch structure as the scalar code, just four lanes wide.
+//! * Shoup multiplication uses the identical `q = mulhi(x, w_shoup)`;
+//!   `r = x·w − q·p (mod 2^64)`; one conditional subtract.
+//! * Pointwise multiply differs in *algorithm* (lane-wise Barrett with the
+//!   cached [`Modulus::barrett_mu`] vs the scalar `u128 %`) but both fully
+//!   reduce, and the canonical residue of `a·b mod p` is unique.
+//!
+//! Dispatch is runtime: [`level`] re-reads the `PRIMER_SIMD` environment
+//! variable on every call (the same idiom the thread pool uses for
+//! `PRIMER_THREADS`, so tests can flip it in-process) — `0`/`off`/`scalar`
+//! forces the scalar path, anything else auto-detects AVX2 with
+//! `is_x86_feature_detected!`. Non-x86_64 targets compile the scalar path
+//! only. The `avx2` submodule's `unsafe` is confined to lane loads/stores
+//! and the `target_feature` calls; every entry point re-checks CPU support
+//! before taking the AVX2 arm, so passing a stale [`SimdLevel`] can never
+//! execute unsupported instructions.
+
+use crate::modulus::Modulus;
+
+/// Lane width selected for a kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar loops — the reference semantics.
+    Scalar,
+    /// 4×64-bit lanes via AVX2 (`x86_64` only; falls back to scalar on
+    /// other architectures or CPUs without the feature).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Short human-readable name (bench metadata, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// True when the running CPU can execute the AVX2 kernels.
+#[inline]
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Selects the lane width for this call.
+///
+/// Reads `PRIMER_SIMD` from the environment **every call** (never cached)
+/// so tests and operators can force the scalar path in-process:
+/// `0`, `off` or `scalar` (case-insensitive) force [`SimdLevel::Scalar`];
+/// any other value — or no variable — auto-detects.
+#[inline]
+pub fn level() -> SimdLevel {
+    if let Ok(v) = std::env::var("PRIMER_SIMD") {
+        let v = v.trim();
+        if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("scalar") {
+            return SimdLevel::Scalar;
+        }
+    }
+    if avx2_available() {
+        SimdLevel::Avx2
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+/// `a[i] = a[i] + b[i] mod p` lane-wise.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length (all kernels in this module).
+pub fn add_mod(m: Modulus, a: &mut [u64], b: &[u64], lvl: SimdLevel) {
+    assert_eq!(a.len(), b.len(), "simd kernel length mismatch");
+    match lvl {
+        SimdLevel::Avx2 if use_avx2(a.len()) => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: use_avx2 verified CPU support.
+            unsafe {
+                avx2::add_mod(m, a, b)
+            }
+        }
+        _ => scalar::add_mod(m, a, b),
+    }
+}
+
+/// `a[i] = a[i] - b[i] mod p` lane-wise.
+pub fn sub_mod(m: Modulus, a: &mut [u64], b: &[u64], lvl: SimdLevel) {
+    assert_eq!(a.len(), b.len(), "simd kernel length mismatch");
+    match lvl {
+        SimdLevel::Avx2 if use_avx2(a.len()) => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: use_avx2 verified CPU support.
+            unsafe {
+                avx2::sub_mod(m, a, b)
+            }
+        }
+        _ => scalar::sub_mod(m, a, b),
+    }
+}
+
+/// `a[i] = -a[i] mod p` lane-wise.
+pub fn neg_mod(m: Modulus, a: &mut [u64], lvl: SimdLevel) {
+    match lvl {
+        SimdLevel::Avx2 if use_avx2(a.len()) => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: use_avx2 verified CPU support.
+            unsafe {
+                avx2::neg_mod(m, a)
+            }
+        }
+        _ => scalar::neg_mod(m, a),
+    }
+}
+
+/// `a[i] = a[i] * b[i] mod p` lane-wise (Barrett under AVX2).
+pub fn mul_mod(m: Modulus, a: &mut [u64], b: &[u64], lvl: SimdLevel) {
+    assert_eq!(a.len(), b.len(), "simd kernel length mismatch");
+    match lvl {
+        SimdLevel::Avx2 if use_avx2(a.len()) => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: use_avx2 verified CPU support.
+            unsafe {
+                avx2::mul_mod(m, a, b)
+            }
+        }
+        _ => scalar::mul_mod(m, a, b),
+    }
+}
+
+/// `acc[i] = acc[i] + a[i] * b[i] mod p` lane-wise.
+pub fn add_mul_mod(m: Modulus, acc: &mut [u64], a: &[u64], b: &[u64], lvl: SimdLevel) {
+    assert_eq!(acc.len(), a.len(), "simd kernel length mismatch");
+    assert_eq!(acc.len(), b.len(), "simd kernel length mismatch");
+    match lvl {
+        SimdLevel::Avx2 if use_avx2(acc.len()) => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: use_avx2 verified CPU support.
+            unsafe {
+                avx2::add_mul_mod(m, acc, a, b)
+            }
+        }
+        _ => scalar::add_mul_mod(m, acc, a, b),
+    }
+}
+
+/// One level of Cooley–Tukey forward butterflies with a shared twiddle:
+/// `(lo[i], hi[i]) = (lo[i] + w·hi[i], lo[i] − w·hi[i]) mod p`.
+pub fn forward_butterflies(p: u64, w: u64, ws: u64, lo: &mut [u64], hi: &mut [u64], lvl: SimdLevel) {
+    assert_eq!(lo.len(), hi.len(), "simd kernel length mismatch");
+    match lvl {
+        SimdLevel::Avx2 if use_avx2(lo.len()) => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: use_avx2 verified CPU support.
+            unsafe {
+                avx2::forward_butterflies(p, w, ws, lo, hi)
+            }
+        }
+        _ => scalar::forward_butterflies(p, w, ws, lo, hi),
+    }
+}
+
+/// One level of Gentleman–Sande inverse butterflies with a shared twiddle:
+/// `(lo[i], hi[i]) = (lo[i] + hi[i], w·(lo[i] − hi[i])) mod p`.
+pub fn inverse_butterflies(p: u64, w: u64, ws: u64, lo: &mut [u64], hi: &mut [u64], lvl: SimdLevel) {
+    assert_eq!(lo.len(), hi.len(), "simd kernel length mismatch");
+    match lvl {
+        SimdLevel::Avx2 if use_avx2(lo.len()) => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: use_avx2 verified CPU support.
+            unsafe {
+                avx2::inverse_butterflies(p, w, ws, lo, hi)
+            }
+        }
+        _ => scalar::inverse_butterflies(p, w, ws, lo, hi),
+    }
+}
+
+/// `a[i] = a[i] * w mod p` with a Shoup-precomputed constant (the inverse
+/// NTT's final `n^{-1}` scaling).
+pub fn mul_shoup_slice(p: u64, w: u64, ws: u64, a: &mut [u64], lvl: SimdLevel) {
+    match lvl {
+        SimdLevel::Avx2 if use_avx2(a.len()) => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: use_avx2 verified CPU support.
+            unsafe {
+                avx2::mul_shoup_slice(p, w, ws, a)
+            }
+        }
+        _ => scalar::mul_shoup_slice(p, w, ws, a),
+    }
+}
+
+/// Tiny slices are all tail; skip the `target_feature` call and (on every
+/// entry) re-verify CPU support so a forged [`SimdLevel::Avx2`] on a
+/// non-AVX2 CPU degrades to scalar instead of executing illegal
+/// instructions.
+#[inline]
+fn use_avx2(len: usize) -> bool {
+    len >= 4 && avx2_available()
+}
+
+/// Shoup modular multiplication: `x · w mod p` with `w_shoup` precomputed
+/// as `floor(w · 2^64 / p)`. Requires `p < 2^63`; result is canonical.
+#[inline]
+pub fn mul_shoup(x: u64, w: u64, w_shoup: u64, p: u64) -> u64 {
+    let q = ((x as u128 * w_shoup as u128) >> 64) as u64;
+    let r = (x.wrapping_mul(w)).wrapping_sub(q.wrapping_mul(p));
+    if r >= p {
+        r - p
+    } else {
+        r
+    }
+}
+
+/// The portable reference kernels. The AVX2 kernels must match these
+/// bit-for-bit (proptested in `tests/simd_bit_identity.rs`).
+pub mod scalar {
+    use super::{mul_shoup, Modulus};
+
+    pub fn add_mod(m: Modulus, a: &mut [u64], b: &[u64]) {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = m.add(*x, y);
+        }
+    }
+
+    pub fn sub_mod(m: Modulus, a: &mut [u64], b: &[u64]) {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = m.sub(*x, y);
+        }
+    }
+
+    pub fn neg_mod(m: Modulus, a: &mut [u64]) {
+        for x in a.iter_mut() {
+            *x = m.neg(*x);
+        }
+    }
+
+    pub fn mul_mod(m: Modulus, a: &mut [u64], b: &[u64]) {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = m.mul(*x, y);
+        }
+    }
+
+    pub fn add_mul_mod(m: Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+        for ((d, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+            *d = m.add(*d, m.mul(x, y));
+        }
+    }
+
+    pub fn forward_butterflies(p: u64, w: u64, ws: u64, lo: &mut [u64], hi: &mut [u64]) {
+        for (u_ref, v_ref) in lo.iter_mut().zip(hi.iter_mut()) {
+            let u = *u_ref;
+            let v = mul_shoup(*v_ref, w, ws, p);
+            let sum = u + v;
+            *u_ref = if sum >= p { sum - p } else { sum };
+            *v_ref = if u >= v { u - v } else { u + p - v };
+        }
+    }
+
+    pub fn inverse_butterflies(p: u64, w: u64, ws: u64, lo: &mut [u64], hi: &mut [u64]) {
+        for (u_ref, v_ref) in lo.iter_mut().zip(hi.iter_mut()) {
+            let u = *u_ref;
+            let v = *v_ref;
+            let sum = u + v;
+            *u_ref = if sum >= p { sum - p } else { sum };
+            let diff = if u >= v { u - v } else { u + p - v };
+            *v_ref = mul_shoup(diff, w, ws, p);
+        }
+    }
+
+    pub fn mul_shoup_slice(p: u64, w: u64, ws: u64, a: &mut [u64]) {
+        for x in a.iter_mut() {
+            *x = mul_shoup(*x, w, ws, p);
+        }
+    }
+}
+
+/// The AVX2 kernels: 4×64-bit lanes, `target_feature(enable = "avx2")`.
+///
+/// # Safety
+///
+/// Every function in this module must only be called on a CPU with AVX2
+/// (the public dispatchers in the parent module enforce this). Lane math
+/// notes:
+///
+/// * 64×64→128 multiplication is synthesised from four
+///   `_mm256_mul_epu32` partial products plus a cross-term carry.
+/// * Unsigned 64-bit compares go through a sign-bit flip and
+///   `_mm256_cmpgt_epi64`.
+/// * Barrett reduction uses per-modulus runtime shift counts
+///   (`L−1`, `L+1` with `L = Modulus::bits()`, all within `[1, 63]`
+///   because `2 ≤ p < 2^62`), fed via `_mm256_srl_epi64`/`_mm256_sll_epi64`.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::Modulus;
+    use std::arch::x86_64::*;
+
+    const LO32: i64 = 0xFFFF_FFFF;
+
+    /// Full 64×64→128 lane product as (low 64, high 64) halves.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_lo_hi(a: __m256i, b: __m256i) -> (__m256i, __m256i) {
+        let lomask = _mm256_set1_epi64x(LO32);
+        let a_hi = _mm256_srli_epi64::<32>(a);
+        let b_hi = _mm256_srli_epi64::<32>(b);
+        let ll = _mm256_mul_epu32(a, b);
+        let lh = _mm256_mul_epu32(a, b_hi);
+        let hl = _mm256_mul_epu32(a_hi, b);
+        let hh = _mm256_mul_epu32(a_hi, b_hi);
+        // cross < 3·2^32, so its own carry lives in bits 32..34 and the
+        // three-way add below cannot overflow a lane.
+        let cross = _mm256_add_epi64(
+            _mm256_add_epi64(_mm256_srli_epi64::<32>(ll), _mm256_and_si256(lh, lomask)),
+            _mm256_and_si256(hl, lomask),
+        );
+        let hi = _mm256_add_epi64(
+            _mm256_add_epi64(hh, _mm256_srli_epi64::<32>(lh)),
+            _mm256_add_epi64(_mm256_srli_epi64::<32>(hl), _mm256_srli_epi64::<32>(cross)),
+        );
+        let lo = _mm256_or_si256(_mm256_slli_epi64::<32>(cross), _mm256_and_si256(ll, lomask));
+        (lo, hi)
+    }
+
+    /// Low 64 bits of the lane product (wrapping, matches `wrapping_mul`).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_lo(a: __m256i, b: __m256i) -> __m256i {
+        let ll = _mm256_mul_epu32(a, b);
+        let lh = _mm256_mul_epu32(a, _mm256_srli_epi64::<32>(b));
+        let hl = _mm256_mul_epu32(_mm256_srli_epi64::<32>(a), b);
+        _mm256_add_epi64(ll, _mm256_slli_epi64::<32>(_mm256_add_epi64(lh, hl)))
+    }
+
+    /// Per-modulus lane constants shared by the kernels.
+    struct Lanes {
+        p: __m256i,
+        /// `(p − 1) ^ SIGN` — the unsigned-compare threshold for `x ≥ p`.
+        pm1s: __m256i,
+        sign: __m256i,
+    }
+
+    impl Lanes {
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn new(p: u64) -> Self {
+            let sign = _mm256_set1_epi64x(i64::MIN);
+            Lanes {
+                p: _mm256_set1_epi64x(p as i64),
+                pm1s: _mm256_xor_si256(_mm256_set1_epi64x((p - 1) as i64), sign),
+                sign,
+            }
+        }
+
+        /// Conditional subtract: `x − p` where `x ≥ p` (unsigned), else `x`.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn csub(&self, x: __m256i) -> __m256i {
+            let ge = _mm256_cmpgt_epi64(_mm256_xor_si256(x, self.sign), self.pm1s);
+            _mm256_sub_epi64(x, _mm256_and_si256(self.p, ge))
+        }
+
+        /// Shoup multiply by a broadcast constant; canonical result.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn mul_shoup(&self, x: __m256i, w: __m256i, ws: __m256i) -> __m256i {
+            let (_, q) = mul_lo_hi(x, ws);
+            let r = _mm256_sub_epi64(mul_lo(x, w), mul_lo(q, self.p));
+            self.csub(r)
+        }
+    }
+
+    /// Barrett context: reduces a full 128-bit lane product to the
+    /// canonical residue, bit-identical to the scalar `u128 %`.
+    struct Barrett {
+        lanes: Lanes,
+        mu: __m256i,
+        sh1: __m128i,
+        sh1c: __m128i,
+        sh2: __m128i,
+        sh2c: __m128i,
+    }
+
+    impl Barrett {
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn new(m: Modulus) -> Self {
+            let bits = m.bits() as i32;
+            Barrett {
+                lanes: Lanes::new(m.value()),
+                mu: _mm256_set1_epi64x(m.barrett_mu() as i64),
+                // q1 combines (lo >> (L−1)) | (hi << (64−(L−1))); q3 the
+                // same with L+1. All four counts are in [1, 63].
+                sh1: _mm_cvtsi32_si128(bits - 1),
+                sh1c: _mm_cvtsi32_si128(64 - (bits - 1)),
+                sh2: _mm_cvtsi32_si128(bits + 1),
+                sh2c: _mm_cvtsi32_si128(64 - (bits + 1)),
+            }
+        }
+
+        /// `a · b mod p`, fully reduced.
+        ///
+        /// With `L = bits(p)`: `q1 = floor(x / 2^(L−1))` fits 64 bits
+        /// because `x < p² < 2^(2L)`; `q3 = floor(q1·mu / 2^(L+1))`
+        /// satisfies `q3 ≤ floor(x/p) ≤ q3 + 2`, so the remainder after
+        /// one low-64 subtraction sits in `[0, 3p)` (`3p < 2^64` since
+        /// `p < 2^62`) and two conditional subtracts canonicalise it.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn mul_mod(&self, a: __m256i, b: __m256i) -> __m256i {
+            let (xlo, xhi) = mul_lo_hi(a, b);
+            let q1 = _mm256_or_si256(
+                _mm256_srl_epi64(xlo, self.sh1),
+                _mm256_sll_epi64(xhi, self.sh1c),
+            );
+            let (qlo, qhi) = mul_lo_hi(q1, self.mu);
+            let q3 = _mm256_or_si256(
+                _mm256_srl_epi64(qlo, self.sh2),
+                _mm256_sll_epi64(qhi, self.sh2c),
+            );
+            let r = _mm256_sub_epi64(xlo, mul_lo(q3, self.lanes.p));
+            self.lanes.csub(self.lanes.csub(r))
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load(chunk: &[u64]) -> __m256i {
+        _mm256_loadu_si256(chunk.as_ptr() as *const __m256i)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn store(chunk: &mut [u64], v: __m256i) {
+        _mm256_storeu_si256(chunk.as_mut_ptr() as *mut __m256i, v)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_mod(m: Modulus, a: &mut [u64], b: &[u64]) {
+        let lanes = Lanes::new(m.value());
+        let mut bs = b.chunks_exact(4);
+        let mut av = a.chunks_exact_mut(4);
+        for (x, y) in av.by_ref().zip(bs.by_ref()) {
+            store(x, lanes.csub(_mm256_add_epi64(load(x), load(y))));
+        }
+        super::scalar::add_mod(m, av.into_remainder(), bs.remainder());
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_mod(m: Modulus, a: &mut [u64], b: &[u64]) {
+        let lanes = Lanes::new(m.value());
+        let mut bs = b.chunks_exact(4);
+        let mut av = a.chunks_exact_mut(4);
+        for (x, y) in av.by_ref().zip(bs.by_ref()) {
+            // a + p − b lands in (0, 2p); one csub matches both scalar
+            // branches exactly.
+            let t = _mm256_sub_epi64(_mm256_add_epi64(load(x), lanes.p), load(y));
+            store(x, lanes.csub(t));
+        }
+        super::scalar::sub_mod(m, av.into_remainder(), bs.remainder());
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn neg_mod(m: Modulus, a: &mut [u64]) {
+        let lanes = Lanes::new(m.value());
+        let zero = _mm256_setzero_si256();
+        let mut av = a.chunks_exact_mut(4);
+        for x in av.by_ref() {
+            let v = load(x);
+            let nz = _mm256_cmpeq_epi64(v, zero);
+            // p − a, forced to 0 where a == 0 (andnot keeps non-zero lanes).
+            store(x, _mm256_andnot_si256(nz, _mm256_sub_epi64(lanes.p, v)));
+        }
+        super::scalar::neg_mod(m, av.into_remainder());
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_mod(m: Modulus, a: &mut [u64], b: &[u64]) {
+        let barrett = Barrett::new(m);
+        let mut bs = b.chunks_exact(4);
+        let mut av = a.chunks_exact_mut(4);
+        for (x, y) in av.by_ref().zip(bs.by_ref()) {
+            store(x, barrett.mul_mod(load(x), load(y)));
+        }
+        super::scalar::mul_mod(m, av.into_remainder(), bs.remainder());
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_mul_mod(m: Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+        let barrett = Barrett::new(m);
+        let mut asl = a.chunks_exact(4);
+        let mut bs = b.chunks_exact(4);
+        let mut accv = acc.chunks_exact_mut(4);
+        for ((d, x), y) in accv.by_ref().zip(asl.by_ref()).zip(bs.by_ref()) {
+            let prod = barrett.mul_mod(load(x), load(y));
+            store(d, barrett.lanes.csub(_mm256_add_epi64(load(d), prod)));
+        }
+        super::scalar::add_mul_mod(m, accv.into_remainder(), asl.remainder(), bs.remainder());
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn forward_butterflies(p: u64, w: u64, ws: u64, lo: &mut [u64], hi: &mut [u64]) {
+        let lanes = Lanes::new(p);
+        let wv = _mm256_set1_epi64x(w as i64);
+        let wsv = _mm256_set1_epi64x(ws as i64);
+        let mut los = lo.chunks_exact_mut(4);
+        let mut his = hi.chunks_exact_mut(4);
+        for (lc, hc) in los.by_ref().zip(his.by_ref()) {
+            let u = load(lc);
+            let v = lanes.mul_shoup(load(hc), wv, wsv);
+            store(lc, lanes.csub(_mm256_add_epi64(u, v)));
+            let diff = _mm256_sub_epi64(_mm256_add_epi64(u, lanes.p), v);
+            store(hc, lanes.csub(diff));
+        }
+        super::scalar::forward_butterflies(p, w, ws, los.into_remainder(), his.into_remainder());
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn inverse_butterflies(p: u64, w: u64, ws: u64, lo: &mut [u64], hi: &mut [u64]) {
+        let lanes = Lanes::new(p);
+        let wv = _mm256_set1_epi64x(w as i64);
+        let wsv = _mm256_set1_epi64x(ws as i64);
+        let mut los = lo.chunks_exact_mut(4);
+        let mut his = hi.chunks_exact_mut(4);
+        for (lc, hc) in los.by_ref().zip(his.by_ref()) {
+            let u = load(lc);
+            let v = load(hc);
+            store(lc, lanes.csub(_mm256_add_epi64(u, v)));
+            let diff = lanes.csub(_mm256_sub_epi64(_mm256_add_epi64(u, lanes.p), v));
+            store(hc, lanes.mul_shoup(diff, wv, wsv));
+        }
+        super::scalar::inverse_butterflies(p, w, ws, los.into_remainder(), his.into_remainder());
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_shoup_slice(p: u64, w: u64, ws: u64, a: &mut [u64]) {
+        let lanes = Lanes::new(p);
+        let wv = _mm256_set1_epi64x(w as i64);
+        let wsv = _mm256_set1_epi64x(ws as i64);
+        let mut av = a.chunks_exact_mut(4);
+        for x in av.by_ref() {
+            store(x, lanes.mul_shoup(load(x), wv, wsv));
+        }
+        super::scalar::mul_shoup_slice(p, w, ws, av.into_remainder());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn vecs(m: Modulus, len: usize, seed: u64) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = |rng: &mut StdRng| (0..len).map(|_| rng.gen_range(0..m.value())).collect();
+        (g(&mut rng), g(&mut rng), g(&mut rng))
+    }
+
+    /// Odd lengths exercise the scalar tail inside the AVX2 kernels.
+    const LENS: [usize; 4] = [1, 4, 31, 256];
+
+    /// Small, medium and near-limit moduli (the last stresses the
+    /// Barrett shift counts at `L = 62`).
+    fn moduli() -> Vec<Modulus> {
+        vec![
+            Modulus::new(97),
+            Modulus::new(65537),
+            Modulus::new(1032193),
+            Modulus::new((1u64 << 50) + 4097),
+            Modulus::new((1u64 << 62) - 57), // not prime; kernels don't care
+        ]
+    }
+
+    #[test]
+    fn avx2_matches_scalar_on_all_kernels() {
+        if !avx2_available() {
+            return;
+        }
+        for m in moduli() {
+            for len in LENS {
+                let (a, b, c) = vecs(m, len, 0xC0FFEE ^ m.value() ^ len as u64);
+                let check = |name: &str,
+                             f: &dyn Fn(&mut [u64], SimdLevel)| {
+                    let mut s = a.clone();
+                    let mut v = a.clone();
+                    f(&mut s, SimdLevel::Scalar);
+                    f(&mut v, SimdLevel::Avx2);
+                    assert_eq!(s, v, "{name} diverged (p={}, len={len})", m.value());
+                };
+                check("add", &|x, l| add_mod(m, x, &b, l));
+                check("sub", &|x, l| sub_mod(m, x, &b, l));
+                check("neg", &|x, l| neg_mod(m, x, l));
+                check("mul", &|x, l| mul_mod(m, x, &b, l));
+                check("add_mul", &|x, l| add_mul_mod(m, x, &b, &c, l));
+                let p = m.value();
+                let w = b[0] % p;
+                let ws = (((w as u128) << 64) / p as u128) as u64;
+                check("mul_shoup_slice", &|x, l| mul_shoup_slice(p, w, ws, x, l));
+                type PairKernel<'f> = &'f dyn Fn(&mut [u64], &mut [u64], SimdLevel);
+                let check2 = |name: &str, f: PairKernel<'_>| {
+                    let (mut sl, mut sh) = (a.clone(), b.clone());
+                    let (mut vl, mut vh) = (a.clone(), b.clone());
+                    f(&mut sl, &mut sh, SimdLevel::Scalar);
+                    f(&mut vl, &mut vh, SimdLevel::Avx2);
+                    assert_eq!((sl, sh), (vl, vh), "{name} diverged (p={}, len={len})", m.value());
+                };
+                check2("fwd_bfly", &|l0, h0, l| forward_butterflies(p, w, ws, l0, h0, l));
+                check2("inv_bfly", &|l0, h0, l| inverse_butterflies(p, w, ws, l0, h0, l));
+            }
+        }
+    }
+
+    #[test]
+    fn forced_scalar_override() {
+        std::env::set_var("PRIMER_SIMD", "0");
+        assert_eq!(level(), SimdLevel::Scalar);
+        std::env::set_var("PRIMER_SIMD", "off");
+        assert_eq!(level(), SimdLevel::Scalar);
+        std::env::set_var("PRIMER_SIMD", "1");
+        let auto = level();
+        std::env::remove_var("PRIMER_SIMD");
+        assert_eq!(auto, level(), "non-zero value must mean auto-detect");
+        assert_eq!(auto == SimdLevel::Avx2, avx2_available());
+    }
+
+    #[test]
+    fn boundary_values_reduce_canonically() {
+        // p−1 in every lane is the worst case for every csub chain.
+        for m in moduli() {
+            let top = m.value() - 1;
+            let mut a = vec![top; 8];
+            let b = vec![top; 8];
+            let want: Vec<u64> = a.iter().map(|&x| m.mul(x, top)).collect();
+            mul_mod(m, &mut a, &b, if avx2_available() { SimdLevel::Avx2 } else { SimdLevel::Scalar });
+            assert_eq!(a, want);
+            let mut s = vec![top; 8];
+            add_mod(m, &mut s, &b, SimdLevel::Scalar);
+            let mut v = vec![top; 8];
+            add_mod(m, &mut v, &b, if avx2_available() { SimdLevel::Avx2 } else { SimdLevel::Scalar });
+            assert_eq!(s, v);
+        }
+    }
+}

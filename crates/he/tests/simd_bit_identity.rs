@@ -1,0 +1,169 @@
+//! Scalar/AVX2 bit-identity (DESIGN.md §11): the SIMD lane width is a
+//! pure performance knob — every vectorized kernel must produce the
+//! exact canonical residues the scalar reference produces, for every
+//! RNS prime and the plain modulus of every parameter profile. On a
+//! machine without AVX2 the `Avx2` level silently degrades to scalar,
+//! so the suite stays green (and vacuous) there.
+
+use primer_he::modulus::Modulus;
+use primer_he::ntt::NttTables;
+use primer_he::simd::{self, SimdLevel};
+use primer_he::{HeContext, HeParams};
+use primer_math::rng::seeded;
+use proptest::prelude::*;
+use rand::Rng;
+
+fn profiles() -> [HeParams; 3] {
+    [HeParams::toy(), HeParams::test_2k(), HeParams::test_2k_wide()]
+}
+
+/// Every modulus the pipeline reduces by: each profile's RNS primes
+/// plus its plaintext modulus.
+fn profile_moduli() -> Vec<Modulus> {
+    let mut out = Vec::new();
+    for params in profiles() {
+        let ctx = HeContext::new(params.clone());
+        for tbl in ctx.ntt() {
+            out.push(tbl.modulus());
+        }
+        out.push(Modulus::new(params.t()));
+    }
+    out.sort_by_key(Modulus::value);
+    out.dedup_by_key(|m| m.value());
+    out
+}
+
+fn rand_residues(rng: &mut rand::rngs::StdRng, p: u64, len: usize) -> Vec<u64> {
+    (0..len).map(|_| rng.gen_range(0..p)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All slice kernels agree between forced-scalar and AVX2 on every
+    /// modulus profile, including lengths that exercise both the vector
+    /// body and the scalar remainder tail.
+    #[test]
+    fn slice_kernels_bit_identical(seed in 0u64..10_000, len in 1usize..67) {
+        for m in profile_moduli() {
+            let p = m.value();
+            let mut rng = seeded(seed ^ p);
+            let a = rand_residues(&mut rng, p, len);
+            let b = rand_residues(&mut rng, p, len);
+            let acc = rand_residues(&mut rng, p, len);
+            let w = rng.gen_range(1..p);
+            let ws = (((w as u128) << 64) / p as u128) as u64;
+
+            let run = |lvl: SimdLevel| {
+                let mut r_add = a.clone();
+                simd::add_mod(m, &mut r_add, &b, lvl);
+                let mut r_sub = a.clone();
+                simd::sub_mod(m, &mut r_sub, &b, lvl);
+                let mut r_neg = a.clone();
+                simd::neg_mod(m, &mut r_neg, lvl);
+                let mut r_mul = a.clone();
+                simd::mul_mod(m, &mut r_mul, &b, lvl);
+                let mut r_fma = acc.clone();
+                simd::add_mul_mod(m, &mut r_fma, &a, &b, lvl);
+                let mut r_shoup = a.clone();
+                simd::mul_shoup_slice(p, w, ws, &mut r_shoup, lvl);
+                (r_add, r_sub, r_neg, r_mul, r_fma, r_shoup)
+            };
+            prop_assert_eq!(
+                run(SimdLevel::Scalar),
+                run(SimdLevel::Avx2),
+                "modulus {} len {}",
+                p,
+                len
+            );
+        }
+    }
+
+    /// Butterfly kernels agree lane-for-lane, including the boundary
+    /// residues `0` and `p − 1` mixed into random data.
+    #[test]
+    fn butterfly_kernels_bit_identical(seed in 0u64..10_000, len in 1usize..67) {
+        for m in profile_moduli() {
+            let p = m.value();
+            let mut rng = seeded(seed ^ p ^ 0xB7);
+            let mut lo = rand_residues(&mut rng, p, len);
+            let mut hi = rand_residues(&mut rng, p, len);
+            lo[0] = 0;
+            hi[0] = p - 1;
+            let w = rng.gen_range(1..p);
+            let ws = (((w as u128) << 64) / p as u128) as u64;
+
+            for fwd in [true, false] {
+                let run = |lvl: SimdLevel| {
+                    let (mut l, mut h) = (lo.clone(), hi.clone());
+                    if fwd {
+                        simd::forward_butterflies(p, w, ws, &mut l, &mut h, lvl);
+                    } else {
+                        simd::inverse_butterflies(p, w, ws, &mut l, &mut h, lvl);
+                    }
+                    (l, h)
+                };
+                prop_assert_eq!(
+                    run(SimdLevel::Scalar),
+                    run(SimdLevel::Avx2),
+                    "modulus {} len {} fwd {}",
+                    p,
+                    len,
+                    fwd
+                );
+            }
+        }
+    }
+
+    /// Whole-transform bit-identity: `forward_at`/`inverse_at` pinned at
+    /// each level produce identical vectors (and still round-trip), for
+    /// every RNS prime of every profile at full ring degree.
+    #[test]
+    fn ntt_transforms_bit_identical(seed in 0u64..10_000) {
+        for params in profiles() {
+            let ctx = HeContext::new(params.clone());
+            for tbl in ctx.ntt() {
+                let p = tbl.modulus().value();
+                let mut rng = seeded(seed ^ p ^ 0xF0);
+                let orig = rand_residues(&mut rng, p, tbl.len());
+
+                let mut f_scalar = orig.clone();
+                tbl.forward_at(&mut f_scalar, SimdLevel::Scalar);
+                let mut f_avx2 = orig.clone();
+                tbl.forward_at(&mut f_avx2, SimdLevel::Avx2);
+                prop_assert_eq!(&f_scalar, &f_avx2, "forward n={} p={}", tbl.len(), p);
+
+                // Cross levels on the way back: any divergence hiding in
+                // either direction breaks the round-trip.
+                let mut back = f_avx2.clone();
+                tbl.inverse_at(&mut back, SimdLevel::Scalar);
+                prop_assert_eq!(&back, &orig, "avx2→scalar roundtrip n={} p={}", tbl.len(), p);
+                let mut back = f_scalar;
+                tbl.inverse_at(&mut back, SimdLevel::Avx2);
+                prop_assert_eq!(&back, &orig, "scalar→avx2 roundtrip n={} p={}", tbl.len(), p);
+            }
+        }
+    }
+}
+
+/// `Ntt::forward`/`inverse` reject mismatched slice lengths loudly (the
+/// SIMD dispatch must not relax the precondition the scalar path
+/// asserts).
+#[test]
+fn ntt_length_mismatch_panics() {
+    let tbl = NttTables::new(16, Modulus::new(97));
+    for lvl in [SimdLevel::Scalar, SimdLevel::Avx2] {
+        for len in [0usize, 8, 17] {
+            let fwd = std::panic::catch_unwind(|| {
+                let mut a = vec![1u64; len];
+                tbl.forward_at(&mut a, lvl);
+            });
+            assert!(fwd.is_err(), "forward_at accepted len {len} at {lvl:?}");
+            let inv = std::panic::catch_unwind(|| {
+                let mut a = vec![1u64; len];
+                tbl.inverse_at(&mut a, lvl);
+            });
+            assert!(inv.is_err(), "inverse_at accepted len {len} at {lvl:?}");
+        }
+    }
+}

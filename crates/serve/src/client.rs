@@ -86,6 +86,9 @@ pub enum ClientError {
     /// The negotiated model cannot be instantiated or the queries do
     /// not fit it.
     Config(String),
+    /// A mid-session flight was malformed (truncated or forged bytes) —
+    /// the session failed partway through.
+    Session(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -94,6 +97,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Proto(e) => write!(f, "protocol: {e}"),
             ClientError::Config(m) => write!(f, "config: {m}"),
+            ClientError::Session(m) => write!(f, "session: {m}"),
         }
     }
 }
@@ -226,18 +230,20 @@ fn run_with<A: ToSocketAddrs>(
         .spawn(move || producer.run(&*offline_t))
         .expect("spawn offline producer");
 
-    let predictions: Vec<Prediction> = queries
-        .iter()
-        .map(|q| {
-            let logits = online.infer(q, &*online_t);
-            Prediction { predicted: argmax_logits(&logits), logits }
-        })
-        .collect();
+    let mut predictions: Vec<Prediction> = Vec::with_capacity(queries.len());
+    for q in &queries {
+        // A malformed mid-session flight fails this session (the server
+        // cannot be trusted past it), never panics the client.
+        let logits =
+            online.infer(q, &*online_t).map_err(|e| ClientError::Session(e.to_string()))?;
+        predictions.push(Prediction { predicted: argmax_logits(&logits), logits });
+    }
 
     let summary = SessionSummary::decode(&control.recv())?;
     producer_handle
         .join()
-        .map_err(|_| ClientError::Config("offline producer thread panicked".into()))?;
+        .map_err(|_| ClientError::Config("offline producer thread panicked".into()))?
+        .map_err(|e| ClientError::Session(e.to_string()))?;
 
     let client_traffic = TrafficSnapshot::capture(online_t.meter())
         .plus(&TrafficSnapshot::capture(&offline_meter));

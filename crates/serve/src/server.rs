@@ -325,7 +325,9 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
     let setup_cost = online.setup_cost();
 
     // The offline producer pipelines bundle production on its own
-    // channel while the loop below serves online queries.
+    // channel while the loop below serves online queries. It returns a
+    // `Result`: a malformed offline flight closes the pool (so the
+    // online loop fails loudly below) and surfaces here after join.
     let producer_handle = std::thread::Builder::new()
         .name(format!("offline-producer-{id}"))
         .spawn(move || producer.run(&*offline_t))
@@ -334,13 +336,20 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
     let mut rounds = Vec::with_capacity(queries);
     let mut traffic = TrafficSnapshot::default();
     for _ in 0..queries {
-        let round = online.serve_one(&*online_t);
+        // A malformed mid-session flight fails this session cleanly
+        // (worker logs and exits), never panics the server.
+        let round = online
+            .serve_one(&*online_t)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         traffic = traffic.plus(&round.traffic);
         rounds.push(round.steps.phase_totals());
     }
-    producer_handle.join().map_err(|_| {
-        io::Error::new(io::ErrorKind::BrokenPipe, "offline producer thread panicked")
-    })?;
+    producer_handle
+        .join()
+        .map_err(|_| {
+            io::Error::new(io::ErrorKind::BrokenPipe, "offline producer thread panicked")
+        })?
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
 
     let threads = rayon::current_num_threads();
     let phases = accumulate_phases(&rounds, setup_cost);

@@ -45,6 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             wire::send_matrix(&t, &q_c.sub(&ring, &pre.rc_a));
             wire::send_matrix(&t, &kt_c.sub(&ring, &pre.rc_b));
             fhgs::client_online(&pre, &ring, Packing::TokensFirst, &ctx_c, &encoder, &encryptor, &t)
+                .expect("in-process flight")
         },
         move |t| {
             let encoder = BatchEncoder::new(&ctx_s);
@@ -52,9 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let ring = Ring::new(ctx_s.params().t());
             let pre = fhgs::server_offline(
                 &ring, Packing::TokensFirst, dims, &ctx_s, &encoder, &t, &mut seeded(34),
-            );
-            let ua = wire::recv_matrix(&t);
-            let ub = wire::recv_matrix(&t);
+            )
+            .expect("in-process flight");
+            let ua = wire::recv_matrix(&t).expect("in-process flight");
+            let ub = wire::recv_matrix(&t).expect("in-process flight");
             let share = fhgs::server_online(&pre, &ring, &ua, &ub, &encoder, &eval, &keys_s, &t);
             (share, eval.counts().mul_ct)
         },

@@ -64,7 +64,9 @@ fn run_session(variant: ProtocolVariant, threads: usize, prepared: bool) -> Run 
             &st,
         )
         .expect("in-process key transfer");
-        (0..total).map(|_| session.serve_one(&st)).collect::<Vec<_>>()
+        (0..total)
+            .map(|_| session.serve_one(&st).expect("in-process flight"))
+            .collect::<Vec<_>>()
     });
 
     let mut session = ClientSession::setup(
@@ -78,7 +80,8 @@ fn run_session(variant: ProtocolVariant, threads: usize, prepared: bool) -> Run 
         pool,
         &ct,
     );
-    let logits: Vec<Vec<i64>> = queries.iter().map(|q| session.infer(q, &ct)).collect();
+    let logits: Vec<Vec<i64>> =
+        queries.iter().map(|q| session.infer(q, &ct).expect("in-process flight")).collect();
     let rounds = server.join().expect("server thread");
     Run {
         logits,

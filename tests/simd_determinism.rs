@@ -1,0 +1,64 @@
+//! SIMD-level determinism: the AVX2 kernels under the NTT must be a
+//! pure performance knob. For every protocol variant, end-to-end
+//! private inference over a multi-bundle session must produce
+//! **bit-identical** logits with `PRIMER_SIMD=0` (forced scalar) and
+//! `PRIMER_SIMD=1` (auto dispatch) — and match the plaintext
+//! fixed-point reference at both settings.
+//!
+//! This is the contract DESIGN.md §11 states: every vectorized kernel
+//! produces the exact canonical residues of the scalar reference, so
+//! wire bytes and logits never depend on the CPU the party runs on.
+//! The per-kernel lane-level checks live in `primer_he`'s
+//! `simd_bit_identity` suite; this test pins the property through the
+//! full protocol stack. On a machine without AVX2 both settings run
+//! scalar and the test is vacuous (but still green).
+//!
+//! Everything runs in ONE `#[test]` because `PRIMER_SIMD` is
+//! process-global state; integration-test files get their own process,
+//! so no other suite observes the mutation.
+
+use primer_core::{Engine, GcMode, ProtocolVariant, SystemConfig};
+use primer_math::rng::seeded;
+use primer_nn::{FixedTransformer, TransformerConfig, TransformerWeights};
+
+fn engine_for(variant: ProtocolVariant) -> Engine {
+    let cfg = TransformerConfig::test_tiny();
+    let sys = SystemConfig::test_profile(&cfg).expect("profile");
+    let weights = TransformerWeights::random(&cfg, &mut seeded(910));
+    let fixed = FixedTransformer::quantize(&cfg, &weights, sys.pipeline);
+    Engine::new(sys, variant, fixed, GcMode::Simulated, 911)
+}
+
+/// Three queries over a pool of two: one parallel refill batch of 2
+/// bundles plus a remainder batch of 1, so both the fan-out and the
+/// tail of the refill schedule run under each SIMD setting.
+fn serve_logits(variant: ProtocolVariant, simd: &str) -> Vec<Vec<i64>> {
+    std::env::set_var("PRIMER_SIMD", simd);
+    let queries = vec![vec![3, 17, 0, 29], vec![5, 5, 30, 1], vec![9, 2, 31, 12]];
+    let reports = engine_for(variant).serve_pooled(&queries, 2);
+    for (i, report) in reports.iter().enumerate() {
+        assert!(
+            report.matches_plaintext_reference(),
+            "{} query {i} at PRIMER_SIMD={simd}: private {:?} != reference {:?}",
+            variant.name(),
+            report.logits,
+            report.reference_logits
+        );
+    }
+    reports.into_iter().map(|r| r.logits).collect()
+}
+
+#[test]
+fn all_variants_bit_identical_across_simd_levels() {
+    for variant in ProtocolVariant::all() {
+        let scalar = serve_logits(variant, "0");
+        let auto = serve_logits(variant, "1");
+        assert_eq!(
+            auto,
+            scalar,
+            "{} logits diverged between forced-scalar and auto SIMD",
+            variant.name()
+        );
+    }
+    std::env::remove_var("PRIMER_SIMD");
+}
