@@ -29,6 +29,16 @@ pub struct BenchRecord {
     pub mean_ms: f64,
     /// Iterations averaged over.
     pub iters: usize,
+    /// Server-side HE rotations per iteration (`None` for the setup
+    /// phase and for baselines recorded before op counts were tracked).
+    pub rotations: Option<u64>,
+    /// Server-side whole-polynomial NTT transforms per iteration — the
+    /// cost unit layout changes are judged in, so a rotation→mask trade
+    /// shows up here even when wall-clock on a small profile is noisy.
+    pub ntt: Option<u64>,
+    /// Server-side multiplication-mask preparations per iteration
+    /// (prepared sessions must show zero offline).
+    pub mask_prep: Option<u64>,
 }
 
 /// Serializes records as the committed `BENCH_*.json` format (one
@@ -36,14 +46,23 @@ pub struct BenchRecord {
 pub fn to_json(records: &[BenchRecord]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
+        let mut ops = String::new();
+        for (key, val) in
+            [("rotations", r.rotations), ("ntt", r.ntt), ("mask_prep", r.mask_prep)]
+        {
+            if let Some(v) = val {
+                ops.push_str(&format!(", \"{key}\": {v}"));
+            }
+        }
         out.push_str(&format!(
             "  {{\"bench\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \
-             \"mean_ms\": {:.3}, \"iters\": {}}}{}\n",
+             \"mean_ms\": {:.3}, \"iters\": {}{}}}{}\n",
             r.bench,
             r.variant,
             r.threads,
             r.mean_ms,
             r.iters,
+            ops,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -195,6 +214,7 @@ impl<'a> Parser<'a> {
         self.expect(b'{')?;
         let (mut bench, mut variant) = (None, None);
         let (mut threads, mut mean_ms, mut iters) = (None, None, None);
+        let (mut rotations, mut ntt, mut mask_prep) = (None, None, None);
         loop {
             self.skip_ws();
             let key = self.string()?;
@@ -205,6 +225,11 @@ impl<'a> Parser<'a> {
                 "threads" => threads = Some(self.number()? as usize),
                 "mean_ms" => mean_ms = Some(self.number()?),
                 "iters" => iters = Some(self.number()? as usize),
+                // Op counts arrived with the layout selector; absent in
+                // earlier baselines, so they stay optional.
+                "rotations" => rotations = Some(self.number()? as u64),
+                "ntt" => ntt = Some(self.number()? as u64),
+                "mask_prep" => mask_prep = Some(self.number()? as u64),
                 other => return Err(format!("unknown key {other:?}")),
             }
             self.skip_ws();
@@ -220,6 +245,9 @@ impl<'a> Parser<'a> {
             threads: threads.ok_or("missing threads")?,
             mean_ms: mean_ms.ok_or("missing mean_ms")?,
             iters: iters.ok_or("missing iters")?,
+            rotations,
+            ntt,
+            mask_prep,
         })
     }
 }
@@ -229,19 +257,51 @@ mod tests {
     use super::*;
 
     fn record(bench: &str, variant: &str, threads: usize, mean_ms: f64) -> BenchRecord {
-        BenchRecord { bench: bench.into(), variant: variant.into(), threads, mean_ms, iters: 2 }
+        BenchRecord {
+            bench: bench.into(),
+            variant: variant.into(),
+            threads,
+            mean_ms,
+            iters: 2,
+            rotations: None,
+            ntt: None,
+            mask_prep: None,
+        }
     }
 
     #[test]
     fn json_roundtrips() {
         let records = vec![
             record("setup", "f", 1, 45.25),
-            record("offline", "f", 4, 812.5),
+            BenchRecord {
+                rotations: Some(96),
+                ntt: Some(1408),
+                mask_prep: Some(0),
+                ..record("offline", "f", 4, 812.5)
+            },
             record("online", "fpc", 4, 9.125),
         ];
         let parsed = parse_json(&to_json(&records)).expect("parse");
         assert_eq!(parsed, records);
         assert_eq!(parse_json("[]").expect("empty"), vec![]);
+    }
+
+    #[test]
+    fn op_count_fields_stay_optional_for_old_baselines() {
+        // Pre-PR7 baselines lack op counts; the parser must still accept
+        // them so the perf gate can compare across the boundary.
+        let old = "[\n  {\"bench\": \"offline\", \"variant\": \"f\", \"threads\": 1, \
+                   \"mean_ms\": 10.000, \"iters\": 2}\n]\n";
+        let parsed = parse_json(old).expect("old-format baseline");
+        assert_eq!(parsed, vec![record("offline", "f", 1, 10.0)]);
+        // And records carrying counts gate on wall-clock exactly as before.
+        let with_ops = vec![BenchRecord {
+            rotations: Some(4),
+            ntt: Some(9),
+            mask_prep: Some(0),
+            ..record("offline", "f", 1, 10.0)
+        }];
+        assert!(check_regressions(&with_ops, &parsed, 0.25).is_empty());
     }
 
     #[test]

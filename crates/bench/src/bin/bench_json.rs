@@ -32,6 +32,7 @@
 
 use primer_bench::benchjson::{check_regressions, parse_json, to_json, BenchRecord};
 use primer_core::{build_session_circuits, ClientSession, GcMode, ProtocolVariant, ServerSession, SystemConfig};
+use primer_he::OpCounts;
 use primer_math::rng::seeded;
 use primer_net::MemTransport;
 use primer_nn::{FixedTransformer, TransformerConfig, TransformerWeights};
@@ -52,6 +53,11 @@ struct PhaseTimes {
     setup_ms: f64,
     offline_refill_ms: Vec<f64>,
     online_query_ms: Vec<f64>,
+    /// Server-side HE ops across **all** refills (offline) and all
+    /// queries (online) — divided down to per-iteration means when the
+    /// records are emitted.
+    offline_ops: OpCounts,
+    online_ops: OpCounts,
 }
 
 /// Runs one session pair and measures the three phases. `pool` is both
@@ -73,23 +79,27 @@ fn run_session(variant: ProtocolVariant, pool: usize, refills: usize) -> PhaseTi
     let (sys_s, fixed_s, circuits_s, barrier_s) =
         (sys.clone(), Arc::clone(&fixed), Arc::clone(&circuits), Arc::clone(&barrier));
 
-    let server = std::thread::spawn(move || {
+    let server = std::thread::spawn(move || -> (OpCounts, OpCounts) {
         barrier_s.wait();
         let mut session = ServerSession::setup(
             sys_s, variant, GcMode::Simulated, fixed_s, circuits_s, 4011, total, pool, &st,
         )
         .expect("in-process key transfer");
         barrier_s.wait();
+        let (mut offline_ops, mut online_ops) = (OpCounts::default(), OpCounts::default());
         for _ in 0..refills {
             barrier_s.wait();
             session.refill(&st, pool).expect("in-process flight");
             barrier_s.wait();
             for _ in 0..pool {
                 barrier_s.wait();
-                session.serve_one(&st).expect("in-process flight");
+                let round = session.serve_one(&st).expect("in-process flight");
+                offline_ops = offline_ops.plus(&round.he_offline);
+                online_ops = online_ops.plus(&round.he_online);
                 barrier_s.wait();
             }
         }
+        (offline_ops, online_ops)
     });
 
     barrier.wait();
@@ -118,8 +128,8 @@ fn run_session(variant: ProtocolVariant, pool: usize, refills: usize) -> PhaseTi
             online_query_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         }
     }
-    server.join().expect("server thread");
-    PhaseTimes { setup_ms, offline_refill_ms, online_query_ms }
+    let (offline_ops, online_ops) = server.join().expect("server thread");
+    PhaseTimes { setup_ms, offline_refill_ms, online_query_ms, offline_ops, online_ops }
 }
 
 fn mean(xs: &[f64]) -> f64 {
@@ -204,26 +214,47 @@ fn main() {
             let code = variant_code(variant);
             eprintln!("measuring {code} at {threads} thread(s)…");
             let times = run_session(variant, pool, refills);
+            // Per-iteration op counts ride next to wall-clock: counts are
+            // deterministic per refill/query, so the integer division is
+            // exact, and they survive in the committed artifact even when
+            // a small profile's wall-clock is too noisy to show a layout
+            // win.
+            let per_iter = |ops: &OpCounts, iters: usize| {
+                let n = iters.max(1) as u64;
+                (Some(ops.rotations / n), Some(ops.ntt / n), Some(ops.mask_prep / n))
+            };
             records.push(BenchRecord {
                 bench: "setup".into(),
                 variant: code.into(),
                 threads,
                 mean_ms: times.setup_ms,
                 iters: 1,
+                rotations: None,
+                ntt: None,
+                mask_prep: None,
             });
+            let (rotations, ntt, mask_prep) = per_iter(&times.offline_ops, refills);
             records.push(BenchRecord {
                 bench: "offline".into(),
                 variant: code.into(),
                 threads,
                 mean_ms: mean(&times.offline_refill_ms),
                 iters: times.offline_refill_ms.len(),
+                rotations,
+                ntt,
+                mask_prep,
             });
+            let (rotations, ntt, mask_prep) =
+                per_iter(&times.online_ops, times.online_query_ms.len());
             records.push(BenchRecord {
                 bench: "online".into(),
                 variant: code.into(),
                 threads,
                 mean_ms: mean(&times.online_query_ms),
                 iters: times.online_query_ms.len(),
+                rotations,
+                ntt,
+                mask_prep,
             });
         }
     }

@@ -203,7 +203,7 @@ pub fn server_offline<R: Rng + ?Sized>(
     let rs_refs: Vec<&MatZ> = rss.iter().collect();
     let weights: Vec<MatmulWeights<'_>> = combined_weights
         .iter()
-        .map(|&w| MatmulWeights::Fresh { w, encoder })
+        .map(|&w| MatmulWeights::Fresh { w, encoder, mode: crate::packing::RotationMode::Output })
         .collect();
     for reply in server_compute(&enc_rc, &weights, &rs_refs, eval, encoder, keys) {
         send_packed(transport, &reply);

@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 
 mod baselines;
 mod calibrate;
+pub mod layout;
 
 pub use baselines::{gcformer_latency, thex_latency};
 pub use calibrate::{GcGateModel, OpCosts};

@@ -177,8 +177,9 @@ pub fn server_offline<R: Rng + ?Sized>(
     let in_layout = Layout::plan(packing, rows, w.rows(), encoder.row_size());
     let packed = recv_packed(transport, ctx, in_layout)?;
     let rs = MatZ::random(ring, rows, w.cols(), rng);
-    let masked =
-        server_compute(&packed, &MatmulWeights::Fresh { w, encoder }, &rs, eval, encoder, keys);
+    let weights =
+        MatmulWeights::Fresh { w, encoder, mode: crate::packing::RotationMode::Output };
+    let masked = server_compute(&packed, &weights, &rs, eval, encoder, keys);
     send_packed(transport, &masked);
     Ok(rs)
 }

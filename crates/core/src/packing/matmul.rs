@@ -48,6 +48,28 @@ impl LiveCounts {
     }
 }
 
+/// How a tokens-first chain realizes its rotations. Feature-based
+/// matmuls always use [`RotationMode::Output`]; the input-rotation form
+/// has no win there (full-width chains touch every slot offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RotationMode {
+    /// Horner accumulation: rotate the *accumulator* once per level, so
+    /// every output ciphertext pays its own `b_max`-step chain. Noise
+    /// stays off the multiplication (masks multiply fresh inputs), which
+    /// makes this the mode that works on every parameter profile.
+    #[default]
+    Output,
+    /// Input-rotation diagonals: rotate each *input* ciphertext once per
+    /// used Horner level via a single hoisted [`Evaluator::rotate_many`],
+    /// shared by every output chain, and multiply by slot-rotated masks.
+    /// Rotations shrink from `Σ_r b_max(r)` to `Σ_k |used(k)|` and each
+    /// costs one key-switch off a shared hoist — but the key-switch
+    /// noise now passes *through* the mask multiplication, so this mode
+    /// is only safe where the noise budget says so (the layout
+    /// selector's job).
+    Input,
+}
+
 /// Where an encrypted matmul gets its multiplication masks.
 pub enum MatmulWeights<'a> {
     /// Raw ring weights: every mask is encoded and NTT-lifted inside the
@@ -58,6 +80,8 @@ pub enum MatmulWeights<'a> {
         w: &'a MatZ,
         /// Encoder for the fresh masks.
         encoder: &'a BatchEncoder,
+        /// Rotation mode of the chain (tokens-first only).
+        mode: RotationMode,
     },
     /// Masks encoded once at Setup and reused read-only by every query
     /// (and, via the serving registry, by every concurrent session of
@@ -98,6 +122,13 @@ impl<'a> MatmulWeights<'a> {
         }
     }
 
+    fn mode(&self) -> RotationMode {
+        match self {
+            MatmulWeights::Fresh { mode, .. } => *mode,
+            MatmulWeights::Prepared(p) => p.mode(),
+        }
+    }
+
     fn tf_mask(
         &self,
         eval: &Evaluator,
@@ -107,8 +138,28 @@ impl<'a> MatmulWeights<'a> {
         k: usize,
     ) -> Option<MaskRef<'_>> {
         match self {
-            MatmulWeights::Fresh { w, encoder } => {
+            MatmulWeights::Fresh { w, encoder, .. } => {
                 let slots = tf_mask_slots(in_l, w, r, b, k)?;
+                Some(MaskRef::Owned(eval.prepare_mul_plain(&encoder.encode(&slots))))
+            }
+            MatmulWeights::Prepared(p) => p.tf_mask(r, b, k).map(MaskRef::Borrowed),
+        }
+    }
+
+    /// Input-rotation mask: the output-rotation mask slot-rotated by
+    /// `b·pad` (since `R_s(m·x) = σ_s(m)·R_s(x)`). Prepared planes built
+    /// in input mode already store the rotated form.
+    fn tf_mask_rotated(
+        &self,
+        eval: &Evaluator,
+        in_l: &Layout,
+        r: usize,
+        b: usize,
+        k: usize,
+    ) -> Option<MaskRef<'_>> {
+        match self {
+            MatmulWeights::Fresh { w, encoder, .. } => {
+                let slots = tf_mask_slots_rotated(in_l, w, r, b, k)?;
                 Some(MaskRef::Owned(eval.prepare_mul_plain(&encoder.encode(&slots))))
             }
             MatmulWeights::Prepared(p) => p.tf_mask(r, b, k).map(MaskRef::Borrowed),
@@ -124,7 +175,7 @@ impl<'a> MatmulWeights<'a> {
         c: usize,
     ) -> MaskRef<'_> {
         match self {
-            MatmulWeights::Fresh { w, encoder } => {
+            MatmulWeights::Fresh { w, encoder, .. } => {
                 let slots = fb_full_mask_slots(in_l, w, oc, delta, c);
                 MaskRef::Owned(eval.prepare_mul_plain(&encoder.encode(&slots)))
             }
@@ -140,7 +191,7 @@ impl<'a> MatmulWeights<'a> {
         delta: usize,
     ) -> MaskRef<'_> {
         match self {
-            MatmulWeights::Fresh { w, encoder } => {
+            MatmulWeights::Fresh { w, encoder, .. } => {
                 let slots = fb_grouped_a_slots(in_l, w, oc, delta);
                 MaskRef::Owned(eval.prepare_mul_plain(&encoder.encode(&slots)))
             }
@@ -156,7 +207,7 @@ impl<'a> MatmulWeights<'a> {
         k: usize,
     ) -> MaskRef<'_> {
         match self {
-            MatmulWeights::Fresh { w, encoder } => {
+            MatmulWeights::Fresh { w, encoder, .. } => {
                 let slots = fb_grouped_b_slots(in_l, w, oc, k);
                 MaskRef::Owned(eval.prepare_mul_plain(&encoder.encode(&slots)))
             }
@@ -199,6 +250,69 @@ pub(super) fn tf_mask_slots(
         }
     }
     Some(slots)
+}
+
+/// Input-rotation form of [`tf_mask_slots`]: the same mask cyclically
+/// shifted by `b·pad` slots (`σ_s(m)[i] = m[(i+s) mod simd]`), so that
+/// `σ_{b·pad}(m')·R_{b·pad}(x)` equals the Horner term `R_{b·pad}(m'·x)`
+/// slot for slot.
+pub(super) fn tf_mask_slots_rotated(
+    in_l: &Layout,
+    w: &MatZ,
+    r: usize,
+    b: usize,
+    k: usize,
+) -> Option<Vec<u64>> {
+    let slots = tf_mask_slots(in_l, w, r, b, k)?;
+    let s = b * in_l.pad;
+    let simd = in_l.simd;
+    Some((0..simd).map(|i| slots[(i + s) % simd]).collect())
+}
+
+/// The Horner levels `b` that input ciphertext `k` participates in — a
+/// pure function of shapes, so client (planning Galois keys) and server
+/// (building chains) always agree. The returned list is ascending and
+/// may include `0` (a free "rotation": `rotate_many` clones).
+pub fn tf_used_levels(rows: usize, cols: usize, out_cols: usize, simd: usize, k: usize) -> Vec<usize> {
+    let in_l = Layout::plan(Packing::TokensFirst, rows, cols, simd);
+    let out_cts = Layout::plan(Packing::TokensFirst, rows, out_cols, simd).num_cts;
+    (0..in_l.block())
+        .filter(|&b| (0..out_cts).any(|r| tf_mask_nonempty(&in_l, out_cols, k, b, r)))
+        .collect()
+}
+
+/// All *nonzero* rotation steps (`b·pad`) an input-rotation tokens-first
+/// matmul of these shapes issues, ascending and deduplicated — the
+/// dedicated-key list `rotate_many` hoisting requires (composite steps
+/// cannot be decomposed mid-hoist).
+pub fn tf_input_steps(rows: usize, cols: usize, out_cols: usize, simd: usize) -> Vec<usize> {
+    let in_l = Layout::plan(Packing::TokensFirst, rows, cols, simd);
+    let mut steps: Vec<usize> = (0..in_l.num_cts)
+        .flat_map(|k| tf_used_levels(rows, cols, out_cols, simd, k))
+        .filter(|&b| b != 0)
+        .map(|b| b * in_l.pad)
+        .collect();
+    steps.sort_unstable();
+    steps.dedup();
+    steps
+}
+
+/// The largest number of masked terms any single output ciphertext of a
+/// tokens-first matmul accumulates — the multiplicity the noise model
+/// multiplies one worst-case term by when gating input-rotation mode.
+pub fn tf_chain_terms_max(rows: usize, cols: usize, out_cols: usize, simd: usize) -> u64 {
+    let in_l = Layout::plan(Packing::TokensFirst, rows, cols, simd);
+    let out_cts = Layout::plan(Packing::TokensFirst, rows, out_cols, simd).num_cts;
+    let block = in_l.block();
+    (0..out_cts)
+        .map(|r| {
+            (0..block)
+                .flat_map(|b| (0..in_l.num_cts).map(move |k| (b, k)))
+                .filter(|&(b, k)| tf_mask_nonempty(&in_l, out_cols, k, b, r))
+                .count() as u64
+        })
+        .max()
+        .unwrap_or(0)
 }
 
 /// Feature-based full-width mask:
@@ -308,6 +422,21 @@ pub fn matmul_counts(
     out_cols: usize,
     simd: usize,
 ) -> MatmulCounts {
+    matmul_counts_mode(packing, rows, cols, out_cols, simd, RotationMode::Output)
+}
+
+/// [`matmul_counts`] for an explicit rotation mode. Input mode keeps the
+/// identical `mul_plain` count (the same nonempty masks multiply) but
+/// pays `Σ_k |used(k) \ {0}|` rotations instead of `Σ_r b_max(r)` — all
+/// served off one hoist per input ciphertext.
+pub fn matmul_counts_mode(
+    packing: Packing,
+    rows: usize,
+    cols: usize,
+    out_cols: usize,
+    simd: usize,
+    mode: RotationMode,
+) -> MatmulCounts {
     let in_l = Layout::plan(packing, rows, cols, simd);
     let mut c = MatmulCounts { in_cts: in_l.num_cts as u64, ..Default::default() };
     match packing {
@@ -329,7 +458,17 @@ pub fn matmul_counts(
                         b_max = Some(b);
                     }
                 }
-                c.rotations += b_max.unwrap_or(0) as u64;
+                if mode == RotationMode::Output {
+                    c.rotations += b_max.unwrap_or(0) as u64;
+                }
+            }
+            if mode == RotationMode::Input {
+                for k in 0..in_l.num_cts {
+                    c.rotations += tf_used_levels(rows, cols, out_cols, simd, k)
+                        .iter()
+                        .filter(|&&b| b != 0)
+                        .count() as u64;
+                }
             }
         }
         Packing::FeatureBased => {
@@ -402,7 +541,7 @@ pub fn matmul_plain_weights(
     encoder: &BatchEncoder,
     keys: &GaloisKeys,
 ) -> Result<PackedMatrix, HeError> {
-    matmul_weights(x, &MatmulWeights::Fresh { w, encoder }, eval, keys)
+    matmul_weights(x, &MatmulWeights::Fresh { w, encoder, mode: RotationMode::Output }, eval, keys)
 }
 
 /// [`matmul_plain_weights`] against a [`PreparedMatmul`] plane: the
@@ -442,16 +581,19 @@ pub fn matmul_weights(
     if let MatmulWeights::Prepared(p) = weights {
         assert_eq!(&x.layout, p.in_layout(), "prepared plane built for a different layout");
     }
-    let (out, live) = match x.layout.packing {
-        Packing::TokensFirst => tf_matmul(x, weights, eval, keys)?,
-        Packing::FeatureBased => fb_matmul(x, weights, eval, keys)?,
+    let mode = weights.mode();
+    let (out, live) = match (x.layout.packing, mode) {
+        (Packing::TokensFirst, RotationMode::Output) => tf_matmul(x, weights, eval, keys)?,
+        (Packing::TokensFirst, RotationMode::Input) => tf_matmul_input(x, weights, eval, keys)?,
+        (Packing::FeatureBased, _) => fb_matmul(x, weights, eval, keys)?,
     };
-    let predicted = matmul_counts(
+    let predicted = matmul_counts_mode(
         x.layout.packing,
         x.layout.rows,
         x.layout.cols,
         weights.out_cols(),
         x.layout.simd,
+        mode,
     );
     debug_assert_eq!(
         live.rotations, predicted.rotations,
@@ -521,6 +663,82 @@ fn tf_matmul(
         Ok((acc.unwrap_or_else(|| eval.zero_ciphertext()), live))
     });
     let (out_cts, live) = collect_chains(results)?;
+    Ok((PackedMatrix { layout: out_l, cts: out_cts }, live))
+}
+
+/// Tokens-first matmul in input-rotation mode: each input ciphertext is
+/// hoisted once and rotated to every Horner level it participates in
+/// (one [`Evaluator::rotate_many`] per input ct, shared by *all* output
+/// chains), then each output ciphertext is a flat sum of slot-rotated
+/// masks times pre-rotated inputs:
+///
+/// ```text
+/// result_r = Σ_b R_{b·pad}(Σ_k m'_{r,b,k}·x_k)          (Horner form)
+///          = Σ_b Σ_k σ_{b·pad}(m'_{r,b,k})·R_{b·pad}(x_k)
+/// ```
+///
+/// Rotations drop from `Σ_r b_max(r)` to `Σ_k |used(k)\{0}|`; the price
+/// is key-switch noise passing through the mask multiplication, which is
+/// why the layout selector noise-gates this mode per parameter profile.
+fn tf_matmul_input(
+    x: &PackedMatrix,
+    weights: &MatmulWeights<'_>,
+    eval: &Evaluator,
+    keys: &GaloisKeys,
+) -> Result<(PackedMatrix, LiveCounts), HeError> {
+    let in_l = &x.layout;
+    let block = in_l.block();
+    let pad = in_l.pad;
+    let out_cols = weights.out_cols();
+    let out_l = Layout::plan(Packing::TokensFirst, in_l.rows, out_cols, in_l.simd);
+    let used: Vec<Vec<usize>> = (0..in_l.num_cts)
+        .map(|k| tf_used_levels(in_l.rows, in_l.cols, out_cols, in_l.simd, k))
+        .collect();
+
+    // Stage 1 (parallel over input cts): one hoist each, every used
+    // rotation keyed off it. Level 0 comes back as a free clone.
+    let rotated_results = rayon::par_iter_chunks(in_l.num_cts, |k| {
+        let steps: Vec<usize> = used[k].iter().map(|&b| b * pad).collect();
+        let mut live = LiveCounts::default();
+        live.rotations += steps.iter().filter(|&&s| s != 0).count() as u64;
+        let cts = eval.rotate_many(&x.cts[k], &steps, keys)?;
+        Ok((cts, live))
+    });
+    let mut rot_live = LiveCounts::default();
+    let mut rotated: Vec<Vec<Ciphertext>> = Vec::with_capacity(in_l.num_cts);
+    for r in rotated_results {
+        let (cts, lc) = r?;
+        rot_live.merge(&lc);
+        rotated.push(cts);
+    }
+
+    // Stage 2 (parallel over output cts): flat accumulation in fixed
+    // (b descending, k ascending) order, so fresh and prepared masks
+    // yield bit-identical outputs.
+    let results = rayon::par_iter_chunks(out_l.num_cts, |r| {
+        let mut live = LiveCounts::default();
+        let mut acc: Option<Ciphertext> = None;
+        for b in (0..block).rev() {
+            for k in 0..in_l.num_cts {
+                let Some(mask) = weights.tf_mask_rotated(eval, in_l, r, b, k) else {
+                    continue;
+                };
+                let pos = used[k]
+                    .iter()
+                    .position(|&ub| ub == b)
+                    .expect("nonempty mask implies a used level");
+                let src = &rotated[k][pos];
+                live.mul_plain += 1;
+                match &mut acc {
+                    None => acc = Some(eval.mul_plain(src, &mask)),
+                    Some(a) => eval.mul_plain_accumulate(a, src, &mask),
+                }
+            }
+        }
+        Ok((acc.unwrap_or_else(|| eval.zero_ciphertext()), live))
+    });
+    let (out_cts, mut live) = collect_chains(results)?;
+    live.merge(&rot_live);
     Ok((PackedMatrix { layout: out_l, cts: out_cts }, live))
 }
 
@@ -751,6 +969,116 @@ mod tests {
         assert_eq!(tf.rotation_steps(), &[4]);
         let fb = PreparedMatmul::new(Packing::FeatureBased, 4, &w, &fx.eval, &fx.encoder);
         assert_eq!(fb.rotation_steps(), &[1, simd - 1]);
+    }
+
+    /// Fixture on the wide test profile (whose noise budget carries the
+    /// input-rotation chain) with dedicated keys for exactly the hoisted
+    /// step list — the key plan client Setup would provision.
+    fn input_mode_fixture(rows: usize, cols: usize, out_cols: usize) -> super::super::testutil::Fx {
+        use primer_he::{Encryptor, HeContext, HeParams, KeyGenerator};
+        use primer_math::rng::seeded;
+        use primer_math::Ring;
+        let ctx = HeContext::new(HeParams::test_2k_wide());
+        let encoder = BatchEncoder::new(&ctx);
+        let mut rng = seeded(300);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let encryptor = Encryptor::new(&ctx, kg.secret_key().clone(), 301);
+        let eval = Evaluator::new(&ctx);
+        let steps = tf_input_steps(rows, cols, out_cols, encoder.row_size());
+        let keys = kg.galois_keys(&steps, false, &mut rng);
+        super::super::testutil::Fx {
+            ring: Ring::new(ctx.params().t()),
+            encoder,
+            encryptor,
+            eval,
+            keys,
+        }
+    }
+
+    /// Input-rotation chains decrypt to the exact ring matmul, spend
+    /// exactly the rotations the count model predicts, and beat the
+    /// Horner chain's rotation count at every tested shape.
+    #[test]
+    fn input_mode_matmul_exact_with_fewer_rotations() {
+        for (rows, cols, out_cols) in [(4usize, 8usize, 16usize), (3, 10, 5), (4, 32, 8)] {
+            let fx = input_mode_fixture(rows, cols, out_cols);
+            let simd = fx.encoder.row_size();
+            let x = small_matrix(&fx.ring, rows, cols, 310 + out_cols as u64);
+            let w = small_matrix(&fx.ring, cols, out_cols, 311 + cols as u64);
+            let packed = encrypt_matrix(Packing::TokensFirst, &x, &fx.encoder, &fx.encryptor);
+
+            let before = fx.eval.counts();
+            let weights = MatmulWeights::Fresh { w: &w, encoder: &fx.encoder, mode: RotationMode::Input };
+            let product = matmul_weights(&packed, &weights, &fx.eval, &fx.keys).expect("hoist keys");
+            let spent = fx.eval.counts().since(&before);
+
+            let got = decrypt_matrix(&product, &fx.encoder, &fx.encryptor);
+            assert_eq!(got, x.matmul(&fx.ring, &w), "{rows}x{cols}x{out_cols}");
+
+            let inp = matmul_counts_mode(Packing::TokensFirst, rows, cols, out_cols, simd, RotationMode::Input);
+            let out = matmul_counts_mode(Packing::TokensFirst, rows, cols, out_cols, simd, RotationMode::Output);
+            assert_eq!(spent.rotations, inp.rotations, "rotation count model");
+            assert_eq!(spent.mul_plain, inp.mul_plain, "mul_plain count model");
+            assert_eq!(inp.mul_plain, out.mul_plain, "same masks multiply in both modes");
+            assert!(
+                inp.rotations < out.rotations,
+                "{rows}x{cols}x{out_cols}: input {} vs output {} rotations",
+                inp.rotations,
+                out.rotations
+            );
+        }
+    }
+
+    /// An input-mode prepared plane is bit-identical to the fresh
+    /// input-mode chain, spends zero mask preps, and names exactly the
+    /// hoisted step list as its rotation plan.
+    #[test]
+    fn input_mode_prepared_bit_identical_and_plan_exact() {
+        let (rows, cols, out_cols) = (4usize, 32usize, 8usize);
+        let fx = input_mode_fixture(rows, cols, out_cols);
+        let simd = fx.encoder.row_size();
+        let x = small_matrix(&fx.ring, rows, cols, 320);
+        let w = small_matrix(&fx.ring, cols, out_cols, 321);
+        let packed = encrypt_matrix(Packing::TokensFirst, &x, &fx.encoder, &fx.encryptor);
+
+        let weights = MatmulWeights::Fresh { w: &w, encoder: &fx.encoder, mode: RotationMode::Input };
+        let fresh = matmul_weights(&packed, &weights, &fx.eval, &fx.keys).expect("hoist keys");
+
+        let prepared = PreparedMatmul::new_with_mode(
+            Packing::TokensFirst,
+            rows,
+            &w,
+            &fx.eval,
+            &fx.encoder,
+            RotationMode::Input,
+        );
+        assert_eq!(prepared.hoisted_steps(), tf_input_steps(rows, cols, out_cols, simd));
+        assert_eq!(prepared.mode(), RotationMode::Input);
+        let before = fx.eval.counts();
+        let via_plane = matmul_prepared(&packed, &prepared, &fx.eval, &fx.keys).expect("hoist keys");
+        let spent = fx.eval.counts().since(&before);
+        assert_eq!(via_plane.cts, fresh.cts, "prepared input-mode chain diverged");
+        assert_eq!(spent.mask_prep, 0, "prepared chain must not encode masks");
+    }
+
+    /// Hoisted steps admit no power-of-two fallback: a key ring without a
+    /// dedicated key for a composite hoist step fails with the typed
+    /// error rather than decomposing (or silently corrupting the hoist).
+    #[test]
+    fn input_mode_without_dedicated_key_is_typed_error() {
+        let (rows, cols, out_cols) = (3usize, 10usize, 5usize);
+        let fx = fixture(rows.next_power_of_two()); // pow2 ladder + stride extras only
+        let steps = tf_input_steps(rows, cols, out_cols, fx.encoder.row_size());
+        assert!(
+            steps.iter().any(|s| !fx.keys.steps().contains(s)),
+            "shape must need a key the fixture lacks"
+        );
+        let x = small_matrix(&fx.ring, rows, cols, 330);
+        let w = small_matrix(&fx.ring, cols, out_cols, 331);
+        let packed = encrypt_matrix(Packing::TokensFirst, &x, &fx.encoder, &fx.encryptor);
+        let weights = MatmulWeights::Fresh { w: &w, encoder: &fx.encoder, mode: RotationMode::Input };
+        let err = matmul_weights(&packed, &weights, &fx.eval, &fx.keys).unwrap_err();
+        assert!(matches!(err, HeError::MissingGaloisKey { .. }), "got {err:?}");
     }
 
     #[test]

@@ -280,12 +280,15 @@ pub struct MatmulCounts {
 
 mod matmul;
 mod prepared;
+pub mod zerorot;
 
 pub use matmul::{
-    matmul_counts, matmul_out_layout, matmul_plain_weights, matmul_prepared, matmul_weights,
-    MatmulWeights,
+    matmul_counts, matmul_counts_mode, matmul_out_layout, matmul_plain_weights, matmul_prepared,
+    matmul_weights, tf_chain_terms_max, tf_input_steps, tf_used_levels, MatmulWeights,
+    RotationMode,
 };
 pub use prepared::PreparedMatmul;
+pub use zerorot::ZrLayout;
 
 /// Shared HE fixture for the packing/matmul test suites.
 #[cfg(test)]

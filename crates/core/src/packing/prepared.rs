@@ -15,7 +15,8 @@
 //! `primer_serve::Server`'s prepared-plane cache.
 
 use super::matmul::{
-    fb_full_mask_slots, fb_grouped_a_slots, fb_grouped_b_slots, fb_out_layout, tf_mask_slots,
+    fb_full_mask_slots, fb_grouped_a_slots, fb_grouped_b_slots, fb_out_layout, tf_input_steps,
+    tf_mask_slots, tf_mask_slots_rotated, RotationMode,
 };
 use super::{Layout, Packing};
 use primer_he::{BatchEncoder, Evaluator, MulPlain};
@@ -44,13 +45,15 @@ pub struct PreparedMatmul {
     masks: Masks,
     mask_bytes: u64,
     steps: Vec<usize>,
+    mode: RotationMode,
 }
 
 impl PreparedMatmul {
     /// Builds the plane for `Enc(X: rows × w.rows()) · w`, fanning the
     /// per-mask encoding across the thread pool (the build is a pure
     /// function of `(packing, rows, w)`, so parallelism cannot change
-    /// the masks).
+    /// the masks). Chains run in output-rotation mode; the layout
+    /// selector uses [`PreparedMatmul::new_with_mode`].
     pub fn new(
         packing: Packing,
         rows: usize,
@@ -58,6 +61,25 @@ impl PreparedMatmul {
         eval: &Evaluator,
         encoder: &BatchEncoder,
     ) -> Self {
+        Self::new_with_mode(packing, rows, w, eval, encoder, RotationMode::Output)
+    }
+
+    /// [`PreparedMatmul::new`] with an explicit rotation mode. In input
+    /// mode (tokens-first only) the stored masks are the slot-rotated
+    /// `σ_{b·pad}(m')` forms and the rotation plan is the per-input-ct
+    /// hoisted step list instead of the single Horner stride.
+    pub fn new_with_mode(
+        packing: Packing,
+        rows: usize,
+        w: &MatZ,
+        eval: &Evaluator,
+        encoder: &BatchEncoder,
+        mode: RotationMode,
+    ) -> Self {
+        assert!(
+            packing == Packing::TokensFirst || mode == RotationMode::Output,
+            "input-rotation mode is a tokens-first layout"
+        );
         let simd = encoder.row_size();
         let in_l = Layout::plan(packing, rows, w.rows(), simd);
         let out_cols = w.cols();
@@ -71,9 +93,20 @@ impl PreparedMatmul {
                 let masks = rayon::par_iter_chunks(total, |idx| {
                     let (rb, k) = (idx / in_cts, idx % in_cts);
                     let (r, b) = (rb / block, rb % block);
-                    tf_mask_slots(&in_l, w, r, b, k).map(|slots| prep(&slots))
+                    match mode {
+                        RotationMode::Output => {
+                            tf_mask_slots(&in_l, w, r, b, k).map(|slots| prep(&slots))
+                        }
+                        RotationMode::Input => {
+                            tf_mask_slots_rotated(&in_l, w, r, b, k).map(|slots| prep(&slots))
+                        }
+                    }
                 });
-                (Masks::TokensFirst { block, in_cts, masks }, out_l, vec![in_l.pad])
+                let steps = match mode {
+                    RotationMode::Output => vec![in_l.pad],
+                    RotationMode::Input => tf_input_steps(rows, w.rows(), out_cols, simd),
+                };
+                (Masks::TokensFirst { block, in_cts, masks }, out_l, steps)
             }
             Packing::FeatureBased if in_l.pad == simd => {
                 let chunks = in_l.cols.div_ceil(simd);
@@ -116,7 +149,7 @@ impl PreparedMatmul {
                 .map(|m| m.resident_bytes() as u64)
                 .sum(),
         };
-        Self { in_layout: in_l, out_layout, out_cols, masks, mask_bytes, steps }
+        Self { in_layout: in_l, out_layout, out_cols, masks, mask_bytes, steps, mode }
     }
 
     /// The input layout this plane was built for.
@@ -148,6 +181,24 @@ impl PreparedMatmul {
     /// uses to verify dedicated Galois keys exist for every step.
     pub fn rotation_steps(&self) -> &[usize] {
         &self.steps
+    }
+
+    /// The rotation mode this plane's chains run in.
+    pub fn mode(&self) -> RotationMode {
+        self.mode
+    }
+
+    /// The steps this plane issues through hoisted `rotate_many` calls.
+    /// Unlike ordinary rotations, hoisted steps cannot fall back to a
+    /// power-of-two decomposition mid-hoist, so Setup must verify a
+    /// *dedicated* key exists for each — a mismatch here is the
+    /// layout/key-plan bug class that must fail at Setup, never
+    /// mid-offline.
+    pub fn hoisted_steps(&self) -> &[usize] {
+        match self.mode {
+            RotationMode::Output => &[],
+            RotationMode::Input => &self.steps,
+        }
     }
 
     pub(super) fn tf_mask(&self, r: usize, b: usize, k: usize) -> Option<&MulPlain> {
@@ -186,6 +237,7 @@ impl std::fmt::Debug for PreparedMatmul {
             .field("out_cols", &self.out_cols)
             .field("mask_bytes", &self.mask_bytes)
             .field("steps", &self.steps)
+            .field("mode", &self.mode)
             .finish_non_exhaustive()
     }
 }

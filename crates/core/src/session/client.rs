@@ -66,9 +66,14 @@ impl ClientSession {
         let keygen = KeyGenerator::new(&sys.he, &mut rng);
         let encryptor = Encryptor::new(&sys.he, keygen.secret_key().clone(), seed ^ 0x5eed);
         let group = sys.ot_group.group();
-        let simd = sys.simd_width();
-        let stride = sys.padded_tokens();
-        let gk = keygen.galois_keys_pow2(&[1, stride, simd - 1, simd - stride], false, &mut rng);
+        // Exact key plan: a dedicated key for every step the selected
+        // layouts will rotate by — including the hoisted input-rotation
+        // steps, which admit no power-of-two fallback. Both parties
+        // derive the same plan from public shapes
+        // (`costmodel::layout::galois_steps`); the server verifies it at
+        // its own Setup before any offline work starts.
+        let steps = crate::costmodel::layout::galois_steps(&sys, variant);
+        let gk = keygen.galois_keys(&steps, false, &mut rng);
         wire::send_galois_keys(t, &gk);
         Self {
             core: Arc::new(ClientCore {

@@ -41,7 +41,8 @@ use super::client::ClientCore;
 use super::column_slice;
 use super::server::ServerCore;
 use crate::chgs;
-use crate::fhgs::{self, FhgsDims};
+use crate::costmodel::layout;
+use crate::fhgs::{self, FhgsDims, FhgsFlight};
 use crate::gcmod::{GcClientStep, GcServerStep};
 use crate::hgs;
 use crate::packing::{Layout, MatmulWeights, PackedMatrix};
@@ -205,7 +206,7 @@ struct ClientPrep {
     bpends: Vec<BlockPend>,
     cls: hgs::HgsPending,
     /// Request flights in wire order.
-    requests: Vec<PackedMatrix>,
+    requests: Vec<FhgsFlight>,
     /// Expected reply flights in wire order (HGS/CHGS only).
     reply_layouts: Vec<Layout>,
 }
@@ -250,7 +251,7 @@ fn prepare_client_bundle(core: &ClientCore, seed: u64) -> ClientPrep {
             &core.encryptor,
             &mut rng,
         );
-        requests.push(req);
+        requests.push(FhgsFlight::Packed(req));
         reply_layouts.extend(pend.reply_layouts(simd));
         (EmbedPend::Chgs(pend), false)
     } else {
@@ -262,7 +263,7 @@ fn prepare_client_bundle(core: &ClientCore, seed: u64) -> ClientPrep {
             &core.encryptor,
             &mut rng,
         );
-        requests.push(req);
+        requests.push(FhgsFlight::Packed(req));
         reply_layouts.push(pend.reply_layout(simd));
         (EmbedPend::Hgs(pend), true)
     };
@@ -284,16 +285,18 @@ fn prepare_client_bundle(core: &ClientCore, seed: u64) -> ClientPrep {
                         &core.encryptor,
                         &mut rng,
                     );
-                    requests.push(req);
+                    requests.push(FhgsFlight::Packed(req));
                     reply_layouts.push(pend.reply_layout(simd));
                     pend
                 })
             });
+            let score_mode =
+                layout::fhgs_mode(core.sys.he.params(), packing, FhgsDims { n, k: dh, m: n });
             let score = (0..heads)
                 .map(|h| {
                     let (client, flights) = fhgs::client_request(
                         &ring,
-                        packing,
+                        score_mode,
                         column_slice(&bm.q, h * dh, dh),
                         column_slice(&bm.k, h * dh, dh).transpose(),
                         &core.encoder,
@@ -304,11 +307,13 @@ fn prepare_client_bundle(core: &ClientCore, seed: u64) -> ClientPrep {
                     client
                 })
                 .collect();
+            let av_mode =
+                layout::fhgs_mode(core.sys.he.params(), packing, FhgsDims { n, k: n, m: dh });
             let av = (0..heads)
                 .map(|h| {
                     let (client, flights) = fhgs::client_request(
                         &ring,
-                        packing,
+                        av_mode,
                         bm.probs[h].clone(),
                         column_slice(&bm.v, h * dh, dh),
                         &core.encoder,
@@ -328,7 +333,7 @@ fn prepare_client_bundle(core: &ClientCore, seed: u64) -> ClientPrep {
                     &core.encryptor,
                     &mut rng,
                 );
-                requests.push(req);
+                requests.push(FhgsFlight::Packed(req));
                 reply_layouts.push(pend.reply_layout(simd));
                 pend
             };
@@ -349,7 +354,7 @@ fn prepare_client_bundle(core: &ClientCore, seed: u64) -> ClientPrep {
         &core.encryptor,
         &mut rng,
     );
-    requests.push(req);
+    requests.push(FhgsFlight::Packed(req));
     reply_layouts.push(cls.reply_layout(simd));
 
     ClientPrep {
@@ -442,7 +447,7 @@ pub(crate) fn produce_client_bundles(
     // replies back in the same order (the server replies in our order).
     for prep in &preps {
         for flight in &prep.requests {
-            send_packed(t, flight);
+            flight.send(t);
         }
     }
     let mut slots: Vec<ClientFinishSlot> = Vec::with_capacity(k);
@@ -558,15 +563,10 @@ fn recv_server_bundle(
 
     let qkv_first = !core.variant.combined();
     let recv_fhgs = |dims: FhgsDims, rng: &mut StdRng| -> Result<fhgs::FhgsServer, HeError> {
-        let [l_a, l_bt, l_ab] = fhgs::request_layouts(packing, dims, simd);
-        let flights = [
-            recv_packed(t, &core.sys.he, l_a)?,
-            recv_packed(t, &core.sys.he, l_bt)?,
-            recv_packed(t, &core.sys.he, l_ab)?,
-        ];
-        let rs1 = MatZ::random(&ring, dims.n, dims.m, rng);
-        let rs2 = MatZ::random(&ring, dims.m, dims.n, rng);
-        Ok(fhgs::server_accept(dims, flights, rs1, rs2))
+        // Both parties derive the same per-shape mode from public
+        // dimensions, so the wire stays in lockstep without negotiation.
+        let mode = layout::fhgs_mode(core.sys.he.params(), packing, dims);
+        fhgs::server_offline(&ring, mode, dims, &core.sys.he, &core.encoder, t, rng)
     };
     let mut blocks: Vec<BlockRecv> = Vec::with_capacity(cfg.n_blocks);
     for b in 0..cfg.n_blocks {

@@ -41,7 +41,6 @@ pub(crate) fn client_online(
     let cfg = &core.sys.model;
     let ring = core.sys.ring();
     let rb = ring_bits(ring.modulus());
-    let packing = core.variant.packing();
     let (n, heads) = (cfg.n_tokens, cfg.n_heads);
     let dh = cfg.d_head();
     let frac = core.fixed.spec().fixed.frac();
@@ -102,7 +101,6 @@ pub(crate) fn client_online(
             let share = fhgs::client_online(
                 &bc.score_pre[h],
                 &ring,
-                packing,
                 &core.sys.he,
                 &core.encoder,
                 &core.encryptor,
@@ -120,7 +118,6 @@ pub(crate) fn client_online(
             let share = fhgs::client_online(
                 &bc.av_pre[h],
                 &ring,
-                packing,
                 &core.sys.he,
                 &core.encoder,
                 &core.encryptor,

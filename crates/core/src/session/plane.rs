@@ -12,7 +12,8 @@
 
 use super::server::{BlockRing, CombinedRing, ServerWeights};
 use super::{lambda_scaled, to_ring, ProtocolVariant};
-use crate::packing::{MatmulWeights, Packing, PreparedMatmul};
+use crate::costmodel::layout;
+use crate::packing::{MatmulWeights, Packing, PreparedMatmul, RotationMode};
 use crate::system::SystemConfig;
 use primer_he::{BatchEncoder, Evaluator};
 use primer_math::MatZ;
@@ -38,11 +39,51 @@ pub(crate) struct PreparedWeights {
     pub classifier: PreparedMatmul,
 }
 
+/// The rotation mode the layout selector picked for each weight-chain
+/// site (blocks share shapes, so one choice per site class). Computed
+/// once at plane build from *public shapes*, so the fresh and prepared
+/// arms — and the client's key plan — all agree.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlaneModes {
+    pub we: RotationMode,
+    pub combined: RotationMode,
+    pub qkv: RotationMode,
+    pub wo: RotationMode,
+    pub w1: RotationMode,
+    pub w2: RotationMode,
+    pub classifier: RotationMode,
+}
+
+impl PlaneModes {
+    fn select(sys: &SystemConfig, variant: ProtocolVariant, w: &ServerWeights) -> Self {
+        let packing = variant.packing();
+        let params = sys.he.params();
+        let n = sys.model.n_tokens;
+        let pick = |rows: usize, wm: &MatZ| {
+            layout::chain_mode(params, packing, rows, wm.rows(), wm.cols())
+        };
+        let blk = w.blocks.first();
+        Self {
+            we: pick(n, &w.we),
+            combined: w
+                .combined
+                .as_ref()
+                .map_or(RotationMode::Output, |c| pick(n, &c.a_q)),
+            qkv: blk.map_or(RotationMode::Output, |b| pick(n, &b.wq)),
+            wo: blk.map_or(RotationMode::Output, |b| pick(n, &b.wo)),
+            w1: blk.map_or(RotationMode::Output, |b| pick(n, &b.w1)),
+            w2: blk.map_or(RotationMode::Output, |b| pick(n, &b.w2)),
+            classifier: pick(1, &w.classifier),
+        }
+    }
+}
+
 /// Ring weights + optional prepared mask planes for one (model,
 /// variant). See the module docs.
 pub struct ModelPlane {
     pub(crate) variant: ProtocolVariant,
     pub(crate) weights: ServerWeights,
+    pub(crate) modes: PlaneModes,
     pub(crate) prepared: Option<PreparedWeights>,
 }
 
@@ -102,8 +143,9 @@ impl ModelPlane {
                 .collect(),
             classifier: to_ring(&ring, &fixed.classifier),
         };
-        let prepared = prepare.then(|| Self::prepare(sys, variant, &weights));
-        Self { variant, weights, prepared }
+        let modes = PlaneModes::select(sys, variant, &weights);
+        let prepared = prepare.then(|| Self::prepare(sys, variant, &weights, modes));
+        Self { variant, weights, modes, prepared }
     }
 
     /// Encodes every session-constant mask once (a pure function of the
@@ -112,6 +154,7 @@ impl ModelPlane {
         sys: &SystemConfig,
         variant: ProtocolVariant,
         w: &ServerWeights,
+        modes: PlaneModes,
     ) -> PreparedWeights {
         let packing = variant.packing();
         let n = sys.model.n_tokens;
@@ -119,27 +162,36 @@ impl ModelPlane {
         // construction (Setup), not to any query's phase counters.
         let encoder = BatchEncoder::new(&sys.he);
         let eval = Evaluator::new(&sys.he);
-        let plan =
-            |rows: usize, wm: &MatZ| PreparedMatmul::new(packing, rows, wm, &eval, &encoder);
+        let plan = |rows: usize, wm: &MatZ, mode: RotationMode| {
+            PreparedMatmul::new_with_mode(packing, rows, wm, &eval, &encoder, mode)
+        };
         PreparedWeights {
-            we: plan(n, &w.we),
-            combined: w
-                .combined
-                .as_ref()
-                .map(|cw| [plan(n, &cw.a_q), plan(n, &cw.a_k), plan(n, &cw.a_v)]),
+            we: plan(n, &w.we, modes.we),
+            combined: w.combined.as_ref().map(|cw| {
+                [
+                    plan(n, &cw.a_q, modes.combined),
+                    plan(n, &cw.a_k, modes.combined),
+                    plan(n, &cw.a_v, modes.combined),
+                ]
+            }),
             blocks: w
                 .blocks
                 .iter()
                 .enumerate()
                 .map(|(b, blk)| PreparedBlock {
-                    qkv: (b > 0 || !variant.combined())
-                        .then(|| [plan(n, &blk.wq), plan(n, &blk.wk), plan(n, &blk.wv)]),
-                    wo: plan(n, &blk.wo),
-                    w1: plan(n, &blk.w1),
-                    w2: plan(n, &blk.w2),
+                    qkv: (b > 0 || !variant.combined()).then(|| {
+                        [
+                            plan(n, &blk.wq, modes.qkv),
+                            plan(n, &blk.wk, modes.qkv),
+                            plan(n, &blk.wv, modes.qkv),
+                        ]
+                    }),
+                    wo: plan(n, &blk.wo, modes.wo),
+                    w1: plan(n, &blk.w1, modes.w1),
+                    w2: plan(n, &blk.w2, modes.w2),
                 })
                 .collect(),
-            classifier: plan(1, &w.classifier),
+            classifier: plan(1, &w.classifier, modes.classifier),
         }
     }
 
@@ -202,6 +254,38 @@ impl ModelPlane {
         steps
     }
 
+    /// Every step the prepared chains issue through **hoisted**
+    /// `rotate_many` calls (input-rotation planes). Hoisted steps cannot
+    /// fall back to a power-of-two decomposition, so Setup must verify a
+    /// dedicated key exists for each — see `ServerSession::setup`.
+    pub fn hoisted_steps(&self) -> Vec<usize> {
+        let mut steps: Vec<usize> = Vec::new();
+        let mut add = |p: &PreparedMatmul| {
+            for &s in p.hoisted_steps() {
+                if !steps.contains(&s) {
+                    steps.push(s);
+                }
+            }
+        };
+        if let Some(p) = &self.prepared {
+            add(&p.we);
+            if let Some(c) = &p.combined {
+                c.iter().for_each(&mut add);
+            }
+            for blk in &p.blocks {
+                if let Some(qkv) = &blk.qkv {
+                    qkv.iter().for_each(&mut add);
+                }
+                add(&blk.wo);
+                add(&blk.w1);
+                add(&blk.w2);
+            }
+            add(&p.classifier);
+        }
+        steps.sort_unstable();
+        steps
+    }
+
     /// The embed-module matmul weights in reply order (1 flight for
     /// HGS, 4 for the CHGS combined module), prepared when available.
     pub(crate) fn embed_weights<'a>(
@@ -220,12 +304,14 @@ impl ModelPlane {
             }
             (Some(p), None) => vec![MatmulWeights::Prepared(&p.we)],
             (None, Some(cw)) => vec![
-                MatmulWeights::Fresh { w: &self.weights.we, encoder },
-                MatmulWeights::Fresh { w: &cw.a_q, encoder },
-                MatmulWeights::Fresh { w: &cw.a_k, encoder },
-                MatmulWeights::Fresh { w: &cw.a_v, encoder },
+                MatmulWeights::Fresh { w: &self.weights.we, encoder, mode: self.modes.we },
+                MatmulWeights::Fresh { w: &cw.a_q, encoder, mode: self.modes.combined },
+                MatmulWeights::Fresh { w: &cw.a_k, encoder, mode: self.modes.combined },
+                MatmulWeights::Fresh { w: &cw.a_v, encoder, mode: self.modes.combined },
             ],
-            (None, None) => vec![MatmulWeights::Fresh { w: &self.weights.we, encoder }],
+            (None, None) => {
+                vec![MatmulWeights::Fresh { w: &self.weights.we, encoder, mode: self.modes.we }]
+            }
         }
     }
 
@@ -246,9 +332,9 @@ impl ModelPlane {
         } else {
             let blk = &self.weights.blocks[b];
             [
-                MatmulWeights::Fresh { w: &blk.wq, encoder },
-                MatmulWeights::Fresh { w: &blk.wk, encoder },
-                MatmulWeights::Fresh { w: &blk.wv, encoder },
+                MatmulWeights::Fresh { w: &blk.wq, encoder, mode: self.modes.qkv },
+                MatmulWeights::Fresh { w: &blk.wk, encoder, mode: self.modes.qkv },
+                MatmulWeights::Fresh { w: &blk.wv, encoder, mode: self.modes.qkv },
             ]
         }
     }
@@ -269,9 +355,9 @@ impl ModelPlane {
         } else {
             let blk = &self.weights.blocks[b];
             [
-                MatmulWeights::Fresh { w: &blk.wo, encoder },
-                MatmulWeights::Fresh { w: &blk.w1, encoder },
-                MatmulWeights::Fresh { w: &blk.w2, encoder },
+                MatmulWeights::Fresh { w: &blk.wo, encoder, mode: self.modes.wo },
+                MatmulWeights::Fresh { w: &blk.w1, encoder, mode: self.modes.w1 },
+                MatmulWeights::Fresh { w: &blk.w2, encoder, mode: self.modes.w2 },
             ]
         }
     }
@@ -283,7 +369,11 @@ impl ModelPlane {
     ) -> MatmulWeights<'a> {
         match &self.prepared {
             Some(p) => MatmulWeights::Prepared(&p.classifier),
-            None => MatmulWeights::Fresh { w: &self.weights.classifier, encoder },
+            None => MatmulWeights::Fresh {
+                w: &self.weights.classifier,
+                encoder,
+                mode: self.modes.classifier,
+            },
         }
     }
 

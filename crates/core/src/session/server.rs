@@ -192,6 +192,18 @@ impl ServerSession {
                 return Err(HeError::MissingGaloisKey { step: s });
             }
         }
+        // Hoisted steps are stricter: `rotate_many` shares one digit
+        // decomposition across its whole step list, so a composite step
+        // cannot be realized by chaining power-of-two hops mid-hoist —
+        // each one needs its own dedicated key. Checking here turns a
+        // layout/key-plan mismatch into a clean Setup error instead of a
+        // mid-offline failure deep inside a refill batch.
+        for step in plane.hoisted_steps() {
+            let s = step % half;
+            if s != 0 && !gk.steps().contains(&s) {
+                return Err(HeError::MissingGaloisKey { step: s });
+            }
+        }
         // Setup traffic is exactly the key flight (the server sends
         // nothing during Setup), so it is constructed from the received
         // length instead of a meter capture — the pipelining client may

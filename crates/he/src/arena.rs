@@ -13,10 +13,13 @@
 //!
 //! **Ownership rules** (DESIGN.md §11): the arena is for *true scratch*
 //! only — buffers whose lifetime ends inside the operation that took
-//! them. Polynomials that escape an operation (ciphertext components,
-//! hoisted digit decompositions, anything stored in a struct) use plain
-//! allocation, so the free list stays balanced at the high-water mark of
-//! concurrent scratch, not the working set. `take_uninit` is reserved
+//! them, plus one structured exception: a hoist's digit decomposition
+//! escapes into the `HoistedCiphertext` but every consumer returns it
+//! via `Evaluator::recycle_hoisted` when the hoist dies, so those
+//! buffers are scratch with a longer leash. Polynomials that escape for
+//! good (ciphertext components, anything stored indefinitely) use plain
+//! allocation, so the free list stays balanced at the high-water mark
+//! of concurrent scratch, not the working set. `take_uninit` is reserved
 //! for consumers that overwrite every limb before reading any
 //! (`permute_ntt_into`, `scale_plain_into`, `decompose_ntt`); everything
 //! else takes zeroed storage. "Uninit" contents are stale limbs from a

@@ -31,6 +31,14 @@ pub struct OpCounts {
     /// weight-mask preparation to session Setup, so a prepared session's
     /// offline phase must show zero of these.
     pub mask_prep: u64,
+    /// Whole-polynomial NTT transforms (forward or inverse), counted
+    /// analytically at each domain crossing: a hoist is `1 + D` (one
+    /// inverse of `c1` plus one forward per key-switch digit), a
+    /// plaintext add is 1, an encryption is 2, and so on. This is the
+    /// cost unit rotations are priced in (`1 + D` NTTs each after
+    /// hoisting), so layout changes that trade rotations for masks show
+    /// up here even when wall-clock is noisy.
+    pub ntt: u64,
 }
 
 impl OpCounts {
@@ -46,6 +54,7 @@ impl OpCounts {
             mul_ct: self.mul_ct - earlier.mul_ct,
             relin: self.relin - earlier.relin,
             mask_prep: self.mask_prep - earlier.mask_prep,
+            ntt: self.ntt - earlier.ntt,
         }
     }
 
@@ -61,10 +70,13 @@ impl OpCounts {
             mul_ct: self.mul_ct + other.mul_ct,
             relin: self.relin + other.relin,
             mask_prep: self.mask_prep + other.mask_prep,
+            ntt: self.ntt + other.ntt,
         }
     }
 
-    /// Total op count (all kinds).
+    /// Total op count (all kinds). `ntt` is excluded: it is a derived
+    /// cost measure of the ops above, not an operation of its own, and
+    /// including it would double-count.
     pub fn total(&self) -> u64 {
         self.rotations
             + self.mul_plain
@@ -94,6 +106,7 @@ pub struct OpCounters {
     mul_ct: AtomicU64,
     relin: AtomicU64,
     mask_prep: AtomicU64,
+    ntt: AtomicU64,
 }
 
 impl OpCounters {
@@ -114,6 +127,7 @@ impl OpCounters {
             mul_ct: self.mul_ct.load(Ordering::Relaxed),
             relin: self.relin.load(Ordering::Relaxed),
             mask_prep: self.mask_prep.load(Ordering::Relaxed),
+            ntt: self.ntt.load(Ordering::Relaxed),
         }
     }
 
@@ -128,6 +142,7 @@ impl OpCounters {
         self.mul_ct.store(0, Ordering::Relaxed);
         self.relin.store(0, Ordering::Relaxed);
         self.mask_prep.store(0, Ordering::Relaxed);
+        self.ntt.store(0, Ordering::Relaxed);
     }
 
     /// Adds a whole snapshot at once — used to merge a scratch
@@ -143,6 +158,7 @@ impl OpCounters {
         self.mul_ct.fetch_add(delta.mul_ct, Ordering::Relaxed);
         self.relin.fetch_add(delta.relin, Ordering::Relaxed);
         self.mask_prep.fetch_add(delta.mask_prep, Ordering::Relaxed);
+        self.ntt.fetch_add(delta.ntt, Ordering::Relaxed);
     }
 
     pub(crate) fn bump(&self, f: impl FnOnce(&mut OpCounts)) {
@@ -159,6 +175,7 @@ impl OpCounters {
         self.mul_ct.fetch_add(delta.mul_ct, Ordering::Relaxed);
         self.relin.fetch_add(delta.relin, Ordering::Relaxed);
         self.mask_prep.fetch_add(delta.mask_prep, Ordering::Relaxed);
+        self.ntt.fetch_add(delta.ntt, Ordering::Relaxed);
     }
 }
 

@@ -61,7 +61,11 @@ impl Encryptor {
     /// stream is bit-identical at every thread count (the shared-rng
     /// path would interleave draws in scheduling order).
     pub fn encrypt_with<R: rand::Rng + ?Sized>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
-        self.counters.bump(|c| c.encrypt += 1);
+        // Two forward transforms: the seeded `a` and the body `Δm + e`.
+        self.counters.bump(|c| {
+            c.encrypt += 1;
+            c.ntt += 2;
+        });
         let ctx = &self.ctx;
         let mut seed = [0u8; 32];
         rng.fill(&mut seed);
@@ -88,7 +92,10 @@ impl Encryptor {
 
     /// Decrypts a size-2 or size-3 ciphertext.
     pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
-        self.counters.bump(|c| c.decrypt += 1);
+        self.counters.bump(|c| {
+            c.decrypt += 1;
+            c.ntt += 1;
+        });
         let v = self.inner_product(ct);
         let ctx = &self.ctx;
         let t = ctx.params().t() as u128;

@@ -31,6 +31,7 @@ use crate::error::HeError;
 use crate::galois;
 use crate::keys::{digits_for_prime, GaloisKeys, KskKey, RelinKey};
 use crate::poly::RnsPoly;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A plaintext prepared for multiplication: centered-lifted into `R_q`
@@ -72,6 +73,12 @@ pub struct Evaluator {
     ctx: HeContext,
     counters: OpCounters,
     arena: Arc<ScratchArena>,
+    /// High-water mark of *estimated* worst-case noise, in millibits
+    /// (`u64` so it can be a lock-free `fetch_max`). The packed-matmul
+    /// drivers compute a [`crate::NoiseModel`] bound for each chain they
+    /// evaluate and record it here, so a phase's op counts come with the
+    /// noise estimate that justified its layout choice.
+    noise_millibits: AtomicU64,
 }
 
 impl Evaluator {
@@ -86,7 +93,24 @@ impl Evaluator {
     /// arena, so recycled buffers flow between workers instead of each
     /// scratch evaluator warming a pool it immediately drops.
     pub fn with_arena(ctx: &HeContext, arena: Arc<ScratchArena>) -> Self {
-        Self { ctx: ctx.clone(), counters: OpCounters::new(), arena }
+        Self {
+            ctx: ctx.clone(),
+            counters: OpCounters::new(),
+            arena,
+            noise_millibits: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a worst-case noise estimate (in bits) for work evaluated
+    /// through this evaluator; keeps the maximum seen.
+    pub fn note_noise(&self, bits: f64) {
+        let millibits = (bits.max(0.0) * 1000.0) as u64;
+        self.noise_millibits.fetch_max(millibits, Ordering::Relaxed);
+    }
+
+    /// The largest noise estimate recorded so far, in bits.
+    pub fn noise_high_water_bits(&self) -> f64 {
+        self.noise_millibits.load(Ordering::Relaxed) as f64 / 1000.0
     }
 
     /// The scratch arena (shared with scratch evaluators).
@@ -162,7 +186,10 @@ impl Evaluator {
 
     /// `ct + pt` (Δ-scaled plaintext added to the body).
     pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        self.counters.bump(|c| c.add_plain += 1);
+        self.counters.bump(|c| {
+            c.add_plain += 1;
+            c.ntt += 1;
+        });
         let mut scaled = self.arena.take_uninit(&self.ctx, false);
         RnsPoly::scale_plain_into(&self.ctx, pt.coeffs(), &mut scaled);
         scaled.to_ntt(&self.ctx);
@@ -174,7 +201,10 @@ impl Evaluator {
 
     /// `ct - pt`.
     pub fn sub_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        self.counters.bump(|c| c.add_plain += 1);
+        self.counters.bump(|c| {
+            c.add_plain += 1;
+            c.ntt += 1;
+        });
         let mut scaled = self.arena.take_uninit(&self.ctx, false);
         RnsPoly::scale_plain_into(&self.ctx, pt.coeffs(), &mut scaled);
         scaled.to_ntt(&self.ctx);
@@ -189,7 +219,10 @@ impl Evaluator {
     /// prepared-weights plane hoists out of the hot path; counted as
     /// `mask_prep` so phase attribution can prove where encoding runs).
     pub fn prepare_mul_plain(&self, pt: &Plaintext) -> MulPlain {
-        self.counters.bump(|c| c.mask_prep += 1);
+        self.counters.bump(|c| {
+            c.mask_prep += 1;
+            c.ntt += 1;
+        });
         let is_zero = pt.coeffs().iter().all(|&c| c == 0);
         let mut poly = RnsPoly::lift_plain_centered(&self.ctx, pt.coeffs());
         poly.to_ntt(&self.ctx);
@@ -281,13 +314,35 @@ impl Evaluator {
     /// Panics unless the ciphertext has exactly 2 parts.
     pub fn hoist(&self, ct: &Ciphertext) -> HoistedCiphertext {
         assert_eq!(ct.size(), 2, "hoisting applies to size-2 ciphertexts");
+        self.counters.bump(|c| c.ntt += 1);
         let ctx = &self.ctx;
-        let mut c1 = ct.part(1).clone();
+        // The working copy of `c1` is scratch (every limb is overwritten
+        // by the copy below); the digits it decomposes into escape with
+        // the hoist and come back via `recycle_hoisted`.
+        let mut c1 = self.arena.take_uninit(ctx, true);
+        for i in 0..ctx.num_primes() {
+            c1.residues_mut(i).copy_from_slice(ct.part(1).residues(i));
+        }
         c1.to_coeff(ctx);
+        let digits = self.decompose_ntt(&c1);
+        self.arena.recycle(ctx, c1);
         HoistedCiphertext {
             c0: ct.part(0).clone(),
-            digits: self.decompose_ntt(&c1),
+            digits,
             digit_bits: ctx.params().decomp_bits(),
+        }
+    }
+
+    /// Returns a consumed hoist's digit storage to the scratch arena.
+    /// Every internal consumer ([`Evaluator::apply_galois`],
+    /// [`Evaluator::rotate_many`]) calls this when the hoist dies, so
+    /// rotation-heavy chains recycle their largest temporaries instead
+    /// of round-tripping the allocator `D` times per hoist.
+    pub fn recycle_hoisted(&self, h: HoistedCiphertext) {
+        for prime_digits in h.digits {
+            for digit in prime_digits {
+                self.arena.recycle(&self.ctx, digit);
+            }
         }
     }
 
@@ -333,7 +388,9 @@ impl Evaluator {
     /// rotation in the op counts.
     pub fn apply_galois(&self, ct: &Ciphertext, element: u64, key: &KskKey) -> Ciphertext {
         let h = self.hoist(ct);
-        self.apply_galois_hoisted(&h, element, key)
+        let out = self.apply_galois_hoisted(&h, element, key);
+        self.recycle_hoisted(h);
+        out
     }
 
     /// The coefficient-domain reference implementation of
@@ -344,7 +401,12 @@ impl Evaluator {
     /// for slot; not used by any protocol.
     pub fn apply_galois_coeff(&self, ct: &Ciphertext, element: u64, key: &KskKey) -> Ciphertext {
         assert_eq!(ct.size(), 2, "galois on size-2 ciphertexts only");
-        self.counters.bump(|c| c.rotations += 1);
+        self.counters.bump(|c| {
+            c.rotations += 1;
+            // Two inverse transforms to leave NTT form plus the forward
+            // transform of σ(c0); the digits count inside key_switch.
+            c.ntt += 3;
+        });
         let ctx = &self.ctx;
         let mut c0 = ct.part(0).clone();
         let mut c1 = ct.part(1).clone();
@@ -377,7 +439,7 @@ impl Evaluator {
     ) -> Result<Vec<Ciphertext>, HeError> {
         let n = self.ctx.n();
         let h = self.hoist(ct);
-        steps
+        let out: Result<Vec<Ciphertext>, HeError> = steps
             .iter()
             .map(|&step| {
                 let s = step % (n / 2);
@@ -388,7 +450,9 @@ impl Evaluator {
                 let key = keys.key_for(element).ok_or(HeError::MissingGaloisKey { step: s })?;
                 Ok(self.apply_galois_hoisted(&h, element, key))
             })
-            .collect()
+            .collect();
+        self.recycle_hoisted(h);
+        out
     }
 
     /// The RNS digit decomposition of a coefficient-form polynomial,
@@ -397,6 +461,9 @@ impl Evaluator {
     fn decompose_ntt(&self, poly_coeff: &RnsPoly) -> Vec<Vec<RnsPoly>> {
         let ctx = &self.ctx;
         let w = ctx.params().decomp_bits();
+        let total_digits: u64 =
+            ctx.moduli().iter().map(|m| digits_for_prime(m.value(), w) as u64).sum();
+        self.counters.bump(|c| c.ntt += total_digits);
         let mask = (1u128 << w) - 1;
         (0..ctx.num_primes())
             .map(|i| {
@@ -432,7 +499,10 @@ impl Evaluator {
         if ct.size() != 3 {
             return Err(HeError::WrongCiphertextSize { expected: 3, actual: ct.size() });
         }
-        self.counters.bump(|c| c.relin += 1);
+        self.counters.bump(|c| {
+            c.relin += 1;
+            c.ntt += 1;
+        });
         let ctx = &self.ctx;
         let mut c2 = ct.part(2).clone();
         c2.to_coeff(ctx);
@@ -463,8 +533,8 @@ impl Evaluator {
                 acc1.add_mul_pointwise_assign(ctx, digit, a);
             }
         }
-        // The digits die here (unlike `hoist`, where they escape into
-        // the HoistedCiphertext) — return their storage to the arena.
+        // The digits die here (a hoist's escape instead and come back
+        // via `recycle_hoisted`) — return their storage to the arena.
         for prime_digits in digits {
             for digit in prime_digits {
                 self.arena.recycle(ctx, digit);

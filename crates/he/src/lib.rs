@@ -46,6 +46,7 @@ pub mod galois;
 pub mod keys;
 pub mod modulus;
 pub mod mult;
+pub mod noise;
 pub mod ntt;
 pub mod params;
 pub mod poly;
@@ -62,6 +63,7 @@ pub use encryptor::Encryptor;
 pub use error::HeError;
 pub use eval::{Evaluator, HoistedCiphertext, MulPlain};
 pub use keys::{GaloisKeys, KeyGenerator, RelinKey, SecretKey};
+pub use noise::NoiseModel;
 pub use params::HeParams;
 
 /// Compile-time audit of the Sync story the parallel engine relies on:

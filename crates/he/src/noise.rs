@@ -1,0 +1,248 @@
+//! Worst-case additive noise accounting for the BFV evaluator.
+//!
+//! Every ciphertext decrypts as `c(s) = Δ·m + v (mod q)` and stays
+//! correct while `‖v‖∞ < Δ/2`. [`NoiseModel`] tracks a **worst-case
+//! bound** on `log2 ‖v‖∞` through the operations the Primer protocols
+//! use, so layout decisions (input-rotation diagonals trade rotations
+//! for key-switch noise that then gets multiplied by masks) can be
+//! gated *analytically*, per parameter profile, before any ciphertext
+//! exists. All quantities are log2 magnitudes ("bits"); composition is
+//! exact log-domain addition, not max, so bounds never under-count.
+//!
+//! The model is validated by decrypt-and-measure: the measured residual
+//! of a real ciphertext ([`crate::Encryptor::noise_budget`] reports
+//! `budget_bits − log2‖v‖∞`) must stay at or below the bound. Measured
+//! noise is typically far below it — random masks accumulate like a
+//! random walk (`√n`) while the bound charges the full `n` — which is
+//! exactly what makes the bound safe to gate on.
+//!
+//! Per-operation bounds (`n` ring degree, `t` plaintext modulus, `w`
+//! digit width, `D` total key-switch digits, `B_err = 6σ`):
+//!
+//! * fresh symmetric encryption: `v = e`, bound `B_err`;
+//! * ciphertext add: sum of bounds;
+//! * plaintext add: `+ t` (the `m + m'` wrap contributes `q mod t < t`);
+//! * rotation (key switch): `+ D·n·2^w·B_err`;
+//! * plaintext multiply by a centered-lifted mask `M` (`‖M‖∞ ≤ t/2`):
+//!   `n·‖M‖·bound + n·t²/4` — the first term is the input noise carried
+//!   through the negacyclic convolution, the second the `Δ·t`-wrap of
+//!   the plaintext product (`(q mod t)·k` with `k ≤ n·‖m‖·‖M‖/t`).
+
+use crate::keys::digits_for_prime;
+use crate::params::HeParams;
+
+/// Log-domain worst-case noise bounds for one parameter set.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    /// `log2 n`.
+    n_bits: f64,
+    /// `log2 t`.
+    t_bits: f64,
+    /// `log2 B_err` with `B_err = 6σ` (the standard high-probability
+    /// bound on a discrete-Gaussian coefficient).
+    err_bits: f64,
+    /// Key-switch digit width `w`.
+    digit_width: u32,
+    /// Total digits `D` across all RNS primes.
+    digit_total: u32,
+    /// `log2 Δ` with `Δ = ⌊q/t⌋`.
+    delta_bits: f64,
+}
+
+/// `log2(2^a + 2^b)` — exact log-domain addition of magnitudes.
+fn log2_add(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (1.0 + (lo - hi).exp2()).log2()
+}
+
+impl NoiseModel {
+    /// Builds the model for a parameter set.
+    pub fn new(params: &HeParams) -> Self {
+        let w = params.decomp_bits();
+        let digit_total: u32 =
+            params.moduli().iter().map(|&q| digits_for_prime(q, w)).sum();
+        let delta = params.q() / params.t() as u128;
+        Self {
+            n_bits: (params.n() as f64).log2(),
+            t_bits: (params.t() as f64).log2(),
+            err_bits: (6.0 * params.sigma()).log2(),
+            digit_width: w,
+            digit_total,
+            delta_bits: (delta as f64).log2(),
+        }
+    }
+
+    /// Bound on a fresh symmetric encryption's noise.
+    pub fn fresh_bits(&self) -> f64 {
+        self.err_bits
+    }
+
+    /// Total key-switch digits `D` across all RNS primes — the number of
+    /// inner products one rotation (or one hoisted apply) performs, used
+    /// by layout cost models to price rotations in NTT units.
+    pub fn digit_total(&self) -> u32 {
+        self.digit_total
+    }
+
+    /// The additive noise of one key switch (one elementary rotation):
+    /// `D·n·2^w·B_err`. This is what the input-rotation layout multiplies
+    /// by masks — the reason it needs a budget gate at all.
+    pub fn key_switch_bits(&self) -> f64 {
+        (self.digit_total as f64).log2() + self.n_bits + self.digit_width as f64 + self.err_bits
+    }
+
+    /// Bound after rotating a ciphertext whose bound is `input_bits`.
+    pub fn rotated_bits(&self, input_bits: f64) -> f64 {
+        log2_add(input_bits, self.key_switch_bits())
+    }
+
+    /// Bound after multiplying by a centered-lifted plaintext mask
+    /// (`‖M‖∞ ≤ t/2`): carried input noise plus the `Δ·t`-wrap term.
+    pub fn mul_plain_bits(&self, input_bits: f64) -> f64 {
+        let carried = input_bits + self.n_bits + self.t_bits - 1.0;
+        let wrap = self.n_bits + 2.0 * self.t_bits - 2.0;
+        log2_add(carried, wrap)
+    }
+
+    /// Bound after adding a plaintext (the slot-wise `m + m'` wrap
+    /// contributes at most `q mod t < t`).
+    pub fn add_plain_bits(&self, input_bits: f64) -> f64 {
+        log2_add(input_bits, self.t_bits)
+    }
+
+    /// Bound on the sum of two ciphertexts with the given bounds.
+    pub fn add_bits(a: f64, b: f64) -> f64 {
+        log2_add(a, b)
+    }
+
+    /// Bound on the sum of `count` ciphertexts sharing one bound.
+    pub fn sum_bits(term_bits: f64, count: u64) -> f64 {
+        if count == 0 {
+            return f64::NEG_INFINITY;
+        }
+        term_bits + (count as f64).log2()
+    }
+
+    /// The decryption budget: noise below `Δ/2` decrypts correctly, so a
+    /// chain whose bound stays under this many bits is safe.
+    pub fn budget_bits(&self) -> f64 {
+        self.delta_bits - 1.0
+    }
+
+    /// Converts [`crate::Encryptor::noise_budget`]'s *remaining budget*
+    /// into the measured noise magnitude (`log2 ‖v‖∞`) it corresponds
+    /// to, for comparison against an estimate. `noise_budget` clamps at
+    /// zero, so a fully-drowned ciphertext measures as the whole budget.
+    pub fn measured_bits(&self, remaining_budget: f64) -> f64 {
+        self.budget_bits() - remaining_budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::HeContext;
+    use crate::encoder::BatchEncoder;
+    use crate::encryptor::Encryptor;
+    use crate::eval::Evaluator;
+    use crate::keys::KeyGenerator;
+    use primer_math::rng::seeded;
+
+    fn all_profiles() -> Vec<HeParams> {
+        vec![
+            HeParams::toy(),
+            HeParams::test_2k(),
+            HeParams::test_2k_wide(),
+            HeParams::paper_8k(),
+        ]
+    }
+
+    /// Decrypt-and-measure: the worst-case bound must dominate the
+    /// measured noise of real ciphertexts at every stage of a
+    /// rotate-mask-accumulate chain, on every parameter profile.
+    #[test]
+    fn bound_dominates_measured_noise_on_all_profiles() {
+        for params in all_profiles() {
+            let ctx = HeContext::new(params.clone());
+            let model = NoiseModel::new(&params);
+            let enc = BatchEncoder::new(&ctx);
+            let mut rng = seeded(60);
+            let kg = KeyGenerator::new(&ctx, &mut rng);
+            let encr = Encryptor::new(&ctx, kg.secret_key().clone(), 61);
+            let eval = Evaluator::new(&ctx);
+            let gk = kg.galois_keys(&[3], false, &mut rng);
+            let t = params.t();
+            let vals: Vec<u64> = (0..ctx.n() as u64).map(|v| (v * 31 + 5) % t).collect();
+            let mask: Vec<u64> = (0..ctx.n() as u64).map(|v| (v * 17 + 2) % t).collect();
+
+            let ct = encr.encrypt(&enc.encode(&vals));
+            let measured = model.measured_bits(encr.noise_budget(&ct));
+            assert!(
+                measured <= model.fresh_bits(),
+                "fresh: measured {measured:.1} > bound {:.1} (n={})",
+                model.fresh_bits(),
+                params.n()
+            );
+
+            let rot = eval.rotate_rows(&ct, 3, &gk).expect("key present");
+            let rot_bound = model.rotated_bits(model.fresh_bits());
+            let measured = model.measured_bits(encr.noise_budget(&rot));
+            assert!(
+                measured <= rot_bound,
+                "rotated: measured {measured:.1} > bound {rot_bound:.1} (n={})",
+                params.n()
+            );
+
+            let mp = eval.prepare_mul_plain(&enc.encode(&mask));
+            let prod = eval.mul_plain(&rot, &mp);
+            let prod_bound = model.mul_plain_bits(rot_bound);
+            let measured = model.measured_bits(encr.noise_budget(&prod));
+            assert!(
+                measured <= prod_bound,
+                "masked: measured {measured:.1} > bound {prod_bound:.1} (n={})",
+                params.n()
+            );
+
+            // A short accumulation chain, as the matmul drivers run it.
+            let mut acc = eval.zero_ciphertext();
+            for _ in 0..4 {
+                eval.mul_plain_accumulate(&mut acc, &rot, &mp);
+            }
+            let acc_bound = NoiseModel::sum_bits(prod_bound, 4);
+            let measured = model.measured_bits(encr.noise_budget(&acc));
+            assert!(
+                measured <= acc_bound,
+                "accumulated: measured {measured:.1} > bound {acc_bound:.1} (n={})",
+                params.n()
+            );
+        }
+    }
+
+    #[test]
+    fn budget_orders_profiles_sensibly() {
+        // The wide test profile exists precisely because it has more
+        // headroom than toy; the model must reflect that.
+        let toy = NoiseModel::new(&HeParams::toy());
+        let wide = NoiseModel::new(&HeParams::test_2k_wide());
+        assert!(wide.budget_bits() > toy.budget_bits());
+        // On toy, a single masked *rotated* term already exceeds the
+        // budget (the gate that keeps input-rotation off that profile).
+        let term = toy.mul_plain_bits(toy.rotated_bits(toy.fresh_bits()));
+        assert!(term > toy.budget_bits(), "term {term:.1} vs budget {:.1}", toy.budget_bits());
+        // On the wide profile the same term leaves real headroom.
+        let term = wide.mul_plain_bits(wide.rotated_bits(wide.fresh_bits()));
+        assert!(
+            term < wide.budget_bits(),
+            "term {term:.1} vs budget {:.1}",
+            wide.budget_bits()
+        );
+    }
+
+    #[test]
+    fn log2_add_is_exact_on_equal_magnitudes() {
+        assert!((log2_add(10.0, 10.0) - 11.0).abs() < 1e-9);
+        assert!(log2_add(20.0, 0.0) > 20.0);
+        assert!(log2_add(20.0, 0.0) < 20.001);
+        assert_eq!(NoiseModel::sum_bits(5.0, 0), f64::NEG_INFINITY);
+    }
+}

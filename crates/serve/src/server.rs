@@ -66,6 +66,9 @@ impl ServerConfig {
 /// pin a worker slot forever.
 const HANDSHAKE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
 
+/// One lazily-built prepared plane (see `ServerShared::planes`).
+type PlaneCell = Arc<std::sync::OnceLock<Arc<ModelPlane>>>;
+
 /// State shared by the accept loop and every worker.
 struct ServerShared {
     config: ServerConfig,
@@ -74,14 +77,17 @@ struct ServerShared {
     /// Per-variant circuit cache (variant code → circuits); sessions of
     /// the same variant share one immutable circuit list.
     circuits: Mutex<HashMap<u8, Arc<Vec<Circuit>>>>,
-    /// Per-variant prepared-weights plane cache: the Setup-encoded
-    /// NTT-form masks of every session-constant matmul, shared read-only
-    /// by all concurrent sessions of that variant. One server serves one
-    /// model, so the cache key is the variant; the (model, variant)
-    /// pairing is the server itself. The map lock is only held to fetch
-    /// the per-variant cell — builds run inside the cell's `OnceLock`,
-    /// so one variant's encode never blocks another variant's sessions.
-    planes: Mutex<HashMap<u8, Arc<std::sync::OnceLock<Arc<ModelPlane>>>>>,
+    /// Prepared-weights plane cache: the Setup-encoded NTT-form masks of
+    /// every session-constant matmul, shared read-only by all concurrent
+    /// sessions of the same variant *and layout plan*. One server serves
+    /// one model, so the key is `(variant, layout fingerprint)` — the
+    /// fingerprint covers every per-matrix mode the selector picked, so
+    /// a `PRIMER_LAYOUT` policy change between sessions can never hand a
+    /// session a plane whose masks were built for different chains. The
+    /// map lock is only held to fetch the per-key cell — builds run
+    /// inside the cell's `OnceLock`, so one plane's encode never blocks
+    /// another key's sessions.
+    planes: Mutex<HashMap<(u8, String), PlaneCell>>,
     registry: Registry,
     gate: Gate,
 }
@@ -285,8 +291,10 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
     // the map lock briefly and proceed during an in-flight build.
     let plane = {
         let cell = {
+            let fp = primer_core::costmodel::layout::fingerprint(&shared.sys, hello.variant);
+            let key = (crate::proto::variant_code(hello.variant), fp);
             let mut cache = shared.planes.lock().expect("plane cache mutex poisoned");
-            Arc::clone(cache.entry(crate::proto::variant_code(hello.variant)).or_default())
+            Arc::clone(cache.entry(key).or_default())
         };
         let mut built = false;
         let plane = cell.get_or_init(|| {

@@ -42,17 +42,16 @@ fn two_concurrent_sessions_share_one_prepared_plane() {
     let local = ModelPlane::build(&sys, variant, &fixed);
     assert_eq!(stats.prepared.resident_mask_bytes, local.mask_bytes());
     assert!(local.is_prepared());
-    // Every step in the plane's rotation plan is one the client's Setup
-    // provisions a dedicated key for (pow2 strides plus the extras).
-    let stride = sys.padded_tokens();
+    // Every step in the plane's rotation plan — including the hoisted
+    // input-rotation steps, which admit no power-of-two fallback — is
+    // one the client's Setup provisions a dedicated key for.
     let simd = sys.simd_width();
+    let plan = primer_core::costmodel::layout::galois_steps(&sys, variant);
     let steps = local.rotation_steps();
     assert!(!steps.is_empty());
-    for &s in &steps {
-        assert!(
-            s.is_power_of_two() || [stride, simd - 1, simd - stride].contains(&s),
-            "step {s} lacks a dedicated galois key"
-        );
+    for &s in steps.iter().chain(&local.hoisted_steps()) {
+        let s = s % simd;
+        assert!(s == 0 || plan.contains(&s), "step {s} lacks a dedicated galois key");
     }
 
     // Shared plane ⇒ still reference-exact, for both sessions.

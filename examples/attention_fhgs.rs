@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release --example attention_fhgs`
 
-use primer::core::fhgs::{self, FhgsDims};
+use primer::core::fhgs::{self, FhgsDims, FhgsMode};
 use primer::core::{wire, Packing};
 use primer::he::{BatchEncoder, Encryptor, Evaluator, HeContext, HeParams, KeyGenerator};
 use primer::math::rng::seeded;
@@ -39,12 +39,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let ring = Ring::new(ctx_c.params().t());
             // Offline: ship the Beaver-style encrypted triple.
             let pre = fhgs::client_offline(
-                &ring, Packing::TokensFirst, dims, &encoder, &encryptor, &t, &mut seeded(33),
+                &ring,
+                FhgsMode::Diagonal(Packing::TokensFirst),
+                dims,
+                &encoder,
+                &encryptor,
+                &t,
+                &mut seeded(33),
             );
             // Online: the server works on masked operands only.
             wire::send_matrix(&t, &q_c.sub(&ring, &pre.rc_a));
             wire::send_matrix(&t, &kt_c.sub(&ring, &pre.rc_b));
-            fhgs::client_online(&pre, &ring, Packing::TokensFirst, &ctx_c, &encoder, &encryptor, &t)
+            fhgs::client_online(&pre, &ring, &ctx_c, &encoder, &encryptor, &t)
                 .expect("in-process flight")
         },
         move |t| {
@@ -52,7 +58,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let eval = Evaluator::new(&ctx_s);
             let ring = Ring::new(ctx_s.params().t());
             let pre = fhgs::server_offline(
-                &ring, Packing::TokensFirst, dims, &ctx_s, &encoder, &t, &mut seeded(34),
+                &ring,
+                FhgsMode::Diagonal(Packing::TokensFirst),
+                dims,
+                &ctx_s,
+                &encoder,
+                &t,
+                &mut seeded(34),
             )
             .expect("in-process flight");
             let ua = wire::recv_matrix(&t).expect("in-process flight");
