@@ -39,6 +39,14 @@ pub struct BenchRecord {
     /// Server-side multiplication-mask preparations per iteration
     /// (prepared sessions must show zero offline).
     pub mask_prep: Option<u64>,
+    /// Median wall-clock per iteration, milliseconds (`None` for
+    /// baselines recorded before percentiles were tracked, and for
+    /// single-iteration phases where percentiles are meaningless).
+    pub p50_ms: Option<f64>,
+    /// 95th-percentile wall-clock per iteration, milliseconds.
+    pub p95_ms: Option<f64>,
+    /// 99th-percentile wall-clock per iteration, milliseconds.
+    pub p99_ms: Option<f64>,
 }
 
 /// Serializes records as the committed `BENCH_*.json` format (one
@@ -52,6 +60,11 @@ pub fn to_json(records: &[BenchRecord]) -> String {
         {
             if let Some(v) = val {
                 ops.push_str(&format!(", \"{key}\": {v}"));
+            }
+        }
+        for (key, val) in [("p50_ms", r.p50_ms), ("p95_ms", r.p95_ms), ("p99_ms", r.p99_ms)] {
+            if let Some(v) = val {
+                ops.push_str(&format!(", \"{key}\": {v:.3}"));
             }
         }
         out.push_str(&format!(
@@ -215,6 +228,7 @@ impl<'a> Parser<'a> {
         let (mut bench, mut variant) = (None, None);
         let (mut threads, mut mean_ms, mut iters) = (None, None, None);
         let (mut rotations, mut ntt, mut mask_prep) = (None, None, None);
+        let (mut p50_ms, mut p95_ms, mut p99_ms) = (None, None, None);
         loop {
             self.skip_ws();
             let key = self.string()?;
@@ -230,6 +244,11 @@ impl<'a> Parser<'a> {
                 "rotations" => rotations = Some(self.number()? as u64),
                 "ntt" => ntt = Some(self.number()? as u64),
                 "mask_prep" => mask_prep = Some(self.number()? as u64),
+                // Percentiles arrived with the observability plane;
+                // absent in earlier baselines, so they stay optional.
+                "p50_ms" => p50_ms = Some(self.number()?),
+                "p95_ms" => p95_ms = Some(self.number()?),
+                "p99_ms" => p99_ms = Some(self.number()?),
                 other => return Err(format!("unknown key {other:?}")),
             }
             self.skip_ws();
@@ -248,6 +267,9 @@ impl<'a> Parser<'a> {
             rotations,
             ntt,
             mask_prep,
+            p50_ms,
+            p95_ms,
+            p99_ms,
         })
     }
 }
@@ -266,6 +288,9 @@ mod tests {
             rotations: None,
             ntt: None,
             mask_prep: None,
+            p50_ms: None,
+            p95_ms: None,
+            p99_ms: None,
         }
     }
 
@@ -279,7 +304,12 @@ mod tests {
                 mask_prep: Some(0),
                 ..record("offline", "f", 4, 812.5)
             },
-            record("online", "fpc", 4, 9.125),
+            BenchRecord {
+                p50_ms: Some(9.0),
+                p95_ms: Some(11.5),
+                p99_ms: Some(12.25),
+                ..record("online", "fpc", 4, 9.125)
+            },
         ];
         let parsed = parse_json(&to_json(&records)).expect("parse");
         assert_eq!(parsed, records);
@@ -302,6 +332,16 @@ mod tests {
             ..record("offline", "f", 1, 10.0)
         }];
         assert!(check_regressions(&with_ops, &parsed, 0.25).is_empty());
+        // Same contract for the percentile fields (new with the
+        // observability plane): current runs carrying them still gate
+        // against percentile-less baselines on mean_ms alone.
+        let with_pcts = vec![BenchRecord {
+            p50_ms: Some(9.5),
+            p95_ms: Some(12.0),
+            p99_ms: Some(12.5),
+            ..record("offline", "f", 1, 10.0)
+        }];
+        assert!(check_regressions(&with_pcts, &parsed, 0.25).is_empty());
     }
 
     #[test]

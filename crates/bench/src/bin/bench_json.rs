@@ -136,6 +136,19 @@ fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len().max(1) as f64
 }
 
+/// Exact sample percentiles over a phase's per-iteration wall-clocks —
+/// `None` for single-sample phases, where a percentile is just the mean
+/// again and would only pad the artifact.
+fn percentiles(xs: &[f64]) -> (Option<f64>, Option<f64>, Option<f64>) {
+    if xs.len() < 2 {
+        return (None, None, None);
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("wall-clock is never NaN"));
+    let p = |q| Some(primer_obs::percentile_of_sorted(&sorted, q));
+    (p(0.50), p(0.95), p(0.99))
+}
+
 fn variant_code(v: ProtocolVariant) -> &'static str {
     match v {
         ProtocolVariant::Base => "base",
@@ -232,8 +245,12 @@ fn main() {
                 rotations: None,
                 ntt: None,
                 mask_prep: None,
+                p50_ms: None,
+                p95_ms: None,
+                p99_ms: None,
             });
             let (rotations, ntt, mask_prep) = per_iter(&times.offline_ops, refills);
+            let (p50_ms, p95_ms, p99_ms) = percentiles(&times.offline_refill_ms);
             records.push(BenchRecord {
                 bench: "offline".into(),
                 variant: code.into(),
@@ -243,9 +260,13 @@ fn main() {
                 rotations,
                 ntt,
                 mask_prep,
+                p50_ms,
+                p95_ms,
+                p99_ms,
             });
             let (rotations, ntt, mask_prep) =
                 per_iter(&times.online_ops, times.online_query_ms.len());
+            let (p50_ms, p95_ms, p99_ms) = percentiles(&times.online_query_ms);
             records.push(BenchRecord {
                 bench: "online".into(),
                 variant: code.into(),
@@ -255,6 +276,9 @@ fn main() {
                 rotations,
                 ntt,
                 mask_prep,
+                p50_ms,
+                p95_ms,
+                p99_ms,
             });
         }
     }

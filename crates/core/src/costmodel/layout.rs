@@ -49,20 +49,53 @@ pub enum LayoutPolicy {
     ZeroRot,
 }
 
+impl LayoutPolicy {
+    /// Parses a `PRIMER_LAYOUT` value. A typo'd layout silently falling
+    /// back to `auto` would invalidate whatever experiment set it, so
+    /// unknown values are a hard error — surfaced as a typed
+    /// [`crate::ConfigError`] at config assembly (session Setup), long
+    /// before any layout decision is made.
+    ///
+    /// # Errors
+    ///
+    /// The offending value, verbatim, on anything but
+    /// `auto|output|input|zerorot`.
+    pub fn parse(value: &str) -> Result<LayoutPolicy, String> {
+        match value {
+            "auto" => Ok(LayoutPolicy::Auto),
+            "output" => Ok(LayoutPolicy::Output),
+            "input" => Ok(LayoutPolicy::Input),
+            "zerorot" => Ok(LayoutPolicy::ZeroRot),
+            other => Err(other.to_string()),
+        }
+    }
+
+    /// Reads `PRIMER_LAYOUT` (re-evaluated per call; see the module
+    /// docs). Unset means `auto`.
+    ///
+    /// # Errors
+    ///
+    /// The unrecognised value (see [`LayoutPolicy::parse`]).
+    pub fn from_env() -> Result<LayoutPolicy, String> {
+        match std::env::var("PRIMER_LAYOUT") {
+            Err(_) => Ok(LayoutPolicy::Auto),
+            Ok(v) => Self::parse(&v),
+        }
+    }
+}
+
 /// Reads `PRIMER_LAYOUT` (re-evaluated per call; see the module docs).
 ///
 /// # Panics
 ///
-/// Panics on an unrecognised value — a typo'd layout silently falling
-/// back to `auto` would invalidate whatever experiment set it.
+/// Panics on an unrecognised value. This is the backstop for callers
+/// that bypassed config assembly — [`crate::SystemConfig`] validates the
+/// variable with [`LayoutPolicy::from_env`] and rejects a typo as a
+/// typed [`crate::ConfigError`] before any session reaches this point.
 pub fn policy() -> LayoutPolicy {
-    match std::env::var("PRIMER_LAYOUT").as_deref() {
-        Ok("auto") | Err(_) => LayoutPolicy::Auto,
-        Ok("output") => LayoutPolicy::Output,
-        Ok("input") => LayoutPolicy::Input,
-        Ok("zerorot") => LayoutPolicy::ZeroRot,
-        Ok(other) => panic!("PRIMER_LAYOUT must be auto|output|input|zerorot, got {other:?}"),
-    }
+    LayoutPolicy::from_env().unwrap_or_else(|other| {
+        panic!("PRIMER_LAYOUT must be auto|output|input|zerorot, got {other:?}")
+    })
 }
 
 /// Whether the input-rotation chain for `Enc(X: rows × in_cols) · W

@@ -37,7 +37,8 @@ pub use gcmod::{GcMode, GcStepKind};
 pub use packing::{matmul_counts, MatmulCounts, MatmulWeights, Packing, PreparedMatmul};
 pub use session::{
     build_session_circuits, ClientOnline, ClientProducer, ClientSession, Engine, ModelPlane,
-    OfflinePool, ProtocolVariant, ServeRound, ServerOnline, ServerProducer, ServerSession,
+    OfflinePool, PoolWatch, ProtocolVariant, ServeRound, ServerOnline, ServerProducer,
+    ServerSession,
 };
 pub use stats::{
     argmax_logits, InferenceReport, PhaseCost, PhaseTotals, StepBreakdown, StepCategory,

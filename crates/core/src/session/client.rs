@@ -61,6 +61,7 @@ impl ClientSession {
         pool_target: usize,
         t: &dyn Transport,
     ) -> Self {
+        let _span = primer_obs::span!("session.setup", side = "client", variant = variant.name());
         let mut rng = derive(seed, "client");
         let encoder = BatchEncoder::new(&sys.he);
         let keygen = KeyGenerator::new(&sys.he, &mut rng);

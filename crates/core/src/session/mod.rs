@@ -31,7 +31,7 @@ pub mod server;
 
 pub use client::{ClientOnline, ClientProducer, ClientSession};
 pub use plane::ModelPlane;
-pub use pool::OfflinePool;
+pub use pool::{OfflinePool, PoolWatch};
 pub use server::{ServeRound, ServerOnline, ServerProducer, ServerSession};
 
 use crate::gcmod::{build_step_circuit, GcMode, GcStepKind};

@@ -437,6 +437,7 @@ pub(crate) fn produce_client_bundles(
     t: &dyn Transport,
     k: usize,
 ) -> Result<Vec<ClientBundle>, HeError> {
+    let _span = primer_obs::span!("offline.refill", side = "client", k = k);
     // Per-bundle seeds drawn in bundle order: masks and encryption
     // randomness become a function of the session rng alone, not of
     // worker scheduling.
@@ -645,6 +646,7 @@ pub(crate) fn produce_server_bundles(
     wire_mark: &mut TrafficSnapshot,
     k: usize,
 ) -> Result<Vec<ServerBundle>, HeError> {
+    let _span = primer_obs::span!("offline.refill", side = "server", k = k);
     let seeds: Vec<u64> = (0..k).map(|_| rng.gen()).collect();
     let mut timer = StepTimer::resume(t, *wire_mark);
 

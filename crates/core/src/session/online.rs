@@ -38,6 +38,7 @@ pub(crate) fn client_online(
     tokens: &[usize],
     t: &dyn Transport,
 ) -> Result<Vec<i64>, HeError> {
+    let _span = primer_obs::span!("online.infer", variant = core.variant.name());
     let cfg = &core.sys.model;
     let ring = core.sys.ring();
     let rb = ring_bits(ring.modulus());

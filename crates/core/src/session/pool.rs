@@ -115,6 +115,54 @@ impl<B> SharedPool<B> {
         self.state.lock().expect("pool mutex poisoned").closed = true;
         self.changed.notify_all();
     }
+
+    /// Bundles currently waiting in the pool (a racy instantaneous
+    /// reading — the producer and consumer keep moving; fine for
+    /// observability, never for control flow).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("pool mutex poisoned").bundles.len()
+    }
+
+    /// The pool bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// A type-erased live view of one session's [`SharedPool`] depth, for
+/// the `/stats` admin surface: the serving layer holds these without
+/// seeing the crate-private bundle types behind them. Cheap to clone;
+/// reading is one mutex lock on the watched pool.
+#[derive(Clone)]
+pub struct PoolWatch {
+    depth: std::sync::Arc<dyn Fn() -> usize + Send + Sync>,
+    capacity: usize,
+}
+
+impl PoolWatch {
+    pub(crate) fn new<B: Send + 'static>(pool: std::sync::Arc<SharedPool<B>>) -> Self {
+        let capacity = pool.capacity();
+        Self { depth: std::sync::Arc::new(move || pool.len()), capacity }
+    }
+
+    /// Bundles currently pooled (instantaneous, racy by nature).
+    pub fn depth(&self) -> usize {
+        (self.depth)()
+    }
+
+    /// The pool's bound (the negotiated pool target).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl std::fmt::Debug for PoolWatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolWatch")
+            .field("depth", &self.depth())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
 }
 
 /// Closes a [`SharedPool`] on drop — held by the producer's run loop so
@@ -207,6 +255,23 @@ mod tests {
         // The guard ran on the producer's unwind: drained + closed.
         assert_eq!(pool.take_blocking(), None);
         assert!(producer.join().is_err(), "producer must die loudly");
+    }
+
+    #[test]
+    fn pool_watch_reports_depth_without_seeing_the_bundle_type() {
+        use std::sync::Arc;
+        let pool: Arc<SharedPool<Vec<u8>>> = Arc::new(SharedPool::new(3));
+        let watch = PoolWatch::new(Arc::clone(&pool));
+        assert_eq!(watch.depth(), 0);
+        assert_eq!(watch.capacity(), 3);
+        pool.put_blocking(vec![1]);
+        pool.put_blocking(vec![2]);
+        assert_eq!(watch.depth(), 2);
+        let w2 = watch.clone();
+        pool.take_blocking();
+        assert_eq!(w2.depth(), 1);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.capacity(), 3);
     }
 
     #[test]

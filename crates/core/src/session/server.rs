@@ -2,13 +2,13 @@
 
 use super::offline::{produce_server_bundles, ServerBundle};
 use super::plane::ModelPlane;
-use super::pool::{refill_quota, OfflinePool, SharedPool, SharedPoolGuard};
+use super::pool::{refill_quota, OfflinePool, PoolWatch, SharedPool, SharedPoolGuard};
 use super::{online, ProtocolVariant};
 use crate::gcmod::GcMode;
 use crate::stats::{PhaseCost, StepBreakdown};
 use crate::system::SystemConfig;
 use primer_gc::{Circuit, OtGroup};
-use primer_he::{BatchEncoder, Evaluator, GaloisKeys, HeError, OpCounts};
+use primer_he::{BatchEncoder, Evaluator, GaloisKeys, HeError, OpCounters, OpCounts};
 use primer_math::rng::derive;
 use primer_math::MatZ;
 use primer_net::{MeteredTransport, TrafficSnapshot};
@@ -174,6 +174,7 @@ impl ServerSession {
         t: &dyn MeteredTransport,
     ) -> Result<Self, HeError> {
         assert_eq!(plane.variant(), variant, "model plane built for a different variant");
+        let _span = primer_obs::span!("session.setup", side = "server", variant = variant.name());
         let start = Instant::now();
         let rng = derive(seed, "server");
         let encoder = BatchEncoder::new(&sys.he);
@@ -340,6 +341,7 @@ fn serve_round(
     t: &dyn MeteredTransport,
     wire_mark: &mut TrafficSnapshot,
 ) -> Result<ServeRound, HeError> {
+    let _span = primer_obs::span!("online.serve", variant = core.variant.name());
     let ServerBundle { embed_rs, bservers, cls_rs, gc, mut steps, he, traffic } = bundle;
     let he_before = eval.counts();
     let online_traffic = online::server_online(
@@ -404,6 +406,12 @@ impl ServerProducer {
         }
         Ok(())
     }
+
+    /// A handle on this producer evaluator's HE op counters, for live
+    /// `/stats` reads while the producer thread runs.
+    pub fn he_counters(&self) -> Arc<OpCounters> {
+        self.eval.counters_handle()
+    }
 }
 
 /// The online half of a pipelined server session.
@@ -421,6 +429,18 @@ impl ServerOnline {
     /// planes are metered in `PreparedPlaneStats` instead).
     pub fn setup_cost(&self) -> PhaseCost {
         self.setup_cost
+    }
+
+    /// A type-erased live view of the shared offline-pool depth, for
+    /// the `/stats` admin surface.
+    pub fn pool_watch(&self) -> PoolWatch {
+        PoolWatch::new(Arc::clone(&self.pool))
+    }
+
+    /// A handle on the online evaluator's HE op counters, for live
+    /// `/stats` reads while the session serves.
+    pub fn he_counters(&self) -> Arc<OpCounters> {
+        self.eval.counters_handle()
     }
 
     /// Serves one query's online phase, blocking until the producer has

@@ -84,6 +84,17 @@ impl PhaseCost {
         self.messages += traffic.total_messages();
     }
 
+    /// Publishes this cost into an observability registry under
+    /// `phase.<phase>.*`: the compute time into a latency histogram
+    /// (nanoseconds, so the registry can later report p50/p95/p99) and
+    /// the traffic into counters. The registry is the accumulator; this
+    /// struct stays the per-phase carrier (DESIGN.md §13).
+    pub fn publish(&self, registry: &primer_obs::Registry, phase: &str) {
+        registry.histogram(&format!("phase.{phase}.ns")).record_duration(self.compute);
+        registry.counter(&format!("phase.{phase}.bytes")).add(self.bytes);
+        registry.counter(&format!("phase.{phase}.messages")).add(self.messages);
+    }
+
     /// Merges another cost into this one.
     pub fn merge(&mut self, other: &PhaseCost) {
         self.compute += other.compute;

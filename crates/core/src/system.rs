@@ -18,6 +18,14 @@ pub enum ConfigError {
         /// Available slots per row.
         slots: usize,
     },
+    /// `PRIMER_LAYOUT` is set to something other than
+    /// `auto|output|input|zerorot`. Rejected here, at assembly, so a
+    /// typo'd experiment fails at session Setup with a typed error
+    /// instead of panicking deep inside the first layout decision.
+    InvalidLayoutPolicy {
+        /// The offending value, verbatim.
+        value: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -25,6 +33,9 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::TokensExceedSlots { padded, slots } => {
                 write!(f, "padded token count {padded} exceeds HE row size {slots}")
+            }
+            ConfigError::InvalidLayoutPolicy { value } => {
+                write!(f, "PRIMER_LAYOUT must be auto|output|input|zerorot, got {value:?}")
             }
         }
     }
@@ -105,6 +116,12 @@ impl SystemConfig {
         let slots = he.params().row_size();
         if padded > slots {
             return Err(ConfigError::TokensExceedSlots { padded, slots });
+        }
+        // Layout policy is re-read from the environment on every
+        // selector call, but a bad value is rejected once, here, so the
+        // failure surfaces at session Setup as a typed error.
+        if let Err(value) = crate::costmodel::layout::LayoutPolicy::from_env() {
+            return Err(ConfigError::InvalidLayoutPolicy { value });
         }
         let ring = Ring::new(he.params().t());
         let pipeline = PipelineSpec::new(ring, fixed, gc_frac);

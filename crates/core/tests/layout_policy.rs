@@ -1,0 +1,36 @@
+//! `PRIMER_LAYOUT` validation at config assembly.
+//!
+//! Lives in its own integration binary because it mutates the
+//! process-global environment: the core unit tests run threads that
+//! call `SystemConfig::test_profile` concurrently, and a bad
+//! `PRIMER_LAYOUT` set from another thread would poison them. A
+//! dedicated test binary is a dedicated process.
+
+use primer_core::{ConfigError, SystemConfig};
+use primer_nn::TransformerConfig;
+
+#[test]
+fn typoed_layout_policy_is_a_typed_setup_error() {
+    let model = TransformerConfig::test_tiny();
+
+    // Every valid value assembles.
+    for good in ["auto", "output", "input", "zerorot"] {
+        std::env::set_var("PRIMER_LAYOUT", good);
+        assert!(
+            SystemConfig::test_profile(&model).is_ok(),
+            "valid policy {good:?} must assemble"
+        );
+    }
+
+    // A typo is rejected at assembly — a typed error naming the value,
+    // not a panic deep inside the first layout decision.
+    std::env::set_var("PRIMER_LAYOUT", "outpt");
+    let err = SystemConfig::test_profile(&model).expect_err("typo must be rejected");
+    assert_eq!(err, ConfigError::InvalidLayoutPolicy { value: "outpt".into() });
+    let msg = err.to_string();
+    assert!(msg.contains("outpt") && msg.contains("PRIMER_LAYOUT"), "unhelpful message: {msg}");
+
+    // Unset means auto.
+    std::env::remove_var("PRIMER_LAYOUT");
+    assert!(SystemConfig::test_profile(&model).is_ok());
+}

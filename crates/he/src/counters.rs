@@ -74,6 +74,35 @@ impl OpCounts {
         }
     }
 
+    /// The counts as `(metric name, value)` pairs under the `he.`
+    /// namespace — the registry view of this struct (DESIGN.md §13).
+    pub fn as_named(&self) -> [(&'static str, u64); 10] {
+        [
+            ("he.rotations", self.rotations),
+            ("he.mul_plain", self.mul_plain),
+            ("he.add", self.add),
+            ("he.add_plain", self.add_plain),
+            ("he.encrypt", self.encrypt),
+            ("he.decrypt", self.decrypt),
+            ("he.mul_ct", self.mul_ct),
+            ("he.relin", self.relin),
+            ("he.mask_prep", self.mask_prep),
+            ("he.ntt", self.ntt),
+        ]
+    }
+
+    /// Publishes this snapshot as counter increments into `registry`
+    /// (names per [`OpCounts::as_named`]). Call with a *delta* at a
+    /// phase boundary — the registry accumulates; the struct stays the
+    /// transient carrier.
+    pub fn publish(&self, registry: &primer_obs::Registry) {
+        for (name, v) in self.as_named() {
+            if v != 0 {
+                registry.counter(name).add(v);
+            }
+        }
+    }
+
     /// Total op count (all kinds). `ntt` is excluded: it is a derived
     /// cost measure of the ops above, not an operation of its own, and
     /// including it would double-count.
@@ -182,6 +211,22 @@ impl OpCounters {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn publish_accumulates_deltas_into_a_registry() {
+        let reg = primer_obs::Registry::new();
+        let a = OpCounts { rotations: 2, ntt: 5, ..Default::default() };
+        let b = OpCounts { rotations: 1, mask_prep: 7, ..Default::default() };
+        a.publish(&reg);
+        b.publish(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("he.rotations"), Some(3));
+        assert_eq!(snap.counter("he.ntt"), Some(5));
+        assert_eq!(snap.counter("he.mask_prep"), Some(7));
+        // Zero fields never register (keeps /stats output dense).
+        assert_eq!(snap.counter("he.mul_ct"), None);
+        assert_eq!(a.as_named().map(|(_, v)| v).iter().sum::<u64>(), 7);
+    }
 
     #[test]
     fn bump_and_diff() {

@@ -71,7 +71,9 @@ pub struct HoistedCiphertext {
 #[derive(Debug)]
 pub struct Evaluator {
     ctx: HeContext,
-    counters: OpCounters,
+    /// Shared so the serving stack can watch a live session's op counts
+    /// from its `/stats` thread while the evaluator is hot elsewhere.
+    counters: Arc<OpCounters>,
     arena: Arc<ScratchArena>,
     /// High-water mark of *estimated* worst-case noise, in millibits
     /// (`u64` so it can be a lock-free `fetch_max`). The packed-matmul
@@ -95,7 +97,7 @@ impl Evaluator {
     pub fn with_arena(ctx: &HeContext, arena: Arc<ScratchArena>) -> Self {
         Self {
             ctx: ctx.clone(),
-            counters: OpCounters::new(),
+            counters: Arc::new(OpCounters::new()),
             arena,
             noise_millibits: AtomicU64::new(0),
         }
@@ -126,6 +128,12 @@ impl Evaluator {
     /// Operation counters.
     pub fn counters(&self) -> &OpCounters {
         &self.counters
+    }
+
+    /// A shared handle to the counters — what a live `/stats` poll reads
+    /// while this evaluator is busy on another thread.
+    pub fn counters_handle(&self) -> Arc<OpCounters> {
+        Arc::clone(&self.counters)
     }
 
     /// Snapshot of the counters.
@@ -314,6 +322,7 @@ impl Evaluator {
     /// Panics unless the ciphertext has exactly 2 parts.
     pub fn hoist(&self, ct: &Ciphertext) -> HoistedCiphertext {
         assert_eq!(ct.size(), 2, "hoisting applies to size-2 ciphertexts");
+        let _span = primer_obs::span!("he.hoist");
         self.counters.bump(|c| c.ntt += 1);
         let ctx = &self.ctx;
         // The working copy of `c1` is scratch (every limb is overwritten
@@ -387,6 +396,7 @@ impl Evaluator {
     /// (hoist + one hoisted application). One call = one elementary
     /// rotation in the op counts.
     pub fn apply_galois(&self, ct: &Ciphertext, element: u64, key: &KskKey) -> Ciphertext {
+        let _span = primer_obs::span!("he.rotate", element = element);
         let h = self.hoist(ct);
         let out = self.apply_galois_hoisted(&h, element, key);
         self.recycle_hoisted(h);
@@ -437,6 +447,7 @@ impl Evaluator {
         steps: &[usize],
         keys: &GaloisKeys,
     ) -> Result<Vec<Ciphertext>, HeError> {
+        let _span = primer_obs::span!("he.rotate_many", steps = steps.len());
         let n = self.ctx.n();
         let h = self.hoist(ct);
         let out: Result<Vec<Ciphertext>, HeError> = steps

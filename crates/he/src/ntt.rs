@@ -121,6 +121,7 @@ impl NttTables {
     /// Panics if `a.len() != n`.
     pub fn forward_at(&self, a: &mut [u64], lvl: SimdLevel) {
         assert_eq!(a.len(), self.n, "length mismatch");
+        let _span = primer_obs::span!("ntt.forward");
         let p = self.modulus.value();
         let mut t = self.n;
         let mut m = 1usize;
@@ -154,6 +155,7 @@ impl NttTables {
     /// Panics if `a.len() != n`.
     pub fn inverse_at(&self, a: &mut [u64], lvl: SimdLevel) {
         assert_eq!(a.len(), self.n, "length mismatch");
+        let _span = primer_obs::span!("ntt.inverse");
         let p = self.modulus.value();
         let mut t = 1usize;
         let mut m = self.n;

@@ -36,6 +36,7 @@
 pub mod mem;
 pub mod metering;
 pub mod model;
+pub mod recording;
 pub mod shaped;
 pub mod tcp;
 pub mod transport;
@@ -43,6 +44,7 @@ pub mod transport;
 pub use mem::{run_two_party, run_two_party_persistent, MemTransport};
 pub use metering::{Meter, TrafficSnapshot};
 pub use model::NetworkModel;
+pub use recording::{RecordingTransport, TranscriptHandle};
 pub use shaped::{LinkShaper, ShapedTransport};
 pub use tcp::{TcpConnection, TcpTransport};
 pub use transport::{wire, MeteredTransport, Transport};

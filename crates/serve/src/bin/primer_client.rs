@@ -4,6 +4,7 @@
 //! primer-client [--addr 127.0.0.1:9470] [--variant base|f|fp|fpc]
 //!               [--mode simulated|garbled] [--queries N] [--pool N] [--seed N]
 //!               [--threads N] [--tokens "1,2,3,4;5,6,7,8"] [--wan | --lan]
+//!               [--stats]
 //! ```
 //!
 //! `--threads` overrides the `PRIMER_THREADS` environment variable (the
@@ -12,17 +13,22 @@
 //! Without `--tokens`, generates `--queries` random token sequences
 //! from `--seed`. Prints one line per prediction plus the server's
 //! session summary.
+//!
+//! `--stats` runs no queries: it polls the server's live `/stats`
+//! admin surface and prints the snapshot (sessions by state, pool
+//! depths, worker occupancy, plane cache, per-phase percentiles,
+//! per-channel traffic, HE op counts).
 
 use primer_core::{GcMode, ProtocolVariant};
 use primer_net::NetworkModel;
-use primer_serve::{run_queries, run_random_queries, ClientConfig};
+use primer_serve::{poll_stats, run_queries, run_random_queries, ClientConfig};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage: primer-client [--addr HOST:PORT] [--variant base|f|fp|fpc] \
          [--mode simulated|garbled] [--queries N] [--pool N] [--seed N] \
-         [--threads N] [--tokens \"1,2,3;4,5,6\"] [--wan | --lan]"
+         [--threads N] [--tokens \"1,2,3;4,5,6\"] [--wan | --lan] [--stats]"
     );
     exit(2);
 }
@@ -32,6 +38,7 @@ fn main() {
     let mut cfg = ClientConfig::new(ProtocolVariant::Fpc);
     let mut queries = 1usize;
     let mut tokens: Option<Vec<Vec<usize>>> = None;
+    let mut stats = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -73,6 +80,7 @@ fn main() {
             "--tokens" => tokens = Some(parse_tokens(&value(&mut i))),
             "--wan" => cfg.shape = Some(NetworkModel::paper_wan()),
             "--lan" => cfg.shape = Some(NetworkModel::paper_lan()),
+            "--stats" => stats = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -80,6 +88,19 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    // --stats is an admin poll, not a session: one request frame on the
+    // control channel, answered even while every worker slot is busy.
+    if stats {
+        match poll_stats(&addr) {
+            Ok(snap) => print!("{}", snap.render()),
+            Err(e) => {
+                eprintln!("stats poll: {e}");
+                exit(1);
+            }
+        }
+        return;
     }
 
     // Explicit tokens fix the query list; otherwise random queries are

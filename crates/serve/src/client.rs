@@ -1,7 +1,9 @@
 //! The client side: connect, negotiate, run queries over a pipelined
 //! session, collect the server's summary.
 
-use crate::proto::{ClientHello, ProtoError, ServerWelcome, SessionSummary};
+use crate::proto::{
+    ClientHello, ProtoError, ServerWelcome, SessionSummary, StatsRequest, StatsSnapshot,
+};
 use crate::{maybe_shaped, system_for, CH_CONTROL, CH_OFFLINE, CH_ONLINE};
 use primer_core::{argmax_logits, build_session_circuits, ClientSession, GcMode, ProtocolVariant};
 use primer_math::rng::seeded;
@@ -169,6 +171,21 @@ pub fn run_random_queries<A: ToSocketAddrs>(
             .map(|_| (0..model.n_tokens).map(|_| rng.gen_range(0..model.vocab)).collect())
             .collect())
     })
+}
+
+/// Polls a running server's live `/stats` surface: connects, sends one
+/// [`StatsRequest`] on the control channel and decodes the snapshot.
+/// The poll is answered out-of-band — it never occupies a session
+/// worker slot, so it works even while every worker is busy.
+///
+/// # Errors
+///
+/// [`ClientError`] on socket failures or a malformed/rejected reply.
+pub fn poll_stats<A: ToSocketAddrs>(addr: A) -> Result<StatsSnapshot, ClientError> {
+    let mut conn = TcpConnection::connect(addr)?;
+    let control = maybe_shaped(conn.take_channel(CH_CONTROL), None);
+    control.send(&StatsRequest.encode());
+    Ok(StatsSnapshot::decode(&control.recv())?)
 }
 
 /// The shared client run: handshake, then build queries from the

@@ -17,7 +17,7 @@
 //! |---------|----------|---------|
 //! | 0 | [`CH_ONLINE`]  | Setup (Galois keys) + per-query online phases |
 //! | 1 | [`CH_OFFLINE`] | pipelined offline bundle production |
-//! | 2 | [`CH_CONTROL`] | handshake + end-of-session stats |
+//! | 2 | [`CH_CONTROL`] | handshake + end-of-session stats + live `/stats` polls |
 //!
 //! Keeping the phases on separate channels (each with its own meter) is
 //! what lets a session's offline producer run *while* online queries
@@ -40,8 +40,13 @@ pub mod proto;
 pub mod registry;
 pub mod server;
 
-pub use client::{run_queries, run_random_queries, ClientConfig, ClientError, Prediction, RunOutcome};
-pub use proto::{ClientHello, Profile, ProtoError, ServerWelcome, SessionSummary};
+pub use client::{
+    poll_stats, run_queries, run_random_queries, ClientConfig, ClientError, Prediction, RunOutcome,
+};
+pub use proto::{
+    ClientHello, PhaseStat, Profile, ProtoError, ServerWelcome, SessionState, SessionStat,
+    SessionSummary, StatsRequest, StatsSnapshot,
+};
 pub use registry::{ServerStats, SessionRecord};
 pub use server::{Server, ServerConfig};
 

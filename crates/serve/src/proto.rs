@@ -33,10 +33,18 @@ use primer_nn::TransformerConfig;
 /// parallel producers batch bundle production by it, which shapes the
 /// wire schedule — both parties must use the identical value), and
 /// [`SessionSummary`] records the server's thread count.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3: the control channel's first frame may be a [`StatsRequest`]
+/// (magic `PRST`) instead of a hello — a live admin poll answered with
+/// a [`StatsSnapshot`] that never consumes a session worker slot.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Magic prefix of every hello frame.
 pub const MAGIC: [u8; 4] = *b"PRMR";
+
+/// Magic prefix of a stats-poll frame (discriminates the connection's
+/// first control frame from a [`ClientHello`]).
+pub const STATS_MAGIC: [u8; 4] = *b"PRST";
 
 /// Errors raised while decoding a peer's frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -415,6 +423,379 @@ impl SessionSummary {
     }
 }
 
+// ---- stats polling -------------------------------------------------------
+
+/// Whether a control frame opens a stats poll (vs a session hello).
+/// Only the magic is inspected; version problems surface in
+/// [`StatsRequest::decode`] so the server can answer with a reasoned
+/// rejection instead of dropping the connection.
+pub fn is_stats_frame(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == STATS_MAGIC
+}
+
+/// A live stats poll: sent as the connection's **first** control frame
+/// in place of a [`ClientHello`]. The server answers with one
+/// [`StatsSnapshot`] frame and closes; the poll never acquires a
+/// session worker slot and never counts toward a bounded accept run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsRequest;
+
+impl StatsRequest {
+    /// Encodes the poll frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&STATS_MAGIC);
+        put_u32(&mut out, PROTOCOL_VERSION);
+        out
+    }
+
+    /// Decodes a poll frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on truncation, bad magic or version.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(c.take(4)?);
+        if magic != STATS_MAGIC {
+            return Err(ProtoError::BadMagic);
+        }
+        let version = c.u32()?;
+        if version != PROTOCOL_VERSION {
+            return Err(ProtoError::VersionMismatch { theirs: version });
+        }
+        Ok(Self)
+    }
+}
+
+/// Where one session stands, as the stats frame reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Hello decoded, welcome not yet sent.
+    Handshake,
+    /// Setup phase: key flight + plane wiring.
+    Setup,
+    /// Serving queries.
+    Serving,
+    /// All booked queries served, summary sent.
+    Completed,
+    /// Failed partway (protocol error, timeout, worker panic).
+    Failed,
+}
+
+pub(crate) fn state_code(s: SessionState) -> u8 {
+    match s {
+        SessionState::Handshake => 0,
+        SessionState::Setup => 1,
+        SessionState::Serving => 2,
+        SessionState::Completed => 3,
+        SessionState::Failed => 4,
+    }
+}
+
+pub(crate) fn state_from_code(c: u8) -> Result<SessionState, ProtoError> {
+    Ok(match c {
+        0 => SessionState::Handshake,
+        1 => SessionState::Setup,
+        2 => SessionState::Serving,
+        3 => SessionState::Completed,
+        4 => SessionState::Failed,
+        _ => return Err(ProtoError::BadCode(c)),
+    })
+}
+
+impl SessionState {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SessionState::Handshake => "handshake",
+            SessionState::Setup => "setup",
+            SessionState::Serving => "serving",
+            SessionState::Completed => "completed",
+            SessionState::Failed => "failed",
+        }
+    }
+}
+
+/// One session's live line in a [`StatsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStat {
+    /// Server-assigned session id.
+    pub id: u64,
+    /// Variant the session runs.
+    pub variant: ProtocolVariant,
+    /// Where the session stands right now.
+    pub state: SessionState,
+    /// Queries already served.
+    pub queries_done: u64,
+    /// Queries the hello booked.
+    pub queries_booked: u64,
+    /// Offline bundles currently waiting in the session's shared pool
+    /// (an instantaneous racy reading; 0 before the pipeline starts).
+    pub pool_depth: u64,
+    /// The negotiated pool bound (0 before the pipeline starts).
+    pub pool_capacity: u64,
+}
+
+/// One phase-latency histogram summary (nanoseconds), carried per phase
+/// name in a [`StatsSnapshot`]. Percentiles are the registry
+/// histogram's log-bucket interpolations — the live analogue of
+/// `bench-json`'s exact sample percentiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of all samples, ns.
+    pub sum_ns: u64,
+    /// Smallest sample, ns.
+    pub min_ns: u64,
+    /// Largest sample, ns.
+    pub max_ns: u64,
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 95th percentile, ns.
+    pub p95_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+}
+
+/// The server's answer to a [`StatsRequest`]: a consistent-enough
+/// point-in-time picture of the whole serving plane. Counters are
+/// cumulative since server start (completed sessions keep counting);
+/// gauges and per-session lines are instantaneous.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Session workers currently holding a slot.
+    pub workers_active: u64,
+    /// The configured worker cap.
+    pub workers_cap: u64,
+    /// Session-intent connections blocked waiting for a slot.
+    pub backlog: u64,
+    /// Prepared planes built (cache misses).
+    pub planes_built: u64,
+    /// Sessions served from an already-encoded plane (cache hits).
+    pub planes_reused: u64,
+    /// Bytes pinned by cached planes' NTT-form masks.
+    pub plane_resident_mask_bytes: u64,
+    /// Wall-clock spent encoding planes, milliseconds.
+    pub plane_build_ms: u64,
+    /// One line per session the server has seen, in id order.
+    pub sessions: Vec<SessionStat>,
+    /// Cumulative HE op counts across all sessions (`he.*` names; zero
+    /// counts are omitted).
+    pub he_ops: Vec<(String, u64)>,
+    /// Per-phase latency summaries (`setup`, `offline`, `online`).
+    pub phases: Vec<(String, PhaseStat)>,
+    /// Per-channel traffic totals (`online`, `offline`, `control`).
+    pub channels: Vec<(String, TrafficSnapshot)>,
+}
+
+impl StatsSnapshot {
+    /// Encodes the snapshot (status-OK) frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![STATUS_OK];
+        for v in [
+            self.workers_active,
+            self.workers_cap,
+            self.backlog,
+            self.planes_built,
+            self.planes_reused,
+            self.plane_resident_mask_bytes,
+            self.plane_build_ms,
+        ] {
+            put_u64(&mut out, v);
+        }
+        put_u32(&mut out, self.sessions.len() as u32);
+        for s in &self.sessions {
+            put_u64(&mut out, s.id);
+            out.push(variant_code(s.variant));
+            out.push(state_code(s.state));
+            put_u64(&mut out, s.queries_done);
+            put_u64(&mut out, s.queries_booked);
+            put_u64(&mut out, s.pool_depth);
+            put_u64(&mut out, s.pool_capacity);
+        }
+        put_u32(&mut out, self.he_ops.len() as u32);
+        for (name, v) in &self.he_ops {
+            put_string(&mut out, name);
+            put_u64(&mut out, *v);
+        }
+        put_u32(&mut out, self.phases.len() as u32);
+        for (name, p) in &self.phases {
+            put_string(&mut out, name);
+            for v in [p.count, p.sum_ns, p.min_ns, p.max_ns, p.p50_ns, p.p95_ns, p.p99_ns] {
+                put_u64(&mut out, v);
+            }
+        }
+        put_u32(&mut out, self.channels.len() as u32);
+        for (name, t) in &self.channels {
+            put_string(&mut out, name);
+            for v in [t.c2s_bytes, t.s2c_bytes, t.c2s_messages, t.s2c_messages] {
+                put_u64(&mut out, v);
+            }
+        }
+        out
+    }
+
+    /// Encodes a rejection with a reason (e.g. a version-mismatched
+    /// poll).
+    pub fn encode_reject(reason: &str) -> Vec<u8> {
+        let mut out = vec![STATUS_REJECT];
+        put_string(&mut out, reason);
+        out
+    }
+
+    /// Decodes a snapshot or rejection frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Rejected`] when the server declined the poll,
+    /// other [`ProtoError`]s on malformed frames.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        match c.u8()? {
+            STATUS_OK => {}
+            STATUS_REJECT => return Err(ProtoError::Rejected(c.string()?)),
+            other => return Err(ProtoError::BadCode(other)),
+        }
+        let workers_active = c.u64()?;
+        let workers_cap = c.u64()?;
+        let backlog = c.u64()?;
+        let planes_built = c.u64()?;
+        let planes_reused = c.u64()?;
+        let plane_resident_mask_bytes = c.u64()?;
+        let plane_build_ms = c.u64()?;
+        let n = c.u32()? as usize;
+        let mut sessions = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            sessions.push(SessionStat {
+                id: c.u64()?,
+                variant: variant_from_code(c.u8()?)?,
+                state: state_from_code(c.u8()?)?,
+                queries_done: c.u64()?,
+                queries_booked: c.u64()?,
+                pool_depth: c.u64()?,
+                pool_capacity: c.u64()?,
+            });
+        }
+        let n = c.u32()? as usize;
+        let mut he_ops = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            he_ops.push((c.string()?, c.u64()?));
+        }
+        let n = c.u32()? as usize;
+        let mut phases = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let name = c.string()?;
+            phases.push((
+                name,
+                PhaseStat {
+                    count: c.u64()?,
+                    sum_ns: c.u64()?,
+                    min_ns: c.u64()?,
+                    max_ns: c.u64()?,
+                    p50_ns: c.u64()?,
+                    p95_ns: c.u64()?,
+                    p99_ns: c.u64()?,
+                },
+            ));
+        }
+        let n = c.u32()? as usize;
+        let mut channels = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let name = c.string()?;
+            channels.push((
+                name,
+                TrafficSnapshot {
+                    c2s_bytes: c.u64()?,
+                    s2c_bytes: c.u64()?,
+                    c2s_messages: c.u64()?,
+                    s2c_messages: c.u64()?,
+                },
+            ));
+        }
+        Ok(Self {
+            workers_active,
+            workers_cap,
+            backlog,
+            planes_built,
+            planes_reused,
+            plane_resident_mask_bytes,
+            plane_build_ms,
+            sessions,
+            he_ops,
+            phases,
+            channels,
+        })
+    }
+
+    /// Human-readable rendering (what `primer-client --stats` prints).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "workers: {}/{} active, {} backlogged",
+            self.workers_active, self.workers_cap, self.backlog
+        );
+        let _ = writeln!(
+            out,
+            "prepared planes: {} built ({} ms), {} reused, {:.1} MiB resident masks",
+            self.planes_built,
+            self.plane_build_ms,
+            self.planes_reused,
+            self.plane_resident_mask_bytes as f64 / (1024.0 * 1024.0),
+        );
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<11} {:<10} {:>9}  {:>11}",
+            "id", "variant", "state", "queries", "pool"
+        );
+        for s in &self.sessions {
+            let _ = writeln!(
+                out,
+                "{:>4}  {:<11} {:<10} {:>4}/{:<4}  {:>5}/{:<5}",
+                s.id,
+                s.variant.name(),
+                s.state.name(),
+                s.queries_done,
+                s.queries_booked,
+                s.pool_depth,
+                s.pool_capacity,
+            );
+        }
+        for (name, p) in &self.phases {
+            let _ = writeln!(
+                out,
+                "phase {:<8} n={:<5} p50={:.2}ms p95={:.2}ms p99={:.2}ms max={:.2}ms",
+                name,
+                p.count,
+                p.p50_ns as f64 / 1e6,
+                p.p95_ns as f64 / 1e6,
+                p.p99_ns as f64 / 1e6,
+                p.max_ns as f64 / 1e6,
+            );
+        }
+        for (name, t) in &self.channels {
+            let _ = writeln!(
+                out,
+                "channel {:<8} c2s {} B / {} msgs, s2c {} B / {} msgs",
+                name, t.c2s_bytes, t.c2s_messages, t.s2c_bytes, t.s2c_messages
+            );
+        }
+        if !self.he_ops.is_empty() {
+            let ops: Vec<String> = self
+                .he_ops
+                .iter()
+                .map(|(n, v)| format!("{}={v}", n.strip_prefix("he.").unwrap_or(n)))
+                .collect();
+            let _ = writeln!(out, "he ops: {}", ops.join(" "));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,6 +858,95 @@ mod tests {
             ServerWelcome::decode(&bytes),
             Err(ProtoError::Rejected("over capacity".into()))
         );
+    }
+
+    #[test]
+    fn stats_request_is_discriminated_from_hello() {
+        let req = StatsRequest.encode();
+        assert!(is_stats_frame(&req));
+        assert_eq!(StatsRequest::decode(&req), Ok(StatsRequest));
+        let hello = ClientHello {
+            variant: ProtocolVariant::Fp,
+            mode: GcMode::Simulated,
+            queries: 1,
+            pool: 1,
+        }
+        .encode();
+        assert!(!is_stats_frame(&hello));
+        assert!(!is_stats_frame(b"PR"));
+        // A version-skewed poll decodes to a reasoned error, so the
+        // server can reject it instead of hanging up.
+        let mut old = req.clone();
+        old[4] = 2;
+        assert!(matches!(
+            StatsRequest::decode(&old),
+            Err(ProtoError::VersionMismatch { theirs: 2 })
+        ));
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrip() {
+        let snap = StatsSnapshot {
+            workers_active: 2,
+            workers_cap: 4,
+            backlog: 1,
+            planes_built: 1,
+            planes_reused: 3,
+            plane_resident_mask_bytes: 1 << 20,
+            plane_build_ms: 17,
+            sessions: vec![
+                SessionStat {
+                    id: 0,
+                    variant: ProtocolVariant::Fpc,
+                    state: SessionState::Completed,
+                    queries_done: 5,
+                    queries_booked: 5,
+                    pool_depth: 0,
+                    pool_capacity: 2,
+                },
+                SessionStat {
+                    id: 1,
+                    variant: ProtocolVariant::F,
+                    state: SessionState::Serving,
+                    queries_done: 2,
+                    queries_booked: 8,
+                    pool_depth: 1,
+                    pool_capacity: 2,
+                },
+            ],
+            he_ops: vec![("he.rotations".into(), 96), ("he.ntt".into(), 4200)],
+            phases: vec![(
+                "online".into(),
+                PhaseStat {
+                    count: 7,
+                    sum_ns: 700,
+                    min_ns: 50,
+                    max_ns: 200,
+                    p50_ns: 90,
+                    p95_ns: 180,
+                    p99_ns: 199,
+                },
+            )],
+            channels: vec![(
+                "online".into(),
+                TrafficSnapshot {
+                    c2s_bytes: 10,
+                    s2c_bytes: 20,
+                    c2s_messages: 1,
+                    s2c_messages: 2,
+                },
+            )],
+        };
+        let got = StatsSnapshot::decode(&snap.encode()).expect("decode");
+        assert_eq!(got, snap);
+        let text = got.render();
+        assert!(text.contains("2/4 active"));
+        assert!(text.contains("serving"));
+        assert!(text.contains("rotations=96"));
+
+        // Rejections carry the reason.
+        let rej = StatsSnapshot::encode_reject("old poller");
+        assert_eq!(StatsSnapshot::decode(&rej), Err(ProtoError::Rejected("old poller".into())));
     }
 
     #[test]

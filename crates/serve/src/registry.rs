@@ -1,9 +1,16 @@
-//! Session registry and server-wide stats aggregation.
+//! Session registry and server-wide stats aggregation: the historical
+//! record of completed sessions, plus the **live** table the `/stats`
+//! admin channel reads mid-run — per-session state, offline-pool depth
+//! and HE op counters, all behind cheap shared handles so a poll never
+//! blocks a serving worker.
 
-use primer_core::{PhaseCost, PhaseTotals, ProtocolVariant};
-use primer_net::TrafficSnapshot;
+use crate::proto::{SessionStat, SessionState};
+use primer_core::{PhaseCost, PhaseTotals, PoolWatch, ProtocolVariant};
+use primer_he::{OpCounters, OpCounts};
+use primer_net::{Meter, TrafficSnapshot};
 use std::net::SocketAddr;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// What one completed session leaves behind.
 #[derive(Debug, Clone)]
@@ -44,16 +51,134 @@ pub struct PreparedPlaneStats {
     pub build_ms: u64,
 }
 
+/// One session's live observability handles, registered at handshake
+/// and updated as the session's machinery materializes. The `/stats`
+/// path reads these without touching the session worker: state and
+/// query progress are atomics, the pool depth is a [`PoolWatch`], and
+/// the HE counters are the very `Arc<OpCounters>` cells the session's
+/// evaluators bump — counts stay readable (and stop growing) after the
+/// session ends, so cumulative totals need no close-out folding.
+#[derive(Debug)]
+pub(crate) struct LiveSession {
+    pub id: u64,
+    pub variant: ProtocolVariant,
+    pub queries_booked: u64,
+    state: AtomicU8,
+    queries_done: AtomicU64,
+    pool: Mutex<Option<PoolWatch>>,
+    he: Mutex<Vec<Arc<OpCounters>>>,
+    channels: Mutex<Vec<(&'static str, Arc<Meter>)>>,
+}
+
+impl LiveSession {
+    fn new(id: u64, variant: ProtocolVariant, queries_booked: u64) -> Self {
+        Self {
+            id,
+            variant,
+            queries_booked,
+            state: AtomicU8::new(crate::proto::state_code(SessionState::Handshake)),
+            queries_done: AtomicU64::new(0),
+            pool: Mutex::new(None),
+            he: Mutex::new(Vec::new()),
+            channels: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn set_state(&self, s: SessionState) {
+        self.state.store(crate::proto::state_code(s), Ordering::Relaxed);
+    }
+
+    pub fn query_done(&self) {
+        self.queries_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn watch_pool(&self, watch: PoolWatch) {
+        *self.pool.lock().expect("live session mutex poisoned") = Some(watch);
+    }
+
+    pub fn watch_he(&self, counters: Arc<OpCounters>) {
+        self.he.lock().expect("live session mutex poisoned").push(counters);
+    }
+
+    pub fn watch_channel(&self, name: &'static str, meter: Arc<Meter>) {
+        self.channels.lock().expect("live session mutex poisoned").push((name, meter));
+    }
+
+    /// This session's line in the stats frame.
+    pub fn stat(&self) -> SessionStat {
+        let (pool_depth, pool_capacity) = self
+            .pool
+            .lock()
+            .expect("live session mutex poisoned")
+            .as_ref()
+            .map_or((0, 0), |w| (w.depth() as u64, w.capacity() as u64));
+        SessionStat {
+            id: self.id,
+            variant: self.variant,
+            state: crate::proto::state_from_code(self.state.load(Ordering::Relaxed))
+                .expect("live state codes are always valid"),
+            queries_done: self.queries_done.load(Ordering::Relaxed),
+            queries_booked: self.queries_booked,
+            pool_depth,
+            pool_capacity,
+        }
+    }
+
+    /// Summed HE op counts across this session's evaluators (offline
+    /// producer + online worker).
+    pub fn he_counts(&self) -> OpCounts {
+        let he = self.he.lock().expect("live session mutex poisoned");
+        he.iter().fold(OpCounts::default(), |acc, c| acc.plus(&c.snapshot()))
+    }
+
+    /// Per-channel traffic captured from this session's meters.
+    pub fn channel_traffic(&self) -> Vec<(&'static str, TrafficSnapshot)> {
+        let channels = self.channels.lock().expect("live session mutex poisoned");
+        channels.iter().map(|(n, m)| (*n, TrafficSnapshot::capture(m))).collect()
+    }
+}
+
 /// Thread-shared registry the accept loop and workers write into.
 #[derive(Debug, Default)]
 pub(crate) struct Registry {
     completed: Mutex<Vec<SessionRecord>>,
     prepared: Mutex<PreparedPlaneStats>,
+    /// Every session the server has seen (any state), in handshake
+    /// order. Entries are kept after completion: their atomic counters
+    /// stop moving, which is exactly what makes `/stats` totals
+    /// cumulative without double-count bookkeeping.
+    live: Mutex<Vec<Arc<LiveSession>>>,
+    /// Unified metrics registry: per-phase latency histograms
+    /// (`phase.*.ns`, fed by `PhaseCost::publish`) and the worker
+    /// occupancy/backlog gauges (`workers.*`).
+    obs: primer_obs::Registry,
 }
 
 impl Registry {
     pub fn record(&self, rec: SessionRecord) {
         self.completed.lock().expect("registry mutex poisoned").push(rec);
+    }
+
+    /// Registers a freshly handshaken session in the live table.
+    pub fn open_session(
+        &self,
+        id: u64,
+        variant: ProtocolVariant,
+        queries_booked: u64,
+    ) -> Arc<LiveSession> {
+        let live = Arc::new(LiveSession::new(id, variant, queries_booked));
+        self.live.lock().expect("registry mutex poisoned").push(Arc::clone(&live));
+        live
+    }
+
+    /// The live table, in handshake order.
+    pub fn live_sessions(&self) -> Vec<Arc<LiveSession>> {
+        self.live.lock().expect("registry mutex poisoned").clone()
+    }
+
+    /// The unified metrics registry.
+    pub fn obs(&self) -> &primer_obs::Registry {
+        &self.obs
     }
 
     pub fn record_plane_built(&self, mask_bytes: u64, build_ms: u64) {
@@ -65,6 +190,10 @@ impl Registry {
 
     pub fn record_plane_reused(&self) {
         self.prepared.lock().expect("registry mutex poisoned").reused += 1;
+    }
+
+    pub fn prepared_snapshot(&self) -> PreparedPlaneStats {
+        *self.prepared.lock().expect("registry mutex poisoned")
     }
 
     pub fn into_stats(self) -> ServerStats {

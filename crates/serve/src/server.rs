@@ -1,19 +1,25 @@
-//! The concurrent serving side: accept loop, worker scheduler, session
+//! The concurrent serving side: accept loop, connection dispatcher
+//! (session hellos vs `/stats` polls), worker scheduler, session
 //! workers with pipelined offline producers, and stats aggregation.
 
-use crate::proto::{ClientHello, Profile, ServerWelcome, SessionSummary};
-use crate::registry::{accumulate_phases, Registry, ServerStats, SessionRecord};
+use crate::proto::{
+    ClientHello, PhaseStat, Profile, ServerWelcome, SessionState, SessionSummary, StatsRequest,
+    StatsSnapshot,
+};
+use crate::registry::{accumulate_phases, LiveSession, Registry, ServerStats, SessionRecord};
 use crate::{maybe_shaped, phase_summary, system_for, CH_CONTROL, CH_OFFLINE, CH_ONLINE};
 use primer_core::{build_session_circuits, ModelPlane, ServerSession, SystemConfig};
 use primer_gc::Circuit;
+use primer_he::OpCounts;
 use primer_math::rng::seeded;
 use primer_net::tcp::TcpConnection;
-use primer_net::{NetworkModel, TrafficSnapshot};
+use primer_net::{MeteredTransport, NetworkModel, TrafficSnapshot};
 use primer_nn::{FixedTransformer, TransformerConfig, TransformerWeights};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 /// Everything a server instance is configured with.
 #[derive(Debug, Clone)]
@@ -90,31 +96,52 @@ struct ServerShared {
     planes: Mutex<HashMap<(u8, String), PlaneCell>>,
     registry: Registry,
     gate: Gate,
+    /// Session ids, allocated at classification time — only
+    /// session-intent connections consume one (stats polls are not
+    /// sessions).
+    next_session_id: AtomicU64,
 }
 
-/// Counting gate bounding concurrent session workers.
+/// Counting gate bounding concurrent session workers, mirrored into
+/// the observability gauges (`workers.active` / `workers.backlog`) so
+/// `/stats` reports occupancy without touching the gate lock.
 struct Gate {
     active: Mutex<usize>,
     freed: Condvar,
     cap: usize,
+    occupancy: Arc<primer_obs::Gauge>,
+    backlog: Arc<primer_obs::Gauge>,
 }
 
 impl Gate {
-    fn new(cap: usize) -> Self {
-        Self { active: Mutex::new(0), freed: Condvar::new(), cap: cap.max(1) }
+    fn new(cap: usize, occupancy: Arc<primer_obs::Gauge>, backlog: Arc<primer_obs::Gauge>) -> Self {
+        Self { active: Mutex::new(0), freed: Condvar::new(), cap: cap.max(1), occupancy, backlog }
     }
 
     fn acquire(&self) {
+        self.backlog.add(1);
         let mut n = self.active.lock().expect("gate mutex poisoned");
         while *n >= self.cap {
             n = self.freed.wait(n).expect("gate mutex poisoned");
         }
         *n += 1;
+        drop(n);
+        self.backlog.add(-1);
+        self.occupancy.add(1);
     }
 
     fn release(&self) {
         *self.active.lock().expect("gate mutex poisoned") -= 1;
+        self.occupancy.add(-1);
         self.freed.notify_one();
+    }
+
+    fn active_now(&self) -> usize {
+        *self.active.lock().expect("gate mutex poisoned")
+    }
+
+    fn backlog_now(&self) -> i64 {
+        self.backlog.get()
     }
 }
 
@@ -149,7 +176,12 @@ impl Server {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         let weights = TransformerWeights::random(&config.model, &mut seeded(config.weight_seed));
         let fixed = Arc::new(FixedTransformer::quantize(&config.model, &weights, sys.pipeline));
-        let gate = Gate::new(config.max_workers);
+        let registry = Registry::default();
+        let gate = Gate::new(
+            config.max_workers,
+            registry.obs().gauge("workers.active"),
+            registry.obs().gauge("workers.backlog"),
+        );
         Ok(Self {
             listener,
             shared: Arc::new(ServerShared {
@@ -158,8 +190,9 @@ impl Server {
                 fixed,
                 circuits: Mutex::new(HashMap::new()),
                 planes: Mutex::new(HashMap::new()),
-                registry: Registry::default(),
+                registry,
                 gate,
+                next_session_id: AtomicU64::new(0),
             }),
         })
     }
@@ -174,15 +207,42 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Accepts and serves exactly `n` sessions, then returns the
-    /// aggregated stats. Worker panics fail the session (logged to
+    /// Accepts connections until exactly `n` **sessions** have been
+    /// served, then returns the aggregated stats. `/stats` polls are
+    /// answered along the way and do not count toward `n` (nor do they
+    /// consume worker slots). Worker panics fail the session (logged to
     /// stderr), not the server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener cannot be switched to non-blocking mode
+    /// (the bounded accept loop interleaves accepting with reaping
+    /// finished workers).
     pub fn serve_sessions(self, n: usize) -> ServerStats {
-        let mut handles = Vec::with_capacity(n);
-        for id in 0..n as u64 {
+        self.listener.set_nonblocking(true).expect("listener into non-blocking mode");
+        let (tx, rx) = mpsc::channel();
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut sessions_seen = 0usize;
+        loop {
+            while let Ok(d) = rx.try_recv() {
+                if matches!(d, Dispatched::Session) {
+                    sessions_seen += 1;
+                }
+            }
+            if sessions_seen >= n && handles.iter().all(|h| h.is_finished()) {
+                break;
+            }
             match self.listener.accept() {
-                Ok((stream, _)) => handles.push(spawn_worker(&self.shared, stream, id)),
-                Err(e) => eprintln!("accept failed: {e}"),
+                Ok((stream, _)) => {
+                    handles.push(spawn_dispatcher(&self.shared, stream, Some(tx.clone())));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Err(e) => {
+                    eprintln!("accept failed: {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
             }
         }
         for h in handles {
@@ -196,43 +256,54 @@ impl Server {
             .unwrap_or_else(|shared| shared.registry.snapshot())
     }
 
-    /// Serves forever, printing one line per completed session.
+    /// Serves forever, printing one line per accepted connection.
     ///
     /// # Errors
     ///
     /// Propagates accept errors.
     pub fn run_forever(self) -> io::Result<()> {
-        let mut id = 0u64;
         loop {
             let (stream, peer) = self.listener.accept()?;
-            eprintln!("session {id}: accepted {peer}");
-            let _ = spawn_worker(&self.shared, stream, id);
-            id += 1;
+            eprintln!("accepted {peer}");
+            let _ = spawn_dispatcher(&self.shared, stream, None);
         }
     }
 }
 
-fn spawn_worker(
+/// What a dispatcher classified its connection's first control frame
+/// as — reported to the bounded accept loop so `/stats` polls never
+/// count toward its session budget.
+enum Dispatched {
+    /// A session hello (or a malformed/silent opener, which consumes a
+    /// session attempt exactly like it always did).
+    Session,
+    /// A `/stats` poll: answered inline, no worker slot, not a session.
+    Stats,
+}
+
+/// Spawns the per-connection dispatcher: reads the first control frame
+/// under the handshake deadline, answers `/stats` polls inline, and
+/// runs everything else as a session worker (acquiring a gate slot
+/// **after** classification, so polls are never queued behind the
+/// worker cap).
+fn spawn_dispatcher(
     shared: &Arc<ServerShared>,
     stream: TcpStream,
-    id: u64,
+    classified: Option<mpsc::Sender<Dispatched>>,
 ) -> std::thread::JoinHandle<()> {
-    // The slot is taken before the worker starts, so at most
-    // `max_workers` sessions run concurrently; further connections queue
-    // in the OS accept backlog with their handshake unread.
-    shared.gate.acquire();
     let shared = Arc::clone(shared);
     std::thread::spawn(move || {
-        let _slot = GateSlot(&shared.gate);
-        if let Err(e) = serve_session(&shared, stream, id) {
-            eprintln!("session {id} failed: {e}");
+        if let Err(e) = dispatch(&shared, stream, classified) {
+            eprintln!("connection failed: {e}");
         }
     })
 }
 
-/// Runs one complete session: handshake, setup, pipelined
-/// offline/online phases, summary, registry record.
-fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Result<()> {
+fn dispatch(
+    shared: &Arc<ServerShared>,
+    stream: TcpStream,
+    classified: Option<mpsc::Sender<Dispatched>>,
+) -> io::Result<()> {
     let mut conn = TcpConnection::from_stream(stream, false)?;
     let peer = conn.peer_addr();
     let shaper = shared.config.shape.map(primer_net::LinkShaper::new);
@@ -243,7 +314,107 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
     // Handshake deadline: a silent client fails the connection instead
     // of pinning this worker slot until restart.
     conn.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
-    let hello = match ClientHello::decode(&control.recv()) {
+    let first = control.recv();
+    if crate::proto::is_stats_frame(&first) {
+        if let Some(tx) = classified {
+            let _ = tx.send(Dispatched::Stats);
+        }
+        match StatsRequest::decode(&first) {
+            Ok(StatsRequest) => control.send(&stats_snapshot(shared).encode()),
+            Err(e) => control.send(&StatsSnapshot::encode_reject(&e.to_string())),
+        }
+        return Ok(());
+    }
+    if let Some(tx) = classified {
+        let _ = tx.send(Dispatched::Session);
+    }
+    // Sessions beyond the worker cap block here — visible to `/stats`
+    // polls (which bypass the gate) as `workers.backlog`.
+    shared.gate.acquire();
+    let _slot = GateSlot(&shared.gate);
+    let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+    serve_session(shared, conn, SessionChannels { online_t, offline_t, control }, first, peer, id)
+        .map_err(|e| {
+            eprintln!("session {id} failed: {e}");
+            e
+        })
+}
+
+/// A session's three transport endpoints, taken by the dispatcher.
+struct SessionChannels {
+    online_t: Box<dyn MeteredTransport + Send>,
+    offline_t: Box<dyn MeteredTransport + Send>,
+    control: Box<dyn MeteredTransport + Send>,
+}
+
+/// Assembles the live `/stats` answer from the shared state: gate
+/// occupancy, plane cache, the live session table, cumulative HE op
+/// counts (summed straight off the sessions' evaluator counters),
+/// per-phase latency percentiles and per-channel traffic.
+fn stats_snapshot(shared: &ServerShared) -> StatsSnapshot {
+    let live = shared.registry.live_sessions();
+    let sessions: Vec<_> = live.iter().map(|s| s.stat()).collect();
+    let he = live.iter().fold(OpCounts::default(), |acc, s| acc.plus(&s.he_counts()));
+    let he_ops = he
+        .as_named()
+        .iter()
+        .filter(|(_, v)| *v != 0)
+        .map(|(n, v)| (n.to_string(), *v))
+        .collect();
+    let obs = shared.registry.obs().snapshot();
+    let phases = ["setup", "offline", "online"]
+        .iter()
+        .filter_map(|p| {
+            let h = obs.histogram(&format!("phase.{p}.ns"))?;
+            Some((
+                p.to_string(),
+                PhaseStat {
+                    count: h.count,
+                    sum_ns: h.sum,
+                    min_ns: h.min,
+                    max_ns: h.max,
+                    p50_ns: h.p50,
+                    p95_ns: h.p95,
+                    p99_ns: h.p99,
+                },
+            ))
+        })
+        .collect();
+    let mut channels: BTreeMap<&'static str, TrafficSnapshot> = BTreeMap::new();
+    for s in &live {
+        for (name, snap) in s.channel_traffic() {
+            let acc = channels.entry(name).or_default();
+            *acc = acc.plus(&snap);
+        }
+    }
+    let prepared = shared.registry.prepared_snapshot();
+    StatsSnapshot {
+        workers_active: shared.gate.active_now() as u64,
+        workers_cap: shared.config.max_workers.max(1) as u64,
+        backlog: shared.gate.backlog_now().max(0) as u64,
+        planes_built: prepared.built,
+        planes_reused: prepared.reused,
+        plane_resident_mask_bytes: prepared.resident_mask_bytes,
+        plane_build_ms: prepared.build_ms,
+        sessions,
+        he_ops,
+        phases,
+        channels: channels.into_iter().map(|(n, t)| (n.to_string(), t)).collect(),
+    }
+}
+
+/// Runs one complete session: handshake, setup, pipelined
+/// offline/online phases, summary, registry record.
+fn serve_session(
+    shared: &ServerShared,
+    conn: TcpConnection,
+    channels: SessionChannels,
+    hello_frame: Vec<u8>,
+    peer: std::net::SocketAddr,
+    id: u64,
+) -> io::Result<()> {
+    let SessionChannels { online_t, offline_t, control } = channels;
+    let hello = match ClientHello::decode(&hello_frame) {
         Ok(h) => h,
         Err(e) => {
             control.send(&ServerWelcome::encode_reject(&e.to_string()));
@@ -276,6 +447,41 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
         .encode(),
     );
 
+    // From here the session is visible to `/stats`: its live entry
+    // carries shared handles (state, channel meters, pool watch, HE
+    // counters) a poll reads without touching this worker.
+    let live = shared.registry.open_session(id, hello.variant, hello.queries as u64);
+    live.watch_channel("online", Arc::clone(online_t.meter()));
+    live.watch_channel("offline", Arc::clone(offline_t.meter()));
+    live.watch_channel("control", Arc::clone(control.meter()));
+    let result = run_session(
+        shared,
+        &live,
+        SessionChannels { online_t, offline_t, control },
+        &hello,
+        pool,
+        peer,
+        id,
+    );
+    live.set_state(if result.is_ok() { SessionState::Completed } else { SessionState::Failed });
+    result
+}
+
+/// The post-handshake body of a session: setup, pipelined
+/// offline/online phases, summary, registry record. Split out so the
+/// caller can stamp the final live-table state from one place.
+#[allow(clippy::too_many_arguments)]
+fn run_session(
+    shared: &ServerShared,
+    live: &LiveSession,
+    channels: SessionChannels,
+    hello: &ClientHello,
+    pool: usize,
+    peer: std::net::SocketAddr,
+    id: u64,
+) -> io::Result<()> {
+    let SessionChannels { online_t, offline_t, control } = channels;
+    let obs = shared.registry.obs();
     let circuits = {
         let mut cache = shared.circuits.lock().expect("circuit cache mutex poisoned");
         Arc::clone(cache.entry(crate::proto::variant_code(hello.variant)).or_insert_with(|| {
@@ -315,6 +521,7 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
     // Per-session server randomness: a distinct stream per session id.
     let session_seed = shared.config.seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     let queries = hello.queries as usize;
+    live.set_state(SessionState::Setup);
     let session = ServerSession::setup_with_plane(
         shared.sys.clone(),
         hello.variant,
@@ -331,6 +538,13 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let (producer, mut online) = session.into_pipelined(pool);
     let setup_cost = online.setup_cost();
+    setup_cost.publish(obs, "setup");
+    // HE counter handles are grabbed before the producer moves into its
+    // thread; the cells are shared, so `/stats` totals keep tracking
+    // both evaluators while the session runs.
+    live.watch_he(producer.he_counters());
+    live.watch_he(online.he_counters());
+    live.watch_pool(online.pool_watch());
 
     // The offline producer pipelines bundle production on its own
     // channel while the loop below serves online queries. It returns a
@@ -341,6 +555,7 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
         .spawn(move || producer.run(&*offline_t))
         .expect("spawn offline producer");
 
+    live.set_state(SessionState::Serving);
     let mut rounds = Vec::with_capacity(queries);
     let mut traffic = TrafficSnapshot::default();
     for _ in 0..queries {
@@ -350,7 +565,11 @@ fn serve_session(shared: &ServerShared, stream: TcpStream, id: u64) -> io::Resul
             .serve_one(&*online_t)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         traffic = traffic.plus(&round.traffic);
-        rounds.push(round.steps.phase_totals());
+        let totals = round.steps.phase_totals();
+        totals.offline.publish(obs, "offline");
+        totals.online.publish(obs, "online");
+        live.query_done();
+        rounds.push(totals);
     }
     producer_handle
         .join()

@@ -30,6 +30,9 @@ pub fn start_server(
 
 /// The in-process reference engine for the same model the test servers
 /// serve: bit-identical logits are the acceptance bar for the TCP path.
+/// (Each test binary compiles its own copy of this module; suites that
+/// only exercise the admin surface don't call it.)
+#[allow(dead_code)]
 pub fn reference_engine(
     model: &TransformerConfig,
     variant: ProtocolVariant,

@@ -46,5 +46,6 @@ pub use primer_he as he;
 pub use primer_math as math;
 pub use primer_net as net;
 pub use primer_nn as nn;
+pub use primer_obs as obs;
 pub use primer_serve as serve;
 pub use primer_ss as ss;

@@ -1,0 +1,128 @@
+//! Observability neutrality: tracing must be a pure side channel.
+//!
+//! For every protocol variant, an end-to-end multi-query session run
+//! with `PRIMER_TRACE` enabled must be **bit-identical** — logits AND
+//! every frame either party puts on the wire — to the same session run
+//! with tracing disabled. This is the DESIGN.md §13 contract: spans
+//! read the clock and write a file; they never touch protocol state,
+//! randomness, or the wire schedule.
+//!
+//! Everything runs in ONE `#[test]` because the trace sink is
+//! process-global state (like `PRIMER_THREADS` in
+//! `thread_determinism.rs`); integration-test files get their own
+//! process, so no other suite observes the toggling.
+
+use primer_core::{
+    build_session_circuits, ClientSession, GcMode, ProtocolVariant, ServerSession, SystemConfig,
+};
+use primer_math::rng::seeded;
+use primer_net::{MemTransport, RecordingTransport};
+use primer_nn::{FixedTransformer, TransformerConfig, TransformerWeights};
+use std::sync::Arc;
+
+/// Per-query logit rows plus both parties' full wire transcripts
+/// (client frames, server frames) from one session run.
+type SessionTrace = (Vec<Vec<i64>>, Vec<Vec<u8>>, Vec<Vec<u8>>);
+
+/// One complete session (setup + pooled refills + queries) over
+/// transcript-recording in-memory transports.
+fn run_session(variant: ProtocolVariant) -> SessionTrace {
+    let cfg = TransformerConfig::test_tiny();
+    let sys = SystemConfig::test_profile(&cfg).expect("test profile");
+    let weights = TransformerWeights::random(&cfg, &mut seeded(1300));
+    let fixed = Arc::new(FixedTransformer::quantize(&cfg, &weights, sys.pipeline));
+    let circuits = Arc::new(build_session_circuits(&sys, variant, &fixed));
+    let queries = [vec![3usize, 17, 0, 29], vec![5, 5, 30, 1], vec![9, 2, 31, 12]];
+    let (total, pool) = (queries.len(), 2usize);
+
+    let (ct, st, _meter) = MemTransport::pair();
+    let (ct, client_transcript) = RecordingTransport::new(ct);
+    let (st, server_transcript) = RecordingTransport::new(st);
+
+    let (sys_s, fixed_s, circuits_s) = (sys.clone(), Arc::clone(&fixed), Arc::clone(&circuits));
+    let server = std::thread::spawn(move || {
+        let mut session = ServerSession::setup(
+            sys_s, variant, GcMode::Simulated, fixed_s, circuits_s, 1301, total, pool, &st,
+        )
+        .expect("in-process key transfer");
+        for _ in 0..total {
+            session.serve_one(&st).expect("in-process flight");
+        }
+    });
+
+    let mut session = ClientSession::setup(
+        sys, variant, GcMode::Simulated, fixed, circuits, 1301, total, pool, &ct,
+    );
+    let logits: Vec<Vec<i64>> = queries
+        .iter()
+        .map(|q| session.infer(q, &ct).expect("in-process flight"))
+        .collect();
+    server.join().expect("server thread");
+    (logits, client_transcript.frames(), server_transcript.frames())
+}
+
+fn trace_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("primer_trace_neutrality_{tag}_{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn tracing_never_changes_logits_or_wire_bytes() {
+    for variant in ProtocolVariant::all() {
+        // Baseline: tracing explicitly off.
+        primer_obs::trace::set_sink(None).expect("disable tracing");
+        let (logits_off, client_off, server_off) = run_session(variant);
+        assert!(!client_off.is_empty() && !server_off.is_empty());
+
+        // Same session with the sink live.
+        let path = trace_path(variant.name());
+        primer_obs::trace::set_sink(Some(&path)).expect("enable tracing");
+        let (logits_on, client_on, server_on) = run_session(variant);
+        primer_obs::trace::set_sink(None).expect("disable tracing");
+
+        assert_eq!(
+            logits_on,
+            logits_off,
+            "{}: logits changed under tracing",
+            variant.name()
+        );
+        assert_eq!(
+            client_on,
+            client_off,
+            "{}: client wire bytes changed under tracing",
+            variant.name()
+        );
+        assert_eq!(
+            server_on,
+            server_off,
+            "{}: server wire bytes changed under tracing",
+            variant.name()
+        );
+
+        // The trace itself is non-trivial, well-formed JSONL covering
+        // the span taxonomy's phase roots.
+        let text = std::fs::read_to_string(&path).expect("trace file");
+        let _ = std::fs::remove_file(&path);
+        let records = primer_obs::trace::validate_jsonl(&text)
+            .unwrap_or_else(|e| panic!("{}: trace JSONL invalid: {e}", variant.name()));
+        assert!(records > 0, "{}: tracing was on but wrote no spans", variant.name());
+        for span in ["session.setup", "offline.refill", "online.infer"] {
+            assert!(
+                text.contains(&format!("\"name\":\"{span}\"")),
+                "{}: span {span:?} missing from trace",
+                variant.name()
+            );
+        }
+    }
+
+    // Disabled-path micro-check: with the sink off, a span is two
+    // relaxed loads — no sink file appears and the field closure is
+    // never evaluated.
+    let evaluated = std::cell::Cell::new(false);
+    {
+        let _g = primer_obs::trace::Span::enter("neutrality.check", || {
+            evaluated.set(true);
+            vec![("k", "v".to_string())]
+        });
+    }
+    assert!(!evaluated.get(), "disabled span must not evaluate its fields");
+}
