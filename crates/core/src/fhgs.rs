@@ -154,6 +154,73 @@ pub struct FhgsServer {
     dims: FhgsDims,
 }
 
+impl FhgsServer {
+    /// Serializes this precomputed state into a suspend image (see
+    /// `session::suspend`). The triple's ciphertexts reuse the wire
+    /// codec; the output masks travel as plain ring matrices — the image
+    /// holds one-time secrets either way, so it is only as private as
+    /// the directory it lands in.
+    pub(crate) fn suspend_write(&self, out: &mut Vec<u8>) {
+        use crate::serial::{put_u32, write_cts, write_matz, write_packed};
+        match &self.triple {
+            Triple::Diag { enc_rc_a, enc_rc_bt, enc_ab } => {
+                out.push(0);
+                write_packed(out, enc_rc_a);
+                write_packed(out, enc_rc_bt);
+                write_packed(out, enc_ab);
+            }
+            Triple::Zr { enc_a, enc_bt, enc_ab, s1, s2 } => {
+                out.push(1);
+                write_cts(out, enc_a);
+                write_cts(out, enc_bt);
+                write_cts(out, enc_ab);
+                write_matz(out, s1);
+                write_matz(out, s2);
+            }
+        }
+        write_matz(out, &self.rs1);
+        write_matz(out, &self.rs2);
+        put_u32(out, self.dims.n as u32);
+        put_u32(out, self.dims.k as u32);
+        put_u32(out, self.dims.m as u32);
+    }
+
+    /// Decodes state written by [`FhgsServer::suspend_write`].
+    ///
+    /// # Errors
+    ///
+    /// [`primer_he::HeError::Malformed`] on truncated or foreign bytes.
+    pub(crate) fn suspend_read(
+        r: &mut crate::serial::Rdr,
+        ctx: &HeContext,
+    ) -> Result<Self, primer_he::HeError> {
+        use crate::serial::{read_cts, read_matz, read_packed};
+        let triple = match r.u8("fhgs triple tag")? {
+            0 => Triple::Diag {
+                enc_rc_a: read_packed(r, ctx)?,
+                enc_rc_bt: read_packed(r, ctx)?,
+                enc_ab: read_packed(r, ctx)?,
+            },
+            1 => Triple::Zr {
+                enc_a: read_cts(r, ctx)?,
+                enc_bt: read_cts(r, ctx)?,
+                enc_ab: read_cts(r, ctx)?,
+                s1: read_matz(r)?,
+                s2: read_matz(r)?,
+            },
+            _ => return Err(primer_he::HeError::Malformed { what: "fhgs triple tag" }),
+        };
+        let rs1 = read_matz(r)?;
+        let rs2 = read_matz(r)?;
+        let dims = FhgsDims {
+            n: r.u32("fhgs dims")? as usize,
+            k: r.u32("fhgs dims")? as usize,
+            m: r.u32("fhgs dims")? as usize,
+        };
+        Ok(Self { triple, rs1, rs2, dims })
+    }
+}
+
 /// Client offline: samples masks and ships the encrypted triple.
 #[allow(clippy::too_many_arguments)]
 pub fn client_offline<R: Rng + ?Sized>(

@@ -27,6 +27,7 @@ pub mod fhgs;
 pub mod gcmod;
 pub mod hgs;
 pub mod packing;
+mod serial;
 pub mod session;
 pub mod stats;
 pub mod system;
@@ -38,7 +39,8 @@ pub use packing::{matmul_counts, MatmulCounts, MatmulWeights, Packing, PreparedM
 pub use session::{
     build_session_circuits, ClientOnline, ClientProducer, ClientSession, Engine, ModelPlane,
     OfflinePool, PoolWatch, ProtocolVariant, ServeRound, ServerOnline, ServerProducer,
-    ServerSession,
+    ServerSession, ServerSuspendImage, SuspendError, SuspendedClientSession,
+    SUSPEND_FORMAT_VERSION,
 };
 pub use stats::{
     argmax_logits, InferenceReport, PhaseCost, PhaseTotals, StepBreakdown, StepCategory,

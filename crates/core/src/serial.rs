@@ -1,0 +1,219 @@
+//! Little-endian byte codecs for the suspend image.
+//!
+//! Suspend/resume (see `session::suspend`) serializes a session's
+//! unconsumed offline bundles to disk. The building blocks here mirror
+//! the wire module's style — hand-rolled, length-validated, no serde —
+//! but target a byte buffer instead of a transport, and every decode is
+//! `Result`-typed with [`HeError::Malformed`]: suspend files come from
+//! disk, so truncated or foreign bytes must fail the resume, never
+//! panic the server.
+
+use crate::packing::{Layout, Packing, PackedMatrix};
+use primer_he::{Ciphertext, HeContext, HeError};
+use primer_math::MatZ;
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Cursor over a suspend-image byte buffer.
+pub(crate) struct Rdr<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rdr<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], HeError> {
+        let end = self.pos.checked_add(n).ok_or(HeError::Malformed { what })?;
+        if end > self.buf.len() {
+            return Err(HeError::Malformed { what });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, HeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, HeError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, HeError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    /// A length-prefixed byte string written by [`put_bytes`].
+    pub fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], HeError> {
+        let len = self.u64(what)? as usize;
+        self.take(len, what)
+    }
+
+    /// Remaining unread bytes (for decoders that track their own use).
+    pub fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Advances past `n` bytes a sub-decoder consumed from [`Rdr::rest`].
+    pub fn advance(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+pub(crate) fn write_matz(out: &mut Vec<u8>, m: &MatZ) {
+    put_u32(out, m.rows() as u32);
+    put_u32(out, m.cols() as u32);
+    for &v in m.as_slice() {
+        put_u64(out, v);
+    }
+}
+
+pub(crate) fn read_matz(r: &mut Rdr) -> Result<MatZ, HeError> {
+    let rows = r.u32("matrix rows")? as usize;
+    let cols = r.u32("matrix cols")? as usize;
+    let n = rows
+        .checked_mul(cols)
+        .and_then(|n| n.checked_mul(8))
+        .ok_or(HeError::Malformed { what: "matrix shape overflow" })?;
+    // Validate against the buffer *before* allocating: a forged shape
+    // cannot trigger a huge up-front allocation.
+    let raw = r.take(n, "matrix data")?;
+    let data = raw
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    Ok(MatZ::from_vec(rows, cols, data))
+}
+
+pub(crate) fn write_ct(out: &mut Vec<u8>, ct: &Ciphertext) {
+    out.extend_from_slice(&ct.to_bytes());
+}
+
+pub(crate) fn read_ct(r: &mut Rdr, ctx: &HeContext) -> Result<Ciphertext, HeError> {
+    let (ct, used) = Ciphertext::from_bytes(ctx, r.rest())?;
+    r.advance(used);
+    Ok(ct)
+}
+
+pub(crate) fn write_cts(out: &mut Vec<u8>, cts: &[Ciphertext]) {
+    put_u32(out, cts.len() as u32);
+    for ct in cts {
+        write_ct(out, ct);
+    }
+}
+
+pub(crate) fn read_cts(r: &mut Rdr, ctx: &HeContext) -> Result<Vec<Ciphertext>, HeError> {
+    let count = r.u32("ciphertext count")? as usize;
+    let mut cts = Vec::new();
+    for _ in 0..count {
+        cts.push(read_ct(r, ctx)?);
+    }
+    Ok(cts)
+}
+
+fn packing_code(p: Packing) -> u8 {
+    match p {
+        Packing::FeatureBased => 0,
+        Packing::TokensFirst => 1,
+    }
+}
+
+fn packing_from_code(c: u8) -> Result<Packing, HeError> {
+    match c {
+        0 => Ok(Packing::FeatureBased),
+        1 => Ok(Packing::TokensFirst),
+        _ => Err(HeError::Malformed { what: "packing code" }),
+    }
+}
+
+pub(crate) fn write_layout(out: &mut Vec<u8>, l: &Layout) {
+    out.push(packing_code(l.packing));
+    put_u32(out, l.rows as u32);
+    put_u32(out, l.cols as u32);
+    put_u32(out, l.simd as u32);
+    put_u32(out, l.pad as u32);
+    put_u32(out, l.num_cts as u32);
+}
+
+pub(crate) fn read_layout(r: &mut Rdr) -> Result<Layout, HeError> {
+    Ok(Layout {
+        packing: packing_from_code(r.u8("layout packing")?)?,
+        rows: r.u32("layout rows")? as usize,
+        cols: r.u32("layout cols")? as usize,
+        simd: r.u32("layout simd")? as usize,
+        pad: r.u32("layout pad")? as usize,
+        num_cts: r.u32("layout num_cts")? as usize,
+    })
+}
+
+pub(crate) fn write_packed(out: &mut Vec<u8>, m: &PackedMatrix) {
+    write_layout(out, &m.layout);
+    write_cts(out, &m.cts);
+}
+
+pub(crate) fn read_packed(r: &mut Rdr, ctx: &HeContext) -> Result<PackedMatrix, HeError> {
+    let layout = read_layout(r)?;
+    let cts = read_cts(r, ctx)?;
+    if cts.len() != layout.num_cts {
+        return Err(HeError::Malformed { what: "packed matrix ciphertext count" });
+    }
+    Ok(PackedMatrix { layout, cts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matz_roundtrip() {
+        let m = MatZ::from_vec(2, 3, vec![1, 2, 3, 4, 5, u64::MAX]);
+        let mut out = Vec::new();
+        write_matz(&mut out, &m);
+        let mut r = Rdr::new(&out);
+        let back = read_matz(&mut r).expect("decode");
+        assert!(r.is_done());
+        assert_eq!(back.rows(), 2);
+        assert_eq!(back.cols(), 3);
+        assert_eq!(back.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn truncated_matz_is_malformed() {
+        let m = MatZ::from_vec(2, 2, vec![9, 8, 7, 6]);
+        let mut out = Vec::new();
+        write_matz(&mut out, &m);
+        out.pop();
+        let mut r = Rdr::new(&out);
+        assert!(read_matz(&mut r).is_err());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, b"suspend");
+        put_u32(&mut out, 7);
+        let mut r = Rdr::new(&out);
+        assert_eq!(r.bytes("blob").expect("bytes"), b"suspend");
+        assert_eq!(r.u32("tail").expect("u32"), 7);
+        assert!(r.is_done());
+    }
+}

@@ -232,4 +232,55 @@ impl ClientOnline {
             .expect("offline producer died before delivering this query's bundle");
         online::client_online(&self.core, bundle, tokens, t)
     }
+
+    /// Suspends this online half between queries: drains the pool
+    /// (letting the producer finish all booked offline production in
+    /// the normal lockstep wire schedule — the server must drain
+    /// symmetrically) and parks the session in memory. The caller must
+    /// still join the producer thread. Unlike the server side this
+    /// never serializes: the client keeps its secret key and masks
+    /// in-process, so garbled-mode sessions can park too.
+    pub fn suspend(self) -> SuspendedClientSession {
+        let mut bundles = Vec::new();
+        while let Some(b) = self.pool.take_blocking() {
+            bundles.push(b);
+        }
+        SuspendedClientSession { core: self.core, bundles }
+    }
+}
+
+/// A client session parked between queries: the long-lived core (keys,
+/// encoder, circuits) plus every unconsumed offline bundle, costing
+/// zero threads until resumed. Transports are per-call parameters
+/// throughout the session API, so the resumed half works over a brand
+/// new connection.
+pub struct SuspendedClientSession {
+    core: Arc<ClientCore>,
+    bundles: Vec<ClientBundle>,
+}
+
+impl SuspendedClientSession {
+    /// Unconsumed offline bundles — the queries this session can still
+    /// run.
+    pub fn remaining(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// The session's protocol variant.
+    pub fn variant(&self) -> ProtocolVariant {
+        self.core.variant
+    }
+
+    /// Rebuilds a runnable online half: a fresh pool pre-filled with
+    /// the parked bundles and closed (no producer thread — the offline
+    /// phase completed before suspension), consumed in the original
+    /// production order so logits stay bit-identical.
+    pub fn into_online(self) -> ClientOnline {
+        let pool = Arc::new(SharedPool::new(self.bundles.len().max(1)));
+        for b in self.bundles {
+            pool.put_blocking(b);
+        }
+        pool.close();
+        ClientOnline { core: self.core, pool }
+    }
 }

@@ -28,11 +28,13 @@ pub mod online;
 pub mod plane;
 pub mod pool;
 pub mod server;
+pub mod suspend;
 
-pub use client::{ClientOnline, ClientProducer, ClientSession};
+pub use client::{ClientOnline, ClientProducer, ClientSession, SuspendedClientSession};
 pub use plane::ModelPlane;
 pub use pool::{OfflinePool, PoolWatch};
 pub use server::{ServeRound, ServerOnline, ServerProducer, ServerSession};
+pub use suspend::{ServerSuspendImage, SuspendError, SUSPEND_FORMAT_VERSION};
 
 use crate::gcmod::{build_step_circuit, GcMode, GcStepKind};
 use crate::packing::Packing;

@@ -462,4 +462,47 @@ impl ServerOnline {
             .expect("offline producer died before delivering this query's bundle");
         serve_round(&self.core, &self.eval, bundle, self.setup_cost, t, &mut self.wire_mark)
     }
+
+    /// Re-baselines phase traffic attribution for a brand-new
+    /// connection, whose meter counts from zero. The suspend image
+    /// carries the old connection's cumulative mark (correct when the
+    /// resumed half keeps serving the same transport, as the in-process
+    /// tests do); against a fresh meter that mark would underflow the
+    /// first phase delta.
+    pub fn reset_wire_mark(&mut self) {
+        self.wire_mark = TrafficSnapshot::default();
+    }
+
+    /// Suspends this online half between queries: drains the pool
+    /// (letting the producer finish all booked offline production in
+    /// the normal lockstep wire schedule) and packs the session into a
+    /// serializable [`super::suspend::ServerSuspendImage`]. The caller
+    /// must still join the producer thread — by the time the drain
+    /// completes it has closed the pool and is exiting.
+    ///
+    /// # Errors
+    ///
+    /// [`super::suspend::SuspendError::GarbledUnsupported`] for
+    /// garbled-mode sessions (live OT state is not serializable).
+    pub fn suspend(self) -> Result<super::suspend::ServerSuspendImage, super::suspend::SuspendError> {
+        super::suspend::suspend_server_online(self)
+    }
+
+    /// Decomposes into the parts the suspend path needs.
+    pub(crate) fn suspend_parts(
+        self,
+    ) -> (Arc<ServerCore>, Arc<SharedPool<ServerBundle>>, PhaseCost, TrafficSnapshot) {
+        (self.core, self.pool, self.setup_cost, self.wire_mark)
+    }
+
+    /// Reassembles an online half from restored parts (the resume path).
+    pub(crate) fn assemble(
+        core: Arc<ServerCore>,
+        eval: Evaluator,
+        pool: Arc<SharedPool<ServerBundle>>,
+        setup_cost: PhaseCost,
+        wire_mark: TrafficSnapshot,
+    ) -> Self {
+        Self { core, eval, pool, setup_cost, wire_mark }
+    }
 }

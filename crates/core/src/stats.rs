@@ -62,7 +62,7 @@ impl StepCategory {
 }
 
 /// Accumulated cost of one category in one phase.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseCost {
     /// Wall-clock compute time (both parties, serialized).
     pub compute: Duration,

@@ -36,6 +36,7 @@
 pub mod mem;
 pub mod metering;
 pub mod model;
+pub mod nonblock;
 pub mod recording;
 pub mod shaped;
 pub mod tcp;
@@ -44,7 +45,8 @@ pub mod transport;
 pub use mem::{run_two_party, run_two_party_persistent, MemTransport};
 pub use metering::{Meter, TrafficSnapshot};
 pub use model::NetworkModel;
+pub use nonblock::NbConn;
 pub use recording::{RecordingTransport, TranscriptHandle};
 pub use shaped::{LinkShaper, ShapedTransport};
 pub use tcp::{TcpConnection, TcpTransport};
-pub use transport::{wire, MeteredTransport, Transport};
+pub use transport::{wire, MeteredTransport, PollRecv, Transport};

@@ -60,6 +60,18 @@ impl Transport for MemTransport {
     fn recv(&self) -> Vec<u8> {
         self.rx.recv().expect("peer endpoint dropped mid-protocol")
     }
+
+    fn try_recv(&self) -> crate::transport::PollRecv {
+        match self.rx.try_recv() {
+            Ok(Some(bytes)) => crate::transport::PollRecv::Frame(bytes),
+            Ok(None) => crate::transport::PollRecv::Empty,
+            Err(_) => crate::transport::PollRecv::Disconnected,
+        }
+    }
+
+    fn pending(&self) -> Option<usize> {
+        Some(self.rx.len())
+    }
 }
 
 impl MeteredTransport for MemTransport {

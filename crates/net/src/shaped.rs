@@ -105,6 +105,15 @@ impl<T: Transport> Transport for ShapedTransport<T> {
     fn recv(&self) -> Vec<u8> {
         self.inner.recv()
     }
+
+    // Shaping charges sends only; polls pass straight through.
+    fn try_recv(&self) -> crate::transport::PollRecv {
+        self.inner.try_recv()
+    }
+
+    fn pending(&self) -> Option<usize> {
+        self.inner.pending()
+    }
 }
 
 impl<T: MeteredTransport> MeteredTransport for ShapedTransport<T> {

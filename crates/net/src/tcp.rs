@@ -102,11 +102,28 @@ impl TcpConnection {
     ///
     /// Propagates socket errors from configure/clone.
     pub fn from_stream(stream: TcpStream, is_client: bool) -> io::Result<Self> {
+        Self::from_stream_with_preface(stream, is_client, Vec::new())
+    }
+
+    /// Like [`TcpConnection::from_stream`], but frames already consumed
+    /// from the socket (by a non-blocking pre-admission loop — see
+    /// [`crate::nonblock::NbConn`]) are replayed to the reader first, so
+    /// no bytes are lost when a connection graduates from the event
+    /// loop's hand-rolled parser to the threaded reader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from configure/clone.
+    pub fn from_stream_with_preface(
+        stream: TcpStream,
+        is_client: bool,
+        preface: Vec<u8>,
+    ) -> io::Result<Self> {
         // The protocols are lockstep and latency-sensitive; never batch
         // small frames behind Nagle.
         stream.set_nodelay(true)?;
         let peer = stream.peer_addr()?;
-        let reader = stream.try_clone()?;
+        let reader = io::Cursor::new(preface).chain(stream.try_clone()?);
         let meters: Vec<Arc<Meter>> = (0..NUM_CHANNELS).map(|_| Meter::new()).collect();
         let mut senders = Vec::with_capacity(NUM_CHANNELS);
         let mut receivers = Vec::with_capacity(NUM_CHANNELS);
@@ -178,7 +195,7 @@ impl TcpConnection {
     }
 }
 
-fn read_loop(mut stream: TcpStream, senders: Vec<Sender<Vec<u8>>>) {
+fn read_loop<R: Read>(mut stream: R, senders: Vec<Sender<Vec<u8>>>) {
     loop {
         let mut header = [0u8; 5];
         match stream.read_exact(&mut header) {
@@ -246,6 +263,26 @@ impl Transport for TcpTransport {
             self.meter.c2s.record(bytes.len());
         }
         bytes
+    }
+
+    fn try_recv(&self) -> crate::transport::PollRecv {
+        match self.rx.try_recv() {
+            Ok(Some(bytes)) => {
+                // Metered at dequeue, exactly like the blocking path.
+                if self.shared.is_client {
+                    self.meter.s2c.record(bytes.len());
+                } else {
+                    self.meter.c2s.record(bytes.len());
+                }
+                crate::transport::PollRecv::Frame(bytes)
+            }
+            Ok(None) => crate::transport::PollRecv::Empty,
+            Err(_) => crate::transport::PollRecv::Disconnected,
+        }
+    }
+
+    fn pending(&self) -> Option<usize> {
+        Some(self.rx.len())
     }
 }
 

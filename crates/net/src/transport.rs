@@ -3,6 +3,25 @@
 use crate::metering::Meter;
 use std::sync::Arc;
 
+/// Result of a non-blocking [`Transport::try_recv`] poll.
+#[derive(Debug)]
+pub enum PollRecv {
+    /// A complete message was already queued; it has been dequeued (and
+    /// metered) exactly as a blocking [`Transport::recv`] would have.
+    Frame(Vec<u8>),
+    /// Nothing is queued *right now* — the peer may still send later.
+    Empty,
+    /// The peer is gone and every queued message has been consumed.
+    /// Unlike a blocking [`Transport::recv`] (which panics, treating a
+    /// mid-protocol disconnect as a logic error), polls report this as
+    /// data: an event loop waiting *between* protocol exchanges must
+    /// treat a vanished peer as a session outcome, not a crash.
+    Disconnected,
+    /// This transport cannot poll without blocking. Callers needing
+    /// event-driven receives must fall back to [`Transport::recv`].
+    Unsupported,
+}
+
 /// A reliable, ordered, blocking message channel to the peer party.
 ///
 /// Implementations meter all traffic; protocol time models convert the
@@ -30,6 +49,24 @@ pub trait Transport {
     /// Panics if the peer disconnected with messages outstanding — a
     /// protocol logic error, not a runtime condition to handle.
     fn recv(&self) -> Vec<u8>;
+
+    /// Non-blocking receive: dequeues a message only if one is already
+    /// complete. The default says the transport cannot poll; queue-backed
+    /// transports override it. The suspend-capable serving loop uses
+    /// this to watch the control channel between online queries without
+    /// parking a thread per channel.
+    fn try_recv(&self) -> PollRecv {
+        PollRecv::Unsupported
+    }
+
+    /// How many complete messages are queued and receivable without
+    /// blocking, or `None` when the transport cannot tell. Unlike
+    /// [`Transport::try_recv`] this never consumes — use it to learn a
+    /// peer has started a multi-message exchange whose first flight a
+    /// blocking protocol routine must itself `recv`.
+    fn pending(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// A transport whose endpoint exposes a traffic [`Meter`].

@@ -4,7 +4,7 @@
 //! primer-client [--addr 127.0.0.1:9470] [--variant base|f|fp|fpc]
 //!               [--mode simulated|garbled] [--queries N] [--pool N] [--seed N]
 //!               [--threads N] [--tokens "1,2,3,4;5,6,7,8"] [--wan | --lan]
-//!               [--stats]
+//!               [--suspend-at K] [--stats]
 //! ```
 //!
 //! `--threads` overrides the `PRIMER_THREADS` environment variable (the
@@ -14,30 +14,42 @@
 //! from `--seed`. Prints one line per prediction plus the server's
 //! session summary.
 //!
+//! `--suspend-at K` exercises suspend/resume: after K queries the client
+//! suspends the session (printing `suspended session <token>`), then
+//! reconnects — retrying while the server restarts, if need be — and
+//! resumes to run the remaining queries.
+//!
 //! `--stats` runs no queries: it polls the server's live `/stats`
 //! admin surface and prints the snapshot (sessions by state, pool
-//! depths, worker occupancy, plane cache, per-phase percentiles,
-//! per-channel traffic, HE op counts).
+//! depths, worker occupancy, plane cache, admission/suspension churn,
+//! per-phase percentiles, per-channel traffic, HE op counts).
 
 use primer_core::{GcMode, ProtocolVariant};
 use primer_net::NetworkModel;
-use primer_serve::{poll_stats, run_queries, run_random_queries, ClientConfig};
+use primer_serve::{poll_stats, sample_random_queries, ClientBuilder, ClientError};
 use std::process::exit;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: primer-client [--addr HOST:PORT] [--variant base|f|fp|fpc] \
          [--mode simulated|garbled] [--queries N] [--pool N] [--seed N] \
-         [--threads N] [--tokens \"1,2,3;4,5,6\"] [--wan | --lan] [--stats]"
+         [--threads N] [--tokens \"1,2,3;4,5,6\"] [--wan | --lan] \
+         [--suspend-at K] [--stats]"
     );
     exit(2);
 }
 
 fn main() {
     let mut addr = "127.0.0.1:9470".to_string();
-    let mut cfg = ClientConfig::new(ProtocolVariant::Fpc);
+    let mut variant = ProtocolVariant::Fpc;
+    let mut mode = GcMode::Simulated;
+    let mut pool = 2usize;
+    let mut shape: Option<NetworkModel> = None;
+    let mut seed: Option<u64> = None;
     let mut queries = 1usize;
     let mut tokens: Option<Vec<Vec<usize>>> = None;
+    let mut suspend_at: Option<usize> = None;
     let mut stats = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,7 +62,7 @@ fn main() {
         match args[i].as_str() {
             "--addr" => addr = value(&mut i),
             "--variant" => {
-                cfg.variant = match value(&mut i).as_str() {
+                variant = match value(&mut i).as_str() {
                     "base" => ProtocolVariant::Base,
                     "f" => ProtocolVariant::F,
                     "fp" => ProtocolVariant::Fp,
@@ -62,7 +74,7 @@ fn main() {
                 };
             }
             "--mode" => {
-                cfg.mode = match value(&mut i).as_str() {
+                mode = match value(&mut i).as_str() {
                     "simulated" => GcMode::Simulated,
                     "garbled" => GcMode::Garbled,
                     other => {
@@ -72,14 +84,15 @@ fn main() {
                 };
             }
             "--queries" => queries = parse(&value(&mut i)) as usize,
-            "--pool" => cfg.pool = parse(&value(&mut i)) as usize,
-            "--seed" => cfg.seed = parse(&value(&mut i)),
+            "--pool" => pool = parse(&value(&mut i)) as usize,
+            "--seed" => seed = Some(parse(&value(&mut i))),
             // Overrides PRIMER_THREADS for this process; set before any
             // parallel work so the first pool use sees it.
             "--threads" => std::env::set_var("PRIMER_THREADS", value(&mut i)),
             "--tokens" => tokens = Some(parse_tokens(&value(&mut i))),
-            "--wan" => cfg.shape = Some(NetworkModel::paper_wan()),
-            "--lan" => cfg.shape = Some(NetworkModel::paper_lan()),
+            "--wan" => shape = Some(NetworkModel::paper_wan()),
+            "--lan" => shape = Some(NetworkModel::paper_lan()),
+            "--suspend-at" => suspend_at = Some(parse(&value(&mut i)) as usize),
             "--stats" => stats = true,
             "--help" | "-h" => usage(),
             other => {
@@ -89,9 +102,12 @@ fn main() {
         }
         i += 1;
     }
+    let seed = seed.unwrap_or_else(entropy_seed);
+    let builder = ClientBuilder::new(variant).mode(mode).pool(pool).shape(shape).seed(seed);
 
     // --stats is an admin poll, not a session: one request frame on the
-    // control channel, answered even while every worker slot is busy.
+    // control channel, answered by the event loop even while every
+    // worker slot is busy (or hellos are being shed).
     if stats {
         match poll_stats(&addr) {
             Ok(snap) => print!("{}", snap.render()),
@@ -103,17 +119,9 @@ fn main() {
         return;
     }
 
-    // Explicit tokens fix the query list; otherwise random queries are
-    // sampled from --seed once the handshake announces the model shape.
-    let outcome = match tokens {
-        Some(qs) => run_queries(&addr, &cfg, &qs),
-        None => run_random_queries(&addr, &cfg, queries),
-    };
+    let outcome = run(&builder, &addr, queries, tokens, suspend_at, seed);
     match outcome {
         Ok(out) => {
-            for (i, p) in out.predictions.iter().enumerate() {
-                println!("query {i}: class {} logits {:?}", p.predicted, p.logits);
-            }
             let s = &out.summary;
             println!(
                 "session {}: {} queries, server threads {}, offline {:.1} ms / {} B, \
@@ -135,6 +143,47 @@ fn main() {
             exit(1);
         }
     }
+}
+
+/// Runs the session, suspending and resuming partway when asked.
+fn run(
+    builder: &ClientBuilder,
+    addr: &str,
+    queries: usize,
+    tokens: Option<Vec<Vec<usize>>>,
+    suspend_at: Option<usize>,
+    seed: u64,
+) -> Result<primer_serve::RunOutcome, ClientError> {
+    let count = tokens.as_ref().map_or(queries, Vec::len);
+    let mut handle = builder.open(addr, count)?;
+    let qs = match tokens {
+        Some(qs) => qs,
+        None => sample_random_queries(handle.model(), seed, count),
+    };
+    for (i, q) in qs.iter().enumerate() {
+        if suspend_at == Some(i) {
+            let parked = handle.suspend()?;
+            println!(
+                "suspended session {} with {} queries remaining",
+                parked.token(),
+                parked.remaining()
+            );
+            handle = parked.resume_retrying(addr.to_string(), Duration::from_secs(60))?;
+            println!("resumed session {}", handle.session_id());
+        }
+        let p = handle.infer(q)?;
+        println!("query {i}: class {} logits {:?}", p.predicted, p.logits);
+    }
+    handle.finish()
+}
+
+/// A fresh unpredictable seed from OS entropy (`RandomState` hashes
+/// per-process random keys), without an OS rng dependency.
+fn entropy_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u64(std::time::UNIX_EPOCH.elapsed().map_or(0, |d| d.subsec_nanos() as u64));
+    h.finish()
 }
 
 fn parse(s: &str) -> u64 {

@@ -4,26 +4,37 @@
 //! primer-server [--addr 127.0.0.1:9470] [--model test-tiny] [--profile test|paper]
 //!               [--weight-seed 7] [--seed 40] [--max-workers 4] [--pool 2]
 //!               [--threads N] [--sessions N] [--wan | --lan]
+//!               [--shed-max-waiting N] [--suspend-dir PATH]
+//!               [--idle-timeout SECS] [--plane-cache N]
 //! ```
 //!
 //! `--threads` overrides the `PRIMER_THREADS` environment variable (the
 //! offline/HE thread-pool size; default = available cores). The served
 //! thread count is reported in every session summary and the stats table.
 //!
+//! `--shed-max-waiting N` turns on load shedding: once every worker slot
+//! is taken and N hellos are already queued, further hellos get a typed
+//! busy reply instead of waiting. `--suspend-dir PATH` enables session
+//! suspend/resume: suspended sessions park their images under PATH and a
+//! restarted server pointed at the same PATH resumes them by token.
+//!
 //! Prints `listening on <addr>` once bound (machine-readable for smoke
 //! tests with `--addr 127.0.0.1:0`). With `--sessions N` it serves
-//! exactly N sessions, prints the aggregated stats table and exits;
-//! otherwise it serves forever.
+//! exactly N **concluded** sessions (suspended sessions don't count),
+//! prints the aggregated stats table and exits; otherwise it serves
+//! forever.
 
 use primer_net::NetworkModel;
-use primer_serve::{model_by_name, Profile, Server, ServerConfig};
+use primer_serve::{model_by_name, Profile, ServerBuilder, ServerConfig, ShedPolicy};
 use std::process::exit;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: primer-server [--addr HOST:PORT] [--model NAME] [--profile test|paper] \
          [--weight-seed N] [--seed N] [--max-workers N] [--pool N] [--threads N] \
-         [--sessions N] [--wan | --lan]"
+         [--sessions N] [--wan | --lan] [--shed-max-waiting N] [--suspend-dir PATH] \
+         [--idle-timeout SECS] [--plane-cache N]"
     );
     exit(2);
 }
@@ -71,6 +82,12 @@ fn main() {
             "--sessions" => sessions = Some(parse(&value(&mut i)) as usize),
             "--wan" => config.shape = Some(NetworkModel::paper_wan()),
             "--lan" => config.shape = Some(NetworkModel::paper_lan()),
+            "--shed-max-waiting" => {
+                config.shed = ShedPolicy::Shed { max_waiting: parse(&value(&mut i)) as usize };
+            }
+            "--suspend-dir" => config.suspend_dir = Some(value(&mut i).into()),
+            "--idle-timeout" => config.idle_timeout = Duration::from_secs(parse(&value(&mut i))),
+            "--plane-cache" => config.plane_cache = parse(&value(&mut i)) as usize,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -80,7 +97,7 @@ fn main() {
         i += 1;
     }
 
-    let server = Server::bind(&addr, config).unwrap_or_else(|e| {
+    let server = ServerBuilder::from_config(config).bind(&addr).unwrap_or_else(|e| {
         eprintln!("bind {addr}: {e}");
         exit(1);
     });

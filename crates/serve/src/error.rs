@@ -1,0 +1,116 @@
+//! Typed serving-plane errors.
+//!
+//! The v4 API redesign replaced the old stringly `io::Error` mapping
+//! (`io::Error::other(format!(...))` everywhere) with this hierarchy:
+//! callers can now distinguish a transport failure from a config
+//! problem from a peer speaking the protocol wrong, and session-scoped
+//! failures carry the session id.
+
+use crate::proto::ProtoError;
+use std::io;
+
+/// Everything the serving plane can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport-level failure (socket, file system).
+    Io(io::Error),
+    /// The server or builder configuration is unusable (unknown model,
+    /// bad suspend directory, ...).
+    Config(String),
+    /// A peer's frame failed to decode or announced an incompatible
+    /// protocol.
+    Proto(ProtoError),
+    /// A session broke protocol mid-flight (wrong shape, wrong frame,
+    /// truncated flight).
+    Protocol {
+        /// Session the failure happened in.
+        session: u64,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The session's offline producer thread panicked.
+    ProducerPanic {
+        /// Session whose producer died.
+        session: u64,
+    },
+    /// Suspending or resuming a session failed (bad image, missing
+    /// file, config mismatch).
+    Suspend {
+        /// Session being parked or revived.
+        session: u64,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Config(msg) => write!(f, "configuration error: {msg}"),
+            ServeError::Proto(e) => write!(f, "protocol frame error: {e}"),
+            ServeError::Protocol { session, detail } => {
+                write!(f, "session {session} broke protocol: {detail}")
+            }
+            ServeError::ProducerPanic { session } => {
+                write!(f, "session {session}: offline producer panicked")
+            }
+            ServeError::Suspend { session, detail } => {
+                write!(f, "session {session} suspend/resume failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ServeError {
+    fn from(e: ProtoError) -> Self {
+        ServeError::Proto(e)
+    }
+}
+
+/// How a session worker finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// All booked queries served, summary sent.
+    Completed,
+    /// Parked on disk by a suspend request; resumable by token. Does
+    /// **not** count toward a bounded serve run's session budget.
+    Suspended,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_session_ids() {
+        let e = ServeError::Protocol { session: 7, detail: "bad shape".into() };
+        assert!(e.to_string().contains("session 7"));
+        let e = ServeError::Suspend { session: 3, detail: "missing file".into() };
+        assert!(e.to_string().contains("session 3"));
+    }
+
+    #[test]
+    fn io_and_proto_convert() {
+        let e: ServeError = io::Error::new(io::ErrorKind::ConnectionReset, "gone").into();
+        assert!(matches!(e, ServeError::Io(_)));
+        let e: ServeError = ProtoError::Truncated.into();
+        assert!(matches!(e, ServeError::Proto(ProtoError::Truncated)));
+    }
+}

@@ -17,7 +17,7 @@
 //! |---------|----------|---------|
 //! | 0 | [`CH_ONLINE`]  | Setup (Galois keys) + per-query online phases |
 //! | 1 | [`CH_OFFLINE`] | pipelined offline bundle production |
-//! | 2 | [`CH_CONTROL`] | handshake + end-of-session stats + live `/stats` polls |
+//! | 2 | [`CH_CONTROL`] | handshake, suspend/resume, end-of-session stats, live `/stats` polls |
 //!
 //! Keeping the phases on separate channels (each with its own meter) is
 //! what lets a session's offline producer run *while* online queries
@@ -33,22 +33,29 @@
 //! TCP serving is bit-identical to the in-process `Engine` path.
 //!
 //! Binaries: `primer-server` and `primer-client` wrap [`Server`] and
-//! [`run_queries`] with a tiny CLI (see the README quickstart).
+//! [`ClientBuilder`] with a tiny CLI (see the README quickstart).
 
+pub(crate) mod cache;
 pub mod client;
+pub mod error;
 pub mod proto;
 pub mod registry;
 pub mod server;
+pub(crate) mod suspend;
 
+#[allow(deprecated)]
 pub use client::{
-    poll_stats, run_queries, run_random_queries, ClientConfig, ClientError, Prediction, RunOutcome,
+    poll_stats, run_queries, run_random_queries, sample_random_queries, ClientBuilder,
+    ClientConfig, ClientError, Prediction, RunOutcome, SessionHandle, SuspendedSession,
 };
+pub use error::{ServeError, SessionOutcome};
 pub use proto::{
     ClientHello, PhaseStat, Profile, ProtoError, ServerWelcome, SessionState, SessionStat,
-    SessionSummary, StatsRequest, StatsSnapshot,
+    SessionSummary, StatsRequest, StatsSnapshot, StatsSnapshotBuilder, SuspendReply,
+    SuspendRequest,
 };
-pub use registry::{ServerStats, SessionRecord};
-pub use server::{Server, ServerConfig};
+pub use registry::{PreparedPlaneStats, ServerStats, SessionRecord};
+pub use server::{Server, ServerBuilder, ServerConfig, ShedPolicy};
 
 use primer_core::{ConfigError, PhaseCost, SystemConfig};
 use primer_net::{LinkShaper, MeteredTransport, ShapedTransport, TcpTransport};

@@ -37,7 +37,18 @@ use primer_nn::TransformerConfig;
 /// v3: the control channel's first frame may be a [`StatsRequest`]
 /// (magic `PRST`) instead of a hello — a live admin poll answered with
 /// a [`StatsSnapshot`] that never consumes a session worker slot.
-pub const PROTOCOL_VERSION: u32 = 3;
+///
+/// v4: the serving plane went event-driven. A [`ClientHello`] may
+/// **resume** a suspended session (kind byte + token), the server may
+/// answer a hello with a typed **busy** frame instead of queueing it
+/// forever (admission control / load shedding), mid-session control
+/// frames negotiate suspension ([`SuspendRequest`] / [`SuspendReply`]),
+/// and the stats snapshot grows shed/suspend/eviction counters. v3
+/// *pollers* stay supported: [`StatsRequest::decode`] accepts both
+/// versions and the server answers a v3 poll with the v3 field set —
+/// post-v3 session states downgraded to their closest v3 code, the new
+/// trailing counters omitted.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Magic prefix of every hello frame.
 pub const MAGIC: [u8; 4] = *b"PRMR";
@@ -45,6 +56,10 @@ pub const MAGIC: [u8; 4] = *b"PRMR";
 /// Magic prefix of a stats-poll frame (discriminates the connection's
 /// first control frame from a [`ClientHello`]).
 pub const STATS_MAGIC: [u8; 4] = *b"PRST";
+
+/// Magic prefix of a mid-session suspend request on the control
+/// channel.
+pub const SUSPEND_MAGIC: [u8; 4] = *b"PRSU";
 
 /// Errors raised while decoding a peer's frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +77,14 @@ pub enum ProtoError {
     BadCode(u8),
     /// The server rejected the hello; the payload explains why.
     Rejected(String),
+    /// The server is at capacity and shed this session (admission
+    /// control) — retry later, nothing about this session was kept.
+    Busy {
+        /// Session workers active when the hello was shed.
+        active: u64,
+        /// The server's configured worker cap.
+        cap: u64,
+    },
 }
 
 impl std::fmt::Display for ProtoError {
@@ -74,6 +97,9 @@ impl std::fmt::Display for ProtoError {
             }
             ProtoError::BadCode(c) => write!(f, "unknown enum code {c}"),
             ProtoError::Rejected(msg) => write!(f, "server rejected session: {msg}"),
+            ProtoError::Busy { active, cap } => {
+                write!(f, "server busy ({active}/{cap} workers), session shed — retry later")
+            }
         }
     }
 }
@@ -92,7 +118,7 @@ impl<'a> Cursor<'a> {
         Self { bytes, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
         if self.pos + n > self.bytes.len() {
             return Err(ProtoError::Truncated);
         }
@@ -208,6 +234,12 @@ pub struct ClientHello {
     pub queries: u32,
     /// Offline pool bound the client will pipeline with.
     pub pool: u32,
+    /// `Some(token)` resumes a previously suspended session instead of
+    /// opening a fresh one: the server reloads the session's parked
+    /// image (keys + unconsumed offline bundles) from its suspend
+    /// directory and serves the remaining `queries` from it. The token
+    /// is the session id the suspend ack handed back.
+    pub resume: Option<u64>,
 }
 
 impl ClientHello {
@@ -220,6 +252,13 @@ impl ClientHello {
         out.push(mode_code(self.mode));
         put_u32(&mut out, self.queries);
         put_u32(&mut out, self.pool);
+        match self.resume {
+            None => out.push(0),
+            Some(token) => {
+                out.push(1);
+                put_u64(&mut out, token);
+            }
+        }
         out
     }
 
@@ -239,17 +278,22 @@ impl ClientHello {
         if version != PROTOCOL_VERSION {
             return Err(ProtoError::VersionMismatch { theirs: version });
         }
-        Ok(Self {
-            variant: variant_from_code(c.u8()?)?,
-            mode: mode_from_code(c.u8()?)?,
-            queries: c.u32()?,
-            pool: c.u32()?,
-        })
+        let variant = variant_from_code(c.u8()?)?;
+        let mode = mode_from_code(c.u8()?)?;
+        let queries = c.u32()?;
+        let pool = c.u32()?;
+        let resume = match c.u8()? {
+            0 => None,
+            1 => Some(c.u64()?),
+            other => return Err(ProtoError::BadCode(other)),
+        };
+        Ok(Self { variant, mode, queries, pool, resume })
     }
 }
 
 const STATUS_OK: u8 = 0;
 const STATUS_REJECT: u8 = 1;
+const STATUS_BUSY: u8 = 2;
 
 /// The server's accept frame: everything the client needs to
 /// reconstruct the identical quantized model and system configuration.
@@ -294,17 +338,28 @@ impl ServerWelcome {
         out
     }
 
-    /// Decodes a welcome or rejection frame.
+    /// Encodes a typed busy (shed) reply: the server is at capacity and
+    /// kept nothing about this session.
+    pub fn encode_busy(active: u64, cap: u64) -> Vec<u8> {
+        let mut out = vec![STATUS_BUSY];
+        put_u64(&mut out, active);
+        put_u64(&mut out, cap);
+        out
+    }
+
+    /// Decodes a welcome, rejection or busy frame.
     ///
     /// # Errors
     ///
-    /// [`ProtoError::Rejected`] when the server declined, other
+    /// [`ProtoError::Rejected`] when the server declined,
+    /// [`ProtoError::Busy`] when it shed the session, other
     /// [`ProtoError`]s on malformed frames.
     pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
         let mut c = Cursor::new(bytes);
         match c.u8()? {
             STATUS_OK => {}
             STATUS_REJECT => return Err(ProtoError::Rejected(c.string()?)),
+            STATUS_BUSY => return Err(ProtoError::Busy { active: c.u64()?, cap: c.u64()? }),
             other => return Err(ProtoError::BadCode(other)),
         }
         let session_id = c.u64()?;
@@ -423,6 +478,117 @@ impl SessionSummary {
     }
 }
 
+// ---- suspend / resume ----------------------------------------------------
+
+/// Whether a control frame is a mid-session suspend request.
+pub fn is_suspend_frame(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == SUSPEND_MAGIC
+}
+
+/// A mid-session suspend request, sent by the client on the control
+/// channel **between queries** (the only wire-consistent point). The
+/// server answers with a [`SuspendReply`]; on an ack, both sides drain
+/// their offline pipelines in the normal lockstep schedule and the
+/// server parks the session's image on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuspendRequest;
+
+impl SuspendRequest {
+    /// Encodes the suspend-request frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SUSPEND_MAGIC);
+        put_u32(&mut out, PROTOCOL_VERSION);
+        out
+    }
+
+    /// Decodes a suspend-request frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on truncation, bad magic or version.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(c.take(4)?);
+        if magic != SUSPEND_MAGIC {
+            return Err(ProtoError::BadMagic);
+        }
+        let version = c.u32()?;
+        if version != PROTOCOL_VERSION {
+            return Err(ProtoError::VersionMismatch { theirs: version });
+        }
+        Ok(Self)
+    }
+}
+
+/// The server's answer to a [`SuspendRequest`] — two frames on an
+/// accepted suspension. The [`SuspendReply::Ack`] is sent **before**
+/// either side drains its offline pipeline — the client blocks on it,
+/// so an ack-after-drain ordering would deadlock the lockstep
+/// producers. Once the image is durably on disk the server follows up
+/// with [`SuspendReply::Parked`]; the client waits for it after its own
+/// drain, so a returned `suspend()` implies the session is resumable
+/// even against a server that crashes the next instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuspendReply {
+    /// Suspension accepted; drain now. `token` resumes the session in a
+    /// later hello ([`ClientHello::resume`]); `remaining` is how many
+    /// booked queries are still unserved.
+    Ack {
+        /// Resume token (the session id).
+        token: u64,
+        /// Booked queries still unserved.
+        remaining: u64,
+    },
+    /// The server cannot park this session (e.g. no suspend directory
+    /// configured, or a garbled-mode session whose one-time labels
+    /// cannot be serialized). The session keeps serving normally.
+    Refused(String),
+    /// The drain finished and the image is durably on disk; sent after
+    /// the [`SuspendReply::Ack`] on the same control channel.
+    Parked,
+}
+
+/// Frame-local code for [`SuspendReply::Parked`] (0 and 1 are
+/// `STATUS_OK` / `STATUS_REJECT`).
+const SUSPEND_PARKED: u8 = 2;
+
+impl SuspendReply {
+    /// Encodes the reply frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            SuspendReply::Ack { token, remaining } => {
+                let mut out = vec![STATUS_OK];
+                put_u64(&mut out, *token);
+                put_u64(&mut out, *remaining);
+                out
+            }
+            SuspendReply::Refused(reason) => {
+                let mut out = vec![STATUS_REJECT];
+                put_string(&mut out, reason);
+                out
+            }
+            SuspendReply::Parked => vec![SUSPEND_PARKED],
+        }
+    }
+
+    /// Decodes a reply frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on malformed frames.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor::new(bytes);
+        match c.u8()? {
+            STATUS_OK => Ok(SuspendReply::Ack { token: c.u64()?, remaining: c.u64()? }),
+            STATUS_REJECT => Ok(SuspendReply::Refused(c.string()?)),
+            SUSPEND_PARKED => Ok(SuspendReply::Parked),
+            other => Err(ProtoError::BadCode(other)),
+        }
+    }
+}
+
 // ---- stats polling -------------------------------------------------------
 
 /// Whether a control frame opens a stats poll (vs a session hello).
@@ -437,23 +603,41 @@ pub fn is_stats_frame(bytes: &[u8]) -> bool {
 /// in place of a [`ClientHello`]. The server answers with one
 /// [`StatsSnapshot`] frame and closes; the poll never acquires a
 /// session worker slot and never counts toward a bounded accept run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StatsRequest;
+///
+/// The poll carries the poller's protocol version; the server accepts
+/// v3 **and** v4 polls and answers each in its own dialect
+/// ([`StatsSnapshot::encode_for`]), so pre-redesign monitoring keeps
+/// working unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsRequest {
+    /// Protocol version the poller speaks (3 or 4).
+    pub version: u32,
+}
+
+/// Oldest stats-poll dialect the server still answers.
+pub const STATS_MIN_VERSION: u32 = 3;
 
 impl StatsRequest {
+    /// A poll at the current protocol version.
+    pub fn new() -> Self {
+        Self { version: PROTOCOL_VERSION }
+    }
+
     /// Encodes the poll frame.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&STATS_MAGIC);
-        put_u32(&mut out, PROTOCOL_VERSION);
+        put_u32(&mut out, self.version);
         out
     }
 
-    /// Decodes a poll frame.
+    /// Decodes a poll frame, accepting any dialect in
+    /// [`STATS_MIN_VERSION`]`..=`[`PROTOCOL_VERSION`].
     ///
     /// # Errors
     ///
-    /// [`ProtoError`] on truncation, bad magic or version.
+    /// [`ProtoError`] on truncation, bad magic or an unsupported
+    /// version.
     pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
         let mut c = Cursor::new(bytes);
         let mut magic = [0u8; 4];
@@ -462,10 +646,16 @@ impl StatsRequest {
             return Err(ProtoError::BadMagic);
         }
         let version = c.u32()?;
-        if version != PROTOCOL_VERSION {
+        if !(STATS_MIN_VERSION..=PROTOCOL_VERSION).contains(&version) {
             return Err(ProtoError::VersionMismatch { theirs: version });
         }
-        Ok(Self)
+        Ok(Self { version })
+    }
+}
+
+impl Default for StatsRequest {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -482,6 +672,11 @@ pub enum SessionState {
     Completed,
     /// Failed partway (protocol error, timeout, worker panic).
     Failed,
+    /// Setup done, offline pipeline spinning up (v4; first query not
+    /// yet served).
+    Offline,
+    /// Parked on disk between queries (v4); resumable by token.
+    Suspended,
 }
 
 pub(crate) fn state_code(s: SessionState) -> u8 {
@@ -491,6 +686,20 @@ pub(crate) fn state_code(s: SessionState) -> u8 {
         SessionState::Serving => 2,
         SessionState::Completed => 3,
         SessionState::Failed => 4,
+        SessionState::Offline => 5,
+        SessionState::Suspended => 6,
+    }
+}
+
+/// The closest v3 code for each state — what a v3 poller is told.
+/// `Offline` reads as serving (the session holds a worker and is making
+/// progress); `Suspended` reads as completed (no worker, no further
+/// wire activity unless resumed).
+pub(crate) fn state_code_v3(s: SessionState) -> u8 {
+    match s {
+        SessionState::Offline => state_code(SessionState::Serving),
+        SessionState::Suspended => state_code(SessionState::Completed),
+        other => state_code(other),
     }
 }
 
@@ -501,6 +710,8 @@ pub(crate) fn state_from_code(c: u8) -> Result<SessionState, ProtoError> {
         2 => SessionState::Serving,
         3 => SessionState::Completed,
         4 => SessionState::Failed,
+        5 => SessionState::Offline,
+        6 => SessionState::Suspended,
         _ => return Err(ProtoError::BadCode(c)),
     })
 }
@@ -514,6 +725,8 @@ impl SessionState {
             SessionState::Serving => "serving",
             SessionState::Completed => "completed",
             SessionState::Failed => "failed",
+            SessionState::Offline => "offline",
+            SessionState::Suspended => "suspended",
         }
     }
 }
@@ -564,36 +777,199 @@ pub struct PhaseStat {
 /// point-in-time picture of the whole serving plane. Counters are
 /// cumulative since server start (completed sessions keep counting);
 /// gauges and per-session lines are instantaneous.
+///
+/// Fields are private as of v4 — construct with
+/// [`StatsSnapshot::builder`], read through the getters. The wire
+/// layout stays v3-compatible: the v4 additions (shed / suspend /
+/// eviction counters) ride as a trailing extension that
+/// [`StatsSnapshot::decode`] treats as optional, and
+/// [`StatsSnapshot::encode_for`] omits for v3 pollers.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// Session workers currently holding a slot.
-    pub workers_active: u64,
-    /// The configured worker cap.
-    pub workers_cap: u64,
-    /// Session-intent connections blocked waiting for a slot.
-    pub backlog: u64,
-    /// Prepared planes built (cache misses).
-    pub planes_built: u64,
-    /// Sessions served from an already-encoded plane (cache hits).
-    pub planes_reused: u64,
-    /// Bytes pinned by cached planes' NTT-form masks.
-    pub plane_resident_mask_bytes: u64,
-    /// Wall-clock spent encoding planes, milliseconds.
-    pub plane_build_ms: u64,
-    /// One line per session the server has seen, in id order.
-    pub sessions: Vec<SessionStat>,
-    /// Cumulative HE op counts across all sessions (`he.*` names; zero
-    /// counts are omitted).
-    pub he_ops: Vec<(String, u64)>,
-    /// Per-phase latency summaries (`setup`, `offline`, `online`).
-    pub phases: Vec<(String, PhaseStat)>,
-    /// Per-channel traffic totals (`online`, `offline`, `control`).
-    pub channels: Vec<(String, TrafficSnapshot)>,
+    workers_active: u64,
+    workers_cap: u64,
+    backlog: u64,
+    planes_built: u64,
+    planes_reused: u64,
+    plane_resident_mask_bytes: u64,
+    plane_build_ms: u64,
+    sessions: Vec<SessionStat>,
+    he_ops: Vec<(String, u64)>,
+    phases: Vec<(String, PhaseStat)>,
+    channels: Vec<(String, TrafficSnapshot)>,
+    // v4 trailing extension.
+    shed_total: u64,
+    suspended: u64,
+    resumed_total: u64,
+    plane_evictions: u64,
+}
+
+/// Step-by-step constructor for [`StatsSnapshot`] (its fields are
+/// private so the wire encoding can evolve without breaking callers).
+#[derive(Debug, Default)]
+pub struct StatsSnapshotBuilder {
+    snap: StatsSnapshot,
+}
+
+impl StatsSnapshotBuilder {
+    /// Worker gauges: slots held, the configured cap, and
+    /// session-intent connections waiting for a slot.
+    pub fn workers(mut self, active: u64, cap: u64, backlog: u64) -> Self {
+        self.snap.workers_active = active;
+        self.snap.workers_cap = cap;
+        self.snap.backlog = backlog;
+        self
+    }
+
+    /// Prepared-plane cache counters.
+    pub fn planes(
+        mut self,
+        built: u64,
+        reused: u64,
+        evictions: u64,
+        resident_mask_bytes: u64,
+        build_ms: u64,
+    ) -> Self {
+        self.snap.planes_built = built;
+        self.snap.planes_reused = reused;
+        self.snap.plane_evictions = evictions;
+        self.snap.plane_resident_mask_bytes = resident_mask_bytes;
+        self.snap.plane_build_ms = build_ms;
+        self
+    }
+
+    /// Admission/suspension counters: sessions shed at admission,
+    /// sessions currently parked on disk, resumes served.
+    pub fn churn(mut self, shed_total: u64, suspended: u64, resumed_total: u64) -> Self {
+        self.snap.shed_total = shed_total;
+        self.snap.suspended = suspended;
+        self.snap.resumed_total = resumed_total;
+        self
+    }
+
+    /// Appends one session line (call in id order).
+    pub fn session(mut self, s: SessionStat) -> Self {
+        self.snap.sessions.push(s);
+        self
+    }
+
+    /// Appends one cumulative HE op counter.
+    pub fn he_op(mut self, name: impl Into<String>, value: u64) -> Self {
+        self.snap.he_ops.push((name.into(), value));
+        self
+    }
+
+    /// Appends one phase-latency summary.
+    pub fn phase(mut self, name: impl Into<String>, p: PhaseStat) -> Self {
+        self.snap.phases.push((name.into(), p));
+        self
+    }
+
+    /// Appends one channel traffic line.
+    pub fn channel(mut self, name: impl Into<String>, t: TrafficSnapshot) -> Self {
+        self.snap.channels.push((name.into(), t));
+        self
+    }
+
+    /// Finishes the snapshot.
+    pub fn build(self) -> StatsSnapshot {
+        self.snap
+    }
 }
 
 impl StatsSnapshot {
-    /// Encodes the snapshot (status-OK) frame.
+    /// Starts building a snapshot.
+    pub fn builder() -> StatsSnapshotBuilder {
+        StatsSnapshotBuilder::default()
+    }
+
+    /// Session workers currently holding a slot.
+    pub fn workers_active(&self) -> u64 {
+        self.workers_active
+    }
+
+    /// The configured worker cap.
+    pub fn workers_cap(&self) -> u64 {
+        self.workers_cap
+    }
+
+    /// Session-intent connections waiting for a worker slot.
+    pub fn backlog(&self) -> u64 {
+        self.backlog
+    }
+
+    /// Prepared planes built (cache misses).
+    pub fn planes_built(&self) -> u64 {
+        self.planes_built
+    }
+
+    /// Sessions served from an already-encoded plane (cache hits).
+    pub fn planes_reused(&self) -> u64 {
+        self.planes_reused
+    }
+
+    /// Planes dropped by LRU eviction.
+    pub fn plane_evictions(&self) -> u64 {
+        self.plane_evictions
+    }
+
+    /// Bytes pinned by cached planes' NTT-form masks.
+    pub fn plane_resident_mask_bytes(&self) -> u64 {
+        self.plane_resident_mask_bytes
+    }
+
+    /// Wall-clock spent encoding planes, milliseconds.
+    pub fn plane_build_ms(&self) -> u64 {
+        self.plane_build_ms
+    }
+
+    /// Sessions shed at admission (typed busy replies sent).
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total
+    }
+
+    /// Sessions currently parked on disk.
+    pub fn suspended(&self) -> u64 {
+        self.suspended
+    }
+
+    /// Suspended sessions resumed since server start.
+    pub fn resumed_total(&self) -> u64 {
+        self.resumed_total
+    }
+
+    /// One line per session the server has seen, in id order.
+    pub fn sessions(&self) -> &[SessionStat] {
+        &self.sessions
+    }
+
+    /// Cumulative HE op counts across all sessions (`he.*` names; zero
+    /// counts are omitted).
+    pub fn he_ops(&self) -> &[(String, u64)] {
+        &self.he_ops
+    }
+
+    /// Per-phase latency summaries (`setup`, `offline`, `online`).
+    pub fn phases(&self) -> &[(String, PhaseStat)] {
+        &self.phases
+    }
+
+    /// Per-channel traffic totals (`online`, `offline`, `control`).
+    pub fn channels(&self) -> &[(String, TrafficSnapshot)] {
+        &self.channels
+    }
+
+    /// Encodes the snapshot (status-OK) frame in the current dialect.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_for(PROTOCOL_VERSION)
+    }
+
+    /// Encodes the snapshot for a poller speaking `version`: a v3 frame
+    /// uses v3 session-state codes (post-v3 states downgraded) and omits
+    /// the trailing v4 counters, so pre-redesign pollers decode it
+    /// unchanged.
+    pub fn encode_for(&self, version: u32) -> Vec<u8> {
+        let v3 = version <= 3;
         let mut out = vec![STATUS_OK];
         for v in [
             self.workers_active,
@@ -610,7 +986,7 @@ impl StatsSnapshot {
         for s in &self.sessions {
             put_u64(&mut out, s.id);
             out.push(variant_code(s.variant));
-            out.push(state_code(s.state));
+            out.push(if v3 { state_code_v3(s.state) } else { state_code(s.state) });
             put_u64(&mut out, s.queries_done);
             put_u64(&mut out, s.queries_booked);
             put_u64(&mut out, s.pool_depth);
@@ -632,6 +1008,11 @@ impl StatsSnapshot {
         for (name, t) in &self.channels {
             put_string(&mut out, name);
             for v in [t.c2s_bytes, t.s2c_bytes, t.c2s_messages, t.s2c_messages] {
+                put_u64(&mut out, v);
+            }
+        }
+        if !v3 {
+            for v in [self.shed_total, self.suspended, self.resumed_total, self.plane_evictions] {
                 put_u64(&mut out, v);
             }
         }
@@ -715,6 +1096,12 @@ impl StatsSnapshot {
                 },
             ));
         }
+        // v4 trailing extension — absent in a v3-shaped frame, which
+        // decodes with the new counters zeroed.
+        let (shed_total, suspended, resumed_total, plane_evictions) = match c.u64() {
+            Ok(shed) => (shed, c.u64()?, c.u64()?, c.u64()?),
+            Err(_) => (0, 0, 0, 0),
+        };
         Ok(Self {
             workers_active,
             workers_cap,
@@ -727,6 +1114,10 @@ impl StatsSnapshot {
             he_ops,
             phases,
             channels,
+            shed_total,
+            suspended,
+            resumed_total,
+            plane_evictions,
         })
     }
 
@@ -741,11 +1132,17 @@ impl StatsSnapshot {
         );
         let _ = writeln!(
             out,
-            "prepared planes: {} built ({} ms), {} reused, {:.1} MiB resident masks",
+            "prepared planes: {} built ({} ms), {} reused, {} evicted, {:.1} MiB resident masks",
             self.planes_built,
             self.plane_build_ms,
             self.planes_reused,
+            self.plane_evictions,
             self.plane_resident_mask_bytes as f64 / (1024.0 * 1024.0),
+        );
+        let _ = writeln!(
+            out,
+            "admission: {} shed; suspended: {} parked, {} resumed",
+            self.shed_total, self.suspended, self.resumed_total
         );
         let _ = writeln!(
             out,
@@ -807,8 +1204,11 @@ mod tests {
             mode: GcMode::Garbled,
             queries: 12,
             pool: 3,
+            resume: None,
         };
         assert_eq!(ClientHello::decode(&h.encode()).expect("decode"), h);
+        let r = ClientHello { resume: Some(41), ..h };
+        assert_eq!(ClientHello::decode(&r.encode()).expect("decode"), r);
     }
 
     #[test]
@@ -818,6 +1218,7 @@ mod tests {
             mode: GcMode::Simulated,
             queries: 1,
             pool: 1,
+            resume: None,
         }
         .encode();
         bytes[0] = b'X';
@@ -827,6 +1228,7 @@ mod tests {
             mode: GcMode::Simulated,
             queries: 1,
             pool: 1,
+            resume: None,
         }
         .encode();
         bytes2[4] = 99;
@@ -834,6 +1236,28 @@ mod tests {
             ClientHello::decode(&bytes2),
             Err(ProtoError::VersionMismatch { theirs: 99 })
         ));
+    }
+
+    #[test]
+    fn busy_reply_is_typed() {
+        let bytes = ServerWelcome::encode_busy(4, 4);
+        assert_eq!(ServerWelcome::decode(&bytes), Err(ProtoError::Busy { active: 4, cap: 4 }));
+        assert!(ProtoError::Busy { active: 4, cap: 4 }.to_string().contains("busy"));
+    }
+
+    #[test]
+    fn suspend_frames_roundtrip() {
+        let req = SuspendRequest.encode();
+        assert!(is_suspend_frame(&req));
+        assert!(!is_stats_frame(&req));
+        assert_eq!(SuspendRequest::decode(&req), Ok(SuspendRequest));
+
+        let ack = SuspendReply::Ack { token: 9, remaining: 3 };
+        assert_eq!(SuspendReply::decode(&ack.encode()).expect("decode"), ack);
+        let refused = SuspendReply::Refused("garbled sessions cannot park".into());
+        assert_eq!(SuspendReply::decode(&refused.encode()).expect("decode"), refused);
+        let parked = SuspendReply::Parked;
+        assert_eq!(SuspendReply::decode(&parked.encode()).expect("decode"), parked);
     }
 
     #[test]
@@ -862,20 +1286,24 @@ mod tests {
 
     #[test]
     fn stats_request_is_discriminated_from_hello() {
-        let req = StatsRequest.encode();
+        let req = StatsRequest::new().encode();
         assert!(is_stats_frame(&req));
-        assert_eq!(StatsRequest::decode(&req), Ok(StatsRequest));
+        assert_eq!(StatsRequest::decode(&req), Ok(StatsRequest::new()));
         let hello = ClientHello {
             variant: ProtocolVariant::Fp,
             mode: GcMode::Simulated,
             queries: 1,
             pool: 1,
+            resume: None,
         }
         .encode();
         assert!(!is_stats_frame(&hello));
         assert!(!is_stats_frame(b"PR"));
-        // A version-skewed poll decodes to a reasoned error, so the
-        // server can reject it instead of hanging up.
+        // A v3 poll still decodes — the server answers in its dialect.
+        let v3 = StatsRequest { version: 3 };
+        assert_eq!(StatsRequest::decode(&v3.encode()), Ok(v3));
+        // Older than v3 decodes to a reasoned error, so the server can
+        // reject it instead of hanging up.
         let mut old = req.clone();
         old[4] = 2;
         assert!(matches!(
@@ -884,39 +1312,33 @@ mod tests {
         ));
     }
 
-    #[test]
-    fn stats_snapshot_roundtrip() {
-        let snap = StatsSnapshot {
-            workers_active: 2,
-            workers_cap: 4,
-            backlog: 1,
-            planes_built: 1,
-            planes_reused: 3,
-            plane_resident_mask_bytes: 1 << 20,
-            plane_build_ms: 17,
-            sessions: vec![
-                SessionStat {
-                    id: 0,
-                    variant: ProtocolVariant::Fpc,
-                    state: SessionState::Completed,
-                    queries_done: 5,
-                    queries_booked: 5,
-                    pool_depth: 0,
-                    pool_capacity: 2,
-                },
-                SessionStat {
-                    id: 1,
-                    variant: ProtocolVariant::F,
-                    state: SessionState::Serving,
-                    queries_done: 2,
-                    queries_booked: 8,
-                    pool_depth: 1,
-                    pool_capacity: 2,
-                },
-            ],
-            he_ops: vec![("he.rotations".into(), 96), ("he.ntt".into(), 4200)],
-            phases: vec![(
-                "online".into(),
+    fn sample_snapshot() -> StatsSnapshot {
+        StatsSnapshot::builder()
+            .workers(2, 4, 1)
+            .planes(1, 3, 2, 1 << 20, 17)
+            .churn(5, 1, 2)
+            .session(SessionStat {
+                id: 0,
+                variant: ProtocolVariant::Fpc,
+                state: SessionState::Completed,
+                queries_done: 5,
+                queries_booked: 5,
+                pool_depth: 0,
+                pool_capacity: 2,
+            })
+            .session(SessionStat {
+                id: 1,
+                variant: ProtocolVariant::F,
+                state: SessionState::Suspended,
+                queries_done: 2,
+                queries_booked: 8,
+                pool_depth: 1,
+                pool_capacity: 2,
+            })
+            .he_op("he.rotations", 96)
+            .he_op("he.ntt", 4200)
+            .phase(
+                "online",
                 PhaseStat {
                     count: 7,
                     sum_ns: 700,
@@ -926,27 +1348,54 @@ mod tests {
                     p95_ns: 180,
                     p99_ns: 199,
                 },
-            )],
-            channels: vec![(
-                "online".into(),
+            )
+            .channel(
+                "online",
                 TrafficSnapshot {
                     c2s_bytes: 10,
                     s2c_bytes: 20,
                     c2s_messages: 1,
                     s2c_messages: 2,
                 },
-            )],
-        };
+            )
+            .build()
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrip() {
+        let snap = sample_snapshot();
         let got = StatsSnapshot::decode(&snap.encode()).expect("decode");
         assert_eq!(got, snap);
+        assert_eq!(got.shed_total(), 5);
+        assert_eq!(got.suspended(), 1);
+        assert_eq!(got.resumed_total(), 2);
+        assert_eq!(got.plane_evictions(), 2);
         let text = got.render();
         assert!(text.contains("2/4 active"));
-        assert!(text.contains("serving"));
+        assert!(text.contains("suspended"));
+        assert!(text.contains("5 shed"));
+        assert!(text.contains("2 evicted"));
         assert!(text.contains("rotations=96"));
 
         // Rejections carry the reason.
         let rej = StatsSnapshot::encode_reject("old poller");
         assert_eq!(StatsSnapshot::decode(&rej), Err(ProtoError::Rejected("old poller".into())));
+    }
+
+    #[test]
+    fn stats_snapshot_v3_dialect_downgrades() {
+        let snap = sample_snapshot();
+        let v3_frame = snap.encode_for(3);
+        // Shorter than the v4 frame by exactly the 4-counter tail.
+        assert_eq!(snap.encode().len(), v3_frame.len() + 32);
+        let got = StatsSnapshot::decode(&v3_frame).expect("v3 frame decodes");
+        // New counters absent → zeroed.
+        assert_eq!(got.shed_total(), 0);
+        assert_eq!(got.plane_evictions(), 0);
+        // Post-v3 states downgraded to their closest v3 code.
+        assert_eq!(got.sessions()[1].state, SessionState::Completed);
+        assert_eq!(got.sessions()[0].state, SessionState::Completed);
+        assert_eq!(got.workers_cap(), snap.workers_cap());
     }
 
     #[test]

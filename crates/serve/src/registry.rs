@@ -5,7 +5,7 @@
 //! blocks a serving worker.
 
 use crate::proto::{SessionStat, SessionState};
-use primer_core::{PhaseCost, PhaseTotals, PoolWatch, ProtocolVariant};
+use primer_core::{PhaseTotals, PoolWatch, ProtocolVariant};
 use primer_he::{OpCounters, OpCounts};
 use primer_net::{Meter, TrafficSnapshot};
 use std::net::SocketAddr;
@@ -49,6 +49,9 @@ pub struct PreparedPlaneStats {
     pub resident_mask_bytes: u64,
     /// Wall-clock spent encoding planes, milliseconds (misses only).
     pub build_ms: u64,
+    /// Planes dropped by the LRU bound (an evicted plane rebuilds on
+    /// next use — this counts rebuild cost paid, not correctness risk).
+    pub evictions: u64,
 }
 
 /// One session's live observability handles, registered at handshake
@@ -88,8 +91,19 @@ impl LiveSession {
         self.state.store(crate::proto::state_code(s), Ordering::Relaxed);
     }
 
+    pub fn state(&self) -> SessionState {
+        crate::proto::state_from_code(self.state.load(Ordering::Relaxed))
+            .expect("live state codes are always valid")
+    }
+
     pub fn query_done(&self) {
         self.queries_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Restores pre-suspension progress on a resumed session's fresh
+    /// live entry, so `/stats` shows cumulative done/booked counts.
+    pub fn restore_progress(&self, done: u64) {
+        self.queries_done.store(done, Ordering::Relaxed);
     }
 
     pub fn watch_pool(&self, watch: PoolWatch) {
@@ -171,6 +185,25 @@ impl Registry {
         live
     }
 
+    /// Re-registers a resumed session. In the same process this finds
+    /// the suspended entry and returns it (one `/stats` line per
+    /// session; the suspended gauge drops when its state moves on);
+    /// after a restart there is no entry and a fresh one is created.
+    pub fn reopen_session(
+        &self,
+        id: u64,
+        variant: ProtocolVariant,
+        queries_booked: u64,
+    ) -> Arc<LiveSession> {
+        let mut live = self.live.lock().expect("registry mutex poisoned");
+        if let Some(existing) = live.iter().find(|s| s.id == id) {
+            return Arc::clone(existing);
+        }
+        let fresh = Arc::new(LiveSession::new(id, variant, queries_booked));
+        live.push(Arc::clone(&fresh));
+        fresh
+    }
+
     /// The live table, in handshake order.
     pub fn live_sessions(&self) -> Vec<Arc<LiveSession>> {
         self.live.lock().expect("registry mutex poisoned").clone()
@@ -192,6 +225,26 @@ impl Registry {
         self.prepared.lock().expect("registry mutex poisoned").reused += 1;
     }
 
+    /// Accounts one LRU eviction: the plane's masks are no longer
+    /// resident (sessions still holding the Arc keep it alive, but the
+    /// cache dropped its reference).
+    pub fn record_plane_evicted(&self, mask_bytes: u64) {
+        let mut p = self.prepared.lock().expect("registry mutex poisoned");
+        p.evictions += 1;
+        p.resident_mask_bytes = p.resident_mask_bytes.saturating_sub(mask_bytes);
+    }
+
+    /// Sessions currently parked on disk (live entries in the
+    /// `Suspended` state).
+    pub fn suspended_now(&self) -> u64 {
+        self.live
+            .lock()
+            .expect("registry mutex poisoned")
+            .iter()
+            .filter(|s| s.state() == SessionState::Suspended)
+            .count() as u64
+    }
+
     pub fn prepared_snapshot(&self) -> PreparedPlaneStats {
         *self.prepared.lock().expect("registry mutex poisoned")
     }
@@ -200,27 +253,43 @@ impl Registry {
         let mut sessions = self.completed.into_inner().expect("registry mutex poisoned");
         sessions.sort_by_key(|r| r.id);
         let prepared = self.prepared.into_inner().expect("registry mutex poisoned");
-        ServerStats { sessions, prepared }
+        ServerStats::new(sessions, prepared)
     }
 
     pub fn snapshot(&self) -> ServerStats {
         let mut sessions = self.completed.lock().expect("registry mutex poisoned").clone();
         sessions.sort_by_key(|r| r.id);
         let prepared = *self.prepared.lock().expect("registry mutex poisoned");
-        ServerStats { sessions, prepared }
+        ServerStats::new(sessions, prepared)
     }
 }
 
 /// Aggregated view over every completed session.
+///
+/// Fields are private as of v4 — the struct is assembled by the server
+/// (`Registry::into_stats`) and read through the getters, so its shape
+/// can evolve without breaking callers.
 #[derive(Debug, Clone, Default)]
 pub struct ServerStats {
-    /// Per-session records, in session-id order.
-    pub sessions: Vec<SessionRecord>,
-    /// Prepared-weights plane cache counters.
-    pub prepared: PreparedPlaneStats,
+    sessions: Vec<SessionRecord>,
+    prepared: PreparedPlaneStats,
 }
 
 impl ServerStats {
+    pub(crate) fn new(sessions: Vec<SessionRecord>, prepared: PreparedPlaneStats) -> Self {
+        Self { sessions, prepared }
+    }
+
+    /// Per-session records, in session-id order.
+    pub fn sessions(&self) -> &[SessionRecord] {
+        &self.sessions
+    }
+
+    /// Prepared-weights plane cache counters.
+    pub fn prepared(&self) -> PreparedPlaneStats {
+        self.prepared
+    }
+
     /// Total queries served across sessions.
     pub fn total_queries(&self) -> usize {
         self.sessions.iter().map(|s| s.queries).sum()
@@ -281,22 +350,13 @@ impl ServerStats {
         );
         let _ = writeln!(
             out,
-            "prepared planes: {} built ({} ms), {} reused, {:.1} MiB resident masks",
+            "prepared planes: {} built ({} ms), {} reused, {} evicted, {:.1} MiB resident masks",
             self.prepared.built,
             self.prepared.build_ms,
             self.prepared.reused,
+            self.prepared.evictions,
             self.prepared.resident_mask_bytes as f64 / (1024.0 * 1024.0),
         );
         out
     }
-}
-
-/// Accumulates one session's rounds into a [`SessionRecord`].
-pub(crate) fn accumulate_phases(rounds: &[PhaseTotals], setup: PhaseCost) -> PhaseTotals {
-    let mut acc = PhaseTotals { setup, ..Default::default() };
-    for r in rounds {
-        acc.offline.merge(&r.offline);
-        acc.online.merge(&r.online);
-    }
-    acc
 }

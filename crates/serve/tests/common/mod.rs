@@ -3,7 +3,7 @@
 use primer_core::{Engine, GcMode, ProtocolVariant, SystemConfig};
 use primer_math::rng::seeded;
 use primer_nn::{FixedTransformer, TransformerConfig, TransformerWeights};
-use primer_serve::{Server, ServerConfig, ServerStats};
+use primer_serve::{ServerBuilder, ServerConfig, ServerStats};
 use std::net::SocketAddr;
 use std::thread::JoinHandle;
 
@@ -11,18 +11,35 @@ use std::thread::JoinHandle;
 /// same model from it, and so do the in-process reference engines).
 pub const WEIGHT_SEED: u64 = 7;
 
-/// Starts a test-profile server for `sessions` sessions on an OS port.
+/// Starts a test-profile server for `sessions` **concluded** sessions
+/// on an OS port.
+#[allow(dead_code)]
 pub fn start_server(
     model: TransformerConfig,
     sessions: usize,
     max_workers: usize,
     pool: usize,
 ) -> (SocketAddr, JoinHandle<ServerStats>) {
+    start_server_with(model, sessions, move |c| {
+        c.max_workers = max_workers;
+        c.pool = pool;
+    })
+}
+
+/// [`start_server`] with full config control (shed policy, suspend
+/// directory, plane-cache bound, …). Each test binary compiles its own
+/// copy of this module, so suites that only use the simple form don't
+/// reference this one.
+#[allow(dead_code)]
+pub fn start_server_with(
+    model: TransformerConfig,
+    sessions: usize,
+    tweak: impl FnOnce(&mut ServerConfig),
+) -> (SocketAddr, JoinHandle<ServerStats>) {
     let mut config = ServerConfig::test_default(model);
-    config.max_workers = max_workers;
-    config.pool = pool;
     config.weight_seed = WEIGHT_SEED;
-    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    tweak(&mut config);
+    let server = ServerBuilder::from_config(config).bind("127.0.0.1:0").expect("bind");
     let addr = server.local_addr().expect("addr");
     let handle = std::thread::spawn(move || server.serve_sessions(sessions));
     (addr, handle)

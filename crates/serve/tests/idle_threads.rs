@@ -1,0 +1,51 @@
+//! Idle connections are owned by the event loop, not by threads: 32
+//! open sockets that never speak add **zero** threads to the server
+//! process and never consume the session budget.
+//!
+//! This file holds exactly one test: thread counts come from
+//! `/proc/self/task` and are process-wide, so no other test may run in
+//! this binary concurrently.
+
+mod common;
+
+use common::start_server;
+use primer_core::ProtocolVariant;
+use primer_nn::TransformerConfig;
+use primer_serve::ClientBuilder;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn thread_count() -> Option<usize> {
+    std::fs::read_dir("/proc/self/task").ok().map(|d| d.count())
+}
+
+#[test]
+fn idle_connections_hold_zero_threads_and_no_budget() {
+    let model = TransformerConfig::test_tiny();
+    let (addr, server) = start_server(model, 1, 2, 1);
+    std::thread::sleep(Duration::from_millis(200));
+    let baseline = thread_count();
+
+    let probes: Vec<TcpStream> =
+        (0..32).map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("probe {i}: {e}"))).collect();
+    // Give the poll loop time to accept every probe.
+    std::thread::sleep(Duration::from_millis(500));
+    if let (Some(before), Some(now)) = (baseline, thread_count()) {
+        assert_eq!(
+            now, before,
+            "{} idle connections spawned {} threads; the poll loop must own them",
+            probes.len(),
+            now as i64 - before as i64
+        );
+    }
+
+    // The probes never sent a hello, so they burn no budget: a real
+    // session still gets in and concludes the server.
+    let out = ClientBuilder::new(ProtocolVariant::Fpc)
+        .run(addr, &[vec![9usize, 8, 7, 6]])
+        .expect("session alongside 32 idle probes");
+    assert_eq!(out.summary.queries, 1);
+    drop(probes);
+    let stats = server.join().expect("server thread");
+    assert_eq!(stats.sessions().len(), 1, "probes left no session records");
+}

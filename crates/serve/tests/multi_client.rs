@@ -9,7 +9,7 @@ mod common;
 use common::{reference_engine, start_server};
 use primer_core::{GcMode, ProtocolVariant};
 use primer_nn::TransformerConfig;
-use primer_serve::{run_queries, ClientConfig, RunOutcome};
+use primer_serve::{ClientBuilder, RunOutcome};
 
 #[test]
 fn four_concurrent_mixed_variant_clients_match_sequential_engine() {
@@ -32,7 +32,7 @@ fn four_concurrent_mixed_variant_clients_match_sequential_engine() {
         .cloned()
         .map(|(variant, queries)| {
             std::thread::spawn(move || -> RunOutcome {
-                run_queries(addr, &ClientConfig::new(variant), &queries).expect("client run")
+                ClientBuilder::new(variant).run(addr, &queries).expect("client run")
             })
         })
         .collect();
@@ -41,8 +41,8 @@ fn four_concurrent_mixed_variant_clients_match_sequential_engine() {
 
     // Single-client baseline: same variant/queries as the two F
     // sessions, with the server otherwise idle.
-    let baseline = run_queries(addr, &ClientConfig::new(ProtocolVariant::F), &queries_a)
-        .expect("baseline run");
+    let baseline =
+        ClientBuilder::new(ProtocolVariant::F).run(addr, &queries_a).expect("baseline run");
     let stats = server.join().expect("server thread");
 
     // Bit-identical to the sequential in-process engine, per client.
@@ -79,14 +79,14 @@ fn four_concurrent_mixed_variant_clients_match_sequential_engine() {
     // variants must have built exactly three planes — every other
     // session (the second concurrent F and the baseline F) reused a
     // cached one rather than re-encoding the masks.
-    assert_eq!(stats.prepared.built, 3, "one plane per distinct variant");
-    assert_eq!(stats.prepared.reused, 2, "same-variant sessions must share");
-    assert!(stats.prepared.resident_mask_bytes > 0);
+    assert_eq!(stats.prepared().built, 3, "one plane per distinct variant");
+    assert_eq!(stats.prepared().reused, 2, "same-variant sessions must share");
+    assert!(stats.prepared().resident_mask_bytes > 0);
 
     // Per-session traffic attribution survives concurrency: both
     // concurrent F sessions metered exactly what the solo baseline
     // session metered — and the registry agrees with the clients.
-    assert_eq!(stats.sessions.len(), 5);
+    assert_eq!(stats.sessions().len(), 5);
     assert_eq!(stats.total_queries(), 10);
     assert_eq!(stats.sessions_for(ProtocolVariant::F), 3);
     for f_outcome in [&outcomes[0], &outcomes[3]] {
@@ -104,7 +104,7 @@ fn four_concurrent_mixed_variant_clients_match_sequential_engine() {
     // Different variants really do put different bytes on the wire
     // (the attribution is per-session, not an average).
     assert_ne!(outcomes[0].summary.traffic, outcomes[1].summary.traffic);
-    for rec in &stats.sessions {
+    for rec in stats.sessions() {
         let outcome = outcomes
             .iter()
             .map(|o| (o.session_id, o.summary.traffic))
@@ -126,7 +126,8 @@ fn worker_cap_queues_sessions_without_losing_any() {
         .map(|_| {
             let tokens = tokens.clone();
             std::thread::spawn(move || {
-                run_queries(addr, &ClientConfig::new(ProtocolVariant::Fpc), &[tokens])
+                ClientBuilder::new(ProtocolVariant::Fpc)
+                    .run(addr, &[tokens])
                     .expect("client run")
             })
         })
@@ -134,9 +135,9 @@ fn worker_cap_queues_sessions_without_losing_any() {
     let outcomes: Vec<RunOutcome> =
         handles.into_iter().map(|h| h.join().expect("client thread")).collect();
     let stats = server.join().expect("server thread");
-    assert_eq!(stats.sessions.len(), 3);
+    assert_eq!(stats.sessions().len(), 3);
     // One variant, three sessions: one plane encoded, two shared.
-    assert_eq!((stats.prepared.built, stats.prepared.reused), (1, 2));
+    assert_eq!((stats.prepared().built, stats.prepared().reused), (1, 2));
 
     let want = reference_engine(&model, ProtocolVariant::Fpc, GcMode::Simulated).run(&tokens);
     for outcome in &outcomes {

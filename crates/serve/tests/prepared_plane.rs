@@ -5,11 +5,11 @@
 
 mod common;
 
-use common::{reference_engine, start_server, WEIGHT_SEED};
+use common::{reference_engine, start_server, start_server_with, WEIGHT_SEED};
 use primer_core::{GcMode, ModelPlane, ProtocolVariant, SystemConfig};
 use primer_math::rng::seeded;
 use primer_nn::{FixedTransformer, TransformerConfig, TransformerWeights};
-use primer_serve::{run_queries, ClientConfig, RunOutcome};
+use primer_serve::{ClientBuilder, RunOutcome};
 
 #[test]
 fn two_concurrent_sessions_share_one_prepared_plane() {
@@ -22,7 +22,7 @@ fn two_concurrent_sessions_share_one_prepared_plane() {
         .map(|_| {
             let tokens = tokens.clone();
             std::thread::spawn(move || -> RunOutcome {
-                run_queries(addr, &ClientConfig::new(variant), &[tokens]).expect("client run")
+                ClientBuilder::new(variant).run(addr, &[tokens]).expect("client run")
             })
         })
         .collect();
@@ -31,8 +31,8 @@ fn two_concurrent_sessions_share_one_prepared_plane() {
     let stats = server.join().expect("server thread");
 
     // Exactly one plane was encoded; the other session shared it.
-    assert_eq!(stats.prepared.built, 1, "second session must not re-encode the plane");
-    assert_eq!(stats.prepared.reused, 1);
+    assert_eq!(stats.prepared().built, 1, "second session must not re-encode the plane");
+    assert_eq!(stats.prepared().reused, 1);
 
     // The resident bytes are one plane's masks — byte-identical to an
     // independently built plane for the same (model, variant).
@@ -40,7 +40,7 @@ fn two_concurrent_sessions_share_one_prepared_plane() {
     let weights = TransformerWeights::random(&model, &mut seeded(WEIGHT_SEED));
     let fixed = FixedTransformer::quantize(&model, &weights, sys.pipeline);
     let local = ModelPlane::build(&sys, variant, &fixed);
-    assert_eq!(stats.prepared.resident_mask_bytes, local.mask_bytes());
+    assert_eq!(stats.prepared().resident_mask_bytes, local.mask_bytes());
     assert!(local.is_prepared());
     // Every step in the plane's rotation plan — including the hoisted
     // input-rotation steps, which admit no power-of-two fallback — is
@@ -59,4 +59,42 @@ fn two_concurrent_sessions_share_one_prepared_plane() {
     for outcome in &outcomes {
         assert_eq!(outcome.predictions[0].logits, want.logits);
     }
+}
+
+/// With the plane cache bounded to one entry, alternating variants
+/// (F → Fp → F) evict on every switch: three builds, zero reuses, two
+/// evictions — and the rebuilt plane still serves reference-exact
+/// logits with only its own masks resident.
+#[test]
+fn bounded_plane_cache_evicts_lru_and_rebuilds() {
+    let model = TransformerConfig::test_tiny();
+    let tokens = vec![2usize, 24, 9, 30];
+    let (addr, server) = start_server_with(model.clone(), 3, |c| {
+        c.max_workers = 1;
+        c.plane_cache = 1;
+    });
+
+    let sequence = [ProtocolVariant::F, ProtocolVariant::Fp, ProtocolVariant::F];
+    let mut last = None;
+    for variant in sequence {
+        let out = ClientBuilder::new(variant).run(addr, std::slice::from_ref(&tokens)).expect("client run");
+        last = Some(out);
+    }
+    let stats = server.join().expect("server thread");
+
+    assert_eq!(stats.prepared().built, 3, "each variant switch rebuilds the evicted plane");
+    assert_eq!(stats.prepared().reused, 0);
+    assert_eq!(stats.prepared().evictions, 2);
+    assert!(stats.render().contains("2 evicted"), "evictions surface in the stats table");
+
+    // Only the final F plane is resident.
+    let sys = SystemConfig::test_profile(&model).expect("profile");
+    let weights = TransformerWeights::random(&model, &mut seeded(WEIGHT_SEED));
+    let fixed = FixedTransformer::quantize(&model, &weights, sys.pipeline);
+    let local = ModelPlane::build(&sys, ProtocolVariant::F, &fixed);
+    assert_eq!(stats.prepared().resident_mask_bytes, local.mask_bytes());
+
+    // The rebuilt plane is indistinguishable from the first build.
+    let want = reference_engine(&model, ProtocolVariant::F, GcMode::Simulated).run(&tokens);
+    assert_eq!(last.expect("three runs").predictions[0].logits, want.logits);
 }

@@ -9,7 +9,7 @@ mod common;
 use common::start_server;
 use primer_core::ProtocolVariant;
 use primer_nn::TransformerConfig;
-use primer_serve::{poll_stats, run_queries, ClientConfig, SessionState};
+use primer_serve::{poll_stats, ClientBuilder, SessionState};
 
 /// The full poll lifecycle against a bounded server: an empty snapshot
 /// before any session, then a populated one after a completed session —
@@ -25,25 +25,24 @@ fn stats_polls_answer_mid_run_without_consuming_sessions() {
     // Poll 0: nothing has happened yet. The snapshot is well-formed and
     // empty — and it must not count toward the 2-session budget.
     let empty = poll_stats(addr).expect("pre-session poll");
-    assert_eq!(empty.workers_cap, 2);
-    assert_eq!(empty.workers_active, 0);
-    assert!(empty.sessions.is_empty());
-    assert!(empty.he_ops.is_empty());
-    assert_eq!(empty.planes_built, 0);
+    assert_eq!(empty.workers_cap(), 2);
+    assert_eq!(empty.workers_active(), 0);
+    assert!(empty.sessions().is_empty());
+    assert!(empty.he_ops().is_empty());
+    assert_eq!(empty.planes_built(), 0);
 
     // Session A runs to completion.
-    let cfg = ClientConfig::new(ProtocolVariant::Fpc);
-    let out_a =
-        run_queries(addr, &cfg, &[tokens.clone(), tokens.clone()]).expect("session A");
+    let client = ClientBuilder::new(ProtocolVariant::Fpc);
+    let out_a = client.run(addr, &[tokens.clone(), tokens.clone()]).expect("session A");
     assert_eq!(out_a.predictions.len(), 2);
 
     // Poll 1: the server is still waiting for session 2, so this is a
     // genuine mid-run poll. Session A is in the live table, completed,
     // with its queries, pool bound, HE ops, phases and traffic visible.
     let snap = poll_stats(addr).expect("mid-run poll");
-    assert_eq!(snap.workers_cap, 2);
-    assert_eq!(snap.sessions.len(), 1, "exactly session A in the live table");
-    let s = &snap.sessions[0];
+    assert_eq!(snap.workers_cap(), 2);
+    assert_eq!(snap.sessions().len(), 1, "exactly session A in the live table");
+    let s = &snap.sessions()[0];
     assert_eq!(s.id, 0);
     assert_eq!(s.variant, ProtocolVariant::Fpc);
     assert_eq!(s.state, SessionState::Completed);
@@ -54,19 +53,19 @@ fn stats_polls_answer_mid_run_without_consuming_sessions() {
     // Cumulative HE op counts survive session completion (the counter
     // cells outlive the worker). Fpc setup+queries must have rotated
     // and multiplied.
-    let op = |name: &str| snap.he_ops.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v);
-    assert!(op("he.rotations") > 0, "he_ops: {:?}", snap.he_ops);
-    assert!(op("he.mul_plain") > 0, "he_ops: {:?}", snap.he_ops);
-    assert!(op("he.add") > 0, "he_ops: {:?}", snap.he_ops);
+    let op = |name: &str| snap.he_ops().iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v);
+    assert!(op("he.rotations") > 0, "he_ops: {:?}", snap.he_ops());
+    assert!(op("he.mul_plain") > 0, "he_ops: {:?}", snap.he_ops());
+    assert!(op("he.add") > 0, "he_ops: {:?}", snap.he_ops());
 
     // Per-phase latency histograms: setup recorded once, online once
     // per query.
     let phase = |name: &str| {
-        snap.phases
+        snap.phases()
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, p)| *p)
-            .unwrap_or_else(|| panic!("phase {name} missing: {:?}", snap.phases))
+            .unwrap_or_else(|| panic!("phase {name} missing: {:?}", snap.phases()))
     };
     assert_eq!(phase("setup").count, 1);
     assert_eq!(phase("online").count, 2);
@@ -75,17 +74,17 @@ fn stats_polls_answer_mid_run_without_consuming_sessions() {
     assert!(online.max_ns >= online.min_ns && online.sum_ns > 0);
 
     // Prepared-plane cache: session A built the Fpc plane.
-    assert_eq!(snap.planes_built, 1);
+    assert_eq!(snap.planes_built(), 1);
 
     // Per-channel traffic: online and offline both moved bytes, and the
     // per-channel sum equals the client's meter plus setup (the control
     // channel is handshake-only and metered separately).
     let chan = |name: &str| {
-        snap.channels
+        snap.channels()
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, t)| t.total_bytes())
-            .unwrap_or_else(|| panic!("channel {name} missing: {:?}", snap.channels))
+            .unwrap_or_else(|| panic!("channel {name} missing: {:?}", snap.channels()))
     };
     assert!(chan("online") > 0);
     assert!(chan("offline") > 0);
@@ -105,10 +104,10 @@ fn stats_polls_answer_mid_run_without_consuming_sessions() {
     // Session B: polls did not consume the budget, so the server still
     // accepts and serves a second session, then exits with exactly two
     // completed records.
-    let out_b = run_queries(addr, &cfg, &[tokens]).expect("session B");
+    let out_b = client.run(addr, &[tokens]).expect("session B");
     assert_eq!(out_b.session_id, 1, "stats polls must not consume session ids");
     let stats = server.join().expect("server thread");
-    assert_eq!(stats.sessions.len(), 2, "exactly the two real sessions were served");
-    assert_eq!(stats.prepared.built, 1);
-    assert_eq!(stats.prepared.reused, 1, "session B reused session A's plane");
+    assert_eq!(stats.sessions().len(), 2, "exactly the two real sessions were served");
+    assert_eq!(stats.prepared().built, 1);
+    assert_eq!(stats.prepared().reused, 1, "session B reused session A's plane");
 }

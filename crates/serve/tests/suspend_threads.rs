@@ -1,0 +1,70 @@
+//! A suspended session costs zero threads: once the image is parked on
+//! disk, the worker, producer, and per-connection reader threads are
+//! all gone and the process is back to its idle-serving baseline.
+//!
+//! This file holds exactly one test: thread counts come from
+//! `/proc/self/task` and are process-wide, so no other test may run in
+//! this binary concurrently.
+
+mod common;
+
+use common::start_server_with;
+use primer_core::ProtocolVariant;
+use primer_nn::TransformerConfig;
+use primer_serve::ClientBuilder;
+use std::time::{Duration, Instant};
+
+fn thread_count() -> Option<usize> {
+    std::fs::read_dir("/proc/self/task").ok().map(|d| d.count())
+}
+
+#[test]
+fn suspended_sessions_cost_zero_threads() {
+    let model = TransformerConfig::test_tiny();
+    let dir = std::env::temp_dir().join(format!("primer-suspend-{}-threads", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create suspend dir");
+    let (addr, server) = start_server_with(model, 2, {
+        let dir = dir.clone();
+        move |c| c.suspend_dir = Some(dir)
+    });
+
+    // A full warmup session first, so every lazily-spawned pool (HE
+    // thread pool, …) is already in the baseline count.
+    ClientBuilder::new(ProtocolVariant::Fpc)
+        .run(addr, &[vec![3usize, 1, 4, 1]])
+        .expect("warmup session");
+    std::thread::sleep(Duration::from_millis(300));
+    let baseline = thread_count();
+
+    let mut handle = ClientBuilder::new(ProtocolVariant::Fpc).open(addr, 2).expect("open");
+    handle.infer(&[3usize, 1, 4, 1]).expect("query 0");
+    let parked = handle.suspend().expect("suspend");
+
+    // Worker, offline producers, and connection readers unwind
+    // asynchronously after the ack; poll until the process settles back
+    // to (at most) its pre-session thread count.
+    if let Some(before) = baseline {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let now = thread_count().expect("/proc/self/task");
+            if now <= before {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "suspended session still holds {} extra threads after 10s",
+                now - before
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    // The parked session still works after costing nothing while idle.
+    let mut handle = parked.resume(addr).expect("resume");
+    handle.infer(&[2usize, 7, 1, 8]).expect("query 1");
+    handle.finish().expect("finish");
+    let stats = server.join().expect("server thread");
+    assert_eq!(stats.sessions().len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -8,7 +8,7 @@ mod common;
 use common::{reference_engine, start_server};
 use primer_core::{GcMode, ProtocolVariant};
 use primer_nn::TransformerConfig;
-use primer_serve::{run_queries, ClientConfig};
+use primer_serve::ClientBuilder;
 
 /// The acceptance bar: for all four Table II variants, a TCP client's
 /// reconstructed logits equal the in-process engine's bit for bit, and
@@ -19,7 +19,8 @@ fn loopback_serving_is_bit_identical_for_all_variants() {
     let tokens = vec![3usize, 17, 0, 29];
     for variant in ProtocolVariant::all() {
         let (addr, server) = start_server(model.clone(), 1, 1, 2);
-        let outcome = run_queries(addr, &ClientConfig::new(variant), std::slice::from_ref(&tokens))
+        let outcome = ClientBuilder::new(variant)
+            .run(addr, std::slice::from_ref(&tokens))
             .expect("client run");
         let stats = server.join().expect("server thread");
 
@@ -49,8 +50,8 @@ fn loopback_serving_is_bit_identical_for_all_variants() {
         );
 
         // The registry recorded the session with the same numbers.
-        assert_eq!(stats.sessions.len(), 1);
-        let rec = &stats.sessions[0];
+        assert_eq!(stats.sessions().len(), 1);
+        let rec = &stats.sessions()[0];
         assert_eq!(rec.variant, variant);
         assert_eq!(rec.queries, 1);
         assert_eq!(rec.traffic.total_bytes(), summary.traffic.total_bytes());
@@ -64,9 +65,10 @@ fn loopback_serving_with_real_garbling_matches_engine() {
     let model = TransformerConfig::test_tiny();
     let tokens = vec![9usize, 2, 31, 12];
     let (addr, server) = start_server(model.clone(), 1, 1, 1);
-    let mut cfg = ClientConfig::new(ProtocolVariant::Fpc);
-    cfg.mode = GcMode::Garbled;
-    let outcome = run_queries(addr, &cfg, std::slice::from_ref(&tokens)).expect("client run");
+    let outcome = ClientBuilder::new(ProtocolVariant::Fpc)
+        .mode(GcMode::Garbled)
+        .run(addr, std::slice::from_ref(&tokens))
+        .expect("client run");
     server.join().expect("server thread");
 
     let reference = reference_engine(&model, ProtocolVariant::Fpc, GcMode::Garbled).run(&tokens);
@@ -85,8 +87,8 @@ fn multi_query_session_pipelines_and_stays_exact() {
     let queries =
         vec![vec![4usize, 9, 23, 7], vec![31usize, 30, 29, 28], vec![7usize, 7, 7, 7]];
     let (addr, server) = start_server(model.clone(), 1, 1, 1);
-    let outcome = run_queries(addr, &ClientConfig::new(ProtocolVariant::Fp), &queries)
-        .expect("client run");
+    let outcome =
+        ClientBuilder::new(ProtocolVariant::Fp).run(addr, &queries).expect("client run");
     server.join().expect("server thread");
 
     let engine = reference_engine(&model, ProtocolVariant::Fp, GcMode::Simulated);
@@ -106,11 +108,12 @@ fn multi_query_session_pipelines_and_stays_exact() {
 fn mismatched_query_shape_is_rejected_client_side() {
     let model = TransformerConfig::test_tiny();
     let (addr, server) = start_server(model, 1, 1, 1);
-    let err = run_queries(addr, &ClientConfig::new(ProtocolVariant::F), &[vec![1usize, 2]])
+    let err = ClientBuilder::new(ProtocolVariant::F)
+        .run(addr, &[vec![1usize, 2]])
         .expect_err("wrong token count must fail");
     assert!(matches!(err, primer_serve::ClientError::Config(_)), "{err}");
     // The server session fails too (its worker sees the dead peer);
     // the server must survive and report zero completed sessions.
     let stats = server.join().expect("server thread");
-    assert_eq!(stats.sessions.len(), 0);
+    assert_eq!(stats.sessions().len(), 0);
 }

@@ -112,6 +112,36 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Dequeues a message if one is already queued, without blocking.
+    ///
+    /// Returns `Ok(None)` on an empty-but-connected channel and
+    /// [`RecvError`] once the channel is empty and every sender has
+    /// been dropped (the same disconnect condition as [`recv`]).
+    ///
+    /// [`recv`]: Receiver::recv
+    pub fn try_recv(&self) -> Result<Option<T>, RecvError> {
+        let mut queue = self.shared.queue.lock().expect("channel mutex poisoned");
+        if let Some(value) = queue.pop_front() {
+            return Ok(Some(value));
+        }
+        if self.shared.senders.load(Ordering::Acquire) == 0 {
+            return Err(RecvError);
+        }
+        Ok(None)
+    }
+
+    /// Number of messages currently queued (a racy snapshot — another
+    /// receiver may dequeue between the read and any later call).
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("channel mutex poisoned").len()
+    }
+
+    /// Whether the queue is empty right now (racy, like [`len`]).
+    ///
+    /// [`len`]: Receiver::len
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Clone for Sender<T> {
