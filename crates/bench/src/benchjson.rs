@@ -47,6 +47,10 @@ pub struct BenchRecord {
     pub p95_ms: Option<f64>,
     /// 99th-percentile wall-clock per iteration, milliseconds.
     pub p99_ms: Option<f64>,
+    /// SIMD tier the run dispatched to (`scalar` | `avx2` | `avx512`) —
+    /// recorded so committed baselines say which kernel lane produced
+    /// them (`None` for baselines recorded before the tier was tracked).
+    pub simd: Option<String>,
 }
 
 /// Serializes records as the committed `BENCH_*.json` format (one
@@ -66,6 +70,9 @@ pub fn to_json(records: &[BenchRecord]) -> String {
             if let Some(v) = val {
                 ops.push_str(&format!(", \"{key}\": {v:.3}"));
             }
+        }
+        if let Some(tier) = &r.simd {
+            ops.push_str(&format!(", \"simd\": \"{tier}\""));
         }
         out.push_str(&format!(
             "  {{\"bench\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \
@@ -229,6 +236,7 @@ impl<'a> Parser<'a> {
         let (mut threads, mut mean_ms, mut iters) = (None, None, None);
         let (mut rotations, mut ntt, mut mask_prep) = (None, None, None);
         let (mut p50_ms, mut p95_ms, mut p99_ms) = (None, None, None);
+        let mut simd = None;
         loop {
             self.skip_ws();
             let key = self.string()?;
@@ -249,6 +257,10 @@ impl<'a> Parser<'a> {
                 "p50_ms" => p50_ms = Some(self.number()?),
                 "p95_ms" => p95_ms = Some(self.number()?),
                 "p99_ms" => p99_ms = Some(self.number()?),
+                // The dispatched SIMD tier arrived with the three-tier
+                // kernel stack; absent in earlier baselines, so it stays
+                // optional.
+                "simd" => simd = Some(self.string()?),
                 other => return Err(format!("unknown key {other:?}")),
             }
             self.skip_ws();
@@ -270,6 +282,7 @@ impl<'a> Parser<'a> {
             p50_ms,
             p95_ms,
             p99_ms,
+            simd,
         })
     }
 }
@@ -291,6 +304,7 @@ mod tests {
             p50_ms: None,
             p95_ms: None,
             p99_ms: None,
+            simd: None,
         }
     }
 
@@ -308,6 +322,7 @@ mod tests {
                 p50_ms: Some(9.0),
                 p95_ms: Some(11.5),
                 p99_ms: Some(12.25),
+                simd: Some("avx512".into()),
                 ..record("online", "fpc", 4, 9.125)
             },
         ];
@@ -342,6 +357,12 @@ mod tests {
             ..record("offline", "f", 1, 10.0)
         }];
         assert!(check_regressions(&with_pcts, &parsed, 0.25).is_empty());
+        // Same contract for the simd tier tag (new with the three-tier
+        // kernel stack): tagged current runs still gate against untagged
+        // baselines.
+        let with_tier =
+            vec![BenchRecord { simd: Some("avx2".into()), ..record("offline", "f", 1, 10.0) }];
+        assert!(check_regressions(&with_tier, &parsed, 0.25).is_empty());
     }
 
     #[test]

@@ -261,6 +261,12 @@ fn main() {
         );
     }
 
+    // The tier every cell below dispatches to (PRIMER_SIMD overridable,
+    // same resolution the kernels use) — recorded per record so committed
+    // baselines say which kernel lane produced them.
+    let simd_tier = primer_he::simd::level().name().to_string();
+    eprintln!("SIMD tier: {simd_tier}");
+
     let mut records = Vec::new();
     for &threads in &thread_counts {
         // The pool reads PRIMER_THREADS at every scope, so setting it
@@ -291,6 +297,7 @@ fn main() {
                 p50_ms: None,
                 p95_ms: None,
                 p99_ms: None,
+                simd: Some(simd_tier.clone()),
             });
             let (rotations, ntt, mask_prep) = per_iter(&times.offline_ops, refills);
             let (p50_ms, p95_ms, p99_ms) = percentiles(&times.offline_refill_ms);
@@ -306,6 +313,7 @@ fn main() {
                 p50_ms,
                 p95_ms,
                 p99_ms,
+                simd: Some(simd_tier.clone()),
             });
             let (rotations, ntt, mask_prep) =
                 per_iter(&times.online_ops, times.online_query_ms.len());
@@ -322,6 +330,7 @@ fn main() {
                 p50_ms,
                 p95_ms,
                 p99_ms,
+                simd: Some(simd_tier.clone()),
             });
         }
         if churn > 0 {
@@ -338,6 +347,7 @@ fn main() {
                 p50_ms: None,
                 p95_ms: None,
                 p99_ms: None,
+                simd: Some(simd_tier.clone()),
             });
         }
     }

@@ -26,6 +26,16 @@ pub enum ConfigError {
         /// The offending value, verbatim.
         value: String,
     },
+    /// `PRIMER_SIMD` is set to something other than
+    /// `scalar|avx2|avx512|auto` (or the legacy `0|off|1|on`). Rejected
+    /// at assembly for the same reason as
+    /// [`ConfigError::InvalidLayoutPolicy`]: a typo'd kernel-tier
+    /// experiment should fail at session Setup, not panic inside the
+    /// first SIMD dispatch.
+    InvalidSimdPolicy {
+        /// The offending value, verbatim.
+        value: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -36,6 +46,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidLayoutPolicy { value } => {
                 write!(f, "PRIMER_LAYOUT must be auto|output|input|zerorot, got {value:?}")
+            }
+            ConfigError::InvalidSimdPolicy { value } => {
+                write!(
+                    f,
+                    "PRIMER_SIMD must be scalar|avx2|avx512|auto (or 0|off|1|on), got {value:?}"
+                )
             }
         }
     }
@@ -122,6 +138,10 @@ impl SystemConfig {
         // failure surfaces at session Setup as a typed error.
         if let Err(value) = crate::costmodel::layout::LayoutPolicy::from_env() {
             return Err(ConfigError::InvalidLayoutPolicy { value });
+        }
+        // Same early rejection for the SIMD tier override.
+        if let Err(value) = primer_he::simd::SimdPolicy::from_env() {
+            return Err(ConfigError::InvalidSimdPolicy { value });
         }
         let ring = Ring::new(he.params().t());
         let pipeline = PipelineSpec::new(ring, fixed, gc_frac);

@@ -1,0 +1,37 @@
+//! `PRIMER_SIMD` validation at config assembly.
+//!
+//! Lives in its own integration binary because it mutates the
+//! process-global environment: the core unit tests run threads that
+//! call `SystemConfig::test_profile` concurrently, and a bad
+//! `PRIMER_SIMD` set from another thread would poison them. A
+//! dedicated test binary is a dedicated process.
+
+use primer_core::{ConfigError, SystemConfig};
+use primer_nn::TransformerConfig;
+
+#[test]
+fn typoed_simd_policy_is_a_typed_setup_error() {
+    let model = TransformerConfig::test_tiny();
+
+    // Every valid value assembles — the explicit tier names plus the
+    // legacy on/off spellings.
+    for good in ["auto", "scalar", "avx2", "avx512", "0", "off", "1", "on", "AVX2", " auto "] {
+        std::env::set_var("PRIMER_SIMD", good);
+        assert!(
+            SystemConfig::test_profile(&model).is_ok(),
+            "valid policy {good:?} must assemble"
+        );
+    }
+
+    // A typo is rejected at assembly — a typed error naming the value,
+    // not a panic deep inside the first kernel dispatch.
+    std::env::set_var("PRIMER_SIMD", "avx215");
+    let err = SystemConfig::test_profile(&model).expect_err("typo must be rejected");
+    assert_eq!(err, ConfigError::InvalidSimdPolicy { value: "avx215".into() });
+    let msg = err.to_string();
+    assert!(msg.contains("avx215") && msg.contains("PRIMER_SIMD"), "unhelpful message: {msg}");
+
+    // Unset means auto (widest supported tier).
+    std::env::remove_var("PRIMER_SIMD");
+    assert!(SystemConfig::test_profile(&model).is_ok());
+}

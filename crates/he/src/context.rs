@@ -27,6 +27,13 @@ struct Inner {
     q: u128,
     delta: u128,
     delta_mod_qi: Vec<u64>,
+    // Shoup companions of delta_mod_qi, so the base-conversion combine
+    // (`round(q·m/t)` scaling) runs as a vector Shoup multiply per limb.
+    delta_mod_qi_shoup: Vec<u64>,
+    // True when t < every RNS prime — the precondition for the
+    // vectorized centered-lift and scale-combine fast paths (all stock
+    // profiles satisfy it; the scalar u128 path remains as fallback).
+    plain_below_primes: bool,
     // Garner mixed-radix constants: garner_inv[i] = (q_0·…·q_{i-1})^{-1} mod q_i.
     garner_inv: Vec<u64>,
     // NTT-domain Galois permutations, one per element, built on first
@@ -45,7 +52,13 @@ impl HeContext {
         let plain_ntt = NttTables::new(params.n(), plain);
         let q = params.q();
         let delta = q / params.t() as u128;
-        let delta_mod_qi = moduli.iter().map(|m| m.reduce_u128(delta)).collect();
+        let delta_mod_qi: Vec<u64> = moduli.iter().map(|m| m.reduce_u128(delta)).collect();
+        let delta_mod_qi_shoup = moduli
+            .iter()
+            .zip(&delta_mod_qi)
+            .map(|(m, &d)| (((d as u128) << 64) / m.value() as u128) as u64)
+            .collect();
+        let plain_below_primes = moduli.iter().all(|m| params.t() < m.value());
         let mut garner_inv = vec![0u64; moduli.len()];
         for i in 1..moduli.len() {
             let mi = moduli[i];
@@ -65,6 +78,8 @@ impl HeContext {
                 q,
                 delta,
                 delta_mod_qi,
+                delta_mod_qi_shoup,
+                plain_below_primes,
                 garner_inv,
                 galois_perms: Mutex::new(HashMap::new()),
             }),
@@ -131,6 +146,22 @@ impl HeContext {
         &self.inner.delta_mod_qi
     }
 
+    /// Shoup companions of [`Self::delta_mod_qi`]
+    /// (`floor((Δ mod q_i)·2^64 / q_i)`), for the vectorized
+    /// base-conversion combine.
+    #[inline]
+    pub fn delta_mod_qi_shoup(&self) -> &[u64] {
+        &self.inner.delta_mod_qi_shoup
+    }
+
+    /// True when `t < q_i` for every RNS prime — the precondition for
+    /// the vectorized centered-lift / scale-combine fast paths in
+    /// [`crate::poly::RnsPoly`]. Holds for every stock profile.
+    #[inline]
+    pub fn plain_below_primes(&self) -> bool {
+        self.inner.plain_below_primes
+    }
+
     /// Recombines RNS residues of one coefficient into the integer
     /// representative in `[0, q)` (Garner's mixed-radix algorithm; exact
     /// because `q < 2^125`).
@@ -180,16 +211,18 @@ impl HeContext {
         assert!(g % 2 == 1 && g < two_n, "galois element must be odd and < 2n");
         let mut cache = self.inner.galois_perms.lock().expect("galois perm cache poisoned");
         Arc::clone(cache.entry(g).or_insert_with(|| {
-            let log_n = n.trailing_zeros();
-            let bitrev = |x: usize| x.reverse_bits() >> (usize::BITS - log_n);
-            let perm = (0..n)
-                .map(|i| {
+            // The bit-reversal permutation is cached on every NTT table
+            // (same n everywhere); borrow it instead of recomputing.
+            let bitrev = self.inner.ntt[0].bit_rev_perm();
+            let perm = bitrev
+                .iter()
+                .map(|&r| {
                     // Evaluation point at position i is ψ^e with
                     // e = 2·bitrev(i)+1; σ_g(f) there equals f at ψ^(g·e),
                     // which lives at position bitrev(((g·e mod 2n)−1)/2).
-                    let e = 2 * bitrev(i) as u64 + 1;
+                    let e = 2 * r as u64 + 1;
                     let src_e = (g * e) % two_n;
-                    bitrev((src_e >> 1) as usize) as u32
+                    bitrev[(src_e >> 1) as usize]
                 })
                 .collect();
             Arc::new(perm)

@@ -14,14 +14,20 @@
 
 use crate::cipher::Plaintext;
 use crate::context::HeContext;
+use crate::simd;
 use std::collections::HashMap;
 
 /// Encoder between slot vectors (`Z_t^n`) and plaintext polynomials.
 #[derive(Debug, Clone)]
 pub struct BatchEncoder {
     ctx: HeContext,
-    /// `pos_of_slot[s]` = NTT output position storing slot `s`.
-    pos_of_slot: Vec<usize>,
+    /// `pos_of_slot[s]` = NTT output position storing slot `s` (the
+    /// decode gather map).
+    pos_of_slot: Vec<u32>,
+    /// Inverse permutation: `slot_of_pos[p]` = slot stored at NTT output
+    /// position `p`, so encode's scatter runs as a vectorized gather
+    /// through it (PR 10).
+    slot_of_pos: Vec<u32>,
 }
 
 impl BatchEncoder {
@@ -58,17 +64,22 @@ impl BatchEncoder {
 
         // Slot s = (row, col): exponent 3^col (row 0) or -3^col (row 1).
         let row_size = n / 2;
-        let mut pos_of_slot = vec![0usize; n];
+        let mut pos_of_slot = vec![0u32; n];
         let mut g = 1u64; // 3^col mod 2n
         for col in 0..row_size {
             let e0 = g;
             let e1 = two_n - g;
-            pos_of_slot[col] = *pos_of_exp.get(&e0).expect("missing exponent in slot map");
+            pos_of_slot[col] =
+                *pos_of_exp.get(&e0).expect("missing exponent in slot map") as u32;
             pos_of_slot[row_size + col] =
-                *pos_of_exp.get(&e1).expect("missing exponent in slot map");
+                *pos_of_exp.get(&e1).expect("missing exponent in slot map") as u32;
             g = (g * 3) % two_n;
         }
-        Self { ctx: ctx.clone(), pos_of_slot }
+        let mut slot_of_pos = vec![0u32; n];
+        for (s, &p) in pos_of_slot.iter().enumerate() {
+            slot_of_pos[p as usize] = s as u32;
+        }
+        Self { ctx: ctx.clone(), pos_of_slot, slot_of_pos }
     }
 
     /// Number of slots (= n).
@@ -91,11 +102,16 @@ impl BatchEncoder {
         let n = self.slot_count();
         assert!(values.len() <= n, "too many values for {n} slots");
         let t = self.ctx.plain().value();
-        let mut buf = vec![0u64; n];
+        // Zero-extend to all slots, then run the scatter as a vectorized
+        // gather through the inverse permutation — bit-identical because
+        // unassigned slots hold the same zeros the scatter left behind.
+        let mut padded = vec![0u64; n];
         for (s, &v) in values.iter().enumerate() {
             assert!(v < t, "slot value {v} not reduced mod {t}");
-            buf[self.pos_of_slot[s]] = v;
+            padded[s] = v;
         }
+        let mut buf = vec![0u64; n];
+        simd::gather(&padded, &self.slot_of_pos, &mut buf, simd::level());
         self.ctx.plain_ntt().inverse(&mut buf);
         Plaintext::from_coeffs(buf)
     }
@@ -111,7 +127,9 @@ impl BatchEncoder {
     pub fn decode(&self, plain: &Plaintext) -> Vec<u64> {
         let mut buf = plain.coeffs().to_vec();
         self.ctx.plain_ntt().forward(&mut buf);
-        self.pos_of_slot.iter().map(|&p| buf[p]).collect()
+        let mut out = vec![0u64; buf.len()];
+        simd::gather(&buf, &self.pos_of_slot, &mut out, simd::level());
+        out
     }
 
     /// Decodes to centered signed values.

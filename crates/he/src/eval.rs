@@ -384,8 +384,8 @@ impl Evaluator {
                 // coefficient-domain path.
                 digit.permute_ntt_into(ctx, &perm, &mut sd);
                 let (b, a) = key.part(i, j);
-                acc0.add_mul_pointwise_assign(ctx, &sd, b);
-                acc1.add_mul_pointwise_assign(ctx, &sd, a);
+                // Fused interleaved pass (see `key_switch`).
+                RnsPoly::add_mul2_pointwise_assign(ctx, &mut acc0, &mut acc1, &sd, b, a);
             }
         }
         self.arena.recycle(ctx, sd);
@@ -475,7 +475,12 @@ impl Evaluator {
         let total_digits: u64 =
             ctx.moduli().iter().map(|m| digits_for_prime(m.value(), w) as u64).sum();
         self.counters.bump(|c| c.ntt += total_digits);
-        let mask = (1u128 << w) - 1;
+        let mask = ((1u128 << w) - 1) as u64;
+        let lvl = crate::simd::level();
+        // Scratch row shared by every digit: one vectorized extraction
+        // per digit, then a straight copy into each prime row (d < 2^w <
+        // every q_p, so the same row is a valid residue everywhere).
+        let mut extracted = vec![0u64; ctx.n()];
         (0..ctx.num_primes())
             .map(|i| {
                 let residues = poly_coeff.residues(i);
@@ -483,15 +488,12 @@ impl Evaluator {
                 (0..digits)
                     .map(|j| {
                         let shift = j * w;
-                        // Fully overwritten below (all k, all primes), so
-                        // stale arena limbs are safe.
+                        // Fully overwritten below (all rows), so stale
+                        // arena limbs are safe.
                         let mut digit = self.arena.take_uninit(ctx, false);
-                        for (k, &r) in residues.iter().enumerate() {
-                            let d = ((r as u128 >> shift) & mask) as u64;
-                            for p in 0..ctx.num_primes() {
-                                // d < 2^w < every q_p: no reduction needed.
-                                digit.residues_mut(p)[k] = d;
-                            }
+                        crate::simd::extract_digit(residues, shift, mask, &mut extracted, lvl);
+                        for p in 0..ctx.num_primes() {
+                            digit.residues_mut(p).copy_from_slice(&extracted);
                         }
                         digit.to_ntt(ctx);
                         digit
@@ -540,8 +542,9 @@ impl Evaluator {
             debug_assert_eq!(prime_digits.len(), key.digits(i), "digit count mismatch");
             for (j, digit) in prime_digits.iter().enumerate() {
                 let (b, a) = key.part(i, j);
-                acc0.add_mul_pointwise_assign(ctx, digit, b);
-                acc1.add_mul_pointwise_assign(ctx, digit, a);
+                // Fused interleaved pass: the digit is loaded once and
+                // accumulated against both key halves across all limbs.
+                RnsPoly::add_mul2_pointwise_assign(ctx, &mut acc0, &mut acc1, digit, b, a);
             }
         }
         // The digits die here (a hoist's escape instead and come back

@@ -18,6 +18,12 @@ pub struct NttTables {
     n: usize,
     log_n: u32,
     modulus: Modulus,
+    /// The bit-reversal permutation of `0..n`, computed once per table
+    /// (PR 10; `bit_reverse` used to run per element) and shared with
+    /// every consumer that needs the transform's access order — the
+    /// twiddle layout below, the context's Galois permutations, the
+    /// encoder's slot maps.
+    bit_rev: Vec<u32>,
     // psi powers in bit-reversed order, with Shoup companions.
     psi_rev: Vec<u64>,
     psi_rev_shoup: Vec<u64>,
@@ -61,12 +67,12 @@ impl NttTables {
             acc = modulus.mul(acc, psi);
             acc_inv = modulus.mul(acc_inv, psi_inv);
         }
+        let bit_rev: Vec<u32> = (0..n).map(|i| bit_reverse(i, log_n) as u32).collect();
         let mut psi_rev = vec![0u64; n];
         let mut psi_inv_rev = vec![0u64; n];
-        for i in 0..n {
-            let r = bit_reverse(i, log_n);
-            psi_rev[i] = psi_pows[r];
-            psi_inv_rev[i] = psi_inv_pows[r];
+        for (i, &r) in bit_rev.iter().enumerate() {
+            psi_rev[i] = psi_pows[r as usize];
+            psi_inv_rev[i] = psi_inv_pows[r as usize];
         }
         let psi_rev_shoup = psi_rev.iter().map(|&w| shoup(w, p)).collect();
         let psi_inv_rev_shoup = psi_inv_rev.iter().map(|&w| shoup(w, p)).collect();
@@ -75,6 +81,7 @@ impl NttTables {
             n,
             log_n,
             modulus,
+            bit_rev,
             psi_rev,
             psi_rev_shoup,
             psi_inv_rev,
@@ -179,6 +186,15 @@ impl NttTables {
     #[inline]
     pub fn log_len(&self) -> u32 {
         self.log_n
+    }
+
+    /// The bit-reversal permutation of `0..n` (`perm[i]` = `i` with its
+    /// low `log_n` bits reversed — an involution). Cached at table build;
+    /// consumers that used to call a per-element `bit_reverse` (Galois
+    /// permutation construction, encoder slot maps) index this instead.
+    #[inline]
+    pub fn bit_rev_perm(&self) -> &[u32] {
+        &self.bit_rev
     }
 }
 

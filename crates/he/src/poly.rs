@@ -36,6 +36,23 @@ impl RnsPoly {
     pub fn lift_plain_centered(ctx: &HeContext, plain_coeffs: &[u64]) -> Self {
         assert_eq!(plain_coeffs.len(), ctx.n(), "coefficient count mismatch");
         let t = ctx.plain();
+        if ctx.plain_below_primes() {
+            // Vectorized fast path (PR 10): with t < q_i the signed round
+            // trip collapses to a branchless select per limb —
+            // `c > t/2 ? q_i − t + c : c` — bit-identical to
+            // `from_signed(to_signed(c))`.
+            let lvl = simd::level();
+            let values = ctx
+                .moduli()
+                .iter()
+                .map(|m| {
+                    let mut row = vec![0u64; plain_coeffs.len()];
+                    simd::lift_centered(m.value(), t.value(), plain_coeffs, &mut row, lvl);
+                    row
+                })
+                .collect();
+            return Self { values, ntt_form: false };
+        }
         let signed: Vec<i64> = plain_coeffs.iter().map(|&c| t.to_signed(c)).collect();
         Self::from_signed(ctx, &signed)
     }
@@ -68,6 +85,36 @@ impl RnsPoly {
         let t = ctx.params().t() as u128;
         let delta = ctx.delta(); // floor(q/t) < 2^(128-43): Δ·m fits u128
         let r_t = ctx.q() - delta * t; // q mod t
+        if ctx.plain_below_primes() {
+            // Vectorized fast path (PR 10): round(q·m/t) = Δ·m + rt with
+            // rt = round(r_t·m/t) < t, so per limb the residue is
+            // `(Δ mod q_i)·m + rt (mod q_i)` — a Shoup multiply by the
+            // cached `Δ mod q_i` plus a lazy add. The rounding term is
+            // computed once per coefficient (u128, shared by all limbs).
+            let lvl = simd::level();
+            let rt: Vec<u64> = plain_coeffs
+                .iter()
+                .map(|&c| {
+                    debug_assert!((c as u128) < t, "plaintext coefficient not reduced");
+                    ((r_t * c as u128 + t / 2) / t) as u64
+                })
+                .collect();
+            let delta_qi = ctx.delta_mod_qi();
+            let delta_qi_shoup = ctx.delta_mod_qi_shoup();
+            for (i, md) in ctx.moduli().iter().enumerate() {
+                simd::scale_combine(
+                    *md,
+                    delta_qi[i],
+                    delta_qi_shoup[i],
+                    plain_coeffs,
+                    &rt,
+                    &mut out.values[i],
+                    lvl,
+                );
+            }
+            out.ntt_form = false;
+            return;
+        }
         for (j, &c) in plain_coeffs.iter().enumerate() {
             let m = c as u128;
             debug_assert!(m < t, "plaintext coefficient not reduced");
@@ -201,6 +248,49 @@ impl RnsPoly {
         }
     }
 
+    /// Fused key-switch accumulation (PR 10): `acc0 += x ⊙ b` and
+    /// `acc1 += x ⊙ a` in one interleaved pass — each chunk of the shared
+    /// digit `x` is loaded once and multiplied against both key halves,
+    /// covering all RNS limbs in a single call (all five operands in NTT
+    /// form). Bit-identical to two [`Self::add_mul_pointwise_assign`]
+    /// calls; the fusion only changes memory traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is not in NTT form.
+    pub fn add_mul2_pointwise_assign(
+        ctx: &HeContext,
+        acc0: &mut Self,
+        acc1: &mut Self,
+        x: &Self,
+        b: &Self,
+        a: &Self,
+    ) {
+        assert!(
+            acc0.ntt_form && acc1.ntt_form && x.ntt_form && b.ntt_form && a.ntt_form,
+            "needs NTT form"
+        );
+        let lvl = simd::level();
+        let mut limbs: Vec<simd::KsLimb<'_>> = ctx
+            .moduli()
+            .iter()
+            .zip(&mut acc0.values)
+            .zip(&mut acc1.values)
+            .zip(&x.values)
+            .zip(&b.values)
+            .zip(&a.values)
+            .map(|(((((m, c0), c1), xv), bv), av)| simd::KsLimb {
+                m: *m,
+                acc0: c0,
+                acc1: c1,
+                x: xv,
+                b: bv,
+                a: av,
+            })
+            .collect();
+        simd::ks_accumulate(&mut limbs, lvl);
+    }
+
     /// Applies a Galois automorphism **in NTT form** via its evaluation-
     /// point permutation (see [`HeContext::galois_perm`]): output position
     /// `i` takes the value at `perm[i]`, per prime. This is how the
@@ -227,11 +317,10 @@ impl RnsPoly {
         assert!(self.ntt_form, "NTT-domain automorphism needs NTT form");
         assert_eq!(perm.len(), ctx.n(), "permutation length mismatch");
         assert_eq!(out.values.len(), self.values.len(), "prime count mismatch");
+        let lvl = simd::level();
         for (src, dst) in self.values.iter().zip(&mut out.values) {
             assert_eq!(dst.len(), perm.len(), "residue length mismatch");
-            for (d, &s) in dst.iter_mut().zip(perm) {
-                *d = src[s as usize];
-            }
+            simd::gather(src, perm, dst, lvl);
         }
         out.ntt_form = true;
     }

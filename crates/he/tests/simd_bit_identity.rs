@@ -1,9 +1,11 @@
-//! Scalar/AVX2 bit-identity (DESIGN.md §11): the SIMD lane width is a
+//! Cross-tier bit-identity (DESIGN.md §11): the SIMD lane width is a
 //! pure performance knob — every vectorized kernel must produce the
 //! exact canonical residues the scalar reference produces, for every
-//! RNS prime and the plain modulus of every parameter profile. On a
-//! machine without AVX2 the `Avx2` level silently degrades to scalar,
-//! so the suite stays green (and vacuous) there.
+//! RNS prime and the plain modulus of every parameter profile, at every
+//! dispatch tier (scalar / AVX2 / AVX-512, the latter taking the IFMA
+//! product sub-path where the CPU has it). On a machine without a tier
+//! the level degrades to the widest supported one, so the suite stays
+//! green (and partially vacuous) there.
 
 use primer_he::modulus::Modulus;
 use primer_he::ntt::NttTables;
@@ -37,6 +39,11 @@ fn rand_residues(rng: &mut rand::rngs::StdRng, p: u64, len: usize) -> Vec<u64> {
     (0..len).map(|_| rng.gen_range(0..p)).collect()
 }
 
+/// The tiers above scalar. Each degrades to the widest supported one on
+/// CPUs that lack it, so comparing every entry against scalar is safe
+/// everywhere and exhaustive on AVX-512 hosts.
+const VECTOR_LEVELS: [SimdLevel; 2] = [SimdLevel::Avx2, SimdLevel::Avx512];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -69,13 +76,10 @@ proptest! {
                 simd::mul_shoup_slice(p, w, ws, &mut r_shoup, lvl);
                 (r_add, r_sub, r_neg, r_mul, r_fma, r_shoup)
             };
-            prop_assert_eq!(
-                run(SimdLevel::Scalar),
-                run(SimdLevel::Avx2),
-                "modulus {} len {}",
-                p,
-                len
-            );
+            let want = run(SimdLevel::Scalar);
+            for lvl in VECTOR_LEVELS {
+                prop_assert_eq!(&want, &run(lvl), "modulus {} len {} {:?}", p, len, lvl);
+            }
         }
     }
 
@@ -103,14 +107,18 @@ proptest! {
                     }
                     (l, h)
                 };
-                prop_assert_eq!(
-                    run(SimdLevel::Scalar),
-                    run(SimdLevel::Avx2),
-                    "modulus {} len {} fwd {}",
-                    p,
-                    len,
-                    fwd
-                );
+                let want = run(SimdLevel::Scalar);
+                for lvl in VECTOR_LEVELS {
+                    prop_assert_eq!(
+                        &want,
+                        &run(lvl),
+                        "modulus {} len {} fwd {} {:?}",
+                        p,
+                        len,
+                        fwd,
+                        lvl
+                    );
+                }
             }
         }
     }
@@ -129,19 +137,145 @@ proptest! {
 
                 let mut f_scalar = orig.clone();
                 tbl.forward_at(&mut f_scalar, SimdLevel::Scalar);
-                let mut f_avx2 = orig.clone();
-                tbl.forward_at(&mut f_avx2, SimdLevel::Avx2);
-                prop_assert_eq!(&f_scalar, &f_avx2, "forward n={} p={}", tbl.len(), p);
+                for lvl in VECTOR_LEVELS {
+                    let mut f_vec = orig.clone();
+                    tbl.forward_at(&mut f_vec, lvl);
+                    prop_assert_eq!(&f_scalar, &f_vec, "forward n={} p={} {:?}", tbl.len(), p, lvl);
 
-                // Cross levels on the way back: any divergence hiding in
-                // either direction breaks the round-trip.
-                let mut back = f_avx2.clone();
-                tbl.inverse_at(&mut back, SimdLevel::Scalar);
-                prop_assert_eq!(&back, &orig, "avx2→scalar roundtrip n={} p={}", tbl.len(), p);
-                let mut back = f_scalar;
-                tbl.inverse_at(&mut back, SimdLevel::Avx2);
-                prop_assert_eq!(&back, &orig, "scalar→avx2 roundtrip n={} p={}", tbl.len(), p);
+                    // Cross levels on the way back: any divergence hiding
+                    // in either direction breaks the round-trip.
+                    let mut back = f_vec;
+                    tbl.inverse_at(&mut back, SimdLevel::Scalar);
+                    prop_assert_eq!(&back, &orig, "{:?}→scalar roundtrip n={} p={}", lvl, tbl.len(), p);
+                    let mut back = f_scalar.clone();
+                    tbl.inverse_at(&mut back, lvl);
+                    prop_assert_eq!(&back, &orig, "scalar→{:?} roundtrip n={} p={}", lvl, tbl.len(), p);
+                }
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// PR 10 kernels: key-switch digit extraction and index gather (the
+    /// NTT-domain automorphism + encoder slot maps) agree across every
+    /// tier, including the scalar remainder tail and every digit shift.
+    #[test]
+    fn digit_and_gather_kernels_bit_identical(seed in 0u64..10_000, len in 1usize..67, w in 1u32..23) {
+        let mut rng = seeded(seed ^ 0xD1);
+        let src: Vec<u64> = (0..len).map(|_| rng.gen()).collect();
+        let mask = ((1u128 << w) - 1) as u64;
+        let mut shift = 0u32;
+        while shift < 64 {
+            let mut want = vec![0u64; len];
+            simd::extract_digit(&src, shift, mask, &mut want, SimdLevel::Scalar);
+            for lvl in VECTOR_LEVELS {
+                let mut got = vec![0u64; len];
+                simd::extract_digit(&src, shift, mask, &mut got, lvl);
+                prop_assert_eq!(&want, &got, "shift {} width {} {:?}", shift, w, lvl);
+            }
+            shift += w;
+        }
+
+        let idx: Vec<u32> = (0..len).map(|_| rng.gen_range(0..len) as u32).collect();
+        let mut want = vec![0u64; len];
+        simd::gather(&src, &idx, &mut want, SimdLevel::Scalar);
+        for lvl in VECTOR_LEVELS {
+            let mut got = vec![0u64; len];
+            simd::gather(&src, &idx, &mut got, lvl);
+            prop_assert_eq!(&want, &got, "gather {:?}", lvl);
+        }
+    }
+
+    /// Base-conversion kernels (centered lift, round(q·m/t) combine) are
+    /// bit-identical across tiers for every profile's (t, q_i) pairs,
+    /// with the boundary plaintext values 0, 1, t/2, t/2+1, t−1 mixed
+    /// into random data.
+    #[test]
+    fn base_conversion_kernels_bit_identical(seed in 0u64..10_000, len in 5usize..67) {
+        for params in profiles() {
+            let ctx = HeContext::new(params.clone());
+            let t = params.t();
+            let mut rng = seeded(seed ^ t);
+            let mut plain: Vec<u64> = (0..len).map(|_| rng.gen_range(0..t)).collect();
+            plain[0] = 0;
+            plain[1] = 1;
+            plain[2] = t / 2;
+            plain[3] = t / 2 + 1;
+            plain[4] = t - 1;
+            for m in ctx.moduli() {
+                let p = m.value();
+                let delta = rng.gen_range(1..p);
+                let delta_shoup = (((delta as u128) << 64) / p as u128) as u64;
+                let rt: Vec<u64> = (0..len).map(|_| rng.gen_range(0..t)).collect();
+
+                let mut want_lift = vec![0u64; len];
+                simd::lift_centered(p, t, &plain, &mut want_lift, SimdLevel::Scalar);
+                let mut want_scale = vec![0u64; len];
+                simd::scale_combine(
+                    *m, delta, delta_shoup, &plain, &rt, &mut want_scale, SimdLevel::Scalar,
+                );
+                for lvl in VECTOR_LEVELS {
+                    let mut got = vec![0u64; len];
+                    simd::lift_centered(p, t, &plain, &mut got, lvl);
+                    prop_assert_eq!(&want_lift, &got, "lift p {} {:?}", p, lvl);
+                    let mut got = vec![0u64; len];
+                    simd::scale_combine(*m, delta, delta_shoup, &plain, &rt, &mut got, lvl);
+                    prop_assert_eq!(&want_scale, &got, "scale p {} {:?}", p, lvl);
+                }
+            }
+        }
+    }
+
+    /// The fused dual-accumulator key-switch pass equals two independent
+    /// scalar `add_mul_mod` passes at every tier, across all RNS limbs
+    /// of a profile at once (the multi-limb interleave of DESIGN.md §11).
+    #[test]
+    fn fused_key_switch_accumulate_bit_identical(seed in 0u64..10_000, len in 1usize..67) {
+        let ctx = HeContext::new(HeParams::test_2k_wide());
+        let moduli = ctx.moduli().to_vec();
+        let mut rng = seeded(seed ^ 0x4B);
+        let draw = |rng: &mut rand::rngs::StdRng| -> Vec<Vec<u64>> {
+            moduli.iter().map(|m| rand_residues(rng, m.value(), len)).collect()
+        };
+        let acc0_init = draw(&mut rng);
+        let acc1_init = draw(&mut rng);
+        let xs = draw(&mut rng);
+        let bs = draw(&mut rng);
+        let avs = draw(&mut rng);
+
+        let mut want0 = acc0_init.clone();
+        let mut want1 = acc1_init.clone();
+        for (i, m) in moduli.iter().enumerate() {
+            simd::add_mul_mod(*m, &mut want0[i], &xs[i], &bs[i], SimdLevel::Scalar);
+            simd::add_mul_mod(*m, &mut want1[i], &xs[i], &avs[i], SimdLevel::Scalar);
+        }
+
+        for lvl in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+            let mut g0 = acc0_init.clone();
+            let mut g1 = acc1_init.clone();
+            let mut limbs: Vec<simd::KsLimb<'_>> = moduli
+                .iter()
+                .zip(g0.iter_mut())
+                .zip(g1.iter_mut())
+                .zip(&xs)
+                .zip(&bs)
+                .zip(&avs)
+                .map(|(((((m, c0), c1), x), b), a)| simd::KsLimb {
+                    m: *m,
+                    acc0: c0,
+                    acc1: c1,
+                    x,
+                    b,
+                    a,
+                })
+                .collect();
+            simd::ks_accumulate(&mut limbs, lvl);
+            drop(limbs);
+            prop_assert_eq!(&want0, &g0, "acc0 {:?}", lvl);
+            prop_assert_eq!(&want1, &g1, "acc1 {:?}", lvl);
         }
     }
 }
@@ -152,7 +286,7 @@ proptest! {
 #[test]
 fn ntt_length_mismatch_panics() {
     let tbl = NttTables::new(16, Modulus::new(97));
-    for lvl in [SimdLevel::Scalar, SimdLevel::Avx2] {
+    for lvl in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
         for len in [0usize, 8, 17] {
             let fwd = std::panic::catch_unwind(|| {
                 let mut a = vec![1u64; len];
